@@ -1,0 +1,265 @@
+//! # rid-baseline — a Cpychecker-style escape-rule checker
+//!
+//! The RID paper compares against Cpychecker (§6.6, Table 2), a rule-based
+//! checker for Python/C code built on the *stronger* property of §2.1:
+//!
+//! > in any function, the change of a refcount must equal the number of
+//! > references escaping the function (via the return value or
+//! > reference-stealing APIs).
+//!
+//! This crate reimplements that rule on top of RID's own substrate (the
+//! same IR, path engine and predefined summaries), preserving the two
+//! behavioural traits the paper's comparison hinges on:
+//!
+//! 1. **No SSA.** Cpychecker predates per-path SSA reasoning; functions
+//!    that assign the same variable more than once make it lose track.
+//!    The baseline *bails out* on such functions — which is exactly why
+//!    RID finds more bugs in Table 2 ("mainly because of the adoption of
+//!    SSA form", §6.6).
+//! 2. **The strict rule false-alarms on wrappers.** A function that
+//!    intentionally changes a count for its caller (a `Py_INCREF` wrapper,
+//!    common in kernel-style layering) violates the escape rule by
+//!    design; Cpychecker needs manual GCC attributes to silence each one
+//!    (§2.1). The baseline reports them all; callers can compare against
+//!    RID, which reports none.
+//!
+//! Unlike RID, the rule needs **no path pair**: a consistent single-path
+//! leak still violates it. That is the small Cpychecker-only column of
+//! Table 2.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::{BTreeMap, HashMap};
+
+use rid_ir::{Function, Program};
+use rid_core::paths::PathLimits;
+use rid_core::summary::SummaryDb;
+use rid_core::summarize_paths;
+use rid_solver::{SatOptions, Term, VarKind};
+use serde::{Deserialize, Serialize};
+
+/// One escape-rule violation.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BaselineReport {
+    /// Function violating the rule.
+    pub function: String,
+    /// The refcount with the unbalanced change.
+    pub refcount: Term,
+    /// Net change observed on some path.
+    pub delta: i64,
+    /// Change the escape rule expected (1 if the object escapes via the
+    /// return value, 0 otherwise).
+    pub expected: i64,
+}
+
+/// Result of running the baseline checker on a program.
+#[derive(Clone, Debug, Default)]
+pub struct BaselineResult {
+    /// Violations, sorted by function then refcount.
+    pub reports: Vec<BaselineReport>,
+    /// Functions skipped because a variable is assigned more than once
+    /// (the non-SSA bail-out).
+    pub bailed_functions: Vec<String>,
+    /// Functions actually checked.
+    pub functions_checked: usize,
+}
+
+/// Whether the baseline can analyze `func` (single static assignment per
+/// variable, the Cpychecker-era limitation).
+#[must_use]
+pub fn is_single_assignment(func: &Function) -> bool {
+    let mut counts: HashMap<&str, usize> = HashMap::new();
+    for (_, inst) in func.insts() {
+        if let Some(dst) = inst.def() {
+            let c = counts.entry(dst).or_insert(0);
+            *c += 1;
+            if *c > 1 {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+/// Checks one function against the escape rule.
+///
+/// Every feasible path subcase must change each refcount by exactly the
+/// number of references escaping through the return value: `+1` for a
+/// count keyed on `[0]` (the object is handed to the caller), `0` for
+/// everything else (arguments and non-escaping locals).
+#[must_use]
+pub fn check_function(
+    func: &Function,
+    predefined: &SummaryDb,
+    limits: &PathLimits,
+    sat: SatOptions,
+) -> Vec<BaselineReport> {
+    let outcome = summarize_paths(func, predefined, limits, sat);
+    let mut seen: BTreeMap<(String, Term), BaselineReport> = BTreeMap::new();
+    for pe in &outcome.path_entries {
+        for (rc, &delta) in &pe.entry.changes {
+            let escapes =
+                rc.root_var().is_some_and(|root| root.kind == VarKind::Ret);
+            let expected = i64::from(escapes);
+            if delta != expected {
+                let key = (func.name().to_owned(), rc.clone());
+                seen.entry(key).or_insert_with(|| BaselineReport {
+                    function: func.name().to_owned(),
+                    refcount: rc.clone(),
+                    delta,
+                    expected,
+                });
+            }
+        }
+    }
+    seen.into_values().collect()
+}
+
+/// Runs the baseline checker over a whole program.
+///
+/// Functions with predefined summaries are skipped (they are the API
+/// specification); multi-assignment functions are bailed on (trait 1 in
+/// the crate docs).
+#[must_use]
+pub fn check_program(
+    program: &Program,
+    predefined: &SummaryDb,
+    limits: &PathLimits,
+    sat: SatOptions,
+) -> BaselineResult {
+    let mut result = BaselineResult::default();
+    for func in program.functions() {
+        if predefined.contains(func.name()) {
+            continue;
+        }
+        if !is_single_assignment(func) {
+            result.bailed_functions.push(func.name().to_owned());
+            continue;
+        }
+        result.functions_checked += 1;
+        result.reports.extend(check_function(func, predefined, limits, sat));
+    }
+    result.reports.sort_by(|a, b| {
+        (&a.function, &a.refcount).cmp(&(&b.function, &b.refcount))
+    });
+    result
+}
+
+/// Convenience: parse RIL sources and run the baseline.
+///
+/// # Errors
+///
+/// Returns the frontend error when a source fails to parse or link.
+pub fn check_sources<'a>(
+    sources: impl IntoIterator<Item = &'a str>,
+    predefined: &SummaryDb,
+) -> Result<BaselineResult, rid_frontend::FrontendError> {
+    let program = rid_frontend::parse_program(sources)?;
+    Ok(check_program(&program, predefined, &PathLimits::default(), SatOptions::default()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rid_core::apis::python_c_apis;
+
+    fn run(src: &str) -> BaselineResult {
+        check_sources([src], &python_c_apis()).unwrap()
+    }
+
+    #[test]
+    fn single_path_leak_is_reported() {
+        // RID is silent here (no path pair); the escape rule is not.
+        let result = run(r#"module m;
+            fn cache(obj, table) {
+                Py_INCREF(obj);
+                store(table, obj);
+                return 0;
+            }"#);
+        assert_eq!(result.reports.len(), 1);
+        assert_eq!(result.reports[0].delta, 1);
+        assert_eq!(result.reports[0].expected, 0);
+    }
+
+    #[test]
+    fn error_path_leak_is_reported() {
+        let result = run(r#"module m;
+            fn make(arg) {
+                let obj = PyList_New(0);
+                if (obj == null) { return null; }
+                let rc = setup(obj, arg);
+                if (rc < 0) { return null; }
+                return obj;
+            }"#);
+        assert!(!result.reports.is_empty());
+        assert!(result.reports.iter().any(|r| r.expected == 0 && r.delta == 1));
+    }
+
+    #[test]
+    fn balanced_function_is_clean() {
+        let result = run(r#"module m;
+            fn ok(arg) {
+                let obj = PyList_New(0);
+                if (obj == null) { return null; }
+                let rc = setup(obj, arg);
+                if (rc < 0) {
+                    Py_DECREF(obj);
+                    return null;
+                }
+                return obj;
+            }"#);
+        assert!(result.reports.is_empty(), "{:?}", result.reports);
+        assert_eq!(result.functions_checked, 1);
+    }
+
+    #[test]
+    fn reassignment_bails_out() {
+        // The RidOnly class of Table 2: a real bug the baseline skips.
+        let result = run(r#"module m;
+            fn build(arg) {
+                let st = 0;
+                let obj = PyDict_New();
+                if (obj == null) { return -1; }
+                st = fill(obj, arg);
+                if (st < 0) { return -1; }
+                Py_DECREF(obj);
+                return 0;
+            }"#);
+        assert!(result.reports.is_empty());
+        assert_eq!(result.bailed_functions, vec!["build".to_owned()]);
+    }
+
+    #[test]
+    fn wrapper_draws_false_alarm() {
+        // §2.1: intentional wrappers violate the strict rule by design.
+        let result = run(r#"module m;
+            fn my_incref(obj) {
+                Py_INCREF(obj);
+                return;
+            }"#);
+        assert_eq!(result.reports.len(), 1);
+    }
+
+    #[test]
+    fn returned_new_reference_is_expected() {
+        // A function that allocates and returns the object satisfies the
+        // rule: the +1 escapes with the return value.
+        let result = run(r#"module m;
+            fn fresh() {
+                let obj = PyList_New(0);
+                return obj;
+            }"#);
+        assert!(result.reports.is_empty(), "{:?}", result.reports);
+    }
+
+    #[test]
+    fn ssa_detector() {
+        let program = rid_frontend::parse_program([
+            "module m; fn single(x) { let a = x; return a; } fn multi(x) { let a = x; a = x; return a; }",
+        ])
+        .unwrap();
+        assert!(is_single_assignment(program.function("single").unwrap()));
+        assert!(!is_single_assignment(program.function("multi").unwrap()));
+    }
+}

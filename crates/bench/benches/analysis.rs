@@ -1,0 +1,78 @@
+//! Criterion benchmarks for the per-function analysis stages: path
+//! enumeration, symbolic execution + summary calculation, and IPP
+//! checking (the three steps of Figure 4).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rid_core::apis::linux_dpm_apis;
+use rid_core::{check_ipps, enumerate_paths, summarize_paths, PathLimits};
+use rid_solver::SatOptions;
+
+const FIGURE9_WRAPPER: &str = r#"module usb;
+fn usb_autopm_get_interface(intf) {
+    let status = pm_runtime_get_sync(intf.dev);
+    if (status < 0) {
+        pm_runtime_put_sync(intf.dev);
+    }
+    if (status > 0) {
+        status = 0;
+    }
+    return status;
+}"#;
+
+/// A branchy driver function (2^6 structural paths).
+fn branchy_source() -> String {
+    let mut body = String::from("module bench;\nfn branchy(dev) {\n");
+    body.push_str("    pm_runtime_get_sync(dev);\n");
+    for i in 0..6 {
+        body.push_str(&format!(
+            "    let c{i} = probe{i}(dev);\n    if (c{i} < 0) {{ log{i}(dev); }}\n"
+        ));
+    }
+    body.push_str("    pm_runtime_put(dev);\n    return 0;\n}\n");
+    body
+}
+
+fn bench_enumeration(c: &mut Criterion) {
+    let source = branchy_source();
+    let module = rid_frontend::parse_module(&source).unwrap();
+    let func = module.function("branchy").unwrap().clone();
+    let limits = PathLimits::default();
+    c.bench_function("analysis/enumerate_paths_2^6", |b| {
+        b.iter(|| enumerate_paths(black_box(&func), &limits))
+    });
+}
+
+fn bench_summarize(c: &mut Criterion) {
+    let apis = linux_dpm_apis();
+    let limits = PathLimits::default();
+    let sat = SatOptions::default();
+
+    let module = rid_frontend::parse_module(FIGURE9_WRAPPER).unwrap();
+    let wrapper = module.function("usb_autopm_get_interface").unwrap().clone();
+    c.bench_function("analysis/summarize_fig9_wrapper", |b| {
+        b.iter(|| summarize_paths(black_box(&wrapper), &apis, &limits, sat))
+    });
+
+    let source = branchy_source();
+    let module = rid_frontend::parse_module(&source).unwrap();
+    let branchy = module.function("branchy").unwrap().clone();
+    c.bench_function("analysis/summarize_branchy", |b| {
+        b.iter(|| summarize_paths(black_box(&branchy), &apis, &limits, sat))
+    });
+}
+
+fn bench_ipp_check(c: &mut Criterion) {
+    let apis = linux_dpm_apis();
+    let limits = PathLimits::default();
+    let sat = SatOptions::default();
+    let source = branchy_source();
+    let module = rid_frontend::parse_module(&source).unwrap();
+    let branchy = module.function("branchy").unwrap().clone();
+    let outcome = summarize_paths(&branchy, &apis, &limits, sat);
+    c.bench_function("analysis/check_ipps_branchy", |b| {
+        b.iter(|| check_ipps("branchy", black_box(&outcome.path_entries), sat))
+    });
+}
+
+criterion_group!(benches, bench_enumeration, bench_summarize, bench_ipp_check);
+criterion_main!(benches);

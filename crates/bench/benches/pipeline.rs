@@ -1,0 +1,91 @@
+//! Criterion benchmarks for the end-to-end pipeline on seeded corpora:
+//! parse → classify → analyze, sequential vs parallel, selective on/off.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rid_core::apis::linux_dpm_apis;
+use rid_core::{analyze_program, AnalysisOptions, CallGraph};
+use rid_corpus::kernel::{generate_kernel, KernelConfig};
+
+fn bench_pipeline(c: &mut Criterion) {
+    let corpus = generate_kernel(&KernelConfig::tiny(2016));
+    let sources: Vec<&str> = corpus.sources.iter().map(String::as_str).collect();
+    let program = rid_frontend::parse_program(sources.iter().copied()).unwrap();
+    let apis = linux_dpm_apis();
+
+    let mut group = c.benchmark_group("pipeline");
+    group.sample_size(20);
+
+    group.bench_function("parse_tiny_kernel", |b| {
+        b.iter(|| rid_frontend::parse_program(black_box(sources.iter().copied())).unwrap())
+    });
+
+    group.bench_function("classify_tiny_kernel", |b| {
+        b.iter(|| {
+            let graph = CallGraph::build(black_box(&program));
+            rid_core::classify::classify(&program, &graph, &apis)
+        })
+    });
+
+    let selective = AnalysisOptions::default();
+    group.bench_function("analyze_tiny_kernel_selective", |b| {
+        b.iter(|| analyze_program(black_box(&program), &apis, &selective))
+    });
+
+    let exhaustive = AnalysisOptions { selective: false, ..Default::default() };
+    group.bench_function("analyze_tiny_kernel_exhaustive", |b| {
+        b.iter(|| analyze_program(black_box(&program), &apis, &exhaustive))
+    });
+
+    let parallel = AnalysisOptions { threads: 4, ..Default::default() };
+    group.bench_function("analyze_tiny_kernel_4threads", |b| {
+        b.iter(|| analyze_program(black_box(&program), &apis, &parallel))
+    });
+
+    group.finish();
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let corpus = generate_kernel(&KernelConfig::tiny(2016));
+    let sources: Vec<&str> = corpus.sources.iter().map(String::as_str).collect();
+    let program = rid_frontend::parse_program(sources.iter().copied()).unwrap();
+    let apis = linux_dpm_apis();
+
+    let mut group = c.benchmark_group("extensions");
+    group.sample_size(20);
+
+    // §3.1 mining over the corpus name space.
+    group.bench_function("mine_api_pairs", |b| {
+        b.iter(|| {
+            let names = rid_core::mining::all_function_names(black_box(&program));
+            rid_core::mining::discover_api_pairs(names.iter().map(String::as_str))
+        })
+    });
+
+    // Incremental recheck of one function vs a full re-analysis.
+    let options = AnalysisOptions::default();
+    let previous = analyze_program(&program, &apis, &options);
+    let changed = corpus
+        .detectable_bug_functions()
+        .next()
+        .expect("corpus seeds at least one bug")
+        .to_owned();
+    group.bench_function("incremental_recheck_one_fn", |b| {
+        b.iter(|| {
+            rid_core::incremental::reanalyze(
+                black_box(&program),
+                &apis,
+                &previous,
+                &[changed.as_str()],
+                &options,
+            )
+        })
+    });
+    group.bench_function("full_reanalysis_for_comparison", |b| {
+        b.iter(|| analyze_program(black_box(&program), &apis, &options))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_pipeline, bench_extensions);
+criterion_main!(benches);

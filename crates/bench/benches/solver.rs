@@ -1,0 +1,95 @@
+//! Criterion micro-benchmarks for the constraint engine (the Z3
+//! substitute): satisfiability checks, disequality splitting, projection.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rid_ir::Pred;
+use rid_solver::{project, Conj, Lit, Term, Var};
+
+fn chain_conj(n: usize) -> Conj {
+    // v0 < v1 < ... < vn, v0 >= 0, vn <= 10n — a satisfiable chain.
+    let mut lits = Vec::new();
+    for i in 0..n {
+        lits.push(Lit::new(
+            Pred::Lt,
+            Term::var(Var::local(i as u32)),
+            Term::var(Var::local(i as u32 + 1)),
+        ));
+    }
+    lits.push(Lit::new(Pred::Ge, Term::var(Var::local(0)), Term::int(0)));
+    lits.push(Lit::new(
+        Pred::Le,
+        Term::var(Var::local(n as u32)),
+        Term::int(10 * n as i64),
+    ));
+    Conj::from_lits(lits)
+}
+
+fn unsat_chain(n: usize) -> Conj {
+    let mut c = chain_conj(n);
+    c.push(Lit::new(
+        Pred::Lt,
+        Term::var(Var::local(n as u32)),
+        Term::var(Var::local(0)),
+    ));
+    c
+}
+
+fn diseq_conj(n: usize) -> Conj {
+    // 0 <= v <= n with all interior values excluded — forces splitting.
+    let v = Term::var(Var::local(0));
+    let mut lits = vec![
+        Lit::new(Pred::Ge, v.clone(), Term::int(0)),
+        Lit::new(Pred::Le, v.clone(), Term::int(n as i64)),
+    ];
+    for k in 1..n as i64 {
+        lits.push(Lit::new(Pred::Ne, v.clone(), Term::int(k)));
+    }
+    Conj::from_lits(lits)
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/sat");
+    for n in [4usize, 16, 32] {
+        let sat = chain_conj(n);
+        let unsat = unsat_chain(n);
+        group.bench_function(format!("chain_sat_{n}"), |b| {
+            b.iter(|| black_box(&sat).is_sat())
+        });
+        group.bench_function(format!("chain_unsat_{n}"), |b| {
+            b.iter(|| black_box(&unsat).is_sat())
+        });
+    }
+    let diseqs = diseq_conj(8);
+    group.bench_function("diseq_split_8", |b| b.iter(|| black_box(&diseqs).is_sat()));
+    group.finish();
+}
+
+fn bench_project(c: &mut Criterion) {
+    let mut group = c.benchmark_group("solver/project");
+    for n in [8usize, 32] {
+        // Chain through locals ending at the return slot; projection must
+        // carry the transitive bound onto [0].
+        let mut lits = Vec::new();
+        for i in 0..n {
+            lits.push(Lit::new(
+                Pred::Le,
+                Term::var(Var::local(i as u32)),
+                Term::var(Var::local(i as u32 + 1)),
+            ));
+        }
+        lits.push(Lit::new(Pred::Ge, Term::var(Var::local(0)), Term::int(1)));
+        lits.push(Lit::new(
+            Pred::Eq,
+            Term::var(Var::ret()),
+            Term::var(Var::local(n as u32)),
+        ));
+        let conj = Conj::from_lits(lits);
+        group.bench_function(format!("eliminate_{n}_locals"), |b| {
+            b.iter(|| project(black_box(&conj), Term::is_external))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sat, bench_project);
+criterion_main!(benches);

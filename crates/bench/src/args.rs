@@ -1,0 +1,20 @@
+//! Minimal command-line flag parsing shared by the bench binaries.
+
+/// Returns the value following `--name` on the command line, parsed.
+#[must_use]
+pub fn flag<T: std::str::FromStr>(name: &str) -> Option<T> {
+    let args: Vec<String> = std::env::args().collect();
+    let key = format!("--{name}");
+    args.iter()
+        .position(|a| a == &key)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Whether the boolean flag `--name` is present.
+#[must_use]
+#[allow(dead_code)] // not every binary uses boolean flags
+pub fn has_flag(name: &str) -> bool {
+    let key = format!("--{name}");
+    std::env::args().any(|a| a == key)
+}

@@ -1,0 +1,92 @@
+//! Regenerates **Table 1** of the paper: the function-classification
+//! census ("Function in different categories and paths analyzed in
+//! functions", §6.5).
+//!
+//! The paper classifies 270k Linux functions into 2133 refcount-changing /
+//! 1889 affecting-analyzed / 2803 affecting-not-analyzed / 261391 other.
+//! We regenerate the census over the synthetic kernel; pass
+//! `--paper-shape` to inflate the filler mass so the category-3 :
+//! category-1 ratio matches the paper's (~122:1), or `--scale F` to grow
+//! or shrink everything.
+//!
+//! ```text
+//! cargo run -p rid-bench --release --bin table1 [-- --paper-shape] [--seed N]
+//! ```
+
+use rid_bench::format_table;
+use rid_core::CallGraph;
+use rid_corpus::kernel::{generate_kernel, KernelConfig};
+
+#[path = "../args.rs"]
+mod args;
+
+fn main() {
+    let seed: u64 = args::flag("seed").unwrap_or(2016);
+    let mut config = KernelConfig::evaluation(seed);
+    if args::has_flag("paper-shape") {
+        // Enough category-3 mass for the paper's ~122:1 other-to-cat1 ratio.
+        config.filler_modules = 2200;
+    }
+    if let Some(scale) = args::flag::<f64>("scale") {
+        config = config.scaled(scale);
+    }
+
+    eprintln!("generating kernel corpus (seed {seed})...");
+    let corpus = generate_kernel(&config);
+    eprintln!("parsing {} modules...", corpus.sources.len());
+    let program = rid_frontend::parse_program(corpus.sources.iter().map(String::as_str))
+        .expect("corpus must parse");
+    eprintln!("classifying {} functions...", program.function_count());
+    let graph = CallGraph::build(&program);
+    let classification =
+        rid_core::classify::classify(&program, &graph, &rid_core::apis::linux_dpm_apis());
+    let counts = classification.counts();
+
+    println!("Table 1: functions in different categories (paper §6.5)");
+    println!();
+    let rows = vec![
+        vec![
+            "Functions with refcount changes".to_owned(),
+            counts.refcount_changing.to_string(),
+            "2133".to_owned(),
+        ],
+        vec![
+            "Functions affecting those / analyzed".to_owned(),
+            counts.affecting_analyzed.to_string(),
+            "1889".to_owned(),
+        ],
+        vec![
+            "Functions affecting those / not analyzed".to_owned(),
+            counts.affecting_skipped.to_string(),
+            "2803".to_owned(),
+        ],
+        vec!["The others".to_owned(), counts.other.to_string(), "261391".to_owned()],
+        vec!["Total".to_owned(), counts.total().to_string(), "268216".to_owned()],
+    ];
+    println!("{}", format_table(&["Category", "measured", "paper"], &rows));
+
+    let analyzed = counts.refcount_changing + counts.affecting_analyzed;
+    println!(
+        "analyzed fraction: {:.2}% of all functions (paper: {:.2}%)",
+        100.0 * analyzed as f64 / counts.total() as f64,
+        100.0 * (2133.0 + 1889.0) / 268216.0
+    );
+    println!(
+        "other : refcount-changing ratio: {:.0}:1 (paper: {:.0}:1)",
+        counts.other as f64 / counts.refcount_changing.max(1) as f64,
+        261391.0 / 2133.0
+    );
+
+    // Table 1's caption also covers "paths analyzed in functions".
+    let result = rid_core::analyze_program(
+        &program,
+        &rid_core::apis::linux_dpm_apis(),
+        &rid_core::AnalysisOptions::default(),
+    );
+    println!(
+        "paths analyzed: {} across {} analyzed functions ({:.1} paths/function)",
+        result.stats.paths_enumerated,
+        result.stats.functions_analyzed,
+        result.stats.paths_enumerated as f64 / result.stats.functions_analyzed.max(1) as f64
+    );
+}

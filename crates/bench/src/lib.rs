@@ -1,0 +1,246 @@
+//! # rid-bench — the evaluation harness
+//!
+//! One binary per table / quantitative claim in §6 of the paper (see
+//! `DESIGN.md` for the experiment index):
+//!
+//! | binary      | paper artifact |
+//! |-------------|----------------|
+//! | `table1`    | Table 1 — function classification census |
+//! | `table2`    | Table 2 — RID vs Cpychecker on 3 Python/C programs |
+//! | `headline`  | §6.2 — confirmed bugs out of total reports |
+//! | `pm_misuse` | §6.3 — `pm_runtime_get*` error-handling census |
+//! | `perf`      | §6.5 — classification/analysis time scaling |
+//! | `ablation`  | design-choice knobs (limits, selectivity, threads) |
+//!
+//! Criterion micro-benchmarks live under `benches/`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::HashSet;
+
+use rid_baseline::BaselineResult;
+use rid_core::{AnalysisOptions, AnalysisResult, IppReport};
+use rid_corpus::kernel::KernelCorpus;
+use rid_corpus::pyc::{PycBugClass, PycProgram};
+
+/// Runs RID on a generated kernel corpus.
+///
+/// # Panics
+///
+/// Panics if the generated corpus fails to parse (a corpus-generator bug).
+#[must_use]
+pub fn run_rid_on_kernel(corpus: &KernelCorpus, options: &AnalysisOptions) -> AnalysisResult {
+    rid_core::analyze_sources(
+        corpus.sources.iter().map(String::as_str),
+        &rid_core::apis::linux_dpm_apis(),
+        options,
+    )
+    .expect("kernel corpus must parse")
+}
+
+/// Ground-truth evaluation of a kernel analysis run (the §6.2 headline
+/// numbers: reports, confirmed bugs, false positives, missed bugs).
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HeadlineNumbers {
+    /// Total IPP reports.
+    pub reports: usize,
+    /// Reports landing on functions with seeded, detectable bugs
+    /// ("confirmed by developers" in the paper's terms).
+    pub confirmed: usize,
+    /// Reports on seeded false-positive idioms (§6.4).
+    pub false_positives: usize,
+    /// Reports on functions with no seeded defect at all (unexpected —
+    /// should stay near zero).
+    pub unexpected: usize,
+    /// Seeded detectable bugs RID found.
+    pub detected_bugs: usize,
+    /// Seeded detectable bugs RID missed (should stay near zero).
+    pub missed_detectable: usize,
+    /// Seeded bugs outside RID's power (Figure 10 / loop-only) that were
+    /// correctly *not* reported.
+    pub correctly_missed: usize,
+    /// Reports landing on out-of-power bug functions — zero under paper
+    /// defaults, positive when an extension (callback contract, deeper
+    /// unrolling) widens RID's power.
+    pub extended_catches: usize,
+}
+
+/// Scores RID reports against the kernel corpus ground truth.
+#[must_use]
+pub fn evaluate_kernel(corpus: &KernelCorpus, result: &AnalysisResult) -> HeadlineNumbers {
+    let detectable: HashSet<&str> = corpus.detectable_bug_functions().collect();
+    let undetectable: HashSet<&str> = corpus.missed_bug_functions().collect();
+    let fp_expected: HashSet<&str> =
+        corpus.expected_false_positives.iter().map(String::as_str).collect();
+
+    let reported: HashSet<&str> =
+        result.reports.iter().map(|r| r.function.as_str()).collect();
+
+    let mut numbers = HeadlineNumbers { reports: result.reports.len(), ..Default::default() };
+    for report in &result.reports {
+        let f = report.function.as_str();
+        if detectable.contains(f) {
+            numbers.confirmed += 1;
+        } else if undetectable.contains(f) {
+            // A real bug beyond baseline RID's power — only reachable via
+            // extensions (callback contract, deeper unrolling).
+            numbers.extended_catches += 1;
+        } else if fp_expected.contains(f) {
+            numbers.false_positives += 1;
+        } else {
+            numbers.unexpected += 1;
+        }
+    }
+    numbers.detected_bugs = detectable.iter().filter(|f| reported.contains(**f)).count();
+    numbers.missed_detectable = detectable.len() - numbers.detected_bugs;
+    numbers.correctly_missed =
+        undetectable.iter().filter(|f| !reported.contains(**f)).count();
+    numbers
+}
+
+/// Per-program Table 2 row: bugs found by both tools, by RID only, and by
+/// the Cpychecker-style baseline only.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Table2Row {
+    /// Program name.
+    pub program: String,
+    /// Bugs found by both tools.
+    pub common: usize,
+    /// Bugs found only by RID.
+    pub rid_only: usize,
+    /// Bugs found only by the baseline.
+    pub baseline_only: usize,
+    /// Baseline false alarms on intentional wrappers (§2.1; not counted
+    /// as bugs in the table).
+    pub baseline_wrapper_alarms: usize,
+    /// Expected values from the corpus ground truth, for comparison.
+    pub expected: (usize, usize, usize),
+}
+
+/// Runs RID and the baseline on one generated Python/C program and scores
+/// both against ground truth.
+///
+/// # Panics
+///
+/// Panics if the generated program fails to parse.
+#[must_use]
+pub fn compare_on_program(program: &PycProgram, options: &AnalysisOptions) -> Table2Row {
+    let apis = rid_core::apis::python_c_apis();
+    let sources = program.sources.iter().map(String::as_str);
+    let rid = rid_core::analyze_sources(sources.clone(), &apis, options)
+        .expect("generated program must parse");
+    let baseline: BaselineResult =
+        rid_baseline::check_sources(sources, &apis).expect("generated program must parse");
+
+    let rid_found: HashSet<&str> = rid.reports.iter().map(|r| r.function.as_str()).collect();
+    let baseline_found: HashSet<&str> =
+        baseline.reports.iter().map(|r| r.function.as_str()).collect();
+    let wrappers: HashSet<&str> = program.wrappers.iter().map(String::as_str).collect();
+
+    let mut row = Table2Row { program: program.name.clone(), ..Default::default() };
+    for bug in &program.bugs {
+        let f = bug.function.as_str();
+        match (rid_found.contains(f), baseline_found.contains(f)) {
+            (true, true) => row.common += 1,
+            (true, false) => row.rid_only += 1,
+            (false, true) => row.baseline_only += 1,
+            (false, false) => {}
+        }
+    }
+    row.baseline_wrapper_alarms =
+        baseline_found.iter().filter(|f| wrappers.contains(**f)).count();
+    let expect = |class: PycBugClass| program.bugs.iter().filter(|b| b.class == class).count();
+    row.expected = (
+        expect(PycBugClass::Common),
+        expect(PycBugClass::RidOnly),
+        expect(PycBugClass::BaselineOnly),
+    );
+    row
+}
+
+/// Formats a simple aligned table.
+#[must_use]
+pub fn format_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: Vec<String>, widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            if i > 0 {
+                line.push_str("  ");
+            }
+            line.push_str(&format!("{cell:<width$}", width = widths[i]));
+        }
+        line.trim_end().to_owned()
+    };
+    out.push_str(&fmt_row(headers.iter().map(|s| (*s).to_owned()).collect(), &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row.clone(), &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Counts reports per seeded-bug kind for diagnostics.
+#[must_use]
+pub fn reports_on(reports: &[IppReport], functions: &HashSet<&str>) -> usize {
+    reports.iter().filter(|r| functions.contains(r.function.as_str())).count()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rid_corpus::kernel::{generate_kernel, KernelConfig};
+    use rid_corpus::pyc::{generate_pyc, PycConfig};
+
+    #[test]
+    fn tiny_kernel_end_to_end() {
+        let corpus = generate_kernel(&KernelConfig::tiny(42));
+        let result = run_rid_on_kernel(&corpus, &AnalysisOptions::default());
+        let numbers = evaluate_kernel(&corpus, &result);
+        // Every detectable bug found; no detectable bug missed.
+        assert_eq!(numbers.missed_detectable, 0, "{numbers:?}");
+        // Undetectable classes correctly missed.
+        assert_eq!(
+            numbers.correctly_missed,
+            corpus.missed_bug_functions().count(),
+            "{numbers:?}"
+        );
+        // No reports on entirely clean functions.
+        assert_eq!(numbers.unexpected, 0, "{numbers:?}");
+    }
+
+    #[test]
+    fn tiny_pyc_comparison_matches_ground_truth() {
+        let corpus = generate_pyc(&PycConfig::tiny(42));
+        let row = compare_on_program(&corpus.programs[0], &AnalysisOptions::default());
+        assert_eq!(
+            (row.common, row.rid_only, row.baseline_only),
+            row.expected,
+            "{row:?}"
+        );
+        // Wrapper false alarms occur on the baseline only.
+        assert_eq!(row.baseline_wrapper_alarms, 2);
+    }
+
+    #[test]
+    fn table_formatting() {
+        let text = format_table(
+            &["name", "count"],
+            &[vec!["a".into(), "1".into()], vec!["bb".into(), "22".into()]],
+        );
+        assert!(text.contains("name"));
+        assert!(text.lines().count() == 4);
+    }
+}

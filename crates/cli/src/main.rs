@@ -1,0 +1,357 @@
+//! `rid` — the command-line front door to the RID reproduction.
+//!
+//! ```text
+//! rid analyze <file.ril>... [--apis dpm|python|none] [--summaries db.json]
+//!             [--save-summaries out.json] [--threads N] [--no-selective]
+//!             [--separate] [--json]
+//! rid classify <file.ril>... [--apis dpm|python|none]
+//! rid summarize <file.ril>... --function <name> [--apis dpm|python|none]
+//! rid baseline <file.ril>... [--apis python]
+//! rid recheck <file.ril>... --state s.json --changed f,g [--save-state s.json]
+//! rid mine <file.ril>... [--field refs] [--save-summaries out.json]
+//! rid gen-kernel [--seed N] [--tiny] --out <dir>
+//! ```
+
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+use rid_core::persist::{analyze_modules_separately, load_db, load_state, save_db, save_state};
+use rid_core::{AnalysisOptions, SummaryDb};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:
+  rid analyze <file.ril>... [--apis dpm|python|none] [--summaries db.json]
+              [--save-summaries out.json] [--threads N] [--no-selective]
+              [--separate] [--callbacks] [--json]
+  rid classify <file.ril>... [--apis dpm|python|none]
+  rid summarize <file.ril>... --function <name> [--apis dpm|python|none]
+  rid baseline <file.ril>... [--apis python]
+  rid recheck <file.ril>... --state s.json --changed f,g [--save-state s.json]
+  rid mine <file.ril>... [--field refs] [--save-summaries out.json]
+  rid gen-kernel [--seed N] [--tiny] --out <dir>"
+    );
+    ExitCode::from(2)
+}
+
+struct Args {
+    command: String,
+    files: Vec<PathBuf>,
+    options: HashMap<String, String>,
+    flags: Vec<String>,
+}
+
+fn parse_args() -> Option<Args> {
+    let mut argv = std::env::args().skip(1);
+    let command = argv.next()?;
+    let mut files = Vec::new();
+    let mut options = HashMap::new();
+    let mut flags = Vec::new();
+    let rest: Vec<String> = argv.collect();
+    let mut i = 0;
+    while i < rest.len() {
+        let arg = &rest[i];
+        if let Some(name) = arg.strip_prefix("--") {
+            if matches!(name, "json" | "no-selective" | "tiny" | "separate" | "callbacks") {
+                flags.push(name.to_owned());
+            } else {
+                i += 1;
+                options.insert(name.to_owned(), rest.get(i)?.clone());
+            }
+        } else {
+            files.push(PathBuf::from(arg));
+        }
+        i += 1;
+    }
+    Some(Args { command, files, options, flags })
+}
+
+fn predefined_apis(args: &Args) -> Result<SummaryDb, String> {
+    let mut db = match args.options.get("apis").map(String::as_str) {
+        Some("dpm") | None => rid_core::apis::linux_dpm_apis(),
+        Some("python") => rid_core::apis::python_c_apis(),
+        Some("none") => SummaryDb::new(),
+        Some(other) => return Err(format!("unknown --apis value `{other}`")),
+    };
+    if let Some(path) = args.options.get("summaries") {
+        let loaded = load_db(Path::new(path)).map_err(|e| format!("--summaries: {e}"))?;
+        db.merge(loaded);
+    }
+    Ok(db)
+}
+
+fn read_sources(files: &[PathBuf]) -> Result<Vec<String>, String> {
+    if files.is_empty() {
+        return Err("no input files".to_owned());
+    }
+    files
+        .iter()
+        .map(|p| std::fs::read_to_string(p).map_err(|e| format!("{}: {e}", p.display())))
+        .collect()
+}
+
+fn analysis_options(args: &Args) -> AnalysisOptions {
+    AnalysisOptions {
+        selective: !args.flags.iter().any(|f| f == "no-selective"),
+        check_callbacks: args.flags.iter().any(|f| f == "callbacks"),
+        threads: args
+            .options
+            .get("threads")
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(1),
+        ..Default::default()
+    }
+}
+
+fn cmd_analyze(args: &Args) -> Result<(), String> {
+    let sources = read_sources(&args.files)?;
+    let apis = predefined_apis(args)?;
+    let options = analysis_options(args);
+
+    let result = if args.flags.iter().any(|f| f == "separate") {
+        // §5.3 mode: analyze compilation units separately in dependency
+        // order, carrying summaries between groups.
+        let modules: Result<Vec<_>, _> =
+            sources.iter().map(|s| rid_frontend::parse_module(s)).collect();
+        let modules = modules.map_err(|e| e.to_string())?;
+        analyze_modules_separately(&modules, &apis, &options).map_err(|e| e.to_string())?
+    } else {
+        rid_core::analyze_sources(sources.iter().map(String::as_str), &apis, &options)
+            .map_err(|e| e.to_string())?
+    };
+
+    let program =
+        rid_frontend::parse_program(sources.iter().map(String::as_str)).ok();
+
+    if args.flags.iter().any(|f| f == "json") {
+        let json = serde_json::to_string_pretty(&result.reports)
+            .map_err(|e| e.to_string())?;
+        println!("{json}");
+    } else {
+        print!("{}", rid_core::render_reports(&result.reports, program.as_ref()));
+        eprintln!(
+            "{} function(s), {} analyzed, {} report(s)",
+            result.stats.functions_total,
+            result.stats.functions_analyzed,
+            result.reports.len()
+        );
+    }
+    if let Some(path) = args.options.get("save-summaries") {
+        save_db(&result.summaries, Path::new(path)).map_err(|e| e.to_string())?;
+        eprintln!("summaries saved to {path}");
+    }
+    if let Some(path) = args.options.get("save-state") {
+        save_state(&result, Path::new(path)).map_err(|e| e.to_string())?;
+        eprintln!("analysis state saved to {path}");
+    }
+    if result.reports.is_empty() {
+        Ok(())
+    } else {
+        // Non-zero exit when bugs were reported, like most linters.
+        Err(String::new())
+    }
+}
+
+fn cmd_classify(args: &Args) -> Result<(), String> {
+    let sources = read_sources(&args.files)?;
+    let apis = predefined_apis(args)?;
+    let program = rid_frontend::parse_program(sources.iter().map(String::as_str))
+        .map_err(|e| e.to_string())?;
+    let graph = rid_core::CallGraph::build(&program);
+    let classification = rid_core::classify::classify(&program, &graph, &apis);
+    let counts = classification.counts();
+    println!("refcount-changing      : {}", counts.refcount_changing);
+    println!("affecting (analyzed)   : {}", counts.affecting_analyzed);
+    println!("affecting (skipped)    : {}", counts.affecting_skipped);
+    println!("other                  : {}", counts.other);
+    println!("total                  : {}", counts.total());
+    let mut by_category: Vec<(&str, rid_core::Category)> = classification.iter().collect();
+    by_category.sort_unstable();
+    for (func, category) in by_category {
+        if category != rid_core::Category::Other {
+            println!("  {func}: {category:?}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_summarize(args: &Args) -> Result<(), String> {
+    let target = args
+        .options
+        .get("function")
+        .ok_or_else(|| "--function <name> is required".to_owned())?;
+    let sources = read_sources(&args.files)?;
+    let apis = predefined_apis(args)?;
+    let options = analysis_options(args);
+    let result =
+        rid_core::analyze_sources(sources.iter().map(String::as_str), &apis, &options)
+            .map_err(|e| e.to_string())?;
+    let summary = result
+        .summaries
+        .get(target)
+        .ok_or_else(|| format!("no summary computed for `{target}` (category 3?)"))?;
+    println!("summary of {target} ({} entries):", summary.entries.len());
+    for (i, entry) in summary.entries.iter().enumerate() {
+        let changes: Vec<String> =
+            entry.changes.iter().map(|(rc, d)| format!("{rc}: {d:+}")).collect();
+        println!("entry {}:", i + 1);
+        println!("  cons   : {}", entry.cons);
+        println!("  changes: [{}]", changes.join(", "));
+        match &entry.ret {
+            Some(ret) => println!("  return : {ret}"),
+            None => println!("  return : (void/unconstrained)"),
+        }
+    }
+    if summary.partial {
+        println!("(partial: analysis limits were hit; default entry included)");
+    }
+    Ok(())
+}
+
+fn cmd_baseline(args: &Args) -> Result<(), String> {
+    let sources = read_sources(&args.files)?;
+    let apis = match args.options.get("apis").map(String::as_str) {
+        Some("dpm") => rid_core::apis::linux_dpm_apis(),
+        _ => rid_core::apis::python_c_apis(),
+    };
+    let result = rid_baseline::check_sources(sources.iter().map(String::as_str), &apis)
+        .map_err(|e| e.to_string())?;
+    for report in &result.reports {
+        println!(
+            "`{}`: {} changed by {:+}, escape rule expected {:+}",
+            report.function, report.refcount, report.delta, report.expected
+        );
+    }
+    if !result.bailed_functions.is_empty() {
+        eprintln!("bailed (multiple assignments): {:?}", result.bailed_functions);
+    }
+    eprintln!(
+        "{} function(s) checked, {} violation(s)",
+        result.functions_checked,
+        result.reports.len()
+    );
+    Ok(())
+}
+
+fn cmd_recheck(args: &Args) -> Result<(), String> {
+    let state_path = args
+        .options
+        .get("state")
+        .ok_or_else(|| "--state <file> is required".to_owned())?;
+    let changed_arg = args
+        .options
+        .get("changed")
+        .ok_or_else(|| "--changed <fn,fn,...> is required".to_owned())?;
+    let changed: Vec<&str> = changed_arg.split(',').filter(|s| !s.is_empty()).collect();
+
+    let sources = read_sources(&args.files)?;
+    let apis = predefined_apis(args)?;
+    let options = analysis_options(args);
+    let previous = load_state(Path::new(state_path)).map_err(|e| e.to_string())?;
+    let program = rid_frontend::parse_program(sources.iter().map(String::as_str))
+        .map_err(|e| e.to_string())?;
+
+    let result =
+        rid_core::incremental::reanalyze(&program, &apis, &previous, &changed, &options);
+    print!("{}", rid_core::render_reports(&result.reports, Some(&program)));
+    eprintln!(
+        "rechecked {} function(s) (changed: {changed:?}), {} report(s)",
+        result.stats.functions_analyzed,
+        result.reports.len()
+    );
+    if let Some(path) = args.options.get("save-state") {
+        save_state(&result, Path::new(path)).map_err(|e| e.to_string())?;
+        eprintln!("analysis state saved to {path}");
+    }
+    if result.reports.is_empty() {
+        Ok(())
+    } else {
+        Err(String::new())
+    }
+}
+
+/// §3.1 API mining: discover antonym-named pairs in the given sources and
+/// optionally save synthesized predefined summaries for them.
+fn cmd_mine(args: &Args) -> Result<(), String> {
+    let sources = read_sources(&args.files)?;
+    let program = rid_frontend::parse_program(sources.iter().map(String::as_str))
+        .map_err(|e| e.to_string())?;
+    let names = rid_core::mining::all_function_names(&program);
+    let pairs = rid_core::mining::discover_api_pairs(names.iter().map(String::as_str));
+    if pairs.is_empty() {
+        println!("no antonym-named API pairs found");
+        return Ok(());
+    }
+    for pair in &pairs {
+        println!("{} / {}   ({}-{})", pair.inc, pair.dec, pair.verbs.0, pair.verbs.1);
+    }
+    eprintln!("{} pair(s) discovered", pairs.len());
+    if let Some(path) = args.options.get("save-summaries") {
+        let field = args.options.get("field").map_or("refs", String::as_str);
+        let db = rid_core::mining::summaries_for_pairs(&pairs, field);
+        save_db(&db, Path::new(path)).map_err(|e| e.to_string())?;
+        eprintln!("synthesized summaries (field `{field}`) saved to {path}");
+    }
+    Ok(())
+}
+
+fn cmd_gen_kernel(args: &Args) -> Result<(), String> {
+    let out = args
+        .options
+        .get("out")
+        .ok_or_else(|| "--out <dir> is required".to_owned())?;
+    let seed: u64 = args.options.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2016);
+    let config = if args.flags.iter().any(|f| f == "tiny") {
+        rid_corpus::kernel::KernelConfig::tiny(seed)
+    } else {
+        rid_corpus::kernel::KernelConfig::evaluation(seed)
+    };
+    let corpus = rid_corpus::kernel::generate_kernel(&config);
+    let dir = Path::new(out);
+    std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
+    for (i, source) in corpus.sources.iter().enumerate() {
+        std::fs::write(dir.join(format!("module_{i:04}.ril")), source)
+            .map_err(|e| e.to_string())?;
+    }
+    let truth = serde_json::json!({
+        "bugs": corpus.bugs,
+        "expected_false_positives": corpus.expected_false_positives,
+        "census": corpus.census,
+    });
+    std::fs::write(
+        dir.join("ground_truth.json"),
+        serde_json::to_string_pretty(&truth).map_err(|e| e.to_string())?,
+    )
+    .map_err(|e| e.to_string())?;
+    eprintln!(
+        "wrote {} modules + ground_truth.json to {}",
+        corpus.sources.len(),
+        dir.display()
+    );
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    let Some(args) = parse_args() else { return usage() };
+    let outcome = match args.command.as_str() {
+        "analyze" => cmd_analyze(&args),
+        "classify" => cmd_classify(&args),
+        "summarize" => cmd_summarize(&args),
+        "baseline" => cmd_baseline(&args),
+        "recheck" => cmd_recheck(&args),
+        "mine" => cmd_mine(&args),
+        "gen-kernel" => cmd_gen_kernel(&args),
+        _ => return usage(),
+    };
+    match outcome {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(message) => {
+            if !message.is_empty() {
+                eprintln!("error: {message}");
+                return ExitCode::from(2);
+            }
+            ExitCode::FAILURE // reports found
+        }
+    }
+}

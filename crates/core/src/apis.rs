@@ -1,0 +1,343 @@
+//! Predefined summaries for refcount APIs (§5.1, Figure 7 of the paper).
+//!
+//! RID encodes refcount API specifications as *predefined summaries*: when
+//! one exists for a function, the function body (if any) is never analyzed.
+//! This module ships the two API families the paper evaluates — the Linux
+//! DPM (dynamic power management) runtime-PM calls and the Python/C
+//! reference counting API — plus a small builder for defining new families.
+
+use rid_ir::Pred;
+use rid_solver::{Conj, Lit, Term, Var};
+
+use crate::summary::{Summary, SummaryDb, SummaryEntry};
+
+/// Builder for predefined summaries.
+///
+/// # Examples
+///
+/// ```
+/// use rid_core::apis::PredefinedBuilder;
+///
+/// // An API that increments `arg0.refs` and may fail with a null return:
+/// let summary = PredefinedBuilder::new("acquire_thing")
+///     .entry(|e| e.ret_non_null().change_ret_field("refs", 1))
+///     .entry(|e| e.ret_null())
+///     .build();
+/// assert_eq!(summary.entries.len(), 2);
+/// ```
+#[derive(Debug)]
+pub struct PredefinedBuilder {
+    summary: Summary,
+}
+
+/// Builder for a single [`SummaryEntry`].
+#[derive(Debug)]
+pub struct EntryBuilder {
+    entry: SummaryEntry,
+}
+
+impl Default for PredefinedBuilder {
+    fn default() -> Self {
+        PredefinedBuilder::new("unnamed")
+    }
+}
+
+impl PredefinedBuilder {
+    /// Starts a summary for the named API function.
+    pub fn new(func: impl Into<String>) -> PredefinedBuilder {
+        PredefinedBuilder { summary: Summary::new(func) }
+    }
+
+    /// Adds one entry configured by `f`.
+    #[must_use]
+    pub fn entry(mut self, f: impl FnOnce(EntryBuilder) -> EntryBuilder) -> PredefinedBuilder {
+        let built = f(EntryBuilder {
+            entry: SummaryEntry { cons: Conj::truth(), changes: Default::default(), ret: None },
+        });
+        self.summary.entries.push(built.entry);
+        self
+    }
+
+    /// Finishes the summary.
+    #[must_use]
+    pub fn build(self) -> Summary {
+        self.summary
+    }
+}
+
+impl EntryBuilder {
+    /// Records a change of `delta` to the refcount field `field` of formal
+    /// argument `arg`.
+    #[must_use]
+    pub fn change_arg_field(mut self, arg: u32, field: &str, delta: i64) -> EntryBuilder {
+        *self
+            .entry
+            .changes
+            .entry(Term::var(Var::formal(arg)).field(field))
+            .or_insert(0) += delta;
+        self
+    }
+
+    /// Records a change of `delta` to the refcount field `field` of the
+    /// returned object (for APIs returning new references).
+    #[must_use]
+    pub fn change_ret_field(mut self, field: &str, delta: i64) -> EntryBuilder {
+        *self.entry.changes.entry(Term::var(Var::ret()).field(field)).or_insert(0) += delta;
+        self
+    }
+
+    /// Constrains this entry to apply only when the return value is null.
+    #[must_use]
+    pub fn ret_null(mut self) -> EntryBuilder {
+        self.entry.cons.push(Lit::new(Pred::Eq, Term::var(Var::ret()), Term::NULL));
+        self.entry.ret = Some(Term::NULL);
+        self
+    }
+
+    /// Constrains this entry to apply only when the return value is
+    /// non-null.
+    #[must_use]
+    pub fn ret_non_null(mut self) -> EntryBuilder {
+        self.entry.cons.push(Lit::new(Pred::Ne, Term::var(Var::ret()), Term::NULL));
+        self.entry.ret = Some(Term::var(Var::ret()));
+        self
+    }
+
+    /// Constrains the return value with an arbitrary predicate against a
+    /// constant.
+    #[must_use]
+    pub fn ret_cmp(mut self, pred: Pred, value: i64) -> EntryBuilder {
+        self.entry.cons.push(Lit::new(pred, Term::var(Var::ret()), Term::int(value)));
+        self.entry.ret = Some(Term::var(Var::ret()));
+        self
+    }
+
+    /// Constrains formal argument `arg` to be non-null.
+    #[must_use]
+    pub fn arg_non_null(mut self, arg: u32) -> EntryBuilder {
+        self.entry.cons.push(Lit::new(Pred::Ne, Term::var(Var::formal(arg)), Term::NULL));
+        self
+    }
+
+    /// Marks the entry as returning `[0]` unconstrained.
+    #[must_use]
+    pub fn ret_any(mut self) -> EntryBuilder {
+        self.entry.ret = Some(Term::var(Var::ret()));
+        self
+    }
+}
+
+/// The name of the per-device PM refcount field used by the DPM summaries.
+pub const PM_FIELD: &str = "pm";
+
+/// The name of the Python object refcount field used by the Python/C
+/// summaries.
+pub const RC_FIELD: &str = "rc";
+
+/// Predefined summaries for the Linux DPM runtime-PM API (Figure 7, top).
+///
+/// Note the deliberate, paper-faithful asymmetry: `pm_runtime_get*` always
+/// increments the PM count **regardless of its return value** — the
+/// specification whose misunderstanding causes the Figure 8 bug class —
+/// while `pm_runtime_put*` always decrements.
+#[must_use]
+pub fn linux_dpm_apis() -> SummaryDb {
+    let mut db = SummaryDb::new();
+    for name in ["pm_runtime_get", "pm_runtime_get_sync", "pm_runtime_get_noresume"] {
+        db.insert(
+            PredefinedBuilder::new(name)
+                .entry(|e| e.change_arg_field(0, PM_FIELD, 1).ret_any())
+                .build(),
+        );
+    }
+    for name in [
+        "pm_runtime_put",
+        "pm_runtime_put_sync",
+        "pm_runtime_put_autosuspend",
+        "pm_runtime_put_noidle",
+    ] {
+        db.insert(
+            PredefinedBuilder::new(name)
+                .entry(|e| e.change_arg_field(0, PM_FIELD, -1).ret_any())
+                .build(),
+        );
+    }
+    db
+}
+
+/// Predefined summaries for the Python/C refcount API (Figure 7, bottom),
+/// derived from the CPython API reference:
+///
+/// * `Py_INCREF`/`Py_DECREF` change the object's count directly;
+/// * allocating APIs (`Py_BuildValue`, `PyList_New`, `PyInt_FromLong`,
+///   `PyDict_New`, `PyString_FromString`, `PyTuple_New`) return a **new
+///   reference** on success (two entries: non-null with `+1` on the result,
+///   or null with no change);
+/// * `PyErr_SetObject` creates new references to both of its arguments;
+/// * borrowed-reference getters (`PyList_GetItem`, `PyDict_GetItem`,
+///   `PyTuple_GetItem`) and reference-stealing setters (`PyList_SetItem`,
+///   `PyTuple_SetItem`) change no counts.
+#[must_use]
+pub fn python_c_apis() -> SummaryDb {
+    let mut db = SummaryDb::new();
+    db.insert(
+        PredefinedBuilder::new("Py_INCREF")
+            .entry(|e| e.change_arg_field(0, RC_FIELD, 1))
+            .build(),
+    );
+    db.insert(
+        PredefinedBuilder::new("Py_DECREF")
+            .entry(|e| e.change_arg_field(0, RC_FIELD, -1))
+            .build(),
+    );
+    db.insert(
+        PredefinedBuilder::new("Py_XDECREF")
+            .entry(|e| e.arg_non_null(0).change_arg_field(0, RC_FIELD, -1))
+            .entry(|e| {
+                let mut e = e;
+                e.entry.cons.push(Lit::new(
+                    Pred::Eq,
+                    Term::var(Var::formal(0)),
+                    Term::NULL,
+                ));
+                e
+            })
+            .build(),
+    );
+    for name in [
+        "Py_BuildValue",
+        "PyList_New",
+        "PyInt_FromLong",
+        "PyLong_FromLong",
+        "PyDict_New",
+        "PyTuple_New",
+        "PyString_FromString",
+    ] {
+        db.insert(
+            PredefinedBuilder::new(name)
+                .entry(|e| e.ret_non_null().change_ret_field(RC_FIELD, 1))
+                .entry(|e| e.ret_null())
+                .build(),
+        );
+    }
+    db.insert(
+        PredefinedBuilder::new("PyErr_SetObject")
+            .entry(|e| e.change_arg_field(0, RC_FIELD, 1).change_arg_field(1, RC_FIELD, 1))
+            .build(),
+    );
+    for name in ["PyList_GetItem", "PyDict_GetItem", "PyTuple_GetItem"] {
+        db.insert(PredefinedBuilder::new(name).entry(|e| e.ret_any()).build());
+    }
+    for name in ["PyList_SetItem", "PyTuple_SetItem", "PyErr_Clear"] {
+        db.insert(PredefinedBuilder::new(name).entry(|e| e.ret_any()).build());
+    }
+    db
+}
+
+/// The name of the wake-lock counter field used by the Android summaries.
+pub const WAKELOCK_FIELD: &str = "wl";
+
+/// Predefined summaries for Android-style wake locks.
+///
+/// The paper's introduction motivates refcount checking with wake-lock
+/// bugs — "a significant root cause of abnormal power consumption on
+/// smartphones". A held wake lock keeps the device awake; the counter
+/// must return to zero for the device to sleep, so the same two
+/// characteristics (§3.1) apply: `wake_lock` increments, `wake_unlock`
+/// decrements, and `wake_lock_timeout` behaves like `wake_lock` (the
+/// timeout releases it *eventually*, but the explicit count still must
+/// balance for prompt sleep).
+#[must_use]
+pub fn android_wakelock_apis() -> SummaryDb {
+    let mut db = SummaryDb::new();
+    for name in ["wake_lock", "wake_lock_timeout", "__pm_stay_awake"] {
+        db.insert(
+            PredefinedBuilder::new(name)
+                .entry(|e| e.change_arg_field(0, WAKELOCK_FIELD, 1))
+                .build(),
+        );
+    }
+    for name in ["wake_unlock", "__pm_relax"] {
+        db.insert(
+            PredefinedBuilder::new(name)
+                .entry(|e| e.change_arg_field(0, WAKELOCK_FIELD, -1))
+                .build(),
+        );
+    }
+    db
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dpm_get_always_increments() {
+        let db = linux_dpm_apis();
+        let get = db.get("pm_runtime_get_sync").unwrap();
+        assert_eq!(get.entries.len(), 1);
+        let e = &get.entries[0];
+        // cons is True: the increment happens regardless of return value.
+        assert!(e.cons.is_truth());
+        assert_eq!(e.change(&Term::var(Var::formal(0)).field(PM_FIELD)), 1);
+    }
+
+    #[test]
+    fn dpm_put_decrements() {
+        let db = linux_dpm_apis();
+        for name in ["pm_runtime_put", "pm_runtime_put_autosuspend"] {
+            let put = db.get(name).unwrap();
+            assert_eq!(
+                put.entries[0].change(&Term::var(Var::formal(0)).field(PM_FIELD)),
+                -1
+            );
+        }
+    }
+
+    #[test]
+    fn python_allocators_have_two_entries() {
+        let db = python_c_apis();
+        let alloc = db.get("PyList_New").unwrap();
+        assert_eq!(alloc.entries.len(), 2);
+        let success = &alloc.entries[0];
+        let failure = &alloc.entries[1];
+        assert!(success.has_changes());
+        assert!(!failure.has_changes());
+        // The two entries are mutually exclusive on the return value.
+        assert!(!success.cons.and(&failure.cons).is_sat());
+    }
+
+    #[test]
+    fn borrowed_and_stealing_apis_change_nothing() {
+        let db = python_c_apis();
+        for name in ["PyList_GetItem", "PyList_SetItem"] {
+            assert!(!db.get(name).unwrap().changes_refcounts(), "{name}");
+        }
+    }
+
+    #[test]
+    fn err_setobject_increments_both_args() {
+        let db = python_c_apis();
+        let e = &db.get("PyErr_SetObject").unwrap().entries[0];
+        assert_eq!(e.change(&Term::var(Var::formal(0)).field(RC_FIELD)), 1);
+        assert_eq!(e.change(&Term::var(Var::formal(1)).field(RC_FIELD)), 1);
+    }
+
+    #[test]
+    fn wakelock_apis_shape() {
+        let db = android_wakelock_apis();
+        let lock = &db.get("wake_lock").unwrap().entries[0];
+        assert_eq!(lock.change(&Term::var(Var::formal(0)).field(WAKELOCK_FIELD)), 1);
+        let unlock = &db.get("wake_unlock").unwrap().entries[0];
+        assert_eq!(unlock.change(&Term::var(Var::formal(0)).field(WAKELOCK_FIELD)), -1);
+        assert_eq!(db.refcount_changing_names().count(), 5);
+    }
+
+    #[test]
+    fn refcount_changing_seed_set() {
+        let db = linux_dpm_apis();
+        let seeds: Vec<&str> = db.refcount_changing_names().collect();
+        assert!(seeds.contains(&"pm_runtime_get"));
+        assert_eq!(seeds.len(), 7);
+    }
+}

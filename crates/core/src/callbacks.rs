@@ -1,0 +1,271 @@
+//! Callback-contract checking — the paper's stated future work (§6.4/§7).
+//!
+//! Figure 10's bug escapes RID because `arizona_irq_thread` is internally
+//! consistent: its paths are distinguished by the return value
+//! (`IRQ_NONE` vs `IRQ_HANDLED`). The imbalance only matters because the
+//! function is *called through a function pointer* by a dispatcher that
+//! never balances refcounts based on the return code. The paper proposes
+//! extending the call graph through function pointers to catch this
+//! class.
+//!
+//! This module implements that extension as a *callback contract*: RIL
+//! programs pass handlers to registration APIs as `@name` references
+//! ([`rid_ir::Operand::FuncRef`]); a [`CallbackModel`] names the
+//! registration APIs. Because a registered callback's caller is the
+//! runtime dispatcher — which cannot inspect the return value to decide
+//! whether to release a reference — two callback paths are
+//! indistinguishable *even when their return values differ*. The check
+//! therefore re-runs IPP detection on callback functions with all
+//! conditions on the return slot `[0]` removed, which is exactly what
+//! flags Figure 10.
+//!
+//! The extension is off by default ([`crate::AnalysisOptions`]'s
+//! `check_callbacks`), preserving the paper's baseline behaviour.
+
+use std::collections::{BTreeSet, HashMap};
+
+use rid_ir::Program;
+use rid_solver::{Conj, SatOptions, VarKind};
+
+use crate::exec::{summarize_paths, PathEntry};
+use crate::ipp::{check_ipps, IppReport};
+use crate::paths::PathLimits;
+use crate::summary::SummaryDb;
+
+/// Which APIs register callbacks, and which argument is the handler.
+///
+/// # Examples
+///
+/// ```
+/// use rid_core::callbacks::CallbackModel;
+///
+/// let mut model = CallbackModel::linux_default();
+/// model.add_registrar("my_register_handler", 0);
+/// assert_eq!(model.handler_arg("request_irq"), Some(1));
+/// assert_eq!(model.handler_arg("my_register_handler"), Some(0));
+/// assert_eq!(model.handler_arg("kmalloc"), None);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct CallbackModel {
+    registrars: HashMap<String, usize>,
+}
+
+impl CallbackModel {
+    /// An empty model (no registration APIs known).
+    #[must_use]
+    pub fn new() -> CallbackModel {
+        CallbackModel::default()
+    }
+
+    /// The common Linux registration APIs:
+    /// `request_irq(irq, handler, data)`,
+    /// `request_threaded_irq(irq, handler, thread_fn, data)` (both handler
+    /// slots), `devm_request_irq(dev, irq, handler, data)`,
+    /// `register_callback(owner, handler)`.
+    #[must_use]
+    pub fn linux_default() -> CallbackModel {
+        let mut model = CallbackModel::new();
+        model.add_registrar("request_irq", 1);
+        model.add_registrar("request_threaded_irq", 1);
+        model.add_registrar("devm_request_irq", 2);
+        model.add_registrar("register_callback", 1);
+        model
+    }
+
+    /// Declares `api`'s argument `arg_index` to be a callback handler.
+    pub fn add_registrar(&mut self, api: impl Into<String>, arg_index: usize) -> &mut Self {
+        self.registrars.insert(api.into(), arg_index);
+        self
+    }
+
+    /// The handler argument index of `api`, if it is a registrar.
+    #[must_use]
+    pub fn handler_arg(&self, api: &str) -> Option<usize> {
+        self.registrars.get(api).copied()
+    }
+}
+
+/// Collects the names of functions registered as callbacks anywhere in
+/// the program.
+///
+/// A conservative widening: *any* `@name` reference passed to a known
+/// registrar at its handler position — or passed anywhere when the callee
+/// is a registrar (handlers are sometimes forwarded through wrappers).
+#[must_use]
+pub fn collect_callbacks(program: &Program, model: &CallbackModel) -> BTreeSet<String> {
+    let mut callbacks = BTreeSet::new();
+    for func in program.functions() {
+        for (_, inst) in func.insts() {
+            let (callee, args) = match inst {
+                rid_ir::Inst::Call { callee, args } => (callee.as_str(), args),
+                rid_ir::Inst::Assign {
+                    rvalue: rid_ir::Rvalue::Call { callee, args }, ..
+                } => (callee.as_str(), args),
+                _ => continue,
+            };
+            let Some(handler_idx) = model.handler_arg(callee) else { continue };
+            // Exact position first; fall back to any func-ref argument.
+            if let Some(name) = args.get(handler_idx).and_then(rid_ir::Operand::as_func_ref)
+            {
+                callbacks.insert(name.to_owned());
+            } else {
+                for arg in args {
+                    if let Some(name) = arg.as_func_ref() {
+                        callbacks.insert(name.to_owned());
+                    }
+                }
+            }
+        }
+    }
+    callbacks
+}
+
+/// Removes every literal mentioning the return slot `[0]` from a
+/// constraint: the dispatcher calling a callback cannot act on its return
+/// value, so return-value distinctions do not separate paths.
+#[must_use]
+pub fn strip_ret_conditions(cons: &Conj) -> Conj {
+    let mut out = Conj::truth();
+    if cons.is_trivially_false() {
+        return Conj::unsat();
+    }
+    for lit in cons.lits() {
+        let mut vars = Vec::new();
+        lit.collect_vars(&mut vars);
+        if vars.iter().any(|v| v.kind == VarKind::Ret) {
+            continue;
+        }
+        out.push(lit.clone());
+    }
+    out
+}
+
+/// Runs the relaxed (return-value-blind) IPP check on one callback
+/// function. Reports are marked with [`IppReport::callback`].
+#[must_use]
+pub fn check_callback_function(
+    func: &rid_ir::Function,
+    db: &SummaryDb,
+    limits: &PathLimits,
+    sat: SatOptions,
+) -> Vec<IppReport> {
+    let outcome = summarize_paths(func, db, limits, sat);
+    let relaxed: Vec<PathEntry> = outcome
+        .path_entries
+        .into_iter()
+        .map(|mut pe| {
+            pe.entry.cons = strip_ret_conditions(&pe.entry.cons);
+            // Changes keyed on the returned object still make sense to
+            // compare (the dispatcher drops the value, so a +1 on it is a
+            // leak either way); leave `changes` untouched.
+            pe
+        })
+        .collect();
+    let mut ipp = check_ipps(func.name(), &relaxed, sat);
+    for report in &mut ipp.reports {
+        report.callback = true;
+    }
+    ipp.reports
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apis::linux_dpm_apis;
+    use rid_frontend::parse_program;
+
+    const ARIZONA: &str = r#"module arizona;
+        fn arizona_irq_thread(irq, data) {
+            let ret = pm_runtime_get_sync(data.dev);
+            if (ret < 0) {
+                dev_err(data);
+                return 0;
+            }
+            handle(data);
+            pm_runtime_put(data.dev);
+            return 1;
+        }
+        fn arizona_probe(dev) {
+            request_irq(dev.irq, @arizona_irq_thread, dev);
+            return 0;
+        }"#;
+
+    #[test]
+    fn callbacks_are_collected() {
+        let program = parse_program([ARIZONA]).unwrap();
+        let callbacks = collect_callbacks(&program, &CallbackModel::linux_default());
+        assert!(callbacks.contains("arizona_irq_thread"));
+        assert_eq!(callbacks.len(), 1);
+    }
+
+    #[test]
+    fn empty_model_collects_nothing() {
+        let program = parse_program([ARIZONA]).unwrap();
+        assert!(collect_callbacks(&program, &CallbackModel::new()).is_empty());
+    }
+
+    #[test]
+    fn handler_forwarded_at_other_position_still_found() {
+        let src = r#"module m;
+            fn handler(irq, data) { return 0; }
+            fn setup(dev) {
+                request_irq(@handler, dev.irq, dev);
+                return 0;
+            }"#;
+        let program = parse_program([src]).unwrap();
+        let callbacks = collect_callbacks(&program, &CallbackModel::linux_default());
+        assert!(callbacks.contains("handler"));
+    }
+
+    #[test]
+    fn figure10_found_by_relaxed_check() {
+        let program = parse_program([ARIZONA]).unwrap();
+        let func = program.function("arizona_irq_thread").unwrap();
+        let reports = check_callback_function(
+            func,
+            &linux_dpm_apis(),
+            &PathLimits::default(),
+            SatOptions::default(),
+        );
+        assert_eq!(reports.len(), 1, "{reports:?}");
+        assert!(reports[0].callback);
+        assert_eq!(reports[0].refcount.to_string(), "[arg1].dev.pm");
+    }
+
+    #[test]
+    fn balanced_callback_stays_clean() {
+        let src = r#"module m;
+            fn good_irq(irq, data) {
+                let ret = pm_runtime_get_sync(data.dev);
+                if (ret < 0) {
+                    pm_runtime_put(data.dev);
+                    return 0;
+                }
+                handle(data);
+                pm_runtime_put(data.dev);
+                return 1;
+            }"#;
+        let program = parse_program([src]).unwrap();
+        let func = program.function("good_irq").unwrap();
+        let reports = check_callback_function(
+            func,
+            &linux_dpm_apis(),
+            &PathLimits::default(),
+            SatOptions::default(),
+        );
+        assert!(reports.is_empty(), "{reports:?}");
+    }
+
+    #[test]
+    fn strip_ret_conditions_behaviour() {
+        use rid_ir::Pred;
+        use rid_solver::{Lit, Term, Var};
+        let cons = Conj::from_lits([
+            Lit::new(Pred::Eq, Term::var(Var::ret()), Term::int(0)),
+            Lit::new(Pred::Ne, Term::var(Var::formal(0)), Term::NULL),
+        ]);
+        let stripped = strip_ret_conditions(&cons);
+        assert_eq!(stripped.lits().len(), 1);
+        assert!(strip_ret_conditions(&Conj::unsat()).is_trivially_false());
+    }
+}

@@ -1,0 +1,190 @@
+//! Pluggable stronger-property checks on function summaries.
+//!
+//! §4.5 of the paper: *"If the program under analysis respect other
+//! rules, a corresponding check on the refcount changes in the function
+//! summary can be added."* IPP checking needs no assumption about how a
+//! function should change refcounts; but when the program is known to
+//! follow a stronger discipline, extra rules catch single-path bugs that
+//! have no inconsistent pair. Two published rules are provided:
+//!
+//! * [`SummaryRule::EscapeRule`] — Cpychecker/Pungi (§2.1): a refcount
+//!   must change by exactly the number of references escaping the
+//!   function (here: `+1` if the count is rooted at the return slot,
+//!   else `0`). False-alarms on intentional wrappers, as §2.1 warns.
+//! * [`SummaryRule::ClosedBalance`] — Lal & Ramalingam (§2.1): in a
+//!   *closed* program every entry function must leave every refcount
+//!   unchanged. Too strong for libraries ("it is too strong to assume
+//!   that all entry functions in open programs like libraries must leave
+//!   all refcounts unchanged"), which is why it is opt-in per function
+//!   set.
+
+use rid_solver::{Term, VarKind};
+use serde::{Deserialize, Serialize};
+
+use crate::summary::Summary;
+
+/// A stronger-than-IPP rule checked against a function summary.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SummaryRule {
+    /// Refcount delta must equal the escaping reference count
+    /// (Cpychecker / Pungi, §2.1).
+    EscapeRule,
+    /// Every refcount must balance to zero (closed-program entry points,
+    /// Lal & Ramalingam, §2.1).
+    ClosedBalance,
+}
+
+/// A violation of a [`SummaryRule`].
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct RuleViolation {
+    /// The rule violated.
+    pub rule: SummaryRule,
+    /// Function whose summary violates it.
+    pub function: String,
+    /// Index of the offending summary entry.
+    pub entry_index: usize,
+    /// The refcount with the unexpected change.
+    pub refcount: Term,
+    /// Observed net change.
+    pub delta: i64,
+    /// Change the rule allows.
+    pub expected: i64,
+}
+
+/// Checks one summary against a rule.
+///
+/// # Examples
+///
+/// ```
+/// use rid_core::checks::{check_summary, SummaryRule};
+/// use rid_core::apis::linux_dpm_apis;
+///
+/// // pm_runtime_get_sync always leaves +1 behind: a wrapper by design,
+/// // and exactly the kind of function the escape rule false-alarms on.
+/// let db = linux_dpm_apis();
+/// let get = db.get("pm_runtime_get_sync").unwrap();
+/// let violations = check_summary(get, SummaryRule::EscapeRule);
+/// assert_eq!(violations.len(), 1);
+/// ```
+#[must_use]
+pub fn check_summary(summary: &Summary, rule: SummaryRule) -> Vec<RuleViolation> {
+    let mut violations = Vec::new();
+    for (entry_index, entry) in summary.entries.iter().enumerate() {
+        for (rc, &delta) in &entry.changes {
+            let expected = match rule {
+                SummaryRule::ClosedBalance => 0,
+                SummaryRule::EscapeRule => {
+                    let escapes =
+                        rc.root_var().is_some_and(|root| root.kind == VarKind::Ret);
+                    i64::from(escapes)
+                }
+            };
+            if delta != expected {
+                violations.push(RuleViolation {
+                    rule,
+                    function: summary.func.clone(),
+                    entry_index,
+                    refcount: rc.clone(),
+                    delta,
+                    expected,
+                });
+            }
+        }
+    }
+    violations
+}
+
+/// Checks every summary in a database against a rule, skipping the names
+/// in `exempt` (e.g. the predefined APIs themselves, whose whole purpose
+/// is to change counts).
+#[must_use]
+pub fn check_database(
+    db: &crate::summary::SummaryDb,
+    rule: SummaryRule,
+    exempt: &dyn Fn(&str) -> bool,
+) -> Vec<RuleViolation> {
+    let mut violations = Vec::new();
+    for summary in db.iter() {
+        if exempt(&summary.func) {
+            continue;
+        }
+        violations.extend(check_summary(summary, rule));
+    }
+    violations.sort_by(|a, b| {
+        (&a.function, a.entry_index, &a.refcount).cmp(&(&b.function, b.entry_index, &b.refcount))
+    });
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apis::{linux_dpm_apis, python_c_apis};
+    use crate::driver::{analyze_sources, AnalysisOptions};
+
+    fn summaries_for(src: &str, apis: &crate::summary::SummaryDb) -> crate::SummaryDb {
+        analyze_sources([src], apis, &AnalysisOptions::default()).unwrap().summaries
+    }
+
+    #[test]
+    fn escape_rule_accepts_returned_references() {
+        let db = summaries_for(
+            "module m; fn fresh() { let o = PyList_New(0); return o; }",
+            &python_c_apis(),
+        );
+        let summary = db.get("fresh").unwrap();
+        assert!(check_summary(summary, SummaryRule::EscapeRule).is_empty());
+    }
+
+    #[test]
+    fn escape_rule_flags_single_path_leak() {
+        // No IPP exists, but the stronger rule catches it on the summary.
+        let db = summaries_for(
+            "module m; fn cache(obj, t) { Py_INCREF(obj); store(t, obj); return 0; }",
+            &python_c_apis(),
+        );
+        let summary = db.get("cache").unwrap();
+        let violations = check_summary(summary, SummaryRule::EscapeRule);
+        assert_eq!(violations.len(), 1);
+        assert_eq!(violations[0].delta, 1);
+        assert_eq!(violations[0].expected, 0);
+    }
+
+    #[test]
+    fn closed_balance_flags_any_change() {
+        let db = summaries_for(
+            "module m; fn entry(dev) { pm_runtime_get_sync(dev); return 0; }",
+            &linux_dpm_apis(),
+        );
+        let summary = db.get("entry").unwrap();
+        assert_eq!(check_summary(summary, SummaryRule::ClosedBalance).len(), 1);
+        // The escape rule also flags it (arg-rooted +1).
+        assert_eq!(check_summary(summary, SummaryRule::EscapeRule).len(), 1);
+    }
+
+    #[test]
+    fn closed_balance_accepts_balanced_entry() {
+        let db = summaries_for(
+            "module m; fn entry(dev) { pm_runtime_get_sync(dev); pm_runtime_put(dev); return 0; }",
+            &linux_dpm_apis(),
+        );
+        let summary = db.get("entry").unwrap();
+        assert!(check_summary(summary, SummaryRule::ClosedBalance).is_empty());
+    }
+
+    #[test]
+    fn database_check_with_exemptions() {
+        let apis = linux_dpm_apis();
+        let db = summaries_for(
+            "module m; fn wrapper(dev) { pm_runtime_get_sync(dev); return 0; }",
+            &apis,
+        );
+        // Without exemptions the predefined APIs themselves violate both
+        // rules; exempting them leaves just the wrapper.
+        let all = check_database(&db, SummaryRule::ClosedBalance, &|_| false);
+        let exempted = check_database(&db, SummaryRule::ClosedBalance, &|f| apis.contains(f));
+        assert!(all.len() > exempted.len());
+        assert_eq!(exempted.len(), 1);
+        assert_eq!(exempted[0].function, "wrapper");
+    }
+}

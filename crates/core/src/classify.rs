@@ -1,0 +1,279 @@
+//! Two-phase function classification (§5.2 of the paper).
+//!
+//! Analyzing a whole OS kernel path-by-path with constraint solving is too
+//! expensive, so RID first classifies every function into one of three
+//! categories and only analyzes the first two:
+//!
+//! 1. **Functions with refcount changes** — they (transitively) call
+//!    refcount APIs. Fully analyzed.
+//! 2. **Functions affecting those with refcount changes** — their return
+//!    values feed the arguments, return values, or branch conditions
+//!    around refcount-changing calls. Analyzed only when simple (at most
+//!    three conditional branches); otherwise assumed to return anything.
+//! 3. **Everything else** — ignored.
+
+use std::collections::{HashMap, HashSet};
+
+use rid_ir::Program;
+use serde::{Deserialize, Serialize};
+
+use crate::callgraph::CallGraph;
+use crate::slice::sliced_callees;
+use crate::summary::SummaryDb;
+
+/// The §5.2 category of a function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Category {
+    /// Category 1: (transitively) changes refcounts; fully analyzed.
+    RefcountChanging,
+    /// Category 2, simple enough (≤ `max_branches`) to be analyzed.
+    AffectingAnalyzed,
+    /// Category 2, too complex; gets the unconstrained default summary.
+    AffectingSkipped,
+    /// Category 3: irrelevant to the analysis.
+    Other,
+}
+
+impl Category {
+    /// Whether functions of this category are symbolically analyzed.
+    #[must_use]
+    pub fn is_analyzed(self) -> bool {
+        matches!(self, Category::RefcountChanging | Category::AffectingAnalyzed)
+    }
+}
+
+/// The classification of every function in a program.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Classification {
+    map: HashMap<String, Category>,
+}
+
+/// Census counts per category (Table 1 of the paper).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CategoryCounts {
+    /// Category-1 functions.
+    pub refcount_changing: usize,
+    /// Category-2 functions that are analyzed.
+    pub affecting_analyzed: usize,
+    /// Category-2 functions that are skipped.
+    pub affecting_skipped: usize,
+    /// Category-3 functions.
+    pub other: usize,
+}
+
+impl CategoryCounts {
+    /// Total number of functions.
+    #[must_use]
+    pub fn total(&self) -> usize {
+        self.refcount_changing + self.affecting_analyzed + self.affecting_skipped + self.other
+    }
+}
+
+impl Classification {
+    /// The category of `func` ([`Category::Other`] when unknown).
+    #[must_use]
+    pub fn category(&self, func: &str) -> Category {
+        self.map.get(func).copied().unwrap_or(Category::Other)
+    }
+
+    /// Census counts for Table 1.
+    #[must_use]
+    pub fn counts(&self) -> CategoryCounts {
+        let mut counts = CategoryCounts::default();
+        for category in self.map.values() {
+            match category {
+                Category::RefcountChanging => counts.refcount_changing += 1,
+                Category::AffectingAnalyzed => counts.affecting_analyzed += 1,
+                Category::AffectingSkipped => counts.affecting_skipped += 1,
+                Category::Other => counts.other += 1,
+            }
+        }
+        counts
+    }
+
+    /// Iterates over `(function, category)` pairs (unspecified order).
+    pub fn iter(&self) -> impl Iterator<Item = (&str, Category)> {
+        self.map.iter().map(|(name, &c)| (name.as_str(), c))
+    }
+}
+
+/// Maximum conditional branches for a category-2 function to be analyzed
+/// (the paper uses three, §5.2).
+pub const MAX_CATEGORY2_BRANCHES: usize = 3;
+
+/// Classifies every function of `program` (§5.2's two phases).
+///
+/// `predefined` supplies the refcount APIs that seed phase 1 (their
+/// summaries change refcounts).
+#[must_use]
+pub fn classify(program: &Program, graph: &CallGraph, predefined: &SummaryDb) -> Classification {
+    let api_changes: HashSet<&str> = predefined.refcount_changing_names().collect();
+
+    // Phase 1: reverse-topological closure of "calls something that
+    // changes refcounts".
+    let mut refcount_changing: HashSet<usize> = HashSet::new();
+    for i in graph.reverse_topological_order() {
+        let via_api = graph.unknown_callees(i).iter().any(|c| api_changes.contains(c.as_str()));
+        // A defined function with a predefined summary is also a seed
+        // (predefined summaries shadow bodies, §5.1).
+        let shadowed = predefined
+            .get(graph.name(i))
+            .is_some_and(crate::summary::Summary::changes_refcounts);
+        let via_calls = graph.callees(i).iter().any(|j| refcount_changing.contains(j));
+        if via_api || via_calls || shadowed {
+            refcount_changing.insert(i);
+        }
+    }
+
+    // Phase 2: walk callers (topological order — callers after callees is
+    // irrelevant here; we scan every function once) and mark non-category-1
+    // callees whose results land in the §5.2 slice.
+    let is_rc = |name: &str| -> bool {
+        api_changes.contains(name)
+            || graph.index_of(name).is_some_and(|i| refcount_changing.contains(&i))
+    };
+    let functions = program.functions();
+    let mut affecting: HashSet<usize> = HashSet::new();
+    for (i, func) in functions.iter().enumerate() {
+        debug_assert_eq!(graph.name(i), func.name());
+        // Only functions related to refcount behaviour propagate
+        // relevance: category-1 functions, and (transitively) category-2
+        // ones. Scanning category-1 functions finds the first layer;
+        // a fixpoint below extends through category-2 callers.
+        if !refcount_changing.contains(&i) {
+            continue;
+        }
+        for callee in sliced_callees(func, &is_rc) {
+            if let Some(j) = graph.index_of(&callee) {
+                if !refcount_changing.contains(&j) {
+                    affecting.insert(j);
+                }
+            }
+        }
+    }
+    // Fixpoint: a function whose result affects a category-2 function's
+    // return value is itself category 2.
+    loop {
+        let mut added = Vec::new();
+        for &i in &affecting {
+            let func = functions[i];
+            for callee in sliced_callees(func, &is_rc) {
+                if let Some(j) = graph.index_of(&callee) {
+                    if !refcount_changing.contains(&j) && !affecting.contains(&j) {
+                        added.push(j);
+                    }
+                }
+            }
+        }
+        if added.is_empty() {
+            break;
+        }
+        affecting.extend(added);
+    }
+
+    let mut map = HashMap::new();
+    for (i, func) in functions.iter().enumerate() {
+        let category = if refcount_changing.contains(&i) {
+            Category::RefcountChanging
+        } else if affecting.contains(&i) {
+            if func.conditional_branch_count() <= MAX_CATEGORY2_BRANCHES {
+                Category::AffectingAnalyzed
+            } else {
+                Category::AffectingSkipped
+            }
+        } else {
+            Category::Other
+        };
+        map.insert(func.name().to_owned(), category);
+    }
+    Classification { map }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apis::linux_dpm_apis;
+    use rid_frontend::parse_program;
+
+    fn classify_src(src: &str) -> Classification {
+        let program = parse_program([src]).unwrap();
+        let graph = CallGraph::build(&program);
+        classify(&program, &graph, &linux_dpm_apis())
+    }
+
+    #[test]
+    fn direct_api_caller_is_category1() {
+        let c = classify_src("module m; fn f(dev) { pm_runtime_get(dev); return; }");
+        assert_eq!(c.category("f"), Category::RefcountChanging);
+    }
+
+    #[test]
+    fn transitive_api_caller_is_category1() {
+        let c = classify_src(
+            "module m; fn wrapper(dev) { pm_runtime_get(dev); return; } fn outer(dev) { wrapper(dev); return; }",
+        );
+        assert_eq!(c.category("outer"), Category::RefcountChanging);
+    }
+
+    #[test]
+    fn condition_source_is_category2() {
+        let c = classify_src(
+            r#"module m;
+            fn probe() { let v = random; return v; }
+            fn f(dev) {
+                let st = probe();
+                if (st < 0) { return -1; }
+                pm_runtime_get(dev);
+                return 0;
+            }"#,
+        );
+        assert_eq!(c.category("probe"), Category::AffectingAnalyzed);
+        assert_eq!(c.category("f"), Category::RefcountChanging);
+    }
+
+    #[test]
+    fn complex_category2_is_skipped() {
+        let mut probe = String::from("module m; fn probe(x) {\n");
+        for i in 0..5 {
+            probe.push_str(&format!("if (x > {i}) {{ step{i}(); }}\n"));
+        }
+        probe.push_str("let v = random; return v; }\n");
+        probe.push_str(
+            "fn f(dev) { let st = probe(dev); if (st) { pm_runtime_get(dev); } return; }",
+        );
+        let c = classify_src(&probe);
+        assert_eq!(c.category("probe"), Category::AffectingSkipped);
+    }
+
+    #[test]
+    fn unrelated_function_is_other() {
+        let c = classify_src(
+            "module m; fn log() { return; } fn f(dev) { log(); pm_runtime_get(dev); return; }",
+        );
+        assert_eq!(c.category("log"), Category::Other);
+        assert_eq!(c.category("unknown_function"), Category::Other);
+    }
+
+    #[test]
+    fn counts_add_up() {
+        let c = classify_src(
+            r#"module m;
+            fn probe() { let v = random; return v; }
+            fn log() { return; }
+            fn f(dev) { let s = probe(); if (s) { pm_runtime_get(dev); } return; }"#,
+        );
+        let counts = c.counts();
+        assert_eq!(counts.total(), 3);
+        assert_eq!(counts.refcount_changing, 1);
+        assert_eq!(counts.affecting_analyzed, 1);
+        assert_eq!(counts.other, 1);
+    }
+
+    #[test]
+    fn category_is_analyzed_flags() {
+        assert!(Category::RefcountChanging.is_analyzed());
+        assert!(Category::AffectingAnalyzed.is_analyzed());
+        assert!(!Category::AffectingSkipped.is_analyzed());
+        assert!(!Category::Other.is_analyzed());
+    }
+}

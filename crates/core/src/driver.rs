@@ -1,0 +1,408 @@
+//! Whole-program analysis driver (§5.2–5.3 of the paper).
+//!
+//! The driver classifies functions (selective analysis), walks the call
+//! graph bottom-up, summarizes each analyzed function, runs IPP checking
+//! on its path summaries, and accumulates reports. Independent strongly
+//! connected components at the same dependency level can be analyzed in
+//! parallel (§5.3); recursion is broken by giving intra-SCC calls the
+//! default summary, deterministically in both modes.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
+use parking_lot::{Mutex, RwLock};
+use rid_ir::Program;
+use rid_solver::SatOptions;
+use serde::{Deserialize, Serialize};
+
+use crate::callgraph::CallGraph;
+use crate::classify::{classify, CategoryCounts, Classification};
+use crate::exec::summarize_paths;
+use crate::ipp::{build_summary, check_ipps, IppReport};
+use crate::paths::PathLimits;
+use crate::summary::SummaryDb;
+
+/// Options controlling a whole-program analysis.
+#[derive(Clone, Copy, Debug)]
+pub struct AnalysisOptions {
+    /// Path/subcase/entry limits (§5.2, §6.1).
+    pub limits: PathLimits,
+    /// Constraint-solver options.
+    pub sat: SatOptions,
+    /// Enable the §5.2 selective analysis (classify first, skip category-3
+    /// functions). When disabled every function is analyzed.
+    pub selective: bool,
+    /// Worker threads (1 = sequential).
+    pub threads: usize,
+    /// Enable the callback-contract extension (the paper's §7 future
+    /// work): registered callbacks are re-checked with return-value
+    /// distinctions removed, catching the Figure 10 class. Uses
+    /// [`crate::callbacks::CallbackModel::linux_default`].
+    pub check_callbacks: bool,
+}
+
+impl Default for AnalysisOptions {
+    fn default() -> Self {
+        AnalysisOptions {
+            limits: PathLimits::default(),
+            sat: SatOptions::default(),
+            selective: true,
+            threads: 1,
+            check_callbacks: false,
+        }
+    }
+}
+
+/// Statistics from one analysis run (§6.5-style reporting).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct AnalysisStats {
+    /// Total functions in the program.
+    pub functions_total: usize,
+    /// Functions symbolically analyzed.
+    pub functions_analyzed: usize,
+    /// Structural paths enumerated across all functions.
+    pub paths_enumerated: usize,
+    /// Symbolic states explored (feasible forks).
+    pub states_explored: usize,
+    /// Functions whose analysis hit a limit (partial summaries).
+    pub functions_partial: usize,
+    /// Table-1 census (zeroed when selective analysis is off).
+    pub counts: CategoryCounts,
+    /// Wall-clock time spent classifying.
+    pub classify_time: Duration,
+    /// Wall-clock time spent summarizing + IPP checking.
+    pub analyze_time: Duration,
+}
+
+/// The result of analyzing a program.
+#[derive(Clone, Debug)]
+pub struct AnalysisResult {
+    /// All IPP bug reports, sorted by function name then refcount.
+    pub reports: Vec<IppReport>,
+    /// Computed summaries (plus the predefined ones).
+    pub summaries: SummaryDb,
+    /// The classification used (empty when selective analysis is off).
+    pub classification: Classification,
+    /// Run statistics.
+    pub stats: AnalysisStats,
+}
+
+/// Analyzes a whole program.
+///
+/// `predefined` supplies refcount API specifications (§5.1); they shadow
+/// same-named definitions. See [`AnalysisOptions`] for knobs.
+#[must_use]
+pub fn analyze_program(
+    program: &Program,
+    predefined: &SummaryDb,
+    options: &AnalysisOptions,
+) -> AnalysisResult {
+    let graph = CallGraph::build(program);
+    let functions = program.functions();
+
+    let classify_start = Instant::now();
+    let classification = if options.selective {
+        classify(program, &graph, predefined)
+    } else {
+        Classification::default()
+    };
+    let classify_time = classify_start.elapsed();
+
+    let should_analyze = |name: &str| -> bool {
+        if predefined.contains(name) {
+            return false; // predefined summaries shadow bodies (§5.1)
+        }
+        if !options.selective {
+            return true;
+        }
+        classification.category(name).is_analyzed()
+    };
+
+    let analyze_start = Instant::now();
+    let db = RwLock::new(predefined.clone());
+    let reports = Mutex::new(Vec::<IppReport>::new());
+    let stats = Mutex::new(AnalysisStats::default());
+
+    // Group function indices by dependency level; all callees of level k
+    // live strictly below k (intra-SCC calls excepted — those are broken
+    // by the default summary exactly like the paper breaks recursion).
+    let levels = graph.levels();
+    let max_level = levels.iter().copied().max().unwrap_or(0);
+    let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
+    for (i, &level) in levels.iter().enumerate() {
+        by_level[level].push(i);
+    }
+
+    let threads = options.threads.max(1);
+    for level in &by_level {
+        let work = |idx: usize| {
+            let func = functions[idx];
+            if !should_analyze(func.name()) {
+                return;
+            }
+            let (outcome, ipp) = {
+                let snapshot = db.read();
+                let outcome =
+                    summarize_paths(func, &snapshot, &options.limits, options.sat);
+                let ipp = check_ipps(func.name(), &outcome.path_entries, options.sat);
+                (outcome, ipp)
+            };
+            let summary =
+                build_summary(func.name(), &outcome.path_entries, &ipp, outcome.partial);
+            {
+                let mut stats = stats.lock();
+                stats.functions_analyzed += 1;
+                stats.paths_enumerated += outcome.paths_enumerated;
+                stats.states_explored += outcome.states_explored;
+                stats.functions_partial += usize::from(outcome.partial);
+            }
+            reports.lock().extend(ipp.reports);
+            db.write().insert(summary);
+        };
+
+        if threads == 1 || level.len() == 1 {
+            for &idx in level {
+                work(idx);
+            }
+        } else {
+            let cursor = AtomicUsize::new(0);
+            crossbeam::scope(|scope| {
+                for _ in 0..threads.min(level.len()) {
+                    scope.spawn(|_| loop {
+                        let at = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(&idx) = level.get(at) else { break };
+                        work(idx);
+                    });
+                }
+            })
+            .expect("analysis worker panicked");
+        }
+    }
+
+    // Callback-contract extension (§7 future work): re-check registered
+    // callbacks ignoring return-value distinctions.
+    if options.check_callbacks {
+        let model = crate::callbacks::CallbackModel::linux_default();
+        let callbacks = crate::callbacks::collect_callbacks(program, &model);
+        let db = db.read();
+        let existing: std::collections::HashSet<(String, String)> = reports
+            .lock()
+            .iter()
+            .map(|r| (r.function.clone(), r.refcount.to_string()))
+            .collect();
+        for name in callbacks {
+            let Some(func) = program.function(&name) else { continue };
+            let found = crate::callbacks::check_callback_function(
+                func,
+                &db,
+                &options.limits,
+                options.sat,
+            );
+            let mut reports = reports.lock();
+            for report in found {
+                if !existing.contains(&(report.function.clone(), report.refcount.to_string()))
+                {
+                    reports.push(report);
+                }
+            }
+        }
+    }
+
+    let mut stats = stats.into_inner();
+    stats.functions_total = functions.len();
+    stats.counts = classification.counts();
+    stats.classify_time = classify_time;
+    stats.analyze_time = analyze_start.elapsed();
+
+    let mut reports = reports.into_inner();
+    reports.sort_by(|a, b| {
+        (&a.function, &a.refcount, a.path_a, a.path_b).cmp(&(
+            &b.function,
+            &b.refcount,
+            b.path_a,
+            b.path_b,
+        ))
+    });
+
+    AnalysisResult { reports, summaries: db.into_inner(), classification, stats }
+}
+
+/// Convenience: analyze RIL sources directly.
+///
+/// # Errors
+///
+/// Returns the frontend error when a source fails to parse or link.
+pub fn analyze_sources<'a>(
+    sources: impl IntoIterator<Item = &'a str>,
+    predefined: &SummaryDb,
+    options: &AnalysisOptions,
+) -> Result<AnalysisResult, rid_frontend::FrontendError> {
+    let program = rid_frontend::parse_program(sources)?;
+    Ok(analyze_program(&program, predefined, options))
+}
+
+/// Groups reports by function, preserving report order.
+#[must_use]
+pub fn reports_by_function(reports: &[IppReport]) -> HashMap<&str, Vec<&IppReport>> {
+    let mut map: HashMap<&str, Vec<&IppReport>> = HashMap::new();
+    for report in reports {
+        map.entry(report.function.as_str()).or_default().push(report);
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apis::linux_dpm_apis;
+
+    const FIGURE8: &str = r#"module radeon;
+        extern fn pm_runtime_get_sync;
+        extern fn pm_runtime_put_autosuspend;
+        fn radeon_crtc_set_config(dev, set) {
+            let ret = pm_runtime_get_sync(dev);
+            if (ret < 0) { return ret; }
+            ret = drm_crtc_helper_set_config(set);
+            pm_runtime_put_autosuspend(dev);
+            return ret;
+        }"#;
+
+    #[test]
+    fn figure8_bug_is_detected() {
+        let result =
+            analyze_sources([FIGURE8], &linux_dpm_apis(), &AnalysisOptions::default())
+                .unwrap();
+        assert_eq!(result.reports.len(), 1);
+        let r = &result.reports[0];
+        assert_eq!(r.function, "radeon_crtc_set_config");
+        // The early-error path leaves +1; the normal path balances to 0.
+        assert_eq!((r.change_a.max(r.change_b), r.change_a.min(r.change_b)), (1, 0));
+    }
+
+    const FIGURE9: &str = r#"module usb;
+        extern fn pm_runtime_get_sync;
+        extern fn pm_runtime_put_sync;
+        fn usb_autopm_get_interface(intf) {
+            let status = pm_runtime_get_sync(intf.dev);
+            if (status < 0) {
+                pm_runtime_put_sync(intf.dev);
+            }
+            if (status > 0) {
+                status = 0;
+            }
+            return status;
+        }
+        fn usb_autopm_put_interface(intf) {
+            pm_runtime_put_sync(intf.dev);
+            return;
+        }
+        fn idmouse_open(inode, file) {
+            let interface = inode.intf;
+            let result = usb_autopm_get_interface(interface);
+            if (result) { goto error; }
+            result = idmouse_create_image(inode);
+            if (result) { goto error; }
+            usb_autopm_put_interface(interface);
+        error:
+            return result;
+        }"#;
+
+    #[test]
+    fn figure9_wrapper_is_summarized_precisely_and_bug_found() {
+        let result =
+            analyze_sources([FIGURE9], &linux_dpm_apis(), &AnalysisOptions::default())
+                .unwrap();
+        // The wrapper itself is consistent (error paths are distinguished
+        // by the return value) — no report on it.
+        assert!(result.reports.iter().all(|r| r.function != "usb_autopm_get_interface"));
+        // Its summary captures both behaviours.
+        let wrapper = result.summaries.get("usb_autopm_get_interface").unwrap();
+        assert!(wrapper.entries.iter().any(|e| e.has_changes()));
+        assert!(wrapper.entries.iter().any(|e| !e.has_changes()));
+        // idmouse_open misses the put when idmouse_create_image fails.
+        let bugs: Vec<_> =
+            result.reports.iter().filter(|r| r.function == "idmouse_open").collect();
+        assert!(!bugs.is_empty(), "missing idmouse_open report: {:?}", result.reports);
+    }
+
+    #[test]
+    fn figure10_false_negative_is_reproduced() {
+        // arizona_irq_thread is internally consistent (IRQ_NONE vs
+        // IRQ_HANDLED distinguish the paths); the bug is only visible at
+        // callers through a function pointer RID does not model (§6.4).
+        let src = r#"module arizona;
+            extern fn pm_runtime_get_sync;
+            extern fn pm_runtime_put;
+            fn arizona_irq_thread(irq, data) {
+                let ret = pm_runtime_get_sync(data.dev);
+                if (ret < 0) {
+                    dev_err(data);
+                    return 0; // IRQ_NONE
+                }
+                handle(data);
+                pm_runtime_put(data.dev);
+                return 1; // IRQ_HANDLED
+            }"#;
+        let result =
+            analyze_sources([src], &linux_dpm_apis(), &AnalysisOptions::default()).unwrap();
+        assert!(result.reports.is_empty(), "Figure 10 must be a false negative");
+    }
+
+    #[test]
+    fn selective_skips_unrelated_functions() {
+        let src = r#"module m;
+            fn unrelated_helper(x) { let v = random; return v; }
+            fn logging() { return; }
+            fn driver(dev) { pm_runtime_get(dev); pm_runtime_put(dev); return; }"#;
+        let result =
+            analyze_sources([src], &linux_dpm_apis(), &AnalysisOptions::default()).unwrap();
+        assert_eq!(result.stats.functions_total, 3);
+        assert_eq!(result.stats.functions_analyzed, 1); // only `driver`
+        assert!(result.summaries.get("logging").is_none());
+    }
+
+    #[test]
+    fn non_selective_analyzes_everything() {
+        let src = "module m; fn a() { return 1; } fn b() { return 2; }";
+        let options = AnalysisOptions { selective: false, ..Default::default() };
+        let result = analyze_sources([src], &linux_dpm_apis(), &options).unwrap();
+        assert_eq!(result.stats.functions_analyzed, 2);
+    }
+
+    #[test]
+    fn parallel_equals_sequential() {
+        let sources = [FIGURE8, FIGURE9];
+        let sequential =
+            analyze_sources(sources, &linux_dpm_apis(), &AnalysisOptions::default()).unwrap();
+        let options = AnalysisOptions { threads: 4, ..Default::default() };
+        let parallel = analyze_sources(sources, &linux_dpm_apis(), &options).unwrap();
+        assert_eq!(sequential.reports, parallel.reports);
+        assert_eq!(
+            sequential.stats.functions_analyzed,
+            parallel.stats.functions_analyzed
+        );
+    }
+
+    #[test]
+    fn recursive_functions_get_default_breaking() {
+        let src = r#"module m;
+            fn even(n, dev) { pm_runtime_get(dev); odd(n, dev); return; }
+            fn odd(n, dev) { pm_runtime_put(dev); even(n, dev); return; }"#;
+        // Must terminate and produce summaries for both.
+        let result =
+            analyze_sources([src], &linux_dpm_apis(), &AnalysisOptions::default()).unwrap();
+        assert!(result.summaries.get("even").is_some());
+        assert!(result.summaries.get("odd").is_some());
+    }
+
+    #[test]
+    fn reports_by_function_groups() {
+        let result =
+            analyze_sources([FIGURE8], &linux_dpm_apis(), &AnalysisOptions::default())
+                .unwrap();
+        let grouped = reports_by_function(&result.reports);
+        assert_eq!(grouped.len(), 1);
+        assert!(grouped.contains_key("radeon_crtc_set_config"));
+    }
+}

@@ -1,0 +1,803 @@
+//! Symbolic execution of paths (step II of Figure 4; Figure 6 and
+//! Algorithm 1 of the paper).
+//!
+//! Each structural path is executed symbolically. The executor maintains a
+//! constraint (`cons`), a refcount-change map (`changes`), and a valuation
+//! (`vmap`) from program variables to symbolic terms. Call instructions
+//! consult the summary database and *fork* the state once per applicable
+//! callee entry (Algorithm 1); `random` introduces fresh unknowns; branch
+//! terminators contribute the branch condition (or its negation) to the
+//! path constraint, pruning infeasible paths eagerly.
+//!
+//! Symbolic names are derived from `(instruction, occurrence)` pairs so
+//! that two paths sharing a prefix name the same call result or random
+//! value identically — the property that makes their summaries comparable
+//! during IPP checking.
+
+use std::collections::{BTreeMap, HashMap};
+
+use rid_ir::{BlockId, Function, Inst, InstId, Operand, Pred, Rvalue, Terminator};
+use rid_solver::{project, Conj, Lit, SatOptions, Subst, Term, Var};
+
+use crate::paths::{enumerate_paths, Path, PathLimits};
+use crate::summary::{SummaryDb, SummaryEntry};
+
+/// A finalized path summary: one [`SummaryEntry`] plus provenance.
+#[derive(Clone, Debug)]
+pub struct PathEntry {
+    /// The summary entry (constraint already projected onto externals).
+    pub entry: SummaryEntry,
+    /// Index of the structural path this entry came from.
+    pub path_index: usize,
+    /// The block trace of that path (for diagnostics).
+    pub trace: Vec<BlockId>,
+}
+
+/// Result of summarizing all paths of one function.
+#[derive(Clone, Debug, Default)]
+pub struct SummarizeOutcome {
+    /// Finalized path entries, in deterministic order.
+    pub path_entries: Vec<PathEntry>,
+    /// Whether any limit was hit (paths, subcases, or entries), in which
+    /// case the function summary must include the default entry (§5.2).
+    pub partial: bool,
+    /// Number of structural paths enumerated.
+    pub paths_enumerated: usize,
+    /// Number of symbolic states explored (feasible forks).
+    pub states_explored: usize,
+}
+
+/// One symbolic state: constraint + refcount changes. The valuation is
+/// shared per path (all forks of a path see the same assignments; they
+/// differ only in constraints and changes).
+#[derive(Clone, Debug)]
+struct State {
+    cons: Conj,
+    changes: BTreeMap<Term, i64>,
+}
+
+/// A symbolic value: either a term or a lazily represented comparison
+/// (comparisons become literals when branched on; if a comparison result
+/// is consumed as a plain value it is materialized as an opaque unknown,
+/// an abstraction loss the paper accepts, §5.4).
+#[derive(Clone, Debug)]
+enum SymValue {
+    Term(Term),
+    Cmp(Pred, Term, Term),
+}
+
+struct PathExecutor<'a> {
+    func: &'a Function,
+    db: &'a SummaryDb,
+    limits: &'a PathLimits,
+    sat: SatOptions,
+    /// Flat instruction index, for stable site ids.
+    inst_index: HashMap<InstId, u32>,
+    /// Local-variable interner (for reads of never-assigned variables).
+    locals: HashMap<String, u32>,
+}
+
+impl<'a> PathExecutor<'a> {
+    fn new(
+        func: &'a Function,
+        db: &'a SummaryDb,
+        limits: &'a PathLimits,
+        sat: SatOptions,
+    ) -> Self {
+        let inst_index =
+            func.insts().enumerate().map(|(i, (id, _))| (id, i as u32)).collect();
+        PathExecutor { func, db, limits, sat, inst_index, locals: HashMap::new() }
+    }
+
+    /// Stable symbolic site id for `(instruction, occurrence)`.
+    fn site_id(&self, id: InstId, occurrence: u32) -> u32 {
+        let flat = self.inst_index[&id];
+        flat * (self.limits.max_block_visits.max(1) + 1) + occurrence
+    }
+
+    fn local_var(&mut self, name: &str) -> Var {
+        let next = self.locals.len() as u32;
+        let id = *self.locals.entry(name.to_owned()).or_insert(next);
+        Var::local(id)
+    }
+
+    fn value_of(&mut self, vmap: &HashMap<String, SymValue>, op: &Operand) -> SymValue {
+        match op {
+            Operand::Int(v) => SymValue::Term(Term::int(*v)),
+            Operand::Bool(b) => SymValue::Term(if *b { Term::TRUE } else { Term::FALSE }),
+            Operand::Null => SymValue::Term(Term::NULL),
+            // Function references are opaque constants; intern one symbol
+            // per referenced name so comparisons of the same reference
+            // agree (the callback-contract extension reads them from the
+            // IR directly, not from here).
+            Operand::FuncRef(name) => {
+                let var = self.local_var(&format!("@{name}"));
+                SymValue::Term(Term::var(var))
+            }
+            Operand::Var(name) => match vmap.get(name) {
+                Some(v) => v.clone(),
+                None => SymValue::Term(Term::var(self.local_var(name))),
+            },
+        }
+    }
+
+    /// Coerces a symbolic value to a term; comparisons materialize as
+    /// fresh unknowns tied to the consuming site.
+    fn term_of(
+        &mut self,
+        vmap: &HashMap<String, SymValue>,
+        op: &Operand,
+        site: u32,
+    ) -> Term {
+        match self.value_of(vmap, op) {
+            SymValue::Term(t) => t,
+            SymValue::Cmp(..) => Term::var(Var::random(site, 1)),
+        }
+    }
+
+    /// Executes one path; returns finalized entries (empty when the path
+    /// is infeasible) and whether the subcase limit was hit.
+    fn run_path(&mut self, path: &Path, path_index: usize) -> (Vec<PathEntry>, bool, usize) {
+        let mut vmap: HashMap<String, SymValue> = HashMap::new();
+        for (i, param) in self.func.params().iter().enumerate() {
+            vmap.insert(param.clone(), SymValue::Term(Term::var(Var::formal(i as u32))));
+        }
+        let mut states =
+            vec![State { cons: Conj::truth(), changes: BTreeMap::new() }];
+        let mut occurrences: HashMap<u32, u32> = HashMap::new();
+        let mut truncated = false;
+        let mut states_explored = 1usize;
+
+        for (pos, &block_id) in path.blocks.iter().enumerate() {
+            let block = self.func.block(block_id);
+            for (idx, inst) in block.insts.iter().enumerate() {
+                let inst_id = InstId { block: block_id, index: idx as u32 };
+                let flat = self.inst_index[&inst_id];
+                let occ_slot = occurrences.entry(flat).or_insert(0);
+                let occ = *occ_slot;
+                *occ_slot += 1;
+                let site = self.site_id(inst_id, occ);
+
+                match inst {
+                    Inst::Assign { dst, rvalue } => match rvalue {
+                        Rvalue::Use(op) => {
+                            let v = self.value_of(&vmap, op);
+                            vmap.insert(dst.clone(), v);
+                        }
+                        Rvalue::FieldLoad { base, field } => {
+                            let base_term =
+                                self.term_of(&vmap, &Operand::var(base.clone()), site);
+                            vmap.insert(
+                                dst.clone(),
+                                SymValue::Term(base_term.field(field.clone())),
+                            );
+                        }
+                        Rvalue::Random => {
+                            vmap.insert(
+                                dst.clone(),
+                                SymValue::Term(Term::var(Var::random(site, 0))),
+                            );
+                        }
+                        Rvalue::Cmp { pred, lhs, rhs } => {
+                            let l = self.term_of(&vmap, lhs, site);
+                            let r = self.term_of(&vmap, rhs, site);
+                            vmap.insert(dst.clone(), SymValue::Cmp(*pred, l, r));
+                        }
+                        Rvalue::Call { callee, args } => {
+                            let forked = self.exec_call(
+                                &mut vmap,
+                                &mut states,
+                                callee,
+                                args,
+                                Some(dst),
+                                site,
+                            );
+                            truncated |= forked.0;
+                            states_explored += forked.1;
+                        }
+                    },
+                    Inst::Call { callee, args } => {
+                        let forked =
+                            self.exec_call(&mut vmap, &mut states, callee, args, None, site);
+                        truncated |= forked.0;
+                        states_explored += forked.1;
+                    }
+                    Inst::Assume { pred, lhs, rhs } => {
+                        let l = self.term_of(&vmap, lhs, site);
+                        let r = self.term_of(&vmap, rhs, site);
+                        let lit = Lit::new(*pred, l, r);
+                        for state in &mut states {
+                            state.cons.push(lit.clone());
+                        }
+                        let sat = self.sat;
+                        states.retain(|s| s.cons.is_sat_with(sat));
+                    }
+                    // Field stores are outside the abstraction (§5.4): the
+                    // executor ignores them, a deliberate, paper-faithful
+                    // source of false positives.
+                    Inst::FieldStore { .. } => {}
+                }
+                if states.is_empty() {
+                    return (Vec::new(), truncated, states_explored);
+                }
+            }
+
+            // Terminator: constrain toward the path's chosen successor.
+            let is_last = pos + 1 == path.blocks.len();
+            match &block.term {
+                Terminator::Return(ret_op) => {
+                    debug_assert!(is_last);
+                    let entries = self.finalize(&mut vmap, states, ret_op.as_ref(), path, path_index);
+                    return (entries, truncated, states_explored);
+                }
+                Terminator::Jump(_) => {}
+                Terminator::Branch { cond, then_bb, else_bb } => {
+                    let next = path.blocks[pos + 1];
+                    // A branch whose arms coincide constrains nothing.
+                    if then_bb != else_bb {
+                        let take_then = next == *then_bb;
+                        let lit = match self.value_of(&vmap, &Operand::var(cond.clone())) {
+                            SymValue::Cmp(pred, l, r) => {
+                                let pred = if take_then { pred } else { pred.negated() };
+                                Some(Lit::new(pred, l, r))
+                            }
+                            SymValue::Term(Term::Int(c)) => {
+                                // Constant condition: the other arm is dead.
+                                if (c != 0) == take_then {
+                                    None
+                                } else {
+                                    states.clear();
+                                    None
+                                }
+                            }
+                            SymValue::Term(t) => {
+                                let pred = if take_then { Pred::Ne } else { Pred::Eq };
+                                Some(Lit::new(pred, t, Term::int(0)))
+                            }
+                        };
+                        if let Some(lit) = lit {
+                            for state in &mut states {
+                                state.cons.push(lit.clone());
+                            }
+                            let sat = self.sat;
+                            states.retain(|s| s.cons.is_sat_with(sat));
+                        }
+                        if states.is_empty() {
+                            return (Vec::new(), truncated, states_explored);
+                        }
+                    }
+                }
+                Terminator::Unreachable => {
+                    return (Vec::new(), truncated, states_explored);
+                }
+            }
+        }
+        // Paths always end in a Return (enumeration guarantees it).
+        unreachable!("path did not end in a return terminator")
+    }
+
+    /// Executes a call instruction per Algorithm 1: each applicable callee
+    /// summary entry forks a state. Returns (subcase-limit-hit, new states
+    /// created).
+    fn exec_call(
+        &mut self,
+        vmap: &mut HashMap<String, SymValue>,
+        states: &mut Vec<State>,
+        callee: &str,
+        args: &[Operand],
+        dst: Option<&str>,
+        site: u32,
+    ) -> (bool, usize) {
+        let actuals: Vec<Term> =
+            args.iter().map(|a| self.term_of(vmap, a, site)).collect();
+        let ret_var = Term::var(Var::call_ret(site, 0));
+        if let Some(dst) = dst {
+            vmap.insert(dst.to_owned(), SymValue::Term(ret_var.clone()));
+        }
+
+        let default_summary;
+        let summary = match self.db.get(callee) {
+            Some(s) if !s.entries.is_empty() => s,
+            _ => {
+                default_summary = crate::summary::Summary::default_for(callee);
+                // Unknown callee: unconstrained return, no changes.
+                &default_summary
+            }
+        };
+
+        let mut new_states = Vec::new();
+        let mut truncated = false;
+        let mut created = 0usize;
+        'outer: for state in states.iter() {
+            for entry in &summary.entries {
+                let inst_entry = entry.instantiate(&actuals, &ret_var, site);
+                let cons = state.cons.and(&inst_entry.cons);
+                // Algorithm 1 line 6: skip unsatisfiable combinations.
+                if !inst_entry.cons.is_truth() && !cons.is_sat_with(self.sat) {
+                    continue;
+                }
+                let mut changes = state.changes.clone();
+                for (rc, delta) in &inst_entry.changes {
+                    *changes.entry(rc.clone()).or_insert(0) += delta;
+                }
+                new_states.push(State { cons, changes });
+                created += 1;
+                if new_states.len() >= self.limits.max_subcases {
+                    truncated = true;
+                    break 'outer;
+                }
+            }
+        }
+        *states = new_states;
+        (truncated, created)
+    }
+
+    /// Finalizes states at a `return`: encodes the return value as `[0]`,
+    /// rewrites locals that equal external terms, renames surviving
+    /// internal refcount roots to opaque objects, and projects the
+    /// constraint onto external terms (§3.3.3).
+    fn finalize(
+        &mut self,
+        vmap: &mut HashMap<String, SymValue>,
+        states: Vec<State>,
+        ret_op: Option<&Operand>,
+        path: &Path,
+        path_index: usize,
+    ) -> Vec<PathEntry> {
+        let mut out = Vec::new();
+        let ret_term = ret_op.map(|op| self.term_of(vmap, op, u32::MAX / 2));
+        for state in states {
+            let mut cons = state.cons;
+            if let Some(ret) = &ret_term {
+                cons.push(Lit::new(Pred::Eq, Term::var(Var::ret()), ret.clone()));
+            }
+
+            // Build the equality substitution: internal vars provably equal
+            // (syntactically, offset 0) to external terms get rewritten.
+            let subst = equality_subst(&cons);
+
+            // Rewrite change keys; then rename surviving internal roots to
+            // dense opaque ids (deterministic: keys are sorted).
+            let mut changes: BTreeMap<Term, i64> = BTreeMap::new();
+            let mut opaque_ids: BTreeMap<Var, u32> = BTreeMap::new();
+            for (rc, delta) in &state.changes {
+                if *delta == 0 {
+                    continue;
+                }
+                let rc = rc.substitute(&subst);
+                let rc = match rc.root_var() {
+                    Some(root) if !root.is_external() => {
+                        let next = opaque_ids.len() as u32;
+                        let id = *opaque_ids.entry(root).or_insert(next);
+                        let mut s = Subst::new();
+                        s.insert(root, Term::var(Var::opaque(id, 0)));
+                        rc.substitute(&s)
+                    }
+                    _ => rc,
+                };
+                *changes.entry(rc).or_insert(0) += delta;
+            }
+            changes.retain(|_, delta| *delta != 0);
+
+            // Remove conditions on local variables (projection).
+            let cons = project(&cons, Term::is_external);
+            if cons.is_trivially_false() || !cons.is_sat_with(self.sat) {
+                continue;
+            }
+            let ret_display = ret_term.as_ref().map(|t| {
+                let t = t.substitute(&subst);
+                if t.is_external() {
+                    t
+                } else {
+                    Term::var(Var::ret())
+                }
+            });
+            let mut entry = SummaryEntry { cons, changes, ret: ret_display };
+            entry.cons.normalize();
+            out.push(PathEntry { entry, path_index, trace: path.blocks.clone() });
+        }
+        out
+    }
+}
+
+/// Extracts a substitution from syntactic equalities in `cons`, mapping
+/// internal variables to the external (or constant) terms they equal.
+/// Saturated so chains (`a = b ∧ b = [0]`) resolve fully.
+fn equality_subst(cons: &Conj) -> Subst {
+    let mut subst = Subst::new();
+    loop {
+        let mut changed = false;
+        for lit in cons.lits() {
+            if lit.pred != Pred::Eq || lit.offset != 0 {
+                continue;
+            }
+            for (a, b) in [(&lit.lhs, &lit.rhs), (&lit.rhs, &lit.lhs)] {
+                let Term::Var(v) = a else { continue };
+                if v.is_external() || subst.contains_key(v) {
+                    continue;
+                }
+                let b2 = b.substitute(&subst);
+                // Avoid self-referential substitutions.
+                let mut vars = Vec::new();
+                b2.collect_vars(&mut vars);
+                if vars.contains(v) {
+                    continue;
+                }
+                if b2.is_external() {
+                    subst.insert(*v, b2);
+                    changed = true;
+                }
+            }
+        }
+        if !changed {
+            return subst;
+        }
+    }
+}
+
+/// Summarizes every path of `func` (steps I and II of Figure 4).
+///
+/// The result contains one [`PathEntry`] per feasible `(path, subcase)`
+/// combination; IPP checking ([`crate::ipp`]) consumes these directly.
+#[must_use]
+pub fn summarize_paths(
+    func: &Function,
+    db: &SummaryDb,
+    limits: &PathLimits,
+    sat: SatOptions,
+) -> SummarizeOutcome {
+    let path_set = enumerate_paths(func, limits);
+    let mut outcome = SummarizeOutcome {
+        partial: path_set.truncated,
+        paths_enumerated: path_set.paths.len(),
+        ..Default::default()
+    };
+    for (index, path) in path_set.paths.iter().enumerate() {
+        let mut executor = PathExecutor::new(func, db, limits, sat);
+        let (entries, truncated, states) = executor.run_path(path, index);
+        outcome.partial |= truncated;
+        outcome.states_explored += states;
+        outcome.path_entries.extend(entries);
+        if outcome.path_entries.len() > limits.max_entries {
+            outcome.path_entries.truncate(limits.max_entries);
+            outcome.partial = true;
+            break;
+        }
+    }
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apis::linux_dpm_apis;
+    use rid_frontend::parse_module;
+    use rid_solver::VarKind;
+
+    fn summarize(src: &str, func: &str) -> SummarizeOutcome {
+        let module = parse_module(src).unwrap();
+        let f = module.function(func).unwrap();
+        summarize_paths(f, &linux_dpm_apis(), &PathLimits::default(), SatOptions::default())
+    }
+
+    #[test]
+    fn constant_return_function() {
+        let out = summarize("module m; fn f() { return 7; }", "f");
+        assert_eq!(out.path_entries.len(), 1);
+        let e = &out.path_entries[0].entry;
+        assert!(!e.has_changes());
+        // [0] = 7 recorded in the constraint.
+        let want = Conj::from_lits([Lit::new(
+            Pred::Eq,
+            Term::var(Var::ret()),
+            Term::int(7),
+        )]);
+        assert!(e.cons.implies(&want));
+    }
+
+    #[test]
+    fn refcount_change_recorded() {
+        let out = summarize(
+            "module m; fn f(dev) { pm_runtime_get_sync(dev); return 0; }",
+            "f",
+        );
+        assert_eq!(out.path_entries.len(), 1);
+        let e = &out.path_entries[0].entry;
+        assert_eq!(e.change(&Term::var(Var::formal(0)).field("pm")), 1);
+    }
+
+    #[test]
+    fn get_put_balances_to_zero() {
+        let out = summarize(
+            "module m; fn f(dev) { pm_runtime_get_sync(dev); pm_runtime_put(dev); return 0; }",
+            "f",
+        );
+        assert_eq!(out.path_entries.len(), 1);
+        assert!(!out.path_entries[0].entry.has_changes());
+    }
+
+    #[test]
+    fn figure1_foo_produces_inconsistent_pair() {
+        // The worked example of the paper: reg_read is unknown (default
+        // summary → unconstrained result), so both paths survive with
+        // identical external constraints but different PM changes.
+        let out = summarize(
+            r#"module m;
+            fn foo(dev) {
+                assume dev != null;
+                let v = reg_read(dev, 0x54);
+                if (v <= 0) { goto exit; }
+                pm_runtime_get(dev);
+            exit:
+                return 0;
+            }"#,
+            "foo",
+        );
+        assert_eq!(out.path_entries.len(), 2);
+        let pm = Term::var(Var::formal(0)).field("pm");
+        let changes: Vec<i64> =
+            out.path_entries.iter().map(|p| p.entry.change(&pm)).collect();
+        assert!(changes.contains(&1) && changes.contains(&0));
+        // Both constraints are mutually satisfiable (the IPP condition).
+        let joint = out.path_entries[0].entry.cons.and(&out.path_entries[1].entry.cons);
+        assert!(joint.is_sat());
+    }
+
+    #[test]
+    fn distinguishable_paths_are_not_inconsistent() {
+        // Correct error handling: the return value separates the paths.
+        let out = summarize(
+            r#"module m;
+            fn f(dev) {
+                let ret = pm_runtime_get_sync(dev);
+                if (ret < 0) {
+                    pm_runtime_put(dev);
+                    return -1;
+                }
+                return 0;
+            }"#,
+            "f",
+        );
+        assert_eq!(out.path_entries.len(), 2);
+        let joint = out.path_entries[0].entry.cons.and(&out.path_entries[1].entry.cons);
+        assert!(!joint.is_sat(), "return values −1 vs 0 must be distinguishable");
+    }
+
+    #[test]
+    fn branch_condition_on_call_result_constrains_ret() {
+        // ret = f(); if (ret < 0) return ret;  → entry with [0] ≤ −1.
+        let out = summarize(
+            r#"module m;
+            fn g(dev) {
+                let ret = pm_runtime_get_sync(dev);
+                if (ret < 0) { return ret; }
+                return 0;
+            }"#,
+            "g",
+        );
+        let negative_entry = out
+            .path_entries
+            .iter()
+            .find(|p| {
+                p.entry.cons.implies(&Conj::from_lits([Lit::new(
+                    Pred::Lt,
+                    Term::var(Var::ret()),
+                    Term::int(0),
+                )]))
+            })
+            .expect("error path entry");
+        // The increment is still recorded on the error path (Figure 8!).
+        assert_eq!(
+            negative_entry.entry.change(&Term::var(Var::formal(0)).field("pm")),
+            1
+        );
+    }
+
+    #[test]
+    fn infeasible_paths_are_pruned() {
+        let out = summarize(
+            r#"module m;
+            fn f(x) {
+                assume x > 0;
+                if (x < 0) { pm_runtime_get(x); return 1; }
+                return 0;
+            }"#,
+            "f",
+        );
+        // Only the else path is feasible.
+        assert_eq!(out.path_entries.len(), 1);
+        assert!(!out.path_entries[0].entry.has_changes());
+    }
+
+    #[test]
+    fn subcase_limit_marks_partial() {
+        // Chain enough two-entry allocators to blow the 10-subcase cap.
+        let mut src = String::from("module m; fn f(dev) {\n");
+        for i in 0..6 {
+            src.push_str(&format!("let a{i} = PyList_New(0);\n"));
+        }
+        src.push_str("return 0; }");
+        let module = parse_module(&src).unwrap();
+        let f = module.function("f").unwrap();
+        let out = summarize_paths(
+            f,
+            &crate::apis::python_c_apis(),
+            &PathLimits::default(),
+            SatOptions::default(),
+        );
+        assert!(out.partial);
+        assert!(out.path_entries.len() <= PathLimits::default().max_subcases);
+    }
+
+    #[test]
+    fn leaked_local_allocation_keys_on_opaque() {
+        let module = parse_module(
+            "module m; fn leak() { let o = PyList_New(0); return 0; }",
+        )
+        .unwrap();
+        let f = module.function("leak").unwrap();
+        let out = summarize_paths(
+            f,
+            &crate::apis::python_c_apis(),
+            &PathLimits::default(),
+            SatOptions::default(),
+        );
+        // Success entry leaks +1 on an opaque object; failure entry has no
+        // change. (This is the conditional-leak shape IPP checking flags.)
+        let leaky: Vec<_> =
+            out.path_entries.iter().filter(|p| p.entry.has_changes()).collect();
+        assert_eq!(leaky.len(), 1);
+        let root = leaky[0].entry.changes.keys().next().unwrap().root_var().unwrap();
+        assert_eq!(root.kind, VarKind::Opaque);
+    }
+
+    #[test]
+    fn returned_allocation_keys_on_ret() {
+        let module = parse_module(
+            "module m; fn make() { let o = PyList_New(0); return o; }",
+        )
+        .unwrap();
+        let f = module.function("make").unwrap();
+        let out = summarize_paths(
+            f,
+            &crate::apis::python_c_apis(),
+            &PathLimits::default(),
+            SatOptions::default(),
+        );
+        let success = out
+            .path_entries
+            .iter()
+            .find(|p| p.entry.has_changes())
+            .expect("success entry");
+        // The +1 is keyed on [0].rc — exactly PyList_New's own shape.
+        assert_eq!(
+            success.entry.change(&Term::var(Var::ret()).field("rc")),
+            1
+        );
+    }
+
+    #[test]
+    fn shared_prefix_names_call_results_identically() {
+        // The call happens before the branch; both paths must key the
+        // leaked object on the same opaque id so IPP checking can compare
+        // their change maps.
+        let module = parse_module(
+            r#"module m;
+            fn f(x) {
+                let o = PyList_New(0);
+                let c = check(x);
+                if (c < 0) { return 0; }
+                return 0;
+            }"#,
+        )
+        .unwrap();
+        let f = module.function("f").unwrap();
+        let out = summarize_paths(
+            f,
+            &crate::apis::python_c_apis(),
+            &PathLimits::default(),
+            SatOptions::default(),
+        );
+        let keys: std::collections::BTreeSet<&Term> = out
+            .path_entries
+            .iter()
+            .flat_map(|p| p.entry.changes.keys())
+            .collect();
+        assert_eq!(keys.len(), 1, "one shared key across paths: {keys:?}");
+    }
+
+    #[test]
+    fn branch_with_equal_arms_constrains_nothing() {
+        use rid_ir::{FunctionBuilder, Operand, Rvalue};
+        let mut b = FunctionBuilder::new("f", ["dev"]);
+        let join = b.new_block();
+        b.assign("c", Rvalue::cmp(Pred::Gt, Operand::var("dev"), Operand::Int(0)));
+        b.branch("c", join, join);
+        b.switch_to(join);
+        b.ret(Operand::Int(0));
+        let f = b.finish().unwrap();
+        let out = summarize_paths(
+            &f,
+            &linux_dpm_apis(),
+            &PathLimits::default(),
+            SatOptions::default(),
+        );
+        // Two structural paths collapse into identical summaries.
+        assert!(!out.path_entries.is_empty());
+        for pe in &out.path_entries {
+            assert!(pe.entry.cons.implies(&Conj::from_lits([Lit::new(
+                Pred::Eq,
+                Term::var(Var::ret()),
+                Term::int(0),
+            )])));
+        }
+    }
+
+    #[test]
+    fn constant_branch_conditions_prune_statically() {
+        let out = summarize(
+            r#"module m;
+            fn f(dev) {
+                let debug = 0;
+                if (debug) { pm_runtime_get(dev); }
+                return 0;
+            }"#,
+            "f",
+        );
+        assert_eq!(out.path_entries.len(), 1);
+        assert!(!out.path_entries[0].entry.has_changes());
+    }
+
+    #[test]
+    fn field_store_is_ignored_by_execution() {
+        // The store would distinguish the paths at runtime; the executor
+        // deliberately drops it (§5.4) so the entries remain comparable.
+        let out = summarize(
+            r#"module m;
+            fn f(dev) {
+                let st = peek(dev);
+                if (st > 0) {
+                    dev.flag = 1;
+                    pm_runtime_get(dev);
+                }
+                return 0;
+            }"#,
+            "f",
+        );
+        assert_eq!(out.path_entries.len(), 2);
+        let joint =
+            out.path_entries[0].entry.cons.and(&out.path_entries[1].entry.cons);
+        assert!(joint.is_sat(), "paths must look indistinguishable");
+    }
+
+    #[test]
+    fn void_functions_have_no_ret_conditions() {
+        let out = summarize(
+            "module m; fn f(dev) { pm_runtime_get(dev); return; }",
+            "f",
+        );
+        assert_eq!(out.path_entries.len(), 1);
+        let mut vars = Vec::new();
+        out.path_entries[0].entry.cons.collect_vars(&mut vars);
+        assert!(vars.iter().all(|v| v.kind != rid_solver::VarKind::Ret));
+    }
+
+    #[test]
+    fn loop_bodies_execute_at_most_once() {
+        // The loop condition must vary per iteration (a call result) or
+        // the unrolled path is infeasible in the arithmetic-free
+        // abstraction.
+        let out = summarize(
+            r#"module m;
+            fn f(dev) {
+                while (has_work(dev)) { pm_runtime_get(dev); }
+                return 0;
+            }"#,
+            "f",
+        );
+        let pm = Term::var(Var::formal(0)).field("pm");
+        let max_change =
+            out.path_entries.iter().map(|p| p.entry.change(&pm)).max().unwrap();
+        assert_eq!(max_change, 1, "loop unrolled at most once");
+    }
+}

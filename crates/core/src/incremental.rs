@@ -1,0 +1,358 @@
+//! Incremental re-analysis (§5.4, limitation 4).
+//!
+//! RID randomly drops one path of each inconsistent pair, which can hide
+//! further inconsistencies in the *callers* of a buggy function. The paper
+//! proposes an **incremental recheck**: once the bug is fixed, re-analyze
+//! using "previously calculated summaries of unaffected functions", so
+//! only the fixed function and its transitive callers pay the cost.
+//!
+//! [`reanalyze`] implements exactly that: given the previous
+//! [`AnalysisResult`] and the set of changed functions, it invalidates the
+//! changed functions plus everything that can reach them in the call
+//! graph, resummarizes only those (bottom-up, reusing every retained
+//! summary), and splices old and new reports together.
+
+use std::collections::HashSet;
+
+use rid_ir::Program;
+
+use crate::callgraph::CallGraph;
+use crate::driver::{AnalysisOptions, AnalysisResult, AnalysisStats};
+use crate::exec::summarize_paths;
+use crate::ipp::{build_summary, check_ipps};
+use crate::summary::SummaryDb;
+
+/// The set of functions whose summaries a change invalidates: the changed
+/// functions plus all their transitive callers.
+#[must_use]
+pub fn affected_functions(graph: &CallGraph, changed: &[&str]) -> HashSet<String> {
+    let mut affected: HashSet<usize> = HashSet::new();
+    let mut worklist: Vec<usize> =
+        changed.iter().filter_map(|name| graph.index_of(name)).collect();
+    while let Some(i) = worklist.pop() {
+        if !affected.insert(i) {
+            continue;
+        }
+        worklist.extend(graph.callers(i).iter().copied());
+    }
+    affected.into_iter().map(|i| graph.name(i).to_owned()).collect()
+}
+
+/// Re-analyzes `program` after `changed` functions were edited, reusing
+/// the summaries of unaffected functions from `previous`.
+///
+/// `program` is the *post-edit* program; `previous` is the result of
+/// analyzing the pre-edit program (or an earlier incremental pass).
+/// Reports for unaffected functions are carried over verbatim; affected
+/// functions are re-summarized and re-checked.
+///
+/// The result is equivalent to a full re-analysis whenever the edit only
+/// touches the bodies of `changed` (the §5.4 use case: fixing a reported
+/// inconsistency and rechecking its callers). When a *deleted* function's
+/// callers should be invalidated, list the deleted name in `changed` too:
+/// names absent from the new program contribute no callers of their own,
+/// so also list the (former) callers explicitly in that case.
+#[must_use]
+pub fn reanalyze(
+    program: &Program,
+    predefined: &SummaryDb,
+    previous: &AnalysisResult,
+    changed: &[&str],
+    options: &AnalysisOptions,
+) -> AnalysisResult {
+    let graph = CallGraph::build(program);
+    let affected = affected_functions(&graph, changed);
+
+    // Start from the previous database with affected entries dropped
+    // (SummaryDb has no remove; rebuild without them).
+    let mut db = predefined.clone();
+    for summary in previous.summaries.iter() {
+        if !affected.contains(&summary.func) && !predefined.contains(&summary.func) {
+            db.insert(summary.clone());
+        }
+    }
+
+    let changed_set: HashSet<&str> = changed.iter().copied().collect();
+    let should_analyze = |name: &str| -> bool {
+        if predefined.contains(name) {
+            return false;
+        }
+        if !affected.contains(name) {
+            return false;
+        }
+        if !options.selective {
+            return true;
+        }
+        // Reuse the previous run's implicit decision: a function that had
+        // a summary was analyzed. Functions named in `changed` are always
+        // re-analyzed (they may be brand new and absent from the previous
+        // classification).
+        changed_set.contains(name)
+            || previous.summaries.get(name).is_some()
+            || previous.classification.category(name).is_analyzed()
+    };
+
+    let mut stats = AnalysisStats::default();
+    let mut reports: Vec<crate::ipp::IppReport> = previous
+        .reports
+        .iter()
+        .filter(|r| !affected.contains(&r.function))
+        .cloned()
+        .collect();
+
+    let functions = program.functions();
+    for i in graph.reverse_topological_order() {
+        let func = functions[i];
+        if !should_analyze(func.name()) {
+            continue;
+        }
+        let outcome = summarize_paths(func, &db, &options.limits, options.sat);
+        let ipp = check_ipps(func.name(), &outcome.path_entries, options.sat);
+        let summary = build_summary(func.name(), &outcome.path_entries, &ipp, outcome.partial);
+        stats.functions_analyzed += 1;
+        stats.paths_enumerated += outcome.paths_enumerated;
+        stats.states_explored += outcome.states_explored;
+        stats.functions_partial += usize::from(outcome.partial);
+        reports.extend(ipp.reports);
+        db.insert(summary);
+    }
+
+    // Extensions follow the main pass: re-check affected callbacks with
+    // the return-value-blind contract when the option is on (mirrors
+    // `analyze_program`).
+    if options.check_callbacks {
+        let model = crate::callbacks::CallbackModel::linux_default();
+        let callbacks = crate::callbacks::collect_callbacks(program, &model);
+        let existing: HashSet<(String, String)> = reports
+            .iter()
+            .map(|r| (r.function.clone(), r.refcount.to_string()))
+            .collect();
+        for name in callbacks {
+            if !affected.contains(&name) {
+                continue; // carried-over callback reports are still valid
+            }
+            let Some(func) = program.function(&name) else { continue };
+            for report in crate::callbacks::check_callback_function(
+                func,
+                &db,
+                &options.limits,
+                options.sat,
+            ) {
+                if !existing.contains(&(report.function.clone(), report.refcount.to_string()))
+                {
+                    reports.push(report);
+                }
+            }
+        }
+    }
+
+    stats.functions_total = functions.len();
+    reports.sort_by(|a, b| {
+        (&a.function, &a.refcount, a.path_a, a.path_b).cmp(&(
+            &b.function,
+            &b.refcount,
+            b.path_a,
+            b.path_b,
+        ))
+    });
+
+    AnalysisResult {
+        reports,
+        summaries: db,
+        classification: previous.classification.clone(),
+        stats,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apis::linux_dpm_apis;
+    use crate::driver::analyze_sources;
+    use rid_frontend::parse_program;
+
+    const LIB_BUGGY: &str = r#"module lib;
+        fn helper(dev) {
+            let r = check(dev);
+            if (r < 0) { return 0; }
+            pm_runtime_get_sync(dev);
+            return 0;
+        }"#;
+
+    const LIB_FIXED: &str = r#"module lib;
+        fn helper(dev) {
+            let r = check(dev);
+            if (r < 0) { return -1; }
+            pm_runtime_get_sync(dev);
+            return 0;
+        }"#;
+
+    const APP: &str = r#"module app;
+        fn caller(dev) {
+            let st = helper(dev);
+            if (st) { return 0; }
+            pm_runtime_put(dev);
+            return 0;
+        }
+        fn unrelated(dev) {
+            pm_runtime_get_sync(dev);
+            return 0;
+        }"#;
+
+    #[test]
+    fn affected_set_is_transitive_callers() {
+        let program = parse_program([LIB_BUGGY, APP]).unwrap();
+        let graph = CallGraph::build(&program);
+        let affected = affected_functions(&graph, &["helper"]);
+        assert!(affected.contains("helper"));
+        assert!(affected.contains("caller"));
+        assert!(!affected.contains("unrelated"));
+    }
+
+    #[test]
+    fn recheck_after_fix_matches_full_reanalysis() {
+        let options = AnalysisOptions::default();
+        let apis = linux_dpm_apis();
+
+        let before = analyze_sources([LIB_BUGGY, APP], &apis, &options).unwrap();
+        // The buggy helper is reported (both paths return 0).
+        assert!(before.reports.iter().any(|r| r.function == "helper"));
+
+        // Fix helper; re-analyze incrementally.
+        let fixed_program = parse_program([LIB_FIXED, APP]).unwrap();
+        let incremental =
+            reanalyze(&fixed_program, &apis, &before, &["helper"], &options);
+        let full = analyze_sources([LIB_FIXED, APP], &apis, &options).unwrap();
+
+        let key = |r: &crate::ipp::IppReport| (r.function.clone(), r.refcount.clone());
+        let a: Vec<_> = incremental.reports.iter().map(key).collect();
+        let b: Vec<_> = full.reports.iter().map(key).collect();
+        assert_eq!(a, b);
+        // Helper's report is gone after the fix.
+        assert!(incremental.reports.iter().all(|r| r.function != "helper"));
+    }
+
+    #[test]
+    fn unaffected_functions_are_not_reanalyzed() {
+        let options = AnalysisOptions::default();
+        let apis = linux_dpm_apis();
+        let before = analyze_sources([LIB_BUGGY, APP], &apis, &options).unwrap();
+        let fixed_program = parse_program([LIB_FIXED, APP]).unwrap();
+        let incremental =
+            reanalyze(&fixed_program, &apis, &before, &["helper"], &options);
+        // Only helper and caller are re-summarized, not `unrelated`.
+        assert_eq!(incremental.stats.functions_analyzed, 2);
+        // `unrelated`'s summary is carried over.
+        assert!(incremental.summaries.get("unrelated").is_some());
+    }
+
+    #[test]
+    fn callback_extension_applies_during_recheck() {
+        let options = AnalysisOptions { check_callbacks: true, ..Default::default() };
+        let apis = linux_dpm_apis();
+        // v1: balanced IRQ handler, registered — clean.
+        let v1 = r#"module m;
+            fn irq_handler(irq, data) {
+                let ret = pm_runtime_get_sync(data.dev);
+                if (ret < 0) { pm_runtime_put(data.dev); return 0; }
+                pm_runtime_put(data.dev);
+                return 1;
+            }
+            fn setup(dev) { request_irq(dev.irq, @irq_handler, dev); return 0; }"#;
+        let before = analyze_sources([v1], &apis, &options).unwrap();
+        assert!(before.reports.is_empty(), "{:?}", before.reports);
+
+        // v2: the edit breaks the error path (Figure 10 shape).
+        let v2 = r#"module m;
+            fn irq_handler(irq, data) {
+                let ret = pm_runtime_get_sync(data.dev);
+                if (ret < 0) { return 0; }
+                pm_runtime_put(data.dev);
+                return 1;
+            }
+            fn setup(dev) { request_irq(dev.irq, @irq_handler, dev); return 0; }"#;
+        let program = parse_program([v2]).unwrap();
+        let after = reanalyze(&program, &apis, &before, &["irq_handler"], &options);
+        assert!(
+            after.reports.iter().any(|r| r.function == "irq_handler" && r.callback),
+            "callback bug introduced by the edit must surface: {:?}",
+            after.reports
+        );
+    }
+
+    #[test]
+    fn new_function_listed_in_changed_is_analyzed() {
+        let options = AnalysisOptions::default();
+        let apis = linux_dpm_apis();
+        let before = analyze_sources([LIB_BUGGY, APP], &apis, &options).unwrap();
+        // The edit adds a brand-new buggy function.
+        let app_v2 = r#"module app;
+            fn caller(dev) {
+                let st = helper(dev);
+                if (st) { return 0; }
+                pm_runtime_put(dev);
+                return 0;
+            }
+            fn unrelated(dev) {
+                pm_runtime_get_sync(dev);
+                return 0;
+            }
+            fn fresh_bug(dev) {
+                let r = probe(dev);
+                if (r < 0) { return 0; }
+                pm_runtime_get_sync(dev);
+                return 0;
+            }"#;
+        let program = parse_program([LIB_BUGGY, app_v2]).unwrap();
+        let after = reanalyze(&program, &apis, &before, &["fresh_bug"], &options);
+        assert!(
+            after.reports.iter().any(|r| r.function == "fresh_bug"),
+            "new function must be analyzed: {:?}",
+            after.reports
+        );
+    }
+
+    #[test]
+    fn recheck_reveals_hidden_caller_inconsistency() {
+        // §5.4's scenario: the dropped path in the callee hides a caller
+        // bug; after the callee fix the caller's own inconsistency
+        // surfaces.
+        let lib_buggy = r#"module lib;
+            fn get_ref(dev) {
+                let r = probe(dev);
+                if (r < 0) { return 0; }
+                pm_runtime_get_sync(dev);
+                return 0;
+            }"#;
+        let lib_fixed = r#"module lib;
+            fn get_ref(dev) {
+                pm_runtime_get_sync(dev);
+                let r = probe(dev);
+                if (r < 0) { pm_runtime_put(dev); return -1; }
+                return 0;
+            }"#;
+        let app = r#"module app;
+            fn caller(dev) {
+                let st = get_ref(dev);
+                if (st < 0) { return 0; }
+                let u = use_dev(dev);
+                if (u < 0) { return 0; }   // BUG: put skipped
+                pm_runtime_put(dev);
+                return 0;
+            }"#;
+        let options = AnalysisOptions::default();
+        let apis = linux_dpm_apis();
+        let before = analyze_sources([lib_buggy, app], &apis, &options).unwrap();
+        // Before the fix, get_ref itself is inconsistent and was reported.
+        assert!(before.reports.iter().any(|r| r.function == "get_ref"));
+
+        let fixed_program = parse_program([lib_fixed, app]).unwrap();
+        let after = reanalyze(&fixed_program, &apis, &before, &["get_ref"], &options);
+        assert!(after.reports.iter().all(|r| r.function != "get_ref"));
+        assert!(
+            after.reports.iter().any(|r| r.function == "caller"),
+            "caller inconsistency must surface after the fix: {:?}",
+            after.reports
+        );
+    }
+}

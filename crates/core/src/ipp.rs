@@ -1,0 +1,252 @@
+//! Inconsistent path pair checking (step III of Figure 4; §4.5).
+//!
+//! Two path summaries `Si`, `Sj` form an *inconsistent path pair* when
+//! `Si.cons ∧ Sj.cons` is satisfiable (the paths can be entered with the
+//! same arguments and return the same value — they are indistinguishable
+//! from outside) yet they change some refcount differently. Each differing
+//! refcount is reported as a bug; one of the two paths is then discarded
+//! so the inconsistency is not re-reported at every call site (§4.5).
+
+use rid_ir::BlockId;
+use rid_solver::{Conj, SatOptions, Term};
+use serde::{Deserialize, Serialize};
+
+use crate::exec::PathEntry;
+use crate::summary::{Summary, SummaryEntry};
+
+/// A refcount bug found by IPP checking.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct IppReport {
+    /// Function containing the inconsistent pair.
+    pub function: String,
+    /// The refcount with inconsistent changes.
+    pub refcount: Term,
+    /// Change along the kept path.
+    pub change_a: i64,
+    /// Change along the discarded path.
+    pub change_b: i64,
+    /// Structural path index of the kept path.
+    pub path_a: usize,
+    /// Structural path index of the discarded path.
+    pub path_b: usize,
+    /// Block trace of the kept path.
+    #[serde(skip)]
+    pub trace_a: Vec<BlockId>,
+    /// Block trace of the discarded path.
+    #[serde(skip)]
+    pub trace_b: Vec<BlockId>,
+    /// The satisfiable joint constraint witnessing indistinguishability.
+    pub witness: Conj,
+    /// Whether this report came from the callback-contract extension
+    /// (return-value-blind checking of registered callbacks; see
+    /// [`crate::callbacks`]).
+    #[serde(default)]
+    pub callback: bool,
+    /// A concrete assignment (argument fields, return value) under which
+    /// both paths are feasible — an example the developer can replay.
+    #[serde(default)]
+    pub witness_model: Vec<(Term, i64)>,
+}
+
+/// Result of checking one function's path summaries.
+#[derive(Clone, Debug, Default)]
+pub struct IppOutcome {
+    /// Bug reports, in deterministic order.
+    pub reports: Vec<IppReport>,
+    /// Indices (into the input slice) of the path entries kept for the
+    /// function summary.
+    pub kept: Vec<usize>,
+}
+
+/// Checks all pairs of path entries for inconsistency.
+///
+/// Pairs are visited in index order; when a pair is inconsistent the
+/// higher-indexed entry is discarded (the paper drops one of the two at
+/// random — a deterministic choice makes runs reproducible, and §5.4 notes
+/// either choice can be wrong).
+#[must_use]
+pub fn check_ipps(function: &str, entries: &[PathEntry], sat: SatOptions) -> IppOutcome {
+    let mut outcome = IppOutcome::default();
+    let mut alive: Vec<bool> = vec![true; entries.len()];
+
+    for i in 0..entries.len() {
+        if !alive[i] {
+            continue;
+        }
+        for j in (i + 1)..entries.len() {
+            if !alive[j] {
+                continue;
+            }
+            let (a, b) = (&entries[i], &entries[j]);
+            let diffs = differing_refcounts(&a.entry, &b.entry);
+            if diffs.is_empty() {
+                continue;
+            }
+            let mut joint = a.entry.cons.and(&b.entry.cons);
+            if !joint.is_sat_with(sat) {
+                continue; // distinguishable from outside — consistent
+            }
+            joint.normalize();
+            let witness_model = joint.find_model(sat).unwrap_or_default();
+            for rc in diffs {
+                outcome.reports.push(IppReport {
+                    function: function.to_owned(),
+                    change_a: a.entry.change(&rc),
+                    change_b: b.entry.change(&rc),
+                    refcount: rc,
+                    path_a: a.path_index,
+                    path_b: b.path_index,
+                    trace_a: a.trace.clone(),
+                    trace_b: b.trace.clone(),
+                    witness: joint.clone(),
+                    callback: false,
+                    witness_model: witness_model.clone(),
+                });
+            }
+            alive[j] = false;
+        }
+    }
+    outcome.kept = (0..entries.len()).filter(|&i| alive[i]).collect();
+    outcome
+}
+
+/// The refcounts whose changes differ between two entries.
+fn differing_refcounts(a: &SummaryEntry, b: &SummaryEntry) -> Vec<Term> {
+    let mut keys: Vec<&Term> = a.changes.keys().chain(b.changes.keys()).collect();
+    keys.sort();
+    keys.dedup();
+    keys.into_iter().filter(|rc| a.change(rc) != b.change(rc)).cloned().collect()
+}
+
+/// Builds the function summary from the kept entries (§4.5: "the set of
+/// path summaries excluding the ones discarded during IPP checking"),
+/// appending the default entry when analysis was partial.
+#[must_use]
+pub fn build_summary(
+    function: &str,
+    entries: &[PathEntry],
+    outcome: &IppOutcome,
+    partial: bool,
+) -> Summary {
+    let mut summary = Summary::new(function);
+    summary.partial = partial;
+    for &i in &outcome.kept {
+        summary.entries.push(entries[i].entry.clone());
+    }
+    if partial {
+        summary.entries.push(SummaryEntry::default_entry());
+    }
+    summary.dedup_entries();
+    summary
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rid_ir::Pred;
+    use rid_solver::{Lit, Var};
+    use std::collections::BTreeMap;
+
+    fn pe(cons: Conj, changes: &[(Term, i64)], path_index: usize) -> PathEntry {
+        let mut map = BTreeMap::new();
+        for (rc, delta) in changes {
+            map.insert(rc.clone(), *delta);
+        }
+        PathEntry {
+            entry: SummaryEntry { cons, changes: map, ret: None },
+            path_index,
+            trace: vec![BlockId(0)],
+        }
+    }
+
+    fn pm() -> Term {
+        Term::var(Var::formal(0)).field("pm")
+    }
+
+    fn ret_is(v: i64) -> Conj {
+        Conj::from_lits([Lit::new(Pred::Eq, Term::var(Var::ret()), Term::int(v))])
+    }
+
+    #[test]
+    fn indistinguishable_different_changes_is_reported() {
+        let entries =
+            vec![pe(ret_is(0), &[(pm(), 1)], 0), pe(ret_is(0), &[], 1)];
+        let out = check_ipps("foo", &entries, SatOptions::default());
+        assert_eq!(out.reports.len(), 1);
+        let r = &out.reports[0];
+        assert_eq!(r.refcount, pm());
+        assert_eq!((r.change_a, r.change_b), (1, 0));
+        assert_eq!(out.kept, vec![0]);
+        assert!(r.witness.is_sat());
+    }
+
+    #[test]
+    fn distinguishable_paths_are_consistent() {
+        let entries =
+            vec![pe(ret_is(-1), &[(pm(), 1)], 0), pe(ret_is(0), &[], 1)];
+        let out = check_ipps("foo", &entries, SatOptions::default());
+        assert!(out.reports.is_empty());
+        assert_eq!(out.kept, vec![0, 1]);
+    }
+
+    #[test]
+    fn equal_changes_are_consistent() {
+        let entries =
+            vec![pe(ret_is(0), &[(pm(), 1)], 0), pe(ret_is(0), &[(pm(), 1)], 1)];
+        let out = check_ipps("foo", &entries, SatOptions::default());
+        assert!(out.reports.is_empty());
+    }
+
+    #[test]
+    fn one_report_per_differing_refcount() {
+        let usage = Term::var(Var::formal(0)).field("usage");
+        let entries = vec![
+            pe(ret_is(0), &[(pm(), 1), (usage.clone(), 1)], 0),
+            pe(ret_is(0), &[], 1),
+        ];
+        let out = check_ipps("foo", &entries, SatOptions::default());
+        assert_eq!(out.reports.len(), 2);
+        let rcs: Vec<&Term> = out.reports.iter().map(|r| &r.refcount).collect();
+        assert!(rcs.contains(&&pm()) && rcs.contains(&&usage));
+    }
+
+    #[test]
+    fn discarded_entry_not_rechecked() {
+        // Three equal-constraint entries with changes 1, 0, 0: entry 1 is
+        // discarded after the first pair; entries 0 and 2 then still form
+        // a pair. Total two pairs, entry 2 also dropped.
+        let entries = vec![
+            pe(ret_is(0), &[(pm(), 1)], 0),
+            pe(ret_is(0), &[], 1),
+            pe(ret_is(0), &[], 2),
+        ];
+        let out = check_ipps("foo", &entries, SatOptions::default());
+        assert_eq!(out.reports.len(), 2);
+        assert_eq!(out.kept, vec![0]);
+    }
+
+    #[test]
+    fn summary_built_from_kept_entries() {
+        let entries =
+            vec![pe(ret_is(0), &[(pm(), 1)], 0), pe(ret_is(0), &[], 1)];
+        let out = check_ipps("foo", &entries, SatOptions::default());
+        let summary = build_summary("foo", &entries, &out, false);
+        assert_eq!(summary.entries.len(), 1);
+        assert!(summary.entries[0].has_changes());
+        assert!(!summary.partial);
+
+        let partial = build_summary("foo", &entries, &out, true);
+        assert!(partial.partial);
+        assert_eq!(partial.entries.len(), 2); // kept + default
+    }
+
+    #[test]
+    fn overlapping_but_compatible_constraints_pair_up() {
+        // cons_a: ret ≥ 0, cons_b: ret ≤ 0 — they overlap at ret = 0.
+        let a = Conj::from_lits([Lit::new(Pred::Ge, Term::var(Var::ret()), Term::int(0))]);
+        let b = Conj::from_lits([Lit::new(Pred::Le, Term::var(Var::ret()), Term::int(0))]);
+        let entries = vec![pe(a, &[(pm(), 1)], 0), pe(b, &[], 1)];
+        let out = check_ipps("foo", &entries, SatOptions::default());
+        assert_eq!(out.reports.len(), 1);
+    }
+}

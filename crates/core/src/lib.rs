@@ -1,0 +1,76 @@
+//! # rid-core — inconsistent path pair checking
+//!
+//! This crate implements the RID analysis from *RID: Finding Reference
+//! Count Bugs with Inconsistent Path Pair Checking* (ASPLOS 2016):
+//!
+//! * **function summaries** ([`Summary`], §4.3) record refcount changes and
+//!   return values under constraints;
+//! * **predefined summaries** ([`apis`], §5.1) encode refcount API
+//!   specifications — the only input the analysis needs;
+//! * **path enumeration** ([`paths`], loops unrolled once, §4.2);
+//! * **symbolic execution** ([`exec`], Figure 6 / Algorithm 1) calculates
+//!   one summary entry per feasible path subcase, then removes conditions
+//!   on local variables by exact projection;
+//! * **IPP checking** ([`ipp`], §4.5) reports any two entries that are
+//!   indistinguishable from outside (same arguments, same return value)
+//!   yet change a refcount differently;
+//! * **selective analysis** ([`classify`], §5.2) concentrates work on the
+//!   small portion of a kernel that can affect refcounts;
+//! * the **driver** ([`driver`]) runs everything bottom-up over the call
+//!   graph, optionally in parallel, and [`persist`] implements the
+//!   separate-compilation mode of §5.3;
+//! * two extensions from the paper's future-work list are included and
+//!   off by default: the **callback contract** ([`callbacks`]) catches
+//!   the Figure 10 class through function-pointer registrations, and
+//!   **incremental recheck** ([`incremental`]) re-analyzes only the
+//!   callers of a fixed function (§5.4, limitation 4).
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rid_core::{analyze_sources, apis::linux_dpm_apis, AnalysisOptions};
+//!
+//! // The Figure 8 bug: pm_runtime_get_sync increments the PM count even
+//! // when it fails, but the early-error return skips the put.
+//! let src = r#"module radeon;
+//!     fn radeon_crtc_set_config(dev, set) {
+//!         let ret = pm_runtime_get_sync(dev);
+//!         if (ret < 0) { return ret; }
+//!         ret = drm_crtc_helper_set_config(set);
+//!         pm_runtime_put_autosuspend(dev);
+//!         return ret;
+//!     }"#;
+//! let result = analyze_sources([src], &linux_dpm_apis(), &AnalysisOptions::default())?;
+//! assert_eq!(result.reports.len(), 1);
+//! # Ok::<(), rid_frontend::FrontendError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apis;
+pub mod callbacks;
+pub mod callgraph;
+pub mod checks;
+pub mod classify;
+pub mod driver;
+pub mod exec;
+pub mod incremental;
+pub mod ipp;
+pub mod mining;
+pub mod paths;
+pub mod persist;
+pub mod report;
+pub mod slice;
+pub mod summary;
+
+pub use callgraph::CallGraph;
+pub use classify::{Category, CategoryCounts, Classification};
+pub use driver::{
+    analyze_program, analyze_sources, AnalysisOptions, AnalysisResult, AnalysisStats,
+};
+pub use exec::{summarize_paths, PathEntry, SummarizeOutcome};
+pub use ipp::{check_ipps, IppOutcome, IppReport};
+pub use paths::{enumerate_paths, Path, PathLimits, PathSet};
+pub use report::{classify_report, render_report, render_reports, BugKind};
+pub use summary::{Summary, SummaryDb, SummaryEntry};

@@ -1,0 +1,236 @@
+//! Path enumeration (step I of Figure 4).
+//!
+//! All entry-to-exit paths of a function are enumerated structurally, with
+//! loops unrolled at most once (each block may appear at most
+//! [`PathLimits::max_block_visits`] times on a path) and a global cap on
+//! the number of paths. Feasibility is decided later by the symbolic
+//! executor; enumeration is purely structural.
+
+use rid_ir::{BlockId, Function, Terminator};
+use serde::{Deserialize, Serialize};
+
+/// Limits controlling path enumeration and symbolic execution (§5.2; the
+/// paper's evaluation uses 100 paths per function and 10 subcases per
+/// path, §6.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PathLimits {
+    /// Maximum number of entry-to-exit paths enumerated per function.
+    pub max_paths: usize,
+    /// Maximum times a block may occur on one path (2 = "loops unrolled at
+    /// most once").
+    pub max_block_visits: u32,
+    /// Maximum symbolic states forked from one path by callee-summary
+    /// entries ("subcases in a path").
+    pub max_subcases: usize,
+    /// Maximum entries kept in one function summary before falling back to
+    /// the default entry.
+    pub max_entries: usize,
+}
+
+impl Default for PathLimits {
+    fn default() -> Self {
+        PathLimits { max_paths: 100, max_block_visits: 2, max_subcases: 10, max_entries: 64 }
+    }
+}
+
+/// One structural path: the sequence of blocks from entry to a `return`.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Path {
+    /// Blocks in execution order; the last block ends in
+    /// [`Terminator::Return`].
+    pub blocks: Vec<BlockId>,
+}
+
+/// The outcome of path enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PathSet {
+    /// The enumerated paths.
+    pub paths: Vec<Path>,
+    /// Whether enumeration stopped early because [`PathLimits::max_paths`]
+    /// was reached (the function then gets a default summary entry, §5.2).
+    pub truncated: bool,
+}
+
+/// Enumerates all entry-to-exit paths of `func` under `limits`.
+#[must_use]
+pub fn enumerate_paths(func: &Function, limits: &PathLimits) -> PathSet {
+    let n = func.blocks().len();
+    let mut paths = Vec::new();
+    let mut truncated = false;
+
+    // Iterative DFS; each stack frame is (path-so-far, visit counts).
+    struct Frame {
+        path: Vec<BlockId>,
+        visits: Vec<u32>,
+    }
+    let mut initial_visits = vec![0u32; n];
+    initial_visits[0] = 1;
+    let mut stack = vec![Frame { path: vec![BlockId::ENTRY], visits: initial_visits }];
+
+    while let Some(frame) = stack.pop() {
+        if paths.len() >= limits.max_paths {
+            truncated = true;
+            break;
+        }
+        let last = *frame.path.last().expect("paths are non-empty");
+        match &func.block(last).term {
+            Terminator::Return(_) => {
+                paths.push(Path { blocks: frame.path });
+            }
+            Terminator::Unreachable => {
+                // The path dies without reaching an exit; discard it.
+            }
+            term => {
+                let succs = term.successors();
+                // Push in reverse so the "then" branch is explored first.
+                for succ in succs.into_iter().rev() {
+                    if frame.visits[succ.index()] >= limits.max_block_visits {
+                        // Loop unrolling limit reached; this continuation
+                        // is abandoned, which can hide loop-dependent bugs
+                        // (limitation 2 in §5.4).
+                        continue;
+                    }
+                    let mut path = frame.path.clone();
+                    path.push(succ);
+                    let mut visits = frame.visits.clone();
+                    visits[succ.index()] += 1;
+                    stack.push(Frame { path, visits });
+                }
+            }
+        }
+    }
+    if !stack.is_empty() {
+        truncated = true;
+    }
+    PathSet { paths, truncated }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rid_ir::{FunctionBuilder, Operand, Pred, Rvalue};
+
+    fn limits() -> PathLimits {
+        PathLimits::default()
+    }
+
+    #[test]
+    fn straight_line_has_one_path() {
+        let mut b = FunctionBuilder::new("f", Vec::<String>::new());
+        b.ret(0);
+        let f = b.finish().unwrap();
+        let set = enumerate_paths(&f, &limits());
+        assert_eq!(set.paths.len(), 1);
+        assert!(!set.truncated);
+        assert_eq!(set.paths[0].blocks, vec![BlockId(0)]);
+    }
+
+    fn diamond() -> rid_ir::Function {
+        let mut b = FunctionBuilder::new("f", ["x"]);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.assign("c", Rvalue::cmp(Pred::Gt, Operand::var("x"), Operand::Int(0)));
+        b.branch("c", t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_has_two_paths_then_first() {
+        let set = enumerate_paths(&diamond(), &limits());
+        assert_eq!(set.paths.len(), 2);
+        // Then-branch explored first.
+        assert_eq!(set.paths[0].blocks, vec![BlockId(0), BlockId(1), BlockId(3)]);
+        assert_eq!(set.paths[1].blocks, vec![BlockId(0), BlockId(2), BlockId(3)]);
+    }
+
+    fn looped() -> rid_ir::Function {
+        let mut b = FunctionBuilder::new("f", ["n"]);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(head);
+        b.switch_to(head);
+        b.assign("c", Rvalue::cmp(Pred::Gt, Operand::var("n"), Operand::Int(0)));
+        b.branch("c", body, exit);
+        b.switch_to(body);
+        b.call("work", []);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn loops_unrolled_once() {
+        let set = enumerate_paths(&looped(), &limits());
+        // Zero-iteration and one-iteration paths only.
+        assert_eq!(set.paths.len(), 2);
+        let lens: Vec<usize> = set.paths.iter().map(|p| p.blocks.len()).collect();
+        assert!(lens.contains(&3)); // entry, head, exit
+        assert!(lens.contains(&5)); // entry, head, body, head, exit
+        assert!(!set.truncated);
+    }
+
+    #[test]
+    fn path_cap_truncates() {
+        // A chain of k diamonds has 2^k paths; cap at 100.
+        let mut b = FunctionBuilder::new("f", ["x"]);
+        let mut cur_join = None;
+        for i in 0..10 {
+            if let Some(j) = cur_join {
+                b.switch_to(j);
+            }
+            let t = b.new_block();
+            let e = b.new_block();
+            let j = b.new_block();
+            b.assign(
+                format!("c{i}"),
+                Rvalue::cmp(Pred::Gt, Operand::var("x"), Operand::Int(i)),
+            );
+            b.branch(format!("c{i}"), t, e);
+            b.switch_to(t);
+            b.jump(j);
+            b.switch_to(e);
+            b.jump(j);
+            cur_join = Some(j);
+        }
+        b.switch_to(cur_join.unwrap());
+        b.ret(0);
+        let f = b.finish().unwrap();
+        let set = enumerate_paths(&f, &limits());
+        assert_eq!(set.paths.len(), 100);
+        assert!(set.truncated);
+    }
+
+    #[test]
+    fn unreachable_terminator_discards_path() {
+        let mut b = FunctionBuilder::new("f", ["x"]);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.assign("c", Rvalue::cmp(Pred::Eq, Operand::var("x"), Operand::Int(0)));
+        b.branch("c", t, e);
+        b.switch_to(t);
+        b.unreachable();
+        b.switch_to(e);
+        b.ret(0);
+        let f = b.finish().unwrap();
+        let set = enumerate_paths(&f, &limits());
+        assert_eq!(set.paths.len(), 1);
+    }
+
+    #[test]
+    fn custom_visit_budget_allows_deeper_unrolling() {
+        let f = looped();
+        let mut lim = limits();
+        lim.max_block_visits = 3;
+        let set = enumerate_paths(&f, &lim);
+        assert_eq!(set.paths.len(), 3); // 0, 1 and 2 iterations
+    }
+}

@@ -1,0 +1,212 @@
+//! Bug-report rendering and heuristic classification.
+//!
+//! §6.2 of the paper observes two dominant bug classes: developers'
+//! misunderstanding of API specifications (Figure 8) and improper error
+//! handling (Figure 9). This module adds a lightweight classifier over IPP
+//! reports plus human-readable rendering that restores source-level
+//! parameter names.
+
+use std::fmt::Write as _;
+
+use rid_ir::{Function, Program};
+use rid_solver::{Term, Var, VarKind};
+use serde::{Deserialize, Serialize};
+
+use crate::ipp::IppReport;
+
+/// A heuristic classification of an IPP report.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum BugKind {
+    /// Some path leaves the refcount elevated — the count can never return
+    /// to zero (characteristic 3 violation): a missed release / leak, the
+    /// Figure 8/9 shape.
+    MissedRelease,
+    /// Some path decrements more than its pair — the count can go negative
+    /// (characteristic 4 violation): a double put / use after suspend.
+    OverRelease,
+    /// The inconsistent refcount belongs to an object that never escapes
+    /// the function: a leaked local reference (common in Python/C code).
+    LocalLeak,
+}
+
+impl BugKind {
+    /// Short human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BugKind::MissedRelease => "missed release (refcount never returns to zero)",
+            BugKind::OverRelease => "over release (refcount can go negative)",
+            BugKind::LocalLeak => "leaked local reference",
+        }
+    }
+}
+
+/// Classifies a report heuristically (see [`BugKind`]).
+#[must_use]
+pub fn classify_report(report: &IppReport) -> BugKind {
+    if let Some(root) = report.refcount.root_var() {
+        if root.kind == VarKind::Opaque {
+            return BugKind::LocalLeak;
+        }
+    }
+    if report.change_a.max(report.change_b) > 0 {
+        BugKind::MissedRelease
+    } else {
+        BugKind::OverRelease
+    }
+}
+
+/// Renders a [`Term`] with source-level names for formal arguments of
+/// `func` (`[arg0].pm` becomes `[dev].pm`).
+#[must_use]
+pub fn pretty_term(term: &Term, func: Option<&Function>) -> String {
+    match term {
+        Term::Int(v) => v.to_string(),
+        Term::Var(var) => pretty_var(*var, func),
+        Term::Field(base, field) => format!("{}.{field}", pretty_term(base, func)),
+    }
+}
+
+fn pretty_var(var: Var, func: Option<&Function>) -> String {
+    match (var.kind, func) {
+        (VarKind::Formal, Some(f)) => match f.params().get(var.id as usize) {
+            Some(name) => format!("[{name}]"),
+            None => var.to_string(),
+        },
+        (VarKind::Opaque, _) => format!("<local object #{}>", var.id),
+        _ => var.to_string(),
+    }
+}
+
+/// Renders one report as human-readable text.
+///
+/// When `program` is given, formal-argument indices are replaced by the
+/// function's parameter names.
+#[must_use]
+pub fn render_report(report: &IppReport, program: Option<&Program>) -> String {
+    let func = program.and_then(|p| p.function(&report.function));
+    let kind = classify_report(report);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "[{}] inconsistent refcount changes in `{}`{}",
+        kind.label(),
+        report.function,
+        if report.callback { " (callback contract)" } else { "" }
+    );
+    let _ = writeln!(
+        out,
+        "  refcount : {}",
+        pretty_term(&report.refcount, func)
+    );
+    let _ = writeln!(
+        out,
+        "  path #{:<3} changes it by {:+}; path #{:<3} by {:+}",
+        report.path_a, report.change_a, report.path_b, report.change_b
+    );
+    let _ = writeln!(
+        out,
+        "  both paths are feasible and indistinguishable under: {}",
+        report.witness
+    );
+    if !report.witness_model.is_empty() {
+        let assignments: Vec<String> = report
+            .witness_model
+            .iter()
+            .map(|(t, v)| format!("{} = {v}", pretty_term(t, func)))
+            .collect();
+        let _ = writeln!(out, "  example  : {}", assignments.join(", "));
+    }
+    let _ = writeln!(
+        out,
+        "  traces   : kept {:?}, discarded {:?}",
+        report.trace_a.iter().map(|b| b.0).collect::<Vec<_>>(),
+        report.trace_b.iter().map(|b| b.0).collect::<Vec<_>>()
+    );
+    out
+}
+
+/// Renders all reports of a result, grouped and ordered.
+#[must_use]
+pub fn render_reports(reports: &[IppReport], program: Option<&Program>) -> String {
+    if reports.is_empty() {
+        return "no inconsistent path pairs found\n".to_owned();
+    }
+    let mut out = String::new();
+    for (i, report) in reports.iter().enumerate() {
+        let _ = writeln!(out, "--- report {} of {} ---", i + 1, reports.len());
+        out.push_str(&render_report(report, program));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apis::linux_dpm_apis;
+    use crate::driver::{analyze_sources, AnalysisOptions};
+    use rid_solver::Conj;
+
+    fn sample_report() -> IppReport {
+        IppReport {
+            function: "f".into(),
+            refcount: Term::var(Var::formal(0)).field("pm"),
+            change_a: 1,
+            change_b: 0,
+            path_a: 0,
+            path_b: 1,
+            trace_a: vec![],
+            trace_b: vec![],
+            witness: Conj::truth(),
+            callback: false,
+            witness_model: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn missed_release_classification() {
+        assert_eq!(classify_report(&sample_report()), BugKind::MissedRelease);
+    }
+
+    #[test]
+    fn over_release_classification() {
+        let mut r = sample_report();
+        r.change_a = -1;
+        r.change_b = 0;
+        assert_eq!(classify_report(&r), BugKind::OverRelease);
+    }
+
+    #[test]
+    fn local_leak_classification() {
+        let mut r = sample_report();
+        r.refcount = Term::var(Var::opaque(0, 0)).field("rc");
+        assert_eq!(classify_report(&r), BugKind::LocalLeak);
+    }
+
+    #[test]
+    fn pretty_terms_use_parameter_names() {
+        let src = r#"module m;
+            extern fn pm_runtime_get_sync;
+            fn f(dev) {
+                let ret = pm_runtime_get_sync(dev);
+                if (ret < 0) { return 0; }
+                pm_runtime_put(dev);
+                return 0;
+            }"#;
+        let program = rid_frontend::parse_program([src]).unwrap();
+        let result = analyze_sources([src], &linux_dpm_apis(), &AnalysisOptions::default())
+            .unwrap();
+        assert!(!result.reports.is_empty());
+        let text = render_report(&result.reports[0], Some(&program));
+        assert!(text.contains("[dev].pm"), "got: {text}");
+        assert!(text.contains('f'));
+    }
+
+    #[test]
+    fn render_reports_empty_and_nonempty() {
+        assert!(render_reports(&[], None).contains("no inconsistent"));
+        let text = render_reports(&[sample_report()], None);
+        assert!(text.contains("report 1 of 1"));
+        assert!(text.contains("[arg0].pm"));
+    }
+}

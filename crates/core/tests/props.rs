@@ -1,0 +1,135 @@
+//! Property-based tests over rid-core: path-enumeration invariants on
+//! random CFGs and determinism of the analysis pipeline.
+
+use proptest::prelude::*;
+use rid_core::{enumerate_paths, PathLimits};
+use rid_ir::{BlockId, Function, FunctionBuilder, Operand, Pred, Rvalue, Terminator};
+
+/// A compact recipe for a random (valid) CFG: per block, whether it
+/// branches or returns, and pseudo-random successor picks.
+#[derive(Clone, Debug)]
+struct CfgRecipe {
+    blocks: Vec<(u8, u8, u8)>, // (kind selector, succ1 seed, succ2 seed)
+}
+
+fn recipe() -> impl Strategy<Value = CfgRecipe> {
+    prop::collection::vec((0u8..=255, 0u8..=255, 0u8..=255), 1..10)
+        .prop_map(|blocks| CfgRecipe { blocks })
+}
+
+/// Builds a structurally valid function from a recipe. Successors always
+/// point at existing blocks; a quarter of blocks return.
+fn build(recipe: &CfgRecipe) -> Function {
+    let n = recipe.blocks.len();
+    let mut b = FunctionBuilder::new("f", ["x"]);
+    for _ in 1..n {
+        b.new_block();
+    }
+    for (i, &(kind, s1, s2)) in recipe.blocks.iter().enumerate() {
+        b.switch_to(BlockId(i as u32));
+        let succ1 = BlockId((s1 as usize % n) as u32);
+        let succ2 = BlockId((s2 as usize % n) as u32);
+        match kind % 4 {
+            0 => {
+                b.ret(Operand::Int(i64::from(kind)));
+            }
+            1 => {
+                b.jump(succ1);
+            }
+            _ => {
+                b.assign(
+                    format!("c{i}"),
+                    Rvalue::cmp(Pred::Gt, Operand::var("x"), Operand::Int(i64::from(s1))),
+                );
+                b.branch(format!("c{i}"), succ1, succ2);
+            }
+        }
+    }
+    b.finish().expect("recipe builds a valid function")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Every enumerated path starts at the entry, ends at a return, obeys
+    /// the visit limit, follows real CFG edges, and the path count
+    /// respects the cap.
+    #[test]
+    fn enumerated_paths_are_well_formed(r in recipe()) {
+        let func = build(&r);
+        let limits = PathLimits::default();
+        let set = enumerate_paths(&func, &limits);
+        prop_assert!(set.paths.len() <= limits.max_paths);
+        for path in &set.paths {
+            prop_assert_eq!(path.blocks[0], BlockId::ENTRY);
+            let last = *path.blocks.last().unwrap();
+            prop_assert!(matches!(func.block(last).term, Terminator::Return(_)));
+            // Edges are real.
+            for pair in path.blocks.windows(2) {
+                let succs = func.block(pair[0]).term.successors();
+                prop_assert!(succs.contains(&pair[1]));
+            }
+            // Visit limit respected.
+            let mut visits = vec![0u32; func.blocks().len()];
+            for block in &path.blocks {
+                visits[block.index()] += 1;
+            }
+            prop_assert!(visits.iter().all(|&v| v <= limits.max_block_visits));
+        }
+        // Enumeration is deterministic.
+        let again = enumerate_paths(&func, &limits);
+        prop_assert_eq!(set.paths, again.paths);
+    }
+
+    /// Tightening the visit budget never yields more paths.
+    #[test]
+    fn visit_budget_is_monotone(r in recipe()) {
+        let func = build(&r);
+        let tight = PathLimits { max_block_visits: 1, ..Default::default() };
+        let loose = PathLimits { max_block_visits: 2, ..Default::default() };
+        let a = enumerate_paths(&func, &tight);
+        let b = enumerate_paths(&func, &loose);
+        prop_assert!(a.paths.len() <= b.paths.len());
+    }
+}
+
+proptest! {
+    // Whole-pipeline properties are slower; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Any corpus seed produces a parseable corpus on which the analysis
+    /// finds every detectable seeded bug and nothing on clean functions.
+    #[test]
+    fn any_seed_upholds_ground_truth(seed in 0u64..10_000) {
+        use rid_corpus::kernel::{generate_kernel, KernelConfig};
+        let corpus = generate_kernel(&KernelConfig::tiny(seed));
+        let result = rid_core::analyze_sources(
+            corpus.sources.iter().map(String::as_str),
+            &rid_core::apis::linux_dpm_apis(),
+            &rid_core::AnalysisOptions::default(),
+        )
+        .expect("corpus parses");
+        let reported: std::collections::HashSet<&str> =
+            result.reports.iter().map(|r| r.function.as_str()).collect();
+        for f in corpus.detectable_bug_functions() {
+            prop_assert!(reported.contains(f), "seed {seed}: `{f}` missed");
+        }
+        for f in corpus.missed_bug_functions() {
+            prop_assert!(!reported.contains(f), "seed {seed}: `{f}` should be missed");
+        }
+        // No reports outside seeded bugs and seeded FP idioms.
+        let legit: std::collections::HashSet<&str> = corpus
+            .bugs
+            .iter()
+            .map(|b| b.function.as_str())
+            .chain(corpus.expected_false_positives.iter().map(String::as_str))
+            .collect();
+        for report in &result.reports {
+            prop_assert!(
+                legit.contains(report.function.as_str()),
+                "seed {seed}: unexpected report on `{}`",
+                report.function
+            );
+        }
+    }
+}

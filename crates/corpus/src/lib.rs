@@ -1,0 +1,30 @@
+//! # rid-corpus — synthetic evaluation corpora with ground truth
+//!
+//! The RID paper evaluates against the Linux 3.17 kernel and three
+//! Python/C extension modules — artifacts we cannot ship. This crate
+//! substitutes deterministic, seeded *generators* that reproduce the
+//! idioms the paper's evaluation depends on, each instance labelled with
+//! ground truth so detection can be *measured* rather than hand-confirmed:
+//!
+//! * [`kernel`] generates a synthetic Linux-like kernel: subsystems with
+//!   DPM wrapper layers (the `usb_autopm_get_interface` pattern of
+//!   Figure 9), drivers whose error handling is seeded with the paper's
+//!   bug classes (Figures 8–10), false-positive-inducing constructs
+//!   (§6.4), and a large mass of refcount-irrelevant functions shaping the
+//!   Table 1 census;
+//! * [`pyc`] generates Python/C-extension-like modules with
+//!   CPython-refcount bug mixes calibrated to Table 2 (bugs both tools
+//!   find, bugs only RID's SSA/path-sensitivity finds, and bugs only an
+//!   escape-rule checker like Cpychecker finds).
+//!
+//! Everything is emitted as RIL source text (see `rid-frontend`), so the
+//! corpus exercises the full pipeline end-to-end.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod kernel;
+pub mod pyc;
+
+pub use kernel::{GetCallSite, KernelConfig, KernelCorpus, SeededBug, SeededBugRecord};
+pub use pyc::{PycBugClass, PycConfig, PycCorpus, PycProgram};

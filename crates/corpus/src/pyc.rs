@@ -1,0 +1,369 @@
+//! Python/C extension generator for the Table 2 comparison (§6.6).
+//!
+//! The paper compares RID against Cpychecker on three Python/C programs
+//! (krbV, ldap, pyaudio). This generator emits RIL modules using the
+//! CPython refcount API (see `rid_core::apis::python_c_apis`) with three
+//! calibrated bug classes:
+//!
+//! * **Common** — a missing `Py_DECREF` on an error path in
+//!   single-assignment code: RID pairs the two error paths; an
+//!   escape-rule checker sees the unbalanced count. Both tools find it.
+//! * **RidOnly** — the same bug in a function that *reassigns* a status
+//!   variable: Cpychecker's non-SSA analysis bails out (the paper
+//!   attributes RID's surplus exactly to SSA handling, §6.6), while RID's
+//!   path summaries are unaffected.
+//! * **BaselineOnly** — a single-path leak (an `Py_INCREF` never
+//!   balanced): there is no path *pair*, so RID is silent by
+//!   construction; the escape rule flags the imbalance. This is the small
+//!   Cpychecker-specific column.
+//!
+//! Wrapper functions (`*_incref_*`) that intentionally change counts for
+//! their callers are also emitted: the escape rule false-alarms on every
+//! one of them (§2.1), RID on none.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serde::{Deserialize, Serialize};
+
+/// Ground-truth class of a seeded Python/C bug.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PycBugClass {
+    /// Found by both RID and the escape-rule baseline.
+    Common,
+    /// Found only by RID (the baseline bails on reassigned variables).
+    RidOnly,
+    /// Found only by the baseline (no inconsistent path pair exists).
+    BaselineOnly,
+}
+
+/// Ground truth for one seeded bug.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PycBugRecord {
+    /// Function containing the bug.
+    pub function: String,
+    /// Expected detection class.
+    pub class: PycBugClass,
+}
+
+/// One generated Python/C-style program.
+#[derive(Clone, Debug, Default)]
+pub struct PycProgram {
+    /// Program name (e.g. `krbv`).
+    pub name: String,
+    /// RIL module sources.
+    pub sources: Vec<String>,
+    /// Seeded bugs with classes.
+    pub bugs: Vec<PycBugRecord>,
+    /// Intentional refcount-changing wrappers: the escape-rule baseline
+    /// false-alarms on these (§2.1); they are *not* bugs.
+    pub wrappers: Vec<String>,
+    /// Correct (bug-free) functions, for false-positive accounting.
+    pub correct_functions: usize,
+}
+
+/// Per-program bug mix: `(name, common, rid_only, baseline_only)`.
+pub type ProgramMix = (&'static str, usize, usize, usize);
+
+/// Generator configuration.
+#[derive(Clone, Debug)]
+pub struct PycConfig {
+    /// RNG seed.
+    pub seed: u64,
+    /// Program mixes; defaults to the Table 2 shape:
+    /// krbV (48, 86, 14), ldap (7, 13, 1), pyaudio (31, 15, 1).
+    pub programs: Vec<ProgramMix>,
+    /// Correct background functions per program.
+    pub correct_per_program: usize,
+    /// Wrapper functions per program.
+    pub wrappers_per_program: usize,
+}
+
+impl Default for PycConfig {
+    fn default() -> Self {
+        PycConfig {
+            seed: 2016,
+            programs: vec![
+                ("krbv", 48, 86, 14),
+                ("ldap", 7, 13, 1),
+                ("pyaudio", 31, 15, 1),
+            ],
+            correct_per_program: 40,
+            wrappers_per_program: 6,
+        }
+    }
+}
+
+impl PycConfig {
+    /// A small mix for tests.
+    #[must_use]
+    pub fn tiny(seed: u64) -> PycConfig {
+        PycConfig {
+            seed,
+            programs: vec![("demo", 3, 2, 2)],
+            correct_per_program: 5,
+            wrappers_per_program: 2,
+        }
+    }
+}
+
+/// A generated corpus: one [`PycProgram`] per configured program.
+#[derive(Clone, Debug, Default)]
+pub struct PycCorpus {
+    /// The generated programs.
+    pub programs: Vec<PycProgram>,
+}
+
+const ALLOCATORS: &[&str] =
+    &["PyList_New", "PyDict_New", "PyTuple_New", "PyInt_FromLong", "Py_BuildValue"];
+
+fn allocator_call(rng: &mut StdRng) -> String {
+    let api = ALLOCATORS[rng.gen_range(0..ALLOCATORS.len())];
+    match api {
+        "PyInt_FromLong" => format!("PyInt_FromLong({})", rng.gen_range(0..100)),
+        "Py_BuildValue" => "Py_BuildValue(0)".to_owned(),
+        other => format!("{other}(0)"),
+    }
+}
+
+/// Generates the corpus. Deterministic in the seed.
+#[must_use]
+pub fn generate_pyc(config: &PycConfig) -> PycCorpus {
+    let mut corpus = PycCorpus::default();
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    for &(name, common, rid_only, baseline_only) in &config.programs {
+        corpus.programs.push(generate_program(
+            name,
+            common,
+            rid_only,
+            baseline_only,
+            config.correct_per_program,
+            config.wrappers_per_program,
+            &mut rng,
+        ));
+    }
+    corpus
+}
+
+const FUNCS_PER_MODULE: usize = 40;
+
+fn generate_program(
+    name: &str,
+    common: usize,
+    rid_only: usize,
+    baseline_only: usize,
+    correct: usize,
+    wrappers: usize,
+    rng: &mut StdRng,
+) -> PycProgram {
+    let mut program = PycProgram { name: name.to_owned(), ..Default::default() };
+    let mut bodies: Vec<String> = Vec::new();
+
+    for i in 0..common {
+        let func = format!("{name}_make_{i}");
+        bodies.push(common_bug(name, &func, i, rng));
+        program.bugs.push(PycBugRecord { function: func, class: PycBugClass::Common });
+    }
+    for i in 0..rid_only {
+        let func = format!("{name}_build_{i}");
+        bodies.push(rid_only_bug(name, &func, i, rng));
+        program.bugs.push(PycBugRecord { function: func, class: PycBugClass::RidOnly });
+    }
+    for i in 0..baseline_only {
+        let func = format!("{name}_cache_{i}");
+        bodies.push(baseline_only_bug(name, &func, i));
+        program
+            .bugs
+            .push(PycBugRecord { function: func, class: PycBugClass::BaselineOnly });
+    }
+    for i in 0..correct {
+        bodies.push(correct_function(name, i, rng));
+        program.correct_functions += 1;
+    }
+    for i in 0..wrappers {
+        let func = format!("{name}_incref_{i}");
+        bodies.push(format!(
+            "fn {func}(obj) {{\n    Py_INCREF(obj);\n    return;\n}}\n"
+        ));
+        program.wrappers.push(func);
+    }
+
+    // Chunk into module files of FUNCS_PER_MODULE functions.
+    for (chunk_idx, chunk) in bodies.chunks(FUNCS_PER_MODULE).enumerate() {
+        let mut out = format!("module {name}_part{chunk_idx};\n");
+        for body in chunk {
+            out.push('\n');
+            out.push_str(body);
+        }
+        program.sources.push(out);
+    }
+    program
+}
+
+/// Common class: error path misses the DECREF; all variables
+/// single-assignment, so the escape-rule baseline analyzes it too. Two
+/// shapes: a single allocation with an unhandled setup failure, and a
+/// two-object variant where only the second object leaks.
+fn common_bug(name: &str, func: &str, i: usize, rng: &mut StdRng) -> String {
+    if rng.gen_bool(0.3) {
+        let alloc_a = allocator_call(rng);
+        let alloc_b = allocator_call(rng);
+        return format!(
+            r#"fn {func}(arg) {{
+    let a = {alloc_a};
+    if (a == null) {{ return null; }}
+    let b = {alloc_b};
+    if (b == null) {{
+        Py_DECREF(a);
+        return null;
+    }}
+    let rc = {name}_combine_{i}(a, b, arg);
+    if (rc < 0) {{
+        Py_DECREF(a);
+        return null;
+    }}
+    Py_DECREF(b);
+    return a;
+}}
+"#
+        );
+    }
+    let alloc = allocator_call(rng);
+    let err = -(rng.gen_range(1..6) as i64);
+    format!(
+        r#"fn {func}(arg) {{
+    let obj = {alloc};
+    if (obj == null) {{ return null; }}
+    let rc = {name}_setup_{i}(obj, arg);
+    if (rc < {err}) {{ return null; }}
+    return obj;
+}}
+"#
+    )
+}
+
+/// RidOnly class: same bug, but a variable is reassigned, which makes the
+/// non-SSA baseline bail out (§6.6). Two shapes: a reassigned status
+/// variable, and a reassigned object pointer losing the original
+/// reference.
+fn rid_only_bug(name: &str, func: &str, i: usize, rng: &mut StdRng) -> String {
+    let alloc = allocator_call(rng);
+    if rng.gen_bool(0.3) {
+        return format!(
+            r#"fn {func}(arg) {{
+    let obj = {alloc};
+    if (obj == null) {{ return -1; }}
+    let tmp = {name}_transform_{i}(obj, arg);
+    obj = tmp;
+    if (obj == null) {{ return -1; }}
+    {name}_finish_{i}(obj);
+    return 0;
+}}
+"#
+        );
+    }
+    format!(
+        r#"fn {func}(arg) {{
+    let st = 0;
+    let obj = {alloc};
+    if (obj == null) {{ return -1; }}
+    st = {name}_fill_{i}(obj, arg);
+    if (st < 0) {{ return -1; }}
+    Py_DECREF(obj);
+    return 0;
+}}
+"#
+    )
+}
+
+/// BaselineOnly class: a single-path leak — no pair exists for RID, but
+/// the net change violates the escape rule.
+fn baseline_only_bug(name: &str, func: &str, i: usize) -> String {
+    format!(
+        r#"fn {func}(obj, table) {{
+    Py_INCREF(obj);
+    {name}_store_{i}(table, obj);
+    return 0;
+}}
+"#
+    )
+}
+
+/// Correct background function: error path balanced.
+fn correct_function(name: &str, i: usize, rng: &mut StdRng) -> String {
+    let alloc = allocator_call(rng);
+    format!(
+        r#"fn {name}_ok_{i}(arg) {{
+    let obj = {alloc};
+    if (obj == null) {{ return null; }}
+    let rc = {name}_check_{i}(obj, arg);
+    if (rc < 0) {{
+        Py_DECREF(obj);
+        return null;
+    }}
+    return obj;
+}}
+"#
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rid_frontend::parse_program;
+
+    #[test]
+    fn deterministic_generation() {
+        let a = generate_pyc(&PycConfig::tiny(3));
+        let b = generate_pyc(&PycConfig::tiny(3));
+        assert_eq!(a.programs[0].sources, b.programs[0].sources);
+    }
+
+    #[test]
+    fn programs_parse() {
+        let corpus = generate_pyc(&PycConfig::tiny(1));
+        for program in &corpus.programs {
+            let parsed = parse_program(program.sources.iter().map(String::as_str))
+                .expect("generated program must parse");
+            assert!(parsed.function_count() > 5);
+        }
+    }
+
+    #[test]
+    fn default_mix_matches_table2_totals() {
+        let corpus = generate_pyc(&PycConfig::default());
+        assert_eq!(corpus.programs.len(), 3);
+        let count = |p: &PycProgram, class: PycBugClass| {
+            p.bugs.iter().filter(|b| b.class == class).count()
+        };
+        let krbv = &corpus.programs[0];
+        assert_eq!(count(krbv, PycBugClass::Common), 48);
+        assert_eq!(count(krbv, PycBugClass::RidOnly), 86);
+        assert_eq!(count(krbv, PycBugClass::BaselineOnly), 14);
+        let totals: (usize, usize, usize) = corpus
+            .programs
+            .iter()
+            .fold((0, 0, 0), |(c, r, b), p| {
+                (
+                    c + count(p, PycBugClass::Common),
+                    r + count(p, PycBugClass::RidOnly),
+                    b + count(p, PycBugClass::BaselineOnly),
+                )
+            });
+        assert_eq!(totals, (86, 114, 16)); // Table 2's "total" row
+    }
+
+    #[test]
+    fn functions_are_chunked_into_modules() {
+        let corpus = generate_pyc(&PycConfig::default());
+        let krbv = &corpus.programs[0];
+        assert!(krbv.sources.len() > 1, "krbV should span several modules");
+    }
+
+    #[test]
+    fn wrappers_are_labelled() {
+        let corpus = generate_pyc(&PycConfig::tiny(1));
+        let program = &corpus.programs[0];
+        assert_eq!(program.wrappers.len(), 2);
+        assert!(program.wrappers.iter().all(|w| w.contains("incref")));
+    }
+}

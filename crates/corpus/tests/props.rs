@@ -1,0 +1,82 @@
+//! Property tests for the corpus generators: any seed yields parseable,
+//! internally consistent corpora.
+
+use proptest::prelude::*;
+use rid_corpus::kernel::{generate_kernel, KernelConfig};
+use rid_corpus::pyc::{generate_pyc, PycConfig};
+use rid_frontend::parse_program;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn kernel_corpora_parse_for_any_seed(seed in 0u64..1_000_000) {
+        let corpus = generate_kernel(&KernelConfig::tiny(seed));
+        let program = parse_program(corpus.sources.iter().map(String::as_str))
+            .expect("kernel corpus parses");
+        // Ground-truth labels refer to real functions.
+        for bug in &corpus.bugs {
+            prop_assert!(program.function(&bug.function).is_some(), "{}", bug.function);
+        }
+        for f in &corpus.expected_false_positives {
+            prop_assert!(program.function(f).is_some(), "{f}");
+        }
+        for site in &corpus.census {
+            prop_assert!(program.function(&site.function).is_some(), "{}", site.function);
+        }
+        // Function count bookkeeping is consistent with the program.
+        prop_assert_eq!(corpus.function_count, program.function_count());
+    }
+
+    #[test]
+    fn pyc_corpora_parse_for_any_seed(seed in 0u64..1_000_000) {
+        let corpus = generate_pyc(&PycConfig::tiny(seed));
+        for p in &corpus.programs {
+            let program = parse_program(p.sources.iter().map(String::as_str))
+                .expect("pyc program parses");
+            for bug in &p.bugs {
+                prop_assert!(program.function(&bug.function).is_some(), "{}", bug.function);
+            }
+            for wrapper in &p.wrappers {
+                prop_assert!(program.function(wrapper).is_some(), "{wrapper}");
+            }
+        }
+    }
+
+    /// Ground-truth detection holds across arbitrary pyc seeds, not just
+    /// the calibrated default.
+    #[test]
+    fn pyc_detection_classes_hold_for_any_seed(seed in 0u64..100_000) {
+        use std::collections::HashSet;
+        let corpus = generate_pyc(&PycConfig::tiny(seed));
+        let program = &corpus.programs[0];
+        let apis = rid_core::apis::python_c_apis();
+        let rid = rid_core::analyze_sources(
+            program.sources.iter().map(String::as_str),
+            &apis,
+            &rid_core::AnalysisOptions::default(),
+        )
+        .unwrap();
+        let baseline = rid_baseline::check_sources(
+            program.sources.iter().map(String::as_str),
+            &apis,
+        )
+        .unwrap();
+        let rid_found: HashSet<&str> =
+            rid.reports.iter().map(|r| r.function.as_str()).collect();
+        let base_found: HashSet<&str> =
+            baseline.reports.iter().map(|r| r.function.as_str()).collect();
+        use rid_corpus::pyc::PycBugClass;
+        for bug in &program.bugs {
+            let f = bug.function.as_str();
+            let (in_rid, in_base) = (rid_found.contains(f), base_found.contains(f));
+            match bug.class {
+                PycBugClass::Common => prop_assert!(in_rid && in_base, "seed {seed}: {f}"),
+                PycBugClass::RidOnly => prop_assert!(in_rid && !in_base, "seed {seed}: {f}"),
+                PycBugClass::BaselineOnly => {
+                    prop_assert!(!in_rid && in_base, "seed {seed}: {f}")
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,96 @@
+//! Frontend error reporting with source positions.
+
+use std::fmt;
+
+/// A position in an RIL source file (1-based line and column).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Span {
+    /// 1-based line number.
+    pub line: u32,
+    /// 1-based column number.
+    pub col: u32,
+}
+
+impl Span {
+    /// Creates a span.
+    #[must_use]
+    pub fn new(line: u32, col: u32) -> Span {
+        Span { line, col }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// An error produced while lexing, parsing, lowering or linking RIL.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FrontendError {
+    /// Index of the source file (for multi-source parses), if known.
+    pub source_index: Option<usize>,
+    /// Position of the error, if known.
+    pub span: Option<Span>,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl FrontendError {
+    /// An error at a specific position.
+    #[must_use]
+    pub fn at(span: Span, message: impl Into<String>) -> FrontendError {
+        FrontendError { source_index: None, span: Some(span), message: message.into() }
+    }
+
+    /// An error with no position (e.g. unexpected end of file).
+    #[must_use]
+    pub fn msg(message: impl Into<String>) -> FrontendError {
+        FrontendError { source_index: None, span: None, message: message.into() }
+    }
+
+    /// A link-stage error for source `index`.
+    #[must_use]
+    pub fn link(index: usize, err: &dyn fmt::Display) -> FrontendError {
+        FrontendError {
+            source_index: Some(index),
+            span: None,
+            message: format!("link error: {err}"),
+        }
+    }
+
+    /// Tags the error with the index of the source file it came from.
+    #[must_use]
+    pub fn in_source(mut self, index: usize) -> FrontendError {
+        self.source_index = Some(index);
+        self
+    }
+}
+
+impl fmt::Display for FrontendError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if let Some(i) = self.source_index {
+            write!(f, "source #{i}: ")?;
+        }
+        if let Some(span) = self.span {
+            write!(f, "{span}: ")?;
+        }
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for FrontendError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = FrontendError::at(Span::new(3, 7), "unexpected token");
+        assert_eq!(e.to_string(), "3:7: unexpected token");
+        let e = e.in_source(2);
+        assert_eq!(e.to_string(), "source #2: 3:7: unexpected token");
+        assert_eq!(FrontendError::msg("eof").to_string(), "eof");
+    }
+}

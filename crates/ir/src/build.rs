@@ -1,0 +1,244 @@
+//! A builder for constructing valid [`Function`]s incrementally.
+
+use crate::validate::{validate_function, ValidateError};
+use crate::{BasicBlock, BlockId, Function, Inst, Operand, Pred, Rvalue, Terminator};
+
+/// Incremental builder for a [`Function`].
+///
+/// The builder maintains a *current block*; instruction-emitting methods
+/// append to it, and terminator-emitting methods seal it. Sealing twice, or
+/// finishing with an unsealed reachable block, is reported by
+/// [`FunctionBuilder::finish`].
+///
+/// # Examples
+///
+/// ```
+/// use rid_ir::{FunctionBuilder, Operand, Rvalue};
+///
+/// let mut b = FunctionBuilder::new("idempotent", ["x"]);
+/// b.assign("y", Rvalue::Use(Operand::var("x")));
+/// b.ret(Operand::var("y"));
+/// let f = b.finish()?;
+/// assert_eq!(f.inst_count(), 1);
+/// # Ok::<(), rid_ir::ValidateError>(())
+/// ```
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    name: String,
+    params: Vec<String>,
+    blocks: Vec<(Vec<Inst>, Option<Terminator>)>,
+    current: BlockId,
+    weak: bool,
+}
+
+impl FunctionBuilder {
+    /// Starts building a function with the given name and parameters.
+    /// The entry block (block 0) is created and made current.
+    pub fn new<P: Into<String>>(
+        name: impl Into<String>,
+        params: impl IntoIterator<Item = P>,
+    ) -> FunctionBuilder {
+        FunctionBuilder {
+            name: name.into(),
+            params: params.into_iter().map(Into::into).collect(),
+            blocks: vec![(Vec::new(), None)],
+            current: BlockId::ENTRY,
+        weak: false,
+        }
+    }
+
+    /// Marks the function as weak linkage (see [`Function::weak`]).
+    pub fn set_weak(&mut self, weak: bool) -> &mut Self {
+        self.weak = weak;
+        self
+    }
+
+    /// Creates a new (empty, unsealed) block and returns its id without
+    /// switching to it.
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push((Vec::new(), None));
+        id
+    }
+
+    /// Makes `block` the current block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `block` was not created by this builder.
+    pub fn switch_to(&mut self, block: BlockId) -> &mut Self {
+        assert!(block.index() < self.blocks.len(), "unknown block {block}");
+        self.current = block;
+        self
+    }
+
+    /// The current block id.
+    #[must_use]
+    pub fn current_block(&self) -> BlockId {
+        self.current
+    }
+
+    /// Whether the current block has already been sealed with a terminator.
+    #[must_use]
+    pub fn current_is_sealed(&self) -> bool {
+        self.blocks[self.current.index()].1.is_some()
+    }
+
+    fn push(&mut self, inst: Inst) -> &mut Self {
+        let (insts, term) = &mut self.blocks[self.current.index()];
+        assert!(term.is_none(), "appending to sealed block {}", self.current);
+        insts.push(inst);
+        self
+    }
+
+    fn seal(&mut self, term: Terminator) -> &mut Self {
+        let slot = &mut self.blocks[self.current.index()].1;
+        assert!(slot.is_none(), "block {} already sealed", self.current);
+        *slot = Some(term);
+        self
+    }
+
+    /// Appends `dst = rvalue` to the current block.
+    pub fn assign(&mut self, dst: impl Into<String>, rvalue: Rvalue) -> &mut Self {
+        self.push(Inst::Assign { dst: dst.into(), rvalue })
+    }
+
+    /// Appends a result-discarding call to the current block.
+    pub fn call(
+        &mut self,
+        callee: impl Into<String>,
+        args: impl IntoIterator<Item = Operand>,
+    ) -> &mut Self {
+        self.push(Inst::Call { callee: callee.into(), args: args.into_iter().collect() })
+    }
+
+    /// Appends `assume lhs pred rhs` to the current block.
+    pub fn assume(&mut self, pred: Pred, lhs: Operand, rhs: Operand) -> &mut Self {
+        self.push(Inst::Assume { pred, lhs, rhs })
+    }
+
+    /// Appends `base.field = value` to the current block.
+    pub fn field_store(
+        &mut self,
+        base: impl Into<String>,
+        field: impl Into<String>,
+        value: Operand,
+    ) -> &mut Self {
+        self.push(Inst::FieldStore { base: base.into(), field: field.into(), value })
+    }
+
+    /// Seals the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) -> &mut Self {
+        self.seal(Terminator::Jump(target))
+    }
+
+    /// Seals the current block with a two-way branch on `cond`.
+    pub fn branch(
+        &mut self,
+        cond: impl Into<String>,
+        then_bb: BlockId,
+        else_bb: BlockId,
+    ) -> &mut Self {
+        self.seal(Terminator::Branch { cond: cond.into(), then_bb, else_bb })
+    }
+
+    /// Seals the current block with `return value`.
+    pub fn ret(&mut self, value: impl Into<Operand>) -> &mut Self {
+        self.seal(Terminator::Return(Some(value.into())))
+    }
+
+    /// Seals the current block with a void `return`.
+    pub fn ret_void(&mut self) -> &mut Self {
+        self.seal(Terminator::Return(None))
+    }
+
+    /// Seals the current block as unreachable.
+    pub fn unreachable(&mut self) -> &mut Self {
+        self.seal(Terminator::Unreachable)
+    }
+
+    /// Finishes the function and validates it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ValidateError`] if a block is missing a terminator, a
+    /// branch target is out of range, or parameter names collide.
+    pub fn finish(self) -> Result<Function, ValidateError> {
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (i, (insts, term)) in self.blocks.into_iter().enumerate() {
+            let term = term.ok_or(ValidateError::UnsealedBlock(BlockId(i as u32)))?;
+            blocks.push(BasicBlock { insts, term });
+        }
+        let mut func = Function::from_raw_parts(self.name, self.params, blocks);
+        func.weak = self.weak;
+        validate_function(&func)?;
+        Ok(func)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn straight_line_function() {
+        let mut b = FunctionBuilder::new("f", ["x"]);
+        b.assign("y", Rvalue::Use(Operand::var("x")));
+        b.ret(Operand::var("y"));
+        let f = b.finish().unwrap();
+        assert_eq!(f.blocks().len(), 1);
+        assert_eq!(f.inst_count(), 1);
+    }
+
+    #[test]
+    fn unsealed_block_is_an_error() {
+        let mut b = FunctionBuilder::new("f", Vec::<String>::new());
+        let dangling = b.new_block();
+        b.ret_void();
+        let err = b.finish().unwrap_err();
+        assert_eq!(err, ValidateError::UnsealedBlock(dangling));
+    }
+
+    #[test]
+    #[should_panic(expected = "already sealed")]
+    fn double_seal_panics() {
+        let mut b = FunctionBuilder::new("f", Vec::<String>::new());
+        b.ret_void();
+        b.ret_void();
+    }
+
+    #[test]
+    #[should_panic(expected = "appending to sealed block")]
+    fn append_after_seal_panics() {
+        let mut b = FunctionBuilder::new("f", Vec::<String>::new());
+        b.ret_void();
+        b.assign("x", Rvalue::Random);
+    }
+
+    #[test]
+    fn diamond_cfg() {
+        let mut b = FunctionBuilder::new("f", ["p"]);
+        let t = b.new_block();
+        let e = b.new_block();
+        let join = b.new_block();
+        b.assign("c", Rvalue::cmp(Pred::Eq, Operand::var("p"), Operand::Null));
+        b.branch("c", t, e);
+        b.switch_to(t);
+        b.jump(join);
+        b.switch_to(e);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(0);
+        let f = b.finish().unwrap();
+        assert_eq!(f.blocks().len(), 4);
+        assert_eq!(f.conditional_branch_count(), 1);
+    }
+
+    #[test]
+    fn weak_flag() {
+        let mut b = FunctionBuilder::new("f", Vec::<String>::new());
+        b.set_weak(true);
+        b.ret_void();
+        assert!(b.finish().unwrap().weak);
+    }
+}

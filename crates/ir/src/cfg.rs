@@ -1,0 +1,180 @@
+//! Control-flow-graph utilities: predecessors, reachability, orders.
+
+use std::collections::HashSet;
+
+use crate::{BlockId, Function};
+
+/// Precomputed control-flow information for one [`Function`].
+///
+/// # Examples
+///
+/// ```
+/// use rid_ir::{Cfg, FunctionBuilder, Operand, Pred, Rvalue};
+///
+/// let mut b = FunctionBuilder::new("f", ["x"]);
+/// let t = b.new_block();
+/// let e = b.new_block();
+/// b.assign("c", Rvalue::cmp(Pred::Gt, Operand::var("x"), Operand::Int(0)));
+/// b.branch("c", t, e);
+/// b.switch_to(t);
+/// b.ret(Operand::Int(1));
+/// b.switch_to(e);
+/// b.ret(Operand::Int(0));
+/// let f = b.finish()?;
+/// let cfg = Cfg::new(&f);
+/// assert_eq!(cfg.preds(rid_ir::BlockId(1)), &[rid_ir::BlockId(0)]);
+/// assert!(cfg.is_reachable(rid_ir::BlockId(2)));
+/// # Ok::<(), rid_ir::ValidateError>(())
+/// ```
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    preds: Vec<Vec<BlockId>>,
+    reachable: Vec<bool>,
+    back_edges: HashSet<(BlockId, BlockId)>,
+}
+
+impl Cfg {
+    /// Computes CFG information for `func`.
+    #[must_use]
+    pub fn new(func: &Function) -> Cfg {
+        let n = func.blocks().len();
+        let mut preds = vec![Vec::new(); n];
+        for (i, block) in func.blocks().iter().enumerate() {
+            for succ in block.term.successors() {
+                preds[succ.index()].push(BlockId(i as u32));
+            }
+        }
+
+        // DFS from entry: reachability and back-edge detection.
+        let mut reachable = vec![false; n];
+        let mut on_stack = vec![false; n];
+        let mut back_edges = HashSet::new();
+        // Iterative DFS with an explicit stack of (block, next-successor).
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId::ENTRY, 0)];
+        if n > 0 {
+            reachable[0] = true;
+            on_stack[0] = true;
+        }
+        while let Some((block, idx)) = stack.pop() {
+            let succs = func.block(block).term.successors();
+            if idx < succs.len() {
+                stack.push((block, idx + 1));
+                let succ = succs[idx];
+                if on_stack[succ.index()] {
+                    back_edges.insert((block, succ));
+                } else if !reachable[succ.index()] {
+                    reachable[succ.index()] = true;
+                    on_stack[succ.index()] = true;
+                    stack.push((succ, 0));
+                }
+            } else {
+                on_stack[block.index()] = false;
+            }
+        }
+
+        Cfg { preds, reachable, back_edges }
+    }
+
+    /// Predecessor blocks of `block`.
+    #[must_use]
+    pub fn preds(&self, block: BlockId) -> &[BlockId] {
+        &self.preds[block.index()]
+    }
+
+    /// Whether `block` is reachable from the entry.
+    #[must_use]
+    pub fn is_reachable(&self, block: BlockId) -> bool {
+        self.reachable[block.index()]
+    }
+
+    /// Whether the edge `from → to` is a back edge of some loop (w.r.t. the
+    /// depth-first search from the entry).
+    #[must_use]
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        self.back_edges.contains(&(from, to))
+    }
+
+    /// Whether the function contains any loop.
+    #[must_use]
+    pub fn has_loops(&self) -> bool {
+        !self.back_edges.is_empty()
+    }
+
+    /// Number of blocks in the function.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// Whether the function has no blocks (never true for valid functions).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, Operand, Pred, Rvalue};
+
+    fn looped() -> Function {
+        // entry -> head; head -> body | exit; body -> head
+        let mut b = FunctionBuilder::new("f", ["n"]);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(head);
+        b.switch_to(head);
+        b.assign("c", Rvalue::cmp(Pred::Gt, Operand::var("n"), Operand::Int(0)));
+        b.branch("c", body, exit);
+        b.switch_to(body);
+        b.call("work", []);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn detects_back_edge() {
+        let f = looped();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.has_loops());
+        assert!(cfg.is_back_edge(BlockId(2), BlockId(1)));
+        assert!(!cfg.is_back_edge(BlockId(0), BlockId(1)));
+    }
+
+    #[test]
+    fn predecessors() {
+        let f = looped();
+        let cfg = Cfg::new(&f);
+        let mut head_preds = cfg.preds(BlockId(1)).to_vec();
+        head_preds.sort();
+        assert_eq!(head_preds, vec![BlockId(0), BlockId(2)]);
+        assert!(cfg.preds(BlockId(0)).is_empty());
+    }
+
+    #[test]
+    fn unreachable_blocks_detected() {
+        let mut b = FunctionBuilder::new("f", Vec::<String>::new());
+        let dead = b.new_block();
+        b.ret_void();
+        b.switch_to(dead);
+        b.ret_void();
+        let f = b.finish().unwrap();
+        let cfg = Cfg::new(&f);
+        assert!(cfg.is_reachable(BlockId(0)));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.len(), 2);
+        assert!(!cfg.is_empty());
+    }
+
+    #[test]
+    fn acyclic_function_has_no_loops() {
+        let mut b = FunctionBuilder::new("f", Vec::<String>::new());
+        b.ret_void();
+        let f = b.finish().unwrap();
+        assert!(!Cfg::new(&f).has_loops());
+    }
+}

@@ -1,0 +1,86 @@
+//! Textual rendering of functions and modules.
+//!
+//! The output resembles the instruction syntax of Figure 3 in the paper and
+//! is meant for diagnostics and golden tests; it is not re-parsed.
+
+use std::fmt;
+
+use crate::{Function, Module};
+
+impl fmt::Display for Function {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "fn {}(", self.name())?;
+        for (i, p) in self.params().iter().enumerate() {
+            if i > 0 {
+                f.write_str(", ")?;
+            }
+            f.write_str(p)?;
+        }
+        writeln!(f, ") {{")?;
+        for (i, block) in self.blocks().iter().enumerate() {
+            writeln!(f, "bb{i}:")?;
+            for inst in &block.insts {
+                writeln!(f, "    {inst}")?;
+            }
+            writeln!(f, "    {}", block.term)?;
+        }
+        f.write_str("}")
+    }
+}
+
+impl fmt::Display for Module {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "module {} {{", self.name)?;
+        for ext in self.externs() {
+            writeln!(f, "extern fn {ext};")?;
+        }
+        for (i, func) in self.functions().iter().enumerate() {
+            if i > 0 || !self.externs().is_empty() {
+                writeln!(f)?;
+            }
+            writeln!(f, "{func}")?;
+        }
+        f.write_str("}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{FunctionBuilder, Module, Operand, Pred, Rvalue};
+
+    #[test]
+    fn function_rendering() {
+        let mut b = FunctionBuilder::new("foo", ["dev"]);
+        let exit = b.new_block();
+        let body = b.new_block();
+        b.assume(Pred::Ne, Operand::var("dev"), Operand::Null);
+        b.assign("v", Rvalue::call("reg_read", [Operand::var("dev"), Operand::Int(84)]));
+        b.assign("t", Rvalue::cmp(Pred::Le, Operand::var("v"), Operand::Int(0)));
+        b.branch("t", exit, body);
+        b.switch_to(body);
+        b.call("inc_pmcount", [Operand::var("dev")]);
+        b.jump(exit);
+        b.switch_to(exit);
+        b.ret(0);
+        let f = b.finish().unwrap();
+        let text = f.to_string();
+        assert!(text.starts_with("fn foo(dev) {"));
+        assert!(text.contains("v = reg_read(dev, 84)"));
+        assert!(text.contains("branch t, bb1, bb2"));
+        assert!(text.contains("return 0"));
+        assert!(text.ends_with('}'));
+    }
+
+    #[test]
+    fn module_rendering() {
+        let mut m = Module::new("demo");
+        m.push_extern("pm_runtime_get");
+        let mut b = FunctionBuilder::new("f", Vec::<String>::new());
+        b.ret_void();
+        m.push_function(b.finish().unwrap());
+        let text = m.to_string();
+        assert!(text.starts_with("module demo {"));
+        assert!(text.contains("extern fn pm_runtime_get;"));
+        assert!(text.contains("fn f() {"));
+    }
+}

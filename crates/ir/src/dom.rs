@@ -1,0 +1,381 @@
+//! Dominators, post-dominators and control dependence.
+//!
+//! The §5.2 backward slice of the paper cites classic program slicing
+//! (Weiser), which needs *control dependence*: statement `s` is
+//! control-dependent on branch `p` when `p` decides whether `s` executes.
+//! This module provides the standard construction: immediate dominators
+//! via the Cooper–Harvey–Kennedy iterative algorithm, post-dominators on
+//! the reversed CFG (with a virtual exit joining all `return`s), and the
+//! Ferrante–Ottenstein–Warren control-dependence relation derived from
+//! the post-dominator tree.
+
+use crate::{BlockId, Function, Terminator};
+
+/// The immediate-dominator tree of a function's CFG.
+///
+/// `idom(entry)` is the entry itself; unreachable blocks have no
+/// dominator information.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    idom: Vec<Option<u32>>, // by block index; entry maps to itself
+}
+
+impl Dominators {
+    /// The immediate dominator of `block` (`None` for unreachable blocks;
+    /// the entry dominates itself).
+    #[must_use]
+    pub fn idom(&self, block: BlockId) -> Option<BlockId> {
+        self.idom[block.index()].map(BlockId)
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    #[must_use]
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom(cur) {
+                Some(parent) if parent != cur => cur = parent,
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// Generic CHK iterative dominator computation over an abstract graph
+/// given by `preds` and a reverse postorder.
+fn compute_idoms(
+    n: usize,
+    entry: usize,
+    preds: &[Vec<usize>],
+    rpo: &[usize],
+) -> Vec<Option<u32>> {
+    let mut order = vec![usize::MAX; n]; // rpo position per node
+    for (pos, &b) in rpo.iter().enumerate() {
+        order[b] = pos;
+    }
+    let mut idom: Vec<Option<u32>> = vec![None; n];
+    idom[entry] = Some(entry as u32);
+
+    let intersect = |idom: &[Option<u32>], order: &[usize], mut a: usize, mut b: usize| {
+        while a != b {
+            while order[a] > order[b] {
+                a = idom[a].expect("processed") as usize;
+            }
+            while order[b] > order[a] {
+                b = idom[b].expect("processed") as usize;
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo {
+            if b == entry {
+                continue;
+            }
+            let mut new_idom: Option<usize> = None;
+            for &p in &preds[b] {
+                if idom[p].is_none() {
+                    continue; // not processed / unreachable
+                }
+                new_idom = Some(match new_idom {
+                    None => p,
+                    Some(cur) => intersect(&idom, &order, cur, p),
+                });
+            }
+            if let Some(ni) = new_idom {
+                if idom[b] != Some(ni as u32) {
+                    idom[b] = Some(ni as u32);
+                    changed = true;
+                }
+            }
+        }
+    }
+    idom
+}
+
+fn reverse_postorder(n: usize, entry: usize, succs: &[Vec<usize>]) -> Vec<usize> {
+    let mut visited = vec![false; n];
+    let mut post = Vec::with_capacity(n);
+    // Iterative DFS.
+    let mut stack: Vec<(usize, usize)> = vec![(entry, 0)];
+    visited[entry] = true;
+    while let Some(&mut (b, ref mut next)) = stack.last_mut() {
+        if *next < succs[b].len() {
+            let s = succs[b][*next];
+            *next += 1;
+            if !visited[s] {
+                visited[s] = true;
+                stack.push((s, 0));
+            }
+        } else {
+            post.push(b);
+            stack.pop();
+        }
+    }
+    post.reverse();
+    post
+}
+
+/// Computes the dominator tree of `func`.
+#[must_use]
+pub fn dominators(func: &Function) -> Dominators {
+    let n = func.blocks().len();
+    let mut succs = vec![Vec::new(); n];
+    let mut preds = vec![Vec::new(); n];
+    for (i, block) in func.blocks().iter().enumerate() {
+        for s in block.term.successors() {
+            succs[i].push(s.index());
+            preds[s.index()].push(i);
+        }
+    }
+    let rpo = reverse_postorder(n, 0, &succs);
+    Dominators { idom: compute_idoms(n, 0, &preds, &rpo) }
+}
+
+/// The post-dominator tree, computed on the reversed CFG with a virtual
+/// exit node joining every `return`/`unreachable` block.
+#[derive(Clone, Debug)]
+pub struct PostDominators {
+    /// Indices 0..n are blocks; n is the virtual exit.
+    ipdom: Vec<Option<u32>>,
+    virtual_exit: usize,
+}
+
+impl PostDominators {
+    /// The immediate post-dominator of `block` (`None` when the block
+    /// cannot reach an exit, or when it is post-dominated only by the
+    /// virtual exit).
+    #[must_use]
+    pub fn ipdom(&self, block: BlockId) -> Option<BlockId> {
+        match self.ipdom[block.index()] {
+            Some(p) if (p as usize) != self.virtual_exit => Some(BlockId(p)),
+            _ => None,
+        }
+    }
+
+    /// Whether `a` post-dominates `b` (reflexive).
+    #[must_use]
+    pub fn post_dominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b.index();
+        loop {
+            if cur == a.index() {
+                return true;
+            }
+            match self.ipdom[cur] {
+                Some(p) if (p as usize) != cur && (p as usize) != self.virtual_exit => {
+                    cur = p as usize;
+                }
+                _ => return false,
+            }
+        }
+    }
+}
+
+/// Computes the post-dominator tree of `func`.
+#[must_use]
+pub fn post_dominators(func: &Function) -> PostDominators {
+    let n = func.blocks().len();
+    let exit = n; // virtual exit node
+    let total = n + 1;
+    let mut succs = vec![Vec::new(); total]; // edges of the REVERSED graph
+    let mut preds = vec![Vec::new(); total];
+    for (i, block) in func.blocks().iter().enumerate() {
+        // Reversed: original edge i→s becomes s→i.
+        for s in block.term.successors() {
+            succs[s.index()].push(i);
+            preds[i].push(s.index());
+        }
+        if matches!(block.term, Terminator::Return(_) | Terminator::Unreachable) {
+            // Virtual edge i→exit, reversed: exit→i.
+            succs[exit].push(i);
+            preds[i].push(exit);
+        }
+    }
+    let rpo = reverse_postorder(total, exit, &succs);
+    PostDominators { ipdom: compute_idoms(total, exit, &preds, &rpo), virtual_exit: exit }
+}
+
+/// The control-dependence relation: `result[b]` lists the branch blocks
+/// that decide whether `b` executes (Ferrante–Ottenstein–Warren: for each
+/// CFG edge `p → s` where `p` has several successors, every node on the
+/// post-dominator-tree path from `s` up to, but excluding, `ipdom(p)` is
+/// control-dependent on `p`).
+#[must_use]
+pub fn control_dependencies(func: &Function) -> Vec<Vec<BlockId>> {
+    let n = func.blocks().len();
+    let pdom = post_dominators(func);
+    let mut deps: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+    for (i, block) in func.blocks().iter().enumerate() {
+        let succs = block.term.successors();
+        if succs.len() < 2 {
+            continue;
+        }
+        let p = BlockId(i as u32);
+        let stop = pdom.ipdom[i]; // may be the virtual exit (None-like)
+        for s in succs {
+            let mut cur = s.index();
+            loop {
+                if Some(cur as u32) == stop {
+                    break;
+                }
+                deps[cur].push(p);
+                match pdom.ipdom[cur] {
+                    Some(up) if (up as usize) != pdom.virtual_exit && Some(up) != stop => {
+                        cur = up as usize;
+                    }
+                    Some(up) if Some(up) == stop => break,
+                    _ => break,
+                }
+            }
+        }
+    }
+    for d in &mut deps {
+        d.sort_unstable();
+        d.dedup();
+    }
+    deps
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, Operand, Pred, Rvalue};
+
+    /// entry(0) → branch → then(1) / else(2) → join(3) → return
+    fn diamond() -> Function {
+        let mut b = FunctionBuilder::new("f", ["x"]);
+        let t = b.new_block();
+        let e = b.new_block();
+        let j = b.new_block();
+        b.assign("c", Rvalue::cmp(Pred::Gt, Operand::var("x"), Operand::Int(0)));
+        b.branch("c", t, e);
+        b.switch_to(t);
+        b.jump(j);
+        b.switch_to(e);
+        b.jump(j);
+        b.switch_to(j);
+        b.ret(0);
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        let f = diamond();
+        let dom = dominators(&f);
+        assert_eq!(dom.idom(BlockId(0)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(1)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(2)), Some(BlockId(0)));
+        assert_eq!(dom.idom(BlockId(3)), Some(BlockId(0)));
+        assert!(dom.dominates(BlockId(0), BlockId(3)));
+        assert!(!dom.dominates(BlockId(1), BlockId(3)));
+    }
+
+    #[test]
+    fn diamond_post_dominators() {
+        let f = diamond();
+        let pdom = post_dominators(&f);
+        assert_eq!(pdom.ipdom(BlockId(0)), Some(BlockId(3)));
+        assert_eq!(pdom.ipdom(BlockId(1)), Some(BlockId(3)));
+        assert_eq!(pdom.ipdom(BlockId(2)), Some(BlockId(3)));
+        assert!(pdom.post_dominates(BlockId(3), BlockId(0)));
+        assert!(!pdom.post_dominates(BlockId(1), BlockId(0)));
+    }
+
+    #[test]
+    fn diamond_control_dependence() {
+        let f = diamond();
+        let deps = control_dependencies(&f);
+        // Both arms depend on the branch; entry and join do not.
+        assert_eq!(deps[1], vec![BlockId(0)]);
+        assert_eq!(deps[2], vec![BlockId(0)]);
+        assert!(deps[0].is_empty());
+        assert!(deps[3].is_empty());
+    }
+
+    /// Early return: branch(0) → ret(1) | rest(2) → ret. The tail block
+    /// is control-dependent on the branch (no join post-dominates it).
+    #[test]
+    fn early_return_control_dependence() {
+        let mut b = FunctionBuilder::new("f", ["x"]);
+        let early = b.new_block();
+        let rest = b.new_block();
+        b.assign("c", Rvalue::cmp(Pred::Lt, Operand::var("x"), Operand::Int(0)));
+        b.branch("c", early, rest);
+        b.switch_to(early);
+        b.ret(Operand::Int(-1));
+        b.switch_to(rest);
+        b.ret(Operand::Int(0));
+        let f = b.finish().unwrap();
+        let deps = control_dependencies(&f);
+        assert_eq!(deps[1], vec![BlockId(0)]);
+        assert_eq!(deps[2], vec![BlockId(0)]);
+    }
+
+    /// Loop: head(1) branches to body(2) and exit(3); body jumps back.
+    /// The body — and the head itself — are control-dependent on the head.
+    #[test]
+    fn loop_control_dependence() {
+        let mut b = FunctionBuilder::new("f", ["n"]);
+        let head = b.new_block();
+        let body = b.new_block();
+        let exit = b.new_block();
+        b.jump(head);
+        b.switch_to(head);
+        b.assign("c", Rvalue::cmp(Pred::Gt, Operand::var("n"), Operand::Int(0)));
+        b.branch("c", body, exit);
+        b.switch_to(body);
+        b.call("work", []);
+        b.jump(head);
+        b.switch_to(exit);
+        b.ret(0);
+        let f = b.finish().unwrap();
+        let deps = control_dependencies(&f);
+        assert!(deps[body.index()].contains(&head));
+        assert!(deps[head.index()].contains(&head), "loop heads self-depend");
+        assert!(deps[exit.index()].is_empty(), "the exit always runs");
+    }
+
+    #[test]
+    fn straight_line_has_no_dependence() {
+        let mut b = FunctionBuilder::new("f", Vec::<String>::new());
+        b.call("g", []);
+        b.ret_void();
+        let f = b.finish().unwrap();
+        let deps = control_dependencies(&f);
+        assert!(deps.iter().all(Vec::is_empty));
+        let dom = dominators(&f);
+        assert_eq!(dom.idom(BlockId(0)), Some(BlockId(0)));
+    }
+
+    #[test]
+    fn nested_branches() {
+        // if (a) { if (b) { x } }  — x depends on both branches.
+        let mut b = FunctionBuilder::new("f", ["a", "b"]);
+        let outer_then = b.new_block();
+        let join = b.new_block();
+        let inner_then = b.new_block();
+        b.assign("c1", Rvalue::cmp(Pred::Ne, Operand::var("a"), Operand::Int(0)));
+        b.branch("c1", outer_then, join);
+        b.switch_to(outer_then);
+        b.assign("c2", Rvalue::cmp(Pred::Ne, Operand::var("b"), Operand::Int(0)));
+        b.branch("c2", inner_then, join);
+        b.switch_to(inner_then);
+        b.call("x", []);
+        b.jump(join);
+        b.switch_to(join);
+        b.ret(0);
+        let f = b.finish().unwrap();
+        let deps = control_dependencies(&f);
+        // Direct dependence only (Ferrante et al.): the inner block hangs
+        // off the inner branch; the outer branch is reached transitively
+        // through the dependence chain.
+        assert_eq!(deps[inner_then.index()], vec![outer_then]);
+        assert_eq!(deps[outer_then.index()], vec![BlockId(0)]);
+    }
+}

@@ -1,0 +1,293 @@
+//! Functions, basic blocks, and terminators.
+
+use std::fmt;
+
+use crate::{Inst, Operand};
+
+/// Identifier of a basic block within a [`Function`].
+///
+/// Block 0 is always the entry block.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    /// The entry block of every function.
+    pub const ENTRY: BlockId = BlockId(0);
+
+    /// The index of this block in [`Function::blocks`].
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for BlockId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "bb{}", self.0)
+    }
+}
+
+/// Identifier of an instruction within a function: block + index.
+///
+/// Used by the symbolic executor to give stable names to call results and
+/// `random` values, so that two paths sharing a prefix name the same event
+/// identically.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct InstId {
+    /// The block containing the instruction.
+    pub block: BlockId,
+    /// The index of the instruction within the block.
+    pub index: u32,
+}
+
+impl fmt::Display for InstId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.block, self.index)
+    }
+}
+
+/// How control leaves a basic block.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way branch on a variable (Figure 3's `branch x, l1, l2`).
+    ///
+    /// The condition variable should be defined by a comparison
+    /// ([`crate::Rvalue::Cmp`]); branches on opaque variables are treated by
+    /// the analysis as non-deterministic.
+    Branch {
+        /// The condition variable.
+        cond: String,
+        /// Successor when the condition holds.
+        then_bb: BlockId,
+        /// Successor when the condition does not hold.
+        else_bb: BlockId,
+    },
+    /// Return from the function, optionally with a value.
+    Return(Option<Operand>),
+    /// A block that never completes (e.g. after a `panic`-like call).
+    Unreachable,
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator.
+    pub fn successors(&self) -> Vec<BlockId> {
+        match self {
+            Terminator::Jump(target) => vec![*target],
+            Terminator::Branch { then_bb, else_bb, .. } => vec![*then_bb, *else_bb],
+            Terminator::Return(_) | Terminator::Unreachable => vec![],
+        }
+    }
+}
+
+impl fmt::Display for Terminator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Terminator::Jump(target) => write!(f, "jump {target}"),
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                write!(f, "branch {cond}, {then_bb}, {else_bb}")
+            }
+            Terminator::Return(Some(op)) => write!(f, "return {op}"),
+            Terminator::Return(None) => f.write_str("return"),
+            Terminator::Unreachable => f.write_str("unreachable"),
+        }
+    }
+}
+
+/// A basic block: a sequence of instructions plus a terminator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// The instructions of the block, in execution order.
+    pub insts: Vec<Inst>,
+    /// The terminator of the block.
+    pub term: Terminator,
+}
+
+impl BasicBlock {
+    /// Creates an empty block with the given terminator.
+    #[must_use]
+    pub fn new(term: Terminator) -> BasicBlock {
+        BasicBlock { insts: Vec::new(), term }
+    }
+}
+
+/// A function of the abstract program.
+///
+/// Use [`crate::FunctionBuilder`] to construct functions; the builder
+/// guarantees structural validity (every block terminated, targets in
+/// range).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    name: String,
+    params: Vec<String>,
+    blocks: Vec<BasicBlock>,
+    /// Weak linkage (§5.3): duplicate weak definitions across modules are
+    /// merged into one instead of rejected.
+    pub weak: bool,
+}
+
+impl Function {
+    /// Creates a function from raw parts.
+    ///
+    /// Most callers should prefer [`crate::FunctionBuilder`]. This
+    /// constructor performs no validation; call
+    /// [`crate::validate_function`] afterwards if the parts come from an
+    /// untrusted source.
+    #[must_use]
+    pub fn from_raw_parts(
+        name: impl Into<String>,
+        params: Vec<String>,
+        blocks: Vec<BasicBlock>,
+    ) -> Function {
+        Function { name: name.into(), params, blocks, weak: false }
+    }
+
+    /// The function name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The formal parameter names, in order.
+    #[must_use]
+    pub fn params(&self) -> &[String] {
+        &self.params
+    }
+
+    /// Index of a formal parameter by name.
+    #[must_use]
+    pub fn param_index(&self, name: &str) -> Option<usize> {
+        self.params.iter().position(|p| p == name)
+    }
+
+    /// All basic blocks; index `i` is block `BlockId(i)`.
+    #[must_use]
+    pub fn blocks(&self) -> &[BasicBlock] {
+        &self.blocks
+    }
+
+    /// A single block by id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn block(&self, id: BlockId) -> &BasicBlock {
+        &self.blocks[id.index()]
+    }
+
+    /// The entry block id (always block 0).
+    #[must_use]
+    pub fn entry(&self) -> BlockId {
+        BlockId::ENTRY
+    }
+
+    /// Total number of instructions (excluding terminators).
+    #[must_use]
+    pub fn inst_count(&self) -> usize {
+        self.blocks.iter().map(|b| b.insts.len()).sum()
+    }
+
+    /// Number of conditional branches, used by the selective-analysis
+    /// policy of §5.2 (category-2 functions with more than three
+    /// conditional branches get the default summary).
+    #[must_use]
+    pub fn conditional_branch_count(&self) -> usize {
+        self.blocks.iter().filter(|b| matches!(b.term, Terminator::Branch { .. })).count()
+    }
+
+    /// Iterates over the names of all functions called (directly) by this
+    /// function, with duplicates.
+    pub fn callees(&self) -> impl Iterator<Item = &str> {
+        self.blocks.iter().flat_map(|b| b.insts.iter()).filter_map(Inst::callee)
+    }
+
+    /// Function names referenced as `@name` operands (callback targets),
+    /// with duplicates.
+    pub fn referenced_functions(&self) -> impl Iterator<Item = &str> {
+        self.blocks
+            .iter()
+            .flat_map(|b| b.insts.iter())
+            .flat_map(|i| i.uses())
+            .filter_map(Operand::as_func_ref)
+    }
+
+    /// Iterates over `(InstId, &Inst)` pairs in block order.
+    pub fn insts(&self) -> impl Iterator<Item = (InstId, &Inst)> {
+        self.blocks.iter().enumerate().flat_map(|(bi, b)| {
+            b.insts.iter().enumerate().map(move |(ii, inst)| {
+                (InstId { block: BlockId(bi as u32), index: ii as u32 }, inst)
+            })
+        })
+    }
+
+    /// Whether any terminator returns a value.
+    #[must_use]
+    pub fn has_return_value(&self) -> bool {
+        self.blocks.iter().any(|b| matches!(b.term, Terminator::Return(Some(_))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{FunctionBuilder, Pred, Rvalue};
+
+    fn sample() -> Function {
+        let mut b = FunctionBuilder::new("f", ["a", "b"]);
+        let t = b.new_block();
+        let e = b.new_block();
+        b.assign("c", Rvalue::cmp(Pred::Lt, Operand::var("a"), Operand::var("b")));
+        b.branch("c", t, e);
+        b.switch_to(t);
+        b.call("g", [Operand::var("a")]);
+        b.ret(Operand::Int(1));
+        b.switch_to(e);
+        b.ret(Operand::Int(0));
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn accessors() {
+        let f = sample();
+        assert_eq!(f.name(), "f");
+        assert_eq!(f.params(), &["a".to_owned(), "b".to_owned()]);
+        assert_eq!(f.param_index("b"), Some(1));
+        assert_eq!(f.param_index("z"), None);
+        assert_eq!(f.blocks().len(), 3);
+        assert_eq!(f.entry(), BlockId::ENTRY);
+        assert_eq!(f.inst_count(), 2);
+        assert_eq!(f.conditional_branch_count(), 1);
+        assert!(f.has_return_value());
+    }
+
+    #[test]
+    fn callees_iteration() {
+        let f = sample();
+        let callees: Vec<&str> = f.callees().collect();
+        assert_eq!(callees, vec!["g"]);
+    }
+
+    #[test]
+    fn successors() {
+        assert_eq!(Terminator::Jump(BlockId(3)).successors(), vec![BlockId(3)]);
+        assert!(Terminator::Return(None).successors().is_empty());
+        assert!(Terminator::Unreachable.successors().is_empty());
+        let branch = Terminator::Branch {
+            cond: "c".into(),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(branch.successors(), vec![BlockId(1), BlockId(2)]);
+    }
+
+    #[test]
+    fn inst_ids_are_stable() {
+        let f = sample();
+        let ids: Vec<InstId> = f.insts().map(|(id, _)| id).collect();
+        assert_eq!(ids[0], InstId { block: BlockId(0), index: 0 });
+        assert_eq!(ids[1], InstId { block: BlockId(1), index: 0 });
+        assert_eq!(ids[0].to_string(), "bb0:0");
+    }
+}

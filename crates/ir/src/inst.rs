@@ -1,0 +1,344 @@
+//! Instructions and operands of the abstract program (Figure 3).
+
+use std::fmt;
+
+use crate::Pred;
+
+/// An operand of an instruction: a variable or a constant.
+///
+/// Pointers are modelled as integers, with [`Operand::Null`] standing for
+/// the null pointer (integer 0 in the analysis).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Operand {
+    /// A local variable or formal parameter, by name.
+    Var(String),
+    /// An integer constant.
+    Int(i64),
+    /// A boolean constant.
+    Bool(bool),
+    /// The null pointer constant.
+    Null,
+    /// A reference to a function (`@name` in RIL), used to pass callbacks
+    /// to registration APIs. Opaque to the core abstraction; consumed by
+    /// the callback-contract extension (see `rid-core`'s `callbacks`).
+    FuncRef(String),
+}
+
+impl Operand {
+    /// Convenience constructor for a variable operand.
+    ///
+    /// ```
+    /// use rid_ir::Operand;
+    /// assert_eq!(Operand::var("x"), Operand::Var("x".to_owned()));
+    /// ```
+    pub fn var(name: impl Into<String>) -> Operand {
+        Operand::Var(name.into())
+    }
+
+    /// Returns the variable name if this operand is a variable.
+    #[must_use]
+    pub fn as_var(&self) -> Option<&str> {
+        match self {
+            Operand::Var(name) => Some(name),
+            _ => None,
+        }
+    }
+
+    /// Whether the operand is a constant (not a variable).
+    #[must_use]
+    pub fn is_const(&self) -> bool {
+        !matches!(self, Operand::Var(_))
+    }
+
+    /// The referenced function name, if this operand is a function
+    /// reference.
+    #[must_use]
+    pub fn as_func_ref(&self) -> Option<&str> {
+        match self {
+            Operand::FuncRef(name) => Some(name),
+            _ => None,
+        }
+    }
+}
+
+impl From<i64> for Operand {
+    fn from(value: i64) -> Self {
+        Operand::Int(value)
+    }
+}
+
+impl From<bool> for Operand {
+    fn from(value: bool) -> Self {
+        Operand::Bool(value)
+    }
+}
+
+impl fmt::Display for Operand {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Operand::Var(name) => f.write_str(name),
+            Operand::Int(value) => write!(f, "{value}"),
+            Operand::Bool(value) => write!(f, "{value}"),
+            Operand::Null => f.write_str("null"),
+            Operand::FuncRef(name) => write!(f, "@{name}"),
+        }
+    }
+}
+
+/// The right-hand side of an assignment.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Rvalue {
+    /// `x = v` — copy an operand.
+    Use(Operand),
+    /// `x = y.field` — load a structure field.
+    FieldLoad {
+        /// The base variable holding the structure.
+        base: String,
+        /// The field name.
+        field: String,
+    },
+    /// `x = random` — a non-deterministic value (e.g. a device register
+    /// read). Each occurrence yields an independent unknown.
+    Random,
+    /// `x = v1 p v2` — a comparison; the only way to define a branch
+    /// condition.
+    Cmp {
+        /// The comparison predicate.
+        pred: Pred,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `x = fn(v1, ..., vn)` — a call whose result is used.
+    Call {
+        /// Name of the called function.
+        callee: String,
+        /// Actual arguments.
+        args: Vec<Operand>,
+    },
+}
+
+impl Rvalue {
+    /// Convenience constructor for a comparison rvalue.
+    pub fn cmp(pred: Pred, lhs: impl Into<Operand>, rhs: impl Into<Operand>) -> Rvalue {
+        Rvalue::Cmp { pred, lhs: lhs.into(), rhs: rhs.into() }
+    }
+
+    /// Convenience constructor for a call rvalue.
+    pub fn call(callee: impl Into<String>, args: impl IntoIterator<Item = Operand>) -> Rvalue {
+        Rvalue::Call { callee: callee.into(), args: args.into_iter().collect() }
+    }
+
+    /// Convenience constructor for a field load.
+    pub fn field(base: impl Into<String>, field: impl Into<String>) -> Rvalue {
+        Rvalue::FieldLoad { base: base.into(), field: field.into() }
+    }
+
+    /// The callee name, if this rvalue is a call.
+    #[must_use]
+    pub fn callee(&self) -> Option<&str> {
+        match self {
+            Rvalue::Call { callee, .. } => Some(callee),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Rvalue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Rvalue::Use(op) => write!(f, "{op}"),
+            Rvalue::FieldLoad { base, field } => write!(f, "{base}.{field}"),
+            Rvalue::Random => f.write_str("random"),
+            Rvalue::Cmp { pred, lhs, rhs } => write!(f, "{lhs} {pred} {rhs}"),
+            Rvalue::Call { callee, args } => {
+                write!(f, "{callee}(")?;
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{arg}")?;
+                }
+                f.write_str(")")
+            }
+        }
+    }
+}
+
+/// A non-terminator instruction.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Inst {
+    /// `dst = rvalue`.
+    Assign {
+        /// Destination variable.
+        dst: String,
+        /// Value computed.
+        rvalue: Rvalue,
+    },
+    /// `fn(v1, ..., vn)` — a call whose result (if any) is discarded.
+    Call {
+        /// Name of the called function.
+        callee: String,
+        /// Actual arguments.
+        args: Vec<Operand>,
+    },
+    /// `assume lhs p rhs` — a path-pruning assumption, used to model
+    /// assertions (`assert(dev != NULL)` in Figure 1). Paths violating the
+    /// assumption are infeasible.
+    Assume {
+        /// The comparison predicate.
+        pred: Pred,
+        /// Left operand.
+        lhs: Operand,
+        /// Right operand.
+        rhs: Operand,
+    },
+    /// `base.field = value` — a field store.
+    ///
+    /// Field stores are *outside* the paper's abstraction (§5.4): the
+    /// symbolic executor ignores them, which can make two genuinely
+    /// distinguishable paths look identical and thus produce false
+    /// positives. They are kept in the IR so realistic programs can be
+    /// represented faithfully.
+    FieldStore {
+        /// The base variable holding the structure.
+        base: String,
+        /// The field name.
+        field: String,
+        /// The value stored.
+        value: Operand,
+    },
+}
+
+impl Inst {
+    /// The callee name, if this instruction performs a call.
+    #[must_use]
+    pub fn callee(&self) -> Option<&str> {
+        match self {
+            Inst::Call { callee, .. } => Some(callee),
+            Inst::Assign { rvalue, .. } => rvalue.callee(),
+            _ => None,
+        }
+    }
+
+    /// The destination variable, if this instruction defines one.
+    #[must_use]
+    pub fn def(&self) -> Option<&str> {
+        match self {
+            Inst::Assign { dst, .. } => Some(dst),
+            _ => None,
+        }
+    }
+
+    /// Iterates over the operands used (read) by this instruction.
+    pub fn uses(&self) -> Vec<&Operand> {
+        match self {
+            Inst::Assign { rvalue, .. } => match rvalue {
+                Rvalue::Use(op) => vec![op],
+                Rvalue::FieldLoad { .. } | Rvalue::Random => vec![],
+                Rvalue::Cmp { lhs, rhs, .. } => vec![lhs, rhs],
+                Rvalue::Call { args, .. } => args.iter().collect(),
+            },
+            Inst::Call { args, .. } => args.iter().collect(),
+            Inst::Assume { lhs, rhs, .. } => vec![lhs, rhs],
+            Inst::FieldStore { value, .. } => vec![value],
+        }
+    }
+
+    /// Variable names read by this instruction, including field-load and
+    /// field-store bases.
+    pub fn used_vars(&self) -> Vec<&str> {
+        let mut vars: Vec<&str> = self.uses().into_iter().filter_map(Operand::as_var).collect();
+        match self {
+            Inst::Assign { rvalue: Rvalue::FieldLoad { base, .. }, .. } => vars.push(base),
+            Inst::FieldStore { base, .. } => vars.push(base),
+            _ => {}
+        }
+        vars
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Assign { dst, rvalue } => write!(f, "{dst} = {rvalue}"),
+            Inst::Call { callee, args } => {
+                write!(f, "{callee}(")?;
+                for (i, arg) in args.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "{arg}")?;
+                }
+                f.write_str(")")
+            }
+            Inst::Assume { pred, lhs, rhs } => write!(f, "assume {lhs} {pred} {rhs}"),
+            Inst::FieldStore { base, field, value } => write!(f, "{base}.{field} = {value}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn func_ref_operand() {
+        let op = Operand::FuncRef("handler".into());
+        assert_eq!(op.as_func_ref(), Some("handler"));
+        assert!(op.is_const());
+        assert_eq!(op.to_string(), "@handler");
+        assert_eq!(Operand::var("x").as_func_ref(), None);
+    }
+
+    #[test]
+    fn operand_constructors() {
+        assert_eq!(Operand::from(3), Operand::Int(3));
+        assert_eq!(Operand::from(true), Operand::Bool(true));
+        assert_eq!(Operand::var("a").as_var(), Some("a"));
+        assert_eq!(Operand::Null.as_var(), None);
+        assert!(Operand::Int(0).is_const());
+        assert!(!Operand::var("x").is_const());
+    }
+
+    #[test]
+    fn inst_def_and_callee() {
+        let inst = Inst::Assign {
+            dst: "x".into(),
+            rvalue: Rvalue::call("f", [Operand::Int(1)]),
+        };
+        assert_eq!(inst.def(), Some("x"));
+        assert_eq!(inst.callee(), Some("f"));
+
+        let call = Inst::Call { callee: "g".into(), args: vec![] };
+        assert_eq!(call.def(), None);
+        assert_eq!(call.callee(), Some("g"));
+    }
+
+    #[test]
+    fn used_vars_includes_field_base() {
+        let load = Inst::Assign { dst: "x".into(), rvalue: Rvalue::field("s", "pm") };
+        assert_eq!(load.used_vars(), vec!["s"]);
+
+        let store = Inst::FieldStore {
+            base: "s".into(),
+            field: "pm".into(),
+            value: Operand::var("v"),
+        };
+        let mut vars = store.used_vars();
+        vars.sort_unstable();
+        assert_eq!(vars, vec!["s", "v"]);
+    }
+
+    #[test]
+    fn display_round_trips_shape() {
+        let inst = Inst::Assign {
+            dst: "t".into(),
+            rvalue: Rvalue::cmp(Pred::Le, Operand::var("v"), Operand::Int(0)),
+        };
+        assert_eq!(inst.to_string(), "t = v <= 0");
+        let assume = Inst::Assume { pred: Pred::Ne, lhs: Operand::var("d"), rhs: Operand::Null };
+        assert_eq!(assume.to_string(), "assume d != null");
+    }
+}

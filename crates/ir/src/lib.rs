@@ -1,0 +1,67 @@
+//! # rid-ir — the abstract program representation analyzed by RID
+//!
+//! This crate implements the abstract program of Figure 3 in the RID paper
+//! (*RID: Finding Reference Count Bugs with Inconsistent Path Pair Checking*,
+//! ASPLOS 2016): straight-line instructions (assignments, field loads, a
+//! `random` generator modelling non-deterministic reads such as device
+//! registers, and function calls) organised into basic blocks terminated by
+//! jumps, two-way branches on comparison-defined variables, or returns.
+//!
+//! The IR deliberately matches the paper's abstraction:
+//!
+//! * values are integers; pointers are integers with `null == 0`;
+//! * there is **no arithmetic** — reference counts are only changed through
+//!   refcount APIs, so `x = v1 + v2` never needs to be represented;
+//! * branch conditions are variables defined by an (in)equality
+//!   ([`Rvalue::Cmp`]);
+//! * a [`Rvalue::Random`] models any operation whose result the analysis
+//!   cannot predict (I/O, hardware registers, unmodelled intrinsics);
+//! * field *stores* ([`Inst::FieldStore`]) exist syntactically but are
+//!   outside the abstraction — the symbolic executor ignores them, which is
+//!   one of the false-positive sources §6.4 of the paper discusses.
+//!
+//! ## Example
+//!
+//! Build the `foo()` function of Figure 1 programmatically:
+//!
+//! ```
+//! use rid_ir::{FunctionBuilder, Operand, Pred, Rvalue};
+//!
+//! let mut b = FunctionBuilder::new("foo", ["dev"]);
+//! let exit = b.new_block();
+//! let body = b.new_block();
+//! b.assume(Pred::Ne, Operand::var("dev"), Operand::Null);
+//! b.assign("v", Rvalue::call("reg_read", [Operand::var("dev"), Operand::Int(0x54)]));
+//! b.assign("t", Rvalue::cmp(Pred::Le, Operand::var("v"), Operand::Int(0)));
+//! b.branch("t", exit, body);
+//! b.switch_to(body);
+//! b.call("inc_pmcount", [Operand::var("dev")]);
+//! b.jump(exit);
+//! b.switch_to(exit);
+//! b.ret(Operand::Int(0));
+//! let func = b.finish().expect("valid function");
+//! assert_eq!(func.name(), "foo");
+//! assert_eq!(func.blocks().len(), 3);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod build;
+mod cfg;
+mod display;
+mod dom;
+mod func;
+mod inst;
+mod module;
+mod pred;
+mod validate;
+
+pub use build::FunctionBuilder;
+pub use cfg::Cfg;
+pub use dom::{control_dependencies, dominators, post_dominators, Dominators, PostDominators};
+pub use func::{BasicBlock, BlockId, Function, InstId, Terminator};
+pub use inst::{Inst, Operand, Rvalue};
+pub use module::{Module, Program, ProgramError};
+pub use pred::Pred;
+pub use validate::{validate_function, ValidateError};

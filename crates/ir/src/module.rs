@@ -1,0 +1,267 @@
+//! Modules (compilation units) and whole programs.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::Function;
+
+/// A compilation unit: a named collection of function definitions plus the
+/// names of external functions it references (functions defined elsewhere
+/// or known only through predefined summaries, §5.1).
+#[derive(Clone, Debug, Default)]
+pub struct Module {
+    /// The module name (e.g. a source file path).
+    pub name: String,
+    functions: Vec<Function>,
+    externs: Vec<String>,
+}
+
+impl Module {
+    /// Creates an empty module.
+    pub fn new(name: impl Into<String>) -> Module {
+        Module { name: name.into(), functions: Vec::new(), externs: Vec::new() }
+    }
+
+    /// Adds a function definition.
+    pub fn push_function(&mut self, func: Function) {
+        self.functions.push(func);
+    }
+
+    /// Declares an external function referenced by this module.
+    pub fn push_extern(&mut self, name: impl Into<String>) {
+        self.externs.push(name.into());
+    }
+
+    /// The function definitions in this module.
+    #[must_use]
+    pub fn functions(&self) -> &[Function] {
+        &self.functions
+    }
+
+    /// The declared external function names.
+    #[must_use]
+    pub fn externs(&self) -> &[String] {
+        &self.externs
+    }
+
+    /// Looks up a function definition by name.
+    #[must_use]
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.functions.iter().find(|f| f.name() == name)
+    }
+
+    /// Names of symbols this module *uses* but does not define — the edges
+    /// of the module dependency graph of §5.3.
+    pub fn undefined_references(&self) -> Vec<&str> {
+        let defined: std::collections::HashSet<&str> =
+            self.functions.iter().map(Function::name).collect();
+        let mut out = Vec::new();
+        let mut seen = std::collections::HashSet::new();
+        for func in &self.functions {
+            for callee in func.callees() {
+                if !defined.contains(callee) && seen.insert(callee) {
+                    out.push(callee);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// An error combining modules into a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ProgramError {
+    /// Two strong (non-weak) definitions of the same function.
+    DuplicateFunction(String),
+}
+
+impl fmt::Display for ProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProgramError::DuplicateFunction(name) => {
+                write!(f, "duplicate strong definition of function `{name}`")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProgramError {}
+
+/// A whole program: one or more linked modules with a global function
+/// namespace.
+///
+/// Duplicate *weak* definitions (functions defined in headers, marked weak
+/// per §5.3 of the paper) are merged: the first strong definition wins; if
+/// all copies are weak, the first weak copy is kept.
+#[derive(Clone, Debug, Default)]
+pub struct Program {
+    modules: Vec<Module>,
+    /// function name → (module index, function index)
+    index: HashMap<String, (usize, usize)>,
+}
+
+impl Program {
+    /// Creates an empty program.
+    #[must_use]
+    pub fn new() -> Program {
+        Program::default()
+    }
+
+    /// Creates a program from a single module.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::DuplicateFunction`] on duplicate strong
+    /// definitions within the module.
+    pub fn from_module(module: Module) -> Result<Program, ProgramError> {
+        let mut p = Program::new();
+        p.link(module)?;
+        Ok(p)
+    }
+
+    /// Links a module into the program (the §5.3 weak-symbol merge).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::DuplicateFunction`] when two strong
+    /// definitions of the same name collide.
+    pub fn link(&mut self, module: Module) -> Result<(), ProgramError> {
+        let mod_idx = self.modules.len();
+        for (fn_idx, func) in module.functions().iter().enumerate() {
+            match self.index.get(func.name()) {
+                None => {
+                    self.index.insert(func.name().to_owned(), (mod_idx, fn_idx));
+                }
+                Some(&(mi, fi)) => {
+                    let existing = &self.modules[mi].functions[fi];
+                    match (existing.weak, func.weak) {
+                        // Existing weak, new strong: the strong one wins.
+                        (true, false) => {
+                            self.index.insert(func.name().to_owned(), (mod_idx, fn_idx));
+                        }
+                        // New weak (existing anything): keep existing.
+                        (_, true) => {}
+                        (false, false) => {
+                            return Err(ProgramError::DuplicateFunction(
+                                func.name().to_owned(),
+                            ));
+                        }
+                    }
+                }
+            }
+        }
+        self.modules.push(module);
+        Ok(())
+    }
+
+    /// The linked modules, in link order.
+    #[must_use]
+    pub fn modules(&self) -> &[Module] {
+        &self.modules
+    }
+
+    /// Looks up the canonical definition of `name` (after weak-symbol
+    /// resolution).
+    #[must_use]
+    pub fn function(&self, name: &str) -> Option<&Function> {
+        self.index.get(name).map(|&(mi, fi)| &self.modules[mi].functions[fi])
+    }
+
+    /// Iterates over the canonical function definitions in a deterministic
+    /// order (sorted by name).
+    pub fn functions(&self) -> Vec<&Function> {
+        let mut names: Vec<&String> = self.index.keys().collect();
+        names.sort();
+        names.into_iter().map(|n| self.function(n).expect("indexed")).collect()
+    }
+
+    /// Number of canonical function definitions.
+    #[must_use]
+    pub fn function_count(&self) -> usize {
+        self.index.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::FunctionBuilder;
+
+    fn func(name: &str, weak: bool) -> Function {
+        let mut b = FunctionBuilder::new(name, Vec::<String>::new());
+        b.set_weak(weak);
+        b.ret_void();
+        b.finish().unwrap()
+    }
+
+    fn caller(name: &str, callee: &str) -> Function {
+        let mut b = FunctionBuilder::new(name, Vec::<String>::new());
+        b.call(callee, []);
+        b.ret_void();
+        b.finish().unwrap()
+    }
+
+    #[test]
+    fn strong_duplicate_is_error() {
+        let mut m1 = Module::new("a.ril");
+        m1.push_function(func("f", false));
+        let mut m2 = Module::new("b.ril");
+        m2.push_function(func("f", false));
+        let mut p = Program::new();
+        p.link(m1).unwrap();
+        assert_eq!(p.link(m2), Err(ProgramError::DuplicateFunction("f".into())));
+    }
+
+    #[test]
+    fn weak_symbols_merge() {
+        let mut m1 = Module::new("a.ril");
+        m1.push_function(func("f", true));
+        let mut m2 = Module::new("b.ril");
+        m2.push_function(func("f", true));
+        let mut p = Program::new();
+        p.link(m1).unwrap();
+        p.link(m2).unwrap();
+        assert_eq!(p.function_count(), 1);
+        assert!(p.function("f").unwrap().weak);
+    }
+
+    #[test]
+    fn strong_definition_overrides_weak() {
+        let mut m1 = Module::new("a.ril");
+        m1.push_function(func("f", true));
+        let mut m2 = Module::new("b.ril");
+        m2.push_function(func("f", false));
+        let mut p = Program::new();
+        p.link(m1).unwrap();
+        p.link(m2).unwrap();
+        assert!(!p.function("f").unwrap().weak);
+    }
+
+    #[test]
+    fn undefined_references() {
+        let mut m = Module::new("a.ril");
+        m.push_function(caller("f", "g"));
+        m.push_function(caller("g", "pm_runtime_get"));
+        assert_eq!(m.undefined_references(), vec!["pm_runtime_get"]);
+    }
+
+    #[test]
+    fn functions_listed_deterministically() {
+        let mut m = Module::new("a.ril");
+        m.push_function(func("zeta", false));
+        m.push_function(func("alpha", false));
+        let p = Program::from_module(m).unwrap();
+        let names: Vec<&str> = p.functions().iter().map(|f| f.name()).collect();
+        assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn module_lookup_and_externs() {
+        let mut m = Module::new("a.ril");
+        m.push_function(func("f", false));
+        m.push_extern("pm_runtime_get");
+        assert!(m.function("f").is_some());
+        assert!(m.function("g").is_none());
+        assert_eq!(m.externs(), &["pm_runtime_get".to_owned()]);
+    }
+}

@@ -1,0 +1,161 @@
+//! Comparison predicates of the abstract program (Figure 3 of the paper).
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// A binary comparison predicate over integers.
+///
+/// These are the only predicates allowed in branch conditions and
+/// constraints (`=`, `≠`, `>`, `≥`, `<`, `≤` in Figure 3 / Figure 5 of the
+/// paper).
+///
+/// # Examples
+///
+/// ```
+/// use rid_ir::Pred;
+///
+/// assert!(Pred::Lt.eval(1, 2));
+/// assert_eq!(Pred::Lt.negated(), Pred::Ge);
+/// assert_eq!(Pred::Lt.swapped(), Pred::Gt);
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Pred {
+    /// `lhs == rhs`
+    Eq,
+    /// `lhs != rhs`
+    Ne,
+    /// `lhs < rhs`
+    Lt,
+    /// `lhs <= rhs`
+    Le,
+    /// `lhs > rhs`
+    Gt,
+    /// `lhs >= rhs`
+    Ge,
+}
+
+impl Pred {
+    /// All six predicates, in declaration order.
+    pub const ALL: [Pred; 6] = [Pred::Eq, Pred::Ne, Pred::Lt, Pred::Le, Pred::Gt, Pred::Ge];
+
+    /// Evaluates the predicate on two concrete integers.
+    #[must_use]
+    pub fn eval(self, lhs: i64, rhs: i64) -> bool {
+        match self {
+            Pred::Eq => lhs == rhs,
+            Pred::Ne => lhs != rhs,
+            Pred::Lt => lhs < rhs,
+            Pred::Le => lhs <= rhs,
+            Pred::Gt => lhs > rhs,
+            Pred::Ge => lhs >= rhs,
+        }
+    }
+
+    /// Returns the logical negation: `¬(a p b)` equals `a p.negated() b`.
+    #[must_use]
+    pub fn negated(self) -> Pred {
+        match self {
+            Pred::Eq => Pred::Ne,
+            Pred::Ne => Pred::Eq,
+            Pred::Lt => Pred::Ge,
+            Pred::Le => Pred::Gt,
+            Pred::Gt => Pred::Le,
+            Pred::Ge => Pred::Lt,
+        }
+    }
+
+    /// Returns the predicate with operands swapped: `a p b` iff
+    /// `b p.swapped() a`.
+    #[must_use]
+    pub fn swapped(self) -> Pred {
+        match self {
+            Pred::Eq => Pred::Eq,
+            Pred::Ne => Pred::Ne,
+            Pred::Lt => Pred::Gt,
+            Pred::Le => Pred::Ge,
+            Pred::Gt => Pred::Lt,
+            Pred::Ge => Pred::Le,
+        }
+    }
+
+    /// Whether the predicate is symmetric (`=` and `≠`).
+    #[must_use]
+    pub fn is_symmetric(self) -> bool {
+        matches!(self, Pred::Eq | Pred::Ne)
+    }
+
+    /// The source-level symbol for the predicate.
+    #[must_use]
+    pub fn symbol(self) -> &'static str {
+        match self {
+            Pred::Eq => "==",
+            Pred::Ne => "!=",
+            Pred::Lt => "<",
+            Pred::Le => "<=",
+            Pred::Gt => ">",
+            Pred::Ge => ">=",
+        }
+    }
+}
+
+impl fmt::Display for Pred {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.symbol())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_involutive() {
+        for p in Pred::ALL {
+            assert_eq!(p.negated().negated(), p);
+        }
+    }
+
+    #[test]
+    fn swap_is_involutive() {
+        for p in Pred::ALL {
+            assert_eq!(p.swapped().swapped(), p);
+        }
+    }
+
+    #[test]
+    fn eval_agrees_with_negation() {
+        for p in Pred::ALL {
+            for a in -3..=3 {
+                for b in -3..=3 {
+                    assert_eq!(p.eval(a, b), !p.negated().eval(a, b), "{p:?} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eval_agrees_with_swap() {
+        for p in Pred::ALL {
+            for a in -3..=3 {
+                for b in -3..=3 {
+                    assert_eq!(p.eval(a, b), p.swapped().eval(b, a), "{p:?} {a} {b}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn symmetry_classification() {
+        assert!(Pred::Eq.is_symmetric());
+        assert!(Pred::Ne.is_symmetric());
+        assert!(!Pred::Lt.is_symmetric());
+        assert!(!Pred::Ge.is_symmetric());
+    }
+
+    #[test]
+    fn display_uses_source_symbols() {
+        assert_eq!(Pred::Le.to_string(), "<=");
+        assert_eq!(Pred::Ne.to_string(), "!=");
+    }
+}

@@ -1,0 +1,148 @@
+//! Structural validation of functions.
+
+use std::collections::HashSet;
+use std::fmt;
+
+use crate::{BlockId, Function, Terminator};
+
+/// A structural validity error in a [`Function`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ValidateError {
+    /// A block has no terminator (only produced by the builder).
+    UnsealedBlock(BlockId),
+    /// A terminator targets a block that does not exist.
+    BadTarget {
+        /// The block whose terminator is invalid.
+        from: BlockId,
+        /// The missing target.
+        to: BlockId,
+    },
+    /// The function has no blocks at all.
+    NoBlocks,
+    /// Two formal parameters share a name.
+    DuplicateParam(String),
+    /// A parameter or the function itself has an empty name.
+    EmptyName,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ValidateError::UnsealedBlock(b) => write!(f, "block {b} has no terminator"),
+            ValidateError::BadTarget { from, to } => {
+                write!(f, "terminator of {from} targets nonexistent block {to}")
+            }
+            ValidateError::NoBlocks => f.write_str("function has no blocks"),
+            ValidateError::DuplicateParam(p) => write!(f, "duplicate parameter name `{p}`"),
+            ValidateError::EmptyName => f.write_str("empty function or parameter name"),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+/// Checks the structural validity of a function.
+///
+/// # Errors
+///
+/// Returns the first [`ValidateError`] found: missing blocks, out-of-range
+/// branch targets, duplicate or empty parameter names.
+pub fn validate_function(func: &Function) -> Result<(), ValidateError> {
+    if func.name().is_empty() {
+        return Err(ValidateError::EmptyName);
+    }
+    if func.blocks().is_empty() {
+        return Err(ValidateError::NoBlocks);
+    }
+    let mut seen = HashSet::new();
+    for param in func.params() {
+        if param.is_empty() {
+            return Err(ValidateError::EmptyName);
+        }
+        if !seen.insert(param.as_str()) {
+            return Err(ValidateError::DuplicateParam(param.clone()));
+        }
+    }
+    let n = func.blocks().len();
+    for (i, block) in func.blocks().iter().enumerate() {
+        let from = BlockId(i as u32);
+        for target in block.term.successors() {
+            if target.index() >= n {
+                return Err(ValidateError::BadTarget { from, to: target });
+            }
+        }
+        // A branch on a variable never defined by a comparison is legal (the
+        // analysis treats it as opaque), so nothing further to check here.
+        let _ = matches!(block.term, Terminator::Branch { .. });
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{BasicBlock, Operand};
+
+    #[test]
+    fn rejects_no_blocks() {
+        let f = Function::from_raw_parts("f", vec![], vec![]);
+        assert_eq!(validate_function(&f), Err(ValidateError::NoBlocks));
+    }
+
+    #[test]
+    fn rejects_bad_target() {
+        let f = Function::from_raw_parts(
+            "f",
+            vec![],
+            vec![BasicBlock::new(Terminator::Jump(BlockId(7)))],
+        );
+        assert_eq!(
+            validate_function(&f),
+            Err(ValidateError::BadTarget { from: BlockId(0), to: BlockId(7) })
+        );
+    }
+
+    #[test]
+    fn rejects_duplicate_params() {
+        let f = Function::from_raw_parts(
+            "f",
+            vec!["a".into(), "a".into()],
+            vec![BasicBlock::new(Terminator::Return(None))],
+        );
+        assert_eq!(validate_function(&f), Err(ValidateError::DuplicateParam("a".into())));
+    }
+
+    #[test]
+    fn rejects_empty_names() {
+        let f = Function::from_raw_parts(
+            "",
+            vec![],
+            vec![BasicBlock::new(Terminator::Return(None))],
+        );
+        assert_eq!(validate_function(&f), Err(ValidateError::EmptyName));
+    }
+
+    #[test]
+    fn accepts_valid_function() {
+        let f = Function::from_raw_parts(
+            "f",
+            vec!["x".into()],
+            vec![BasicBlock::new(Terminator::Return(Some(Operand::Int(0))))],
+        );
+        assert!(validate_function(&f).is_ok());
+    }
+
+    #[test]
+    fn error_display_is_nonempty() {
+        let errors = [
+            ValidateError::UnsealedBlock(BlockId(1)),
+            ValidateError::BadTarget { from: BlockId(0), to: BlockId(9) },
+            ValidateError::NoBlocks,
+            ValidateError::DuplicateParam("x".into()),
+            ValidateError::EmptyName,
+        ];
+        for e in errors {
+            assert!(!e.to_string().is_empty());
+        }
+    }
+}

@@ -1,0 +1,322 @@
+//! Conjunctions of literals — the constraint objects of RID summaries.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::lit::Lit;
+use crate::sat::{DiffSystem, SatOptions};
+use crate::term::{Subst, Term, Var};
+
+/// A conjunction of atomic constraints ([`Lit`]s).
+///
+/// An empty conjunction is `True`. Literals that constant-fold to `true`
+/// are dropped on insertion; a literal folding to `false` marks the whole
+/// conjunction as trivially unsatisfiable.
+///
+/// # Examples
+///
+/// ```
+/// use rid_ir::Pred;
+/// use rid_solver::{Conj, Lit, Term, Var};
+///
+/// let mut c = Conj::truth();
+/// assert!(c.is_sat());
+/// c.push(Lit::new(Pred::Gt, Term::var(Var::ret()), Term::int(0)));
+/// c.push(Lit::new(Pred::Lt, Term::var(Var::ret()), Term::int(0)));
+/// assert!(!c.is_sat());
+/// ```
+#[derive(Clone, Debug, Default, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Conj {
+    lits: Vec<Lit>,
+    falsified: bool,
+}
+
+impl Conj {
+    /// The trivially true conjunction.
+    #[must_use]
+    pub fn truth() -> Conj {
+        Conj::default()
+    }
+
+    /// A canonical trivially false conjunction.
+    #[must_use]
+    pub fn unsat() -> Conj {
+        Conj { lits: Vec::new(), falsified: true }
+    }
+
+    /// Builds a conjunction from literals (with constant folding).
+    pub fn from_lits(lits: impl IntoIterator<Item = Lit>) -> Conj {
+        let mut c = Conj::truth();
+        for lit in lits {
+            c.push(lit);
+        }
+        c
+    }
+
+    /// Appends a literal, constant-folding trivial ones.
+    pub fn push(&mut self, lit: Lit) {
+        match lit.const_eval() {
+            Some(true) => {}
+            Some(false) => self.falsified = true,
+            None => self.lits.push(lit),
+        }
+    }
+
+    /// The conjunction of `self` and `other`.
+    #[must_use]
+    pub fn and(&self, other: &Conj) -> Conj {
+        let mut out = self.clone();
+        out.falsified |= other.falsified;
+        for lit in &other.lits {
+            out.push(lit.clone());
+        }
+        out
+    }
+
+    /// The literals of the conjunction (empty for `True`).
+    #[must_use]
+    pub fn lits(&self) -> &[Lit] {
+        &self.lits
+    }
+
+    /// Whether a literal constant-folded to `false` during construction.
+    #[must_use]
+    pub fn is_trivially_false(&self) -> bool {
+        self.falsified
+    }
+
+    /// Whether the conjunction is the empty (trivially true) one.
+    #[must_use]
+    pub fn is_truth(&self) -> bool {
+        !self.falsified && self.lits.is_empty()
+    }
+
+    /// Satisfiability with default options.
+    #[must_use]
+    pub fn is_sat(&self) -> bool {
+        self.is_sat_with(SatOptions::default())
+    }
+
+    /// Satisfiability with explicit options.
+    #[must_use]
+    pub fn is_sat_with(&self, options: SatOptions) -> bool {
+        if self.falsified {
+            return false;
+        }
+        if self.lits.is_empty() {
+            return true;
+        }
+        DiffSystem::from_conj(self).check_sat(options)
+    }
+
+    /// Produces a concrete integer assignment satisfying the conjunction,
+    /// or `None` when unsatisfiable. Constants and terms never mentioned
+    /// are omitted.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use rid_ir::Pred;
+    /// use rid_solver::{Conj, Lit, SatOptions, Term, Var};
+    ///
+    /// let v = Term::var(Var::ret());
+    /// let c = Conj::from_lits([
+    ///     Lit::new(Pred::Gt, v.clone(), Term::int(3)),
+    ///     Lit::new(Pred::Le, v.clone(), Term::int(5)),
+    /// ]);
+    /// let model = c.find_model(SatOptions::default()).unwrap();
+    /// let value = model.iter().find(|(t, _)| t == &v).unwrap().1;
+    /// assert!(value > 3 && value <= 5);
+    /// ```
+    #[must_use]
+    pub fn find_model(&self, options: SatOptions) -> Option<Vec<(Term, i64)>> {
+        if self.falsified {
+            return None;
+        }
+        if self.lits.is_empty() {
+            return Some(Vec::new());
+        }
+        DiffSystem::from_conj(self).solve(options).map(|sys| sys.model())
+    }
+
+    /// Whether `self` logically implies every literal of `other`
+    /// (checked by refutation: `self ∧ ¬lit` unsatisfiable for each).
+    #[must_use]
+    pub fn implies(&self, other: &Conj) -> bool {
+        if self.falsified {
+            return true;
+        }
+        if other.falsified {
+            return !self.is_sat();
+        }
+        other.lits.iter().all(|lit| {
+            let mut probe = self.clone();
+            probe.push(lit.negated());
+            !probe.is_sat()
+        })
+    }
+
+    /// Applies a variable substitution to every literal.
+    #[must_use]
+    pub fn substitute(&self, subst: &Subst) -> Conj {
+        let mut out = Conj::truth();
+        out.falsified = self.falsified;
+        for lit in &self.lits {
+            out.push(lit.substitute(subst));
+        }
+        out
+    }
+
+    /// Collects every variable occurring in the conjunction.
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        for lit in &self.lits {
+            lit.collect_vars(out);
+        }
+    }
+
+    /// Whether every literal only mentions externally visible terms.
+    #[must_use]
+    pub fn is_external(&self) -> bool {
+        self.lits.iter().all(Lit::is_external)
+    }
+
+    /// Canonicalizes (orients literals, sorts, deduplicates) in place.
+    pub fn normalize(&mut self) {
+        for lit in &mut self.lits {
+            *lit = lit.canonical();
+        }
+        self.lits.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        self.lits.dedup();
+    }
+
+    /// Iterates over literals mentioning the given term.
+    pub fn lits_mentioning<'a>(&'a self, term: &'a Term) -> impl Iterator<Item = &'a Lit> {
+        self.lits.iter().filter(move |l| &l.lhs == term || &l.rhs == term)
+    }
+}
+
+impl FromIterator<Lit> for Conj {
+    fn from_iter<T: IntoIterator<Item = Lit>>(iter: T) -> Self {
+        Conj::from_lits(iter)
+    }
+}
+
+impl Extend<Lit> for Conj {
+    fn extend<T: IntoIterator<Item = Lit>>(&mut self, iter: T) {
+        for lit in iter {
+            self.push(lit);
+        }
+    }
+}
+
+impl fmt::Display for Conj {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.falsified {
+            return f.write_str("False");
+        }
+        if self.lits.is_empty() {
+            return f.write_str("True");
+        }
+        for (i, lit) in self.lits.iter().enumerate() {
+            if i > 0 {
+                f.write_str(" /\\ ")?;
+            }
+            write!(f, "{lit}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rid_ir::Pred;
+
+    fn v(i: u32) -> Term {
+        Term::var(Var::local(i))
+    }
+
+    #[test]
+    fn truth_and_unsat() {
+        assert!(Conj::truth().is_truth());
+        assert!(Conj::truth().is_sat());
+        assert!(!Conj::unsat().is_sat());
+        assert!(Conj::unsat().is_trivially_false());
+        assert_eq!(Conj::truth().to_string(), "True");
+        assert_eq!(Conj::unsat().to_string(), "False");
+    }
+
+    #[test]
+    fn constant_folding_on_push() {
+        let mut c = Conj::truth();
+        c.push(Lit::new(Pred::Lt, Term::int(1), Term::int(2)));
+        assert!(c.is_truth());
+        c.push(Lit::new(Pred::Gt, Term::int(1), Term::int(2)));
+        assert!(c.is_trivially_false());
+    }
+
+    #[test]
+    fn and_combines() {
+        let a = Conj::from_lits([Lit::new(Pred::Ge, v(0), Term::int(0))]);
+        let b = Conj::from_lits([Lit::new(Pred::Le, v(0), Term::int(5))]);
+        let ab = a.and(&b);
+        assert_eq!(ab.lits().len(), 2);
+        assert!(ab.is_sat());
+        let c = Conj::from_lits([Lit::new(Pred::Lt, v(0), Term::int(0))]);
+        assert!(!ab.and(&c).is_sat());
+        assert!(!a.and(&Conj::unsat()).is_sat());
+    }
+
+    #[test]
+    fn implication() {
+        let tight = Conj::from_lits([Lit::new(Pred::Eq, v(0), Term::int(3))]);
+        let loose = Conj::from_lits([Lit::new(Pred::Ge, v(0), Term::int(0))]);
+        assert!(tight.implies(&loose));
+        assert!(!loose.implies(&tight));
+        assert!(Conj::unsat().implies(&tight));
+        assert!(tight.implies(&Conj::truth()));
+    }
+
+    #[test]
+    fn normalization_dedups() {
+        let a = Lit::new(Pred::Gt, v(0), Term::int(0));
+        let b = Lit::new(Pred::Lt, Term::int(0), v(0)); // same constraint, flipped
+        let mut c = Conj::from_lits([a, b]);
+        c.normalize();
+        assert_eq!(c.lits().len(), 1);
+    }
+
+    #[test]
+    fn substitution_refolds() {
+        let mut s = Subst::new();
+        s.insert(Var::local(0), Term::int(1));
+        let c = Conj::from_lits([Lit::new(Pred::Ge, v(0), Term::int(0))]);
+        let c2 = c.substitute(&s);
+        assert!(c2.is_truth()); // 1 ≥ 0 folded away
+        let c3 = Conj::from_lits([Lit::new(Pred::Lt, v(0), Term::int(0))]).substitute(&s);
+        assert!(c3.is_trivially_false());
+    }
+
+    #[test]
+    fn mentions_filter() {
+        let c = Conj::from_lits([
+            Lit::new(Pred::Ge, v(0), Term::int(0)),
+            Lit::new(Pred::Ge, v(1), Term::int(0)),
+        ]);
+        assert_eq!(c.lits_mentioning(&v(0)).count(), 1);
+        assert_eq!(c.lits_mentioning(&v(2)).count(), 0);
+    }
+
+    #[test]
+    fn external_check() {
+        let ext = Conj::from_lits([Lit::new(
+            Pred::Ne,
+            Term::var(Var::formal(0)),
+            Term::NULL,
+        )]);
+        assert!(ext.is_external());
+        let not_ext = Conj::from_lits([Lit::new(Pred::Ge, v(0), Term::int(0))]);
+        assert!(!not_ext.is_external());
+    }
+}

@@ -1,0 +1,70 @@
+//! # rid-solver — the constraint engine behind RID
+//!
+//! RID expresses path constraints as first-order formulas over linear
+//! integer arithmetic (§4.2 of the paper) and discharges them with an SMT
+//! solver (Z3 in the original prototype, §5). The constraint language RID
+//! actually *emits*, however, is much smaller than full LIA: Figure 5
+//! restricts expressions to constants, formal arguments `[x]`, the return
+//! slot `[0]`, locals, and field chains — with **no arithmetic operators**.
+//! Every atomic constraint is therefore a binary comparison
+//! `lhs ⋈ rhs + k` between two such terms (the constant offset `k` arises
+//! internally from combining strict and non-strict comparisons over ℤ).
+//!
+//! That fragment is *difference logic over the integers*, for which this
+//! crate implements an exact decision procedure:
+//!
+//! * conjunctions of `≤`-literals are checked by negative-cycle detection
+//!   on a difference graph (Floyd–Warshall closure, incremental updates);
+//! * `≠`-literals are first filtered against the implied bounds and the
+//!   remaining ambiguous ones are case-split DPLL-style
+//!   (`a ≠ b + k  ≡  a ≤ b + k − 1 ∨ b ≤ a − k − 1`), with a configurable
+//!   split budget beyond which the solver answers "satisfiable" — erring,
+//!   like RID itself (§5.4), toward false positives rather than false
+//!   negatives;
+//! * existential projection (the "remove conditions on local variables"
+//!   step of §3.3.3/§4.4) is computed exactly for `≤`/`=` constraints by
+//!   taking the shortest-path closure and restricting it to the kept terms.
+//!
+//! For RID's fragment the procedure is as precise as a full SMT solver,
+//! which is why it can substitute for Z3 in this reproduction.
+//!
+//! Booleans are encoded as integers (`false = 0`, `true = 1`) and the null
+//! pointer as integer `0`, matching the paper's abstraction where pointers
+//! are opaque integers.
+//!
+//! ## Example
+//!
+//! ```
+//! use rid_solver::{Conj, Lit, Term, Var};
+//! use rid_ir::Pred;
+//!
+//! let v = Term::var(Var::local(0));
+//! // v > 0 ∧ v = 0 is unsatisfiable
+//! let c = Conj::from_lits([
+//!     Lit::new(Pred::Gt, v.clone(), Term::int(0)),
+//!     Lit::new(Pred::Eq, v.clone(), Term::int(0)),
+//! ]);
+//! assert!(!c.is_sat());
+//!
+//! // v > 0 ∧ v <= 10 is satisfiable
+//! let c = Conj::from_lits([
+//!     Lit::new(Pred::Gt, v.clone(), Term::int(0)),
+//!     Lit::new(Pred::Le, v, Term::int(10)),
+//! ]);
+//! assert!(c.is_sat());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod conj;
+mod lit;
+mod project;
+mod sat;
+mod term;
+
+pub use conj::Conj;
+pub use lit::Lit;
+pub use project::project;
+pub use sat::SatOptions;
+pub use term::{Subst, Term, Var, VarKind};

@@ -1,0 +1,222 @@
+//! Atomic constraints: `lhs ⋈ rhs + offset`.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use rid_ir::Pred;
+use serde::{Deserialize, Serialize};
+
+use crate::term::{Subst, Term, Var};
+
+/// An atomic constraint `lhs pred (rhs + offset)` over symbolic terms.
+///
+/// The offset extends the paper's surface syntax (Figure 5 has no
+/// arithmetic) just enough to keep existential projection exact: combining
+/// `x < v` and `v ≤ y` over the integers yields `x ≤ y − 1`, which needs an
+/// offset to be represented. Offsets against constant right-hand sides are
+/// folded away on construction, so `x ≤ 0 + 3` is stored as `x ≤ 3`.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct Lit {
+    /// The comparison predicate.
+    pub pred: Pred,
+    /// Left-hand term.
+    pub lhs: Term,
+    /// Right-hand term.
+    pub rhs: Term,
+    /// Constant added to the right-hand term.
+    pub offset: i64,
+}
+
+impl Lit {
+    /// Creates `lhs pred rhs` (offset 0).
+    #[must_use]
+    pub fn new(pred: Pred, lhs: Term, rhs: Term) -> Lit {
+        Lit::with_offset(pred, lhs, rhs, 0)
+    }
+
+    /// Creates `lhs pred (rhs + offset)`, folding constant right-hand
+    /// sides.
+    #[must_use]
+    pub fn with_offset(pred: Pred, lhs: Term, rhs: Term, offset: i64) -> Lit {
+        let (rhs, offset) = match rhs {
+            Term::Int(c) => (Term::Int(c.saturating_add(offset)), 0),
+            other => (other, offset),
+        };
+        Lit { pred, lhs, rhs, offset }
+    }
+
+    /// The logical negation of the literal.
+    ///
+    /// ```
+    /// use rid_ir::Pred;
+    /// use rid_solver::{Lit, Term, Var};
+    ///
+    /// let l = Lit::new(Pred::Lt, Term::var(Var::formal(0)), Term::int(0));
+    /// assert_eq!(l.negated().pred, Pred::Ge);
+    /// ```
+    #[must_use]
+    pub fn negated(&self) -> Lit {
+        Lit { pred: self.pred.negated(), ..self.clone() }
+    }
+
+    /// Evaluates the literal if both sides are constants.
+    #[must_use]
+    pub fn const_eval(&self) -> Option<bool> {
+        let lhs = self.lhs.as_int()?;
+        let rhs = self.rhs.as_int()?.checked_add(self.offset)?;
+        Some(self.pred.eval(lhs, rhs))
+    }
+
+    /// Applies a variable substitution to both sides.
+    #[must_use]
+    pub fn substitute(&self, subst: &Subst) -> Lit {
+        Lit::with_offset(
+            self.pred,
+            self.lhs.substitute(subst),
+            self.rhs.substitute(subst),
+            self.offset,
+        )
+    }
+
+    /// Collects every variable occurring in the literal.
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        self.lhs.collect_vars(out);
+        self.rhs.collect_vars(out);
+    }
+
+    /// Whether the literal only mentions externally visible terms.
+    #[must_use]
+    pub fn is_external(&self) -> bool {
+        self.lhs.is_external() && self.rhs.is_external()
+    }
+
+    /// A canonical form for deduplication: symmetric predicates order their
+    /// operands, `>`/`≥` are rewritten to `<`/`≤`.
+    #[must_use]
+    pub fn canonical(&self) -> Lit {
+        let mut lit = self.clone();
+        match lit.pred {
+            Pred::Gt | Pred::Ge => {
+                // a > b + k  ≡  b + k < a  ≡  b < a - k
+                lit = Lit::with_offset(
+                    lit.pred.swapped(),
+                    lit.rhs,
+                    lit.lhs,
+                    lit.offset.checked_neg().unwrap_or(i64::MAX),
+                );
+            }
+            Pred::Eq | Pred::Ne => {
+                if term_order(&lit.lhs, &lit.rhs) == Ordering::Greater {
+                    lit = Lit::with_offset(
+                        lit.pred,
+                        lit.rhs,
+                        lit.lhs,
+                        lit.offset.checked_neg().unwrap_or(i64::MAX),
+                    );
+                }
+            }
+            Pred::Lt | Pred::Le => {}
+        }
+        lit
+    }
+}
+
+fn term_order(a: &Term, b: &Term) -> Ordering {
+    a.cmp(b)
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == 0 {
+            write!(f, "{} {} {}", self.lhs, self.pred, self.rhs)
+        } else if self.offset > 0 {
+            write!(f, "{} {} {} + {}", self.lhs, self.pred, self.rhs, self.offset)
+        } else {
+            write!(f, "{} {} {} - {}", self.lhs, self.pred, self.rhs, -self.offset)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Var;
+
+    #[test]
+    fn constant_offset_folding() {
+        let l = Lit::with_offset(Pred::Le, Term::var(Var::ret()), Term::int(2), 3);
+        assert_eq!(l.rhs, Term::Int(5));
+        assert_eq!(l.offset, 0);
+    }
+
+    #[test]
+    fn const_eval() {
+        assert_eq!(Lit::new(Pred::Lt, Term::int(1), Term::int(2)).const_eval(), Some(true));
+        assert_eq!(Lit::new(Pred::Eq, Term::int(1), Term::int(2)).const_eval(), Some(false));
+        assert_eq!(
+            Lit::new(Pred::Eq, Term::var(Var::ret()), Term::int(2)).const_eval(),
+            None
+        );
+        let with_off =
+            Lit { pred: Pred::Le, lhs: Term::int(3), rhs: Term::int(1), offset: 2 };
+        assert_eq!(with_off.const_eval(), Some(true));
+    }
+
+    #[test]
+    fn negation() {
+        let l = Lit::new(Pred::Eq, Term::var(Var::formal(0)), Term::NULL);
+        assert_eq!(l.negated().pred, Pred::Ne);
+        assert_eq!(l.negated().negated(), l);
+    }
+
+    #[test]
+    fn canonicalization_orients_gt() {
+        let a = Term::var(Var::formal(0));
+        let b = Term::var(Var::formal(1));
+        let l = Lit::with_offset(Pred::Gt, a.clone(), b.clone(), 2);
+        let c = l.canonical();
+        assert_eq!(c.pred, Pred::Lt);
+        assert_eq!(c.lhs, b);
+        assert_eq!(c.rhs, a);
+        assert_eq!(c.offset, -2);
+    }
+
+    #[test]
+    fn canonicalization_orders_symmetric_operands() {
+        let a = Term::var(Var::formal(0));
+        let b = Term::var(Var::formal(1));
+        let l1 = Lit::new(Pred::Eq, b.clone(), a.clone()).canonical();
+        let l2 = Lit::new(Pred::Eq, a, b).canonical();
+        assert_eq!(l1, l2);
+    }
+
+    #[test]
+    fn substitution_folds_constants() {
+        let mut s = Subst::new();
+        s.insert(Var::local(0), Term::int(1));
+        let l = Lit::with_offset(
+            Pred::Le,
+            Term::var(Var::ret()),
+            Term::var(Var::local(0)),
+            4,
+        );
+        let l2 = l.substitute(&s);
+        assert_eq!(l2.rhs, Term::Int(5));
+        assert_eq!(l2.offset, 0);
+    }
+
+    #[test]
+    fn display_offsets() {
+        let a = Term::var(Var::formal(0));
+        let b = Term::var(Var::formal(1));
+        assert_eq!(Lit::new(Pred::Le, a.clone(), b.clone()).to_string(), "[arg0] <= [arg1]");
+        assert_eq!(
+            Lit::with_offset(Pred::Le, a.clone(), b.clone(), 1).to_string(),
+            "[arg0] <= [arg1] + 1"
+        );
+        assert_eq!(
+            Lit::with_offset(Pred::Le, a, b, -1).to_string(),
+            "[arg0] <= [arg1] - 1"
+        );
+    }
+}

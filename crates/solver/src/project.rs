@@ -1,0 +1,274 @@
+//! Existential projection: "remove conditions on local variables".
+//!
+//! After a path summary is calculated, conditions on local variables must
+//! be removed from the constraint because locals cannot be observed outside
+//! the function (§3.3.3 / §4.4 of the paper). Dropping literals naively
+//! would lose transitively implied facts (`v ≥ 0 ∧ ret = v` implies
+//! `ret ≥ 0`), so this module computes the *shortest-path closure* of the
+//! difference system first and then restricts it to the kept terms — an
+//! exact existential quantifier elimination for the `≤`/`=` fragment.
+//! Disequalities involving eliminated terms are dropped, which only ever
+//! *weakens* the constraint (more satisfiable ⇒ more reported pairs ⇒
+//! false positives, never false negatives — the bias stated in §5.4).
+
+use rid_ir::Pred;
+
+use crate::conj::Conj;
+use crate::lit::Lit;
+use crate::sat::{DiffSystem, INF};
+
+/// Weights at or above this are treated as unconstrained: saturating
+/// additions during closure can produce huge-but-finite sums that carry no
+/// information and would otherwise leak into projected literals.
+const EFFECTIVE_INF: i64 = INF / 2;
+use crate::term::Term;
+
+/// Projects `conj` onto the terms accepted by `keep`.
+///
+/// The result mentions only kept terms (and constants) and is implied by
+/// the input; for `≤`/`=` constraints it is the *strongest* such
+/// consequence.
+///
+/// Returns [`Conj::unsat`] when the input is unsatisfiable (ignoring
+/// disequalities, which cannot make an unsatisfiable system satisfiable).
+///
+/// # Examples
+///
+/// ```
+/// use rid_ir::Pred;
+/// use rid_solver::{project, Conj, Lit, Term, Var};
+///
+/// let v = Term::var(Var::local(0));
+/// let ret = Term::var(Var::ret());
+/// // v ≥ 0 ∧ ret = v   projected onto {ret}   gives   ret ≥ 0
+/// let c = Conj::from_lits([
+///     Lit::new(Pred::Ge, v.clone(), Term::int(0)),
+///     Lit::new(Pred::Eq, ret.clone(), v.clone()),
+/// ]);
+/// let p = project(&c, |t| t == &ret);
+/// assert!(p.implies(&Conj::from_lits([Lit::new(Pred::Ge, ret, Term::int(0))])));
+/// ```
+pub fn project(conj: &Conj, keep: impl Fn(&Term) -> bool) -> Conj {
+    if conj.is_trivially_false() {
+        return Conj::unsat();
+    }
+    let mut sys = DiffSystem::from_conj(conj);
+    if sys.contradiction {
+        return Conj::unsat();
+    }
+    sys.close();
+    let n = sys.nodes.len();
+    if (0..n).any(|i| sys.d[i][i] < 0) {
+        return Conj::unsat();
+    }
+
+    // Node 0 (the constant zero) is always kept.
+    let kept: Vec<usize> =
+        (0..n).filter(|&i| i == 0 || keep(&sys.nodes[i])).collect();
+
+    let mut out = Conj::truth();
+
+    // Equality pairs: d[i][j] + d[j][i] == 0 pins node_j − node_i.
+    let mut in_eq_pair = vec![vec![false; n]; n];
+    for (a, &i) in kept.iter().enumerate() {
+        for &j in &kept[a + 1..] {
+            if sys.d[i][j] < EFFECTIVE_INF
+                && sys.d[j][i] < EFFECTIVE_INF
+                && sys.d[i][j] + sys.d[j][i] == 0
+            {
+                in_eq_pair[i][j] = true;
+                in_eq_pair[j][i] = true;
+                // node_j = node_i + d[i][j]
+                out.push(Lit::with_offset(
+                    Pred::Eq,
+                    sys.nodes[j].clone(),
+                    sys.nodes[i].clone(),
+                    sys.d[i][j],
+                ));
+            }
+        }
+    }
+
+    // Inequality edges between kept nodes, pruning edges strictly implied
+    // through another kept node (strict-only pruning cannot cascade).
+    for &i in &kept {
+        for &j in &kept {
+            if i == j || sys.d[i][j] >= EFFECTIVE_INF || in_eq_pair[i][j] {
+                continue;
+            }
+            let implied = kept.iter().any(|&k| {
+                k != i
+                    && k != j
+                    && sys.d[i][k] < EFFECTIVE_INF
+                    && sys.d[k][j] < EFFECTIVE_INF
+                    && sys.d[i][k].saturating_add(sys.d[k][j]) < sys.d[i][j]
+            });
+            if implied {
+                continue;
+            }
+            // node_j − node_i ≤ d[i][j]
+            out.push(Lit::with_offset(
+                Pred::Le,
+                sys.nodes[j].clone(),
+                sys.nodes[i].clone(),
+                sys.d[i][j],
+            ));
+        }
+    }
+
+    // Disequalities survive only if both endpoints are kept.
+    let diseqs = std::mem::take(&mut sys.diseqs);
+    for (a, b, k) in diseqs {
+        if kept.contains(&a) && kept.contains(&b) {
+            let (lo, hi) = sys.bounds(a, b);
+            if k < lo || k > hi {
+                continue; // already entailed; no information
+            }
+            out.push(Lit::with_offset(
+                Pred::Ne,
+                sys.nodes[a].clone(),
+                sys.nodes[b].clone(),
+                k,
+            ));
+        }
+    }
+
+    out.normalize();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::Var;
+
+    fn local(i: u32) -> Term {
+        Term::var(Var::local(i))
+    }
+
+    fn ret() -> Term {
+        Term::var(Var::ret())
+    }
+
+    fn keep_external(t: &Term) -> bool {
+        t.is_external()
+    }
+
+    #[test]
+    fn drops_pure_local_conditions() {
+        // v > 0 projected onto externals: True (Figure 2 step II→III).
+        let c = Conj::from_lits([Lit::new(Pred::Gt, local(0), Term::int(0))]);
+        let p = project(&c, keep_external);
+        assert!(p.is_truth());
+    }
+
+    #[test]
+    fn keeps_external_conditions() {
+        let dev = Term::var(Var::formal(0));
+        let c = Conj::from_lits([
+            Lit::new(Pred::Ne, dev.clone(), Term::NULL),
+            Lit::new(Pred::Gt, local(0), Term::int(0)),
+        ]);
+        let p = project(&c, keep_external);
+        assert_eq!(p.lits().len(), 1);
+        assert!(p.lits()[0].is_external());
+    }
+
+    #[test]
+    fn transitive_facts_survive_elimination() {
+        // v ≥ 1 ∧ ret = v  ⇒  ret ≥ 1
+        let c = Conj::from_lits([
+            Lit::new(Pred::Ge, local(0), Term::int(1)),
+            Lit::new(Pred::Eq, ret(), local(0)),
+        ]);
+        let p = project(&c, keep_external);
+        let want = Conj::from_lits([Lit::new(Pred::Ge, ret(), Term::int(1))]);
+        assert!(p.implies(&want));
+        assert!(!p.lits().is_empty());
+        assert!(p.is_external());
+    }
+
+    #[test]
+    fn strict_chains_tighten() {
+        // a < v ∧ v < b  ⇒  a ≤ b − 2 (integers)
+        let a = Term::var(Var::formal(0));
+        let b = Term::var(Var::formal(1));
+        let c = Conj::from_lits([
+            Lit::new(Pred::Lt, a.clone(), local(0)),
+            Lit::new(Pred::Lt, local(0), b.clone()),
+        ]);
+        let p = project(&c, keep_external);
+        let want = Conj::from_lits([Lit::with_offset(Pred::Le, a, b, -2)]);
+        assert!(p.implies(&want));
+    }
+
+    #[test]
+    fn unsat_projects_to_unsat() {
+        let c = Conj::from_lits([
+            Lit::new(Pred::Gt, local(0), Term::int(0)),
+            Lit::new(Pred::Lt, local(0), Term::int(0)),
+        ]);
+        assert!(!project(&c, keep_external).is_sat());
+    }
+
+    #[test]
+    fn equalities_between_kept_nodes_are_one_literal() {
+        let a = Term::var(Var::formal(0));
+        let b = Term::var(Var::formal(1));
+        let c = Conj::from_lits([
+            Lit::new(Pred::Le, a.clone(), b.clone()),
+            Lit::new(Pred::Le, b.clone(), a.clone()),
+        ]);
+        let p = project(&c, keep_external);
+        assert_eq!(p.lits().len(), 1);
+        assert_eq!(p.lits()[0].pred, Pred::Eq);
+    }
+
+    #[test]
+    fn diseq_on_local_is_dropped() {
+        let c = Conj::from_lits([Lit::new(Pred::Ne, local(0), Term::int(0))]);
+        let p = project(&c, keep_external);
+        assert!(p.is_truth());
+    }
+
+    #[test]
+    fn diseq_on_kept_survives() {
+        let dev = Term::var(Var::formal(0));
+        let c = Conj::from_lits([Lit::new(Pred::Ne, dev.clone(), Term::NULL)]);
+        let p = project(&c, keep_external);
+        assert_eq!(p.lits().len(), 1);
+        assert_eq!(p.lits()[0].pred, Pred::Ne);
+    }
+
+    #[test]
+    fn projection_result_is_implied_by_input() {
+        // Soundness spot-check on a mixed system.
+        let dev = Term::var(Var::formal(0));
+        let c = Conj::from_lits([
+            Lit::new(Pred::Ne, dev.clone(), Term::NULL),
+            Lit::new(Pred::Ge, local(0), Term::int(0)),
+            Lit::new(Pred::Eq, ret(), local(0)),
+            Lit::new(Pred::Le, local(0), Term::int(10)),
+        ]);
+        let p = project(&c, keep_external);
+        assert!(c.implies(&p));
+        // And the interesting consequence is preserved: 0 ≤ ret ≤ 10.
+        let want = Conj::from_lits([
+            Lit::new(Pred::Ge, ret(), Term::int(0)),
+            Lit::new(Pred::Le, ret(), Term::int(10)),
+        ]);
+        assert!(p.implies(&want));
+    }
+
+    #[test]
+    fn keep_projection_of_field_chains() {
+        let pm = Term::var(Var::formal(0)).field("pm");
+        let c = Conj::from_lits([
+            Lit::new(Pred::Eq, local(0), pm.clone()),
+            Lit::new(Pred::Ge, local(0), Term::int(2)),
+        ]);
+        let p = project(&c, keep_external);
+        let want = Conj::from_lits([Lit::new(Pred::Ge, pm, Term::int(2))]);
+        assert!(p.implies(&want));
+    }
+}

@@ -1,0 +1,483 @@
+//! Satisfiability of conjunctions via difference-graph closure.
+
+use std::collections::HashMap;
+
+use rid_ir::Pred;
+
+use crate::conj::Conj;
+use crate::term::Term;
+
+/// "Infinity" sentinel for the shortest-path matrix; large enough to never
+/// be reached, small enough that sums never overflow.
+pub(crate) const INF: i64 = i64::MAX / 4;
+
+/// Options controlling the satisfiability check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SatOptions {
+    /// Budget of DPLL-style case splits spent on ambiguous `≠` literals.
+    /// When exhausted the solver answers "satisfiable", erring toward
+    /// false positives exactly as the paper's prototype does for
+    /// constructs outside its abstraction (§5.4).
+    pub max_splits: u32,
+}
+
+impl Default for SatOptions {
+    fn default() -> Self {
+        SatOptions { max_splits: 64 }
+    }
+}
+
+/// A difference-constraint system over the atoms of a conjunction.
+///
+/// Node 0 is the implicit constant zero; every other node is a distinct
+/// non-constant term. `d[i][j]` is the tightest known upper bound on
+/// `node_j − node_i` (`INF` when unconstrained). A negative diagonal entry
+/// after closure signals unsatisfiability.
+#[derive(Clone, Debug)]
+pub(crate) struct DiffSystem {
+    pub(crate) nodes: Vec<Term>,
+    index: HashMap<Term, usize>,
+    pub(crate) d: Vec<Vec<i64>>,
+    /// `(a, b, k)` meaning `node_a − node_b ≠ k`.
+    pub(crate) diseqs: Vec<(usize, usize, i64)>,
+    /// Set when a literal is trivially false (e.g. constant `0 = 1`).
+    pub(crate) contradiction: bool,
+}
+
+impl DiffSystem {
+    pub(crate) fn new() -> DiffSystem {
+        DiffSystem {
+            nodes: vec![Term::Int(0)],
+            index: HashMap::new(),
+            d: vec![vec![0]],
+            diseqs: Vec::new(),
+            contradiction: false,
+        }
+    }
+
+    /// Builds the (unclosed) system from a conjunction.
+    pub(crate) fn from_conj(conj: &Conj) -> DiffSystem {
+        let mut sys = DiffSystem::new();
+        for lit in conj.lits() {
+            sys.add_lit(lit.pred, &lit.lhs, &lit.rhs, lit.offset);
+        }
+        sys
+    }
+
+    fn node(&mut self, term: &Term) -> (usize, i64) {
+        if let Some(c) = term.as_int() {
+            return (0, c);
+        }
+        if let Some(&i) = self.index.get(term) {
+            return (i, 0);
+        }
+        let i = self.nodes.len();
+        self.nodes.push(term.clone());
+        self.index.insert(term.clone(), i);
+        for row in &mut self.d {
+            row.push(INF);
+        }
+        let mut row = vec![INF; i + 1];
+        row[i] = 0;
+        self.d.push(row);
+        (i, 0)
+    }
+
+    fn add_le(&mut self, a: usize, b: usize, w: i64) {
+        // node_a − node_b ≤ w  →  d[b][a] = min(d[b][a], w)
+        if a == b {
+            if w < 0 {
+                self.contradiction = true;
+            }
+            return;
+        }
+        if w < self.d[b][a] {
+            self.d[b][a] = w;
+        }
+    }
+
+    fn add_lit(&mut self, pred: Pred, lhs: &Term, rhs: &Term, offset: i64) {
+        let (la, ca) = self.node(lhs);
+        let (lb, cb) = self.node(rhs);
+        // value_l = node_la + ca; value_r = node_lb + cb + offset
+        let k = cb.saturating_add(offset).saturating_sub(ca);
+        match pred {
+            Pred::Le => self.add_le(la, lb, k),
+            Pred::Lt => self.add_le(la, lb, k.saturating_sub(1)),
+            Pred::Ge => self.add_le(lb, la, k.saturating_neg()),
+            Pred::Gt => self.add_le(lb, la, k.saturating_neg().saturating_sub(1)),
+            Pred::Eq => {
+                self.add_le(la, lb, k);
+                self.add_le(lb, la, k.saturating_neg());
+            }
+            Pred::Ne => {
+                if la == lb {
+                    if k == 0 {
+                        self.contradiction = true;
+                    }
+                } else {
+                    self.diseqs.push((la, lb, k));
+                }
+            }
+        }
+    }
+
+    /// Floyd–Warshall closure.
+    pub(crate) fn close(&mut self) {
+        let n = self.nodes.len();
+        for k in 0..n {
+            for i in 0..n {
+                let dik = self.d[i][k];
+                if dik >= INF {
+                    continue;
+                }
+                for j in 0..n {
+                    let alt = dik.saturating_add(self.d[k][j]);
+                    if alt < self.d[i][j] {
+                        self.d[i][j] = alt;
+                    }
+                }
+            }
+        }
+    }
+
+    fn has_negative_cycle(&self) -> bool {
+        (0..self.nodes.len()).any(|i| self.d[i][i] < 0)
+    }
+
+    /// Adds `node_a − node_b ≤ w` to an already-closed matrix and restores
+    /// closure incrementally (O(n²)).
+    fn add_edge_closed(&mut self, a: usize, b: usize, w: i64) {
+        if w >= self.d[b][a] {
+            return;
+        }
+        let n = self.nodes.len();
+        for p in 0..n {
+            let dpb = self.d[p][b];
+            if dpb >= INF {
+                continue;
+            }
+            let through = dpb.saturating_add(w);
+            for q in 0..n {
+                let alt = through.saturating_add(self.d[a][q]);
+                if alt < self.d[p][q] {
+                    self.d[p][q] = alt;
+                }
+            }
+        }
+    }
+
+    /// Bounds `(lo, hi)` on `node_a − node_b` implied by the closed matrix.
+    pub(crate) fn bounds(&self, a: usize, b: usize) -> (i64, i64) {
+        let hi = self.d[b][a];
+        let lo = if self.d[a][b] >= INF { -INF } else { -self.d[a][b] };
+        (lo, hi)
+    }
+
+    /// Full satisfiability check (closure must NOT have been run yet; this
+    /// runs it).
+    pub(crate) fn check_sat(mut self, options: SatOptions) -> bool {
+        if self.contradiction {
+            return false;
+        }
+        self.close();
+        if self.has_negative_cycle() {
+            return false;
+        }
+        let diseqs = std::mem::take(&mut self.diseqs);
+        let mut budget = options.max_splits;
+        sat_with_diseqs(&self, &diseqs, &mut budget)
+    }
+
+    /// Like [`DiffSystem::check_sat`], but returns the final (closed,
+    /// disequality-resolved) system so a model can be extracted.
+    pub(crate) fn solve(mut self, options: SatOptions) -> Option<DiffSystem> {
+        if self.contradiction {
+            return None;
+        }
+        self.close();
+        if self.has_negative_cycle() {
+            return None;
+        }
+        let diseqs = std::mem::take(&mut self.diseqs);
+        let mut budget = options.max_splits;
+        solve_with_diseqs(self, &diseqs, &mut budget)
+    }
+
+    /// Extracts a satisfying integer assignment from a closed,
+    /// negative-cycle-free system: the classic difference-constraint
+    /// solution `x_i = dist(source → i)` with a virtual source connected
+    /// to every node by a 0-edge, shifted so the zero node maps to 0.
+    pub(crate) fn model(&self) -> Vec<(Term, i64)> {
+        let n = self.nodes.len();
+        // dist[i] = min over j of d[j][i] and 0 (the virtual source edge);
+        // valid because the matrix is already transitively closed.
+        let mut dist = vec![0i64; n];
+        for i in 0..n {
+            let mut best = 0i64;
+            for j in 0..n {
+                if self.d[j][i] < best && self.d[j][i] > -INF {
+                    best = self.d[j][i];
+                }
+            }
+            dist[i] = best;
+        }
+        let shift = dist[0];
+        (1..n).map(|i| (self.nodes[i].clone(), dist[i] - shift)).collect()
+    }
+}
+
+/// Like [`sat_with_diseqs`] but keeps the refined system of the first
+/// satisfiable branch (for model extraction).
+fn solve_with_diseqs(
+    sys: DiffSystem,
+    diseqs: &[(usize, usize, i64)],
+    budget: &mut u32,
+) -> Option<DiffSystem> {
+    for (idx, &(a, b, k)) in diseqs.iter().enumerate() {
+        let (lo, hi) = sys.bounds(a, b);
+        if k < lo || k > hi {
+            continue;
+        }
+        if lo == hi {
+            return None;
+        }
+        if *budget == 0 {
+            // Budget exhausted: refine anyway so the model respects this
+            // disequality even if the remaining ones go unchecked.
+        }
+        *budget = budget.saturating_sub(1);
+        let rest = &diseqs[idx + 1..];
+        let mut case1 = sys.clone();
+        case1.add_edge_closed(a, b, k - 1);
+        if !case1.has_negative_cycle() {
+            if let Some(solved) = solve_with_diseqs(case1, rest, budget) {
+                return Some(solved);
+            }
+        }
+        let mut case2 = sys;
+        case2.add_edge_closed(b, a, -k - 1);
+        if case2.has_negative_cycle() {
+            return None;
+        }
+        return solve_with_diseqs(case2, rest, budget);
+    }
+    Some(sys)
+}
+
+/// Recursively discharges disequalities against a closed system.
+fn sat_with_diseqs(sys: &DiffSystem, diseqs: &[(usize, usize, i64)], budget: &mut u32) -> bool {
+    for (idx, &(a, b, k)) in diseqs.iter().enumerate() {
+        let (lo, hi) = sys.bounds(a, b);
+        if k < lo || k > hi {
+            continue; // the disequality always holds
+        }
+        if lo == hi {
+            // node_a − node_b is pinned to k → contradiction.
+            debug_assert_eq!(lo, k);
+            return false;
+        }
+        // Ambiguous: case split.
+        if *budget == 0 {
+            // Budget exhausted — give up and declare satisfiable (biases
+            // toward false positives, never false negatives; see §5.4).
+            return true;
+        }
+        *budget -= 1;
+        let rest = &diseqs[idx + 1..];
+        // Case 1: node_a − node_b ≤ k − 1.
+        let mut case1 = sys.clone();
+        case1.add_edge_closed(a, b, k - 1);
+        if !case1.has_negative_cycle() && sat_with_diseqs(&case1, rest, budget) {
+            return true;
+        }
+        // Case 2: node_b − node_a ≤ −k − 1.
+        let mut case2 = sys.clone();
+        case2.add_edge_closed(b, a, -k - 1);
+        return !case2.has_negative_cycle() && sat_with_diseqs(&case2, rest, budget);
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lit::Lit;
+    use crate::term::{Term, Var};
+    use rid_ir::Pred;
+
+    fn v(i: u32) -> Term {
+        Term::var(Var::local(i))
+    }
+
+    fn sat(lits: Vec<Lit>) -> bool {
+        Conj::from_lits(lits).is_sat()
+    }
+
+    #[test]
+    fn empty_is_sat() {
+        assert!(sat(vec![]));
+    }
+
+    #[test]
+    fn constant_contradiction() {
+        assert!(!sat(vec![Lit::new(Pred::Eq, Term::int(0), Term::int(1))]));
+        assert!(sat(vec![Lit::new(Pred::Le, Term::int(0), Term::int(1))]));
+        assert!(!sat(vec![Lit::new(Pred::Lt, Term::int(1), Term::int(1))]));
+    }
+
+    #[test]
+    fn simple_interval() {
+        // v > 0 ∧ v ≤ 10
+        assert!(sat(vec![
+            Lit::new(Pred::Gt, v(0), Term::int(0)),
+            Lit::new(Pred::Le, v(0), Term::int(10)),
+        ]));
+        // v > 0 ∧ v ≤ 0
+        assert!(!sat(vec![
+            Lit::new(Pred::Gt, v(0), Term::int(0)),
+            Lit::new(Pred::Le, v(0), Term::int(0)),
+        ]));
+    }
+
+    #[test]
+    fn integer_tightening() {
+        // v > 0 ∧ v < 2  →  v = 1, satisfiable
+        assert!(sat(vec![
+            Lit::new(Pred::Gt, v(0), Term::int(0)),
+            Lit::new(Pred::Lt, v(0), Term::int(2)),
+        ]));
+        // v > 0 ∧ v < 1 has no integer solution
+        assert!(!sat(vec![
+            Lit::new(Pred::Gt, v(0), Term::int(0)),
+            Lit::new(Pred::Lt, v(0), Term::int(1)),
+        ]));
+    }
+
+    #[test]
+    fn transitive_chain() {
+        // a < b ∧ b < c ∧ c < a → unsat
+        assert!(!sat(vec![
+            Lit::new(Pred::Lt, v(0), v(1)),
+            Lit::new(Pred::Lt, v(1), v(2)),
+            Lit::new(Pred::Lt, v(2), v(0)),
+        ]));
+        // a ≤ b ∧ b ≤ c ∧ c ≤ a → all equal, sat
+        assert!(sat(vec![
+            Lit::new(Pred::Le, v(0), v(1)),
+            Lit::new(Pred::Le, v(1), v(2)),
+            Lit::new(Pred::Le, v(2), v(0)),
+        ]));
+    }
+
+    #[test]
+    fn paper_example_p2_entries() {
+        // Path constraint of p2 in Figure 2: v ≤ 0 conjoined with
+        // reg_read's entry 1 constraint v ≥ 0 gives v = 0 (satisfiable);
+        // conjoined further with v = −1 becomes unsatisfiable.
+        assert!(sat(vec![
+            Lit::new(Pred::Le, v(0), Term::int(0)),
+            Lit::new(Pred::Ge, v(0), Term::int(0)),
+        ]));
+        assert!(!sat(vec![
+            Lit::new(Pred::Le, v(0), Term::int(0)),
+            Lit::new(Pred::Ge, v(0), Term::int(0)),
+            Lit::new(Pred::Eq, v(0), Term::int(-1)),
+        ]));
+    }
+
+    #[test]
+    fn disequality_filtering() {
+        // v ≠ 5 alone: sat
+        assert!(sat(vec![Lit::new(Pred::Ne, v(0), Term::int(5))]));
+        // v = 5 ∧ v ≠ 5: unsat
+        assert!(!sat(vec![
+            Lit::new(Pred::Eq, v(0), Term::int(5)),
+            Lit::new(Pred::Ne, v(0), Term::int(5)),
+        ]));
+        // 0 ≤ v ≤ 1 ∧ v ≠ 0 ∧ v ≠ 1: unsat (needs splitting)
+        assert!(!sat(vec![
+            Lit::new(Pred::Ge, v(0), Term::int(0)),
+            Lit::new(Pred::Le, v(0), Term::int(1)),
+            Lit::new(Pred::Ne, v(0), Term::int(0)),
+            Lit::new(Pred::Ne, v(0), Term::int(1)),
+        ]));
+        // 0 ≤ v ≤ 2 ∧ v ≠ 0 ∧ v ≠ 2: sat (v = 1)
+        assert!(sat(vec![
+            Lit::new(Pred::Ge, v(0), Term::int(0)),
+            Lit::new(Pred::Le, v(0), Term::int(2)),
+            Lit::new(Pred::Ne, v(0), Term::int(0)),
+            Lit::new(Pred::Ne, v(0), Term::int(2)),
+        ]));
+    }
+
+    #[test]
+    fn disequality_between_variables() {
+        // a = b ∧ a ≠ b: unsat
+        assert!(!sat(vec![
+            Lit::new(Pred::Eq, v(0), v(1)),
+            Lit::new(Pred::Ne, v(0), v(1)),
+        ]));
+        // a ≤ b ∧ b ≤ a ∧ a ≠ b: unsat (equality forced transitively)
+        assert!(!sat(vec![
+            Lit::new(Pred::Le, v(0), v(1)),
+            Lit::new(Pred::Le, v(1), v(0)),
+            Lit::new(Pred::Ne, v(0), v(1)),
+        ]));
+    }
+
+    #[test]
+    fn offsets_respected() {
+        // a ≤ b − 1 ∧ b ≤ a → unsat
+        assert!(!sat(vec![
+            Lit::with_offset(Pred::Le, v(0), v(1), -1),
+            Lit::new(Pred::Le, v(1), v(0)),
+        ]));
+        // a ≤ b + 1 ∧ b ≤ a → sat
+        assert!(sat(vec![
+            Lit::with_offset(Pred::Le, v(0), v(1), 1),
+            Lit::new(Pred::Le, v(1), v(0)),
+        ]));
+    }
+
+    #[test]
+    fn field_terms_are_distinct_atoms() {
+        let dev = Term::var(Var::formal(0));
+        let pm = dev.clone().field("pm");
+        let usage = dev.clone().field("usage");
+        // dev.pm = 1 ∧ dev.usage = 2 is fine
+        assert!(sat(vec![
+            Lit::new(Pred::Eq, pm.clone(), Term::int(1)),
+            Lit::new(Pred::Eq, usage, Term::int(2)),
+        ]));
+        // dev.pm = 1 ∧ dev.pm = 2 is not
+        assert!(!sat(vec![
+            Lit::new(Pred::Eq, pm.clone(), Term::int(1)),
+            Lit::new(Pred::Eq, pm, Term::int(2)),
+        ]));
+    }
+
+    #[test]
+    fn split_budget_gives_up_sat() {
+        // Pigeonhole-ish: v ∈ [0, 1] with both values excluded, but zero
+        // budget → the solver gives up and reports SAT.
+        let conj = Conj::from_lits(vec![
+            Lit::new(Pred::Ge, v(0), Term::int(0)),
+            Lit::new(Pred::Le, v(0), Term::int(1)),
+            Lit::new(Pred::Ne, v(0), Term::int(0)),
+            Lit::new(Pred::Ne, v(0), Term::int(1)),
+        ]);
+        assert!(conj.is_sat_with(SatOptions { max_splits: 0 }));
+        assert!(!conj.is_sat_with(SatOptions { max_splits: 8 }));
+    }
+
+    #[test]
+    fn mixed_chain_with_constants() {
+        // ret = -1 ∧ ret ≥ 0 → unsat (Figure 2, discarded subcase)
+        let ret = Term::var(Var::ret());
+        assert!(!sat(vec![
+            Lit::new(Pred::Eq, ret.clone(), Term::int(-1)),
+            Lit::new(Pred::Ge, ret, Term::int(0)),
+        ]));
+    }
+}

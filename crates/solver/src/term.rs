@@ -1,0 +1,317 @@
+//! Symbolic terms — the expression language of Figure 5.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// What a symbolic variable denotes, which determines whether it is visible
+/// outside the function under analysis.
+///
+/// `Formal` and `Ret` (and field chains rooted at them) are *external*: a
+/// caller can observe them. Everything else is *internal* and is projected
+/// away when a path summary is finalised (§3.3.3 of the paper).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub enum VarKind {
+    /// A formal argument of the function; `id` is the parameter index
+    /// (written `[name]` in the paper).
+    Formal,
+    /// The return value of the function (written `[0]` in the paper).
+    Ret,
+    /// A local variable, interned by the executor.
+    Local,
+    /// The result of a call instruction; `id`/`sub` encode the instruction
+    /// identity and occurrence so paths sharing a prefix agree on names.
+    CallRet,
+    /// A `random` value (non-deterministic read), named like [`VarKind::CallRet`].
+    Random,
+    /// An anonymous object that escaped a callee but is invisible to the
+    /// caller (e.g. a reference leaked inside the callee), named per call
+    /// site during summary instantiation.
+    Opaque,
+}
+
+impl VarKind {
+    /// Whether variables of this kind are observable outside the function.
+    #[must_use]
+    pub fn is_external(self) -> bool {
+        matches!(self, VarKind::Formal | VarKind::Ret)
+    }
+}
+
+/// A symbolic variable: a kind plus a two-level numeric identity.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
+)]
+pub struct Var {
+    /// The variable kind.
+    pub kind: VarKind,
+    /// Primary id (parameter index, interned name, instruction id, …).
+    pub id: u32,
+    /// Secondary id (occurrence index for `CallRet`/`Random`, entry index
+    /// for `Opaque`); zero when unused.
+    pub sub: u32,
+}
+
+impl Var {
+    /// The formal argument with parameter index `id`.
+    #[must_use]
+    pub fn formal(id: u32) -> Var {
+        Var { kind: VarKind::Formal, id, sub: 0 }
+    }
+
+    /// The return slot `[0]`.
+    #[must_use]
+    pub fn ret() -> Var {
+        Var { kind: VarKind::Ret, id: 0, sub: 0 }
+    }
+
+    /// A local variable with interned id `id`.
+    #[must_use]
+    pub fn local(id: u32) -> Var {
+        Var { kind: VarKind::Local, id, sub: 0 }
+    }
+
+    /// The result of the call at instruction `id`, occurrence `sub`.
+    #[must_use]
+    pub fn call_ret(id: u32, sub: u32) -> Var {
+        Var { kind: VarKind::CallRet, id, sub }
+    }
+
+    /// The `random` value at instruction `id`, occurrence `sub`.
+    #[must_use]
+    pub fn random(id: u32, sub: u32) -> Var {
+        Var { kind: VarKind::Random, id, sub }
+    }
+
+    /// An opaque escaped object (see [`VarKind::Opaque`]).
+    #[must_use]
+    pub fn opaque(id: u32, sub: u32) -> Var {
+        Var { kind: VarKind::Opaque, id, sub }
+    }
+
+    /// Whether this variable is observable outside the function.
+    #[must_use]
+    pub fn is_external(self) -> bool {
+        self.kind.is_external()
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            VarKind::Formal => write!(f, "[arg{}]", self.id),
+            VarKind::Ret => f.write_str("[0]"),
+            VarKind::Local => write!(f, "%l{}", self.id),
+            VarKind::CallRet => write!(f, "%c{}_{}", self.id, self.sub),
+            VarKind::Random => write!(f, "%r{}_{}", self.id, self.sub),
+            VarKind::Opaque => write!(f, "%o{}_{}", self.id, self.sub),
+        }
+    }
+}
+
+/// A symbolic term: an integer constant, a variable, or a field chain.
+///
+/// Booleans are encoded as `0`/`1` and the null pointer as `0` (see the
+/// crate docs). Terms are small trees; field chains are rarely deeper than
+/// two levels in practice (`[dev].pm`).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum Term {
+    /// An integer constant.
+    Int(i64),
+    /// A symbolic variable.
+    Var(Var),
+    /// `base.field`.
+    Field(Box<Term>, String),
+}
+
+impl Term {
+    /// The encoding of `true`.
+    pub const TRUE: Term = Term::Int(1);
+    /// The encoding of `false`.
+    pub const FALSE: Term = Term::Int(0);
+    /// The encoding of the null pointer.
+    pub const NULL: Term = Term::Int(0);
+
+    /// An integer constant term.
+    #[must_use]
+    pub fn int(value: i64) -> Term {
+        Term::Int(value)
+    }
+
+    /// A variable term.
+    #[must_use]
+    pub fn var(var: Var) -> Term {
+        Term::Var(var)
+    }
+
+    /// `self.field`.
+    #[must_use]
+    pub fn field(self, field: impl Into<String>) -> Term {
+        Term::Field(Box::new(self), field.into())
+    }
+
+    /// The constant value, if this term is a constant.
+    #[must_use]
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Term::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// The root variable of a variable or field-chain term.
+    #[must_use]
+    pub fn root_var(&self) -> Option<Var> {
+        match self {
+            Term::Int(_) => None,
+            Term::Var(v) => Some(*v),
+            Term::Field(base, _) => base.root_var(),
+        }
+    }
+
+    /// Whether this term only mentions externally visible variables
+    /// (formals, the return slot, or constants).
+    #[must_use]
+    pub fn is_external(&self) -> bool {
+        match self.root_var() {
+            None => true,
+            Some(v) => v.is_external(),
+        }
+    }
+
+    /// Applies a variable substitution, replacing every variable that maps
+    /// to a term. Unmapped variables are left unchanged.
+    ///
+    /// ```
+    /// use rid_solver::{Subst, Term, Var};
+    ///
+    /// let mut s = Subst::new();
+    /// s.insert(Var::formal(0), Term::var(Var::local(3)));
+    /// let t = Term::var(Var::formal(0)).field("pm");
+    /// assert_eq!(t.substitute(&s), Term::var(Var::local(3)).field("pm"));
+    /// ```
+    #[must_use]
+    pub fn substitute(&self, subst: &Subst) -> Term {
+        match self {
+            Term::Int(_) => self.clone(),
+            Term::Var(v) => subst.get(v).cloned().unwrap_or_else(|| self.clone()),
+            Term::Field(base, field) => {
+                Term::Field(Box::new(base.substitute(subst)), field.clone())
+            }
+        }
+    }
+
+    /// Collects every variable occurring in the term into `out`.
+    pub fn collect_vars(&self, out: &mut Vec<Var>) {
+        match self {
+            Term::Int(_) => {}
+            Term::Var(v) => out.push(*v),
+            Term::Field(base, _) => base.collect_vars(out),
+        }
+    }
+}
+
+impl From<i64> for Term {
+    fn from(value: i64) -> Self {
+        Term::Int(value)
+    }
+}
+
+impl From<Var> for Term {
+    fn from(var: Var) -> Self {
+        Term::Var(var)
+    }
+}
+
+impl fmt::Display for Term {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Term::Int(v) => write!(f, "{v}"),
+            Term::Var(v) => write!(f, "{v}"),
+            Term::Field(base, field) => write!(f, "{base}.{field}"),
+        }
+    }
+}
+
+/// A finite map from variables to replacement terms.
+pub type Subst = BTreeMap<Var, Term>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors_and_roots() {
+        let t = Term::var(Var::formal(2)).field("pm");
+        assert_eq!(t.root_var(), Some(Var::formal(2)));
+        assert!(t.is_external());
+        assert_eq!(Term::int(5).as_int(), Some(5));
+        assert_eq!(t.as_int(), None);
+        assert!(Term::int(7).is_external());
+        assert!(!Term::var(Var::local(1)).is_external());
+    }
+
+    #[test]
+    fn external_kinds() {
+        assert!(Var::formal(0).is_external());
+        assert!(Var::ret().is_external());
+        assert!(!Var::local(0).is_external());
+        assert!(!Var::call_ret(1, 0).is_external());
+        assert!(!Var::random(1, 0).is_external());
+        assert!(!Var::opaque(1, 0).is_external());
+    }
+
+    #[test]
+    fn substitution_is_recursive() {
+        let mut s = Subst::new();
+        s.insert(Var::local(0), Term::var(Var::ret()));
+        let t = Term::var(Var::local(0)).field("rc").field("inner");
+        let expected = Term::var(Var::ret()).field("rc").field("inner");
+        assert_eq!(t.substitute(&s), expected);
+        // Unmapped variables unchanged.
+        let u = Term::var(Var::local(1));
+        assert_eq!(u.substitute(&s), u);
+    }
+
+    #[test]
+    fn collect_vars_walks_chains() {
+        let t = Term::var(Var::formal(0)).field("a").field("b");
+        let mut vars = Vec::new();
+        t.collect_vars(&mut vars);
+        assert_eq!(vars, vec![Var::formal(0)]);
+        let mut none = Vec::new();
+        Term::int(3).collect_vars(&mut none);
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Term::var(Var::formal(1)).to_string(), "[arg1]");
+        assert_eq!(Term::var(Var::ret()).to_string(), "[0]");
+        assert_eq!(Term::var(Var::formal(0)).field("pm").to_string(), "[arg0].pm");
+        assert_eq!(Term::var(Var::call_ret(3, 1)).to_string(), "%c3_1");
+    }
+
+    #[test]
+    fn bool_and_null_encodings() {
+        assert_eq!(Term::TRUE, Term::Int(1));
+        assert_eq!(Term::FALSE, Term::Int(0));
+        assert_eq!(Term::NULL, Term::Int(0));
+    }
+
+    #[test]
+    fn ordering_is_total_and_stable() {
+        let mut terms = vec![
+            Term::var(Var::ret()),
+            Term::int(0),
+            Term::var(Var::formal(0)),
+            Term::var(Var::formal(0)).field("pm"),
+        ];
+        terms.sort();
+        terms.dedup();
+        assert_eq!(terms.len(), 4);
+    }
+}

@@ -1,0 +1,132 @@
+//! The three future-work extensions, end to end:
+//!
+//! 1. **Callback contract** (§6.4/§7): catching Figure 10's IRQ-handler
+//!    bug through its function-pointer registration.
+//! 2. **Incremental recheck** (§5.4, limitation 4): fixing a reported
+//!    function and re-analyzing only it and its callers, reusing every
+//!    other summary.
+//! 3. **Stronger-property rules** (§2.1/§4.5): the escape rule layered on
+//!    RID's own summaries, catching a single-path leak that has no
+//!    inconsistent pair.
+//!
+//! ```text
+//! cargo run --example extensions
+//! ```
+
+use rid::core::checks::{check_summary, SummaryRule};
+use rid::core::incremental::reanalyze;
+use rid::core::{analyze_sources, apis, AnalysisOptions};
+
+fn main() {
+    callback_contract();
+    incremental_recheck();
+    stronger_rules();
+}
+
+fn callback_contract() {
+    println!("=== 1. callback contract (Figure 10) ===\n");
+    let src = r#"module arizona;
+        fn arizona_irq_thread(irq, data) {
+            let ret = pm_runtime_get_sync(data.dev);
+            if (ret < 0) {
+                dev_err(data);
+                return 0;    // IRQ_NONE — with the +1 retained
+            }
+            handle(data);
+            pm_runtime_put(data.dev);
+            return 1;        // IRQ_HANDLED
+        }
+        fn arizona_probe(dev) {
+            request_irq(dev.irq, @arizona_irq_thread, dev);
+            return 0;
+        }"#;
+    let apis = apis::linux_dpm_apis();
+
+    let baseline =
+        analyze_sources([src], &apis, &AnalysisOptions::default()).expect("parses");
+    println!("paper-default RID: {} report(s) — the documented false negative", baseline.reports.len());
+    assert!(baseline.reports.is_empty());
+
+    let extended = analyze_sources(
+        [src],
+        &apis,
+        &AnalysisOptions { check_callbacks: true, ..Default::default() },
+    )
+    .expect("parses");
+    println!("with the callback contract: {} report(s):", extended.reports.len());
+    print!("{}", rid::core::render_reports(&extended.reports, None));
+    assert_eq!(extended.reports.len(), 1);
+    assert!(extended.reports[0].callback);
+}
+
+fn incremental_recheck() {
+    println!("\n=== 2. incremental recheck (§5.4) ===\n");
+    let lib_buggy = r#"module lib;
+        fn get_ref(dev) {
+            let r = probe(dev);
+            if (r < 0) { return 0; }    // returns 0 with no get...
+            pm_runtime_get_sync(dev);   // ...or 0 with +1: inconsistent
+            return 0;
+        }"#;
+    let lib_fixed = r#"module lib;
+        fn get_ref(dev) {
+            pm_runtime_get_sync(dev);
+            let r = probe(dev);
+            if (r < 0) { pm_runtime_put(dev); return -1; }
+            return 0;
+        }"#;
+    let app = r#"module app;
+        fn caller(dev) {
+            let st = get_ref(dev);
+            if (st < 0) { return 0; }
+            let u = use_dev(dev);
+            if (u < 0) { return 0; }    // BUG: put skipped on this path
+            pm_runtime_put(dev);
+            return 0;
+        }"#;
+    let apis = apis::linux_dpm_apis();
+    let options = AnalysisOptions::default();
+
+    let before = analyze_sources([lib_buggy, app], &apis, &options).expect("parses");
+    let functions: Vec<&str> = before.reports.iter().map(|r| r.function.as_str()).collect();
+    println!("before the fix, reports on: {functions:?}");
+
+    let fixed_program =
+        rid::frontend::parse_program([lib_fixed, app]).expect("fixed sources parse");
+    let after = reanalyze(&fixed_program, &apis, &before, &["get_ref"], &options);
+    let functions: Vec<&str> = after.reports.iter().map(|r| r.function.as_str()).collect();
+    println!(
+        "after fixing get_ref and rechecking {} function(s): reports on {functions:?}",
+        after.stats.functions_analyzed
+    );
+    assert!(functions.contains(&"caller"));
+    assert!(!functions.contains(&"get_ref"));
+}
+
+fn stronger_rules() {
+    println!("\n=== 3. stronger-property rules on summaries (§4.5) ===\n");
+    let src = r#"module ext;
+        fn cache_default(obj, table) {
+            Py_INCREF(obj);
+            store_entry(table, obj);
+            return 0;
+        }"#;
+    let apis = apis::python_c_apis();
+    let result = analyze_sources([src], &apis, &AnalysisOptions::default()).expect("parses");
+    println!("IPP reports: {} (a single path has no pair)", result.reports.len());
+    assert!(result.reports.is_empty());
+
+    let summary = result.summaries.get("cache_default").expect("summarized");
+    let violations = check_summary(summary, SummaryRule::EscapeRule);
+    println!("escape-rule violations on the summary: {}", violations.len());
+    for v in &violations {
+        println!(
+            "  `{}` entry {}: {} changed by {:+}, rule allows {:+}",
+            v.function, v.entry_index, v.refcount, v.delta, v.expected
+        );
+    }
+    assert_eq!(violations.len(), 1);
+    println!("\nthe stronger rule catches what IPP checking cannot — at the cost");
+    println!("of false alarms on intentional wrappers (§2.1), which is exactly");
+    println!("why the paper keeps it an optional layer.");
+}

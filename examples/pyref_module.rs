@@ -1,0 +1,86 @@
+//! Python/C reference counting: RID versus the Cpychecker-style escape
+//! rule on one extension module (the §6.6 comparison in miniature).
+//!
+//! The module contains four functions:
+//!
+//! * `make_pair` — a bug **both** tools find (missing `Py_DECREF` on an
+//!   error path, single-assignment code);
+//! * `build_entry` — a bug **only RID** finds (the baseline bails on the
+//!   reassigned status variable — the non-SSA limitation);
+//! * `cache_default` — a bug **only the baseline** finds (a single-path
+//!   leak has no inconsistent pair);
+//! * `grab_ref` — an intentional wrapper: the baseline false-alarms, RID
+//!   stays silent (§2.1).
+//!
+//! ```text
+//! cargo run --example pyref_module
+//! ```
+
+use rid::baseline::check_sources;
+use rid::core::{analyze_sources, render_reports, AnalysisOptions};
+
+const MODULE: &str = r#"module ext;
+
+fn make_pair(arg) {
+    let obj = PyList_New(0);
+    if (obj == null) { return null; }
+    let rc = fill_pair(obj, arg);
+    if (rc < 0) { return null; }      // BUG: missing Py_DECREF(obj)
+    return obj;
+}
+
+fn build_entry(arg) {
+    let st = 0;
+    let obj = PyDict_New();
+    if (obj == null) { return -1; }
+    st = fill_entry(obj, arg);
+    if (st < 0) { return -1; }        // BUG: missing Py_DECREF(obj)
+    Py_DECREF(obj);
+    return 0;
+}
+
+fn cache_default(obj, table) {
+    Py_INCREF(obj);
+    store_entry(table, obj);          // borrows; BUG: the +1 never drops
+    return 0;
+}
+
+fn grab_ref(obj) {
+    Py_INCREF(obj);                   // intentional: caller's reference
+    return;
+}
+"#;
+
+fn main() {
+    let apis = rid::core::apis::python_c_apis();
+
+    let rid_result =
+        analyze_sources([MODULE], &apis, &AnalysisOptions::default()).expect("module parses");
+    println!("=== RID (inconsistent path pairs) ===\n");
+    println!("{}", render_reports(&rid_result.reports, None));
+
+    let baseline = check_sources([MODULE], &apis).expect("module parses");
+    println!("=== escape-rule baseline (Cpychecker-style) ===\n");
+    for report in &baseline.reports {
+        println!(
+            "`{}`: {} changed by {:+}, escape rule expected {:+}",
+            report.function, report.refcount, report.delta, report.expected
+        );
+    }
+    if !baseline.bailed_functions.is_empty() {
+        println!(
+            "\nbaseline bailed on (reassigned variables, non-SSA): {:?}",
+            baseline.bailed_functions
+        );
+    }
+
+    // The Table 2 relationship, in miniature.
+    let rid_found: Vec<&str> = rid_result.reports.iter().map(|r| r.function.as_str()).collect();
+    let base_found: Vec<&str> = baseline.reports.iter().map(|r| r.function.as_str()).collect();
+    assert!(rid_found.contains(&"make_pair") && base_found.contains(&"make_pair"));
+    assert!(rid_found.contains(&"build_entry") && !base_found.contains(&"build_entry"));
+    assert!(!rid_found.contains(&"cache_default") && base_found.contains(&"cache_default"));
+    assert!(!rid_found.contains(&"grab_ref") && base_found.contains(&"grab_ref"));
+    println!("\nsummary: common=make_pair, RID-only=build_entry,");
+    println!("         baseline-only=cache_default, baseline false alarm=grab_ref");
+}

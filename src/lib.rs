@@ -1,0 +1,56 @@
+//! # RID — finding reference count bugs with inconsistent path pair checking
+//!
+//! A from-scratch Rust reproduction of *RID: Finding Reference Count Bugs
+//! with Inconsistent Path Pair Checking* (ASPLOS 2016). An **inconsistent
+//! path pair** (IPP) is two paths through the same function that are
+//! indistinguishable from outside — same arguments, same return value —
+//! yet change a reference count differently; whichever path runs, the
+//! count can either never return to zero or go negative, so an IPP is a
+//! bug no matter what the developer intended. RID finds these knowing
+//! nothing but the refcount API specifications.
+//!
+//! This crate is a facade over the workspace:
+//!
+//! | crate | contents |
+//! |---|---|
+//! | [`ir`] | the abstract program of the paper's Figure 3 |
+//! | [`solver`] | exact difference-logic engine (the Z3 substitute) |
+//! | [`frontend`] | RIL, a C-like language lowering onto the IR |
+//! | [`core`] | summaries, symbolic execution, IPP checking, the driver |
+//! | [`corpus`] | seeded synthetic kernel / Python-C corpora with ground truth |
+//! | [`baseline`] | a Cpychecker-style escape-rule checker (Table 2's comparator) |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use rid::core::{analyze_sources, apis::linux_dpm_apis, AnalysisOptions};
+//!
+//! // Figure 8 of the paper: pm_runtime_get_sync increments the device's
+//! // PM count even when it fails, but the early error return skips the
+//! // balancing put.
+//! let src = r#"module radeon;
+//!     fn radeon_crtc_set_config(dev, set) {
+//!         let ret = pm_runtime_get_sync(dev);
+//!         if (ret < 0) { return ret; }
+//!         ret = drm_crtc_helper_set_config(set);
+//!         pm_runtime_put_autosuspend(dev);
+//!         return ret;
+//!     }"#;
+//!
+//! let result = analyze_sources([src], &linux_dpm_apis(), &AnalysisOptions::default())?;
+//! assert_eq!(result.reports.len(), 1);
+//! println!("{}", rid::core::render_reports(&result.reports, None));
+//! # Ok::<(), rid::frontend::FrontendError>(())
+//! ```
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-versus-measured record of every table and figure.
+
+#![forbid(unsafe_code)]
+
+pub use rid_baseline as baseline;
+pub use rid_core as core;
+pub use rid_corpus as corpus;
+pub use rid_frontend as frontend;
+pub use rid_ir as ir;
+pub use rid_solver as solver;

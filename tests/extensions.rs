@@ -1,0 +1,123 @@
+//! Integration tests for the future-work extensions through the facade:
+//! callback contracts, incremental recheck, summary rules, API mining,
+//! and the wake-lock API family.
+
+use rid::core::checks::{check_summary, SummaryRule};
+use rid::core::incremental::{affected_functions, reanalyze};
+use rid::core::mining::{all_function_names, discover_api_pairs, summaries_for_pairs};
+use rid::core::{analyze_sources, apis, AnalysisOptions, CallGraph};
+
+const ARIZONA: &str = r#"module arizona;
+    fn arizona_irq_thread(irq, data) {
+        let ret = pm_runtime_get_sync(data.dev);
+        if (ret < 0) { return 0; }
+        handle(data);
+        pm_runtime_put(data.dev);
+        return 1;
+    }
+    fn arizona_probe(dev) {
+        request_irq(dev.irq, @arizona_irq_thread, dev);
+        return 0;
+    }"#;
+
+#[test]
+fn callback_contract_catches_figure10() {
+    let apis = apis::linux_dpm_apis();
+    let off = analyze_sources([ARIZONA], &apis, &AnalysisOptions::default()).unwrap();
+    assert!(off.reports.is_empty(), "paper default misses Figure 10");
+
+    let options = AnalysisOptions { check_callbacks: true, ..Default::default() };
+    let on = analyze_sources([ARIZONA], &apis, &options).unwrap();
+    assert_eq!(on.reports.len(), 1);
+    assert!(on.reports[0].callback);
+    assert_eq!(on.reports[0].function, "arizona_irq_thread");
+}
+
+#[test]
+fn unregistered_function_is_not_callback_checked() {
+    // Same body, but never registered: the extension must not fire.
+    let src = r#"module m;
+        fn maybe_handler(irq, data) {
+            let ret = pm_runtime_get_sync(data.dev);
+            if (ret < 0) { return 0; }
+            pm_runtime_put(data.dev);
+            return 1;
+        }"#;
+    let options = AnalysisOptions { check_callbacks: true, ..Default::default() };
+    let result = analyze_sources([src], &apis::linux_dpm_apis(), &options).unwrap();
+    assert!(result.reports.is_empty(), "{:?}", result.reports);
+}
+
+#[test]
+fn incremental_recheck_through_facade() {
+    let buggy = "module lib; fn helper(dev) { let r = chk(dev); if (r < 0) { return 0; } pm_runtime_get_sync(dev); return 0; }";
+    let fixed = "module lib; fn helper(dev) { let r = chk(dev); if (r < 0) { return -1; } pm_runtime_get_sync(dev); return 0; }";
+    let app = "module app; fn top(dev) { helper(dev); pm_runtime_put(dev); return 0; }";
+
+    let apis = apis::linux_dpm_apis();
+    let options = AnalysisOptions::default();
+    let before = analyze_sources([buggy, app], &apis, &options).unwrap();
+    assert!(before.reports.iter().any(|r| r.function == "helper"));
+
+    let program = rid::frontend::parse_program([fixed, app]).unwrap();
+    let graph = CallGraph::build(&program);
+    let affected = affected_functions(&graph, &["helper"]);
+    assert_eq!(affected.len(), 2); // helper + top
+
+    let after = reanalyze(&program, &apis, &before, &["helper"], &options);
+    assert!(after.reports.iter().all(|r| r.function != "helper"));
+    let full = analyze_sources([fixed, app], &apis, &options).unwrap();
+    let key = |r: &rid::core::IppReport| (r.function.clone(), r.refcount.clone());
+    assert_eq!(
+        after.reports.iter().map(key).collect::<Vec<_>>(),
+        full.reports.iter().map(key).collect::<Vec<_>>()
+    );
+}
+
+#[test]
+fn summary_rules_catch_single_path_leaks() {
+    let src = "module m; fn stash(obj, t) { Py_INCREF(obj); keep(t, obj); return 0; }";
+    let result =
+        analyze_sources([src], &apis::python_c_apis(), &AnalysisOptions::default()).unwrap();
+    assert!(result.reports.is_empty(), "no pair exists for IPP checking");
+    let summary = result.summaries.get("stash").unwrap();
+    assert_eq!(check_summary(summary, SummaryRule::EscapeRule).len(), 1);
+    assert_eq!(check_summary(summary, SummaryRule::ClosedBalance).len(), 1);
+}
+
+#[test]
+fn mining_to_analysis_without_handwritten_specs() {
+    let src = r#"module m;
+        fn scan(node) {
+            node_ref(node);
+            let st = walk(node);
+            if (st < 0) { return 0; }
+            node_unref(node);
+            return 0;
+        }"#;
+    let program = rid::frontend::parse_program([src]).unwrap();
+    let pairs = discover_api_pairs(all_function_names(&program).iter().map(String::as_str));
+    assert_eq!(pairs.len(), 1);
+    assert_eq!((pairs[0].inc.as_str(), pairs[0].dec.as_str()), ("node_ref", "node_unref"));
+    let mined = summaries_for_pairs(&pairs, "refs");
+    let result = analyze_sources([src], &mined, &AnalysisOptions::default()).unwrap();
+    assert_eq!(result.reports.len(), 1);
+    assert_eq!(result.reports[0].function, "scan");
+}
+
+#[test]
+fn wakelock_family_finds_no_sleep_bugs() {
+    let src = r#"module m;
+        fn hold(wl) {
+            wake_lock(wl);
+            let ok = start(wl);
+            if (ok < 0) { return 0; }
+            wake_unlock(wl);
+            return 0;
+        }"#;
+    let result =
+        analyze_sources([src], &apis::android_wakelock_apis(), &AnalysisOptions::default())
+            .unwrap();
+    assert_eq!(result.reports.len(), 1);
+    assert_eq!(result.reports[0].refcount.to_string(), "[arg0].wl");
+}

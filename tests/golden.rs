@@ -1,0 +1,70 @@
+//! Golden tests pinning the human-readable report format: every line a
+//! reviewer relies on (bug kind, refcount with restored parameter names,
+//! per-path deltas, witness constraint and example, traces) must be
+//! present and stable for the canonical Figure 8 bug.
+
+use rid::core::{analyze_sources, apis::linux_dpm_apis, render_reports, AnalysisOptions};
+
+const FIG8: &str = r#"module radeon;
+fn radeon_crtc_set_config(dev, set) {
+    let ret = pm_runtime_get_sync(dev);
+    if (ret < 0) { return ret; }
+    ret = drm_crtc_helper_set_config(set);
+    pm_runtime_put_autosuspend(dev);
+    return ret;
+}"#;
+
+#[test]
+fn figure8_report_rendering_is_stable() {
+    let program = rid::frontend::parse_program([FIG8]).unwrap();
+    let result =
+        analyze_sources([FIG8], &linux_dpm_apis(), &AnalysisOptions::default()).unwrap();
+    assert_eq!(result.reports.len(), 1);
+    let text = render_reports(&result.reports, Some(&program));
+
+    // Every load-bearing line of the format, in order.
+    let expected_fragments = [
+        "--- report 1 of 1 ---",
+        "[missed release (refcount never returns to zero)]",
+        "inconsistent refcount changes in `radeon_crtc_set_config`",
+        "refcount : [dev].pm",
+        "changes it by",
+        "+1",
+        "both paths are feasible and indistinguishable under:",
+        "example  :",
+        "traces   : kept",
+    ];
+    let mut cursor = 0;
+    for fragment in expected_fragments {
+        match text[cursor..].find(fragment) {
+            Some(at) => cursor += at + fragment.len(),
+            None => panic!("missing/out-of-order fragment `{fragment}` in:\n{text}"),
+        }
+    }
+
+    // The report is deterministic run to run.
+    let again =
+        analyze_sources([FIG8], &linux_dpm_apis(), &AnalysisOptions::default()).unwrap();
+    assert_eq!(render_reports(&again.reports, Some(&program)), text);
+}
+
+#[test]
+fn json_report_schema_is_stable() {
+    let result =
+        analyze_sources([FIG8], &linux_dpm_apis(), &AnalysisOptions::default()).unwrap();
+    let json = serde_json::to_value(&result.reports).unwrap();
+    let report = &json[0];
+    for key in
+        ["function", "refcount", "change_a", "change_b", "path_a", "path_b", "witness",
+         "callback", "witness_model"]
+    {
+        assert!(report.get(key).is_some(), "JSON report missing key `{key}`: {report}");
+    }
+    assert_eq!(report["function"], "radeon_crtc_set_config");
+    assert_eq!(report["callback"], false);
+    // Round-trips through the serde schema.
+    let back: Vec<rid::core::IppReport> = serde_json::from_value(json).unwrap();
+    assert_eq!(back.len(), 1);
+    assert_eq!(back[0].function, result.reports[0].function);
+    assert_eq!(back[0].refcount, result.reports[0].refcount);
+}

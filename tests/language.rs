@@ -1,0 +1,222 @@
+//! Integration tests of RIL language features flowing end-to-end through
+//! parsing, lowering, symbolic execution and IPP checking.
+
+use rid::core::{analyze_sources, apis::linux_dpm_apis, AnalysisOptions};
+
+fn reports(src: &str) -> Vec<String> {
+    analyze_sources([src], &linux_dpm_apis(), &AnalysisOptions::default())
+        .expect("source parses")
+        .reports
+        .iter()
+        .map(|r| r.function.clone())
+        .collect()
+}
+
+#[test]
+fn goto_error_paths() {
+    // Kernel-style goto-error cleanup, correctly balanced: clean.
+    let src = r#"module m;
+        fn good(dev) {
+            pm_runtime_get_sync(dev);
+            let a = step_a(dev);
+            if (a) { goto out; }
+            let b = step_b(dev);
+            if (b) { goto out; }
+            use_device(dev);
+        out:
+            pm_runtime_put(dev);
+            return 0;
+        }"#;
+    assert!(reports(src).is_empty());
+}
+
+#[test]
+fn goto_skipping_cleanup_is_caught() {
+    let src = r#"module m;
+        fn bad(dev) {
+            pm_runtime_get_sync(dev);
+            let a = step_a(dev);
+            if (a) { goto fail; }
+            pm_runtime_put(dev);
+            return 0;
+        fail:
+            return 0;
+        }"#;
+    assert_eq!(reports(src), vec!["bad".to_owned()]);
+}
+
+#[test]
+fn else_if_chains_execute_correctly() {
+    // Each error code is distinguishable — consistent.
+    let src = r#"module m;
+        fn multi(dev) {
+            let st = pm_runtime_get_sync(dev);
+            if (st == -1) { return -1; }
+            else if (st == -2) { return -2; }
+            else {
+                pm_runtime_put(dev);
+                return 0;
+            }
+        }"#;
+    assert!(reports(src).is_empty());
+}
+
+#[test]
+fn else_if_chain_with_shared_return_is_caught() {
+    // Two arms return the same value with different changes — an IPP.
+    let src = r#"module m;
+        fn multi(dev) {
+            let st = check(dev);
+            if (st == -1) { pm_runtime_get_sync(dev); return 0; }
+            else if (st == -2) { return 0; }
+            else { return 1; }
+        }"#;
+    assert_eq!(reports(src), vec!["multi".to_owned()]);
+}
+
+#[test]
+fn while_loops_with_varying_conditions() {
+    // get/put balanced per iteration: clean under unroll-once.
+    let src = r#"module m;
+        fn pump(dev) {
+            let more = has_work(dev);
+            while (more) {
+                pm_runtime_get_sync(dev);
+                process(dev);
+                pm_runtime_put(dev);
+                more = has_work(dev);
+            }
+            return 0;
+        }"#;
+    assert!(reports(src).is_empty());
+}
+
+#[test]
+fn unbalanced_loop_body_is_caught() {
+    // The 0-iteration and 1-iteration paths differ with equal returns.
+    let src = r#"module m;
+        fn pump(dev) {
+            let more = has_work(dev);
+            while (more) {
+                pm_runtime_get_sync(dev);
+                more = has_work(dev);
+            }
+            return 0;
+        }"#;
+    assert_eq!(reports(src), vec!["pump".to_owned()]);
+}
+
+#[test]
+fn field_chains_as_refcount_roots() {
+    let src = r#"module m;
+        fn deep(card) {
+            let ret = pm_runtime_get_sync(card.bus.dev);
+            if (ret < 0) { return 0; }
+            pm_runtime_put(card.bus.dev);
+            return 0;
+        }"#;
+    let result =
+        analyze_sources([src], &linux_dpm_apis(), &AnalysisOptions::default()).unwrap();
+    assert_eq!(result.reports.len(), 1);
+    // The refcount is rooted at a two-level field chain of the argument.
+    assert_eq!(result.reports[0].refcount.to_string(), "[arg0].bus.dev.pm");
+}
+
+#[test]
+fn assume_prunes_paths() {
+    let src = r#"module m;
+        fn guarded(dev, flag) {
+            assume flag > 0;
+            if (flag <= 0) {
+                pm_runtime_get_sync(dev);  // dead code
+            }
+            return 0;
+        }"#;
+    assert!(reports(src).is_empty());
+}
+
+#[test]
+fn argument_distinguishable_paths_are_consistent() {
+    // The caller can check dev.broken, so the paths are NOT an IPP.
+    let src = r#"module m;
+        fn cond(dev) {
+            let broken = dev.broken;
+            if (broken != 0) {
+                pm_runtime_get_sync(dev);
+            }
+            return 0;
+        }"#;
+    assert!(reports(src).is_empty());
+}
+
+#[test]
+fn internal_condition_paths_are_inconsistent() {
+    // Same shape, but the condition is an internal read: an IPP.
+    let src = r#"module m;
+        fn cond(dev) {
+            let broken = read_state(dev);
+            if (broken != 0) {
+                pm_runtime_get_sync(dev);
+            }
+            return 0;
+        }"#;
+    assert_eq!(reports(src), vec!["cond".to_owned()]);
+}
+
+#[test]
+fn weak_linkage_merges_across_modules() {
+    let header = r#"module header_a;
+        weak fn inline_get(dev) { pm_runtime_get_sync(dev); return 0; }"#;
+    let header_copy = r#"module header_b;
+        weak fn inline_get(dev) { pm_runtime_get_sync(dev); return 0; }"#;
+    let user = r#"module user;
+        fn lose_ref(dev) {
+            let r = check(dev);
+            if (r) { return 0; }
+            inline_get(dev);
+            return 0;
+        }"#;
+    let result = analyze_sources(
+        [header, header_copy, user],
+        &linux_dpm_apis(),
+        &AnalysisOptions::default(),
+    )
+    .unwrap();
+    let functions: Vec<&str> = result.reports.iter().map(|r| r.function.as_str()).collect();
+    assert!(functions.contains(&"lose_ref"));
+}
+
+#[test]
+fn field_store_blindness_produces_false_positive() {
+    // §6.4: the store to dev.active would distinguish the paths at
+    // runtime, but stores are outside the abstraction.
+    let src = r#"module m;
+        fn fp(dev) {
+            pm_runtime_get_sync(dev);
+            let mode = read_mode(dev);
+            if (mode > 0) {
+                dev.active = 1;
+                return 0;
+            }
+            pm_runtime_put(dev);
+            return 0;
+        }"#;
+    assert_eq!(reports(src), vec!["fp".to_owned()]);
+}
+
+#[test]
+fn nested_wrappers_compose() {
+    // A wrapper of a wrapper of the API; the imbalance still surfaces at
+    // the outermost caller.
+    let src = r#"module m;
+        fn level1(dev) { pm_runtime_get_sync(dev); return 0; }
+        fn level2(dev) { level1(dev); return 0; }
+        fn level3(dev) {
+            let st = probe(dev);
+            if (st < 0) { return 0; }
+            level2(dev);
+            return 0;
+        }"#;
+    let found = reports(src);
+    assert!(found.contains(&"level3".to_owned()), "{found:?}");
+}

@@ -1,0 +1,156 @@
+//! Whole-pipeline integration tests on the seeded corpora: ground truth,
+//! determinism, parallel vs sequential, linked vs separate analysis.
+
+use std::collections::HashSet;
+
+use rid::core::persist::analyze_modules_separately;
+use rid::core::{analyze_sources, apis, AnalysisOptions};
+use rid::corpus::kernel::{generate_kernel, KernelConfig};
+use rid::corpus::pyc::{generate_pyc, PycBugClass, PycConfig};
+
+fn kernel_result(
+    corpus: &rid::corpus::kernel::KernelCorpus,
+    options: &AnalysisOptions,
+) -> rid::core::AnalysisResult {
+    analyze_sources(
+        corpus.sources.iter().map(String::as_str),
+        &apis::linux_dpm_apis(),
+        options,
+    )
+    .expect("corpus parses")
+}
+
+#[test]
+fn kernel_ground_truth_holds() {
+    let corpus = generate_kernel(&KernelConfig::tiny(11));
+    let result = kernel_result(&corpus, &AnalysisOptions::default());
+    let reported: HashSet<&str> =
+        result.reports.iter().map(|r| r.function.as_str()).collect();
+
+    for f in corpus.detectable_bug_functions() {
+        assert!(reported.contains(f), "detectable bug in `{f}` must be reported");
+    }
+    for f in corpus.missed_bug_functions() {
+        assert!(!reported.contains(f), "`{f}` is outside RID's power and must be missed");
+    }
+    for f in &corpus.expected_false_positives {
+        assert!(
+            reported.contains(f.as_str()),
+            "§6.4 idiom in `{f}` must draw a (false) report"
+        );
+    }
+}
+
+#[test]
+fn analysis_is_deterministic() {
+    let corpus = generate_kernel(&KernelConfig::tiny(12));
+    let a = kernel_result(&corpus, &AnalysisOptions::default());
+    let b = kernel_result(&corpus, &AnalysisOptions::default());
+    assert_eq!(a.reports, b.reports);
+    assert_eq!(a.stats.functions_analyzed, b.stats.functions_analyzed);
+}
+
+#[test]
+fn parallel_matches_sequential_on_corpus() {
+    let corpus = generate_kernel(&KernelConfig::tiny(13));
+    let sequential = kernel_result(&corpus, &AnalysisOptions::default());
+    let parallel =
+        kernel_result(&corpus, &AnalysisOptions { threads: 8, ..Default::default() });
+    assert_eq!(sequential.reports, parallel.reports);
+}
+
+#[test]
+fn selective_and_exhaustive_find_same_bugs() {
+    // §5.2's promise: skipping category-3 functions loses no reports.
+    let corpus = generate_kernel(&KernelConfig::tiny(14));
+    let selective = kernel_result(&corpus, &AnalysisOptions::default());
+    let exhaustive =
+        kernel_result(&corpus, &AnalysisOptions { selective: false, ..Default::default() });
+    let key = |r: &rid::core::IppReport| (r.function.clone(), r.refcount.clone());
+    let a: HashSet<_> = selective.reports.iter().map(key).collect();
+    let b: HashSet<_> = exhaustive.reports.iter().map(key).collect();
+    assert_eq!(a, b);
+    assert!(selective.stats.functions_analyzed < exhaustive.stats.functions_analyzed);
+}
+
+#[test]
+fn separate_module_analysis_matches_linked() {
+    let corpus = generate_kernel(&KernelConfig::tiny(15));
+    let linked = kernel_result(&corpus, &AnalysisOptions::default());
+    let modules: Vec<rid::ir::Module> = corpus
+        .sources
+        .iter()
+        .map(|s| rid::frontend::parse_module(s).expect("module parses"))
+        .collect();
+    let separate = analyze_modules_separately(
+        &modules,
+        &apis::linux_dpm_apis(),
+        &AnalysisOptions::default(),
+    )
+    .expect("no duplicate strong definitions");
+    let key = |r: &rid::core::IppReport| (r.function.clone(), r.refcount.clone());
+    let mut a: Vec<_> = linked.reports.iter().map(key).collect();
+    let mut b: Vec<_> = separate.reports.iter().map(key).collect();
+    a.sort();
+    a.dedup();
+    b.sort();
+    b.dedup();
+    assert_eq!(a, b);
+}
+
+#[test]
+fn pyc_classes_detected_exactly() {
+    let corpus = generate_pyc(&PycConfig::tiny(16));
+    let program = &corpus.programs[0];
+    let apis = apis::python_c_apis();
+
+    let rid_result = analyze_sources(
+        program.sources.iter().map(String::as_str),
+        &apis,
+        &AnalysisOptions::default(),
+    )
+    .expect("program parses");
+    let baseline =
+        rid::baseline::check_sources(program.sources.iter().map(String::as_str), &apis)
+            .expect("program parses");
+
+    let rid_found: HashSet<&str> =
+        rid_result.reports.iter().map(|r| r.function.as_str()).collect();
+    let base_found: HashSet<&str> =
+        baseline.reports.iter().map(|r| r.function.as_str()).collect();
+
+    for bug in &program.bugs {
+        let f = bug.function.as_str();
+        match bug.class {
+            PycBugClass::Common => {
+                assert!(rid_found.contains(f) && base_found.contains(f), "{f}")
+            }
+            PycBugClass::RidOnly => {
+                assert!(rid_found.contains(f) && !base_found.contains(f), "{f}")
+            }
+            PycBugClass::BaselineOnly => {
+                assert!(!rid_found.contains(f) && base_found.contains(f), "{f}")
+            }
+        }
+    }
+    // RID never flags the intentional wrappers; the baseline flags all.
+    for wrapper in &program.wrappers {
+        assert!(!rid_found.contains(wrapper.as_str()));
+        assert!(base_found.contains(wrapper.as_str()));
+    }
+}
+
+#[test]
+fn report_rendering_is_complete() {
+    let corpus = generate_kernel(&KernelConfig::tiny(17));
+    let result = kernel_result(&corpus, &AnalysisOptions::default());
+    let program =
+        rid::frontend::parse_program(corpus.sources.iter().map(String::as_str)).unwrap();
+    let text = rid::core::render_reports(&result.reports, Some(&program));
+    for report in &result.reports {
+        assert!(text.contains(&report.function));
+    }
+    // Parameter-name restoration: no raw [argN] should remain for
+    // driver-entry reports keyed on formals.
+    assert!(!text.contains("[arg0].pm"), "param names should be restored:\n{text}");
+}
