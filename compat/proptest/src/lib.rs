@@ -1,0 +1,557 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Property tests here sample deterministically seeded random inputs and
+//! assert on each case. Unlike real proptest there is **no shrinking**: a
+//! failing case reports its inputs via the panic message of the failing
+//! assertion only. The supported surface follows what this workspace uses:
+//! `Strategy` with `prop_map`/`prop_recursive`/`boxed`, `Just`, `any`,
+//! range and tuple strategies, `prop::collection::vec`, `prop::option::of`,
+//! and the `proptest!`, `prop_oneof!`, `prop_assert!`, `prop_assert_eq!`
+//! macros with `ProptestConfig::with_cases`.
+
+use std::ops::{Range, RangeInclusive};
+use std::rc::Rc;
+
+/// Everything a property test typically imports.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestRng,
+    };
+}
+
+/// Run configuration for one `proptest!` block.
+#[derive(Clone, Copy, Debug)]
+pub struct ProptestConfig {
+    /// Number of random cases per property.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+/// Deterministic SplitMix64 generator driving all sampling.
+#[derive(Clone, Debug)]
+pub struct TestRng {
+    state: u64,
+}
+
+impl TestRng {
+    /// Seeds from an arbitrary string (e.g. the test name) so every
+    /// property gets a stable but distinct stream.
+    pub fn from_name(name: &str) -> TestRng {
+        let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in name.bytes() {
+            hash ^= u64::from(byte);
+            hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng { state: hash }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// A generator of random values of one type.
+pub trait Strategy: Clone {
+    /// The generated value type.
+    type Value;
+
+    /// Draws one value. `depth` bounds recursive strategies.
+    fn gen_value(&self, rng: &mut TestRng, depth: u32) -> Self::Value;
+
+    /// Transforms generated values through `f`.
+    fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+    where
+        F: Fn(Self::Value) -> U + Clone,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Builds a recursive strategy: `recurse` receives a strategy for the
+    /// whole type (depth-limited to `depth` levels) and returns the
+    /// non-leaf cases; `self` provides the leaves. `desired_size` and
+    /// `expected_branch_size` are accepted for signature compatibility and
+    /// ignored.
+    fn prop_recursive<S2, F>(
+        self,
+        depth: u32,
+        _desired_size: u32,
+        _expected_branch_size: u32,
+        recurse: F,
+    ) -> Recursive<Self::Value>
+    where
+        Self: 'static,
+        Self::Value: 'static,
+        S2: Strategy<Value = Self::Value> + 'static,
+        F: Fn(BoxedStrategy<Self::Value>) -> S2 + 'static,
+    {
+        Recursive {
+            leaf: self.boxed(),
+            max_depth: depth,
+            recurse: Rc::new(move |inner| recurse(inner).boxed()),
+        }
+    }
+
+    /// Type-erases the strategy.
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: 'static,
+        Self::Value: 'static,
+    {
+        BoxedStrategy(Rc::new(self))
+    }
+}
+
+trait DynStrategy<V> {
+    fn gen_dyn(&self, rng: &mut TestRng, depth: u32) -> V;
+}
+
+impl<S: Strategy> DynStrategy<S::Value> for S {
+    fn gen_dyn(&self, rng: &mut TestRng, depth: u32) -> S::Value {
+        self.gen_value(rng, depth)
+    }
+}
+
+/// A type-erased, cheaply clonable strategy.
+pub struct BoxedStrategy<V>(Rc<dyn DynStrategy<V>>);
+
+impl<V> Clone for BoxedStrategy<V> {
+    fn clone(&self) -> Self {
+        BoxedStrategy(Rc::clone(&self.0))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng, depth: u32) -> V {
+        self.0.gen_dyn(rng, depth)
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn gen_value(&self, _rng: &mut TestRng, _depth: u32) -> T {
+        self.0.clone()
+    }
+}
+
+/// See [`Strategy::prop_map`].
+#[derive(Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U + Clone> Strategy for Map<S, F> {
+    type Value = U;
+    fn gen_value(&self, rng: &mut TestRng, depth: u32) -> U {
+        (self.f)(self.inner.gen_value(rng, depth))
+    }
+}
+
+/// See [`Strategy::prop_recursive`].
+pub struct Recursive<V> {
+    leaf: BoxedStrategy<V>,
+    max_depth: u32,
+    recurse: Rc<dyn Fn(BoxedStrategy<V>) -> BoxedStrategy<V>>,
+}
+
+impl<V> Clone for Recursive<V> {
+    fn clone(&self) -> Self {
+        Recursive {
+            leaf: self.leaf.clone(),
+            max_depth: self.max_depth,
+            recurse: Rc::clone(&self.recurse),
+        }
+    }
+}
+
+impl<V: 'static> Strategy for Recursive<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng, depth: u32) -> V {
+        // Half the draws recurse (until the depth cap), half take a leaf,
+        // giving a spread of small and deep values.
+        if depth >= self.max_depth || rng.below(2) == 0 {
+            self.leaf.gen_value(rng, depth)
+        } else {
+            (self.recurse)(self.clone().boxed()).gen_value(rng, depth + 1)
+        }
+    }
+}
+
+/// Uniform choice between type-erased alternatives (`prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<BoxedStrategy<V>>,
+}
+
+impl<V> Union<V> {
+    /// Builds the union; `options` must be non-empty.
+    pub fn new(options: Vec<BoxedStrategy<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one strategy");
+        Union { options }
+    }
+}
+
+impl<V> Clone for Union<V> {
+    fn clone(&self) -> Self {
+        Union { options: self.options.clone() }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn gen_value(&self, rng: &mut TestRng, depth: u32) -> V {
+        let pick = rng.below(self.options.len() as u64) as usize;
+        self.options[pick].gen_value(rng, depth)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for Range<$ty> {
+            type Value = $ty;
+            fn gen_value(&self, rng: &mut TestRng, _depth: u32) -> $ty {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                (self.start as i128 + rng.below(span) as i128) as $ty
+            }
+        }
+        impl Strategy for RangeInclusive<$ty> {
+            type Value = $ty;
+            fn gen_value(&self, rng: &mut TestRng, _depth: u32) -> $ty {
+                let (start, end) = (*self.start(), *self.end());
+                assert!(start <= end, "empty range strategy");
+                let span = (end as i128 - start as i128 + 1) as u128;
+                if span > u64::MAX as u128 {
+                    return rng.next_u64() as $ty;
+                }
+                (start as i128 + rng.below(span as u64) as i128) as $ty
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn gen_value(&self, rng: &mut TestRng, depth: u32) -> Self::Value {
+                ($(self.$idx.gen_value(rng, depth),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A:0, B:1)
+    (A:0, B:1, C:2)
+    (A:0, B:1, C:2, D:3)
+    (A:0, B:1, C:2, D:3, E:4)
+    (A:0, B:1, C:2, D:3, E:4, F:5)
+}
+
+/// Types with a canonical strategy (`any::<T>()`).
+pub trait Arbitrary: Sized {
+    /// The canonical strategy type.
+    type Strategy: Strategy<Value = Self>;
+    /// The canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Strategy for the full domain of `bool`.
+#[derive(Clone)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+    fn gen_value(&self, rng: &mut TestRng, _depth: u32) -> bool {
+        rng.below(2) == 1
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($ty:ty),*) => {$(
+        impl Arbitrary for $ty {
+            type Strategy = FullInt<$ty>;
+            fn arbitrary() -> FullInt<$ty> {
+                FullInt(std::marker::PhantomData)
+            }
+        }
+    )*};
+}
+
+/// Strategy for the full domain of an integer type.
+pub struct FullInt<T>(std::marker::PhantomData<T>);
+
+impl<T> Clone for FullInt<T> {
+    fn clone(&self) -> Self {
+        FullInt(std::marker::PhantomData)
+    }
+}
+
+macro_rules! full_int_strategy {
+    ($($ty:ty),*) => {$(
+        impl Strategy for FullInt<$ty> {
+            type Value = $ty;
+            fn gen_value(&self, rng: &mut TestRng, _depth: u32) -> $ty {
+                rng.next_u64() as $ty
+            }
+        }
+    )*};
+}
+
+full_int_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// The canonical strategy for `T`.
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Combinator modules mirroring `proptest::prop`.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        use crate::{Strategy, TestRng};
+        use std::ops::{Range, RangeInclusive};
+
+        /// A length bound for [`vec`].
+        pub trait IntoSizeRange {
+            /// Lower and upper (inclusive) length bounds.
+            fn bounds(self) -> (usize, usize);
+        }
+
+        impl IntoSizeRange for usize {
+            fn bounds(self) -> (usize, usize) {
+                (self, self)
+            }
+        }
+
+        impl IntoSizeRange for Range<usize> {
+            fn bounds(self) -> (usize, usize) {
+                assert!(self.start < self.end, "empty vec size range");
+                (self.start, self.end - 1)
+            }
+        }
+
+        impl IntoSizeRange for RangeInclusive<usize> {
+            fn bounds(self) -> (usize, usize) {
+                (*self.start(), *self.end())
+            }
+        }
+
+        /// Generates `Vec`s of `element` with length in `size`.
+        pub fn vec<S: Strategy>(element: S, size: impl IntoSizeRange) -> VecStrategy<S> {
+            let (min, max) = size.bounds();
+            VecStrategy { element, min, max }
+        }
+
+        /// See [`vec`].
+        #[derive(Clone)]
+        pub struct VecStrategy<S> {
+            element: S,
+            min: usize,
+            max: usize,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn gen_value(&self, rng: &mut TestRng, depth: u32) -> Vec<S::Value> {
+                let span = (self.max - self.min + 1) as u64;
+                let len = self.min + rng_below(rng, span) as usize;
+                (0..len).map(|_| self.element.gen_value(rng, depth)).collect()
+            }
+        }
+
+        fn rng_below(rng: &mut TestRng, bound: u64) -> u64 {
+            // Local shim: TestRng::below is private to the crate root.
+            crate::below(rng, bound)
+        }
+    }
+
+    /// Option strategies.
+    pub mod option {
+        use crate::{Strategy, TestRng};
+
+        /// Generates `None` a quarter of the time, `Some` otherwise.
+        pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+            OptionStrategy { inner }
+        }
+
+        /// See [`of`].
+        #[derive(Clone)]
+        pub struct OptionStrategy<S> {
+            inner: S,
+        }
+
+        impl<S: Strategy> Strategy for OptionStrategy<S> {
+            type Value = Option<S::Value>;
+            fn gen_value(&self, rng: &mut TestRng, depth: u32) -> Option<S::Value> {
+                if crate::below(rng, 4) == 0 {
+                    None
+                } else {
+                    Some(self.inner.gen_value(rng, depth))
+                }
+            }
+        }
+    }
+}
+
+pub(crate) fn below(rng: &mut TestRng, bound: u64) -> u64 {
+    rng.below(bound)
+}
+
+/// Uniform choice among strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(vec![ $( $crate::Strategy::boxed($strategy) ),+ ])
+    };
+}
+
+/// Asserts inside a property (no shrinking in this stub: plain `assert!`).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Equality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Inequality assertion inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property tests: each `fn name(x in strategy, ...) { body }`
+/// becomes a `#[test]` running `body` over seeded random cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::proptest!{@cfg $config; $($rest)*}
+    };
+    (@cfg $config:expr;
+     $(#[$meta:meta])*
+     fn $name:ident($($binding:pat in $strategy:expr),* $(,)?) $body:block
+     $($rest:tt)*) => {
+        $(#[$meta])*
+        #[test]
+        fn $name() {
+            let __config: $crate::ProptestConfig = $config;
+            let mut __rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for __case in 0..__config.cases {
+                $(let $binding = $crate::Strategy::gen_value(&($strategy), &mut __rng, 0);)*
+                $body
+            }
+        }
+        $crate::proptest!{@cfg $config; $($rest)*}
+    };
+    (@cfg $config:expr;) => {};
+    ($($rest:tt)*) => {
+        $crate::proptest!{@cfg $crate::ProptestConfig::default(); $($rest)*}
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[derive(Clone, Debug, PartialEq)]
+    enum Tree {
+        Leaf(i64),
+        Node(Box<Tree>, Box<Tree>),
+    }
+
+    fn tree() -> impl Strategy<Value = Tree> {
+        (0i64..10).prop_map(Tree::Leaf).prop_recursive(3, 8, 2, |inner| {
+            (inner.clone(), inner)
+                .prop_map(|(l, r)| Tree::Node(Box::new(l), Box::new(r)))
+        })
+    }
+
+    fn depth(t: &Tree) -> u32 {
+        match t {
+            Tree::Leaf(_) => 0,
+            Tree::Node(l, r) => 1 + depth(l).max(depth(r)),
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Range strategies stay in bounds.
+        fn ranges_in_bounds(x in 3i64..17, y in 0u32..=4) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!(y <= 4);
+        }
+
+        fn vecs_respect_size(v in prop::collection::vec(0i64..100, 2..5)) {
+            prop_assert!(v.len() >= 2 && v.len() < 5);
+            for item in &v { prop_assert!((0..100).contains(item)); }
+        }
+
+        fn oneof_and_just(x in prop_oneof![Just(1i64), Just(2i64), 10i64..20]) {
+            prop_assert!(x == 1 || x == 2 || (10..20).contains(&x));
+        }
+
+        fn recursion_terminates(t in tree()) {
+            prop_assert!(depth(&t) <= 3);
+        }
+
+        fn options_mix(o in prop::option::of(0i64..3), b in any::<bool>()) {
+            if let Some(v) = o { prop_assert!((0..3).contains(&v)); }
+            prop_assert!(u8::from(b) <= 1);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_name() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        let strat = prop::collection::vec(0i64..1000, 0..10);
+        for _ in 0..20 {
+            assert_eq!(strat.gen_value(&mut a, 0), strat.gen_value(&mut b, 0));
+        }
+    }
+}

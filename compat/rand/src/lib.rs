@@ -1,0 +1,163 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Provides the deterministic-seeding surface this workspace uses:
+//! `rand::rngs::StdRng`, `SeedableRng::seed_from_u64`, and
+//! `Rng::{gen_range, gen_bool}` over integer ranges. The generator is
+//! SplitMix64 — not the real StdRng stream, but the workspace only relies
+//! on *self-consistent* seeded determinism, never on bit-compatibility
+//! with upstream rand.
+
+use std::ops::{Range, RangeInclusive};
+
+/// A source of random 64-bit words.
+pub trait RngCore {
+    /// The next word from the stream.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// A generator that can be built from a 64-bit seed.
+pub trait SeedableRng: Sized {
+    /// Builds the generator from `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Convenience sampling methods, blanket-implemented for every generator.
+pub trait Rng: RngCore + Sized {
+    /// A uniform sample from `range` (half-open or inclusive integer range).
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T {
+        range.sample(self)
+    }
+
+    /// `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p
+    }
+}
+
+impl<T: RngCore + Sized> Rng for T {}
+
+/// A range that can be sampled uniformly to a `T`.
+pub trait SampleRange<T> {
+    /// Draws one sample.
+    fn sample<R: RngCore>(self, rng: &mut R) -> T;
+}
+
+fn uniform_below<R: RngCore>(rng: &mut R, bound: u64) -> u64 {
+    // Modulo bias is irrelevant for corpus generation.
+    if bound == 0 {
+        0
+    } else {
+        rng.next_u64() % bound
+    }
+}
+
+/// An integer type uniform ranges can produce (mirrors rand's
+/// `SampleUniform` so `gen_range(0..100) < some_u32` infers the element
+/// type from context through a single blanket impl).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Widens to `i128` (lossless for every supported type).
+    fn to_i128(self) -> i128;
+    /// Narrows from `i128` (caller guarantees range).
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_sample_uniform {
+    ($($ty:ty),*) => {$(
+        impl SampleUniform for $ty {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> $ty {
+                v as $ty
+            }
+        }
+    )*};
+}
+
+impl_sample_uniform!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<T: SampleUniform> SampleRange<T> for Range<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = (self.start.to_i128(), self.end.to_i128());
+        assert!(start < end, "empty range in gen_range");
+        let span = (end - start) as u64;
+        T::from_i128(start + uniform_below(rng, span) as i128)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for RangeInclusive<T> {
+    fn sample<R: RngCore>(self, rng: &mut R) -> T {
+        let (start, end) = (self.start().to_i128(), self.end().to_i128());
+        assert!(start <= end, "empty range in gen_range");
+        let span = (end - start + 1) as u128;
+        if span > u128::from(u64::MAX) {
+            return T::from_i128(i128::from(rng.next_u64()));
+        }
+        T::from_i128(start + uniform_below(rng, span as u64) as i128)
+    }
+}
+
+/// Named generators, mirroring `rand::rngs`.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The standard seeded generator (SplitMix64 in this stub).
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (public-domain constants).
+            self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+    }
+
+    /// Alias: the workspace treats SmallRng and StdRng identically.
+    pub type SmallRng = StdRng;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn seeded_streams_are_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0..1000u32), b.gen_range(0..1000u32));
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..1000 {
+            let v = rng.gen_range(3..17i64);
+            assert!((3..17).contains(&v));
+            let w = rng.gen_range(-5..=5i32);
+            assert!((-5..=5).contains(&w));
+        }
+    }
+
+    #[test]
+    fn gen_bool_respects_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!((0..100).all(|_| !rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -1,0 +1,451 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! Implements `#[derive(Serialize)]` and `#[derive(Deserialize)]` against
+//! the Value-tree data model of the sibling `serde` stub, without `syn` or
+//! `quote` (neither is available offline). The input token stream is parsed
+//! directly with `proc_macro`, which is sufficient for the shapes this
+//! workspace uses:
+//!
+//! - structs with named fields (any visibility, no generics),
+//! - enums with unit and tuple variants (externally tagged),
+//! - field attributes `#[serde(skip)]`, `#[serde(default)]`,
+//!   `#[serde(with = "module")]`.
+//!
+//! Unsupported shapes produce a `compile_error!` naming the limitation.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Ser,
+    De,
+}
+
+/// Derives `serde::Serialize`.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Ser)
+}
+
+/// Derives `serde::Deserialize`.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::De)
+}
+
+fn error(msg: &str) -> TokenStream {
+    format!("compile_error!({msg:?});").parse().unwrap()
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match Item::parse(input) {
+        Ok(item) => {
+            let code = match (&item.kind, mode) {
+                (ItemKind::Struct(fields), Mode::Ser) => struct_ser(&item.name, fields),
+                (ItemKind::Struct(fields), Mode::De) => struct_de(&item.name, fields),
+                (ItemKind::Enum(variants), Mode::Ser) => enum_ser(&item.name, variants),
+                (ItemKind::Enum(variants), Mode::De) => enum_de(&item.name, variants),
+            };
+            match code.parse() {
+                Ok(ts) => ts,
+                Err(e) => error(&format!("serde stub derive generated bad code: {e}")),
+            }
+        }
+        Err(msg) => error(&msg),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Default, Clone)]
+struct SerdeAttrs {
+    skip: bool,
+    default: bool,
+    with: Option<String>,
+}
+
+struct Field {
+    name: String,
+    attrs: SerdeAttrs,
+}
+
+struct Variant {
+    name: String,
+    /// Number of unnamed (tuple) fields; `None` for a unit variant.
+    tuple_arity: Option<usize>,
+}
+
+enum ItemKind {
+    Struct(Vec<Field>),
+    Enum(Vec<Variant>),
+}
+
+struct Item {
+    name: String,
+    kind: ItemKind,
+}
+
+/// Collects `#[serde(...)]` directives from a `#` + group attribute pair.
+fn parse_serde_attr(group: &proc_macro::Group, out: &mut SerdeAttrs) {
+    // The group is `[serde(...)]`; find the inner parenthesized list.
+    let mut tokens = group.stream().into_iter();
+    let Some(TokenTree::Ident(tag)) = tokens.next() else { return };
+    if tag.to_string() != "serde" {
+        return;
+    }
+    let Some(TokenTree::Group(args)) = tokens.next() else { return };
+    let mut inner = args.stream().into_iter().peekable();
+    while let Some(tt) = inner.next() {
+        if let TokenTree::Ident(word) = &tt {
+            match word.to_string().as_str() {
+                "skip" | "skip_serializing" | "skip_deserializing" => out.skip = true,
+                "default" => out.default = true,
+                "with" => {
+                    // `with = "path"`
+                    if matches!(inner.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '=')
+                    {
+                        inner.next();
+                        if let Some(TokenTree::Literal(lit)) = inner.next() {
+                            let text = lit.to_string();
+                            out.with = Some(text.trim_matches('"').to_owned());
+                        }
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+}
+
+impl Item {
+    fn parse(input: TokenStream) -> Result<Item, String> {
+        let mut tokens = input.into_iter().peekable();
+        // Skip attributes and visibility ahead of `struct`/`enum`.
+        let keyword = loop {
+            match tokens.next() {
+                Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                    tokens.next(); // the [...] group
+                }
+                Some(TokenTree::Ident(word)) => {
+                    let w = word.to_string();
+                    if w == "struct" || w == "enum" {
+                        break w;
+                    }
+                    // `pub`, `pub(crate)` etc. — the optional group is
+                    // consumed by the generic skip below.
+                }
+                Some(TokenTree::Group(_)) => {} // pub(crate) restriction
+                Some(_) => {}
+                None => return Err("serde stub: could not find struct/enum".into()),
+            }
+        };
+        let name = match tokens.next() {
+            Some(TokenTree::Ident(word)) => word.to_string(),
+            _ => return Err("serde stub: missing type name".into()),
+        };
+        match tokens.peek() {
+            Some(TokenTree::Punct(p)) if p.as_char() == '<' => {
+                return Err(format!("serde stub: generic type `{name}` is unsupported"));
+            }
+            _ => {}
+        }
+        let body = loop {
+            match tokens.next() {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => break g,
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                    return Err(format!(
+                        "serde stub: tuple struct `{name}` is unsupported"
+                    ));
+                }
+                Some(_) => {}
+                None => return Err(format!("serde stub: `{name}` has no body")),
+            }
+        };
+        let kind = if keyword == "struct" {
+            ItemKind::Struct(parse_named_fields(body.stream())?)
+        } else {
+            ItemKind::Enum(parse_variants(body.stream())?)
+        };
+        Ok(Item { name, kind })
+    }
+}
+
+/// Splits `stream` at top-level commas, tracking `<...>` depth so commas
+/// inside generic arguments do not split (groups nest on their own).
+fn split_top_level(stream: TokenStream) -> Vec<Vec<TokenTree>> {
+    let mut chunks = vec![Vec::new()];
+    let mut angle_depth = 0i32;
+    for tt in stream {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    chunks.push(Vec::new());
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        chunks.last_mut().unwrap().push(tt);
+    }
+    if chunks.last().is_some_and(Vec::is_empty) {
+        chunks.pop();
+    }
+    chunks
+}
+
+fn parse_named_fields(stream: TokenStream) -> Result<Vec<Field>, String> {
+    let mut fields = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut attrs = SerdeAttrs::default();
+        let mut name = None;
+        let mut it = chunk.into_iter().peekable();
+        while let Some(tt) = it.next() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    if let Some(TokenTree::Group(g)) = it.next() {
+                        parse_serde_attr(&g, &mut attrs);
+                    }
+                }
+                TokenTree::Ident(word) if word.to_string() == "pub" => {
+                    if matches!(it.peek(), Some(TokenTree::Group(_))) {
+                        it.next();
+                    }
+                }
+                TokenTree::Ident(word) => {
+                    name = Some(word.to_string());
+                    break; // the rest is `: Type`
+                }
+                _ => {}
+            }
+        }
+        if let Some(name) = name {
+            fields.push(Field { name, attrs });
+        }
+    }
+    Ok(fields)
+}
+
+fn parse_variants(stream: TokenStream) -> Result<Vec<Variant>, String> {
+    let mut variants = Vec::new();
+    for chunk in split_top_level(stream) {
+        let mut name = None;
+        let mut tuple_arity = None;
+        let mut it = chunk.into_iter();
+        while let Some(tt) = it.next() {
+            match tt {
+                TokenTree::Punct(p) if p.as_char() == '#' => {
+                    it.next(); // attribute group; no variant-level attrs used
+                }
+                TokenTree::Ident(word) => {
+                    name = Some(word.to_string());
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    tuple_arity = Some(split_top_level(g.stream()).len());
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    return Err(format!(
+                        "serde stub: struct variant `{}` is unsupported",
+                        name.unwrap_or_default()
+                    ));
+                }
+                _ => {}
+            }
+        }
+        if let Some(name) = name {
+            variants.push(Variant { name, tuple_arity });
+        }
+    }
+    Ok(variants)
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn struct_ser(name: &str, fields: &[Field]) -> String {
+    let mut pushes = String::new();
+    for field in fields {
+        if field.attrs.skip {
+            continue;
+        }
+        let fname = &field.name;
+        if let Some(with) = &field.attrs.with {
+            pushes.push_str(&format!(
+                "__m.push((::std::string::String::from({fname:?}), \
+                 {with}::serialize(&self.{fname}, \
+                 serde::__private::ValueSerializer::<__S::Error>::new())?));\n"
+            ));
+        } else {
+            pushes.push_str(&format!(
+                "__m.push((::std::string::String::from({fname:?}), \
+                 serde::__private::to_value_err::<_, __S::Error>(&self.{fname})?));\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 let mut __m: ::std::vec::Vec<(::std::string::String, serde::Value)> =\n\
+                     ::std::vec::Vec::new();\n\
+                 {pushes}\n\
+                 serializer.serialize_value(serde::Value::Map(__m))\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn struct_de(name: &str, fields: &[Field]) -> String {
+    let mut inits = String::new();
+    for field in fields {
+        let fname = &field.name;
+        if field.attrs.skip {
+            inits.push_str(&format!("{fname}: ::core::default::Default::default(),\n"));
+        } else if let Some(with) = &field.attrs.with {
+            inits.push_str(&format!(
+                "{fname}: {with}::deserialize(\
+                 serde::__private::ValueDeserializer::<__D::Error>::new(\
+                 serde::__private::take_raw::<__D::Error>(&mut __m, {fname:?})?))?,\n"
+            ));
+        } else if field.attrs.default {
+            inits.push_str(&format!(
+                "{fname}: serde::__private::take_field_or_default::<_, __D::Error>(\
+                 &mut __m, {fname:?})?,\n"
+            ));
+        } else {
+            inits.push_str(&format!(
+                "{fname}: serde::__private::take_field::<_, __D::Error>(\
+                 &mut __m, {fname:?})?,\n"
+            ));
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 #[allow(unused_mut, unused_variables)]\n\
+                 let mut __m = serde::__private::expect_map::<__D::Error>(\
+                     deserializer.take_value()?)?;\n\
+                 ::core::result::Result::Ok({name} {{\n\
+                     {inits}\n\
+                 }})\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn enum_ser(name: &str, variants: &[Variant]) -> String {
+    let mut arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        match variant.tuple_arity {
+            None => arms.push_str(&format!(
+                "{name}::{vname} => serializer.serialize_value(\
+                 serde::Value::Str(::std::string::String::from({vname:?}))),\n"
+            )),
+            Some(1) => arms.push_str(&format!(
+                "{name}::{vname}(__f0) => serializer.serialize_value(\
+                 serde::Value::Map(vec![(::std::string::String::from({vname:?}), \
+                 serde::__private::to_value_err::<_, __S::Error>(__f0)?)])),\n"
+            )),
+            Some(n) => {
+                let binders: Vec<String> = (0..n).map(|i| format!("__f{i}")).collect();
+                let elems: Vec<String> = binders
+                    .iter()
+                    .map(|b| {
+                        format!("serde::__private::to_value_err::<_, __S::Error>({b})?")
+                    })
+                    .collect();
+                arms.push_str(&format!(
+                    "{name}::{vname}({binds}) => serializer.serialize_value(\
+                     serde::Value::Map(vec![(::std::string::String::from({vname:?}), \
+                     serde::Value::Seq(vec![{elems}]))])),\n",
+                    binds = binders.join(", "),
+                    elems = elems.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl serde::Serialize for {name} {{\n\
+             fn serialize<__S: serde::Serializer>(&self, serializer: __S)\n\
+                 -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 match self {{\n\
+                     {arms}\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}
+
+fn enum_de(name: &str, variants: &[Variant]) -> String {
+    let mut unit_arms = String::new();
+    let mut data_arms = String::new();
+    for variant in variants {
+        let vname = &variant.name;
+        match variant.tuple_arity {
+            None => unit_arms.push_str(&format!(
+                "{vname:?} => ::core::result::Result::Ok({name}::{vname}),\n"
+            )),
+            Some(1) => data_arms.push_str(&format!(
+                "{vname:?} => ::core::result::Result::Ok({name}::{vname}(\
+                 serde::__private::from_value_err::<_, __D::Error>(__val)?)),\n"
+            )),
+            Some(n) => {
+                let elems: Vec<String> = (0..n)
+                    .map(|_| {
+                        "serde::__private::from_value_err::<_, __D::Error>(\
+                         __it.next().ok_or_else(|| serde::de::Error::custom(\
+                         \"variant tuple too short\"))?)?"
+                            .to_owned()
+                    })
+                    .collect();
+                data_arms.push_str(&format!(
+                    "{vname:?} => {{\n\
+                         let __seq = serde::__private::expect_seq::<__D::Error>(__val)?;\n\
+                         let mut __it = __seq.into_iter();\n\
+                         ::core::result::Result::Ok({name}::{vname}({elems}))\n\
+                     }}\n",
+                    elems = elems.join(", "),
+                ));
+            }
+        }
+    }
+    format!(
+        "#[automatically_derived]\n\
+         impl<'de> serde::Deserialize<'de> for {name} {{\n\
+             fn deserialize<__D: serde::Deserializer<'de>>(deserializer: __D)\n\
+                 -> ::core::result::Result<Self, __D::Error> {{\n\
+                 match deserializer.take_value()? {{\n\
+                     #[allow(unused_variables)]\n\
+                     serde::Value::Str(__s) => match __s.as_str() {{\n\
+                         {unit_arms}\n\
+                         __other => ::core::result::Result::Err(\
+                             serde::de::Error::custom(::core::format_args!(\
+                             \"unknown variant `{{}}` of {name}\", __other))),\n\
+                     }},\n\
+                     #[allow(unused_variables, unused_mut)]\n\
+                     serde::Value::Map(mut __m) if __m.len() == 1 => {{\n\
+                         let (__k, __val) = __m.remove(0);\n\
+                         match __k.as_str() {{\n\
+                             {data_arms}\n\
+                             __other => ::core::result::Result::Err(\
+                                 serde::de::Error::custom(::core::format_args!(\
+                                 \"unknown variant `{{}}` of {name}\", __other))),\n\
+                         }}\n\
+                     }}\n\
+                     __other => ::core::result::Result::Err(\
+                         serde::de::Error::custom(::core::format_args!(\
+                         \"bad value for enum {name}: {{}}\", __other))),\n\
+                 }}\n\
+             }}\n\
+         }}\n"
+    )
+}

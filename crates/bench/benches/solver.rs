@@ -52,10 +52,10 @@ fn bench_sat(c: &mut Criterion) {
     for n in [4usize, 16, 32] {
         let sat = chain_conj(n);
         let unsat = unsat_chain(n);
-        group.bench_function(format!("chain_sat_{n}"), |b| {
+        group.bench_function(&format!("chain_sat_{n}"), |b| {
             b.iter(|| black_box(&sat).is_sat())
         });
-        group.bench_function(format!("chain_unsat_{n}"), |b| {
+        group.bench_function(&format!("chain_unsat_{n}"), |b| {
             b.iter(|| black_box(&unsat).is_sat())
         });
     }
@@ -84,7 +84,7 @@ fn bench_project(c: &mut Criterion) {
             Term::var(Var::local(n as u32)),
         ));
         let conj = Conj::from_lits(lits);
-        group.bench_function(format!("eliminate_{n}_locals"), |b| {
+        group.bench_function(&format!("eliminate_{n}_locals"), |b| {
             b.iter(|| project(black_box(&conj), Term::is_external))
         });
     }

@@ -11,6 +11,7 @@
 //! | `pm_misuse` | §6.3 — `pm_runtime_get*` error-handling census |
 //! | `perf`      | §6.5 — classification/analysis time scaling |
 //! | `ablation`  | design-choice knobs (limits, selectivity, threads) |
+//! | `faults`    | fault-tolerance census (injected panics/stalls, budgets) |
 //!
 //! Criterion micro-benchmarks live under `benches/`.
 

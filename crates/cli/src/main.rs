@@ -3,7 +3,8 @@
 //! ```text
 //! rid analyze <file.ril>... [--apis dpm|python|none] [--summaries db.json]
 //!             [--save-summaries out.json] [--threads N] [--no-selective]
-//!             [--separate] [--json]
+//!             [--separate] [--json] [--deadline-ms N] [--fuel N]
+//!             [--global-deadline-ms N]
 //! rid classify <file.ril>... [--apis dpm|python|none]
 //! rid summarize <file.ril>... --function <name> [--apis dpm|python|none]
 //! rid baseline <file.ril>... [--apis python]
@@ -11,6 +12,11 @@
 //! rid mine <file.ril>... [--field refs] [--save-summaries out.json]
 //! rid gen-kernel [--seed N] [--tiny] --out <dir>
 //! ```
+//!
+//! Exit codes: 0 = clean, 1 = bugs reported, 2 = analysis degraded
+//! (budgets/limits/panics, but no bugs), 3 = fatal error (bad usage,
+//! unreadable input, parse failure). Bugs take precedence over
+//! degradation.
 
 use std::collections::HashMap;
 use std::path::{Path, PathBuf};
@@ -24,7 +30,8 @@ fn usage() -> ExitCode {
         "usage:
   rid analyze <file.ril>... [--apis dpm|python|none] [--summaries db.json]
               [--save-summaries out.json] [--threads N] [--no-selective]
-              [--separate] [--callbacks] [--json]
+              [--separate] [--callbacks] [--json] [--deadline-ms N]
+              [--fuel N] [--global-deadline-ms N]
   rid classify <file.ril>... [--apis dpm|python|none]
   rid summarize <file.ril>... --function <name> [--apis dpm|python|none]
   rid baseline <file.ril>... [--apis python]
@@ -32,8 +39,17 @@ fn usage() -> ExitCode {
   rid mine <file.ril>... [--field refs] [--save-summaries out.json]
   rid gen-kernel [--seed N] [--tiny] --out <dir>"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_FATAL)
 }
+
+/// Exit code: no bugs, nothing degraded.
+const EXIT_CLEAN: u8 = 0;
+/// Exit code: IPP bug reports were produced.
+const EXIT_BUGS: u8 = 1;
+/// Exit code: no bugs, but some functions degraded (budget/limit/panic).
+const EXIT_DEGRADED: u8 = 2;
+/// Exit code: fatal error (usage, I/O, parse).
+const EXIT_FATAL: u8 = 3;
 
 struct Args {
     command: String,
@@ -91,8 +107,27 @@ fn read_sources(files: &[PathBuf]) -> Result<Vec<String>, String> {
         .collect()
 }
 
-fn analysis_options(args: &Args) -> AnalysisOptions {
-    AnalysisOptions {
+fn analysis_options(args: &Args) -> Result<AnalysisOptions, String> {
+    let ms_option = |name: &str| -> Result<Option<std::time::Duration>, String> {
+        args.options
+            .get(name)
+            .map(|v| {
+                v.parse::<u64>()
+                    .map(std::time::Duration::from_millis)
+                    .map_err(|_| format!("--{name} expects milliseconds, got `{v}`"))
+            })
+            .transpose()
+    };
+    let budget = rid_core::Budget {
+        func_deadline: ms_option("deadline-ms")?,
+        global_deadline: ms_option("global-deadline-ms")?,
+        solver_fuel: args
+            .options
+            .get("fuel")
+            .map(|v| v.parse().map_err(|_| format!("--fuel expects a number, got `{v}`")))
+            .transpose()?,
+    };
+    Ok(AnalysisOptions {
         selective: !args.flags.iter().any(|f| f == "no-selective"),
         check_callbacks: args.flags.iter().any(|f| f == "callbacks"),
         threads: args
@@ -100,14 +135,31 @@ fn analysis_options(args: &Args) -> AnalysisOptions {
             .get("threads")
             .and_then(|t| t.parse().ok())
             .unwrap_or(1),
+        budget,
         ..Default::default()
+    })
+}
+
+/// Prints the one-line degradation summary (when anything degraded) and
+/// picks the exit code: bugs beat degradation beats clean.
+fn finish_analysis(result: &rid_core::AnalysisResult) -> u8 {
+    let line = rid_core::degradation_summary_line(result.degraded.values());
+    if !line.is_empty() {
+        eprintln!("{line}");
+    }
+    if !result.reports.is_empty() {
+        EXIT_BUGS
+    } else if !result.degraded.is_empty() {
+        EXIT_DEGRADED
+    } else {
+        EXIT_CLEAN
     }
 }
 
-fn cmd_analyze(args: &Args) -> Result<(), String> {
+fn cmd_analyze(args: &Args) -> Result<u8, String> {
     let sources = read_sources(&args.files)?;
     let apis = predefined_apis(args)?;
-    let options = analysis_options(args);
+    let options = analysis_options(args)?;
 
     let result = if args.flags.iter().any(|f| f == "separate") {
         // §5.3 mode: analyze compilation units separately in dependency
@@ -145,12 +197,7 @@ fn cmd_analyze(args: &Args) -> Result<(), String> {
         save_state(&result, Path::new(path)).map_err(|e| e.to_string())?;
         eprintln!("analysis state saved to {path}");
     }
-    if result.reports.is_empty() {
-        Ok(())
-    } else {
-        // Non-zero exit when bugs were reported, like most linters.
-        Err(String::new())
-    }
+    Ok(finish_analysis(&result))
 }
 
 fn cmd_classify(args: &Args) -> Result<(), String> {
@@ -183,7 +230,7 @@ fn cmd_summarize(args: &Args) -> Result<(), String> {
         .ok_or_else(|| "--function <name> is required".to_owned())?;
     let sources = read_sources(&args.files)?;
     let apis = predefined_apis(args)?;
-    let options = analysis_options(args);
+    let options = analysis_options(args)?;
     let result =
         rid_core::analyze_sources(sources.iter().map(String::as_str), &apis, &options)
             .map_err(|e| e.to_string())?;
@@ -234,7 +281,7 @@ fn cmd_baseline(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_recheck(args: &Args) -> Result<(), String> {
+fn cmd_recheck(args: &Args) -> Result<u8, String> {
     let state_path = args
         .options
         .get("state")
@@ -247,7 +294,7 @@ fn cmd_recheck(args: &Args) -> Result<(), String> {
 
     let sources = read_sources(&args.files)?;
     let apis = predefined_apis(args)?;
-    let options = analysis_options(args);
+    let options = analysis_options(args)?;
     let previous = load_state(Path::new(state_path)).map_err(|e| e.to_string())?;
     let program = rid_frontend::parse_program(sources.iter().map(String::as_str))
         .map_err(|e| e.to_string())?;
@@ -264,11 +311,7 @@ fn cmd_recheck(args: &Args) -> Result<(), String> {
         save_state(&result, Path::new(path)).map_err(|e| e.to_string())?;
         eprintln!("analysis state saved to {path}");
     }
-    if result.reports.is_empty() {
-        Ok(())
-    } else {
-        Err(String::new())
-    }
+    Ok(finish_analysis(&result))
 }
 
 /// §3.1 API mining: discover antonym-named pairs in the given sources and
@@ -336,22 +379,19 @@ fn main() -> ExitCode {
     let Some(args) = parse_args() else { return usage() };
     let outcome = match args.command.as_str() {
         "analyze" => cmd_analyze(&args),
-        "classify" => cmd_classify(&args),
-        "summarize" => cmd_summarize(&args),
-        "baseline" => cmd_baseline(&args),
+        "classify" => cmd_classify(&args).map(|()| EXIT_CLEAN),
+        "summarize" => cmd_summarize(&args).map(|()| EXIT_CLEAN),
+        "baseline" => cmd_baseline(&args).map(|()| EXIT_CLEAN),
         "recheck" => cmd_recheck(&args),
-        "mine" => cmd_mine(&args),
-        "gen-kernel" => cmd_gen_kernel(&args),
+        "mine" => cmd_mine(&args).map(|()| EXIT_CLEAN),
+        "gen-kernel" => cmd_gen_kernel(&args).map(|()| EXIT_CLEAN),
         _ => return usage(),
     };
     match outcome {
-        Ok(()) => ExitCode::SUCCESS,
+        Ok(code) => ExitCode::from(code),
         Err(message) => {
-            if !message.is_empty() {
-                eprintln!("error: {message}");
-                return ExitCode::from(2);
-            }
-            ExitCode::FAILURE // reports found
+            eprintln!("error: {message}");
+            ExitCode::from(EXIT_FATAL)
         }
     }
 }

@@ -326,9 +326,41 @@ fn mine_discovers_and_saves_summaries() {
 }
 
 #[test]
-fn bad_usage_exits_2() {
+fn degraded_analysis_exits_2_with_summary_line() {
+    let dir = tempdir("degraded");
+    let branchy = write(
+        &dir,
+        "branchy.ril",
+        r#"module m;
+        fn branchy(dev) {
+            let r = pm_runtime_get_sync(dev);
+            if (r < 0) { pm_runtime_put(dev); return r; }
+            pm_runtime_put(dev);
+            return 0;
+        }"#,
+    );
+    // Bug-free either way; zero solver fuel forces a SolverFuel degradation.
+    let output = rid()
+        .args(["analyze", branchy.to_str().unwrap(), "--fuel", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(2), "{}", stderr(&output));
+    let err = stderr(&output);
+    assert!(err.contains("1 function degraded: 1 solver-fuel"), "{err}");
+    // Without the budget the same file is clean.
+    let output = rid().args(["analyze", branchy.to_str().unwrap()]).output().unwrap();
+    assert_eq!(output.status.code(), Some(0), "{}", stderr(&output));
+}
+
+#[test]
+fn bad_usage_exits_3() {
     let output = rid().output().unwrap();
-    assert_eq!(output.status.code(), Some(2));
+    assert_eq!(output.status.code(), Some(3));
     let output = rid().args(["analyze", "/nonexistent/file.ril"]).output().unwrap();
-    assert_eq!(output.status.code(), Some(2));
+    assert_eq!(output.status.code(), Some(3));
+    let output = rid()
+        .args(["analyze", "whatever.ril", "--deadline-ms", "soon"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(3), "unparsable budget flag is fatal");
 }

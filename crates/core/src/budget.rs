@@ -1,0 +1,271 @@
+//! Resource budgets and the degradation taxonomy.
+//!
+//! The paper bounds analysis cost per function with hard caps on paths,
+//! subcases, and summary entries (§5.2); whenever a cap is hit the
+//! function degrades to the *default summary* and the analysis moves on.
+//! This module extends that discipline to wall-clock time and solver work:
+//!
+//! * [`Budget`] configures a per-function deadline, a solver fuel
+//!   allowance ([`rid_solver::fuel`]), and a global analysis deadline;
+//! * [`BudgetMeter`] is the cooperative runtime check — path enumeration
+//!   and symbolic execution poll it between units of work, so no thread is
+//!   ever killed;
+//! * [`Degradation`] records *why* a function fell back to the default
+//!   summary ([`DegradeReason`]) and what it had cost ([`FunctionCost`]),
+//!   making graceful degradation observable instead of silent.
+//!
+//! Exhausting any budget is handled exactly like a path-cap hit today: the
+//! function keeps whatever entries were finalized, gains the default
+//! entry, and is reported as degraded.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::time::{Duration, Instant};
+
+use serde::{Deserialize, Serialize};
+
+/// Resource budgets for one analysis run. The default is unlimited in
+/// every dimension, reproducing the paper's cap-only behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Budget {
+    /// Wall-clock deadline for one function's summarization.
+    pub func_deadline: Option<Duration>,
+    /// Solver fuel per function (relaxation sweeps + disequality splits;
+    /// see [`rid_solver::fuel`]).
+    pub solver_fuel: Option<u64>,
+    /// Wall-clock deadline for the whole analysis; functions starting (or
+    /// polling) after it has passed degrade immediately.
+    pub global_deadline: Option<Duration>,
+}
+
+impl Budget {
+    /// No limits in any dimension.
+    #[must_use]
+    pub fn unlimited() -> Budget {
+        Budget::default()
+    }
+
+    /// Whether every dimension is unlimited.
+    #[must_use]
+    pub fn is_unlimited(&self) -> bool {
+        *self == Budget::default()
+    }
+}
+
+/// How often (in polls) the meter consults the clock; between clock reads
+/// a poll is a single relaxed atomic increment.
+const POLL_STRIDE: u64 = 64;
+
+/// Cooperative per-function budget meter.
+///
+/// Workers call [`BudgetMeter::expired`] between units of work (per
+/// enumerated path, per executed path). The check is cheap — an atomic
+/// counter, with the clock consulted every [`POLL_STRIDE`] polls — and
+/// once the deadline passes the expiry latches.
+#[derive(Debug)]
+pub struct BudgetMeter {
+    started: Instant,
+    func_deadline: Option<Duration>,
+    global_deadline: Option<Instant>,
+    polls: AtomicU64,
+    expired: AtomicBool,
+}
+
+impl BudgetMeter {
+    /// Starts a meter for one function. `global_deadline` is the absolute
+    /// end of the whole analysis, computed once by the driver.
+    #[must_use]
+    pub fn start(budget: &Budget, global_deadline: Option<Instant>) -> BudgetMeter {
+        BudgetMeter {
+            started: Instant::now(),
+            func_deadline: budget.func_deadline,
+            global_deadline,
+            polls: AtomicU64::new(0),
+            expired: AtomicBool::new(false),
+        }
+    }
+
+    /// A meter that never expires (for unbudgeted entry points).
+    #[must_use]
+    pub fn unlimited() -> BudgetMeter {
+        BudgetMeter::start(&Budget::unlimited(), None)
+    }
+
+    /// Polls the meter; returns `true` once any deadline has passed.
+    pub fn expired(&self) -> bool {
+        if self.expired.load(Ordering::Relaxed) {
+            return true;
+        }
+        if self.func_deadline.is_none() && self.global_deadline.is_none() {
+            return false;
+        }
+        let polls = self.polls.fetch_add(1, Ordering::Relaxed);
+        if !polls.is_multiple_of(POLL_STRIDE) {
+            return false;
+        }
+        let now = Instant::now();
+        let func_over =
+            self.func_deadline.is_some_and(|limit| now.duration_since(self.started) > limit);
+        let global_over = self.global_deadline.is_some_and(|end| now > end);
+        if func_over || global_over {
+            self.expired.store(true, Ordering::Relaxed);
+            return true;
+        }
+        false
+    }
+
+    /// Whether expiry has latched (without polling the clock again).
+    #[must_use]
+    pub fn has_expired(&self) -> bool {
+        self.expired.load(Ordering::Relaxed)
+    }
+
+    /// Wall-clock time since the meter started.
+    #[must_use]
+    pub fn elapsed(&self) -> Duration {
+        self.started.elapsed()
+    }
+}
+
+/// Why a function's summary was degraded to include the default entry.
+///
+/// Ordered roughly from "mildest" (a structural cap, the paper's §5.2
+/// behaviour) to "hardest" (a worker panic).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub enum DegradeReason {
+    /// Path enumeration hit [`crate::paths::PathLimits::max_paths`].
+    PathCap,
+    /// Summary forking hit [`crate::paths::PathLimits::max_subcases`].
+    SubcaseCap,
+    /// The summary hit [`crate::paths::PathLimits::max_entries`].
+    EntryCap,
+    /// The solver fuel budget ([`Budget::solver_fuel`]) ran out.
+    SolverFuel,
+    /// A wall-clock deadline ([`Budget::func_deadline`] or
+    /// [`Budget::global_deadline`]) passed.
+    Deadline,
+    /// Summarization panicked (twice — the retry also failed); the
+    /// function has exactly the default summary.
+    Panic,
+    /// The first attempt panicked but a sequential retry with reduced
+    /// limits produced a summary.
+    Retried,
+}
+
+impl DegradeReason {
+    /// Short lowercase label for report lines.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            DegradeReason::PathCap => "path-cap",
+            DegradeReason::SubcaseCap => "subcase-cap",
+            DegradeReason::EntryCap => "entry-cap",
+            DegradeReason::SolverFuel => "solver-fuel",
+            DegradeReason::Deadline => "deadline",
+            DegradeReason::Panic => "panic",
+            DegradeReason::Retried => "retried",
+        }
+    }
+}
+
+/// What a function's (possibly abandoned) analysis cost.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FunctionCost {
+    /// Structural paths enumerated before stopping.
+    pub paths: usize,
+    /// Symbolic states explored before stopping.
+    pub states: usize,
+    /// Wall-clock milliseconds spent on the function (all attempts).
+    pub wall_ms: u64,
+}
+
+/// One function's degradation record.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Degradation {
+    /// Why the function degraded.
+    pub reason: DegradeReason,
+    /// What its analysis cost.
+    pub cost: FunctionCost,
+}
+
+/// Renders the one-line degradation summary the CLI prints, e.g.
+/// `3 functions degraded: 2 deadline, 1 panic`. Empty string when nothing
+/// degraded.
+#[must_use]
+pub fn degradation_summary_line<'a>(
+    degraded: impl IntoIterator<Item = &'a Degradation>,
+) -> String {
+    let mut by_reason: std::collections::BTreeMap<DegradeReason, usize> =
+        std::collections::BTreeMap::new();
+    let mut total = 0usize;
+    for d in degraded {
+        *by_reason.entry(d.reason).or_insert(0) += 1;
+        total += 1;
+    }
+    if total == 0 {
+        return String::new();
+    }
+    let parts: Vec<String> =
+        by_reason.iter().map(|(reason, n)| format!("{n} {}", reason.label())).collect();
+    format!(
+        "{total} function{} degraded: {}",
+        if total == 1 { "" } else { "s" },
+        parts.join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_meter_never_expires() {
+        let meter = BudgetMeter::unlimited();
+        for _ in 0..10_000 {
+            assert!(!meter.expired());
+        }
+        assert!(!meter.has_expired());
+    }
+
+    #[test]
+    fn function_deadline_latches() {
+        let budget = Budget { func_deadline: Some(Duration::ZERO), ..Budget::unlimited() };
+        let meter = BudgetMeter::start(&budget, None);
+        std::thread::sleep(Duration::from_millis(2));
+        // The stride means the first few polls may pass; one must trip.
+        let tripped = (0..2 * POLL_STRIDE).any(|_| meter.expired());
+        assert!(tripped);
+        assert!(meter.has_expired());
+        assert!(meter.expired(), "expiry latches");
+    }
+
+    #[test]
+    fn global_deadline_in_the_past_expires() {
+        let budget = Budget { global_deadline: Some(Duration::ZERO), ..Budget::unlimited() };
+        let meter = BudgetMeter::start(&budget, Some(Instant::now() - Duration::from_secs(1)));
+        let tripped = (0..2 * POLL_STRIDE).any(|_| meter.expired());
+        assert!(tripped);
+    }
+
+    #[test]
+    fn summary_line_formats_counts() {
+        let d = |reason| Degradation { reason, cost: FunctionCost::default() };
+        assert_eq!(degradation_summary_line(&[]), "");
+        assert_eq!(
+            degradation_summary_line(&[d(DegradeReason::Deadline)]),
+            "1 function degraded: 1 deadline"
+        );
+        let line = degradation_summary_line(&[
+            d(DegradeReason::Deadline),
+            d(DegradeReason::Panic),
+            d(DegradeReason::Deadline),
+        ]);
+        assert_eq!(line, "3 functions degraded: 2 deadline, 1 panic");
+    }
+
+    #[test]
+    fn budget_reports_unlimited() {
+        assert!(Budget::unlimited().is_unlimited());
+        let b = Budget { solver_fuel: Some(10), ..Budget::unlimited() };
+        assert!(!b.is_unlimited());
+    }
+}

@@ -6,22 +6,34 @@
 //! connected components at the same dependency level can be analyzed in
 //! parallel (§5.3); recursion is broken by giving intra-SCC calls the
 //! default summary, deterministically in both modes.
+//!
+//! The driver is *fault tolerant*: each function is summarized inside a
+//! `catch_unwind` envelope, so a panic poisons only that function, never
+//! a worker or the run. A panicked function gets one sequential retry
+//! with reduced limits; if that fails too it degrades to the default
+//! summary — exactly the §5.2 fallback for cap hits — and the incident is
+//! recorded in [`AnalysisResult::degraded`]. Wall-clock and solver-fuel
+//! budgets ([`Budget`]) degrade the same way, cooperatively (no thread is
+//! ever killed).
 
-use std::collections::HashMap;
+use std::collections::{BTreeMap, HashMap};
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::{Duration, Instant};
 
 use parking_lot::{Mutex, RwLock};
-use rid_ir::Program;
+use rid_ir::{Function, Program};
 use rid_solver::SatOptions;
 use serde::{Deserialize, Serialize};
 
+use crate::budget::{Budget, BudgetMeter, Degradation, DegradeReason, FunctionCost};
 use crate::callgraph::CallGraph;
 use crate::classify::{classify, CategoryCounts, Classification};
-use crate::exec::summarize_paths;
-use crate::ipp::{build_summary, check_ipps, IppReport};
+use crate::exec::{summarize_paths_metered, SummarizeOutcome};
+use crate::fault::FaultPlan;
+use crate::ipp::{build_summary, check_ipps, IppOutcome, IppReport};
 use crate::paths::PathLimits;
-use crate::summary::SummaryDb;
+use crate::summary::{Summary, SummaryDb};
 
 /// Options controlling a whole-program analysis.
 #[derive(Clone, Copy, Debug)]
@@ -40,6 +52,8 @@ pub struct AnalysisOptions {
     /// distinctions removed, catching the Figure 10 class. Uses
     /// [`crate::callbacks::CallbackModel::linux_default`].
     pub check_callbacks: bool,
+    /// Wall-clock / solver-fuel budgets; unlimited by default.
+    pub budget: Budget,
 }
 
 impl Default for AnalysisOptions {
@@ -50,6 +64,7 @@ impl Default for AnalysisOptions {
             selective: true,
             threads: 1,
             check_callbacks: false,
+            budget: Budget::unlimited(),
         }
     }
 }
@@ -86,6 +101,56 @@ pub struct AnalysisResult {
     pub classification: Classification,
     /// Run statistics.
     pub stats: AnalysisStats,
+    /// Per-function degradation records: why a function fell back toward
+    /// the default summary and what its analysis cost. Sorted by name.
+    pub degraded: BTreeMap<String, Degradation>,
+}
+
+/// Halves every structural limit (floor 1) for the post-panic retry, so
+/// the retry is cheaper and more likely to dodge whatever blew up.
+pub(crate) fn reduced_limits(limits: &PathLimits) -> PathLimits {
+    PathLimits {
+        max_paths: (limits.max_paths / 2).max(1),
+        max_block_visits: limits.max_block_visits,
+        max_subcases: (limits.max_subcases / 2).max(1),
+        max_entries: (limits.max_entries / 2).max(1),
+    }
+}
+
+/// One guarded summarization attempt: fault injection, summarization, and
+/// IPP checking inside a `catch_unwind` envelope. `Err(())` means the
+/// attempt panicked (the payload is dropped; the panic hook has already
+/// printed it). The shared state we touch is a read-only DB snapshot plus
+/// value-typed options, so unwinding cannot leave it inconsistent —
+/// hence the `AssertUnwindSafe`.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn guarded_attempt(
+    func: &Function,
+    db: &SummaryDb,
+    limits: &PathLimits,
+    sat: SatOptions,
+    meter: &BudgetMeter,
+    fuel: Option<u64>,
+    faults: &FaultPlan,
+    attempt: u32,
+) -> Result<(SummarizeOutcome, IppOutcome), ()> {
+    catch_unwind(AssertUnwindSafe(|| {
+        faults.inject(func.name(), attempt);
+        let outcome = summarize_paths_metered(func, db, limits, sat, meter, fuel);
+        let ipp = check_ipps(func.name(), &outcome.path_entries, sat);
+        (outcome, ipp)
+    }))
+    .map_err(|_| ())
+}
+
+/// Effective solver fuel for `name`: the configured budget, or zero when
+/// the fault plan stalls this function's solver.
+pub(crate) fn effective_fuel(budget: &Budget, faults: &FaultPlan, name: &str) -> Option<u64> {
+    if faults.should_stall(name) {
+        Some(0)
+    } else {
+        budget.solver_fuel
+    }
 }
 
 /// Analyzes a whole program.
@@ -97,6 +162,20 @@ pub fn analyze_program(
     program: &Program,
     predefined: &SummaryDb,
     options: &AnalysisOptions,
+) -> AnalysisResult {
+    analyze_program_with_faults(program, predefined, options, &FaultPlan::none())
+}
+
+/// Like [`analyze_program`], but with a [`FaultPlan`] injecting
+/// deterministic panics, slowdowns, and solver stalls — the robustness
+/// test harness. Production callers use [`analyze_program`], which passes
+/// [`FaultPlan::none`].
+#[must_use]
+pub fn analyze_program_with_faults(
+    program: &Program,
+    predefined: &SummaryDb,
+    options: &AnalysisOptions,
+    faults: &FaultPlan,
 ) -> AnalysisResult {
     let graph = CallGraph::build(program);
     let functions = program.functions();
@@ -120,9 +199,38 @@ pub fn analyze_program(
     };
 
     let analyze_start = Instant::now();
+    let global_deadline = options.budget.global_deadline.map(|d| analyze_start + d);
     let db = RwLock::new(predefined.clone());
     let reports = Mutex::new(Vec::<IppReport>::new());
     let stats = Mutex::new(AnalysisStats::default());
+    let degraded = Mutex::new(BTreeMap::<String, Degradation>::new());
+
+    // Records a successful attempt: summary, stats, reports, and — when a
+    // budget/cap was hit or the attempt was a retry — a degradation entry.
+    let record = |name: &str,
+                  outcome: &SummarizeOutcome,
+                  ipp: IppOutcome,
+                  forced: Option<DegradeReason>,
+                  wall_ms: u64| {
+        let summary = build_summary(name, &outcome.path_entries, &ipp, outcome.partial);
+        {
+            let mut stats = stats.lock();
+            stats.functions_analyzed += 1;
+            stats.paths_enumerated += outcome.paths_enumerated;
+            stats.states_explored += outcome.states_explored;
+            stats.functions_partial += usize::from(outcome.partial);
+        }
+        reports.lock().extend(ipp.reports);
+        db.write().insert(summary);
+        if let Some(reason) = forced.or(outcome.degrade) {
+            let cost = FunctionCost {
+                paths: outcome.paths_enumerated,
+                states: outcome.states_explored,
+                wall_ms,
+            };
+            degraded.lock().insert(name.to_owned(), Degradation { reason, cost });
+        }
+    };
 
     // Group function indices by dependency level; all callees of level k
     // live strictly below k (intra-SCC calls excepted — those are broken
@@ -136,29 +244,36 @@ pub fn analyze_program(
 
     let threads = options.threads.max(1);
     for level in &by_level {
+        // First pass: every function in the level, possibly in parallel.
+        // A panicked function lands in `failed` (with its first-attempt
+        // cost) instead of tearing down the worker.
+        let failed = Mutex::new(Vec::<(usize, u64)>::new());
         let work = |idx: usize| {
             let func = functions[idx];
-            if !should_analyze(func.name()) {
+            let name = func.name();
+            if !should_analyze(name) {
                 return;
             }
-            let (outcome, ipp) = {
+            let meter = BudgetMeter::start(&options.budget, global_deadline);
+            let fuel = effective_fuel(&options.budget, faults, name);
+            let attempt = {
                 let snapshot = db.read();
-                let outcome =
-                    summarize_paths(func, &snapshot, &options.limits, options.sat);
-                let ipp = check_ipps(func.name(), &outcome.path_entries, options.sat);
-                (outcome, ipp)
+                guarded_attempt(
+                    func,
+                    &snapshot,
+                    &options.limits,
+                    options.sat,
+                    &meter,
+                    fuel,
+                    faults,
+                    0,
+                )
             };
-            let summary =
-                build_summary(func.name(), &outcome.path_entries, &ipp, outcome.partial);
-            {
-                let mut stats = stats.lock();
-                stats.functions_analyzed += 1;
-                stats.paths_enumerated += outcome.paths_enumerated;
-                stats.states_explored += outcome.states_explored;
-                stats.functions_partial += usize::from(outcome.partial);
+            let wall_ms = meter.elapsed().as_millis() as u64;
+            match attempt {
+                Ok((outcome, ipp)) => record(name, &outcome, ipp, None, wall_ms),
+                Err(()) => failed.lock().push((idx, wall_ms)),
             }
-            reports.lock().extend(ipp.reports);
-            db.write().insert(summary);
         };
 
         if threads == 1 || level.len() == 1 {
@@ -167,16 +282,61 @@ pub fn analyze_program(
             }
         } else {
             let cursor = AtomicUsize::new(0);
-            crossbeam::scope(|scope| {
+            std::thread::scope(|scope| {
                 for _ in 0..threads.min(level.len()) {
-                    scope.spawn(|_| loop {
+                    scope.spawn(|| loop {
                         let at = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(&idx) = level.get(at) else { break };
                         work(idx);
                     });
                 }
-            })
-            .expect("analysis worker panicked");
+            });
+        }
+
+        // Retry pass: sequential, in deterministic (index) order, with
+        // reduced limits. A second panic degrades the function to the
+        // default summary — the same §5.2 fallback as a cap hit — so the
+        // level always completes and callers above always find a summary.
+        let mut failed = failed.into_inner();
+        failed.sort_unstable();
+        let retry_limits = reduced_limits(&options.limits);
+        for (idx, first_ms) in failed {
+            let func = functions[idx];
+            let name = func.name();
+            let meter = BudgetMeter::start(&options.budget, global_deadline);
+            let fuel = effective_fuel(&options.budget, faults, name);
+            let attempt = {
+                let snapshot = db.read();
+                guarded_attempt(
+                    func,
+                    &snapshot,
+                    &retry_limits,
+                    options.sat,
+                    &meter,
+                    fuel,
+                    faults,
+                    1,
+                )
+            };
+            let wall_ms = first_ms + meter.elapsed().as_millis() as u64;
+            match attempt {
+                Ok((outcome, ipp)) => {
+                    record(name, &outcome, ipp, Some(DegradeReason::Retried), wall_ms);
+                }
+                Err(()) => {
+                    db.write().insert(Summary::default_for(name));
+                    {
+                        let mut stats = stats.lock();
+                        stats.functions_analyzed += 1;
+                        stats.functions_partial += 1;
+                    }
+                    let cost = FunctionCost { paths: 0, states: 0, wall_ms };
+                    degraded.lock().insert(
+                        name.to_owned(),
+                        Degradation { reason: DegradeReason::Panic, cost },
+                    );
+                }
+            }
         }
     }
 
@@ -193,12 +353,25 @@ pub fn analyze_program(
             .collect();
         for name in callbacks {
             let Some(func) = program.function(&name) else { continue };
-            let found = crate::callbacks::check_callback_function(
-                func,
-                &db,
-                &options.limits,
-                options.sat,
-            );
+            // The callback re-check gets the same panic isolation as the
+            // main pass: a blow-up skips this callback (recorded as a
+            // degradation unless the function already has one) instead of
+            // aborting the run.
+            let found = catch_unwind(AssertUnwindSafe(|| {
+                crate::callbacks::check_callback_function(
+                    func,
+                    &db,
+                    &options.limits,
+                    options.sat,
+                )
+            }));
+            let Ok(found) = found else {
+                degraded.lock().entry(name.clone()).or_insert(Degradation {
+                    reason: DegradeReason::Panic,
+                    cost: FunctionCost::default(),
+                });
+                continue;
+            };
             let mut reports = reports.lock();
             for report in found {
                 if !existing.contains(&(report.function.clone(), report.refcount.to_string()))
@@ -225,7 +398,13 @@ pub fn analyze_program(
         ))
     });
 
-    AnalysisResult { reports, summaries: db.into_inner(), classification, stats }
+    AnalysisResult {
+        reports,
+        summaries: db.into_inner(),
+        classification,
+        stats,
+        degraded: degraded.into_inner(),
+    }
 }
 
 /// Convenience: analyze RIL sources directly.

@@ -19,7 +19,8 @@ use std::collections::{BTreeMap, HashMap};
 use rid_ir::{BlockId, Function, Inst, InstId, Operand, Pred, Rvalue, Terminator};
 use rid_solver::{project, Conj, Lit, SatOptions, Subst, Term, Var};
 
-use crate::paths::{enumerate_paths, Path, PathLimits};
+use crate::budget::{BudgetMeter, DegradeReason};
+use crate::paths::{enumerate_paths_metered, Path, PathLimits};
 use crate::summary::{SummaryDb, SummaryEntry};
 
 /// A finalized path summary: one [`SummaryEntry`] plus provenance.
@@ -38,9 +39,13 @@ pub struct PathEntry {
 pub struct SummarizeOutcome {
     /// Finalized path entries, in deterministic order.
     pub path_entries: Vec<PathEntry>,
-    /// Whether any limit was hit (paths, subcases, or entries), in which
-    /// case the function summary must include the default entry (§5.2).
+    /// Whether any limit or budget was hit, in which case the function
+    /// summary must include the default entry (§5.2). Always equals
+    /// `degrade.is_some()`.
     pub partial: bool,
+    /// Why the analysis degraded, when it did (caps, fuel, or deadline;
+    /// the panic/retry reasons are assigned by the driver).
+    pub degrade: Option<DegradeReason>,
     /// Number of structural paths enumerated.
     pub paths_enumerated: usize,
     /// Number of symbolic states explored (feasible forks).
@@ -446,24 +451,65 @@ pub fn summarize_paths(
     limits: &PathLimits,
     sat: SatOptions,
 ) -> SummarizeOutcome {
-    let path_set = enumerate_paths(func, limits);
-    let mut outcome = SummarizeOutcome {
-        partial: path_set.truncated,
-        paths_enumerated: path_set.paths.len(),
-        ..Default::default()
-    };
+    summarize_paths_metered(func, db, limits, sat, &BudgetMeter::unlimited(), None)
+}
+
+/// Like [`summarize_paths`], but cooperative: polls `meter` between paths
+/// (and inside enumeration) and, when `fuel` is given, installs it as the
+/// ambient solver budget for the duration of the summarization. Budget
+/// exhaustion degrades the outcome exactly like a cap hit, with the
+/// reason recorded in [`SummarizeOutcome::degrade`].
+#[must_use]
+pub fn summarize_paths_metered(
+    func: &Function,
+    db: &SummaryDb,
+    limits: &PathLimits,
+    sat: SatOptions,
+    meter: &BudgetMeter,
+    fuel: Option<u64>,
+) -> SummarizeOutcome {
+    let _fuel_guard = fuel.map(rid_solver::fuel::install);
+    let path_set = enumerate_paths_metered(func, limits, meter);
+    let mut deadline = path_set.deadline_hit;
+    let path_cap = path_set.truncated && !path_set.deadline_hit;
+    let mut subcase_cap = false;
+    let mut entry_cap = false;
+    let mut outcome =
+        SummarizeOutcome { paths_enumerated: path_set.paths.len(), ..Default::default() };
     for (index, path) in path_set.paths.iter().enumerate() {
+        if meter.expired() {
+            deadline = true;
+            break;
+        }
         let mut executor = PathExecutor::new(func, db, limits, sat);
         let (entries, truncated, states) = executor.run_path(path, index);
-        outcome.partial |= truncated;
+        subcase_cap |= truncated;
         outcome.states_explored += states;
         outcome.path_entries.extend(entries);
         if outcome.path_entries.len() > limits.max_entries {
             outcome.path_entries.truncate(limits.max_entries);
-            outcome.partial = true;
+            entry_cap = true;
             break;
         }
     }
+    // Read the fuel flag while the guard is still installed. Severity
+    // order: an aborting condition (deadline) dominates, then fuel (the
+    // solver silently went approximate), then the structural caps.
+    let fuel_exhausted = fuel.is_some() && rid_solver::fuel::exhausted();
+    outcome.degrade = if deadline {
+        Some(DegradeReason::Deadline)
+    } else if fuel_exhausted {
+        Some(DegradeReason::SolverFuel)
+    } else if path_cap {
+        Some(DegradeReason::PathCap)
+    } else if subcase_cap {
+        Some(DegradeReason::SubcaseCap)
+    } else if entry_cap {
+        Some(DegradeReason::EntryCap)
+    } else {
+        None
+    };
+    outcome.partial = outcome.degrade.is_some();
     outcome
 }
 

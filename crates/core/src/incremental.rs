@@ -12,15 +12,20 @@
 //! graph, resummarizes only those (bottom-up, reusing every retained
 //! summary), and splices old and new reports together.
 
-use std::collections::HashSet;
+use std::collections::{BTreeMap, HashSet};
+use std::time::Instant;
 
 use rid_ir::Program;
 
+use crate::budget::{BudgetMeter, Degradation, DegradeReason, FunctionCost};
 use crate::callgraph::CallGraph;
-use crate::driver::{AnalysisOptions, AnalysisResult, AnalysisStats};
-use crate::exec::summarize_paths;
-use crate::ipp::{build_summary, check_ipps};
-use crate::summary::SummaryDb;
+use crate::driver::{
+    effective_fuel, guarded_attempt, reduced_limits, AnalysisOptions, AnalysisResult,
+    AnalysisStats,
+};
+use crate::fault::FaultPlan;
+use crate::ipp::build_summary;
+use crate::summary::{Summary, SummaryDb};
 
 /// The set of functions whose summaries a change invalidates: the changed
 /// functions plus all their transitive callers.
@@ -100,21 +105,87 @@ pub fn reanalyze(
         .cloned()
         .collect();
 
+    // Degradation records for unaffected functions are carried over, like
+    // their reports; re-analyzed functions get fresh records below.
+    let mut degraded: BTreeMap<String, Degradation> = previous
+        .degraded
+        .iter()
+        .filter(|(name, _)| !affected.contains(name.as_str()))
+        .map(|(name, d)| (name.clone(), *d))
+        .collect();
+
+    // Re-analysis runs under the same fault-tolerance regime as the full
+    // driver: budgets are metered and a panicking function is retried
+    // once with reduced limits, then degraded to the default summary.
+    let faults = FaultPlan::none();
+    let global_deadline = options.budget.global_deadline.map(|d| Instant::now() + d);
     let functions = program.functions();
     for i in graph.reverse_topological_order() {
         let func = functions[i];
-        if !should_analyze(func.name()) {
+        let name = func.name();
+        if !should_analyze(name) {
             continue;
         }
-        let outcome = summarize_paths(func, &db, &options.limits, options.sat);
-        let ipp = check_ipps(func.name(), &outcome.path_entries, options.sat);
-        let summary = build_summary(func.name(), &outcome.path_entries, &ipp, outcome.partial);
-        stats.functions_analyzed += 1;
-        stats.paths_enumerated += outcome.paths_enumerated;
-        stats.states_explored += outcome.states_explored;
-        stats.functions_partial += usize::from(outcome.partial);
-        reports.extend(ipp.reports);
-        db.insert(summary);
+        let fuel = effective_fuel(&options.budget, &faults, name);
+        let meter = BudgetMeter::start(&options.budget, global_deadline);
+        let first = guarded_attempt(
+            func,
+            &db,
+            &options.limits,
+            options.sat,
+            &meter,
+            fuel,
+            &faults,
+            0,
+        );
+        let first_ms = meter.elapsed().as_millis() as u64;
+        let (attempt, forced, wall_ms) = match first {
+            Ok(ok) => (Some(ok), None, first_ms),
+            Err(()) => {
+                let meter = BudgetMeter::start(&options.budget, global_deadline);
+                let retry = guarded_attempt(
+                    func,
+                    &db,
+                    &reduced_limits(&options.limits),
+                    options.sat,
+                    &meter,
+                    fuel,
+                    &faults,
+                    1,
+                );
+                let total = first_ms + meter.elapsed().as_millis() as u64;
+                (retry.ok(), Some(DegradeReason::Retried), total)
+            }
+        };
+        match attempt {
+            Some((outcome, ipp)) => {
+                let summary = build_summary(name, &outcome.path_entries, &ipp, outcome.partial);
+                stats.functions_analyzed += 1;
+                stats.paths_enumerated += outcome.paths_enumerated;
+                stats.states_explored += outcome.states_explored;
+                stats.functions_partial += usize::from(outcome.partial);
+                reports.extend(ipp.reports);
+                db.insert(summary);
+                if let Some(reason) = forced.or(outcome.degrade) {
+                    let cost = FunctionCost {
+                        paths: outcome.paths_enumerated,
+                        states: outcome.states_explored,
+                        wall_ms,
+                    };
+                    degraded.insert(name.to_owned(), Degradation { reason, cost });
+                }
+            }
+            None => {
+                db.insert(Summary::default_for(name));
+                stats.functions_analyzed += 1;
+                stats.functions_partial += 1;
+                let cost = FunctionCost { paths: 0, states: 0, wall_ms };
+                degraded.insert(
+                    name.to_owned(),
+                    Degradation { reason: DegradeReason::Panic, cost },
+                );
+            }
+        }
     }
 
     // Extensions follow the main pass: re-check affected callbacks with
@@ -161,6 +232,7 @@ pub fn reanalyze(
         summaries: db,
         classification: previous.classification.clone(),
         stats,
+        degraded,
     }
 }
 

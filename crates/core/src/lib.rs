@@ -49,12 +49,14 @@
 #![warn(missing_docs)]
 
 pub mod apis;
+pub mod budget;
 pub mod callbacks;
 pub mod callgraph;
 pub mod checks;
 pub mod classify;
 pub mod driver;
 pub mod exec;
+pub mod fault;
 pub mod incremental;
 pub mod ipp;
 pub mod mining;
@@ -64,13 +66,18 @@ pub mod report;
 pub mod slice;
 pub mod summary;
 
+pub use budget::{
+    degradation_summary_line, Budget, BudgetMeter, Degradation, DegradeReason, FunctionCost,
+};
 pub use callgraph::CallGraph;
 pub use classify::{Category, CategoryCounts, Classification};
 pub use driver::{
-    analyze_program, analyze_sources, AnalysisOptions, AnalysisResult, AnalysisStats,
+    analyze_program, analyze_program_with_faults, analyze_sources, AnalysisOptions,
+    AnalysisResult, AnalysisStats,
 };
-pub use exec::{summarize_paths, PathEntry, SummarizeOutcome};
+pub use exec::{summarize_paths, summarize_paths_metered, PathEntry, SummarizeOutcome};
+pub use fault::FaultPlan;
 pub use ipp::{check_ipps, IppOutcome, IppReport};
-pub use paths::{enumerate_paths, Path, PathLimits, PathSet};
+pub use paths::{enumerate_paths, enumerate_paths_metered, Path, PathLimits, PathSet};
 pub use report::{classify_report, render_report, render_reports, BugKind};
 pub use summary::{Summary, SummaryDb, SummaryEntry};

@@ -9,6 +9,8 @@
 use rid_ir::{BlockId, Function, Terminator};
 use serde::{Deserialize, Serialize};
 
+use crate::budget::BudgetMeter;
+
 /// Limits controlling path enumeration and symbolic execution (§5.2; the
 /// paper's evaluation uses 100 paths per function and 10 subcases per
 /// path, §6.1).
@@ -49,14 +51,30 @@ pub struct PathSet {
     /// Whether enumeration stopped early because [`PathLimits::max_paths`]
     /// was reached (the function then gets a default summary entry, §5.2).
     pub truncated: bool,
+    /// Whether enumeration stopped early because the budget deadline
+    /// passed (implies `truncated`).
+    pub deadline_hit: bool,
 }
 
 /// Enumerates all entry-to-exit paths of `func` under `limits`.
 #[must_use]
 pub fn enumerate_paths(func: &Function, limits: &PathLimits) -> PathSet {
+    enumerate_paths_metered(func, limits, &BudgetMeter::unlimited())
+}
+
+/// Like [`enumerate_paths`], but polls `meter` between DFS steps; when a
+/// deadline passes the enumeration stops with what it has (the function
+/// then degrades like a path-cap hit).
+#[must_use]
+pub fn enumerate_paths_metered(
+    func: &Function,
+    limits: &PathLimits,
+    meter: &BudgetMeter,
+) -> PathSet {
     let n = func.blocks().len();
     let mut paths = Vec::new();
     let mut truncated = false;
+    let mut deadline_hit = false;
 
     // Iterative DFS; each stack frame is (path-so-far, visit counts).
     struct Frame {
@@ -72,7 +90,15 @@ pub fn enumerate_paths(func: &Function, limits: &PathLimits) -> PathSet {
             truncated = true;
             break;
         }
-        let last = *frame.path.last().expect("paths are non-empty");
+        if meter.expired() {
+            truncated = true;
+            deadline_hit = true;
+            break;
+        }
+        // Frames always hold at least the entry block; an empty frame
+        // would be a construction bug, and skipping it beats poisoning
+        // the whole analysis with a panic.
+        let Some(&last) = frame.path.last() else { continue };
         match &func.block(last).term {
             Terminator::Return(_) => {
                 paths.push(Path { blocks: frame.path });
@@ -102,7 +128,7 @@ pub fn enumerate_paths(func: &Function, limits: &PathLimits) -> PathSet {
     if !stack.is_empty() {
         truncated = true;
     }
-    PathSet { paths, truncated }
+    PathSet { paths, truncated, deadline_hit }
 }
 
 #[cfg(test)]
@@ -223,6 +249,21 @@ mod tests {
         let f = b.finish().unwrap();
         let set = enumerate_paths(&f, &limits());
         assert_eq!(set.paths.len(), 1);
+    }
+
+    #[test]
+    fn expired_meter_stops_enumeration_with_deadline_flag() {
+        use crate::budget::Budget;
+        use std::time::{Duration, Instant};
+        let f = diamond();
+        let budget =
+            Budget { global_deadline: Some(Duration::ZERO), ..Budget::unlimited() };
+        let meter =
+            BudgetMeter::start(&budget, Some(Instant::now() - Duration::from_secs(1)));
+        let set = enumerate_paths_metered(&f, &limits(), &meter);
+        assert!(set.truncated);
+        assert!(set.deadline_hit);
+        assert!(set.paths.len() < 2, "enumeration stopped early: {:?}", set.paths);
     }
 
     #[test]

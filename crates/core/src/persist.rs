@@ -39,8 +39,9 @@ pub fn load_db(path: &Path) -> io::Result<SummaryDb> {
 }
 
 /// A persisted analysis state: everything [`crate::incremental::reanalyze`]
-/// needs to resume work in a later process (reports, summaries, and the
-/// classification; statistics are not carried over).
+/// needs to resume work in a later process (reports, summaries, the
+/// classification, and degradation records; statistics are not carried
+/// over).
 #[derive(Clone, Debug, Default, serde::Serialize, serde::Deserialize)]
 pub struct AnalysisState {
     /// Reports of the saved run.
@@ -49,6 +50,10 @@ pub struct AnalysisState {
     pub summaries: SummaryDb,
     /// Classification of the saved run.
     pub classification: crate::classify::Classification,
+    /// Degradation records of the saved run. Defaults to empty so states
+    /// saved before this field existed still load.
+    #[serde(default)]
+    pub degraded: std::collections::BTreeMap<String, crate::budget::Degradation>,
 }
 
 impl From<&AnalysisResult> for AnalysisState {
@@ -57,6 +62,7 @@ impl From<&AnalysisResult> for AnalysisState {
             reports: result.reports.clone(),
             summaries: result.summaries.clone(),
             classification: result.classification.clone(),
+            degraded: result.degraded.clone(),
         }
     }
 }
@@ -68,6 +74,7 @@ impl From<AnalysisState> for AnalysisResult {
             summaries: state.summaries,
             classification: state.classification,
             stats: crate::driver::AnalysisStats::default(),
+            degraded: state.degraded,
         }
     }
 }
@@ -214,6 +221,7 @@ pub fn analyze_modules_separately(
     let mut all_reports = Vec::new();
     let mut stats = crate::driver::AnalysisStats::default();
     let mut classification = crate::classify::Classification::default();
+    let mut degraded = std::collections::BTreeMap::new();
 
     for group in &plan.groups {
         let mut program = Program::new();
@@ -223,6 +231,7 @@ pub fn analyze_modules_separately(
         let result = analyze_program(&program, &db, options);
         db = result.summaries;
         all_reports.extend(result.reports);
+        degraded.extend(result.degraded);
         stats.functions_total += result.stats.functions_total;
         stats.functions_analyzed += result.stats.functions_analyzed;
         stats.paths_enumerated += result.stats.paths_enumerated;
@@ -241,7 +250,7 @@ pub fn analyze_modules_separately(
             b.path_b,
         ))
     });
-    Ok(AnalysisResult { reports: all_reports, summaries: db, classification, stats })
+    Ok(AnalysisResult { reports: all_reports, summaries: db, classification, stats, degraded })
 }
 
 #[cfg(test)]
@@ -355,6 +364,56 @@ mod tests {
             result.classification.category("leak")
         );
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn degradation_records_roundtrip() {
+        use crate::budget::{Degradation, DegradeReason, FunctionCost};
+        let mut result = crate::driver::analyze_sources(
+            ["module m; fn f(dev) { pm_runtime_get(dev); pm_runtime_put(dev); return; }"],
+            &linux_dpm_apis(),
+            &AnalysisOptions::default(),
+        )
+        .unwrap();
+        result.degraded.insert(
+            "f".to_owned(),
+            Degradation {
+                reason: DegradeReason::Deadline,
+                cost: FunctionCost { paths: 12, states: 34, wall_ms: 56 },
+            },
+        );
+        result.degraded.insert(
+            "g".to_owned(),
+            Degradation { reason: DegradeReason::Panic, cost: FunctionCost::default() },
+        );
+
+        let dir = std::env::temp_dir().join("rid-degrade-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("state.json");
+        save_state(&result, &path).unwrap();
+        let back = load_state(&path).unwrap();
+        assert_eq!(back.degraded, result.degraded);
+        let f = &back.degraded["f"];
+        assert_eq!(f.reason, DegradeReason::Deadline);
+        assert_eq!((f.cost.paths, f.cost.states, f.cost.wall_ms), (12, 34, 56));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn old_states_without_degradations_still_load() {
+        // A state serialized before the `degraded` field existed: the
+        // field is absent from the JSON and must default to empty. Build
+        // such a state by stripping the field from a fresh serialization.
+        let full = serde_json::to_string(&AnalysisState::default()).unwrap();
+        let json = full
+            .replace(",\"degraded\":{}", "")
+            .replace("\"degraded\":{},", "")
+            .replace("\"degraded\":{}", "");
+        assert_ne!(full, json, "new states must carry the degraded field");
+        let state: AnalysisState = serde_json::from_str(&json).unwrap();
+        assert!(state.degraded.is_empty());
+        let result: AnalysisResult = state.into();
+        assert!(result.degraded.is_empty());
     }
 
     #[test]

@@ -276,7 +276,7 @@ mod tests {
         // caller; the result goes into call-site 7's return variable.
         let actual = Term::var(Var::formal(0)).field("dev");
         let ret_var = Term::var(Var::call_ret(7, 0));
-        let inst = entry.instantiate(&[actual.clone()], &ret_var, 7);
+        let inst = entry.instantiate(std::slice::from_ref(&actual), &ret_var, 7);
         let key = actual.field("pm");
         assert_eq!(inst.change(&key), 1);
         assert_eq!(inst.ret, Some(ret_var));

@@ -106,6 +106,15 @@ pub struct KernelConfig {
     /// Probability (percent) that a correct probe checks the get's error
     /// code (entering the §6.3 census as a non-buggy site).
     pub pct_probe_error_checked: u32,
+    /// Adversarial modules appended to the corpus (0 = none, the
+    /// default). Each holds path-explosive and wide-branching functions
+    /// that stress the analysis limits/budgets without seeding bugs.
+    #[serde(default)]
+    pub adversarial_modules: usize,
+    /// Diamonds chained in each adversarial path-explosion function
+    /// (structural paths = 2^depth).
+    #[serde(default)]
+    pub adversarial_depth: usize,
 }
 
 impl KernelConfig {
@@ -157,6 +166,8 @@ impl Default for KernelConfig {
             w_irq: 8,
             w_loop: 5,
             pct_probe_error_checked: 10,
+            adversarial_modules: 0,
+            adversarial_depth: 12,
         }
     }
 }
@@ -174,6 +185,9 @@ pub struct KernelCorpus {
     pub census: Vec<GetCallSite>,
     /// Total functions generated.
     pub function_count: usize,
+    /// Adversarial (limit-stressing, bug-free) functions, when
+    /// [`KernelConfig::adversarial_modules`] > 0.
+    pub adversarial_functions: Vec<String>,
 }
 
 impl KernelCorpus {
@@ -270,7 +284,49 @@ pub fn generate_kernel(config: &KernelConfig) -> KernelCorpus {
         }
     }
 
+    // Adversarial modules come last so corpora generated with the knob off
+    // are byte-identical to pre-knob corpora of the same seed.
+    for a_idx in 0..config.adversarial_modules {
+        let source = adversarial_module(&mut g, a_idx, config.adversarial_depth);
+        g.corpus.sources.push(source);
+    }
+
     g.corpus
+}
+
+/// One adversarial module: a path-explosion function (a chain of `depth`
+/// diamonds ⇒ 2^depth structural paths) and a wide equality-switch
+/// function. Both are balanced (no seeded bugs) and category 1 (they call
+/// refcount APIs), so selective analysis cannot skip them — they exist to
+/// stress path caps, deadlines, and solver budgets.
+fn adversarial_module(g: &mut Gen, idx: usize, depth: usize) -> String {
+    let mut out = format!("module adversarial{idx};\n");
+    out.push_str("extern fn pm_runtime_get_sync;\nextern fn pm_runtime_put;\n\n");
+
+    let explosive = format!("adv{idx}_paths");
+    let _ = write!(out, "fn {explosive}(dev) {{\n    pm_runtime_get_sync(dev);\n");
+    for d in 0..depth.max(1) {
+        let _ = write!(
+            out,
+            "    let c{d} = random;\n    if (c{d} < 0) {{ dev.aux{d} = 1; }}\n"
+        );
+    }
+    out.push_str("    pm_runtime_put(dev);\n    return 0;\n}\n\n");
+
+    let switch = format!("adv{idx}_switch");
+    let _ = write!(
+        out,
+        "fn {switch}(dev, x) {{\n    pm_runtime_get_sync(dev);\n    pm_runtime_put(dev);\n"
+    );
+    for arm in 0..32 {
+        let _ = writeln!(out, "    if (x == {arm}) {{ return {arm}; }}");
+    }
+    out.push_str("    return -1;\n}\n");
+
+    g.corpus.function_count += 2;
+    g.corpus.adversarial_functions.push(explosive);
+    g.corpus.adversarial_functions.push(switch);
+    out
 }
 
 fn subsystem_name(idx: usize) -> String {
@@ -607,7 +663,7 @@ fn emit_helpers(g: &mut Gen, out: &mut String, drv: &str) {
 "#
     );
     // Category-2 skipped: >3 conditional branches.
-    let _ = write!(out, "fn {drv}_hw_init(dev) {{\n");
+    let _ = writeln!(out, "fn {drv}_hw_init(dev) {{");
     for i in 0..5 {
         let _ = write!(
             out,
@@ -663,20 +719,20 @@ fn filler_module(idx: usize, functions: usize) -> String {
             3 => ("inc", "dec"),
             _ => ("grab", "drop"),
         };
-        let _ = write!(
+        let _ = writeln!(
             out,
-            "fn filler{idx}_init(x) {{ {family}_{inc}(x); {family}_{dec}(x); return; }}\n"
+            "fn filler{idx}_init(x) {{ {family}_{inc}(x); {family}_{dec}(x); return; }}"
         );
     }
     for f in 0..functions {
         if f + 1 < functions && f % 3 == 0 {
-            let _ = write!(
+            let _ = writeln!(
                 out,
-                "fn filler{idx}_f{f}(x) {{ filler{idx}_f{}(x); return; }}\n",
+                "fn filler{idx}_f{f}(x) {{ filler{idx}_f{}(x); return; }}",
                 f + 1
             );
         } else {
-            let _ = write!(out, "fn filler{idx}_f{f}(x) {{ return x; }}\n");
+            let _ = writeln!(out, "fn filler{idx}_f{f}(x) {{ return x; }}");
         }
     }
     out
@@ -740,6 +796,32 @@ mod tests {
         let tiny_corpus = generate_kernel(&KernelConfig::tiny(1));
         let eval_corpus = generate_kernel(&base.scaled(0.1));
         assert!(eval_corpus.function_count > tiny_corpus.function_count);
+    }
+
+    #[test]
+    fn adversarial_knob_defaults_off_and_appends() {
+        // Knob off ⇒ corpora identical to pre-knob generation.
+        let plain = generate_kernel(&KernelConfig::tiny(3));
+        assert!(plain.adversarial_functions.is_empty());
+
+        let config = KernelConfig {
+            adversarial_modules: 2,
+            adversarial_depth: 4,
+            ..KernelConfig::tiny(3)
+        };
+        let adv = generate_kernel(&config);
+        // The adversarial modules append; everything before is unchanged.
+        assert_eq!(adv.sources[..plain.sources.len()], plain.sources[..]);
+        assert_eq!(adv.sources.len(), plain.sources.len() + 2);
+        assert_eq!(adv.adversarial_functions.len(), 4);
+        assert_eq!(adv.bugs, plain.bugs, "adversarial functions seed no bugs");
+        assert_eq!(adv.function_count, plain.function_count + 4);
+
+        let program = parse_program(adv.sources.iter().map(String::as_str))
+            .expect("adversarial corpus must parse");
+        for name in &adv.adversarial_functions {
+            assert!(program.function(name).is_some(), "missing {name}");
+        }
     }
 
     #[test]

@@ -113,6 +113,7 @@ pub enum Stmt {
         span: Span,
     },
     /// An expression statement (a call whose result is discarded).
+    #[allow(clippy::enum_variant_names)]
     ExprStmt {
         /// The call expression.
         expr: Expr,

@@ -1,0 +1,114 @@
+//! Cooperative solver fuel accounting.
+//!
+//! The analysis driver gives each function a *fuel* budget bounding the
+//! work the constraint solver may perform on its behalf: Floyd–Warshall
+//! relaxation sweeps in [`crate::Conj::is_sat`]-style checks and
+//! DPLL-style disequality splits both consume fuel. When the budget runs
+//! out the solver degrades exactly like its built-in split budget (§5.4 of
+//! the paper): it stops refining and answers "satisfiable", erring toward
+//! false positives, never false negatives.
+//!
+//! Fuel is ambient, thread-local state rather than a parameter so that
+//! [`crate::SatOptions`] stays a small `Copy` struct and existing call
+//! sites keep their signatures. The driver installs a budget with
+//! [`install`] around one function's summarization; the guard restores the
+//! previous budget (usually "unlimited") on drop, so nested or re-entrant
+//! installs behave like a stack. With no budget installed every [`spend`]
+//! succeeds and the solver is exact.
+
+use std::cell::Cell;
+
+thread_local! {
+    static REMAINING: Cell<Option<u64>> = const { Cell::new(None) };
+    static EXHAUSTED: Cell<bool> = const { Cell::new(false) };
+}
+
+/// RAII guard for an installed fuel budget; restores the previous budget
+/// (and exhaustion flag) when dropped.
+#[derive(Debug)]
+pub struct FuelGuard {
+    prev_remaining: Option<u64>,
+    prev_exhausted: bool,
+}
+
+impl Drop for FuelGuard {
+    fn drop(&mut self) {
+        REMAINING.set(self.prev_remaining);
+        EXHAUSTED.set(self.prev_exhausted);
+    }
+}
+
+/// Installs a fuel budget of `units` on the current thread and resets the
+/// exhaustion flag. Solver entry points on this thread draw from the
+/// budget until the guard is dropped.
+#[must_use]
+pub fn install(units: u64) -> FuelGuard {
+    let prev_remaining = REMAINING.replace(Some(units));
+    let prev_exhausted = EXHAUSTED.replace(false);
+    FuelGuard { prev_remaining, prev_exhausted }
+}
+
+/// Spends `units` of fuel. Returns `false` — and latches the exhaustion
+/// flag — when the installed budget cannot cover them; always returns
+/// `true` when no budget is installed.
+pub fn spend(units: u64) -> bool {
+    REMAINING.with(|cell| match cell.get() {
+        None => true,
+        Some(left) if left >= units => {
+            cell.set(Some(left - units));
+            true
+        }
+        Some(_) => {
+            cell.set(Some(0));
+            EXHAUSTED.set(true);
+            false
+        }
+    })
+}
+
+/// Whether the current budget has been exhausted since [`install`].
+#[must_use]
+pub fn exhausted() -> bool {
+    EXHAUSTED.get()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unlimited_by_default() {
+        assert!(spend(u64::MAX));
+        assert!(!exhausted());
+    }
+
+    #[test]
+    fn budget_depletes_and_latches() {
+        let guard = install(3);
+        assert!(spend(2));
+        assert!(!exhausted());
+        assert!(!spend(2), "only 1 unit left");
+        assert!(exhausted());
+        assert!(!spend(1), "budget pinned at zero after exhaustion");
+        drop(guard);
+        assert!(!exhausted());
+        assert!(spend(1_000_000));
+    }
+
+    #[test]
+    fn guards_nest_like_a_stack() {
+        let outer = install(10);
+        assert!(spend(4));
+        {
+            let inner = install(1);
+            assert!(!spend(5));
+            assert!(exhausted());
+            drop(inner);
+        }
+        // The outer budget resumes where it left off.
+        assert!(!exhausted());
+        assert!(spend(6));
+        assert!(!spend(1));
+        drop(outer);
+    }
+}

@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 mod conj;
+pub mod fuel;
 mod lit;
 mod project;
 mod sat;

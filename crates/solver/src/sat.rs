@@ -123,9 +123,17 @@ impl DiffSystem {
     }
 
     /// Floyd–Warshall closure.
+    ///
+    /// Each pivot sweep costs `n²` fuel; when the ambient budget
+    /// ([`crate::fuel`]) runs out the closure stops early. A partially
+    /// closed matrix only has *looser* bounds, so every later answer
+    /// degrades toward "satisfiable" — the conservative direction.
     pub(crate) fn close(&mut self) {
         let n = self.nodes.len();
         for k in 0..n {
+            if !crate::fuel::spend((n * n) as u64) {
+                return;
+            }
             for i in 0..n {
                 let dik = self.d[i][k];
                 if dik >= INF {
@@ -213,14 +221,14 @@ impl DiffSystem {
         // dist[i] = min over j of d[j][i] and 0 (the virtual source edge);
         // valid because the matrix is already transitively closed.
         let mut dist = vec![0i64; n];
-        for i in 0..n {
+        for (i, slot) in dist.iter_mut().enumerate() {
             let mut best = 0i64;
             for j in 0..n {
                 if self.d[j][i] < best && self.d[j][i] > -INF {
                     best = self.d[j][i];
                 }
             }
-            dist[i] = best;
+            *slot = best;
         }
         let shift = dist[0];
         (1..n).map(|i| (self.nodes[i].clone(), dist[i] - shift)).collect()
@@ -242,7 +250,7 @@ fn solve_with_diseqs(
         if lo == hi {
             return None;
         }
-        if *budget == 0 {
+        if *budget == 0 || !crate::fuel::spend(1) {
             // Budget exhausted: refine anyway so the model respects this
             // disequality even if the remaining ones go unchecked.
         }
@@ -278,9 +286,10 @@ fn sat_with_diseqs(sys: &DiffSystem, diseqs: &[(usize, usize, i64)], budget: &mu
             return false;
         }
         // Ambiguous: case split.
-        if *budget == 0 {
-            // Budget exhausted — give up and declare satisfiable (biases
-            // toward false positives, never false negatives; see §5.4).
+        if *budget == 0 || !crate::fuel::spend(1) {
+            // Budget (or ambient fuel) exhausted — give up and declare
+            // satisfiable (biases toward false positives, never false
+            // negatives; see §5.4).
             return true;
         }
         *budget -= 1;

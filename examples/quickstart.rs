@@ -8,6 +8,9 @@
 //! cargo run --example quickstart
 //! ```
 
+// The paper's worked example really is named `foo`.
+#![allow(clippy::disallowed_names)]
+
 use rid::core::{check_ipps, render_reports, summarize_paths, PathLimits, SummaryDb};
 use rid::core::ipp::build_summary;
 use rid::ir::{FunctionBuilder, Operand, Pred, Rvalue};
