@@ -1,0 +1,66 @@
+//! Criterion benchmark for the execution-tree optimization: the same
+//! function summarized in per-path reference mode vs shared-prefix tree
+//! mode (incremental solver + memo cache). The branchy shape (k sequential
+//! two-way branches ⇒ 2^k structural paths over ~k distinct blocks) is the
+//! best case for prefix sharing and the shape kernel drivers actually
+//! have (a chain of `if (err) goto out;` checks).
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use rid_core::apis::linux_dpm_apis;
+use rid_core::budget::BudgetMeter;
+use rid_core::{summarize_paths_mode, ExecMode, PathLimits};
+use rid_solver::SatOptions;
+
+/// A driver-shaped function with `k` sequential error checks.
+fn branchy_source(k: usize) -> String {
+    let mut body = String::from("module bench;\nfn branchy(dev) {\n");
+    body.push_str("    assume dev != null;\n    pm_runtime_get_sync(dev);\n");
+    for i in 0..k {
+        body.push_str(&format!(
+            "    let c{i} = probe{i}(dev);\n    if (c{i} < 0) {{ log{i}(dev); }}\n"
+        ));
+    }
+    body.push_str("    pm_runtime_put(dev);\n    return 0;\n}\n");
+    body
+}
+
+fn bench_modes(c: &mut Criterion) {
+    let source = branchy_source(6);
+    let module = rid_frontend::parse_module(&source).unwrap();
+    let func = module.function("branchy").unwrap().clone();
+    let db = linux_dpm_apis();
+    let limits = PathLimits::default();
+    let meter = BudgetMeter::unlimited();
+
+    let mut group = c.benchmark_group("exec_tree");
+    group.bench_function("summarize_2^6_per_path", |b| {
+        b.iter(|| {
+            black_box(summarize_paths_mode(
+                black_box(&func),
+                &db,
+                &limits,
+                SatOptions::default(),
+                &meter,
+                None,
+                ExecMode::PerPath,
+            ))
+        });
+    });
+    group.bench_function("summarize_2^6_tree", |b| {
+        b.iter(|| {
+            black_box(summarize_paths_mode(
+                black_box(&func),
+                &db,
+                &limits,
+                SatOptions::default(),
+                &meter,
+                None,
+                ExecMode::Tree,
+            ))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_modes);
+criterion_main!(benches);

@@ -1,28 +1,150 @@
-//! Regenerates the **§6.5 performance** claim: classification and
-//! analysis wall-clock across corpus scales, and the concentration effect
-//! of selective analysis (the paper: 64 min to classify 270k functions,
-//! 67 min to analyze the kernel; selective analysis concentrates work on
-//! <2% of functions).
+//! Regenerates the **§6.5 performance** claim and persists a
+//! machine-readable baseline.
+//!
+//! For each corpus scale the binary parses the seeded kernel corpus once,
+//! then runs the whole-program analysis `--iters` times per execution
+//! mode (tree and per-path), keeping the *minimum* wall-clock per phase
+//! (minimum-of-N is the standard noise filter for sub-second runs). The
+//! human-readable table goes to stdout; the machine-readable baseline —
+//! per-phase wall-clock, sat-query/memo-hit counters, and states
+//! executed vs saved by prefix sharing — is written to `BENCH_perf.json`
+//! (override with `--out`), which CI validates and archives.
 //!
 //! ```text
-//! cargo run -p rid-bench --release --bin perf [-- --seed N] [--threads N]
+//! cargo run -p rid-bench --release --bin perf -- \
+//!     [--seed N] [--threads N] [--scale F] [--iters N] [--out PATH]
 //! ```
+//!
+//! `--scale` restricts the run to a single scale (CI smoke uses 0.25);
+//! the default sweep is 0.25 / 0.5 / 1.0.
 
 use std::time::Instant;
 
 use rid_bench::format_table;
-use rid_core::{AnalysisOptions, CallGraph};
+use rid_core::{AnalysisOptions, AnalysisResult, ExecMode};
 use rid_corpus::kernel::{generate_kernel, KernelConfig};
+use serde::Serialize;
 
 #[path = "../args.rs"]
 mod args;
 
+/// One measured analysis configuration (a scale × mode cell).
+#[derive(Serialize)]
+struct ModeRecord {
+    /// Wall-clock of the classification phase (seconds, min over iters).
+    classify_s: f64,
+    /// Wall-clock of summarization + IPP checking (seconds, min over
+    /// iters) — the phase the execution tree accelerates.
+    analyze_s: f64,
+    /// Functions symbolically analyzed.
+    functions_analyzed: usize,
+    /// Structural paths enumerated.
+    paths_enumerated: usize,
+    /// Symbolic states executed (initial states + call forks + tree
+    /// branch forks).
+    states_explored: usize,
+    /// Satisfiability queries issued.
+    sat_queries: usize,
+    /// Of those, answered by the conjunction-keyed memo cache.
+    sat_memo_hits: usize,
+    /// Basic blocks symbolically executed.
+    blocks_executed: usize,
+    /// Block executions saved by shared-prefix execution (0 in per-path
+    /// mode by construction).
+    blocks_saved: usize,
+    /// Bug reports found (must agree across modes).
+    reports: usize,
+}
+
+#[derive(Serialize)]
+struct ScaleRecord {
+    scale: f64,
+    functions: usize,
+    /// Corpus parse wall-clock (seconds; shared by both modes).
+    parse_s: f64,
+    tree: ModeRecord,
+    per_path: ModeRecord,
+    /// `per_path.analyze_s / tree.analyze_s`.
+    analyze_speedup: f64,
+}
+
+/// The branchy workload: adversarial modules whose functions chain
+/// diamonds (2^depth structural paths, truncated by the path cap). This
+/// is the CFG shape the execution tree targets — long shared prefixes
+/// across many enumerated paths — and the shape real kernel drivers
+/// have (chains of `if (err) goto out;`). The evaluation corpus cannot
+/// show it: classification skips functions with more than three
+/// branches, so surviving functions have at most a handful of paths.
+#[derive(Serialize)]
+struct AdversarialRecord {
+    modules: usize,
+    depth: usize,
+    functions: usize,
+    parse_s: f64,
+    tree: ModeRecord,
+    per_path: ModeRecord,
+    /// `per_path.analyze_s / tree.analyze_s`.
+    analyze_speedup: f64,
+}
+
+#[derive(Serialize)]
+struct PerfBaseline {
+    schema: String,
+    seed: u64,
+    threads: usize,
+    iters: usize,
+    scales: Vec<ScaleRecord>,
+    adversarial: AdversarialRecord,
+}
+
+fn measure(
+    program: &rid_ir::Program,
+    mode: ExecMode,
+    threads: usize,
+    iters: usize,
+) -> ModeRecord {
+    let options = AnalysisOptions { threads, exec_mode: mode, ..Default::default() };
+    let mut best: Option<(f64, f64, AnalysisResult)> = None;
+    for _ in 0..iters.max(1) {
+        let result =
+            rid_core::analyze_program(program, &rid_core::apis::linux_dpm_apis(), &options);
+        let classify = result.stats.classify_time.as_secs_f64();
+        let analyze = result.stats.analyze_time.as_secs_f64();
+        let better = match &best {
+            Some((_, prev_analyze, _)) => analyze < *prev_analyze,
+            None => true,
+        };
+        if better {
+            best = Some((classify, analyze, result));
+        }
+    }
+    let (classify_s, analyze_s, result) = best.expect("at least one iteration");
+    ModeRecord {
+        classify_s,
+        analyze_s,
+        functions_analyzed: result.stats.functions_analyzed,
+        paths_enumerated: result.stats.paths_enumerated,
+        states_explored: result.stats.states_explored,
+        sat_queries: result.stats.sat_queries,
+        sat_memo_hits: result.stats.sat_memo_hits,
+        blocks_executed: result.stats.blocks_executed,
+        blocks_saved: result.stats.blocks_saved,
+        reports: result.reports.len(),
+    }
+}
+
 fn main() {
     let seed: u64 = args::flag("seed").unwrap_or(2016);
     let threads: usize = args::flag("threads").unwrap_or(1);
-    let scales = [0.25, 0.5, 1.0, 2.0];
+    let iters: usize = args::flag("iters").unwrap_or(3);
+    let out: String = args::flag("out").unwrap_or_else(|| "BENCH_perf.json".to_owned());
+    let scales: Vec<f64> = match args::flag::<f64>("scale") {
+        Some(s) => vec![s],
+        None => vec![0.25, 0.5, 1.0],
+    };
 
     let mut rows = Vec::new();
+    let mut records = Vec::new();
     for &scale in &scales {
         let config = KernelConfig::evaluation(seed).scaled(scale);
         eprintln!("scale {scale}: generating...");
@@ -30,51 +152,112 @@ fn main() {
         let parse_start = Instant::now();
         let program = rid_frontend::parse_program(corpus.sources.iter().map(String::as_str))
             .expect("corpus must parse");
-        let parse_time = parse_start.elapsed();
+        let parse_s = parse_start.elapsed().as_secs_f64();
 
-        // Phase timings mirroring the paper's split: classification vs
-        // summarization+IPP checking.
-        let classify_start = Instant::now();
-        let graph = CallGraph::build(&program);
-        let classification = rid_core::classify::classify(
-            &program,
-            &graph,
-            &rid_core::apis::linux_dpm_apis(),
+        let tree = measure(&program, ExecMode::Tree, threads, iters);
+        let per_path = measure(&program, ExecMode::PerPath, threads, iters);
+        assert_eq!(
+            tree.reports, per_path.reports,
+            "modes disagree on reports at scale {scale}"
         );
-        let classify_time = classify_start.elapsed();
+        let analyze_speedup = per_path.analyze_s / tree.analyze_s.max(1e-9);
 
-        let options = AnalysisOptions { threads, ..Default::default() };
-        let analyze_start = Instant::now();
-        let result =
-            rid_core::analyze_program(&program, &rid_core::apis::linux_dpm_apis(), &options);
-        let analyze_time = analyze_start.elapsed();
-
-        let counts = classification.counts();
         rows.push(vec![
             format!("{scale}"),
             program.function_count().to_string(),
-            format!("{:.2}s", parse_time.as_secs_f64()),
-            format!("{:.2}s", classify_time.as_secs_f64()),
-            format!("{:.2}s", analyze_time.as_secs_f64()),
-            result.stats.functions_analyzed.to_string(),
-            format!(
-                "{:.2}%",
-                100.0 * (counts.refcount_changing + counts.affecting_analyzed) as f64
-                    / counts.total().max(1) as f64
-            ),
+            format!("{parse_s:.2}s"),
+            format!("{:.3}s", tree.classify_s),
+            format!("{:.3}s", per_path.analyze_s),
+            format!("{:.3}s", tree.analyze_s),
+            format!("{analyze_speedup:.2}x"),
+            format!("{}/{}", tree.sat_memo_hits, tree.sat_queries),
+            format!("{}/{}", tree.blocks_saved, tree.blocks_saved + tree.blocks_executed),
         ]);
+        records.push(ScaleRecord {
+            scale,
+            functions: program.function_count(),
+            parse_s,
+            tree,
+            per_path,
+            analyze_speedup,
+        });
     }
 
-    println!("§6.5: performance scaling ({} thread(s))", threads);
+    // The branchy workload (see [`AdversarialRecord`]).
+    let adv_modules = 6;
+    let adv_depth = 14;
+    let adv_config = KernelConfig {
+        adversarial_modules: adv_modules,
+        adversarial_depth: adv_depth,
+        subsystems: 1,
+        drivers_per_subsystem: 1,
+        filler_modules: 1,
+        filler_functions_per_module: 1,
+        ..KernelConfig::evaluation(seed)
+    };
+    eprintln!("adversarial: generating...");
+    let adv_corpus = generate_kernel(&adv_config);
+    let parse_start = Instant::now();
+    let adv_program = rid_frontend::parse_program(adv_corpus.sources.iter().map(String::as_str))
+        .expect("adversarial corpus must parse");
+    let adv_parse_s = parse_start.elapsed().as_secs_f64();
+    let adv_tree = measure(&adv_program, ExecMode::Tree, threads, iters);
+    let adv_per_path = measure(&adv_program, ExecMode::PerPath, threads, iters);
+    assert_eq!(adv_tree.reports, adv_per_path.reports, "modes disagree on adversarial reports");
+    let adv_speedup = adv_per_path.analyze_s / adv_tree.analyze_s.max(1e-9);
+    rows.push(vec![
+        format!("adv 2^{adv_depth}"),
+        adv_program.function_count().to_string(),
+        format!("{adv_parse_s:.2}s"),
+        format!("{:.3}s", adv_tree.classify_s),
+        format!("{:.3}s", adv_per_path.analyze_s),
+        format!("{:.3}s", adv_tree.analyze_s),
+        format!("{adv_speedup:.2}x"),
+        format!("{}/{}", adv_tree.sat_memo_hits, adv_tree.sat_queries),
+        format!("{}/{}", adv_tree.blocks_saved, adv_tree.blocks_saved + adv_tree.blocks_executed),
+    ]);
+    let adversarial = AdversarialRecord {
+        modules: adv_modules,
+        depth: adv_depth,
+        functions: adv_program.function_count(),
+        parse_s: adv_parse_s,
+        tree: adv_tree,
+        per_path: adv_per_path,
+        analyze_speedup: adv_speedup,
+    };
+
+    println!("§6.5: performance scaling ({threads} thread(s), min of {iters} runs)");
     println!();
     println!(
         "{}",
         format_table(
-            &["scale", "functions", "parse", "classify", "analyze", "analyzed fns", "analyzed %"],
+            &[
+                "scale",
+                "functions",
+                "parse",
+                "classify",
+                "analyze/path",
+                "analyze/tree",
+                "speedup",
+                "memo hits",
+                "blocks saved",
+            ],
             &rows
         )
     );
     println!("paper reference: classify 270k functions in 64 min; analyze in 67 min;");
-    println!("the shape to check: classify and analyze are the same order of magnitude");
-    println!("and selective analysis touches only a small percentage of functions.");
+    println!("the shape to check: tree-mode analysis beats per-path re-execution while");
+    println!("producing byte-identical summaries (the differential suite enforces that).");
+
+    let baseline = PerfBaseline {
+        schema: "rid-bench-perf/v1".to_owned(),
+        seed,
+        threads,
+        iters,
+        scales: records,
+        adversarial,
+    };
+    let json = serde_json::to_string(&baseline).expect("baseline serializes");
+    std::fs::write(&out, json).expect("baseline written");
+    eprintln!("wrote {out}");
 }

@@ -129,8 +129,9 @@ pub fn strip_ret_conditions(cons: &Conj) -> Conj {
     if cons.is_trivially_false() {
         return Conj::unsat();
     }
+    let mut vars = Vec::new();
     for lit in cons.lits() {
-        let mut vars = Vec::new();
+        vars.clear();
         lit.collect_vars(&mut vars);
         if vars.iter().any(|v| v.kind == VarKind::Ret) {
             continue;

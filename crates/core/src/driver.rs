@@ -29,7 +29,7 @@ use serde::{Deserialize, Serialize};
 use crate::budget::{Budget, BudgetMeter, Degradation, DegradeReason, FunctionCost};
 use crate::callgraph::CallGraph;
 use crate::classify::{classify, CategoryCounts, Classification};
-use crate::exec::{summarize_paths_metered, SummarizeOutcome};
+use crate::exec::{summarize_paths_mode, ExecMode, SummarizeOutcome};
 use crate::fault::FaultPlan;
 use crate::ipp::{build_summary, check_ipps, IppOutcome, IppReport};
 use crate::paths::PathLimits;
@@ -54,6 +54,10 @@ pub struct AnalysisOptions {
     pub check_callbacks: bool,
     /// Wall-clock / solver-fuel budgets; unlimited by default.
     pub budget: Budget,
+    /// Execution strategy for summarization: shared-prefix tree execution
+    /// with incremental solving (default), or the standalone per-path
+    /// reference mode. Both produce identical summaries.
+    pub exec_mode: ExecMode,
 }
 
 impl Default for AnalysisOptions {
@@ -65,6 +69,7 @@ impl Default for AnalysisOptions {
             threads: 1,
             check_callbacks: false,
             budget: Budget::unlimited(),
+            exec_mode: ExecMode::default(),
         }
     }
 }
@@ -84,6 +89,15 @@ pub struct AnalysisStats {
     pub functions_partial: usize,
     /// Table-1 census (zeroed when selective analysis is off).
     pub counts: CategoryCounts,
+    /// Satisfiability queries issued by the executors.
+    pub sat_queries: usize,
+    /// Of those, answered from the conjunction-keyed memo cache.
+    pub sat_memo_hits: usize,
+    /// Basic blocks executed symbolically.
+    pub blocks_executed: usize,
+    /// Blocks skipped thanks to shared-prefix tree execution (an upper
+    /// bound; 0 in per-path mode).
+    pub blocks_saved: usize,
     /// Wall-clock time spent classifying.
     pub classify_time: Duration,
     /// Wall-clock time spent summarizing + IPP checking.
@@ -133,10 +147,11 @@ pub(crate) fn guarded_attempt(
     fuel: Option<u64>,
     faults: &FaultPlan,
     attempt: u32,
+    mode: ExecMode,
 ) -> Result<(SummarizeOutcome, IppOutcome), ()> {
     catch_unwind(AssertUnwindSafe(|| {
         faults.inject(func.name(), attempt);
-        let outcome = summarize_paths_metered(func, db, limits, sat, meter, fuel);
+        let outcome = summarize_paths_mode(func, db, limits, sat, meter, fuel, mode);
         let ipp = check_ipps(func.name(), &outcome.path_entries, sat);
         (outcome, ipp)
     }))
@@ -219,6 +234,10 @@ pub fn analyze_program_with_faults(
             stats.paths_enumerated += outcome.paths_enumerated;
             stats.states_explored += outcome.states_explored;
             stats.functions_partial += usize::from(outcome.partial);
+            stats.sat_queries += outcome.sat_queries;
+            stats.sat_memo_hits += outcome.sat_memo_hits;
+            stats.blocks_executed += outcome.blocks_executed;
+            stats.blocks_saved += outcome.blocks_saved;
         }
         reports.lock().extend(ipp.reports);
         db.write().insert(summary);
@@ -267,6 +286,7 @@ pub fn analyze_program_with_faults(
                     fuel,
                     faults,
                     0,
+                    options.exec_mode,
                 )
             };
             let wall_ms = meter.elapsed().as_millis() as u64;
@@ -316,6 +336,7 @@ pub fn analyze_program_with_faults(
                     fuel,
                     faults,
                     1,
+                    options.exec_mode,
                 )
             };
             let wall_ms = first_ms + meter.elapsed().as_millis() as u64;

@@ -13,15 +13,47 @@
 //! that two paths sharing a prefix name the same call result or random
 //! value identically — the property that makes their summaries comparable
 //! during IPP checking.
+//!
+//! Two execution strategies produce byte-identical summaries:
+//!
+//! * [`ExecMode::PerPath`] — the reference implementation: every path is
+//!   executed standalone from the entry block, and every feasibility query
+//!   rebuilds the difference system from scratch.
+//! * [`ExecMode::Tree`] (default) — paths are folded into a shared-prefix
+//!   [`PathTree`] and walked depth-first. The walk state (valuation,
+//!   occurrence counters, constraint states with their incremental
+//!   solvers) forks only at divergence points, so shared prefixes execute
+//!   once; feasibility queries go through a per-function memo cache and an
+//!   [`IncrementalSolver`] carried inside each state.
+//!
+//! Equivalence rests on three invariants: the DFS enumeration emits paths
+//! in the tree's depth-first leaf order (checked per function, see
+//! [`PathTree::leaves_in_path_order`]); occurrence counters and the local
+//! interner live in the forked walk state, so every leaf observes exactly
+//! the history its standalone execution would; and with unlimited fuel the
+//! incremental solver agrees with the batch solver literal for literal.
 
 use std::collections::{BTreeMap, HashMap};
 
-use rid_ir::{BlockId, Function, Inst, InstId, Operand, Pred, Rvalue, Terminator};
-use rid_solver::{project, Conj, Lit, SatOptions, Subst, Term, Var};
+use rid_ir::{BasicBlock, BlockId, Function, Inst, InstId, Operand, Pred, Rvalue, Terminator};
+use rid_solver::{project, Conj, IncrementalSolver, Lit, SatOptions, Subst, Term, Var};
 
 use crate::budget::{BudgetMeter, DegradeReason};
-use crate::paths::{enumerate_paths_metered, Path, PathLimits};
+use crate::paths::{enumerate_paths_metered, Path, PathLimits, PathTree};
 use crate::summary::{SummaryDb, SummaryEntry};
+
+/// Which execution strategy summarization uses. Both produce identical
+/// summaries; they differ only in cost (and in diagnostic counters).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum ExecMode {
+    /// Shared-prefix tree execution with incremental solving and a sat
+    /// memo cache (the fast default).
+    #[default]
+    Tree,
+    /// The reference implementation: each path executed standalone, every
+    /// query solved from scratch.
+    PerPath,
+}
 
 /// A finalized path summary: one [`SummaryEntry`] plus provenance.
 #[derive(Clone, Debug)]
@@ -50,15 +82,38 @@ pub struct SummarizeOutcome {
     pub paths_enumerated: usize,
     /// Number of symbolic states explored (feasible forks).
     pub states_explored: usize,
+    /// Satisfiability queries issued (trivial true/false short-circuits
+    /// are not counted).
+    pub sat_queries: usize,
+    /// Of those, how many were answered from the memo cache (always 0 in
+    /// [`ExecMode::PerPath`], which bypasses the cache).
+    pub sat_memo_hits: usize,
+    /// Basic blocks actually executed (tree nodes visited in tree mode;
+    /// the sum of executed path prefixes in per-path mode).
+    pub blocks_executed: usize,
+    /// Upper bound on blocks skipped thanks to prefix sharing: the total
+    /// block count over all paths minus `blocks_executed` (tree mode
+    /// only; 0 in per-path mode).
+    pub blocks_saved: usize,
 }
 
 /// One symbolic state: constraint + refcount changes. The valuation is
 /// shared per path (all forks of a path see the same assignments; they
 /// differ only in constraints and changes).
+///
+/// In tree mode a state *may* also carry an [`IncrementalSolver`] that
+/// mirrors `cons` literal for literal, so feasibility checks relax a
+/// closed difference matrix instead of re-closing from scratch; cloning
+/// the state at a fork point snapshots the solver too. The solver is
+/// attached lazily — only once the conjunction is big enough that
+/// from-scratch closure costs more than maintaining (and cloning) the
+/// matrix — so the tiny straight-line functions that dominate a kernel
+/// corpus never pay for it. Per-path mode always leaves it `None`.
 #[derive(Clone, Debug)]
 struct State {
     cons: Conj,
     changes: BTreeMap<Term, i64>,
+    solver: Option<IncrementalSolver>,
 }
 
 /// A symbolic value: either a term or a lazily represented comparison
@@ -71,6 +126,42 @@ enum SymValue {
     Cmp(Pred, Term, Term),
 }
 
+/// All per-walk mutable execution state. Per-path mode creates one per
+/// path; tree mode clones it at divergence points (the "fork symbolic
+/// state only at divergence" of the execution-tree design). Everything
+/// whose content depends on the executed prefix must live here — in
+/// particular the occurrence counters and the local-variable interner,
+/// which give symbolic names their path-prefix determinism.
+#[derive(Clone, Debug, Default)]
+struct WalkState {
+    vmap: HashMap<String, SymValue>,
+    states: Vec<State>,
+    /// Per-instruction occurrence counts (for `(inst, occ)` site ids).
+    occurrences: HashMap<u32, u32>,
+    /// Local-variable interner (for reads of never-assigned variables).
+    locals: HashMap<String, u32>,
+}
+
+/// Literal count at which a state's conjunction earns an attached
+/// incremental solver. Below this, a from-scratch closure over a handful
+/// of variables is cheaper than building, cloning (at every fork), and
+/// relaxing a dense difference matrix — and most corpus functions never
+/// get here, so they carry no solver at all. Attachment is answer-neutral
+/// (see [`PathExecutor::sat_lazy`]), so this is purely a perf knob.
+const SOLVER_ATTACH_LITS: usize = 6;
+
+/// Conjunctions shorter than this are solved directly instead of
+/// memoized: keying the memo clones the literal vector, which costs more
+/// than deciding a one-literal difference system from scratch.
+const MEMO_MIN_LITS: usize = 2;
+
+/// Result of one tree walk (entry ordering/cap already applied).
+struct TreeRun {
+    entries: Vec<PathEntry>,
+    entry_cap: bool,
+    deadline: bool,
+}
+
 struct PathExecutor<'a> {
     func: &'a Function,
     db: &'a SummaryDb,
@@ -78,8 +169,20 @@ struct PathExecutor<'a> {
     sat: SatOptions,
     /// Flat instruction index, for stable site ids.
     inst_index: HashMap<InstId, u32>,
-    /// Local-variable interner (for reads of never-assigned variables).
-    locals: HashMap<String, u32>,
+    /// Tree mode: states carry incremental solvers and queries go through
+    /// the memo cache. Per-path mode: both disabled (reference behavior).
+    use_incremental: bool,
+    /// Conjunction-keyed satisfiability memo. Two states that accumulate
+    /// the same literal sequence (common under prefix sharing, where
+    /// sibling subtrees re-derive the same call-entry constraints) hit
+    /// the cache instead of the solver.
+    sat_memo: HashMap<Vec<Lit>, bool>,
+    sat_queries: usize,
+    memo_hits: usize,
+    /// Accumulated across the whole walk (both modes).
+    subcase_hit: bool,
+    states_created: usize,
+    blocks_executed: usize,
 }
 
 impl<'a> PathExecutor<'a> {
@@ -88,10 +191,24 @@ impl<'a> PathExecutor<'a> {
         db: &'a SummaryDb,
         limits: &'a PathLimits,
         sat: SatOptions,
+        use_incremental: bool,
     ) -> Self {
         let inst_index =
             func.insts().enumerate().map(|(i, (id, _))| (id, i as u32)).collect();
-        PathExecutor { func, db, limits, sat, inst_index, locals: HashMap::new() }
+        PathExecutor {
+            func,
+            db,
+            limits,
+            sat,
+            inst_index,
+            use_incremental,
+            sat_memo: HashMap::new(),
+            sat_queries: 0,
+            memo_hits: 0,
+            subcase_hit: false,
+            states_created: 0,
+            blocks_executed: 0,
+        }
     }
 
     /// Stable symbolic site id for `(instruction, occurrence)`.
@@ -100,13 +217,7 @@ impl<'a> PathExecutor<'a> {
         flat * (self.limits.max_block_visits.max(1) + 1) + occurrence
     }
 
-    fn local_var(&mut self, name: &str) -> Var {
-        let next = self.locals.len() as u32;
-        let id = *self.locals.entry(name.to_owned()).or_insert(next);
-        Var::local(id)
-    }
-
-    fn value_of(&mut self, vmap: &HashMap<String, SymValue>, op: &Operand) -> SymValue {
+    fn value_of(&self, st: &mut WalkState, op: &Operand) -> SymValue {
         match op {
             Operand::Int(v) => SymValue::Term(Term::int(*v)),
             Operand::Bool(b) => SymValue::Term(if *b { Term::TRUE } else { Term::FALSE }),
@@ -116,164 +227,254 @@ impl<'a> PathExecutor<'a> {
             // agree (the callback-contract extension reads them from the
             // IR directly, not from here).
             Operand::FuncRef(name) => {
-                let var = self.local_var(&format!("@{name}"));
-                SymValue::Term(Term::var(var))
+                SymValue::Term(Term::var(local_var(&mut st.locals, &format!("@{name}"))))
             }
-            Operand::Var(name) => match vmap.get(name) {
-                Some(v) => v.clone(),
-                None => SymValue::Term(Term::var(self.local_var(name))),
-            },
+            Operand::Var(name) => {
+                if let Some(v) = st.vmap.get(name) {
+                    return v.clone();
+                }
+                SymValue::Term(Term::var(local_var(&mut st.locals, name)))
+            }
         }
     }
 
     /// Coerces a symbolic value to a term; comparisons materialize as
     /// fresh unknowns tied to the consuming site.
-    fn term_of(
-        &mut self,
-        vmap: &HashMap<String, SymValue>,
-        op: &Operand,
-        site: u32,
-    ) -> Term {
-        match self.value_of(vmap, op) {
+    fn term_of(&self, st: &mut WalkState, op: &Operand, site: u32) -> Term {
+        match self.value_of(st, op) {
             SymValue::Term(t) => t,
             SymValue::Cmp(..) => Term::var(Var::random(site, 1)),
         }
     }
 
-    /// Executes one path; returns finalized entries (empty when the path
-    /// is infeasible) and whether the subcase limit was hit.
-    fn run_path(&mut self, path: &Path, path_index: usize) -> (Vec<PathEntry>, bool, usize) {
-        let mut vmap: HashMap<String, SymValue> = HashMap::new();
+    /// The initial walk state: formals bound, one true state.
+    fn fresh_walk(&mut self) -> WalkState {
+        let mut vmap = HashMap::new();
         for (i, param) in self.func.params().iter().enumerate() {
             vmap.insert(param.clone(), SymValue::Term(Term::var(Var::formal(i as u32))));
         }
-        let mut states =
-            vec![State { cons: Conj::truth(), changes: BTreeMap::new() }];
-        let mut occurrences: HashMap<u32, u32> = HashMap::new();
-        let mut truncated = false;
-        let mut states_explored = 1usize;
+        self.states_created += 1;
+        WalkState {
+            vmap,
+            // The solver is attached lazily once the conjunction is big
+            // enough to amortize the matrix (see `sat_lazy`).
+            states: vec![State { cons: Conj::truth(), changes: BTreeMap::new(), solver: None }],
+            occurrences: HashMap::new(),
+            locals: HashMap::new(),
+        }
+    }
 
-        for (pos, &block_id) in path.blocks.iter().enumerate() {
-            let block = self.func.block(block_id);
-            for (idx, inst) in block.insts.iter().enumerate() {
-                let inst_id = InstId { block: block_id, index: idx as u32 };
-                let flat = self.inst_index[&inst_id];
-                let occ_slot = occurrences.entry(flat).or_insert(0);
-                let occ = *occ_slot;
-                *occ_slot += 1;
-                let site = self.site_id(inst_id, occ);
+    /// One satisfiability decision without a state solver (used after
+    /// substitution in [`PathExecutor::finalize`], where any attached
+    /// solver would be stale anyway). Trivial conjunctions short-circuit
+    /// (uncounted, as in the batch path); tree mode still consults the
+    /// memo.
+    fn query_sat(&mut self, cons: &Conj) -> bool {
+        if cons.is_trivially_false() {
+            return false;
+        }
+        if cons.lits().is_empty() {
+            return true;
+        }
+        self.sat_queries += 1;
+        if !self.use_incremental {
+            return cons.is_sat_with(self.sat);
+        }
+        if cons.lits().len() < MEMO_MIN_LITS {
+            return cons.is_sat_with(self.sat);
+        }
+        if let Some(&answer) = self.sat_memo.get(cons.lits()) {
+            self.memo_hits += 1;
+            return answer;
+        }
+        let answer = cons.is_sat_with(self.sat);
+        self.sat_memo.insert(cons.lits().to_vec(), answer);
+        answer
+    }
 
-                match inst {
-                    Inst::Assign { dst, rvalue } => match rvalue {
-                        Rvalue::Use(op) => {
-                            let v = self.value_of(&vmap, op);
-                            vmap.insert(dst.clone(), v);
-                        }
-                        Rvalue::FieldLoad { base, field } => {
-                            let base_term =
-                                self.term_of(&vmap, &Operand::var(base.clone()), site);
-                            vmap.insert(
-                                dst.clone(),
-                                SymValue::Term(base_term.field(field.clone())),
-                            );
-                        }
-                        Rvalue::Random => {
-                            vmap.insert(
-                                dst.clone(),
-                                SymValue::Term(Term::var(Var::random(site, 0))),
-                            );
-                        }
-                        Rvalue::Cmp { pred, lhs, rhs } => {
-                            let l = self.term_of(&vmap, lhs, site);
-                            let r = self.term_of(&vmap, rhs, site);
-                            vmap.insert(dst.clone(), SymValue::Cmp(*pred, l, r));
-                        }
-                        Rvalue::Call { callee, args } => {
-                            let forked = self.exec_call(
-                                &mut vmap,
-                                &mut states,
-                                callee,
-                                args,
-                                Some(dst),
-                                site,
-                            );
-                            truncated |= forked.0;
-                            states_explored += forked.1;
-                        }
-                    },
-                    Inst::Call { callee, args } => {
-                        let forked =
-                            self.exec_call(&mut vmap, &mut states, callee, args, None, site);
-                        truncated |= forked.0;
-                        states_explored += forked.1;
+    /// One satisfiability decision against a state's (possibly absent)
+    /// incremental solver. Trivial conjunctions short-circuit (uncounted,
+    /// as in the batch path); otherwise tree mode consults the memo, then
+    /// the solver — **attaching one first** if the conjunction has grown
+    /// past [`SOLVER_ATTACH_LITS`]. Attachment replays the post-fold
+    /// literal sequence once and is answer-neutral (incremental and batch
+    /// solving agree literal for literal; see `rid_solver::incsolver`).
+    /// Per-path mode always solves from scratch — the reference behavior
+    /// the differential tests pin tree mode against.
+    fn sat_lazy(&mut self, cons: &Conj, solver: &mut Option<IncrementalSolver>) -> bool {
+        if cons.is_trivially_false() {
+            return false;
+        }
+        if cons.lits().is_empty() {
+            return true;
+        }
+        self.sat_queries += 1;
+        if !self.use_incremental {
+            return cons.is_sat_with(self.sat);
+        }
+        if cons.lits().len() < MEMO_MIN_LITS {
+            return cons.is_sat_with(self.sat);
+        }
+        if let Some(&answer) = self.sat_memo.get(cons.lits()) {
+            self.memo_hits += 1;
+            return answer;
+        }
+        if solver.is_none() && cons.lits().len() >= SOLVER_ATTACH_LITS {
+            let mut fresh = IncrementalSolver::new();
+            fresh.push_conj(cons);
+            *solver = Some(fresh);
+        }
+        let answer = match solver.as_ref() {
+            Some(s) => s.is_sat(self.sat),
+            None => cons.is_sat_with(self.sat),
+        };
+        self.sat_memo.insert(cons.lits().to_vec(), answer);
+        answer
+    }
+
+    /// Pushes one literal into every live state (constraint + incremental
+    /// solver) and prunes the states that became unsatisfiable.
+    fn constrain(&mut self, st: &mut WalkState, lit: Lit) {
+        for state in &mut st.states {
+            if let Some(solver) = &mut state.solver {
+                solver.push(&lit);
+            }
+            state.cons.push(lit.clone());
+        }
+        // Order-preserving prune (entry order is part of byte-identity),
+        // with split borrows so `sat_lazy` can attach a solver in place.
+        let mut i = 0;
+        while i < st.states.len() {
+            let State { cons, solver, .. } = &mut st.states[i];
+            let cons = &*cons;
+            if self.sat_lazy(cons, solver) {
+                i += 1;
+            } else {
+                st.states.remove(i);
+            }
+        }
+    }
+
+    /// Executes the instructions of one block (not its terminator).
+    /// Returns `false` when every state died (the walk below this point
+    /// is infeasible).
+    fn exec_block(&mut self, st: &mut WalkState, block_id: BlockId) -> bool {
+        self.blocks_executed += 1;
+        let block = self.func.block(block_id);
+        for (idx, inst) in block.insts.iter().enumerate() {
+            let inst_id = InstId { block: block_id, index: idx as u32 };
+            let flat = self.inst_index[&inst_id];
+            let occ_slot = st.occurrences.entry(flat).or_insert(0);
+            let occ = *occ_slot;
+            *occ_slot += 1;
+            let site = self.site_id(inst_id, occ);
+
+            match inst {
+                Inst::Assign { dst, rvalue } => match rvalue {
+                    Rvalue::Use(op) => {
+                        let v = self.value_of(st, op);
+                        st.vmap.insert(dst.clone(), v);
                     }
-                    Inst::Assume { pred, lhs, rhs } => {
-                        let l = self.term_of(&vmap, lhs, site);
-                        let r = self.term_of(&vmap, rhs, site);
-                        let lit = Lit::new(*pred, l, r);
-                        for state in &mut states {
-                            state.cons.push(lit.clone());
-                        }
-                        let sat = self.sat;
-                        states.retain(|s| s.cons.is_sat_with(sat));
+                    Rvalue::FieldLoad { base, field } => {
+                        let base_term =
+                            self.term_of(st, &Operand::var(base.clone()), site);
+                        st.vmap.insert(
+                            dst.clone(),
+                            SymValue::Term(base_term.field(field.as_str())),
+                        );
                     }
-                    // Field stores are outside the abstraction (§5.4): the
-                    // executor ignores them, a deliberate, paper-faithful
-                    // source of false positives.
-                    Inst::FieldStore { .. } => {}
+                    Rvalue::Random => {
+                        st.vmap.insert(
+                            dst.clone(),
+                            SymValue::Term(Term::var(Var::random(site, 0))),
+                        );
+                    }
+                    Rvalue::Cmp { pred, lhs, rhs } => {
+                        let l = self.term_of(st, lhs, site);
+                        let r = self.term_of(st, rhs, site);
+                        st.vmap.insert(dst.clone(), SymValue::Cmp(*pred, l, r));
+                    }
+                    Rvalue::Call { callee, args } => {
+                        self.exec_call(st, callee, args, Some(dst), site);
+                    }
+                },
+                Inst::Call { callee, args } => {
+                    self.exec_call(st, callee, args, None, site);
                 }
-                if states.is_empty() {
-                    return (Vec::new(), truncated, states_explored);
+                Inst::Assume { pred, lhs, rhs } => {
+                    let l = self.term_of(st, lhs, site);
+                    let r = self.term_of(st, rhs, site);
+                    self.constrain(st, Lit::new(*pred, l, r));
+                }
+                // Field stores are outside the abstraction (§5.4): the
+                // executor ignores them, a deliberate, paper-faithful
+                // source of false positives.
+                Inst::FieldStore { .. } => {}
+            }
+            if st.states.is_empty() {
+                return false;
+            }
+        }
+        true
+    }
+
+    /// Applies a block's terminator constraint toward the chosen
+    /// successor. Returns `false` when every state died.
+    fn constrain_edge(&mut self, st: &mut WalkState, block: &BasicBlock, next: BlockId) -> bool {
+        if let Terminator::Branch { cond, then_bb, else_bb } = &block.term {
+            // A branch whose arms coincide constrains nothing.
+            if then_bb != else_bb {
+                let take_then = next == *then_bb;
+                let lit = match self.value_of(st, &Operand::var(cond.clone())) {
+                    SymValue::Cmp(pred, l, r) => {
+                        let pred = if take_then { pred } else { pred.negated() };
+                        Some(Lit::new(pred, l, r))
+                    }
+                    SymValue::Term(Term::Int(c)) => {
+                        // Constant condition: the other arm is dead.
+                        if (c != 0) == take_then {
+                            None
+                        } else {
+                            st.states.clear();
+                            None
+                        }
+                    }
+                    SymValue::Term(t) => {
+                        let pred = if take_then { Pred::Ne } else { Pred::Eq };
+                        Some(Lit::new(pred, t, Term::int(0)))
+                    }
+                };
+                if let Some(lit) = lit {
+                    self.constrain(st, lit);
+                }
+                if st.states.is_empty() {
+                    return false;
                 }
             }
+        }
+        true
+    }
 
-            // Terminator: constrain toward the path's chosen successor.
-            let is_last = pos + 1 == path.blocks.len();
+    /// Executes one path standalone (the per-path reference mode);
+    /// returns finalized entries (empty when the path is infeasible).
+    fn run_path(&mut self, path: &Path, path_index: usize) -> Vec<PathEntry> {
+        let mut st = self.fresh_walk();
+        for (pos, &block_id) in path.blocks.iter().enumerate() {
+            if !self.exec_block(&mut st, block_id) {
+                return Vec::new();
+            }
+            let block = self.func.block(block_id);
             match &block.term {
                 Terminator::Return(ret_op) => {
-                    debug_assert!(is_last);
-                    let entries = self.finalize(&mut vmap, states, ret_op.as_ref(), path, path_index);
-                    return (entries, truncated, states_explored);
+                    debug_assert!(pos + 1 == path.blocks.len());
+                    return self.finalize(&mut st, ret_op.as_ref(), path, path_index);
                 }
-                Terminator::Jump(_) => {}
-                Terminator::Branch { cond, then_bb, else_bb } => {
+                Terminator::Unreachable => return Vec::new(),
+                _ => {
                     let next = path.blocks[pos + 1];
-                    // A branch whose arms coincide constrains nothing.
-                    if then_bb != else_bb {
-                        let take_then = next == *then_bb;
-                        let lit = match self.value_of(&vmap, &Operand::var(cond.clone())) {
-                            SymValue::Cmp(pred, l, r) => {
-                                let pred = if take_then { pred } else { pred.negated() };
-                                Some(Lit::new(pred, l, r))
-                            }
-                            SymValue::Term(Term::Int(c)) => {
-                                // Constant condition: the other arm is dead.
-                                if (c != 0) == take_then {
-                                    None
-                                } else {
-                                    states.clear();
-                                    None
-                                }
-                            }
-                            SymValue::Term(t) => {
-                                let pred = if take_then { Pred::Ne } else { Pred::Eq };
-                                Some(Lit::new(pred, t, Term::int(0)))
-                            }
-                        };
-                        if let Some(lit) = lit {
-                            for state in &mut states {
-                                state.cons.push(lit.clone());
-                            }
-                            let sat = self.sat;
-                            states.retain(|s| s.cons.is_sat_with(sat));
-                        }
-                        if states.is_empty() {
-                            return (Vec::new(), truncated, states_explored);
-                        }
+                    if !self.constrain_edge(&mut st, block, next) {
+                        return Vec::new();
                     }
-                }
-                Terminator::Unreachable => {
-                    return (Vec::new(), truncated, states_explored);
                 }
             }
         }
@@ -281,23 +482,117 @@ impl<'a> PathExecutor<'a> {
         unreachable!("path did not end in a return terminator")
     }
 
+    /// Walks the shared-prefix tree depth-first, forking the walk state at
+    /// each divergence point. Entries come out in path order: streamed
+    /// directly when the tree's leaf order matches path order (every CFG
+    /// without duplicate paths), otherwise buffered and stably reordered
+    /// by path index before the entry cap is applied.
+    fn run_tree(&mut self, tree: &PathTree, paths: &[Path], meter: &BudgetMeter) -> TreeRun {
+        let streaming = tree.leaves_in_path_order();
+        let mut run = TreeRun { entries: Vec::new(), entry_cap: false, deadline: false };
+        let mut stack: Vec<(u32, WalkState)> = Vec::new();
+        for &root in tree.roots.iter().rev() {
+            let st = self.fresh_walk();
+            stack.push((root, st));
+        }
+        'walk: while let Some((at, mut st)) = stack.pop() {
+            let node = &tree.nodes[at as usize];
+            if !self.exec_block(&mut st, node.block) {
+                continue;
+            }
+            let block = self.func.block(node.block);
+            match &block.term {
+                Terminator::Return(ret_op) => {
+                    // A leaf. Finalize once; duplicate paths (a branch
+                    // whose arms coincide) reuse the entries with their
+                    // own path index.
+                    let mut first: Option<Vec<PathEntry>> = None;
+                    for &pi in &node.path_indices {
+                        if meter.expired() {
+                            run.deadline = true;
+                            break 'walk;
+                        }
+                        let pi = pi as usize;
+                        let entries = match &first {
+                            None => {
+                                let done =
+                                    self.finalize(&mut st, ret_op.as_ref(), &paths[pi], pi);
+                                first = Some(done.clone());
+                                done
+                            }
+                            Some(done) => done
+                                .iter()
+                                .map(|pe| PathEntry {
+                                    entry: pe.entry.clone(),
+                                    path_index: pi,
+                                    trace: paths[pi].blocks.clone(),
+                                })
+                                .collect(),
+                        };
+                        run.entries.extend(entries);
+                        if streaming && run.entries.len() > self.limits.max_entries {
+                            run.entries.truncate(self.limits.max_entries);
+                            run.entry_cap = true;
+                            break 'walk;
+                        }
+                    }
+                }
+                Terminator::Unreachable => {}
+                _ => {
+                    let children = &node.children;
+                    let k = children.len();
+                    if k == 0 {
+                        continue; // interior node of a truncated path set
+                    }
+                    if k > 1 {
+                        self.states_created += (k - 1) * st.states.len();
+                    }
+                    // Fork in child order (last child takes ownership),
+                    // then push reversed so the first child pops first —
+                    // preserving depth-first enumeration order.
+                    let mut forked: Vec<(u32, WalkState)> = Vec::with_capacity(k);
+                    for (i, &child) in children.iter().enumerate() {
+                        let mut child_st = if i + 1 == k {
+                            std::mem::take(&mut st)
+                        } else {
+                            st.clone()
+                        };
+                        let next = tree.nodes[child as usize].block;
+                        if self.constrain_edge(&mut child_st, block, next) {
+                            forked.push((child, child_st));
+                        }
+                    }
+                    for frame in forked.into_iter().rev() {
+                        stack.push(frame);
+                    }
+                }
+            }
+        }
+        if !streaming {
+            run.entries.sort_by_key(|pe| pe.path_index); // stable
+            if run.entries.len() > self.limits.max_entries {
+                run.entries.truncate(self.limits.max_entries);
+                run.entry_cap = true;
+            }
+        }
+        run
+    }
+
     /// Executes a call instruction per Algorithm 1: each applicable callee
-    /// summary entry forks a state. Returns (subcase-limit-hit, new states
-    /// created).
+    /// summary entry forks a state.
     fn exec_call(
         &mut self,
-        vmap: &mut HashMap<String, SymValue>,
-        states: &mut Vec<State>,
+        st: &mut WalkState,
         callee: &str,
         args: &[Operand],
         dst: Option<&str>,
         site: u32,
-    ) -> (bool, usize) {
+    ) {
         let actuals: Vec<Term> =
-            args.iter().map(|a| self.term_of(vmap, a, site)).collect();
+            args.iter().map(|a| self.term_of(st, a, site)).collect();
         let ret_var = Term::var(Var::call_ret(site, 0));
         if let Some(dst) = dst {
-            vmap.insert(dst.to_owned(), SymValue::Term(ret_var.clone()));
+            st.vmap.insert(dst.to_owned(), SymValue::Term(ret_var.clone()));
         }
 
         let default_summary;
@@ -310,48 +605,57 @@ impl<'a> PathExecutor<'a> {
             }
         };
 
+        let old_states = std::mem::take(&mut st.states);
         let mut new_states = Vec::new();
-        let mut truncated = false;
-        let mut created = 0usize;
-        'outer: for state in states.iter() {
-            for entry in &summary.entries {
+        'outer: for mut state in old_states {
+            let n_entries = summary.entries.len();
+            for (ei, entry) in summary.entries.iter().enumerate() {
                 let inst_entry = entry.instantiate(&actuals, &ret_var, site);
                 let cons = state.cons.and(&inst_entry.cons);
+                // The last entry takes the state's solver; earlier ones
+                // snapshot it (clone = fork point rollback).
+                let mut solver = if ei + 1 == n_entries {
+                    state.solver.take()
+                } else {
+                    state.solver.clone()
+                };
+                if let Some(s) = solver.as_mut() {
+                    s.push_conj(&inst_entry.cons);
+                }
                 // Algorithm 1 line 6: skip unsatisfiable combinations.
-                if !inst_entry.cons.is_truth() && !cons.is_sat_with(self.sat) {
+                if !inst_entry.cons.is_truth() && !self.sat_lazy(&cons, &mut solver) {
                     continue;
                 }
                 let mut changes = state.changes.clone();
                 for (rc, delta) in &inst_entry.changes {
                     *changes.entry(rc.clone()).or_insert(0) += delta;
                 }
-                new_states.push(State { cons, changes });
-                created += 1;
+                new_states.push(State { cons, changes, solver });
+                self.states_created += 1;
                 if new_states.len() >= self.limits.max_subcases {
-                    truncated = true;
+                    self.subcase_hit = true;
                     break 'outer;
                 }
             }
         }
-        *states = new_states;
-        (truncated, created)
+        st.states = new_states;
     }
 
     /// Finalizes states at a `return`: encodes the return value as `[0]`,
     /// rewrites locals that equal external terms, renames surviving
     /// internal refcount roots to opaque objects, and projects the
-    /// constraint onto external terms (§3.3.3).
+    /// constraint onto external terms (§3.3.3). Drains the walk's states.
     fn finalize(
         &mut self,
-        vmap: &mut HashMap<String, SymValue>,
-        states: Vec<State>,
+        st: &mut WalkState,
         ret_op: Option<&Operand>,
         path: &Path,
         path_index: usize,
     ) -> Vec<PathEntry> {
         let mut out = Vec::new();
-        let ret_term = ret_op.map(|op| self.term_of(vmap, op, u32::MAX / 2));
-        for state in states {
+        let ret_term = ret_op.map(|op| self.term_of(st, op, u32::MAX / 2));
+        let mut scratch_vars = Vec::new();
+        for state in std::mem::take(&mut st.states) {
             let mut cons = state.cons;
             if let Some(ret) = &ret_term {
                 cons.push(Lit::new(Pred::Eq, Term::var(Var::ret()), ret.clone()));
@@ -359,7 +663,7 @@ impl<'a> PathExecutor<'a> {
 
             // Build the equality substitution: internal vars provably equal
             // (syntactically, offset 0) to external terms get rewritten.
-            let subst = equality_subst(&cons);
+            let subst = equality_subst(&cons, &mut scratch_vars);
 
             // Rewrite change keys; then rename surviving internal roots to
             // dense opaque ids (deterministic: keys are sorted).
@@ -384,9 +688,11 @@ impl<'a> PathExecutor<'a> {
             }
             changes.retain(|_, delta| *delta != 0);
 
-            // Remove conditions on local variables (projection).
+            // Remove conditions on local variables (projection). The
+            // projected conjunction is a fresh formula, so it is checked
+            // without an incremental solver (but through the memo).
             let cons = project(&cons, Term::is_external);
-            if cons.is_trivially_false() || !cons.is_sat_with(self.sat) {
+            if !self.query_sat(&cons) {
                 continue;
             }
             let ret_display = ret_term.as_ref().map(|t| {
@@ -405,10 +711,21 @@ impl<'a> PathExecutor<'a> {
     }
 }
 
+/// Interns a local-variable name (shared by reads of never-assigned
+/// variables and opaque function references). Lives outside the executor
+/// because the interner belongs to the forked walk state: ids must depend
+/// only on the executed prefix, exactly as in standalone execution.
+fn local_var(locals: &mut HashMap<String, u32>, name: &str) -> Var {
+    let next = locals.len() as u32;
+    let id = *locals.entry(name.to_owned()).or_insert(next);
+    Var::local(id)
+}
+
 /// Extracts a substitution from syntactic equalities in `cons`, mapping
 /// internal variables to the external (or constant) terms they equal.
-/// Saturated so chains (`a = b ∧ b = [0]`) resolve fully.
-fn equality_subst(cons: &Conj) -> Subst {
+/// Saturated so chains (`a = b ∧ b = [0]`) resolve fully. `scratch` is a
+/// caller-provided buffer reused across literals (and across states).
+fn equality_subst(cons: &Conj, scratch: &mut Vec<Var>) -> Subst {
     let mut subst = Subst::new();
     loop {
         let mut changed = false;
@@ -423,9 +740,9 @@ fn equality_subst(cons: &Conj) -> Subst {
                 }
                 let b2 = b.substitute(&subst);
                 // Avoid self-referential substitutions.
-                let mut vars = Vec::new();
-                b2.collect_vars(&mut vars);
-                if vars.contains(v) {
+                scratch.clear();
+                b2.collect_vars(scratch);
+                if scratch.contains(v) {
                     continue;
                 }
                 if b2.is_external() {
@@ -468,30 +785,85 @@ pub fn summarize_paths_metered(
     meter: &BudgetMeter,
     fuel: Option<u64>,
 ) -> SummarizeOutcome {
+    summarize_paths_mode(func, db, limits, sat, meter, fuel, ExecMode::default())
+}
+
+/// Like [`summarize_paths_metered`], with an explicit execution strategy.
+/// Both modes produce identical summaries (the differential test suite
+/// pins this down); [`ExecMode::PerPath`] exists as the oracle and as a
+/// fallback switch.
+#[must_use]
+#[allow(clippy::too_many_arguments)]
+pub fn summarize_paths_mode(
+    func: &Function,
+    db: &SummaryDb,
+    limits: &PathLimits,
+    sat: SatOptions,
+    meter: &BudgetMeter,
+    fuel: Option<u64>,
+    mode: ExecMode,
+) -> SummarizeOutcome {
     let _fuel_guard = fuel.map(rid_solver::fuel::install);
     let path_set = enumerate_paths_metered(func, limits, meter);
     let mut deadline = path_set.deadline_hit;
     let path_cap = path_set.truncated && !path_set.deadline_hit;
-    let mut subcase_cap = false;
     let mut entry_cap = false;
     let mut outcome =
         SummarizeOutcome { paths_enumerated: path_set.paths.len(), ..Default::default() };
-    for (index, path) in path_set.paths.iter().enumerate() {
-        if meter.expired() {
-            deadline = true;
-            break;
+    let mut executor =
+        PathExecutor::new(func, db, limits, sat, mode == ExecMode::Tree);
+    match mode {
+        ExecMode::Tree => {
+            if path_set.paths.len() == 1 {
+                // Degenerate tree: a single root chain has no divergence
+                // point, so there is nothing to share and nothing to
+                // fork. Walk it directly and skip the trie build — the
+                // common case, since most kernel functions are
+                // straight-line (memo and lazy solver still apply).
+                for (index, path) in path_set.paths.iter().enumerate() {
+                    if meter.expired() {
+                        deadline = true;
+                        break;
+                    }
+                    let entries = executor.run_path(path, index);
+                    outcome.path_entries.extend(entries);
+                    if outcome.path_entries.len() > limits.max_entries {
+                        outcome.path_entries.truncate(limits.max_entries);
+                        entry_cap = true;
+                        break;
+                    }
+                }
+            } else {
+                let tree = PathTree::from_paths(&path_set.paths);
+                let run = executor.run_tree(&tree, &path_set.paths, meter);
+                deadline |= run.deadline;
+                entry_cap = run.entry_cap;
+                outcome.path_entries = run.entries;
+                outcome.blocks_saved =
+                    tree.total_path_blocks.saturating_sub(executor.blocks_executed);
+            }
         }
-        let mut executor = PathExecutor::new(func, db, limits, sat);
-        let (entries, truncated, states) = executor.run_path(path, index);
-        subcase_cap |= truncated;
-        outcome.states_explored += states;
-        outcome.path_entries.extend(entries);
-        if outcome.path_entries.len() > limits.max_entries {
-            outcome.path_entries.truncate(limits.max_entries);
-            entry_cap = true;
-            break;
+        ExecMode::PerPath => {
+            for (index, path) in path_set.paths.iter().enumerate() {
+                if meter.expired() {
+                    deadline = true;
+                    break;
+                }
+                let entries = executor.run_path(path, index);
+                outcome.path_entries.extend(entries);
+                if outcome.path_entries.len() > limits.max_entries {
+                    outcome.path_entries.truncate(limits.max_entries);
+                    entry_cap = true;
+                    break;
+                }
+            }
         }
     }
+    let subcase_cap = executor.subcase_hit;
+    outcome.states_explored = executor.states_created;
+    outcome.blocks_executed = executor.blocks_executed;
+    outcome.sat_queries = executor.sat_queries;
+    outcome.sat_memo_hits = executor.memo_hits;
     // Read the fuel flag while the guard is still installed. Severity
     // order: an aborting condition (deadline) dominates, then fuel (the
     // solver silently went approximate), then the structural caps.
@@ -524,6 +896,41 @@ mod tests {
         let module = parse_module(src).unwrap();
         let f = module.function(func).unwrap();
         summarize_paths(f, &linux_dpm_apis(), &PathLimits::default(), SatOptions::default())
+    }
+
+    /// Runs both execution modes and asserts identical summaries, then
+    /// returns the tree-mode outcome (what `summarize_paths` produces).
+    fn summarize_both(src: &str, func: &str) -> SummarizeOutcome {
+        let module = parse_module(src).unwrap();
+        let f = module.function(func).unwrap();
+        let limits = PathLimits::default();
+        let meter = BudgetMeter::unlimited();
+        let tree = summarize_paths_mode(
+            f,
+            &linux_dpm_apis(),
+            &limits,
+            SatOptions::default(),
+            &meter,
+            None,
+            ExecMode::Tree,
+        );
+        let per_path = summarize_paths_mode(
+            f,
+            &linux_dpm_apis(),
+            &limits,
+            SatOptions::default(),
+            &meter,
+            None,
+            ExecMode::PerPath,
+        );
+        assert_eq!(tree.path_entries.len(), per_path.path_entries.len());
+        for (a, b) in tree.path_entries.iter().zip(&per_path.path_entries) {
+            assert_eq!(a.path_index, b.path_index);
+            assert_eq!(a.trace, b.trace);
+            assert_eq!(a.entry, b.entry);
+        }
+        assert_eq!(tree.partial, per_path.partial);
+        tree
     }
 
     #[test]
@@ -567,7 +974,7 @@ mod tests {
         // The worked example of the paper: reg_read is unknown (default
         // summary → unconstrained result), so both paths survive with
         // identical external constraints but different PM changes.
-        let out = summarize(
+        let out = summarize_both(
             r#"module m;
             fn foo(dev) {
                 assume dev != null;
@@ -592,7 +999,7 @@ mod tests {
     #[test]
     fn distinguishable_paths_are_not_inconsistent() {
         // Correct error handling: the return value separates the paths.
-        let out = summarize(
+        let out = summarize_both(
             r#"module m;
             fn f(dev) {
                 let ret = pm_runtime_get_sync(dev);
@@ -641,7 +1048,7 @@ mod tests {
 
     #[test]
     fn infeasible_paths_are_pruned() {
-        let out = summarize(
+        let out = summarize_both(
             r#"module m;
             fn f(x) {
                 assume x > 0;
@@ -780,8 +1187,87 @@ mod tests {
     }
 
     #[test]
+    fn duplicate_paths_preserve_per_path_entry_order() {
+        // A branch with coinciding arms *above* another branch replays a
+        // two-leaf subtree: tree leaf order (0,2,1,3) differs from path
+        // order (0,1,2,3), exercising the buffered reorder path.
+        use rid_ir::{FunctionBuilder, Operand, Rvalue};
+        let mut b = FunctionBuilder::new("f", ["dev"]);
+        let mid = b.new_block();
+        let then_bb = b.new_block();
+        let else_bb = b.new_block();
+        b.assign("c", Rvalue::cmp(Pred::Gt, Operand::var("dev"), Operand::Int(0)));
+        b.branch("c", mid, mid);
+        b.switch_to(mid);
+        b.assign("d", Rvalue::cmp(Pred::Lt, Operand::var("dev"), Operand::Int(10)));
+        b.branch("d", then_bb, else_bb);
+        b.switch_to(then_bb);
+        b.ret(Operand::Int(1));
+        b.switch_to(else_bb);
+        b.ret(Operand::Int(0));
+        let f = b.finish().unwrap();
+        let limits = PathLimits::default();
+        let meter = BudgetMeter::unlimited();
+        let tree = summarize_paths_mode(
+            &f,
+            &linux_dpm_apis(),
+            &limits,
+            SatOptions::default(),
+            &meter,
+            None,
+            ExecMode::Tree,
+        );
+        let per_path = summarize_paths_mode(
+            &f,
+            &linux_dpm_apis(),
+            &limits,
+            SatOptions::default(),
+            &meter,
+            None,
+            ExecMode::PerPath,
+        );
+        assert_eq!(tree.path_entries.len(), 4);
+        let idx: Vec<usize> =
+            tree.path_entries.iter().map(|p| p.path_index).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3], "entries must come out in path order");
+        for (a, b) in tree.path_entries.iter().zip(&per_path.path_entries) {
+            assert_eq!(a.entry, b.entry);
+            assert_eq!(a.path_index, b.path_index);
+        }
+    }
+
+    #[test]
+    fn tree_mode_shares_prefix_work_and_memoizes_queries() {
+        // Ten sequential two-way branches after a shared prologue: tree
+        // execution must visit far fewer blocks than the sum over paths.
+        let mut src = String::from(
+            "module m; fn f(dev) { assume dev != null; pm_runtime_get(dev);\n",
+        );
+        for i in 0..6 {
+            src.push_str(&format!(
+                "let v{i} = reg_read(dev, {i}); if (v{i} < 0) {{ pm_runtime_put(dev); }}\n"
+            ));
+        }
+        src.push_str("return 0; }");
+        let module = parse_module(&src).unwrap();
+        let f = module.function("f").unwrap();
+        let out = summarize_paths(
+            f,
+            &linux_dpm_apis(),
+            &PathLimits::default(),
+            SatOptions::default(),
+        );
+        assert!(out.blocks_saved > 0, "prefix sharing must save block executions");
+        assert!(
+            out.blocks_executed + out.blocks_saved
+                >= out.paths_enumerated, // every path has ≥ 1 block
+            "counters must cover the per-path total"
+        );
+    }
+
+    #[test]
     fn constant_branch_conditions_prune_statically() {
-        let out = summarize(
+        let out = summarize_both(
             r#"module m;
             fn f(dev) {
                 let debug = 0;
@@ -798,7 +1284,7 @@ mod tests {
     fn field_store_is_ignored_by_execution() {
         // The store would distinguish the paths at runtime; the executor
         // deliberately drops it (§5.4) so the entries remain comparable.
-        let out = summarize(
+        let out = summarize_both(
             r#"module m;
             fn f(dev) {
                 let st = peek(dev);
@@ -833,7 +1319,7 @@ mod tests {
         // The loop condition must vary per iteration (a call result) or
         // the unrolled path is infeasible in the arithmetic-free
         // abstraction.
-        let out = summarize(
+        let out = summarize_both(
             r#"module m;
             fn f(dev) {
                 while (has_work(dev)) { pm_runtime_get(dev); }

@@ -137,6 +137,7 @@ pub fn reanalyze(
             fuel,
             &faults,
             0,
+            options.exec_mode,
         );
         let first_ms = meter.elapsed().as_millis() as u64;
         let (attempt, forced, wall_ms) = match first {
@@ -152,6 +153,7 @@ pub fn reanalyze(
                     fuel,
                     &faults,
                     1,
+                    options.exec_mode,
                 );
                 let total = first_ms + meter.elapsed().as_millis() as u64;
                 (retry.ok(), Some(DegradeReason::Retried), total)
@@ -164,6 +166,10 @@ pub fn reanalyze(
                 stats.paths_enumerated += outcome.paths_enumerated;
                 stats.states_explored += outcome.states_explored;
                 stats.functions_partial += usize::from(outcome.partial);
+                stats.sat_queries += outcome.sat_queries;
+                stats.sat_memo_hits += outcome.sat_memo_hits;
+                stats.blocks_executed += outcome.blocks_executed;
+                stats.blocks_saved += outcome.blocks_saved;
                 reports.extend(ipp.reports);
                 db.insert(summary);
                 if let Some(reason) = forced.or(outcome.degrade) {

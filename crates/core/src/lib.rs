@@ -75,9 +75,12 @@ pub use driver::{
     analyze_program, analyze_program_with_faults, analyze_sources, AnalysisOptions,
     AnalysisResult, AnalysisStats,
 };
-pub use exec::{summarize_paths, summarize_paths_metered, PathEntry, SummarizeOutcome};
+pub use exec::{
+    summarize_paths, summarize_paths_metered, summarize_paths_mode, ExecMode, PathEntry,
+    SummarizeOutcome,
+};
 pub use fault::FaultPlan;
 pub use ipp::{check_ipps, IppOutcome, IppReport};
-pub use paths::{enumerate_paths, enumerate_paths_metered, Path, PathLimits, PathSet};
+pub use paths::{enumerate_paths, enumerate_paths_metered, Path, PathLimits, PathSet, PathTree};
 pub use report::{classify_report, render_report, render_reports, BugKind};
 pub use summary::{Summary, SummaryDb, SummaryEntry};

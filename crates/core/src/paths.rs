@@ -56,6 +56,109 @@ pub struct PathSet {
     pub deadline_hit: bool,
 }
 
+/// One node of a [`PathTree`]: a block, its children in first-seen
+/// (= enumeration) order, and the indices of the paths ending here.
+#[derive(Clone, Debug)]
+pub(crate) struct TreeNode {
+    /// The basic block this node executes.
+    pub block: BlockId,
+    /// Child nodes, in the order the enumerated paths first visited them.
+    pub children: Vec<u32>,
+    /// Indices (into the original path list) of paths ending at this node,
+    /// in enumeration order. Distinct paths never collide here — a path
+    /// ends exactly where its last block's `Return` terminator is — but
+    /// *duplicate* paths (a branch whose arms coincide) share a leaf.
+    pub path_indices: Vec<u32>,
+}
+
+/// A shared-prefix tree (trie) over the block sequences of a [`PathSet`].
+///
+/// Paths that share a prefix share the corresponding nodes, so a tree walk
+/// executes each shared prefix once instead of once per path. Because the
+/// DFS enumeration emits paths in depth-first order and children are kept
+/// in first-seen order, a depth-first walk of this tree visits leaves in
+/// exactly the original path order — the property that keeps tree-mode
+/// summary entries byte-identical to per-path execution.
+#[derive(Clone, Debug)]
+pub struct PathTree {
+    pub(crate) nodes: Vec<TreeNode>,
+    /// Root nodes in first-seen order (a single entry block in practice;
+    /// kept general so the walk never depends on that invariant).
+    pub(crate) roots: Vec<u32>,
+    /// Total blocks across all paths (what per-path execution would have
+    /// executed); the tree's node count is what tree execution executes.
+    pub total_path_blocks: usize,
+}
+
+impl PathTree {
+    /// Builds the trie from enumerated paths (insertion order preserved).
+    #[must_use]
+    pub fn from_paths(paths: &[Path]) -> PathTree {
+        let mut tree = PathTree { nodes: Vec::new(), roots: Vec::new(), total_path_blocks: 0 };
+        for (index, path) in paths.iter().enumerate() {
+            tree.total_path_blocks += path.blocks.len();
+            let Some((&first, rest)) = path.blocks.split_first() else { continue };
+            let mut at = tree.child_of(None, first);
+            for &block in rest {
+                at = tree.child_of(Some(at), block);
+            }
+            tree.nodes[at as usize].path_indices.push(index as u32);
+        }
+        tree
+    }
+
+    /// Number of tree nodes (= blocks a tree walk executes).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether a depth-first walk emits leaf path indices in exactly the
+    /// enumeration order `0, 1, 2, …`. This holds for every CFG without
+    /// *duplicate* paths; a branch whose arms coincide replays a whole
+    /// subtree, so its leaves carry interleaved index lists. Tree
+    /// execution streams entries (applying the entry cap early) when this
+    /// holds and buffers + reorders by path index otherwise.
+    #[must_use]
+    pub fn leaves_in_path_order(&self) -> bool {
+        let mut next = 0u32;
+        let mut stack: Vec<u32> = self.roots.iter().rev().copied().collect();
+        while let Some(at) = stack.pop() {
+            let node = &self.nodes[at as usize];
+            for &pi in &node.path_indices {
+                if pi != next {
+                    return false;
+                }
+                next += 1;
+            }
+            stack.extend(node.children.iter().rev());
+        }
+        true
+    }
+
+    /// The existing child of `parent` (or root) for `block`, creating it
+    /// if absent. Linear scan: real CFG nodes have at most a handful of
+    /// successors.
+    fn child_of(&mut self, parent: Option<u32>, block: BlockId) -> u32 {
+        let siblings = match parent {
+            Some(p) => &self.nodes[p as usize].children,
+            None => &self.roots,
+        };
+        if let Some(&existing) =
+            siblings.iter().find(|&&c| self.nodes[c as usize].block == block)
+        {
+            return existing;
+        }
+        let id = self.nodes.len() as u32;
+        self.nodes.push(TreeNode { block, children: Vec::new(), path_indices: Vec::new() });
+        match parent {
+            Some(p) => self.nodes[p as usize].children.push(id),
+            None => self.roots.push(id),
+        }
+        id
+    }
+}
+
 /// Enumerates all entry-to-exit paths of `func` under `limits`.
 #[must_use]
 pub fn enumerate_paths(func: &Function, limits: &PathLimits) -> PathSet {
@@ -264,6 +367,90 @@ mod tests {
         assert!(set.truncated);
         assert!(set.deadline_hit);
         assert!(set.paths.len() < 2, "enumeration stopped early: {:?}", set.paths);
+    }
+
+    /// Depth-first leaf order of the tree, as path indices.
+    fn dfs_leaf_order(tree: &PathTree) -> Vec<u32> {
+        let mut order = Vec::new();
+        let mut stack: Vec<u32> = tree.roots.iter().rev().copied().collect();
+        while let Some(at) = stack.pop() {
+            let node = &tree.nodes[at as usize];
+            order.extend(node.path_indices.iter().copied());
+            stack.extend(node.children.iter().rev().copied());
+        }
+        order
+    }
+
+    #[test]
+    fn tree_shares_prefixes_and_preserves_leaf_order() {
+        let set = enumerate_paths(&diamond(), &limits());
+        let tree = PathTree::from_paths(&set.paths);
+        // entry + then + else + join×2 = 5 nodes vs 6 path blocks.
+        assert_eq!(tree.total_path_blocks, 6);
+        assert_eq!(tree.node_count(), 5);
+        assert_eq!(dfs_leaf_order(&tree), vec![0, 1]);
+    }
+
+    #[test]
+    fn tree_leaf_order_matches_enumeration_on_diamond_chains() {
+        // 2^10 paths capped at 100: leaf order must be 0..100.
+        let mut b = FunctionBuilder::new("f", ["x"]);
+        let mut cur_join = None;
+        for i in 0..10 {
+            if let Some(j) = cur_join {
+                b.switch_to(j);
+            }
+            let t = b.new_block();
+            let e = b.new_block();
+            let j = b.new_block();
+            b.assign(
+                format!("c{i}"),
+                Rvalue::cmp(Pred::Gt, Operand::var("x"), Operand::Int(i)),
+            );
+            b.branch(format!("c{i}"), t, e);
+            b.switch_to(t);
+            b.jump(j);
+            b.switch_to(e);
+            b.jump(j);
+            cur_join = Some(j);
+        }
+        b.switch_to(cur_join.unwrap());
+        b.ret(0);
+        let f = b.finish().unwrap();
+        let set = enumerate_paths(&f, &limits());
+        let tree = PathTree::from_paths(&set.paths);
+        assert_eq!(dfs_leaf_order(&tree), (0..100).collect::<Vec<u32>>());
+        assert!(
+            tree.node_count() * 2 < tree.total_path_blocks,
+            "deep diamonds must share prefixes: {} nodes vs {} path blocks",
+            tree.node_count(),
+            tree.total_path_blocks
+        );
+    }
+
+    #[test]
+    fn duplicate_paths_share_a_leaf() {
+        // A branch with coinciding arms enumerates the same block sequence
+        // twice; both indices land on one leaf, in order.
+        let mut b = FunctionBuilder::new("f", ["x"]);
+        let join = b.new_block();
+        b.assign("c", Rvalue::cmp(Pred::Gt, Operand::var("x"), Operand::Int(0)));
+        b.branch("c", join, join);
+        b.switch_to(join);
+        b.ret(0);
+        let f = b.finish().unwrap();
+        let set = enumerate_paths(&f, &limits());
+        assert_eq!(set.paths.len(), 2);
+        let tree = PathTree::from_paths(&set.paths);
+        let leaf = tree.nodes.iter().find(|n| !n.path_indices.is_empty()).unwrap();
+        assert_eq!(leaf.path_indices, vec![0, 1]);
+    }
+
+    #[test]
+    fn empty_path_set_builds_empty_tree() {
+        let tree = PathTree::from_paths(&[]);
+        assert_eq!(tree.node_count(), 0);
+        assert!(tree.roots.is_empty());
     }
 
     #[test]

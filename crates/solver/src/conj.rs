@@ -186,7 +186,9 @@ impl Conj {
         for lit in &mut self.lits {
             *lit = lit.canonical();
         }
-        self.lits.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+        // Debug-string order is the pinned canonical order; the cached-key
+        // sort renders each literal once instead of once per comparison.
+        self.lits.sort_by_cached_key(|l| format!("{l:?}"));
         self.lits.dedup();
     }
 

@@ -1,0 +1,242 @@
+//! Incremental difference-logic solving for the symbolic executor.
+//!
+//! The per-path executor answers every feasibility query by rebuilding a
+//! [`DiffSystem`] from the whole conjunction and running the O(n³)
+//! Floyd–Warshall closure from scratch. On a prefix-shared execution tree
+//! that is redundant twice over: states sharing a prefix re-close the same
+//! literals, and each new literal re-closes everything before it.
+//!
+//! [`IncrementalSolver`] keeps the difference matrix *closed at all
+//! times*: pushing a literal relaxes the closed matrix through the new
+//! edge (incremental Bellman–Ford style, O(n²) per edge — see
+//! [`DiffSystem::push_lit_closed`]) instead of re-running the O(n³)
+//! closure, and a fork point snapshots the solver with a plain [`Clone`]
+//! (O(n²) matrix copy). Disequalities accumulate in push order and are
+//! discharged at query time exactly like the batch path, so with
+//! unlimited fuel [`IncrementalSolver::is_sat`] agrees with
+//! [`Conj::is_sat_with`] literal for literal — the property the
+//! tree-mode differential tests pin down.
+//!
+//! Fuel degradation is conservative in the same direction as the batch
+//! solver: an out-of-fuel relaxation records the raw edge without
+//! propagating, so bounds are only ever *looser* than the true closure
+//! and answers degrade toward "satisfiable" (false positives, never
+//! false negatives; §5.4 of the paper).
+
+use crate::conj::Conj;
+use crate::lit::Lit;
+use crate::sat::{DiffSystem, SatOptions};
+
+/// An incrementally maintained difference-logic solver: a closed
+/// [`DiffSystem`] that accepts literals one at a time and answers
+/// satisfiability of everything pushed so far.
+///
+/// # Examples
+///
+/// ```
+/// use rid_ir::Pred;
+/// use rid_solver::{IncrementalSolver, Lit, SatOptions, Term, Var};
+///
+/// let v = Term::var(Var::local(0));
+/// let mut solver = IncrementalSolver::new();
+/// solver.push(&Lit::new(Pred::Gt, v.clone(), Term::int(0)));
+/// assert!(solver.is_sat(SatOptions::default()));
+///
+/// let snapshot = solver.clone(); // cheap fork point
+/// solver.push(&Lit::new(Pred::Lt, v.clone(), Term::int(0)));
+/// assert!(!solver.is_sat(SatOptions::default()));
+/// assert!(snapshot.is_sat(SatOptions::default())); // rollback intact
+/// ```
+#[derive(Clone, Debug)]
+pub struct IncrementalSolver {
+    sys: DiffSystem,
+    /// Set when a pushed literal constant-folded to `false` (mirrors
+    /// [`Conj`]'s `falsified` flag).
+    falsified: bool,
+    /// Number of literals actually recorded (after constant folding).
+    lits: usize,
+}
+
+impl Default for IncrementalSolver {
+    fn default() -> Self {
+        IncrementalSolver::new()
+    }
+}
+
+impl IncrementalSolver {
+    /// An empty (trivially satisfiable) solver.
+    #[must_use]
+    pub fn new() -> IncrementalSolver {
+        IncrementalSolver { sys: DiffSystem::new(), falsified: false, lits: 0 }
+    }
+
+    /// Pushes one literal, constant-folding trivial ones exactly like
+    /// [`Conj::push`] so the solver tracks the conjunction it mirrors.
+    pub fn push(&mut self, lit: &Lit) {
+        match lit.const_eval() {
+            Some(true) => {}
+            Some(false) => self.falsified = true,
+            None => {
+                self.lits += 1;
+                self.sys.push_lit_closed(lit);
+            }
+        }
+    }
+
+    /// Pushes every literal of a conjunction (in order), propagating its
+    /// falsified flag — the incremental analogue of [`Conj::and`].
+    pub fn push_conj(&mut self, conj: &Conj) {
+        if conj.is_trivially_false() {
+            self.falsified = true;
+        }
+        for lit in conj.lits() {
+            self.push(lit);
+        }
+    }
+
+    /// Number of (non-trivial) literals pushed so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lits
+    }
+
+    /// Whether no (non-trivial) literal has been pushed.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lits == 0
+    }
+
+    /// Satisfiability of everything pushed so far. Mirrors
+    /// [`Conj::is_sat_with`] on the equivalent conjunction: falsified →
+    /// unsat, empty → sat, otherwise negative-cycle check plus
+    /// disequality case-splitting against the (already closed) matrix.
+    #[must_use]
+    pub fn is_sat(&self, options: SatOptions) -> bool {
+        if self.falsified {
+            return false;
+        }
+        if self.lits == 0 {
+            return true;
+        }
+        self.sys.check_sat_closed(options)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::term::{Term, Var};
+    use rid_ir::Pred;
+
+    fn v(i: u32) -> Term {
+        Term::var(Var::local(i))
+    }
+
+    /// Pushing a literal sequence must answer exactly like the batch
+    /// solver on the same prefix, at every step.
+    fn assert_agrees_with_batch(lits: &[Lit]) {
+        let mut solver = IncrementalSolver::new();
+        let mut conj = Conj::truth();
+        for lit in lits {
+            solver.push(lit);
+            conj.push(lit.clone());
+            assert_eq!(
+                solver.is_sat(SatOptions::default()),
+                conj.is_sat(),
+                "divergence after pushing {lit}"
+            );
+        }
+    }
+
+    #[test]
+    fn agrees_with_batch_on_interval_chains() {
+        assert_agrees_with_batch(&[
+            Lit::new(Pred::Gt, v(0), Term::int(0)),
+            Lit::new(Pred::Le, v(0), v(1)),
+            Lit::new(Pred::Lt, v(1), Term::int(2)),
+            Lit::new(Pred::Eq, v(0), Term::int(5)), // now unsat
+        ]);
+    }
+
+    #[test]
+    fn agrees_with_batch_on_transitive_cycles() {
+        assert_agrees_with_batch(&[
+            Lit::new(Pred::Lt, v(0), v(1)),
+            Lit::new(Pred::Lt, v(1), v(2)),
+            Lit::new(Pred::Lt, v(2), v(0)), // negative cycle
+        ]);
+    }
+
+    #[test]
+    fn agrees_with_batch_on_disequalities() {
+        assert_agrees_with_batch(&[
+            Lit::new(Pred::Ge, v(0), Term::int(0)),
+            Lit::new(Pred::Le, v(0), Term::int(1)),
+            Lit::new(Pred::Ne, v(0), Term::int(0)),
+            Lit::new(Pred::Ne, v(0), Term::int(1)), // needs splitting
+        ]);
+    }
+
+    #[test]
+    fn constant_folding_matches_conj() {
+        let mut solver = IncrementalSolver::new();
+        solver.push(&Lit::new(Pred::Lt, Term::int(1), Term::int(2)));
+        assert!(solver.is_empty());
+        assert!(solver.is_sat(SatOptions::default()));
+        solver.push(&Lit::new(Pred::Gt, Term::int(1), Term::int(2)));
+        assert!(!solver.is_sat(SatOptions::default()));
+    }
+
+    #[test]
+    fn snapshot_rollback_via_clone() {
+        let mut solver = IncrementalSolver::new();
+        solver.push(&Lit::new(Pred::Ge, v(0), Term::int(0)));
+        let fork = solver.clone();
+        solver.push(&Lit::new(Pred::Lt, v(0), Term::int(0)));
+        assert!(!solver.is_sat(SatOptions::default()));
+        assert!(fork.is_sat(SatOptions::default()));
+        assert_eq!(fork.len(), 1);
+    }
+
+    #[test]
+    fn push_conj_matches_and() {
+        let base = Conj::from_lits([Lit::new(Pred::Ge, v(0), Term::int(0))]);
+        let ext = Conj::from_lits([
+            Lit::new(Pred::Le, v(0), Term::int(5)),
+            Lit::new(Pred::Ne, v(0), Term::int(3)),
+        ]);
+        let mut solver = IncrementalSolver::new();
+        solver.push_conj(&base);
+        solver.push_conj(&ext);
+        assert_eq!(solver.is_sat(SatOptions::default()), base.and(&ext).is_sat());
+        let mut falsified = IncrementalSolver::new();
+        falsified.push_conj(&Conj::unsat());
+        assert!(!falsified.is_sat(SatOptions::default()));
+    }
+
+    #[test]
+    fn zero_fuel_matches_batch_zero_fuel() {
+        // With no fuel at all neither solver can close anything: both see
+        // only the raw edges and degrade toward SAT identically.
+        let lits = [
+            Lit::new(Pred::Eq, v(0), Term::int(5)),
+            Lit::new(Pred::Ne, v(0), Term::int(5)),
+            Lit::new(Pred::Lt, v(1), v(2)),
+            Lit::new(Pred::Lt, v(2), v(1)),
+        ];
+        for prefix in 1..=lits.len() {
+            let _guard = crate::fuel::install(0);
+            let mut solver = IncrementalSolver::new();
+            let mut conj = Conj::truth();
+            for lit in &lits[..prefix] {
+                solver.push(lit);
+                conj.push(lit.clone());
+            }
+            assert_eq!(
+                solver.is_sat(SatOptions::default()),
+                conj.is_sat(),
+                "zero-fuel divergence at prefix {prefix}"
+            );
+        }
+    }
+}

@@ -59,13 +59,15 @@
 
 mod conj;
 pub mod fuel;
+mod incsolver;
 mod lit;
 mod project;
 mod sat;
 mod term;
 
 pub use conj::Conj;
+pub use incsolver::IncrementalSolver;
 pub use lit::Lit;
 pub use project::project;
 pub use sat::SatOptions;
-pub use term::{Subst, Term, Var, VarKind};
+pub use term::{FieldName, Subst, Term, Var, VarKind};

@@ -175,6 +175,89 @@ impl DiffSystem {
         }
     }
 
+    /// Pushes one literal into an **already-closed** matrix, restoring
+    /// closure incrementally (edge relaxation, O(n²) per `≤`-edge) instead
+    /// of re-running the O(n³) Floyd–Warshall closure from scratch. This
+    /// is the engine of [`crate::IncrementalSolver`].
+    ///
+    /// With unlimited fuel the resulting matrix is exactly the closure of
+    /// all literals pushed so far (shortest paths are insertion-order
+    /// independent), so answers match [`DiffSystem::check_sat`] on the
+    /// equivalent conjunction literal for literal.
+    pub(crate) fn push_lit_closed(&mut self, lit: &crate::lit::Lit) {
+        let (la, ca) = self.node(&lit.lhs);
+        let (lb, cb) = self.node(&lit.rhs);
+        let k = cb.saturating_add(lit.offset).saturating_sub(ca);
+        match lit.pred {
+            Pred::Le => self.relax_le(la, lb, k),
+            Pred::Lt => self.relax_le(la, lb, k.saturating_sub(1)),
+            Pred::Ge => self.relax_le(lb, la, k.saturating_neg()),
+            Pred::Gt => self.relax_le(lb, la, k.saturating_neg().saturating_sub(1)),
+            Pred::Eq => {
+                self.relax_le(la, lb, k);
+                self.relax_le(lb, la, k.saturating_neg());
+            }
+            Pred::Ne => {
+                if la == lb {
+                    if k == 0 {
+                        self.contradiction = true;
+                    }
+                } else {
+                    self.diseqs.push((la, lb, k));
+                }
+            }
+        }
+    }
+
+    /// `node_a − node_b ≤ w` against a closed matrix, with fuel-metered
+    /// relaxation. A relaxation sweep costs `n²` fuel (the same rate as a
+    /// [`DiffSystem::close`] pivot); when fuel is exhausted the raw edge is
+    /// recorded without propagating, leaving bounds *looser* than the true
+    /// closure — every later answer degrades toward "satisfiable", the
+    /// same conservative direction as an abandoned closure.
+    fn relax_le(&mut self, a: usize, b: usize, w: i64) {
+        if a == b {
+            if w < 0 {
+                self.contradiction = true;
+            }
+            return;
+        }
+        if w >= self.d[b][a] {
+            return;
+        }
+        let n = self.nodes.len();
+        if !crate::fuel::spend((n * n) as u64) {
+            self.d[b][a] = w;
+            return;
+        }
+        for p in 0..n {
+            let dpb = self.d[p][b];
+            if dpb >= INF {
+                continue;
+            }
+            let through = dpb.saturating_add(w);
+            for q in 0..n {
+                let alt = through.saturating_add(self.d[a][q]);
+                if alt < self.d[p][q] {
+                    self.d[p][q] = alt;
+                }
+            }
+        }
+    }
+
+    /// Satisfiability of an already-closed system, without consuming it
+    /// (the incremental solver keeps pushing literals afterwards).
+    pub(crate) fn check_sat_closed(&self, options: SatOptions) -> bool {
+        if self.contradiction {
+            return false;
+        }
+        if self.has_negative_cycle() {
+            return false;
+        }
+        let mut budget = options.max_splits;
+        sat_with_diseqs(self, &self.diseqs, &mut budget)
+    }
+
     /// Bounds `(lo, hi)` on `node_a − node_b` implied by the closed matrix.
     pub(crate) fn bounds(&self, a: usize, b: usize) -> (i64, i64) {
         let hi = self.d[b][a];

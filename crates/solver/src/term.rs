@@ -1,9 +1,141 @@
 //! Symbolic terms — the expression language of Figure 5.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashSet};
 use std::fmt;
+use std::sync::{Arc, Mutex, OnceLock};
 
 use serde::{Deserialize, Serialize};
+
+/// The global field-name interner. Field names form a tiny, heavily
+/// repeated vocabulary (`pm`, `rc`, `dev`, …), so every [`FieldName`]
+/// holds a shared `Arc<str>`: cloning a term is a refcount bump instead of
+/// a `String` copy, and equality of interned names is a pointer compare.
+static FIELD_INTERNER: OnceLock<Mutex<HashSet<Arc<str>>>> = OnceLock::new();
+
+fn intern_field(name: &str) -> Arc<str> {
+    let mut set = FIELD_INTERNER
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(existing) = set.get(name) {
+        return Arc::clone(existing);
+    }
+    let arc: Arc<str> = Arc::from(name);
+    set.insert(Arc::clone(&arc));
+    arc
+}
+
+/// An interned field name (the `f` of `t.f` in Figure 5).
+///
+/// Behaves exactly like the `String` it replaced — content equality,
+/// content ordering, `String`-compatible `Debug` and serde forms — but
+/// clones are O(1) and equal names share storage, so comparisons hit the
+/// pointer fast path.
+#[derive(Clone)]
+pub struct FieldName(Arc<str>);
+
+impl FieldName {
+    /// Interns `name` and returns the shared handle.
+    #[must_use]
+    pub fn new(name: &str) -> FieldName {
+        FieldName(intern_field(name))
+    }
+
+    /// The field name as a string slice.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl PartialEq for FieldName {
+    fn eq(&self, other: &FieldName) -> bool {
+        Arc::ptr_eq(&self.0, &other.0) || *self.0 == *other.0
+    }
+}
+
+impl Eq for FieldName {}
+
+impl PartialOrd for FieldName {
+    fn partial_cmp(&self, other: &FieldName) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for FieldName {
+    fn cmp(&self, other: &FieldName) -> std::cmp::Ordering {
+        if Arc::ptr_eq(&self.0, &other.0) {
+            return std::cmp::Ordering::Equal;
+        }
+        self.0.cmp(&other.0)
+    }
+}
+
+impl std::hash::Hash for FieldName {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        // Hash the content (like `String`), not the pointer, so maps keyed
+        // on terms behave identically to the pre-interning representation.
+        self.0.hash(state);
+    }
+}
+
+impl std::ops::Deref for FieldName {
+    type Target = str;
+    fn deref(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for FieldName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `String`-compatible: quoted content, no wrapper name. Debug
+        // output participates in `Conj::normalize` ordering, which must
+        // not shift under interning.
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl fmt::Display for FieldName {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl From<&str> for FieldName {
+    fn from(name: &str) -> FieldName {
+        FieldName::new(name)
+    }
+}
+
+impl From<String> for FieldName {
+    fn from(name: String) -> FieldName {
+        FieldName::new(&name)
+    }
+}
+
+impl From<&String> for FieldName {
+    fn from(name: &String) -> FieldName {
+        FieldName::new(name)
+    }
+}
+
+impl Serialize for FieldName {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Byte-compatible with the old `String` field: a plain JSON string.
+        serializer.serialize_value(serde::Value::Str(self.as_str().to_owned()))
+    }
+}
+
+impl<'de> Deserialize<'de> for FieldName {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        match deserializer.take_value()? {
+            serde::Value::Str(s) => Ok(FieldName::new(&s)),
+            other => Err(serde::de::Error::custom(format_args!(
+                "expected field-name string, found {other}"
+            ))),
+        }
+    }
+}
 
 /// What a symbolic variable denotes, which determines whether it is visible
 /// outside the function under analysis.
@@ -124,7 +256,7 @@ pub enum Term {
     /// A symbolic variable.
     Var(Var),
     /// `base.field`.
-    Field(Box<Term>, String),
+    Field(Box<Term>, FieldName),
 }
 
 impl Term {
@@ -149,7 +281,7 @@ impl Term {
 
     /// `self.field`.
     #[must_use]
-    pub fn field(self, field: impl Into<String>) -> Term {
+    pub fn field(self, field: impl Into<FieldName>) -> Term {
         Term::Field(Box::new(self), field.into())
     }
 
@@ -300,6 +432,22 @@ mod tests {
         assert_eq!(Term::TRUE, Term::Int(1));
         assert_eq!(Term::FALSE, Term::Int(0));
         assert_eq!(Term::NULL, Term::Int(0));
+    }
+
+    #[test]
+    fn field_names_intern_to_shared_storage() {
+        let a = Term::var(Var::formal(0)).field("pm");
+        let b = Term::var(Var::formal(0)).field(String::from("pm"));
+        assert_eq!(a, b);
+        let (Term::Field(_, fa), Term::Field(_, fb)) = (&a, &b) else {
+            panic!("field terms expected")
+        };
+        assert!(Arc::ptr_eq(&fa.0, &fb.0), "equal names share one allocation");
+        // Debug stays `String`-shaped: `Conj::normalize` orders literals by
+        // their debug rendering, which must not shift under interning.
+        assert_eq!(format!("{:?}", FieldName::new("pm")), format!("{:?}", "pm"));
+        assert_eq!(FieldName::new("a").cmp(&FieldName::new("b")), std::cmp::Ordering::Less);
+        assert_eq!(FieldName::new("pm").as_str(), "pm");
     }
 
     #[test]
