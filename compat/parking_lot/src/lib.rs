@@ -34,6 +34,45 @@ impl<T> Mutex<T> {
     }
 }
 
+/// A condition variable (see [`std::sync::Condvar`]). Unlike the real
+/// parking_lot the wait API takes the guard **by value** and hands it
+/// back — std guards cannot be re-acquired through an `&mut` borrow
+/// without unsafe code.
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates the condition variable.
+    pub fn new() -> Condvar {
+        Condvar { inner: std::sync::Condvar::new() }
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+
+    /// Waits until notified or `timeout` elapses, whichever comes first;
+    /// returns the re-acquired guard.
+    pub fn wait_for<'a, T>(
+        &self,
+        guard: MutexGuard<'a, T>,
+        timeout: std::time::Duration,
+    ) -> MutexGuard<'a, T> {
+        self.inner
+            .wait_timeout(guard, timeout)
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .0
+    }
+}
+
 /// A reader-writer lock (see [`std::sync::RwLock`]).
 #[derive(Debug, Default)]
 pub struct RwLock<T> {

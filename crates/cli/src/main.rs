@@ -4,7 +4,8 @@
 //! rid analyze <file.ril>... [--apis dpm|python|none] [--summaries db.json]
 //!             [--save-summaries out.json] [--threads N] [--no-selective]
 //!             [--separate] [--json] [--deadline-ms N] [--fuel N]
-//!             [--global-deadline-ms N]
+//!             [--global-deadline-ms N] [--exec-mode auto|tree|per-path]
+//!             [--cache cache.json]
 //! rid classify <file.ril>... [--apis dpm|python|none]
 //! rid summarize <file.ril>... --function <name> [--apis dpm|python|none]
 //! rid baseline <file.ril>... [--apis python]
@@ -22,7 +23,10 @@ use std::collections::HashMap;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
 
-use rid_core::persist::{analyze_modules_separately, load_db, load_state, save_db, save_state};
+use rid_core::persist::{
+    analyze_modules_separately, load_cache, load_db, load_state, save_cache, save_db,
+    save_state,
+};
 use rid_core::{AnalysisOptions, SummaryDb};
 
 fn usage() -> ExitCode {
@@ -32,6 +36,7 @@ fn usage() -> ExitCode {
               [--save-summaries out.json] [--threads N] [--no-selective]
               [--separate] [--callbacks] [--json] [--deadline-ms N]
               [--fuel N] [--global-deadline-ms N]
+              [--exec-mode auto|tree|per-path] [--cache cache.json]
   rid classify <file.ril>... [--apis dpm|python|none]
   rid summarize <file.ril>... --function <name> [--apis dpm|python|none]
   rid baseline <file.ril>... [--apis python]
@@ -127,6 +132,12 @@ fn analysis_options(args: &Args) -> Result<AnalysisOptions, String> {
             .map(|v| v.parse().map_err(|_| format!("--fuel expects a number, got `{v}`")))
             .transpose()?,
     };
+    let exec_mode = match args.options.get("exec-mode").map(String::as_str) {
+        None | Some("auto") => rid_core::ExecMode::Auto,
+        Some("tree") => rid_core::ExecMode::Tree,
+        Some("per-path") => rid_core::ExecMode::PerPath,
+        Some(other) => return Err(format!("unknown --exec-mode value `{other}`")),
+    };
     Ok(AnalysisOptions {
         selective: !args.flags.iter().any(|f| f == "no-selective"),
         check_callbacks: args.flags.iter().any(|f| f == "callbacks"),
@@ -136,6 +147,7 @@ fn analysis_options(args: &Args) -> Result<AnalysisOptions, String> {
             .and_then(|t| t.parse().ok())
             .unwrap_or(1),
         budget,
+        exec_mode,
         ..Default::default()
     })
 }
@@ -161,13 +173,44 @@ fn cmd_analyze(args: &Args) -> Result<u8, String> {
     let apis = predefined_apis(args)?;
     let options = analysis_options(args)?;
 
+    let cache_path = args.options.get("cache").map(PathBuf::from);
     let result = if args.flags.iter().any(|f| f == "separate") {
+        if cache_path.is_some() {
+            return Err("--cache is not supported with --separate".to_owned());
+        }
         // §5.3 mode: analyze compilation units separately in dependency
         // order, carrying summaries between groups.
         let modules: Result<Vec<_>, _> =
             sources.iter().map(|s| rid_frontend::parse_module(s)).collect();
         let modules = modules.map_err(|e| e.to_string())?;
         analyze_modules_separately(&modules, &apis, &options).map_err(|e| e.to_string())?
+    } else if let Some(path) = &cache_path {
+        let program = rid_frontend::parse_program(sources.iter().map(String::as_str))
+            .map_err(|e| e.to_string())?;
+        // A missing cache file is a cold start, not an error; anything
+        // else (unreadable, garbage, foreign schema) is fatal.
+        let mut cache = if path.exists() {
+            load_cache(path).map_err(|e| format!("--cache: {e}"))?
+        } else {
+            rid_core::SummaryCache::new()
+        };
+        let result = rid_core::analyze_program_cached(
+            &program,
+            &apis,
+            &options,
+            &rid_core::FaultPlan::none(),
+            Some(&mut cache),
+        );
+        save_cache(&cache, path).map_err(|e| format!("--cache: {e}"))?;
+        eprintln!(
+            "cache: {} hit(s), {} miss(es), {} invalidated; {} entries in {}",
+            result.stats.cache_hits,
+            result.stats.cache_misses,
+            result.stats.cache_invalidated,
+            cache.len(),
+            path.display()
+        );
+        result
     } else {
         rid_core::analyze_sources(sources.iter().map(String::as_str), &apis, &options)
             .map_err(|e| e.to_string())?

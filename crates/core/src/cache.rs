@@ -1,0 +1,437 @@
+//! Persistent content-addressed summary cache.
+//!
+//! The paper's §5.4 incremental-recheck idea — "reuse previously
+//! calculated summaries of unaffected functions" — generalized to
+//! cross-*run* caching: every non-degraded function summary (plus its IPP
+//! reports) is stored under a **merkle-style content key**, so a warm
+//! re-run of an unchanged corpus skips summarization and checking
+//! entirely, and an edit invalidates exactly the edited function's
+//! transitive-caller cone — the same frontier
+//! [`crate::incremental::affected_functions`] computes.
+//!
+//! ## Key discipline
+//!
+//! Keys are computed per call-graph SCC, in reverse topological order:
+//!
+//! ```text
+//! comp_key(C) = H(salt, content(m) for m in members(C) in index order,
+//!                 comp_key(D) for D in callee_comps(C))
+//! key(f)      = comp_key(component of f)
+//! ```
+//!
+//! `content(f)` hashes the function's lowered IR structurally, which
+//! covers its body *and* the names of everything it calls; the callee keys
+//! make a change propagate to every transitive caller. SCC granularity is
+//! exact, not an approximation: within an SCC every member transitively
+//! calls every other, so `affected_functions` of any member contains the
+//! whole component. The `salt` folds in everything else a summary depends
+//! on — the analysis limits (block-visit counts shape symbolic names),
+//! solver options, the selective flag (it decides which callees have
+//! summaries at all), and the predefined API database (§5.1 summaries
+//! seed classification and shadow definitions).
+//!
+//! Deliberately *not* in the key: thread count and execution mode (both
+//! are bit-for-bit output-preserving, see the differential suite) and the
+//! budgets. Budgets are sound to omit **because degraded summaries are
+//! never cached**: a budget can only change the result of a run by
+//! degrading it, and degraded functions are always recomputed.
+//!
+//! Keys are 128-bit FNV-1a over 8-byte words — collisions are not a
+//! practical concern at corpus scale, and the hash is stable across runs
+//! of the same build on the same platform (integer fields hash in native
+//! endianness), which is exactly the lifetime of an on-disk cache file.
+
+use std::collections::BTreeMap;
+
+use rid_ir::Function;
+use serde::{Deserialize, Serialize};
+
+use crate::callgraph::Condensation;
+use crate::driver::AnalysisOptions;
+use crate::ipp::IppReport;
+use crate::summary::{Summary, SummaryDb};
+
+/// Schema tag stored in (and validated against) persisted cache files.
+/// v2: cached IPP reports carry block traces.
+pub const CACHE_SCHEMA: &str = "rid-summary-cache/v2";
+
+/// 128-bit FNV-1a.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct Fnv128(u128);
+
+const FNV_OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+const FNV_PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+impl Fnv128 {
+    pub(crate) fn new() -> Fnv128 {
+        Fnv128(FNV_OFFSET)
+    }
+
+    /// Folds `bytes` in 8-byte words (one 128-bit multiply per word
+    /// instead of per byte — warm-run keying hashes the whole active
+    /// cone's IR text, so this is on the cache's critical path). The
+    /// result depends on call boundaries as well as content; callers
+    /// that need boundary-independence buffer upstream (see
+    /// [`HashWriter`]), and determinism — the only property keys need —
+    /// holds either way.
+    pub(crate) fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            let word = u64::from_le_bytes(chunk.try_into().expect("8-byte chunk"));
+            self.0 ^= u128::from(word);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut tail = [0u8; 8];
+            tail[..rem.len()].copy_from_slice(rem);
+            // Length-tag the padded tail so "ab" and "ab\0" differ.
+            self.0 ^= u128::from(u64::from_le_bytes(tail))
+                ^ (u128::from(rem.len() as u64) << 64);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+
+    pub(crate) fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub(crate) fn write_u64(&mut self, v: u64) {
+        self.write(&v.to_le_bytes());
+    }
+
+    pub(crate) fn finish(self) -> u128 {
+        self.0
+    }
+}
+
+/// Adapter so the IR's derived [`std::hash::Hash`] impls feed
+/// [`Fnv128`]. Only the 128-bit state is read back; `finish()` exists
+/// to satisfy the trait.
+struct FnvHasher(Fnv128);
+
+impl std::hash::Hasher for FnvHasher {
+    fn write(&mut self, bytes: &[u8]) {
+        self.0.write(bytes);
+    }
+
+    fn finish(&self) -> u64 {
+        self.0 .0 as u64
+    }
+}
+
+/// Stable hash of a function's lowered IR: name, parameters, linkage,
+/// and every block's instructions and terminator, via the IR types'
+/// derived `Hash` impls (structural, well-delimited — strings carry a
+/// terminator byte, vectors their length, enums their discriminant).
+/// Warm-run keying hashes the whole active cone, so this path matters:
+/// structural hashing is several times faster than hashing the
+/// `Display` text because it never touches the `fmt` machinery.
+#[must_use]
+pub(crate) fn content_hash(func: &Function) -> u128 {
+    use std::hash::Hash;
+    let mut h = FnvHasher(Fnv128::new());
+    func.name().hash(&mut h);
+    func.params().hash(&mut h);
+    func.weak.hash(&mut h);
+    for block in func.blocks() {
+        block.insts.hash(&mut h);
+        block.term.hash(&mut h);
+    }
+    h.0.finish()
+}
+
+/// The run-configuration salt folded into every key (see the module
+/// docs for what belongs here and what deliberately does not).
+#[must_use]
+pub(crate) fn cache_salt(options: &AnalysisOptions, predefined: &SummaryDb) -> u128 {
+    let mut h = Fnv128::new();
+    h.write(CACHE_SCHEMA.as_bytes());
+    h.write_u64(options.limits.max_paths as u64);
+    h.write_u64(u64::from(options.limits.max_block_visits));
+    h.write_u64(options.limits.max_subcases as u64);
+    h.write_u64(options.limits.max_entries as u64);
+    h.write_u64(u64::from(options.sat.max_splits));
+    h.write(&[u8::from(options.selective)]);
+    // SummaryDb serializes from a BTreeMap — deterministic order.
+    let apis = serde_json::to_string(predefined).expect("summary db serializes");
+    h.write(apis.as_bytes());
+    h.finish()
+}
+
+/// Computes the content key of every function whose component is
+/// reachable (through callee edges) from a component marked in `roots`;
+/// unreachable functions get `None`. `roots` is indexed by component and
+/// typically marks the components containing at least one analyzed
+/// function — the lazy marking keeps warm re-runs from hashing the ~90%
+/// of a kernel corpus the analysis never touches.
+#[must_use]
+pub(crate) fn function_keys(
+    functions: &[&Function],
+    cond: &Condensation,
+    roots: &[bool],
+    salt: u128,
+) -> Vec<Option<u128>> {
+    let n_comps = cond.members.len();
+    debug_assert_eq!(roots.len(), n_comps);
+
+    // Mark the transitive callee closure of the roots.
+    let mut needed = roots.to_vec();
+    let mut worklist: Vec<usize> =
+        (0..n_comps).filter(|&c| roots[c]).collect();
+    while let Some(c) = worklist.pop() {
+        for &cw in &cond.callee_comps[c] {
+            if !needed[cw] {
+                needed[cw] = true;
+                worklist.push(cw);
+            }
+        }
+    }
+
+    // Components are in reverse topological order: callee keys are ready
+    // before any caller reads them.
+    let mut comp_keys: Vec<Option<u128>> = vec![None; n_comps];
+    for c in 0..n_comps {
+        if !needed[c] {
+            continue;
+        }
+        let mut h = Fnv128::new();
+        h.write_u128(salt);
+        for &i in &cond.members[c] {
+            h.write_u128(content_hash(functions[i]));
+        }
+        for &cw in &cond.callee_comps[c] {
+            h.write_u128(comp_keys[cw].expect("callee component key computed first"));
+        }
+        comp_keys[c] = Some(h.finish());
+    }
+
+    (0..functions.len()).map(|i| comp_keys[cond.comp_of[i]]).collect()
+}
+
+/// One cached function result: the content key it was computed under,
+/// the summary, and the IPP reports found while checking it.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct CacheEntry {
+    /// The function's content key (32 lowercase hex digits).
+    pub key: String,
+    /// The cached summary. Never partial: degraded summaries are not
+    /// cached (see the module docs).
+    pub summary: Summary,
+    /// The IPP reports produced when this function was checked.
+    pub reports: Vec<IppReport>,
+}
+
+/// A persistent map from function name to cached result. Serialize with
+/// [`crate::persist::save_cache`] / [`crate::persist::load_cache`].
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct SummaryCache {
+    /// Schema tag; always [`CACHE_SCHEMA`] for caches this build writes.
+    pub schema: String,
+    /// Cached results by function name.
+    pub entries: BTreeMap<String, CacheEntry>,
+}
+
+impl Default for SummaryCache {
+    fn default() -> Self {
+        SummaryCache::new()
+    }
+}
+
+/// The result of probing the cache for one function.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CacheProbe {
+    /// Entry present with a matching key: reusable.
+    Hit,
+    /// Entry present but its key is stale (the function's cone changed).
+    Stale,
+    /// No entry for this function.
+    Absent,
+}
+
+impl SummaryCache {
+    /// Creates an empty cache.
+    #[must_use]
+    pub fn new() -> SummaryCache {
+        SummaryCache { schema: CACHE_SCHEMA.to_owned(), entries: BTreeMap::new() }
+    }
+
+    /// Number of cached entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache holds no entries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Classifies a lookup of `name` under the current `key`, returning
+    /// the entry alongside a hit so the caller needs no second lookup
+    /// (the warm-run fast path runs this once per analyzed function).
+    #[must_use]
+    pub(crate) fn probe(&self, name: &str, key: u128) -> (CacheProbe, Option<&CacheEntry>) {
+        match self.entries.get(name) {
+            None => (CacheProbe::Absent, None),
+            Some(entry) if hex_matches(&entry.key, key) => (CacheProbe::Hit, Some(entry)),
+            Some(_) => (CacheProbe::Stale, None),
+        }
+    }
+
+    /// The entry for `name`, regardless of key freshness.
+    #[must_use]
+    pub fn get(&self, name: &str) -> Option<&CacheEntry> {
+        self.entries.get(name)
+    }
+
+    /// Inserts (or replaces) the entry for `name`.
+    pub(crate) fn insert(
+        &mut self,
+        name: &str,
+        key: u128,
+        summary: Summary,
+        reports: Vec<IppReport>,
+    ) {
+        debug_assert!(!summary.partial, "degraded summaries are never cached");
+        self.entries
+            .insert(name.to_owned(), CacheEntry { key: hex_key(key), summary, reports });
+    }
+}
+
+/// Canonical textual form of a key (32 lowercase hex digits).
+#[must_use]
+pub(crate) fn hex_key(key: u128) -> String {
+    format!("{key:032x}")
+}
+
+/// Whether `text` is the canonical hex form of `key`, without
+/// allocating the comparison string.
+fn hex_matches(text: &str, key: u128) -> bool {
+    let bytes = text.as_bytes();
+    bytes.len() == 32
+        && bytes.iter().rev().enumerate().all(|(i, &c)| {
+            let digit = ((key >> (4 * i)) & 0xf) as usize;
+            c == b"0123456789abcdef"[digit]
+        })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::callgraph::CallGraph;
+    use rid_frontend::parse_program;
+
+    fn keys_of(srcs: &[&str]) -> (CallGraph, Vec<Option<u128>>, Vec<String>) {
+        let program = parse_program(srcs.iter().copied()).unwrap();
+        let graph = CallGraph::build(&program);
+        let cond = graph.condensation();
+        let roots = vec![true; cond.members.len()];
+        let functions = program.functions();
+        let keys = function_keys(&functions, &cond, &roots, 7);
+        let names = functions.iter().map(|f| f.name().to_owned()).collect();
+        (graph, keys, names)
+    }
+
+    fn key_map(srcs: &[&str]) -> BTreeMap<String, u128> {
+        let (_, keys, names) = keys_of(srcs);
+        names.into_iter().zip(keys.into_iter().map(Option::unwrap)).collect()
+    }
+
+    #[test]
+    fn fnv128_distinguishes_and_is_stable() {
+        let mut a = Fnv128::new();
+        a.write(b"hello");
+        let mut b = Fnv128::new();
+        b.write(b"hello");
+        assert_eq!(a.finish(), b.finish());
+        let mut c = Fnv128::new();
+        c.write(b"hellp");
+        assert_ne!(a.finish(), c.finish());
+    }
+
+    #[test]
+    fn edit_invalidates_exactly_the_caller_cone() {
+        let before = [
+            "module m; fn leaf(d) { pm_runtime_get(d); return; }",
+            "module n; fn mid(d) { leaf(d); return; } fn top(d) { mid(d); return; } fn other(d) { pm_runtime_put(d); return; }",
+        ];
+        let after = [
+            "module m; fn leaf(d) { pm_runtime_get(d); pm_runtime_put(d); return; }",
+            "module n; fn mid(d) { leaf(d); return; } fn top(d) { mid(d); return; } fn other(d) { pm_runtime_put(d); return; }",
+        ];
+        let a = key_map(&before);
+        let b = key_map(&after);
+        assert_ne!(a["leaf"], b["leaf"]);
+        assert_ne!(a["mid"], b["mid"], "callers must see the callee change");
+        assert_ne!(a["top"], b["top"], "the cone is transitive");
+        assert_eq!(a["other"], b["other"], "unrelated functions keep their keys");
+    }
+
+    #[test]
+    fn scc_members_share_one_key_and_invalidate_together() {
+        let v1 = ["module m; fn a(d) { b(d); return; } fn b(d) { a(d); return; } fn c(d) { a(d); return; }"];
+        let v2 = ["module m; fn a(d) { b(d); pm_runtime_get(d); return; } fn b(d) { a(d); return; } fn c(d) { a(d); return; }"];
+        let x = key_map(&v1);
+        let y = key_map(&v2);
+        assert_eq!(x["a"], x["b"], "SCC members share the component key");
+        assert_ne!(x["a"], y["a"]);
+        assert_ne!(x["b"], y["b"], "editing one member invalidates the SCC");
+        assert_ne!(x["c"], y["c"], "and the SCC's callers");
+    }
+
+    #[test]
+    fn lazy_marking_skips_unreachable_components() {
+        let program = parse_program([
+            "module m; fn wanted(d) { helper(d); return; } fn helper(d) { return; } fn ignored(d) { return; }",
+        ])
+        .unwrap();
+        let graph = CallGraph::build(&program);
+        let cond = graph.condensation();
+        let functions = program.functions();
+        let mut roots = vec![false; cond.members.len()];
+        roots[cond.comp_of[graph.index_of("wanted").unwrap()]] = true;
+        let keys = function_keys(&functions, &cond, &roots, 0);
+        assert!(keys[graph.index_of("wanted").unwrap()].is_some());
+        assert!(
+            keys[graph.index_of("helper").unwrap()].is_some(),
+            "transitive callees of a root are hashed"
+        );
+        assert!(
+            keys[graph.index_of("ignored").unwrap()].is_none(),
+            "components no root reaches are skipped"
+        );
+    }
+
+    #[test]
+    fn salt_changes_with_options_and_apis() {
+        let apis = crate::apis::linux_dpm_apis();
+        let base = AnalysisOptions::default();
+        let s0 = cache_salt(&base, &apis);
+        assert_eq!(s0, cache_salt(&base, &apis), "salt is deterministic");
+        let mut tighter = base;
+        tighter.limits.max_paths /= 2;
+        assert_ne!(s0, cache_salt(&tighter, &apis));
+        let mut unselective = base;
+        unselective.selective = false;
+        assert_ne!(s0, cache_salt(&unselective, &apis));
+        assert_ne!(s0, cache_salt(&base, &crate::apis::python_c_apis()));
+        let mut threaded = base;
+        threaded.threads = 8;
+        assert_eq!(s0, cache_salt(&threaded, &apis), "thread count is not key material");
+    }
+
+    #[test]
+    fn probe_classifies_hit_stale_absent() {
+        let mut cache = SummaryCache::new();
+        assert!(cache.is_empty());
+        cache.insert("f", 42, Summary::new("f"), Vec::new());
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.probe("f", 42).0, CacheProbe::Hit);
+        assert!(cache.probe("f", 42).1.is_some(), "hits carry the entry");
+        assert_eq!(cache.probe("f", 43).0, CacheProbe::Stale);
+        assert_eq!(cache.probe("g", 42).0, CacheProbe::Absent);
+        assert_eq!(cache.get("f").unwrap().key, hex_key(42));
+    }
+}

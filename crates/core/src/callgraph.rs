@@ -179,6 +179,46 @@ impl CallGraph {
         self.sccs().into_iter().flatten().collect()
     }
 
+    /// The SCC condensation of the call graph: one node per strongly
+    /// connected component, with deduplicated cross-component edges in
+    /// both directions. Components are in reverse topological order
+    /// (callee components have smaller indices), so `callee_comps[c]`
+    /// only contains indices `< c` and `caller_comps[c]` only `> c`.
+    ///
+    /// This is the dependency structure the work-stealing scheduler
+    /// counts over: a component is ready when every component in its
+    /// `callee_comps` has been summarized.
+    #[must_use]
+    pub fn condensation(&self) -> Condensation {
+        let members = self.sccs();
+        let mut comp_of = vec![0usize; self.len()];
+        for (c, comp) in members.iter().enumerate() {
+            for &v in comp {
+                comp_of[v] = c;
+            }
+        }
+        let mut callee_comps: Vec<Vec<usize>> = vec![Vec::new(); members.len()];
+        let mut caller_comps: Vec<Vec<usize>> = vec![Vec::new(); members.len()];
+        for (c, comp) in members.iter().enumerate() {
+            let callees = &mut callee_comps[c];
+            for &v in comp {
+                for &w in &self.edges[v] {
+                    let cw = comp_of[w];
+                    if cw != c {
+                        callees.push(cw);
+                    }
+                }
+            }
+            callees.sort_unstable();
+            callees.dedup();
+            for &cw in callees.iter() {
+                caller_comps[cw].push(c);
+            }
+        }
+        // Caller lists were filled in ascending caller order already.
+        Condensation { members, comp_of, callee_comps, caller_comps }
+    }
+
     /// Condensation levels: `level[i]` is the length of the longest chain
     /// of SCCs below function `i`'s component. All functions of level `k`
     /// only call functions of levels `< k` (or their own SCC), so each
@@ -211,6 +251,23 @@ impl CallGraph {
         }
         (0..self.len()).map(|v| comp_level[comp_of[v]]).collect()
     }
+}
+
+/// The SCC condensation of a [`CallGraph`] (see
+/// [`CallGraph::condensation`]). Component indices are positions in
+/// `members`, which is in reverse topological order.
+#[derive(Clone, Debug)]
+pub struct Condensation {
+    /// `members[c]` = function indices of component `c`, ascending.
+    pub members: Vec<Vec<usize>>,
+    /// `comp_of[i]` = the component containing function `i`.
+    pub comp_of: Vec<usize>,
+    /// Distinct components directly called by component `c` (ascending,
+    /// never contains `c` itself).
+    pub callee_comps: Vec<Vec<usize>>,
+    /// Distinct components directly calling component `c` (ascending,
+    /// never contains `c` itself).
+    pub caller_comps: Vec<Vec<usize>>,
 }
 
 #[cfg(test)]
@@ -282,6 +339,48 @@ mod tests {
         assert!(g.callers(a).is_empty());
         assert_eq!(g.len(), 2);
         assert!(!g.is_empty());
+    }
+
+    #[test]
+    fn condensation_edges_are_deduplicated_and_directed() {
+        let g = graph(&[
+            "module m; fn a() { b(); c(); } fn b() { d(); d(); } fn c() { d(); } fn d() { return; }",
+        ]);
+        let cond = g.condensation();
+        assert_eq!(cond.members.len(), 4);
+        let comp = |n: &str| cond.comp_of[g.index_of(n).unwrap()];
+        // d's component has two distinct caller components (b's and c's).
+        assert_eq!(cond.caller_comps[comp("d")].len(), 2);
+        assert_eq!(cond.callee_comps[comp("d")], Vec::<usize>::new());
+        // a depends on b and c; b and c each depend only on d.
+        assert_eq!(cond.callee_comps[comp("a")].len(), 2);
+        assert_eq!(cond.callee_comps[comp("b")], vec![comp("d")]);
+        // Reverse topological: callee components come first.
+        for (c, callees) in cond.callee_comps.iter().enumerate() {
+            for &cw in callees {
+                assert!(cw < c, "callee component must precede caller");
+            }
+        }
+        for (c, callers) in cond.caller_comps.iter().enumerate() {
+            for &cw in callers {
+                assert!(cw > c, "caller component must follow callee");
+            }
+        }
+    }
+
+    #[test]
+    fn condensation_contracts_recursion() {
+        let g = graph(&[
+            "module m; fn a() { b(); } fn b() { a(); c(); } fn c() { return; }",
+        ]);
+        let cond = g.condensation();
+        assert_eq!(cond.members.len(), 2);
+        let ab = cond.comp_of[g.index_of("a").unwrap()];
+        assert_eq!(ab, cond.comp_of[g.index_of("b").unwrap()]);
+        let c = cond.comp_of[g.index_of("c").unwrap()];
+        // The intra-SCC a↔b edges vanish; only the edge to c survives.
+        assert_eq!(cond.callee_comps[ab], vec![c]);
+        assert_eq!(cond.caller_comps[c], vec![ab]);
     }
 
     #[test]

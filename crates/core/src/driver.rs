@@ -2,34 +2,53 @@
 //!
 //! The driver classifies functions (selective analysis), walks the call
 //! graph bottom-up, summarizes each analyzed function, runs IPP checking
-//! on its path summaries, and accumulates reports. Independent strongly
-//! connected components at the same dependency level can be analyzed in
-//! parallel (§5.3); recursion is broken by giving intra-SCC calls the
-//! default summary, deterministically in both modes.
+//! on its path summaries, and accumulates reports.
+//!
+//! Parallelism (§5.3) is **dependency-driven**: the SCC condensation of
+//! the call graph is built once, every component carries a counter of its
+//! unfinished callee components, and a persistent pool of workers (spawned
+//! once per analysis, not once per level) pops ready components from
+//! per-worker deques, stealing from siblings when idle. A component
+//! becomes schedulable the instant its last callee finishes — no level
+//! barrier, so one slow function stalls only its own transitive callers,
+//! never the whole wave. Completed summaries are published into lock-free
+//! per-function slots; the counters guarantee every slot a caller reads is
+//! already set, so the read path takes no lock at all. Recursion is broken
+//! by processing each SCC as one sequential work unit in function-index
+//! order, with calls to not-yet-summarized members falling back to the
+//! default summary — deterministic at every thread count.
 //!
 //! The driver is *fault tolerant*: each function is summarized inside a
 //! `catch_unwind` envelope, so a panic poisons only that function, never
-//! a worker or the run. A panicked function gets one sequential retry
-//! with reduced limits; if that fails too it degrades to the default
-//! summary — exactly the §5.2 fallback for cap hits — and the incident is
-//! recorded in [`AnalysisResult::degraded`]. Wall-clock and solver-fuel
-//! budgets ([`Budget`]) degrade the same way, cooperatively (no thread is
-//! ever killed).
+//! a worker or the run. A panicked function gets one immediate retry with
+//! reduced limits; if that fails too it degrades to the default summary —
+//! exactly the §5.2 fallback for cap hits — and the incident is recorded
+//! in [`AnalysisResult::degraded`]. Degraded functions still publish a
+//! summary and unblock their callers' counters, so the schedule always
+//! drains. Wall-clock and solver-fuel budgets ([`Budget`]) degrade the
+//! same way, cooperatively (no thread is ever killed).
+//!
+//! A persistent [`SummaryCache`] (see [`crate::cache`]) can be threaded
+//! through [`analyze_program_cached`]: functions whose content key is
+//! unchanged skip summarization and checking entirely, making warm
+//! re-runs of an unchanged corpus jump straight to the answer.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::OnceLock;
 use std::time::{Duration, Instant};
 
-use parking_lot::{Mutex, RwLock};
+use parking_lot::{Condvar, Mutex};
 use rid_ir::{Function, Program};
 use rid_solver::SatOptions;
 use serde::{Deserialize, Serialize};
 
 use crate::budget::{Budget, BudgetMeter, Degradation, DegradeReason, FunctionCost};
+use crate::cache::{cache_salt, function_keys, CacheProbe, SummaryCache};
 use crate::callgraph::CallGraph;
 use crate::classify::{classify, CategoryCounts, Classification};
-use crate::exec::{summarize_paths_mode, ExecMode, SummarizeOutcome};
+use crate::exec::{summarize_paths_view, ExecMode, SummarizeOutcome, SummaryView};
 use crate::fault::FaultPlan;
 use crate::ipp::{build_summary, check_ipps, IppOutcome, IppReport};
 use crate::paths::PathLimits;
@@ -54,9 +73,9 @@ pub struct AnalysisOptions {
     pub check_callbacks: bool,
     /// Wall-clock / solver-fuel budgets; unlimited by default.
     pub budget: Budget,
-    /// Execution strategy for summarization: shared-prefix tree execution
-    /// with incremental solving (default), or the standalone per-path
-    /// reference mode. Both produce identical summaries.
+    /// Execution strategy for summarization: adaptive per-function choice
+    /// (default), shared-prefix tree execution, or the standalone per-path
+    /// reference mode. All produce identical summaries.
     pub exec_mode: ExecMode,
 }
 
@@ -79,7 +98,7 @@ impl Default for AnalysisOptions {
 pub struct AnalysisStats {
     /// Total functions in the program.
     pub functions_total: usize,
-    /// Functions symbolically analyzed.
+    /// Functions symbolically analyzed (cache hits included).
     pub functions_analyzed: usize,
     /// Structural paths enumerated across all functions.
     pub paths_enumerated: usize,
@@ -98,6 +117,24 @@ pub struct AnalysisStats {
     /// Blocks skipped thanks to shared-prefix tree execution (an upper
     /// bound; 0 in per-path mode).
     pub blocks_saved: usize,
+    /// Functions executed in tree mode (after [`ExecMode::Auto`]
+    /// resolution; cache hits execute nothing and count in neither).
+    #[serde(default)]
+    pub exec_tree: usize,
+    /// Functions executed in per-path mode (after [`ExecMode::Auto`]
+    /// resolution).
+    #[serde(default)]
+    pub exec_per_path: usize,
+    /// Functions answered from the persistent summary cache.
+    #[serde(default)]
+    pub cache_hits: usize,
+    /// Functions absent from the cache (computed fresh).
+    #[serde(default)]
+    pub cache_misses: usize,
+    /// Functions present in the cache under a stale key (their content
+    /// cone changed; recomputed).
+    #[serde(default)]
+    pub cache_invalidated: usize,
     /// Wall-clock time spent classifying.
     pub classify_time: Duration,
     /// Wall-clock time spent summarizing + IPP checking.
@@ -134,13 +171,13 @@ pub(crate) fn reduced_limits(limits: &PathLimits) -> PathLimits {
 /// One guarded summarization attempt: fault injection, summarization, and
 /// IPP checking inside a `catch_unwind` envelope. `Err(())` means the
 /// attempt panicked (the payload is dropped; the panic hook has already
-/// printed it). The shared state we touch is a read-only DB snapshot plus
-/// value-typed options, so unwinding cannot leave it inconsistent —
+/// printed it). The shared state we touch is a read-only summary view
+/// plus value-typed options, so unwinding cannot leave it inconsistent —
 /// hence the `AssertUnwindSafe`.
 #[allow(clippy::too_many_arguments)]
 pub(crate) fn guarded_attempt(
     func: &Function,
-    db: &SummaryDb,
+    db: SummaryView<'_>,
     limits: &PathLimits,
     sat: SatOptions,
     meter: &BudgetMeter,
@@ -151,7 +188,7 @@ pub(crate) fn guarded_attempt(
 ) -> Result<(SummarizeOutcome, IppOutcome), ()> {
     catch_unwind(AssertUnwindSafe(|| {
         faults.inject(func.name(), attempt);
-        let outcome = summarize_paths_mode(func, db, limits, sat, meter, fuel, mode);
+        let outcome = summarize_paths_view(func, db, limits, sat, meter, fuel, mode);
         let ipp = check_ipps(func.name(), &outcome.path_entries, sat);
         (outcome, ipp)
     }))
@@ -178,7 +215,7 @@ pub fn analyze_program(
     predefined: &SummaryDb,
     options: &AnalysisOptions,
 ) -> AnalysisResult {
-    analyze_program_with_faults(program, predefined, options, &FaultPlan::none())
+    analyze_program_cached(program, predefined, options, &FaultPlan::none(), None)
 }
 
 /// Like [`analyze_program`], but with a [`FaultPlan`] injecting
@@ -191,6 +228,130 @@ pub fn analyze_program_with_faults(
     predefined: &SummaryDb,
     options: &AnalysisOptions,
     faults: &FaultPlan,
+) -> AnalysisResult {
+    analyze_program_cached(program, predefined, options, faults, None)
+}
+
+/// Everything one worker accumulates locally; merged (in worker-index
+/// order) after the pool drains, so the hot path never touches a shared
+/// lock for bookkeeping.
+#[derive(Default)]
+struct WorkerOut {
+    stats: AnalysisStats,
+    reports: Vec<IppReport>,
+    degraded: Vec<(String, Degradation)>,
+    /// Fresh, non-degraded results to write back to the cache:
+    /// `(function index, key, summary, its reports)`.
+    fresh: Vec<(usize, u128, Summary, Vec<IppReport>)>,
+}
+
+/// The work-stealing core: per-worker deques of ready components, a
+/// count of unfinished components, and a gate for idle workers.
+///
+/// Invariants (see DESIGN.md §10): a component is pushed exactly once —
+/// by the worker that completes its *last* unfinished callee (the
+/// `remaining` counter's fetch-sub observes 1) or at seed time for leaf
+/// components; `pending` counts scheduled-but-unfinished components and
+/// is the sole termination signal; `queued` is a hint that lets an idle
+/// worker distinguish "all work in flight" from "work available but
+/// momentarily missed", closing the sleep/notify race.
+struct Scheduler {
+    deques: Vec<Mutex<VecDeque<usize>>>,
+    /// Components seeded or unlocked but not yet finished.
+    pending: AtomicUsize,
+    /// Components currently sitting in some deque.
+    queued: AtomicUsize,
+    gate: Mutex<()>,
+    idle: Condvar,
+}
+
+impl Scheduler {
+    fn new(workers: usize, pending: usize) -> Scheduler {
+        Scheduler {
+            deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
+            pending: AtomicUsize::new(pending),
+            queued: AtomicUsize::new(0),
+            gate: Mutex::new(()),
+            idle: Condvar::new(),
+        }
+    }
+
+    /// Makes `comp` ready on `worker`'s deque and wakes one sleeper. The
+    /// `queued` increment happens before the push, and the gate is cycled
+    /// before notifying: any worker that checked `queued` too early is
+    /// either still outside the gate (and will re-check) or already
+    /// registered on the condvar (and will be woken).
+    fn push(&self, worker: usize, comp: usize) {
+        self.queued.fetch_add(1, Ordering::SeqCst);
+        self.deques[worker].lock().push_back(comp);
+        drop(self.gate.lock());
+        self.idle.notify_one();
+    }
+
+    /// Pops from `worker`'s own deque (LIFO: freshly unlocked components
+    /// are cache-warm) or steals the oldest entry from a sibling.
+    fn pop(&self, worker: usize) -> Option<usize> {
+        if let Some(c) = self.deques[worker].lock().pop_back() {
+            self.queued.fetch_sub(1, Ordering::SeqCst);
+            return Some(c);
+        }
+        let n = self.deques.len();
+        for offset in 1..n {
+            let victim = (worker + offset) % n;
+            if let Some(c) = self.deques[victim].lock().pop_front() {
+                self.queued.fetch_sub(1, Ordering::SeqCst);
+                return Some(c);
+            }
+        }
+        None
+    }
+
+    /// Marks one component finished; wakes everyone when it was the last
+    /// so idle workers can exit.
+    fn finish_one(&self) {
+        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+            drop(self.gate.lock());
+            self.idle.notify_all();
+        }
+    }
+
+    /// Parks `worker` until work might be available or the run is over.
+    /// Returns `false` when the run is complete.
+    fn wait(&self) -> bool {
+        if self.pending.load(Ordering::SeqCst) == 0 {
+            return false;
+        }
+        let guard = self.gate.lock();
+        if self.pending.load(Ordering::SeqCst) == 0 {
+            return false;
+        }
+        if self.queued.load(Ordering::SeqCst) > 0 {
+            return true; // missed work: retry immediately
+        }
+        // The timeout is insurance only; the push/finish protocol above
+        // guarantees a wakeup.
+        let _guard = self.idle.wait_for(guard, Duration::from_millis(10));
+        true
+    }
+}
+
+/// Analyzes a whole program with an optional persistent summary cache
+/// and a fault plan.
+///
+/// This is the full-control entry point [`analyze_program`] and
+/// [`analyze_program_with_faults`] delegate to. When `cache` is given,
+/// functions whose content key matches a cached entry reuse the stored
+/// summary and reports (counted in [`AnalysisStats::cache_hits`]), and
+/// every fresh non-degraded result is written back. Degraded results are
+/// never cached — that is what makes the cache sound under budgets and
+/// fault plans (see [`crate::cache`]).
+#[must_use]
+pub fn analyze_program_cached(
+    program: &Program,
+    predefined: &SummaryDb,
+    options: &AnalysisOptions,
+    faults: &FaultPlan,
+    mut cache: Option<&mut SummaryCache>,
 ) -> AnalysisResult {
     let graph = CallGraph::build(program);
     let functions = program.functions();
@@ -215,71 +376,63 @@ pub fn analyze_program_with_faults(
 
     let analyze_start = Instant::now();
     let global_deadline = options.budget.global_deadline.map(|d| analyze_start + d);
-    let db = RwLock::new(predefined.clone());
-    let reports = Mutex::new(Vec::<IppReport>::new());
-    let stats = Mutex::new(AnalysisStats::default());
-    let degraded = Mutex::new(BTreeMap::<String, Degradation>::new());
 
-    // Records a successful attempt: summary, stats, reports, and — when a
-    // budget/cap was hit or the attempt was a retry — a degradation entry.
-    let record = |name: &str,
-                  outcome: &SummarizeOutcome,
-                  ipp: IppOutcome,
-                  forced: Option<DegradeReason>,
-                  wall_ms: u64| {
-        let summary = build_summary(name, &outcome.path_entries, &ipp, outcome.partial);
-        {
-            let mut stats = stats.lock();
-            stats.functions_analyzed += 1;
-            stats.paths_enumerated += outcome.paths_enumerated;
-            stats.states_explored += outcome.states_explored;
-            stats.functions_partial += usize::from(outcome.partial);
-            stats.sat_queries += outcome.sat_queries;
-            stats.sat_memo_hits += outcome.sat_memo_hits;
-            stats.blocks_executed += outcome.blocks_executed;
-            stats.blocks_saved += outcome.blocks_saved;
-        }
-        reports.lock().extend(ipp.reports);
-        db.write().insert(summary);
-        if let Some(reason) = forced.or(outcome.degrade) {
-            let cost = FunctionCost {
-                paths: outcome.paths_enumerated,
-                states: outcome.states_explored,
-                wall_ms,
-            };
-            degraded.lock().insert(name.to_owned(), Degradation { reason, cost });
-        }
+    // Dependency structure: one node per SCC, counters over *active*
+    // callee components only (inactive components publish nothing, so
+    // nobody needs to wait for them).
+    let cond = graph.condensation();
+    let n_comps = cond.members.len();
+    let active: Vec<bool> = cond
+        .members
+        .iter()
+        .map(|members| members.iter().any(|&i| should_analyze(functions[i].name())))
+        .collect();
+    let keys: Vec<Option<u128>> = if cache.is_some() {
+        let salt = cache_salt(options, predefined);
+        function_keys(&functions, &cond, &active, salt)
+    } else {
+        vec![None; functions.len()]
     };
 
-    // Group function indices by dependency level; all callees of level k
-    // live strictly below k (intra-SCC calls excepted — those are broken
-    // by the default summary exactly like the paper breaks recursion).
-    let levels = graph.levels();
-    let max_level = levels.iter().copied().max().unwrap_or(0);
-    let mut by_level: Vec<Vec<usize>> = vec![Vec::new(); max_level + 1];
-    for (i, &level) in levels.iter().enumerate() {
-        by_level[level].push(i);
-    }
+    let active_total = active.iter().filter(|&&a| a).count();
+    let workers = options.threads.max(1).min(active_total.max(1));
 
-    let threads = options.threads.max(1);
-    for level in &by_level {
-        // First pass: every function in the level, possibly in parallel.
-        // A panicked function lands in `failed` (with its first-attempt
-        // cost) instead of tearing down the worker.
-        let failed = Mutex::new(Vec::<(usize, u64)>::new());
-        let work = |idx: usize| {
-            let func = functions[idx];
-            let name = func.name();
-            if !should_analyze(name) {
-                return;
-            }
-            let meter = BudgetMeter::start(&options.budget, global_deadline);
-            let fuel = effective_fuel(&options.budget, faults, name);
-            let attempt = {
-                let snapshot = db.read();
-                guarded_attempt(
+    // Lock-free summary publication: dependency counting guarantees every
+    // slot a caller reads is set before the caller is scheduled.
+    let slots: Vec<OnceLock<Summary>> = (0..functions.len()).map(|_| OnceLock::new()).collect();
+    let cache_ro: Option<&SummaryCache> = cache.as_deref();
+
+    // One SCC is one work unit: members in index order, so calls to
+    // not-yet-summarized members deterministically fall back to the
+    // default summary regardless of thread count.
+    let process_comp = |c: usize, out: &mut WorkerOut| {
+        for &i in &cond.members[c] {
+                let func = functions[i];
+                let name = func.name();
+                if !should_analyze(name) {
+                    continue;
+                }
+                if let (Some(cache), Some(key)) = (cache_ro, keys[i]) {
+                    match cache.probe(name, key) {
+                        (CacheProbe::Hit, Some(entry)) => {
+                            let published = slots[i].set(entry.summary.clone());
+                            debug_assert!(published.is_ok());
+                            out.stats.functions_analyzed += 1;
+                            out.stats.cache_hits += 1;
+                            out.reports.extend(entry.reports.iter().cloned());
+                            continue;
+                        }
+                        (CacheProbe::Hit, None) => unreachable!("hits carry the entry"),
+                        (CacheProbe::Stale, _) => out.stats.cache_invalidated += 1,
+                        (CacheProbe::Absent, _) => out.stats.cache_misses += 1,
+                    }
+                }
+                let view = SummaryView::Slots { predefined, graph: &graph, slots: &slots };
+                let fuel = effective_fuel(&options.budget, faults, name);
+                let meter = BudgetMeter::start(&options.budget, global_deadline);
+                let first = guarded_attempt(
                     func,
-                    &snapshot,
+                    view,
                     &options.limits,
                     options.sat,
                     &meter,
@@ -287,77 +440,158 @@ pub fn analyze_program_with_faults(
                     faults,
                     0,
                     options.exec_mode,
-                )
-            };
-            let wall_ms = meter.elapsed().as_millis() as u64;
-            match attempt {
-                Ok((outcome, ipp)) => record(name, &outcome, ipp, None, wall_ms),
-                Err(()) => failed.lock().push((idx, wall_ms)),
-            }
-        };
-
-        if threads == 1 || level.len() == 1 {
-            for &idx in level {
-                work(idx);
-            }
-        } else {
-            let cursor = AtomicUsize::new(0);
-            std::thread::scope(|scope| {
-                for _ in 0..threads.min(level.len()) {
-                    scope.spawn(|| loop {
-                        let at = cursor.fetch_add(1, Ordering::Relaxed);
-                        let Some(&idx) = level.get(at) else { break };
-                        work(idx);
-                    });
-                }
-            });
-        }
-
-        // Retry pass: sequential, in deterministic (index) order, with
-        // reduced limits. A second panic degrades the function to the
-        // default summary — the same §5.2 fallback as a cap hit — so the
-        // level always completes and callers above always find a summary.
-        let mut failed = failed.into_inner();
-        failed.sort_unstable();
-        let retry_limits = reduced_limits(&options.limits);
-        for (idx, first_ms) in failed {
-            let func = functions[idx];
-            let name = func.name();
-            let meter = BudgetMeter::start(&options.budget, global_deadline);
-            let fuel = effective_fuel(&options.budget, faults, name);
-            let attempt = {
-                let snapshot = db.read();
-                guarded_attempt(
-                    func,
-                    &snapshot,
-                    &retry_limits,
-                    options.sat,
-                    &meter,
-                    fuel,
-                    faults,
-                    1,
-                    options.exec_mode,
-                )
-            };
-            let wall_ms = first_ms + meter.elapsed().as_millis() as u64;
-            match attempt {
-                Ok((outcome, ipp)) => {
-                    record(name, &outcome, ipp, Some(DegradeReason::Retried), wall_ms);
-                }
-                Err(()) => {
-                    db.write().insert(Summary::default_for(name));
-                    {
-                        let mut stats = stats.lock();
-                        stats.functions_analyzed += 1;
-                        stats.functions_partial += 1;
+                );
+                let first_ms = meter.elapsed().as_millis() as u64;
+                match first {
+                    Ok((outcome, ipp)) => record_success(
+                        out, i, name, &outcome, ipp, None, first_ms, keys[i], &slots,
+                    ),
+                    Err(()) => {
+                        // Immediate retry with reduced limits; a second
+                        // panic degrades to the default summary — the
+                        // same §5.2 fallback as a cap hit — so the
+                        // component always completes and callers above
+                        // always find a summary.
+                        let meter = BudgetMeter::start(&options.budget, global_deadline);
+                        let retry = guarded_attempt(
+                            func,
+                            view,
+                            &reduced_limits(&options.limits),
+                            options.sat,
+                            &meter,
+                            fuel,
+                            faults,
+                            1,
+                            options.exec_mode,
+                        );
+                        let wall_ms = first_ms + meter.elapsed().as_millis() as u64;
+                        match retry {
+                            Ok((outcome, ipp)) => record_success(
+                                out,
+                                i,
+                                name,
+                                &outcome,
+                                ipp,
+                                Some(DegradeReason::Retried),
+                                wall_ms,
+                                keys[i],
+                                &slots,
+                            ),
+                            Err(()) => {
+                                let published = slots[i].set(Summary::default_for(name));
+                                debug_assert!(published.is_ok());
+                                out.stats.functions_analyzed += 1;
+                                out.stats.functions_partial += 1;
+                                let cost = FunctionCost { paths: 0, states: 0, wall_ms };
+                                out.degraded.push((
+                                    name.to_owned(),
+                                    Degradation { reason: DegradeReason::Panic, cost },
+                                ));
+                            }
+                        }
                     }
-                    let cost = FunctionCost { paths: 0, states: 0, wall_ms };
-                    degraded.lock().insert(
-                        name.to_owned(),
-                        Degradation { reason: DegradeReason::Panic, cost },
-                    );
+                }
+        }
+    };
+
+    let outputs: Vec<WorkerOut> = if active_total == 0 {
+        Vec::new()
+    } else if workers == 1 {
+        // Sequential fast path: component indices ascend in reverse
+        // topological order, so a plain ascending scan satisfies every
+        // dependency without counters, deques, or the scheduler gate.
+        let mut out = WorkerOut::default();
+        for (c, &is_active) in active.iter().enumerate() {
+            if is_active {
+                process_comp(c, &mut out);
+            }
+        }
+        vec![out]
+    } else {
+        // Dependency counters over *active* callee components only; the
+        // worker that completes a component's last callee is the one
+        // that schedules it (counter hits 0).
+        let remaining: Vec<AtomicUsize> = (0..n_comps)
+            .map(|c| {
+                AtomicUsize::new(
+                    cond.callee_comps[c].iter().filter(|&&cw| active[cw]).count(),
+                )
+            })
+            .collect();
+        let sched = Scheduler::new(workers, active_total);
+        {
+            // Seed: leaf components (no active callees), round-robin so
+            // every worker starts with work.
+            let mut next = 0;
+            for c in 0..n_comps {
+                if active[c] && remaining[c].load(Ordering::Relaxed) == 0 {
+                    sched.queued.fetch_add(1, Ordering::Relaxed);
+                    sched.deques[next % workers].lock().push_back(c);
+                    next += 1;
                 }
             }
+        }
+        let run_worker = |w: usize| -> WorkerOut {
+            let mut out = WorkerOut::default();
+            loop {
+                let Some(c) = sched.pop(w) else {
+                    if sched.wait() {
+                        continue;
+                    }
+                    break;
+                };
+                process_comp(c, &mut out);
+                for &cw in &cond.caller_comps[c] {
+                    if active[cw] && remaining[cw].fetch_sub(1, Ordering::SeqCst) == 1 {
+                        sched.push(w, cw);
+                    }
+                }
+                sched.finish_one();
+            }
+            out
+        };
+        let run_worker = &run_worker;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> =
+                (0..workers).map(|w| scope.spawn(move || run_worker(w))).collect();
+            handles.into_iter().map(|h| h.join().expect("worker does not panic")).collect()
+        })
+    };
+
+    // Merge per-worker results (order-insensitive: reports are re-sorted,
+    // degradations keyed by name, stats additive) and write fresh results
+    // back to the cache.
+    let mut stats = AnalysisStats::default();
+    let mut reports = Vec::new();
+    let mut degraded = BTreeMap::new();
+    for out in outputs {
+        let s = out.stats;
+        stats.functions_analyzed += s.functions_analyzed;
+        stats.paths_enumerated += s.paths_enumerated;
+        stats.states_explored += s.states_explored;
+        stats.functions_partial += s.functions_partial;
+        stats.sat_queries += s.sat_queries;
+        stats.sat_memo_hits += s.sat_memo_hits;
+        stats.blocks_executed += s.blocks_executed;
+        stats.blocks_saved += s.blocks_saved;
+        stats.exec_tree += s.exec_tree;
+        stats.exec_per_path += s.exec_per_path;
+        stats.cache_hits += s.cache_hits;
+        stats.cache_misses += s.cache_misses;
+        stats.cache_invalidated += s.cache_invalidated;
+        reports.extend(out.reports);
+        degraded.extend(out.degraded);
+        if let Some(cache) = cache.as_deref_mut() {
+            for (i, key, summary, entry_reports) in out.fresh {
+                cache.insert(functions[i].name(), key, summary, entry_reports);
+            }
+        }
+    }
+
+    let mut db = predefined.clone();
+    for slot in slots {
+        if let Some(summary) = slot.into_inner() {
+            db.insert(summary);
         }
     }
 
@@ -366,9 +600,7 @@ pub fn analyze_program_with_faults(
     if options.check_callbacks {
         let model = crate::callbacks::CallbackModel::linux_default();
         let callbacks = crate::callbacks::collect_callbacks(program, &model);
-        let db = db.read();
         let existing: std::collections::HashSet<(String, String)> = reports
-            .lock()
             .iter()
             .map(|r| (r.function.clone(), r.refcount.to_string()))
             .collect();
@@ -387,13 +619,12 @@ pub fn analyze_program_with_faults(
                 )
             }));
             let Ok(found) = found else {
-                degraded.lock().entry(name.clone()).or_insert(Degradation {
+                degraded.entry(name.clone()).or_insert(Degradation {
                     reason: DegradeReason::Panic,
                     cost: FunctionCost::default(),
                 });
                 continue;
             };
-            let mut reports = reports.lock();
             for report in found {
                 if !existing.contains(&(report.function.clone(), report.refcount.to_string()))
                 {
@@ -403,13 +634,11 @@ pub fn analyze_program_with_faults(
         }
     }
 
-    let mut stats = stats.into_inner();
     stats.functions_total = functions.len();
     stats.counts = classification.counts();
     stats.classify_time = classify_time;
     stats.analyze_time = analyze_start.elapsed();
 
-    let mut reports = reports.into_inner();
     reports.sort_by(|a, b| {
         (&a.function, &a.refcount, a.path_a, a.path_b).cmp(&(
             &b.function,
@@ -419,12 +648,56 @@ pub fn analyze_program_with_faults(
         ))
     });
 
-    AnalysisResult {
-        reports,
-        summaries: db.into_inner(),
-        classification,
-        stats,
-        degraded: degraded.into_inner(),
+    AnalysisResult { reports, summaries: db, classification, stats, degraded }
+}
+
+/// Records a successful attempt into the worker's local output: summary
+/// publication, statistics, reports, the cache write-back staging, and —
+/// when a budget/cap was hit or the attempt was a retry — a degradation
+/// entry.
+#[allow(clippy::too_many_arguments)]
+fn record_success(
+    out: &mut WorkerOut,
+    idx: usize,
+    name: &str,
+    outcome: &SummarizeOutcome,
+    ipp: IppOutcome,
+    forced: Option<DegradeReason>,
+    wall_ms: u64,
+    key: Option<u128>,
+    slots: &[OnceLock<Summary>],
+) {
+    let summary = build_summary(name, &outcome.path_entries, &ipp, outcome.partial);
+    let stats = &mut out.stats;
+    stats.functions_analyzed += 1;
+    stats.paths_enumerated += outcome.paths_enumerated;
+    stats.states_explored += outcome.states_explored;
+    stats.functions_partial += usize::from(outcome.partial);
+    stats.sat_queries += outcome.sat_queries;
+    stats.sat_memo_hits += outcome.sat_memo_hits;
+    stats.blocks_executed += outcome.blocks_executed;
+    stats.blocks_saved += outcome.blocks_saved;
+    match outcome.mode_used {
+        ExecMode::Tree => stats.exec_tree += 1,
+        ExecMode::PerPath => stats.exec_per_path += 1,
+        ExecMode::Auto => debug_assert!(false, "Auto resolves before execution"),
+    }
+    let degrade = forced.or(outcome.degrade);
+    if let (Some(key), None) = (key, degrade) {
+        // Only clean results are cached; degraded summaries depend on
+        // budgets and retry limits, which are not key material.
+        out.fresh.push((idx, key, summary.clone(), ipp.reports.clone()));
+    }
+    out.reports.extend(ipp.reports);
+    let published = slots[idx].set(summary);
+    debug_assert!(published.is_ok(), "each function is summarized exactly once");
+    if let Some(reason) = degrade {
+        let cost = FunctionCost {
+            paths: outcome.paths_enumerated,
+            states: outcome.states_explored,
+            wall_ms,
+        };
+        out.degraded.push((name.to_owned(), Degradation { reason, cost }));
     }
 }
 
@@ -594,6 +867,50 @@ mod tests {
             analyze_sources([src], &linux_dpm_apis(), &AnalysisOptions::default()).unwrap();
         assert!(result.summaries.get("even").is_some());
         assert!(result.summaries.get("odd").is_some());
+    }
+
+    #[test]
+    fn exec_mode_counts_cover_analyzed_functions() {
+        let result =
+            analyze_sources([FIGURE8, FIGURE9], &linux_dpm_apis(), &AnalysisOptions::default())
+                .unwrap();
+        assert_eq!(
+            result.stats.exec_tree + result.stats.exec_per_path,
+            result.stats.functions_analyzed,
+            "every executed function resolves to exactly one concrete mode"
+        );
+    }
+
+    #[test]
+    fn warm_cache_run_is_identical_and_all_hits() {
+        let sources = [FIGURE8, FIGURE9];
+        let apis = linux_dpm_apis();
+        let options = AnalysisOptions::default();
+        let program = rid_frontend::parse_program(sources).unwrap();
+        let mut cache = SummaryCache::new();
+        let cold = analyze_program_cached(
+            &program,
+            &apis,
+            &options,
+            &FaultPlan::none(),
+            Some(&mut cache),
+        );
+        assert_eq!(cold.stats.cache_hits, 0);
+        assert_eq!(cold.stats.cache_misses, cold.stats.functions_analyzed);
+        let warm = analyze_program_cached(
+            &program,
+            &apis,
+            &options,
+            &FaultPlan::none(),
+            Some(&mut cache),
+        );
+        assert_eq!(warm.stats.cache_hits, warm.stats.functions_analyzed);
+        assert_eq!(warm.stats.cache_misses + warm.stats.cache_invalidated, 0);
+        assert_eq!(warm.reports, cold.reports);
+        assert_eq!(
+            serde_json::to_string(&warm.summaries).unwrap(),
+            serde_json::to_string(&cold.summaries).unwrap()
+        );
     }
 
     #[test]

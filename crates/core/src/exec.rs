@@ -42,13 +42,21 @@ use crate::budget::{BudgetMeter, DegradeReason};
 use crate::paths::{enumerate_paths_metered, Path, PathLimits, PathTree};
 use crate::summary::{SummaryDb, SummaryEntry};
 
-/// Which execution strategy summarization uses. Both produce identical
-/// summaries; they differ only in cost (and in diagnostic counters).
+/// Which execution strategy summarization uses. All modes produce
+/// identical summaries; they differ only in cost (and in diagnostic
+/// counters).
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum ExecMode {
-    /// Shared-prefix tree execution with incremental solving and a sat
-    /// memo cache (the fast default).
+    /// Adaptive per-function choice (the default): functions whose
+    /// enumerated paths share at least half their blocks as common
+    /// prefixes run in tree mode, everything else per-path. This erases
+    /// the tree-mode overhead on corpus-shaped functions (few short
+    /// paths, nothing to share) while keeping the tree's win on branchy
+    /// CFGs.
     #[default]
+    Auto,
+    /// Shared-prefix tree execution with incremental solving and a sat
+    /// memo cache, unconditionally.
     Tree,
     /// The reference implementation: each path executed standalone, every
     /// query solved from scratch.
@@ -95,6 +103,10 @@ pub struct SummarizeOutcome {
     /// block count over all paths minus `blocks_executed` (tree mode
     /// only; 0 in per-path mode).
     pub blocks_saved: usize,
+    /// The concrete strategy that executed this function: [`ExecMode::Tree`]
+    /// or [`ExecMode::PerPath`] ([`ExecMode::Auto`] resolves to one of the
+    /// two before execution starts).
+    pub mode_used: ExecMode,
 }
 
 /// One symbolic state: constraint + refcount changes. The valuation is
@@ -162,9 +174,46 @@ struct TreeRun {
     deadline: bool,
 }
 
+/// A read-only view over callee summaries during summarization.
+///
+/// The classic shape is a plain [`SummaryDb`] snapshot. The work-stealing
+/// scheduler instead publishes each computed summary into a lock-free
+/// per-function slot (`OnceLock`) the moment it is done; dependency
+/// counting guarantees every slot a caller can reach is already set, so
+/// reads need no lock at all. Predefined summaries shadow definitions in
+/// both variants (§5.1).
+#[derive(Clone, Copy)]
+pub(crate) enum SummaryView<'a> {
+    /// A summary database (predefined + everything computed so far).
+    Db(&'a SummaryDb),
+    /// Predefined summaries plus per-function publication slots, indexed
+    /// by call-graph node id.
+    Slots {
+        predefined: &'a SummaryDb,
+        graph: &'a crate::callgraph::CallGraph,
+        slots: &'a [std::sync::OnceLock<crate::summary::Summary>],
+    },
+}
+
+impl<'a> SummaryView<'a> {
+    // Takes `self` by value (the view is `Copy`) so the returned borrow
+    // lives for `'a`, independent of the view binding itself.
+    pub(crate) fn get(self, name: &str) -> Option<&'a crate::summary::Summary> {
+        match self {
+            SummaryView::Db(db) => db.get(name),
+            SummaryView::Slots { predefined, graph, slots } => {
+                if let Some(s) = predefined.get(name) {
+                    return Some(s); // predefined shadows the definition
+                }
+                graph.index_of(name).and_then(|i| slots[i].get())
+            }
+        }
+    }
+}
+
 struct PathExecutor<'a> {
     func: &'a Function,
-    db: &'a SummaryDb,
+    db: SummaryView<'a>,
     limits: &'a PathLimits,
     sat: SatOptions,
     /// Flat instruction index, for stable site ids.
@@ -188,7 +237,7 @@ struct PathExecutor<'a> {
 impl<'a> PathExecutor<'a> {
     fn new(
         func: &'a Function,
-        db: &'a SummaryDb,
+        db: SummaryView<'a>,
         limits: &'a PathLimits,
         sat: SatOptions,
         use_incremental: bool,
@@ -789,14 +838,40 @@ pub fn summarize_paths_metered(
 }
 
 /// Like [`summarize_paths_metered`], with an explicit execution strategy.
-/// Both modes produce identical summaries (the differential test suite
+/// All modes produce identical summaries (the differential test suite
 /// pins this down); [`ExecMode::PerPath`] exists as the oracle and as a
-/// fallback switch.
+/// fallback switch, and [`ExecMode::Auto`] (the default) picks between
+/// the two per function from the enumerated paths' shared-prefix ratio.
 #[must_use]
 #[allow(clippy::too_many_arguments)]
 pub fn summarize_paths_mode(
     func: &Function,
     db: &SummaryDb,
+    limits: &PathLimits,
+    sat: SatOptions,
+    meter: &BudgetMeter,
+    fuel: Option<u64>,
+    mode: ExecMode,
+) -> SummarizeOutcome {
+    summarize_paths_view(func, SummaryView::Db(db), limits, sat, meter, fuel, mode)
+}
+
+/// Fraction (numerator over denominator in block counts) of per-path work
+/// that must be shared prefix before [`ExecMode::Auto`] picks tree mode.
+/// At 1/2, the break-even observed on the seeded corpus, the saved block
+/// executions pay for the trie build, the memo inserts, and the solver
+/// snapshots that tree mode adds per function.
+const AUTO_TREE_SHARE_NUM: usize = 1;
+const AUTO_TREE_SHARE_DEN: usize = 2;
+
+/// The internal entry point all execution goes through; see
+/// [`summarize_paths_mode`]. Takes a [`SummaryView`] so the scheduler's
+/// lock-free slot storage and the plain database flavor share one
+/// implementation.
+#[allow(clippy::too_many_arguments)]
+pub(crate) fn summarize_paths_view(
+    func: &Function,
+    db: SummaryView<'_>,
     limits: &PathLimits,
     sat: SatOptions,
     meter: &BudgetMeter,
@@ -810,9 +885,45 @@ pub fn summarize_paths_mode(
     let mut entry_cap = false;
     let mut outcome =
         SummarizeOutcome { paths_enumerated: path_set.paths.len(), ..Default::default() };
+    // Resolve the adaptive mode before constructing the executor. A
+    // single path has no prefix to share, so it always runs per-path.
+    // For the rest the shared-block count comes from a linear LCP scan:
+    // DFS enumeration emits paths in trie order, so the trie's node
+    // count is the total block count minus the summed longest common
+    // prefixes of consecutive paths — no trie is built for functions
+    // that end up running per-path.
+    let mode = match mode {
+        ExecMode::Auto => {
+            if path_set.paths.len() < 2 {
+                ExecMode::PerPath
+            } else {
+                let mut total = 0;
+                let mut shared = 0;
+                for pair in path_set.paths.windows(2) {
+                    shared += pair[0]
+                        .blocks
+                        .iter()
+                        .zip(&pair[1].blocks)
+                        .take_while(|(a, b)| a == b)
+                        .count();
+                }
+                for path in &path_set.paths {
+                    total += path.blocks.len();
+                }
+                if shared * AUTO_TREE_SHARE_DEN >= total * AUTO_TREE_SHARE_NUM {
+                    ExecMode::Tree
+                } else {
+                    ExecMode::PerPath
+                }
+            }
+        }
+        concrete => concrete,
+    };
+    outcome.mode_used = mode;
     let mut executor =
         PathExecutor::new(func, db, limits, sat, mode == ExecMode::Tree);
     match mode {
+        ExecMode::Auto => unreachable!("Auto resolves before execution"),
         ExecMode::Tree => {
             if path_set.paths.len() == 1 {
                 // Degenerate tree: a single root chain has no divergence

@@ -23,6 +23,7 @@ use crate::driver::{
     effective_fuel, guarded_attempt, reduced_limits, AnalysisOptions, AnalysisResult,
     AnalysisStats,
 };
+use crate::exec::{ExecMode, SummaryView};
 use crate::fault::FaultPlan;
 use crate::ipp::build_summary;
 use crate::summary::{Summary, SummaryDb};
@@ -130,7 +131,7 @@ pub fn reanalyze(
         let meter = BudgetMeter::start(&options.budget, global_deadline);
         let first = guarded_attempt(
             func,
-            &db,
+            SummaryView::Db(&db),
             &options.limits,
             options.sat,
             &meter,
@@ -146,7 +147,7 @@ pub fn reanalyze(
                 let meter = BudgetMeter::start(&options.budget, global_deadline);
                 let retry = guarded_attempt(
                     func,
-                    &db,
+                    SummaryView::Db(&db),
                     &reduced_limits(&options.limits),
                     options.sat,
                     &meter,
@@ -170,6 +171,11 @@ pub fn reanalyze(
                 stats.sat_memo_hits += outcome.sat_memo_hits;
                 stats.blocks_executed += outcome.blocks_executed;
                 stats.blocks_saved += outcome.blocks_saved;
+                match outcome.mode_used {
+                    ExecMode::Tree => stats.exec_tree += 1,
+                    ExecMode::PerPath => stats.exec_per_path += 1,
+                    ExecMode::Auto => {}
+                }
                 reports.extend(ipp.reports);
                 db.insert(summary);
                 if let Some(reason) = forced.or(outcome.degrade) {

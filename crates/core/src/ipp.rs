@@ -29,11 +29,12 @@ pub struct IppReport {
     pub path_a: usize,
     /// Structural path index of the discarded path.
     pub path_b: usize,
-    /// Block trace of the kept path.
-    #[serde(skip)]
+    /// Block trace of the kept path. `default` keeps pre-trace persisted
+    /// state files loadable; the cache schema tag guards cache files.
+    #[serde(default)]
     pub trace_a: Vec<BlockId>,
     /// Block trace of the discarded path.
-    #[serde(skip)]
+    #[serde(default)]
     pub trace_b: Vec<BlockId>,
     /// The satisfiable joint constraint witnessing indistinguishability.
     pub witness: Conj,

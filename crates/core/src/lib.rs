@@ -50,6 +50,7 @@
 
 pub mod apis;
 pub mod budget;
+pub mod cache;
 pub mod callbacks;
 pub mod callgraph;
 pub mod checks;
@@ -69,11 +70,12 @@ pub mod summary;
 pub use budget::{
     degradation_summary_line, Budget, BudgetMeter, Degradation, DegradeReason, FunctionCost,
 };
+pub use cache::{CacheEntry, SummaryCache, CACHE_SCHEMA};
 pub use callgraph::CallGraph;
 pub use classify::{Category, CategoryCounts, Classification};
 pub use driver::{
-    analyze_program, analyze_program_with_faults, analyze_sources, AnalysisOptions,
-    AnalysisResult, AnalysisStats,
+    analyze_program, analyze_program_cached, analyze_program_with_faults, analyze_sources,
+    AnalysisOptions, AnalysisResult, AnalysisStats,
 };
 pub use exec::{
     summarize_paths, summarize_paths_metered, summarize_paths_mode, ExecMode, PathEntry,

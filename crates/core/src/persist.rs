@@ -103,6 +103,44 @@ pub fn load_state(path: &Path) -> io::Result<AnalysisResult> {
     Ok(state.into())
 }
 
+/// Saves a persistent summary cache as JSON.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be written.
+pub fn save_cache(cache: &crate::cache::SummaryCache, path: &Path) -> io::Result<()> {
+    let json = serde_json::to_string(cache)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    fs::write(path, json)
+}
+
+/// Loads a summary cache saved by [`save_cache`].
+///
+/// Rejects caches written under a different
+/// [`crate::cache::CACHE_SCHEMA`] — stale on-disk formats must miss
+/// loudly rather than corrupt a run.
+///
+/// # Errors
+///
+/// Returns an I/O error if the file cannot be read, parsed, or carries a
+/// different schema tag.
+pub fn load_cache(path: &Path) -> io::Result<crate::cache::SummaryCache> {
+    let json = fs::read_to_string(path)?;
+    let cache: crate::cache::SummaryCache =
+        serde_json::from_str(&json).map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if cache.schema != crate::cache::CACHE_SCHEMA {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!(
+                "summary cache schema mismatch: found {:?}, expected {:?}",
+                cache.schema,
+                crate::cache::CACHE_SCHEMA
+            ),
+        ));
+    }
+    Ok(cache)
+}
+
 /// The module dependency graph: `groups` are SCCs of mutually dependent
 /// modules in reverse topological order (dependencies first); modules in
 /// one group must be linked and analyzed together (§5.3).
@@ -414,6 +452,55 @@ mod tests {
         assert!(state.degraded.is_empty());
         let result: AnalysisResult = state.into();
         assert!(result.degraded.is_empty());
+    }
+
+    #[test]
+    fn cache_save_load_roundtrip_and_schema_check() {
+        // `leaky` has an IPP, so the cached entry carries a report and the
+        // round-trip covers the full report shape — including the block
+        // traces the renderer prints.
+        let src = r#"module m;
+            fn driver(dev) { pm_runtime_get(dev); pm_runtime_put(dev); return; }
+            fn leaky(dev, set) {
+                let ret = pm_runtime_get_sync(dev);
+                if (ret < 0) { return ret; }
+                ret = helper_set_config(set);
+                pm_runtime_put_autosuspend(dev);
+                return ret;
+            }"#;
+        let program = rid_frontend::parse_program([src]).unwrap();
+        let mut cache = crate::cache::SummaryCache::new();
+        let _ = crate::driver::analyze_program_cached(
+            &program,
+            &linux_dpm_apis(),
+            &AnalysisOptions::default(),
+            &crate::fault::FaultPlan::none(),
+            Some(&mut cache),
+        );
+        assert!(!cache.is_empty());
+
+        let dir = std::env::temp_dir().join("rid-cache-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("cache.json");
+        save_cache(&cache, &path).unwrap();
+        let back = load_cache(&path).unwrap();
+        assert_eq!(back.len(), cache.len());
+        assert_eq!(
+            back.get("driver").unwrap().key,
+            cache.get("driver").unwrap().key
+        );
+        let (orig, trip) = (cache.get("leaky").unwrap(), back.get("leaky").unwrap());
+        assert!(!orig.reports.is_empty());
+        assert_eq!(orig.reports, trip.reports, "reports must survive persistence");
+        assert!(!trip.reports[0].trace_a.is_empty(), "block traces must persist");
+
+        // A cache with a foreign schema tag must be rejected loudly.
+        let json = std::fs::read_to_string(&path)
+            .unwrap()
+            .replace(crate::cache::CACHE_SCHEMA, "rid-summary-cache/v0");
+        std::fs::write(&path, json).unwrap();
+        assert!(load_cache(&path).is_err());
+        std::fs::remove_file(&path).ok();
     }
 
     #[test]

@@ -1,0 +1,151 @@
+//! Persistent-cache acceptance suite.
+//!
+//! The tentpole claim for the content-addressed cache: editing one
+//! function invalidates **exactly** its transitive-caller cone — the same
+//! frontier [`rid_core::incremental::affected_functions`] computes — and
+//! everything else is answered from the cache. Plus the soundness
+//! invariant that makes the cache safe under budgets: degraded summaries
+//! are never cached.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+use rid_core::apis::linux_dpm_apis;
+use rid_core::incremental::affected_functions;
+use rid_core::{
+    analyze_program_cached, AnalysisOptions, CallGraph, FaultPlan, PathLimits, SummaryCache,
+};
+use rid_corpus::kernel::{generate_kernel, KernelConfig};
+use rid_ir::Program;
+
+fn parse(sources: &[String]) -> Program {
+    rid_frontend::parse_program(sources.iter().map(String::as_str)).expect("corpus parses")
+}
+
+/// Inserts a harmless statement at the top of `name`'s body — a pure
+/// content edit that changes the function's lowered IR text without
+/// touching its refcount behaviour or classification.
+fn edit_function(sources: &[String], name: &str) -> Vec<String> {
+    let needle = format!("fn {name}(");
+    let mut edited = false;
+    let out: Vec<String> = sources
+        .iter()
+        .map(|src| {
+            if edited {
+                return src.clone();
+            }
+            let Some(pos) = src.find(&needle) else { return src.clone() };
+            let brace = pos + src[pos..].find('{').expect("function has a body");
+            let mut s = src.clone();
+            s.insert_str(brace + 1, " let edit_probe = 1; ");
+            edited = true;
+            s
+        })
+        .collect();
+    assert!(edited, "function `{name}` not found in any source");
+    out
+}
+
+/// Current cache keys by function name.
+fn key_snapshot(cache: &SummaryCache) -> BTreeMap<String, String> {
+    cache.entries.iter().map(|(n, e)| (n.clone(), e.key.clone())).collect()
+}
+
+#[test]
+fn cache_invalidation_matches_affected_functions_exactly() {
+    let corpus = generate_kernel(&KernelConfig::tiny(29));
+    let program = parse(&corpus.sources);
+    let apis = linux_dpm_apis();
+    let options = AnalysisOptions::default();
+
+    let mut cache = SummaryCache::new();
+    let cold =
+        analyze_program_cached(&program, &apis, &options, &FaultPlan::none(), Some(&mut cache));
+    assert!(cold.degraded.is_empty(), "clean corpus expected: {:?}", cold.degraded);
+    assert_eq!(cold.stats.cache_misses, cold.stats.functions_analyzed);
+    assert_eq!(cache.len(), cold.stats.functions_analyzed, "every clean result is cached");
+
+    // Pick a cached function with a real caller cone, but one that does
+    // not cover the whole cache (so both hits and invalidations occur).
+    // Names are iterated in order, so the choice is deterministic.
+    let graph = CallGraph::build(&program);
+    let cached: BTreeSet<String> = key_snapshot(&cache).into_keys().collect();
+    let target = cached
+        .iter()
+        .find(|name| {
+            let affected = affected_functions(&graph, &[name]);
+            let cone = affected.iter().filter(|f| cached.contains(*f)).count();
+            cone >= 3 && cone + 3 <= cached.len()
+        })
+        .expect("corpus must contain a function with a mid-sized caller cone")
+        .clone();
+    let affected = affected_functions(&graph, &[&target]);
+    let expected_cone: BTreeSet<String> =
+        affected.iter().filter(|f| cached.contains(*f)).cloned().collect();
+
+    let before = key_snapshot(&cache);
+    let edited = parse(&edit_function(&corpus.sources, &target));
+    let warm =
+        analyze_program_cached(&edited, &apis, &options, &FaultPlan::none(), Some(&mut cache));
+
+    // Precisely the cone misses the cache; everything else hits.
+    assert_eq!(warm.stats.cache_invalidated, expected_cone.len());
+    assert_eq!(warm.stats.cache_hits, warm.stats.functions_analyzed - expected_cone.len());
+    assert_eq!(warm.stats.cache_misses, 0, "the edit deletes nothing");
+
+    // And the set of rewritten keys is exactly the affected frontier.
+    let after = key_snapshot(&cache);
+    let changed: BTreeSet<String> = before
+        .iter()
+        .filter(|(name, key)| after.get(*name) != Some(key))
+        .map(|(name, _)| name.clone())
+        .collect();
+    assert_eq!(changed, expected_cone, "rewritten keys == affected_functions");
+
+    // The warm result matches a from-scratch analysis of the edited
+    // program, reports and all.
+    let fresh = analyze_program_cached(&edited, &apis, &options, &FaultPlan::none(), None);
+    assert_eq!(warm.reports, fresh.reports);
+    assert_eq!(
+        serde_json::to_string(&warm.summaries).unwrap(),
+        serde_json::to_string(&fresh.summaries).unwrap()
+    );
+}
+
+#[test]
+fn degraded_summaries_are_never_cached() {
+    // A path cap low enough to degrade the corpus's branchier functions:
+    // their partial summaries must not enter the cache, and a warm re-run
+    // recomputes exactly them (deterministically degrading again).
+    let corpus = generate_kernel(&KernelConfig::tiny(29));
+    let program = parse(&corpus.sources);
+    let apis = linux_dpm_apis();
+    let options = AnalysisOptions {
+        limits: PathLimits { max_paths: 2, ..PathLimits::default() },
+        ..AnalysisOptions::default()
+    };
+
+    let mut cache = SummaryCache::new();
+    let cold =
+        analyze_program_cached(&program, &apis, &options, &FaultPlan::none(), Some(&mut cache));
+    assert!(!cold.degraded.is_empty(), "max_paths=2 must degrade something");
+    for name in cold.degraded.keys() {
+        assert!(cache.get(name).is_none(), "degraded `{name}` must not be cached");
+    }
+    assert_eq!(cache.len() + cold.degraded.len(), cold.stats.functions_analyzed);
+
+    let warm =
+        analyze_program_cached(&program, &apis, &options, &FaultPlan::none(), Some(&mut cache));
+    // Unchanged corpus: the degraded functions are the only recomputation.
+    assert_eq!(warm.stats.cache_misses, cold.degraded.len());
+    assert_eq!(warm.stats.cache_invalidated, 0);
+    assert_eq!(warm.stats.cache_hits, warm.stats.functions_analyzed - cold.degraded.len());
+    assert_eq!(
+        warm.degraded.keys().collect::<Vec<_>>(),
+        cold.degraded.keys().collect::<Vec<_>>(),
+        "recomputation degrades deterministically"
+    );
+    assert_eq!(
+        serde_json::to_string(&warm.summaries).unwrap(),
+        serde_json::to_string(&cold.summaries).unwrap()
+    );
+}

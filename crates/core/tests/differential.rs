@@ -17,7 +17,8 @@
 
 use rid_core::apis::linux_dpm_apis;
 use rid_core::{
-    analyze_program_with_faults, AnalysisOptions, AnalysisResult, ExecMode, FaultPlan,
+    analyze_program_cached, analyze_program_with_faults, AnalysisOptions, AnalysisResult,
+    ExecMode, FaultPlan, SummaryCache,
 };
 use rid_corpus::kernel::{generate_kernel, KernelConfig};
 use rid_frontend::parse_program;
@@ -142,6 +143,55 @@ fn tree_matches_per_path_under_panic_faults() {
     // And panic faults under parallelism, for good measure.
     let tree_par = run(&program, ExecMode::Tree, 4, &plan);
     assert_equivalent(&tree_par, &per_path, "panic faults, tree parallel");
+}
+
+#[test]
+fn scheduler_and_cache_match_reference_across_threads_and_faults() {
+    // The work-stealing scheduler and the persistent summary cache must
+    // be invisible in the output: at every thread count, cold or warm,
+    // under every supported fault plan, the summary database and report
+    // set are byte-identical to the sequential per-path reference run
+    // under the *same* plan. Warm runs are primed under the same plan
+    // too: degraded functions are never cached, so they re-execute — and
+    // re-fault — identically.
+    let program = corpus_program(&KernelConfig::tiny(17));
+    let apis = linux_dpm_apis();
+    let plans = [
+        ("no faults", FaultPlan::none()),
+        ("panic faults", FaultPlan { seed: 42, panic_rate: 0.08, ..FaultPlan::none() }),
+        ("solver stall", FaultPlan { seed: 9, stall_rate: 0.25, ..FaultPlan::none() }),
+    ];
+    for (what, plan) in &plans {
+        let reference = run(&program, ExecMode::PerPath, 1, plan);
+        for threads in [1usize, 2, 8] {
+            let options = AnalysisOptions { threads, ..AnalysisOptions::default() };
+
+            let cold = analyze_program_with_faults(&program, &apis, &options, plan);
+            assert_equivalent(&cold, &reference, &format!("{what}, {threads} threads, cold"));
+            assert_eq!(
+                cold.degraded.keys().collect::<Vec<_>>(),
+                reference.degraded.keys().collect::<Vec<_>>(),
+                "degradation set diverges: {what}, {threads} threads"
+            );
+
+            let mut cache = SummaryCache::new();
+            let primed =
+                analyze_program_cached(&program, &apis, &options, plan, Some(&mut cache));
+            assert_equivalent(&primed, &reference, &format!("{what}, {threads} threads, priming"));
+            let warm = analyze_program_cached(&program, &apis, &options, plan, Some(&mut cache));
+            assert_equivalent(&warm, &reference, &format!("{what}, {threads} threads, warm"));
+            assert!(
+                warm.stats.cache_hits > 0,
+                "warm run must reuse the cache: {what}, {threads} threads"
+            );
+            assert_eq!(
+                warm.stats.cache_hits + warm.stats.cache_misses,
+                warm.stats.functions_analyzed,
+                "every analyzed function either hits or recomputes (degraded \
+                 entries are never cached): {what}, {threads} threads"
+            );
+        }
+    }
 }
 
 #[test]

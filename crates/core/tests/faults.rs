@@ -111,7 +111,15 @@ fn parallel_equals_sequential_under_faults() {
     );
 
     assert_eq!(sequential.reports, parallel.reports);
-    assert_eq!(sequential.degraded, parallel.degraded);
+    // wall_ms is measured wall-clock (the process's first panic also pays
+    // a one-time unwinder-init cost of ~10ms), so compare everything but.
+    let timeless = |r: &AnalysisResult| -> Vec<(String, DegradeReason, usize, usize)> {
+        r.degraded
+            .iter()
+            .map(|(n, d)| (n.clone(), d.reason, d.cost.paths, d.cost.states))
+            .collect()
+    };
+    assert_eq!(timeless(&sequential), timeless(&parallel));
     assert!(!sequential.degraded.is_empty(), "plan must actually fault something");
     assert_eq!(
         serde_json::to_string(&sequential.summaries).unwrap(),

@@ -10,6 +10,20 @@ use crate::{Inst, Operand};
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct BlockId(pub u32);
 
+// Serialized transparently as the block index (persisted bug reports
+// carry block traces).
+impl serde::Serialize for BlockId {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.0.serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for BlockId {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        u32::deserialize(deserializer).map(BlockId)
+    }
+}
+
 impl BlockId {
     /// The entry block of every function.
     pub const ENTRY: BlockId = BlockId(0);
