@@ -1,5 +1,5 @@
 //! Regenerates the **§6.5 performance** claim and persists a
-//! machine-readable baseline (schema `rid-bench-perf/v2`).
+//! machine-readable baseline (schema `rid-bench-perf/v3`).
 //!
 //! For each corpus scale the binary parses the seeded kernel corpus once,
 //! then runs the whole-program analysis `--iters` times per execution
@@ -141,6 +141,28 @@ struct AdversarialRecord {
     auto_vs_best: f64,
 }
 
+/// Tracing-overhead pair (largest scale, `Auto` mode, 1 thread).
+///
+/// `disabled_s` is the production configuration: the rid-obs probes are
+/// compiled in but gated behind one relaxed atomic load, so it must
+/// track the plain `analyze_s` records (CI compares it against the
+/// committed baseline with a <2% tolerance). `enabled_s` quantifies the
+/// cost of a full `--trace` run for the docs.
+#[derive(Serialize)]
+struct OverheadRecord {
+    /// Analyze wall-clock with tracing compiled in but disabled
+    /// (seconds, min over iters).
+    disabled_s: f64,
+    /// Analyze wall-clock with tracing enabled, ring drained per run
+    /// (seconds, min over iters).
+    enabled_s: f64,
+    /// `enabled_s / disabled_s`.
+    enabled_over_disabled: f64,
+    /// Events captured by the slowest-path sanity run (must be > 0, or
+    /// the "enabled" measurement silently measured nothing).
+    events: usize,
+}
+
 #[derive(Serialize)]
 struct PerfBaseline {
     schema: String,
@@ -155,6 +177,8 @@ struct PerfBaseline {
     thread_sweep: Vec<ThreadRecord>,
     /// Persistent-cache cold/warm pair at the largest measured scale.
     cache: CacheRecord,
+    /// Disabled-vs-enabled tracing cost at the largest measured scale.
+    overhead: OverheadRecord,
     adversarial: AdversarialRecord,
 }
 
@@ -231,6 +255,29 @@ fn measure_analyze_s(program: &rid_ir::Program, threads: usize, iters: usize) ->
                 .as_secs_f64()
         })
         .fold(f64::INFINITY, f64::min)
+}
+
+/// Disabled-vs-enabled tracing measurement, interleaved round-robin for
+/// the same drift-fairness reason as [`measure_modes`]. Single worker:
+/// the overhead of interest is per-event probe cost, not scheduling.
+fn measure_overhead(program: &rid_ir::Program, iters: usize) -> OverheadRecord {
+    let mut disabled_s = f64::INFINITY;
+    let mut enabled_s = f64::INFINITY;
+    let mut events = 0usize;
+    for _ in 0..iters.max(1) {
+        disabled_s = disabled_s.min(measure_analyze_s(program, 1, 1));
+        rid_obs::trace::enable(rid_obs::trace::DEFAULT_CAPACITY);
+        enabled_s = enabled_s.min(measure_analyze_s(program, 1, 1));
+        rid_obs::trace::disable();
+        events = events.max(rid_obs::drain().events.len());
+    }
+    assert!(events > 0, "enabled run captured no events — probes not wired?");
+    OverheadRecord {
+        disabled_s,
+        enabled_s,
+        enabled_over_disabled: enabled_s / disabled_s.max(1e-9),
+        events,
+    }
 }
 
 fn cache_counters(result: &AnalysisResult) -> CacheCounters {
@@ -404,6 +451,10 @@ fn main() {
     eprintln!("cache cold/warm...");
     let cache = measure_cache(&largest, 1, iters);
 
+    // Tracing probe cost at the largest scale (see [`OverheadRecord`]).
+    eprintln!("tracing overhead...");
+    let overhead = measure_overhead(&largest, iters);
+
     // The branchy workload (see [`AdversarialRecord`]).
     let adv_modules = 6;
     let adv_depth = 14;
@@ -484,6 +535,13 @@ fn main() {
         "cache: cold {:.3}s -> warm {:.3}s ({:.1}x; warm {} hit(s), {} miss(es))",
         cache.cold_s, cache.warm_s, cache.warm_speedup, cache.warm.hits, cache.warm.misses
     );
+    println!(
+        "tracing: disabled {:.3}s, enabled {:.3}s ({:.2}x, {} event(s))",
+        overhead.disabled_s,
+        overhead.enabled_s,
+        overhead.enabled_over_disabled,
+        overhead.events
+    );
     println!();
     println!("paper reference: classify 270k functions in 64 min; analyze in 67 min;");
     println!("the shape to check: the dependency-driven scheduler scales with threads,");
@@ -491,7 +549,7 @@ fn main() {
     println!("produces byte-identical summaries (the differential suite enforces that).");
 
     let baseline = PerfBaseline {
-        schema: "rid-bench-perf/v2".to_owned(),
+        schema: "rid-bench-perf/v3".to_owned(),
         seed,
         threads,
         iters,
@@ -499,6 +557,7 @@ fn main() {
         scales: records,
         thread_sweep,
         cache,
+        overhead,
         adversarial,
     };
     let json = serde_json::to_string(&baseline).expect("baseline serializes");

@@ -1,0 +1,109 @@
+//! `profile` — where does the analysis spend its time?
+//!
+//! Runs the seeded kernel corpus once with rid-obs tracing enabled, then
+//! aggregates the drained trace into three tables:
+//!
+//! 1. **hottest functions** — per-function `exec` span totals with solver
+//!    and enumeration time attributed as children (the naming convention
+//!    of [`rid_obs::self_times`]), ranked by self time;
+//! 2. **path explosion** — the worst `enumerate` offenders by structural
+//!    path count (the payload of the enumerate span);
+//! 3. the full **metrics registry** built from the run's
+//!    [`rid_core::AnalysisStats`] plus per-kind trace durations.
+//!
+//! ```text
+//! cargo run -p rid-bench --release --bin profile -- \
+//!     [--seed N] [--threads N] [--scale F] [--top N]
+//! ```
+//!
+//! Unlike `perf` this binary makes no timing claims and writes no
+//! baseline — it is the interactive "why is this slow?" entry point
+//! (see README, "Profiling a run"). For machine-readable artifacts use
+//! `rid analyze --trace/--metrics`.
+
+use rid_bench::format_table;
+use rid_core::AnalysisOptions;
+use rid_corpus::kernel::{generate_kernel, KernelConfig};
+use rid_obs::SpanKind;
+
+#[path = "../args.rs"]
+mod args;
+
+fn ms(ns: u64) -> String {
+    format!("{:.3}ms", ns as f64 / 1e6)
+}
+
+fn main() {
+    let seed: u64 = args::flag("seed").unwrap_or(2016);
+    let threads: usize = args::flag("threads").unwrap_or(1);
+    let scale: f64 = args::flag("scale").unwrap_or(0.25);
+    let top: usize = args::flag("top").unwrap_or(15);
+
+    let config = KernelConfig::evaluation(seed).scaled(scale);
+    eprintln!("scale {scale}: generating...");
+    let corpus = generate_kernel(&config);
+
+    // Enable before parsing so the frontend's `lower` spans are captured.
+    rid_obs::trace::enable(rid_obs::trace::DEFAULT_CAPACITY);
+    let program = rid_frontend::parse_program(corpus.sources.iter().map(String::as_str))
+        .expect("corpus must parse");
+    let options = AnalysisOptions { threads, ..Default::default() };
+    let result =
+        rid_core::analyze_program(&program, &rid_core::apis::linux_dpm_apis(), &options);
+    rid_obs::trace::disable();
+    let trace = rid_obs::drain();
+
+    println!(
+        "profile: {} function(s), {} analyzed, {} report(s); {} trace event(s) ({} dropped)",
+        program.function_count(),
+        result.stats.functions_analyzed,
+        result.reports.len(),
+        trace.events.len(),
+        trace.dropped
+    );
+    println!();
+
+    // 1. Hottest functions by self time. Solver and enumeration spans
+    //    carry the enclosing function's name, so per-name subtraction
+    //    yields the executor's own share.
+    let profiles =
+        rid_obs::self_times(&trace, SpanKind::Exec, &[SpanKind::Solve, SpanKind::Enumerate]);
+    let shown = profiles.len().min(top);
+    println!("hottest functions by self time ({} of {}):", shown, profiles.len());
+    let rows: Vec<Vec<String>> = profiles
+        .iter()
+        .take(top)
+        .map(|p| {
+            vec![
+                p.name.clone(),
+                p.count.to_string(),
+                ms(p.total_ns),
+                ms(p.child_ns),
+                ms(p.self_ns),
+            ]
+        })
+        .collect();
+    println!(
+        "{}",
+        format_table(&["function", "execs", "total", "solve+enum", "self"], &rows)
+    );
+    println!();
+
+    // 2. Path explosion: largest structural path count per function.
+    let explosions = rid_obs::max_value_by_name(&trace, SpanKind::Enumerate);
+    let shown = explosions.len().min(top);
+    println!("worst path explosion ({} of {}):", shown, explosions.len());
+    let rows: Vec<Vec<String>> = explosions
+        .iter()
+        .take(top)
+        .map(|(name, paths)| vec![name.clone(), paths.to_string()])
+        .collect();
+    println!("{}", format_table(&["function", "paths"], &rows));
+    println!();
+
+    // 3. The full registry, stats + per-kind trace histograms.
+    let mut registry = rid_core::registry_from_result(&result);
+    rid_core::record_trace(&mut registry, &trace);
+    println!("metrics:");
+    println!("{}", registry.render_table());
+}

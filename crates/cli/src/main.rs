@@ -5,7 +5,8 @@
 //!             [--save-summaries out.json] [--threads N] [--no-selective]
 //!             [--separate] [--json] [--deadline-ms N] [--fuel N]
 //!             [--global-deadline-ms N] [--exec-mode auto|tree|per-path]
-//!             [--cache cache.json]
+//!             [--cache cache.json] [--trace out.json] [--metrics out.json]
+//! rid explain --state s.json [<file.ril>...] [--function <name>]
 //! rid classify <file.ril>... [--apis dpm|python|none]
 //! rid summarize <file.ril>... --function <name> [--apis dpm|python|none]
 //! rid baseline <file.ril>... [--apis python]
@@ -13,6 +14,14 @@
 //! rid mine <file.ril>... [--field refs] [--save-summaries out.json]
 //! rid gen-kernel [--seed N] [--tiny] --out <dir>
 //! ```
+//!
+//! `--trace <path>` records the run with [`rid_obs`] and writes a Chrome
+//! `trace_event` file to `<path>` (load it in `chrome://tracing` or
+//! Perfetto) plus the raw JSONL event log to `<path>.jsonl`.
+//! `--metrics <path>` writes the metrics-registry snapshot as JSON.
+//! `rid explain` renders the full provenance of every report in a saved
+//! analysis state: per-side path constraints, the solver verdict, block
+//! traces, and the callee summaries used.
 //!
 //! Exit codes: 0 = clean, 1 = bugs reported, 2 = analysis degraded
 //! (budgets/limits/panics, but no bugs), 3 = fatal error (bad usage,
@@ -37,6 +46,8 @@ fn usage() -> ExitCode {
               [--separate] [--callbacks] [--json] [--deadline-ms N]
               [--fuel N] [--global-deadline-ms N]
               [--exec-mode auto|tree|per-path] [--cache cache.json]
+              [--trace out.json] [--metrics out.json]
+  rid explain --state s.json [<file.ril>...] [--function <name>]
   rid classify <file.ril>... [--apis dpm|python|none]
   rid summarize <file.ril>... --function <name> [--apis dpm|python|none]
   rid baseline <file.ril>... [--apis python]
@@ -169,6 +180,13 @@ fn finish_analysis(result: &rid_core::AnalysisResult) -> u8 {
 }
 
 fn cmd_analyze(args: &Args) -> Result<u8, String> {
+    let trace_path = args.options.get("trace").map(PathBuf::from);
+    let metrics_path = args.options.get("metrics").map(PathBuf::from);
+    if trace_path.is_some() {
+        // Enable before parsing so the Lower spans are captured too.
+        rid_obs::trace::enable(rid_obs::trace::DEFAULT_CAPACITY);
+    }
+
     let sources = read_sources(&args.files)?;
     let apis = predefined_apis(args)?;
     let options = analysis_options(args)?;
@@ -240,7 +258,68 @@ fn cmd_analyze(args: &Args) -> Result<u8, String> {
         save_state(&result, Path::new(path)).map_err(|e| e.to_string())?;
         eprintln!("analysis state saved to {path}");
     }
+
+    let trace = trace_path.as_ref().map(|_| {
+        rid_obs::trace::disable();
+        rid_obs::drain()
+    });
+    if let (Some(path), Some(trace)) = (&trace_path, &trace) {
+        std::fs::write(path, trace.to_chrome_json())
+            .map_err(|e| format!("--trace: {}: {e}", path.display()))?;
+        let jsonl_path = PathBuf::from(format!("{}.jsonl", path.display()));
+        std::fs::write(&jsonl_path, trace.to_jsonl())
+            .map_err(|e| format!("--trace: {}: {e}", jsonl_path.display()))?;
+        eprintln!(
+            "trace: {} event(s) ({} dropped) written to {} (+ {})",
+            trace.events.len(),
+            trace.dropped,
+            path.display(),
+            jsonl_path.display()
+        );
+    }
+    if let Some(path) = &metrics_path {
+        let mut registry = rid_core::registry_from_result(&result);
+        if let Some(trace) = &trace {
+            rid_core::record_trace(&mut registry, trace);
+        }
+        std::fs::write(path, registry.to_json())
+            .map_err(|e| format!("--metrics: {}: {e}", path.display()))?;
+        eprintln!("metrics written to {}", path.display());
+    }
     Ok(finish_analysis(&result))
+}
+
+/// `rid explain`: render the provenance record of every report in a
+/// saved analysis state (produced by `analyze`/`recheck --save-state`).
+/// Sources are optional — when given, formal-argument indices are
+/// replaced by the original parameter names.
+fn cmd_explain(args: &Args) -> Result<u8, String> {
+    let state_path = args.options.get("state").ok_or_else(|| {
+        "--state <file> is required (produce one with `rid analyze --save-state`)".to_owned()
+    })?;
+    let state = load_state(Path::new(state_path)).map_err(|e| e.to_string())?;
+    let program = if args.files.is_empty() {
+        None
+    } else {
+        let sources = read_sources(&args.files)?;
+        Some(
+            rid_frontend::parse_program(sources.iter().map(String::as_str))
+                .map_err(|e| e.to_string())?,
+        )
+    };
+    let reports: Vec<rid_core::IppReport> = match args.options.get("function") {
+        Some(f) => state.reports.iter().filter(|r| &r.function == f).cloned().collect(),
+        None => state.reports.clone(),
+    };
+    if reports.is_empty() && args.options.contains_key("function") {
+        return Err(format!(
+            "no reports for function `{}` in {state_path}",
+            args.options["function"]
+        ));
+    }
+    print!("{}", rid_core::render_explanations(&reports, program.as_ref()));
+    eprintln!("{} report(s) explained from {state_path}", reports.len());
+    Ok(if reports.is_empty() { EXIT_CLEAN } else { EXIT_BUGS })
 }
 
 fn cmd_classify(args: &Args) -> Result<(), String> {
@@ -426,6 +505,7 @@ fn main() -> ExitCode {
         "summarize" => cmd_summarize(&args).map(|()| EXIT_CLEAN),
         "baseline" => cmd_baseline(&args).map(|()| EXIT_CLEAN),
         "recheck" => cmd_recheck(&args),
+        "explain" => cmd_explain(&args),
         "mine" => cmd_mine(&args).map(|()| EXIT_CLEAN),
         "gen-kernel" => cmd_gen_kernel(&args).map(|()| EXIT_CLEAN),
         _ => return usage(),

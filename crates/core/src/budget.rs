@@ -167,6 +167,21 @@ impl DegradeReason {
     }
 }
 
+/// Emits a `Degrade` instant trace event for one new degradation record,
+/// named `<reason-label>:<function>`. Called exactly once per record the
+/// driver (or incremental re-analyzer) creates, so a drained trace's
+/// degrade events agree one-to-one with [`Degradation`] entries — the
+/// invariant the faults/trace agreement test pins.
+pub(crate) fn trace_degradation(name: &str, reason: DegradeReason) {
+    if rid_obs::enabled() {
+        rid_obs::event(
+            rid_obs::SpanKind::Degrade,
+            &format!("{}:{}", reason.label(), name),
+            1,
+        );
+    }
+}
+
 /// What a function's (possibly abandoned) analysis cost.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
 pub struct FunctionCost {

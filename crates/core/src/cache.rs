@@ -52,8 +52,9 @@ use crate::ipp::IppReport;
 use crate::summary::{Summary, SummaryDb};
 
 /// Schema tag stored in (and validated against) persisted cache files.
-/// v2: cached IPP reports carry block traces.
-pub const CACHE_SCHEMA: &str = "rid-summary-cache/v2";
+/// v3: cached IPP reports carry explainability provenance (v2 added
+/// block traces).
+pub const CACHE_SCHEMA: &str = "rid-summary-cache/v3";
 
 /// 128-bit FNV-1a.
 #[derive(Clone, Copy, Debug)]

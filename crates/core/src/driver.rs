@@ -135,10 +135,89 @@ pub struct AnalysisStats {
     /// cone changed; recomputed).
     #[serde(default)]
     pub cache_invalidated: usize,
+    /// Satisfiability queries answered "satisfiable".
+    #[serde(default)]
+    pub sat_sat: usize,
+    /// Satisfiability queries answered "unsatisfiable".
+    #[serde(default)]
+    pub sat_unsat: usize,
+    /// Incremental-solver snapshots taken at fork points (tree mode).
+    #[serde(default)]
+    pub solver_snapshots: usize,
+    /// Largest literal depth among snapshotted solvers.
+    #[serde(default)]
+    pub snapshot_depth_max: usize,
+    /// Components a worker obtained by stealing from a sibling's deque
+    /// (0 in sequential runs).
+    #[serde(default)]
+    pub steals: usize,
+    /// High-water mark of ready components queued across all deques
+    /// (0 in sequential runs).
+    #[serde(default)]
+    pub queue_depth_max: usize,
     /// Wall-clock time spent classifying.
     pub classify_time: Duration,
     /// Wall-clock time spent summarizing + IPP checking.
     pub analyze_time: Duration,
+}
+
+impl AnalysisStats {
+    /// Folds another stats record into this one: additive fields sum,
+    /// high-water marks take the max. This is the *single* merge path —
+    /// the parallel driver, incremental re-analysis, and per-module
+    /// analysis all route through it, so a counter added to the struct
+    /// cannot be silently dropped by one of the merge sites again.
+    pub fn absorb(&mut self, other: &AnalysisStats) {
+        self.functions_total += other.functions_total;
+        self.functions_analyzed += other.functions_analyzed;
+        self.paths_enumerated += other.paths_enumerated;
+        self.states_explored += other.states_explored;
+        self.functions_partial += other.functions_partial;
+        self.counts.refcount_changing += other.counts.refcount_changing;
+        self.counts.affecting_analyzed += other.counts.affecting_analyzed;
+        self.counts.affecting_skipped += other.counts.affecting_skipped;
+        self.counts.other += other.counts.other;
+        self.sat_queries += other.sat_queries;
+        self.sat_memo_hits += other.sat_memo_hits;
+        self.blocks_executed += other.blocks_executed;
+        self.blocks_saved += other.blocks_saved;
+        self.exec_tree += other.exec_tree;
+        self.exec_per_path += other.exec_per_path;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+        self.cache_invalidated += other.cache_invalidated;
+        self.sat_sat += other.sat_sat;
+        self.sat_unsat += other.sat_unsat;
+        self.solver_snapshots += other.solver_snapshots;
+        self.snapshot_depth_max = self.snapshot_depth_max.max(other.snapshot_depth_max);
+        self.steals += other.steals;
+        self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.classify_time += other.classify_time;
+        self.analyze_time += other.analyze_time;
+    }
+
+    /// Tallies one function's [`SummarizeOutcome`] — the single place
+    /// executor counters flow into run statistics (the driver, the
+    /// incremental re-analyzer, and any future caller share it).
+    pub(crate) fn record_outcome(&mut self, outcome: &SummarizeOutcome) {
+        self.functions_analyzed += 1;
+        self.paths_enumerated += outcome.paths_enumerated;
+        self.states_explored += outcome.states_explored;
+        self.functions_partial += usize::from(outcome.partial);
+        self.sat_queries += outcome.sat_queries;
+        self.sat_memo_hits += outcome.sat_memo_hits;
+        self.sat_sat += outcome.sat_sat;
+        self.sat_unsat += outcome.sat_unsat;
+        self.solver_snapshots += outcome.solver_snapshots;
+        self.snapshot_depth_max = self.snapshot_depth_max.max(outcome.snapshot_depth_max);
+        self.blocks_executed += outcome.blocks_executed;
+        self.blocks_saved += outcome.blocks_saved;
+        match outcome.mode_used {
+            ExecMode::Tree => self.exec_tree += 1,
+            ExecMode::PerPath => self.exec_per_path += 1,
+            ExecMode::Auto => debug_assert!(false, "Auto resolves before execution"),
+        }
+    }
 }
 
 /// The result of analyzing a program.
@@ -188,7 +267,12 @@ pub(crate) fn guarded_attempt(
 ) -> Result<(SummarizeOutcome, IppOutcome), ()> {
     catch_unwind(AssertUnwindSafe(|| {
         faults.inject(func.name(), attempt);
-        let outcome = summarize_paths_view(func, db, limits, sat, meter, fuel, mode);
+        let outcome = {
+            let mut span = rid_obs::span(rid_obs::SpanKind::Exec, func.name());
+            let outcome = summarize_paths_view(func, db, limits, sat, meter, fuel, mode);
+            span.set_value(outcome.path_entries.len() as u64);
+            outcome
+        };
         let ipp = check_ipps(func.name(), &outcome.path_entries, sat);
         (outcome, ipp)
     }))
@@ -261,6 +345,8 @@ struct Scheduler {
     pending: AtomicUsize,
     /// Components currently sitting in some deque.
     queued: AtomicUsize,
+    /// High-water mark of `queued` (observability only).
+    depth_max: AtomicUsize,
     gate: Mutex<()>,
     idle: Condvar,
 }
@@ -271,6 +357,7 @@ impl Scheduler {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicUsize::new(pending),
             queued: AtomicUsize::new(0),
+            depth_max: AtomicUsize::new(0),
             gate: Mutex::new(()),
             idle: Condvar::new(),
         }
@@ -282,25 +369,29 @@ impl Scheduler {
     /// either still outside the gate (and will re-check) or already
     /// registered on the condvar (and will be woken).
     fn push(&self, worker: usize, comp: usize) {
-        self.queued.fetch_add(1, Ordering::SeqCst);
+        let depth = self.queued.fetch_add(1, Ordering::SeqCst) + 1;
+        self.depth_max.fetch_max(depth, Ordering::Relaxed);
         self.deques[worker].lock().push_back(comp);
         drop(self.gate.lock());
         self.idle.notify_one();
     }
 
     /// Pops from `worker`'s own deque (LIFO: freshly unlocked components
-    /// are cache-warm) or steals the oldest entry from a sibling.
-    fn pop(&self, worker: usize) -> Option<usize> {
+    /// are cache-warm) or steals the oldest entry from a sibling. The
+    /// boolean is `true` when the component was stolen.
+    fn pop(&self, worker: usize) -> Option<(usize, bool)> {
         if let Some(c) = self.deques[worker].lock().pop_back() {
             self.queued.fetch_sub(1, Ordering::SeqCst);
-            return Some(c);
+            return Some((c, false));
         }
         let n = self.deques.len();
+        let mut span = rid_obs::span(rid_obs::SpanKind::Steal, "scan");
         for offset in 1..n {
             let victim = (worker + offset) % n;
             if let Some(c) = self.deques[victim].lock().pop_front() {
                 self.queued.fetch_sub(1, Ordering::SeqCst);
-                return Some(c);
+                span.set_value(1);
+                return Some((c, true));
             }
         }
         None
@@ -413,7 +504,14 @@ pub fn analyze_program_cached(
                     continue;
                 }
                 if let (Some(cache), Some(key)) = (cache_ro, keys[i]) {
-                    match cache.probe(name, key) {
+                    let probe = {
+                        let mut span =
+                            rid_obs::span(rid_obs::SpanKind::CacheLookup, name);
+                        let probe = cache.probe(name, key);
+                        span.set_value(u64::from(matches!(probe.0, CacheProbe::Hit)));
+                        probe
+                    };
+                    match probe {
                         (CacheProbe::Hit, Some(entry)) => {
                             let published = slots[i].set(entry.summary.clone());
                             debug_assert!(published.is_ok());
@@ -428,6 +526,7 @@ pub fn analyze_program_cached(
                     }
                 }
                 let view = SummaryView::Slots { predefined, graph: &graph, slots: &slots };
+                let callees = callee_names(&graph, i);
                 let fuel = effective_fuel(&options.budget, faults, name);
                 let meter = BudgetMeter::start(&options.budget, global_deadline);
                 let first = guarded_attempt(
@@ -445,6 +544,7 @@ pub fn analyze_program_cached(
                 match first {
                     Ok((outcome, ipp)) => record_success(
                         out, i, name, &outcome, ipp, None, first_ms, keys[i], &slots,
+                        &callees,
                     ),
                     Err(()) => {
                         // Immediate retry with reduced limits; a second
@@ -476,6 +576,7 @@ pub fn analyze_program_cached(
                                 wall_ms,
                                 keys[i],
                                 &slots,
+                                &callees,
                             ),
                             Err(()) => {
                                 let published = slots[i].set(Summary::default_for(name));
@@ -483,6 +584,7 @@ pub fn analyze_program_cached(
                                 out.stats.functions_analyzed += 1;
                                 out.stats.functions_partial += 1;
                                 let cost = FunctionCost { paths: 0, states: 0, wall_ms };
+                                crate::budget::trace_degradation(name, DegradeReason::Panic);
                                 out.degraded.push((
                                     name.to_owned(),
                                     Degradation { reason: DegradeReason::Panic, cost },
@@ -494,6 +596,7 @@ pub fn analyze_program_cached(
         }
     };
 
+    let mut queue_depth_max = 0;
     let outputs: Vec<WorkerOut> = if active_total == 0 {
         Vec::new()
     } else if workers == 1 {
@@ -530,16 +633,18 @@ pub fn analyze_program_cached(
                     next += 1;
                 }
             }
+            sched.depth_max.fetch_max(next, Ordering::Relaxed);
         }
         let run_worker = |w: usize| -> WorkerOut {
             let mut out = WorkerOut::default();
             loop {
-                let Some(c) = sched.pop(w) else {
+                let Some((c, stolen)) = sched.pop(w) else {
                     if sched.wait() {
                         continue;
                     }
                     break;
                 };
+                out.stats.steals += usize::from(stolen);
                 process_comp(c, &mut out);
                 for &cw in &cond.caller_comps[c] {
                     if active[cw] && remaining[cw].fetch_sub(1, Ordering::SeqCst) == 1 {
@@ -548,14 +653,22 @@ pub fn analyze_program_cached(
                 }
                 sched.finish_one();
             }
+            // Scoped threads can unblock the spawner before this thread's
+            // TLS destructors run, so flush the trace ring explicitly.
+            rid_obs::trace::flush_thread();
             out
         };
         let run_worker = &run_worker;
-        std::thread::scope(|scope| {
+        let outputs = std::thread::scope(|scope| {
             let handles: Vec<_> =
                 (0..workers).map(|w| scope.spawn(move || run_worker(w))).collect();
-            handles.into_iter().map(|h| h.join().expect("worker does not panic")).collect()
-        })
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("worker does not panic"))
+                .collect()
+        });
+        queue_depth_max = sched.depth_max.load(Ordering::Relaxed);
+        outputs
     };
 
     // Merge per-worker results (order-insensitive: reports are re-sorted,
@@ -565,20 +678,7 @@ pub fn analyze_program_cached(
     let mut reports = Vec::new();
     let mut degraded = BTreeMap::new();
     for out in outputs {
-        let s = out.stats;
-        stats.functions_analyzed += s.functions_analyzed;
-        stats.paths_enumerated += s.paths_enumerated;
-        stats.states_explored += s.states_explored;
-        stats.functions_partial += s.functions_partial;
-        stats.sat_queries += s.sat_queries;
-        stats.sat_memo_hits += s.sat_memo_hits;
-        stats.blocks_executed += s.blocks_executed;
-        stats.blocks_saved += s.blocks_saved;
-        stats.exec_tree += s.exec_tree;
-        stats.exec_per_path += s.exec_per_path;
-        stats.cache_hits += s.cache_hits;
-        stats.cache_misses += s.cache_misses;
-        stats.cache_invalidated += s.cache_invalidated;
+        stats.absorb(&out.stats);
         reports.extend(out.reports);
         degraded.extend(out.degraded);
         if let Some(cache) = cache.as_deref_mut() {
@@ -619,10 +719,16 @@ pub fn analyze_program_cached(
                 )
             }));
             let Ok(found) = found else {
-                degraded.entry(name.clone()).or_insert(Degradation {
-                    reason: DegradeReason::Panic,
-                    cost: FunctionCost::default(),
-                });
+                if !degraded.contains_key(&name) {
+                    crate::budget::trace_degradation(&name, DegradeReason::Panic);
+                    degraded.insert(
+                        name.clone(),
+                        Degradation {
+                            reason: DegradeReason::Panic,
+                            cost: FunctionCost::default(),
+                        },
+                    );
+                }
                 continue;
             };
             for report in found {
@@ -636,6 +742,7 @@ pub fn analyze_program_cached(
 
     stats.functions_total = functions.len();
     stats.counts = classification.counts();
+    stats.queue_depth_max = queue_depth_max;
     stats.classify_time = classify_time;
     stats.analyze_time = analyze_start.elapsed();
 
@@ -661,27 +768,23 @@ fn record_success(
     idx: usize,
     name: &str,
     outcome: &SummarizeOutcome,
-    ipp: IppOutcome,
+    mut ipp: IppOutcome,
     forced: Option<DegradeReason>,
     wall_ms: u64,
     key: Option<u128>,
     slots: &[OnceLock<Summary>],
+    callees: &[String],
 ) {
-    let summary = build_summary(name, &outcome.path_entries, &ipp, outcome.partial);
-    let stats = &mut out.stats;
-    stats.functions_analyzed += 1;
-    stats.paths_enumerated += outcome.paths_enumerated;
-    stats.states_explored += outcome.states_explored;
-    stats.functions_partial += usize::from(outcome.partial);
-    stats.sat_queries += outcome.sat_queries;
-    stats.sat_memo_hits += outcome.sat_memo_hits;
-    stats.blocks_executed += outcome.blocks_executed;
-    stats.blocks_saved += outcome.blocks_saved;
-    match outcome.mode_used {
-        ExecMode::Tree => stats.exec_tree += 1,
-        ExecMode::PerPath => stats.exec_per_path += 1,
-        ExecMode::Auto => debug_assert!(false, "Auto resolves before execution"),
+    // Complete the explainability record before anything is staged: the
+    // cache write-back below clones the reports, so warm runs replay the
+    // exact same provenance a cold run produced.
+    for report in &mut ipp.reports {
+        if let Some(p) = report.provenance.as_mut() {
+            p.callees = callees.to_vec();
+        }
     }
+    let summary = build_summary(name, &outcome.path_entries, &ipp, outcome.partial);
+    out.stats.record_outcome(outcome);
     let degrade = forced.or(outcome.degrade);
     if let (Some(key), None) = (key, degrade) {
         // Only clean results are cached; degraded summaries depend on
@@ -697,8 +800,24 @@ fn record_success(
             states: outcome.states_explored,
             wall_ms,
         };
+        crate::budget::trace_degradation(name, reason);
         out.degraded.push((name.to_owned(), Degradation { reason, cost }));
     }
+}
+
+/// Deterministic, deduplicated callee-name list for function `i`:
+/// resolved call-graph edges plus unresolved externals. This is the
+/// "callee summaries used" line of `rid explain`.
+pub(crate) fn callee_names(graph: &CallGraph, i: usize) -> Vec<String> {
+    let mut names: Vec<String> = graph
+        .callees(i)
+        .iter()
+        .map(|&j| graph.name(j).to_owned())
+        .chain(graph.unknown_callees(i).iter().cloned())
+        .collect();
+    names.sort();
+    names.dedup();
+    names
 }
 
 /// Convenience: analyze RIL sources directly.

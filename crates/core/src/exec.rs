@@ -96,6 +96,15 @@ pub struct SummarizeOutcome {
     /// Of those, how many were answered from the memo cache (always 0 in
     /// [`ExecMode::PerPath`], which bypasses the cache).
     pub sat_memo_hits: usize,
+    /// Queries (including memo hits) that came back satisfiable.
+    pub sat_sat: usize,
+    /// Queries (including memo hits) that came back unsatisfiable.
+    pub sat_unsat: usize,
+    /// Incremental-solver snapshots taken (state forks that cloned an
+    /// attached solver matrix; always 0 in per-path mode).
+    pub solver_snapshots: usize,
+    /// Largest literal depth observed in a snapshotted solver.
+    pub snapshot_depth_max: usize,
     /// Basic blocks actually executed (tree nodes visited in tree mode;
     /// the sum of executed path prefixes in per-path mode).
     pub blocks_executed: usize,
@@ -228,6 +237,10 @@ struct PathExecutor<'a> {
     sat_memo: HashMap<Vec<Lit>, bool>,
     sat_queries: usize,
     memo_hits: usize,
+    sat_sat: usize,
+    sat_unsat: usize,
+    solver_snapshots: usize,
+    snapshot_depth_max: usize,
     /// Accumulated across the whole walk (both modes).
     subcase_hit: bool,
     states_created: usize,
@@ -254,6 +267,10 @@ impl<'a> PathExecutor<'a> {
             sat_memo: HashMap::new(),
             sat_queries: 0,
             memo_hits: 0,
+            sat_sat: 0,
+            sat_unsat: 0,
+            solver_snapshots: 0,
+            snapshot_depth_max: 0,
             subcase_hit: false,
             states_created: 0,
             blocks_executed: 0,
@@ -326,19 +343,36 @@ impl<'a> PathExecutor<'a> {
             return true;
         }
         self.sat_queries += 1;
-        if !self.use_incremental {
-            return cons.is_sat_with(self.sat);
-        }
-        if cons.lits().len() < MEMO_MIN_LITS {
-            return cons.is_sat_with(self.sat);
-        }
-        if let Some(&answer) = self.sat_memo.get(cons.lits()) {
+        let mut span = rid_obs::span(rid_obs::SpanKind::Solve, self.func.name());
+        let answer = if !self.use_incremental || cons.lits().len() < MEMO_MIN_LITS {
+            cons.is_sat_with(self.sat)
+        } else if let Some(&answer) = self.sat_memo.get(cons.lits()) {
             self.memo_hits += 1;
-            return answer;
+            answer
+        } else {
+            let answer = cons.is_sat_with(self.sat);
+            self.sat_memo.insert(cons.lits().to_vec(), answer);
+            answer
+        };
+        span.set_value(u64::from(answer));
+        self.note_answer(answer)
+    }
+
+    /// Tallies a query outcome into the sat/unsat counters.
+    fn note_answer(&mut self, answer: bool) -> bool {
+        if answer {
+            self.sat_sat += 1;
+        } else {
+            self.sat_unsat += 1;
         }
-        let answer = cons.is_sat_with(self.sat);
-        self.sat_memo.insert(cons.lits().to_vec(), answer);
         answer
+    }
+
+    /// Tallies one incremental-solver snapshot (a fork-point clone of an
+    /// attached difference matrix) at the given literal depth.
+    fn note_snapshot(&mut self, depth: usize) {
+        self.solver_snapshots += 1;
+        self.snapshot_depth_max = self.snapshot_depth_max.max(depth);
     }
 
     /// One satisfiability decision against a state's (possibly absent)
@@ -358,27 +392,27 @@ impl<'a> PathExecutor<'a> {
             return true;
         }
         self.sat_queries += 1;
-        if !self.use_incremental {
-            return cons.is_sat_with(self.sat);
-        }
-        if cons.lits().len() < MEMO_MIN_LITS {
-            return cons.is_sat_with(self.sat);
-        }
-        if let Some(&answer) = self.sat_memo.get(cons.lits()) {
+        let mut span = rid_obs::span(rid_obs::SpanKind::Solve, self.func.name());
+        let answer = if !self.use_incremental || cons.lits().len() < MEMO_MIN_LITS {
+            cons.is_sat_with(self.sat)
+        } else if let Some(&answer) = self.sat_memo.get(cons.lits()) {
             self.memo_hits += 1;
-            return answer;
-        }
-        if solver.is_none() && cons.lits().len() >= SOLVER_ATTACH_LITS {
-            let mut fresh = IncrementalSolver::new();
-            fresh.push_conj(cons);
-            *solver = Some(fresh);
-        }
-        let answer = match solver.as_ref() {
-            Some(s) => s.is_sat(self.sat),
-            None => cons.is_sat_with(self.sat),
+            answer
+        } else {
+            if solver.is_none() && cons.lits().len() >= SOLVER_ATTACH_LITS {
+                let mut fresh = IncrementalSolver::new();
+                fresh.push_conj(cons);
+                *solver = Some(fresh);
+            }
+            let answer = match solver.as_ref() {
+                Some(s) => s.is_sat(self.sat),
+                None => cons.is_sat_with(self.sat),
+            };
+            self.sat_memo.insert(cons.lits().to_vec(), answer);
+            answer
         };
-        self.sat_memo.insert(cons.lits().to_vec(), answer);
-        answer
+        span.set_value(u64::from(answer));
+        self.note_answer(answer)
     }
 
     /// Pushes one literal into every live state (constraint + incremental
@@ -604,6 +638,11 @@ impl<'a> PathExecutor<'a> {
                         let mut child_st = if i + 1 == k {
                             std::mem::take(&mut st)
                         } else {
+                            for state in &st.states {
+                                if let Some(s) = &state.solver {
+                                    self.note_snapshot(s.len());
+                                }
+                            }
                             st.clone()
                         };
                         let next = tree.nodes[child as usize].block;
@@ -666,6 +705,9 @@ impl<'a> PathExecutor<'a> {
                 let mut solver = if ei + 1 == n_entries {
                     state.solver.take()
                 } else {
+                    if let Some(s) = &state.solver {
+                        self.note_snapshot(s.len());
+                    }
                     state.solver.clone()
                 };
                 if let Some(s) = solver.as_mut() {
@@ -879,7 +921,12 @@ pub(crate) fn summarize_paths_view(
     mode: ExecMode,
 ) -> SummarizeOutcome {
     let _fuel_guard = fuel.map(rid_solver::fuel::install);
-    let path_set = enumerate_paths_metered(func, limits, meter);
+    let path_set = {
+        let mut span = rid_obs::span(rid_obs::SpanKind::Enumerate, func.name());
+        let path_set = enumerate_paths_metered(func, limits, meter);
+        span.set_value(path_set.paths.len() as u64);
+        path_set
+    };
     let mut deadline = path_set.deadline_hit;
     let path_cap = path_set.truncated && !path_set.deadline_hit;
     let mut entry_cap = false;
@@ -975,6 +1022,10 @@ pub(crate) fn summarize_paths_view(
     outcome.blocks_executed = executor.blocks_executed;
     outcome.sat_queries = executor.sat_queries;
     outcome.sat_memo_hits = executor.memo_hits;
+    outcome.sat_sat = executor.sat_sat;
+    outcome.sat_unsat = executor.sat_unsat;
+    outcome.solver_snapshots = executor.solver_snapshots;
+    outcome.snapshot_depth_max = executor.snapshot_depth_max;
     // Read the fuel flag while the guard is still installed. Severity
     // order: an aborting condition (deadline) dominates, then fuel (the
     // solver silently went approximate), then the structural caps.

@@ -137,12 +137,25 @@ impl FaultPlan {
     /// the injected fault.
     pub fn inject(&self, name: &str, attempt: u32) {
         if self.should_slow(name, attempt) && self.slow_ms > 0 {
+            if rid_obs::enabled() {
+                rid_obs::event(
+                    rid_obs::SpanKind::Fault,
+                    &format!("slow:{name}"),
+                    u64::from(attempt),
+                );
+            }
             std::thread::sleep(std::time::Duration::from_millis(self.slow_ms));
         }
-        assert!(
-            !self.should_panic(name, attempt),
-            "injected fault: panic in `{name}` (attempt {attempt})"
-        );
+        if self.should_panic(name, attempt) {
+            if rid_obs::enabled() {
+                rid_obs::event(
+                    rid_obs::SpanKind::Fault,
+                    &format!("panic:{name}"),
+                    u64::from(attempt),
+                );
+            }
+            panic!("injected fault: panic in `{name}` (attempt {attempt})");
+        }
     }
 }
 

@@ -23,7 +23,7 @@ use crate::driver::{
     effective_fuel, guarded_attempt, reduced_limits, AnalysisOptions, AnalysisResult,
     AnalysisStats,
 };
-use crate::exec::{ExecMode, SummaryView};
+use crate::exec::SummaryView;
 use crate::fault::FaultPlan;
 use crate::ipp::build_summary;
 use crate::summary::{Summary, SummaryDb};
@@ -161,21 +161,15 @@ pub fn reanalyze(
             }
         };
         match attempt {
-            Some((outcome, ipp)) => {
-                let summary = build_summary(name, &outcome.path_entries, &ipp, outcome.partial);
-                stats.functions_analyzed += 1;
-                stats.paths_enumerated += outcome.paths_enumerated;
-                stats.states_explored += outcome.states_explored;
-                stats.functions_partial += usize::from(outcome.partial);
-                stats.sat_queries += outcome.sat_queries;
-                stats.sat_memo_hits += outcome.sat_memo_hits;
-                stats.blocks_executed += outcome.blocks_executed;
-                stats.blocks_saved += outcome.blocks_saved;
-                match outcome.mode_used {
-                    ExecMode::Tree => stats.exec_tree += 1,
-                    ExecMode::PerPath => stats.exec_per_path += 1,
-                    ExecMode::Auto => {}
+            Some((outcome, mut ipp)) => {
+                let callees = crate::driver::callee_names(&graph, i);
+                for report in &mut ipp.reports {
+                    if let Some(p) = report.provenance.as_mut() {
+                        p.callees = callees.clone();
+                    }
                 }
+                let summary = build_summary(name, &outcome.path_entries, &ipp, outcome.partial);
+                stats.record_outcome(&outcome);
                 reports.extend(ipp.reports);
                 db.insert(summary);
                 if let Some(reason) = forced.or(outcome.degrade) {
@@ -184,6 +178,7 @@ pub fn reanalyze(
                         states: outcome.states_explored,
                         wall_ms,
                     };
+                    crate::budget::trace_degradation(name, reason);
                     degraded.insert(name.to_owned(), Degradation { reason, cost });
                 }
             }
@@ -192,6 +187,7 @@ pub fn reanalyze(
                 stats.functions_analyzed += 1;
                 stats.functions_partial += 1;
                 let cost = FunctionCost { paths: 0, states: 0, wall_ms };
+                crate::budget::trace_degradation(name, DegradeReason::Panic);
                 degraded.insert(
                     name.to_owned(),
                     Degradation { reason: DegradeReason::Panic, cost },

@@ -47,6 +47,31 @@ pub struct IppReport {
     /// both paths are feasible — an example the developer can replay.
     #[serde(default)]
     pub witness_model: Vec<(Term, i64)>,
+    /// Explainability record: how the checker arrived at this report.
+    /// Absent on reports loaded from pre-provenance state files.
+    #[serde(default)]
+    pub provenance: Option<ReportProvenance>,
+}
+
+/// Everything needed to *explain* an [`IppReport`]: the per-side path
+/// constraints the checker conjoined, the solver's verdict on the joint
+/// formula, and the callee summaries the executor consulted while
+/// producing the two paths (filled by the driver, which owns the call
+/// graph). Rendered by `rid explain`.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReportProvenance {
+    /// Path constraint of the kept path (side A), as executed.
+    pub cons_a: Conj,
+    /// Path constraint of the discarded path (side B).
+    pub cons_b: Conj,
+    /// Solver verdict on `cons_a ∧ cons_b` — always `true` for emitted
+    /// reports (unsat pairs are distinguishable and never reported), but
+    /// recorded explicitly so the explanation states the evidence.
+    pub joint_sat: bool,
+    /// Names of callees whose summaries were applied while executing the
+    /// function (including unresolved externals). Filled by the driver.
+    #[serde(default)]
+    pub callees: Vec<String>,
 }
 
 /// Result of checking one function's path summaries.
@@ -67,6 +92,7 @@ pub struct IppOutcome {
 /// either choice can be wrong).
 #[must_use]
 pub fn check_ipps(function: &str, entries: &[PathEntry], sat: SatOptions) -> IppOutcome {
+    let _span = rid_obs::span(rid_obs::SpanKind::IppCheck, function);
     let mut outcome = IppOutcome::default();
     let mut alive: Vec<bool> = vec![true; entries.len()];
 
@@ -102,6 +128,12 @@ pub fn check_ipps(function: &str, entries: &[PathEntry], sat: SatOptions) -> Ipp
                     witness: joint.clone(),
                     callback: false,
                     witness_model: witness_model.clone(),
+                    provenance: Some(ReportProvenance {
+                        cons_a: a.entry.cons.clone(),
+                        cons_b: b.entry.cons.clone(),
+                        joint_sat: true,
+                        callees: Vec::new(),
+                    }),
                 });
             }
             alive[j] = false;

@@ -61,6 +61,7 @@ pub mod fault;
 pub mod incremental;
 pub mod ipp;
 pub mod mining;
+pub mod obs;
 pub mod paths;
 pub mod persist;
 pub mod report;
@@ -82,7 +83,11 @@ pub use exec::{
     SummarizeOutcome,
 };
 pub use fault::FaultPlan;
-pub use ipp::{check_ipps, IppOutcome, IppReport};
+pub use ipp::{check_ipps, IppOutcome, IppReport, ReportProvenance};
+pub use obs::{degrade_census, record_trace, registry_from_result, registry_from_stats};
 pub use paths::{enumerate_paths, enumerate_paths_metered, Path, PathLimits, PathSet, PathTree};
-pub use report::{classify_report, render_report, render_reports, BugKind};
+pub use report::{
+    classify_report, render_explanation, render_explanations, render_report, render_reports,
+    BugKind,
+};
 pub use summary::{Summary, SummaryDb, SummaryEntry};

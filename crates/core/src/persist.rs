@@ -270,13 +270,10 @@ pub fn analyze_modules_separately(
         db = result.summaries;
         all_reports.extend(result.reports);
         degraded.extend(result.degraded);
-        stats.functions_total += result.stats.functions_total;
-        stats.functions_analyzed += result.stats.functions_analyzed;
-        stats.paths_enumerated += result.stats.paths_enumerated;
-        stats.states_explored += result.stats.states_explored;
-        stats.functions_partial += result.stats.functions_partial;
-        stats.classify_time += result.stats.classify_time;
-        stats.analyze_time += result.stats.analyze_time;
+        // One merge path for *all* stats fields (see
+        // `AnalysisStats::absorb`) — the old by-hand sum here silently
+        // dropped every counter added after it was written.
+        stats.absorb(&result.stats);
         classification = result.classification;
     }
 

@@ -14,6 +14,76 @@ use serde::{Deserialize, Serialize};
 
 use crate::ipp::IppReport;
 
+/// Renders the full explanation of one report: the classification, the
+/// per-side path constraints the IPP checker conjoined, the solver's
+/// verdict on the joint formula, the block traces, and the callee
+/// summaries the executor consulted. This is the `rid explain` view —
+/// everything [`render_report`] shows plus the provenance record.
+#[must_use]
+pub fn render_explanation(report: &IppReport, program: Option<&Program>) -> String {
+    let func = program.and_then(|p| p.function(&report.function));
+    let mut out = render_report(report, program);
+    match &report.provenance {
+        Some(p) => {
+            let _ = writeln!(out, "  why the checker paired these paths:");
+            let _ = writeln!(
+                out,
+                "    side A (kept, path #{:<3}) constraint: {}",
+                report.path_a, p.cons_a
+            );
+            let _ = writeln!(
+                out,
+                "    side B (drop, path #{:<3}) constraint: {}",
+                report.path_b, p.cons_b
+            );
+            let _ = writeln!(
+                out,
+                "    solver verdict on A ∧ B: {} — the paths are{} \
+                 distinguishable by a caller",
+                if p.joint_sat { "satisfiable" } else { "unsatisfiable" },
+                if p.joint_sat { " not" } else { "" }
+            );
+            let _ = writeln!(
+                out,
+                "    refcount {} moves {:+} on A but {:+} on B, so one side is wrong",
+                pretty_term(&report.refcount, func),
+                report.change_a,
+                report.change_b
+            );
+            if p.callees.is_empty() {
+                let _ = writeln!(out, "    callee summaries used: none (leaf function)");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "    callee summaries used: {}",
+                    p.callees.join(", ")
+                );
+            }
+        }
+        None => {
+            let _ = writeln!(
+                out,
+                "  (no provenance recorded — state file predates explainable reports)"
+            );
+        }
+    }
+    out
+}
+
+/// Renders the explanation of every report, grouped and ordered.
+#[must_use]
+pub fn render_explanations(reports: &[IppReport], program: Option<&Program>) -> String {
+    if reports.is_empty() {
+        return "no inconsistent path pairs found\n".to_owned();
+    }
+    let mut out = String::new();
+    for (i, report) in reports.iter().enumerate() {
+        let _ = writeln!(out, "=== explanation {} of {} ===", i + 1, reports.len());
+        out.push_str(&render_explanation(report, program));
+    }
+    out
+}
+
 /// A heuristic classification of an IPP report.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum BugKind {
@@ -160,6 +230,7 @@ mod tests {
             witness: Conj::truth(),
             callback: false,
             witness_model: Vec::new(),
+            provenance: None,
         }
     }
 
@@ -200,6 +271,50 @@ mod tests {
         let text = render_report(&result.reports[0], Some(&program));
         assert!(text.contains("[dev].pm"), "got: {text}");
         assert!(text.contains('f'));
+    }
+
+    #[test]
+    fn explanation_renders_provenance_or_says_why_not() {
+        let mut r = sample_report();
+        r.provenance = Some(crate::ipp::ReportProvenance {
+            cons_a: Conj::truth(),
+            cons_b: Conj::truth(),
+            joint_sat: true,
+            callees: vec!["pm_runtime_get_sync".into()],
+        });
+        let text = render_explanation(&r, None);
+        assert!(text.contains("side A"), "got: {text}");
+        assert!(text.contains("satisfiable"));
+        assert!(text.contains("callee summaries used: pm_runtime_get_sync"));
+        let legacy = render_explanation(&sample_report(), None);
+        assert!(legacy.contains("no provenance recorded"));
+    }
+
+    #[test]
+    fn analysis_reports_carry_explainable_provenance() {
+        let src = r#"module m;
+            extern fn pm_runtime_get_sync;
+            fn f(dev) {
+                let ret = pm_runtime_get_sync(dev);
+                if (ret < 0) { return 0; }
+                pm_runtime_put(dev);
+                return 0;
+            }"#;
+        let result = analyze_sources([src], &linux_dpm_apis(), &AnalysisOptions::default())
+            .unwrap();
+        assert!(!result.reports.is_empty());
+        for report in &result.reports {
+            let p = report.provenance.as_ref().expect("fresh reports carry provenance");
+            assert!(p.joint_sat);
+            assert!(
+                p.callees.iter().any(|c| c == "pm_runtime_get_sync"),
+                "callees: {:?}",
+                p.callees
+            );
+        }
+        let text = render_explanations(&result.reports, None);
+        assert!(text.contains("explanation 1 of"));
+        assert!(text.contains("solver verdict"));
     }
 
     #[test]

@@ -82,9 +82,12 @@ use rid_ir::{Module, Program, ProgramError};
 /// Returns a [`FrontendError`] with position information on lexical,
 /// syntactic or lowering errors.
 pub fn parse_module(source: &str) -> Result<Module, FrontendError> {
+    let mut span = rid_obs::span(rid_obs::SpanKind::Lower, "module");
     let tokens = lexer::lex(source)?;
     let ast = parser::parse(&tokens)?;
-    lower::lower_module(&ast)
+    let module = lower::lower_module(&ast)?;
+    span.set_value(module.functions().len() as u64);
+    Ok(module)
 }
 
 /// Parses several RIL sources and links them into a [`Program`]

@@ -1,0 +1,280 @@
+//! A passive metrics registry: named counters, gauges, and log₂-bucket
+//! histograms.
+//!
+//! The registry is a plain data structure, not a global — producers own
+//! their counters (e.g. `AnalysisStats` in rid-core) and *snapshot* them
+//! into a [`Registry`] when asked. That keeps the analysis hot path free
+//! of metric plumbing while giving every consumer (the `--metrics` CLI
+//! flag, the `profile` bench bin, CI) one named, stable vocabulary.
+//!
+//! Naming convention: dot-separated lowercase paths, most significant
+//! first — `sat.queries`, `cache.hits`, `degrade.deadline`,
+//! `phase.exec.self_ns`.
+
+use std::collections::BTreeMap;
+
+use crate::trace::json_escape;
+
+/// A log₂-bucket histogram of `u64` samples.
+///
+/// Bucket `i` counts samples `v` with `bit_len(v) == i`, i.e. bucket 0
+/// is exactly `0`, bucket 1 is `1`, bucket 2 is `2..=3`, bucket 3 is
+/// `4..=7`, and so on — 65 buckets cover the full `u64` range.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Histogram {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    buckets: Vec<u64>,
+}
+
+fn bucket_index(v: u64) -> usize {
+    (64 - v.leading_zeros()) as usize
+}
+
+/// Lower bound of bucket `i` (inclusive).
+fn bucket_lo(i: usize) -> u64 {
+    if i == 0 {
+        0
+    } else {
+        1u64 << (i - 1)
+    }
+}
+
+impl Histogram {
+    /// Record one sample.
+    pub fn record(&mut self, v: u64) {
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum = self.sum.saturating_add(v);
+        let i = bucket_index(v);
+        if self.buckets.len() <= i {
+            self.buckets.resize(i + 1, 0);
+        }
+        self.buckets[i] += 1;
+    }
+
+    /// Mean sample value (0 when empty).
+    pub fn mean(&self) -> u64 {
+        self.sum.checked_div(self.count).unwrap_or(0)
+    }
+
+    /// Approximate quantile: the lower bound of the bucket holding the
+    /// q-th sample (`q` in `[0, 1]`). Coarse by design — log₂ buckets
+    /// trade precision for constant memory.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((self.count as f64) * q).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= target {
+                return bucket_lo(i);
+            }
+        }
+        self.max
+    }
+
+    /// Non-empty buckets as `(lower_bound, count)` pairs.
+    pub fn sparse_buckets(&self) -> Vec<(u64, u64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (bucket_lo(i), n))
+            .collect()
+    }
+}
+
+/// Named counters, gauges, and histograms.
+#[derive(Clone, Debug, Default)]
+pub struct Registry {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, i64>,
+    histograms: BTreeMap<String, Histogram>,
+}
+
+impl Registry {
+    /// Fresh, empty registry.
+    pub fn new() -> Registry {
+        Registry::default()
+    }
+
+    /// Add to (creating if absent) a named counter.
+    pub fn count(&mut self, name: &str, delta: u64) {
+        *self.counters.entry(name.to_owned()).or_insert(0) += delta;
+    }
+
+    /// Set a named gauge to a point-in-time value.
+    pub fn gauge(&mut self, name: &str, value: i64) {
+        self.gauges.insert(name.to_owned(), value);
+    }
+
+    /// Record a sample into a named histogram.
+    pub fn observe(&mut self, name: &str, value: u64) {
+        self.histograms.entry(name.to_owned()).or_default().record(value);
+    }
+
+    /// Read a counter (0 if absent).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Read a gauge if set.
+    pub fn gauge_value(&self, name: &str) -> Option<i64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Read a histogram if any samples were recorded under the name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// All counters, sorted by name.
+    pub fn counters(&self) -> impl Iterator<Item = (&str, u64)> {
+        self.counters.iter().map(|(k, &v)| (k.as_str(), v))
+    }
+
+    /// Render the whole registry as a deterministic JSON object:
+    /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
+    /// min,max,mean,p50,p90,p99,buckets:[[lo,n],...]}}}`.
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\"counters\":{");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(k), v));
+        }
+        out.push_str("},\"gauges\":{");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!("\"{}\":{}", json_escape(k), v));
+        }
+        out.push_str("},\"histograms\":{");
+        for (i, (k, h)) in self.histograms.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&format!(
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                json_escape(k),
+                h.count,
+                h.sum,
+                h.min,
+                h.max,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+            ));
+            for (j, (lo, n)) in h.sparse_buckets().iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("[{},{}]", lo, n));
+            }
+            out.push_str("]}");
+        }
+        out.push_str("}}");
+        out
+    }
+
+    /// Render a plain-text summary table (for terminals / bench output).
+    pub fn render_table(&self) -> String {
+        let mut out = String::new();
+        let width = self
+            .counters
+            .keys()
+            .chain(self.gauges.keys())
+            .chain(self.histograms.keys())
+            .map(|k| k.len())
+            .max()
+            .unwrap_or(0)
+            .max(6);
+        for (k, v) in &self.counters {
+            out.push_str(&format!("{:width$}  {:>12}\n", k, v, width = width));
+        }
+        for (k, v) in &self.gauges {
+            out.push_str(&format!("{:width$}  {:>12}\n", k, v, width = width));
+        }
+        for (k, h) in &self.histograms {
+            out.push_str(&format!(
+                "{:width$}  count={} mean={} p50={} p90={} max={}\n",
+                k,
+                h.count,
+                h.mean(),
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.max,
+                width = width
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_quantiles() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 1, 3, 4, 7, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 7);
+        assert_eq!(h.min, 0);
+        assert_eq!(h.max, 100);
+        assert_eq!(h.sum, 116);
+        // Buckets: 0→1, [1]→2, [2,3]→1, [4,7]→2, [64,127]→1.
+        assert_eq!(h.sparse_buckets(), vec![(0, 1), (1, 2), (2, 1), (4, 2), (64, 1)]);
+        assert_eq!(h.quantile(0.0), 0);
+        assert_eq!(h.quantile(0.5), 2);
+        assert_eq!(h.quantile(1.0), 64);
+    }
+
+    #[test]
+    fn registry_json_is_deterministic() {
+        let mut r = Registry::new();
+        r.count("sat.queries", 10);
+        r.count("sat.queries", 5);
+        r.count("cache.hits", 2);
+        r.gauge("sched.workers", 4);
+        r.observe("phase.exec.self_ns", 1000);
+        r.observe("phase.exec.self_ns", 3000);
+        let json = r.to_json();
+        assert!(json.starts_with("{\"counters\":{\"cache.hits\":2,\"sat.queries\":15}"));
+        assert!(json.contains("\"gauges\":{\"sched.workers\":4}"));
+        assert!(json.contains("\"phase.exec.self_ns\":{\"count\":2"));
+        assert_eq!(r.counter("sat.queries"), 15);
+        assert_eq!(r.gauge_value("sched.workers"), Some(4));
+        let table = r.render_table();
+        assert!(table.contains("sat.queries"));
+        assert!(table.contains("count=2"));
+    }
+
+    #[test]
+    fn empty_histogram_is_safe() {
+        let h = Histogram::default();
+        assert_eq!(h.mean(), 0);
+        assert_eq!(h.quantile(0.5), 0);
+        assert!(h.sparse_buckets().is_empty());
+    }
+}

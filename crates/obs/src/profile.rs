@@ -1,0 +1,145 @@
+//! Aggregation helpers over a drained [`Trace`]: where did the time go?
+//!
+//! The convention set by rid-core's instrumentation is that child work
+//! carries the *same name* as its enclosing span — a `Solve` span inside
+//! the execution of function `f` is named `f`. Self-time therefore falls
+//! out of simple per-name subtraction, with no need to reconstruct the
+//! span tree.
+
+use std::collections::BTreeMap;
+
+use crate::trace::{SpanKind, Trace};
+
+/// Per-name time attribution for one parent span kind.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct PhaseProfile {
+    /// Span name (usually the function under analysis).
+    pub name: String,
+    /// Total wall time of parent-kind spans with this name, ns.
+    pub total_ns: u64,
+    /// Time attributed to child kinds under the same name, ns.
+    pub child_ns: u64,
+    /// `total - child` (saturating): time spent in the parent itself.
+    pub self_ns: u64,
+    /// Number of parent-kind spans with this name.
+    pub count: u64,
+}
+
+/// Compute per-name self-time for `parent` spans, attributing `children`
+/// spans of the same name as nested work. Sorted by descending
+/// `self_ns` — index 0 is the hottest name.
+pub fn self_times(trace: &Trace, parent: SpanKind, children: &[SpanKind]) -> Vec<PhaseProfile> {
+    let mut totals: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+    let mut child_time: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in &trace.events {
+        if e.kind == parent {
+            let slot = totals.entry(&e.name).or_insert((0, 0));
+            slot.0 += e.dur_ns;
+            slot.1 += 1;
+        } else if children.contains(&e.kind) {
+            *child_time.entry(&e.name).or_insert(0) += e.dur_ns;
+        }
+    }
+    let mut out: Vec<PhaseProfile> = totals
+        .into_iter()
+        .map(|(name, (total_ns, count))| {
+            let child_ns = child_time.get(name).copied().unwrap_or(0).min(total_ns);
+            PhaseProfile {
+                name: name.to_owned(),
+                total_ns,
+                child_ns,
+                self_ns: total_ns - child_ns,
+                count,
+            }
+        })
+        .collect();
+    out.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then_with(|| a.name.cmp(&b.name)));
+    out
+}
+
+/// Largest `value` payload per name for the given kind, sorted
+/// descending — e.g. with [`SpanKind::Enumerate`] this ranks the worst
+/// path-explosion offenders.
+pub fn max_value_by_name(trace: &Trace, kind: SpanKind) -> Vec<(String, u64)> {
+    let mut best: BTreeMap<&str, u64> = BTreeMap::new();
+    for e in &trace.events {
+        if e.kind == kind {
+            let slot = best.entry(&e.name).or_insert(0);
+            *slot = (*slot).max(e.value);
+        }
+    }
+    let mut out: Vec<(String, u64)> =
+        best.into_iter().map(|(k, v)| (k.to_owned(), v)).collect();
+    out.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceEvent;
+
+    fn ev(kind: SpanKind, name: &str, dur_ns: u64, value: u64) -> TraceEvent {
+        TraceEvent {
+            kind,
+            name: name.to_owned(),
+            thread: 0,
+            seq: 0,
+            start_ns: 0,
+            dur_ns,
+            instant: false,
+            value,
+        }
+    }
+
+    #[test]
+    fn self_time_subtracts_children_per_name() {
+        let trace = Trace {
+            events: vec![
+                ev(SpanKind::Exec, "hot", 1000, 0),
+                ev(SpanKind::Solve, "hot", 300, 0),
+                ev(SpanKind::Solve, "hot", 200, 0),
+                ev(SpanKind::Enumerate, "hot", 100, 8),
+                ev(SpanKind::Exec, "cold", 50, 0),
+            ],
+            dropped: 0,
+        };
+        let profiles =
+            self_times(&trace, SpanKind::Exec, &[SpanKind::Solve, SpanKind::Enumerate]);
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].name, "hot");
+        assert_eq!(profiles[0].total_ns, 1000);
+        assert_eq!(profiles[0].child_ns, 600);
+        assert_eq!(profiles[0].self_ns, 400);
+        assert_eq!(profiles[1].name, "cold");
+        assert_eq!(profiles[1].self_ns, 50);
+    }
+
+    #[test]
+    fn child_time_saturates_at_total() {
+        let trace = Trace {
+            events: vec![
+                ev(SpanKind::Exec, "f", 100, 0),
+                ev(SpanKind::Solve, "f", 500, 0),
+            ],
+            dropped: 0,
+        };
+        let p = self_times(&trace, SpanKind::Exec, &[SpanKind::Solve]);
+        assert_eq!(p[0].self_ns, 0);
+        assert_eq!(p[0].child_ns, 100);
+    }
+
+    #[test]
+    fn explosion_ranking() {
+        let trace = Trace {
+            events: vec![
+                ev(SpanKind::Enumerate, "a", 0, 4),
+                ev(SpanKind::Enumerate, "b", 0, 4096),
+                ev(SpanKind::Enumerate, "a", 0, 16),
+            ],
+            dropped: 0,
+        };
+        let ranked = max_value_by_name(&trace, SpanKind::Enumerate);
+        assert_eq!(ranked, vec![("b".to_owned(), 4096), ("a".to_owned(), 16)]);
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`solver`] | exact difference-logic engine (the Z3 substitute) |
 //! | [`frontend`] | RIL, a C-like language lowering onto the IR |
 //! | [`core`] | summaries, symbolic execution, IPP checking, the driver |
+//! | [`obs`] | span tracing, metrics registry, profiling aggregation |
 //! | [`corpus`] | seeded synthetic kernel / Python-C corpora with ground truth |
 //! | [`baseline`] | a Cpychecker-style escape-rule checker (Table 2's comparator) |
 //!
@@ -53,4 +54,5 @@ pub use rid_core as core;
 pub use rid_corpus as corpus;
 pub use rid_frontend as frontend;
 pub use rid_ir as ir;
+pub use rid_obs as obs;
 pub use rid_solver as solver;
