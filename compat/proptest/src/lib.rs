@@ -352,7 +352,7 @@ pub mod prop {
         use crate::{Strategy, TestRng};
         use std::ops::{Range, RangeInclusive};
 
-        /// A length bound for [`vec`].
+        /// A length bound for [`vec()`].
         pub trait IntoSizeRange {
             /// Lower and upper (inclusive) length bounds.
             fn bounds(self) -> (usize, usize);
@@ -383,7 +383,7 @@ pub mod prop {
             VecStrategy { element, min, max }
         }
 
-        /// See [`vec`].
+        /// See [`vec()`].
         #[derive(Clone)]
         pub struct VecStrategy<S> {
             element: S,

@@ -1,5 +1,5 @@
 //! Regenerates the **§6.5 performance** claim and persists a
-//! machine-readable baseline (schema `rid-bench-perf/v3`).
+//! machine-readable baseline (schema `rid-bench-perf/v4`).
 //!
 //! For each corpus scale the binary parses the seeded kernel corpus once,
 //! then runs the whole-program analysis `--iters` times per execution
@@ -180,6 +180,11 @@ struct PerfBaseline {
     /// Disabled-vs-enabled tracing cost at the largest measured scale.
     overhead: OverheadRecord,
     adversarial: AdversarialRecord,
+    /// Daemon cold/warm/patch latency record. This binary leaves it
+    /// `null`; `serve_bench` measures it and patches it into the same
+    /// baseline file (so the two binaries can be re-run independently
+    /// without clobbering each other's sections).
+    serve: serde_json::Value,
 }
 
 /// One timed run; returns (classify_s, analyze_s, result).
@@ -548,8 +553,16 @@ fn main() {
     println!("warm cache re-runs skip straight to checking, and every configuration");
     println!("produces byte-identical summaries (the differential suite enforces that).");
 
+    // Keep an existing serve record (written by `serve_bench`) across
+    // perf re-runs instead of resetting it to null.
+    let serve = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| serde_json::from_str::<serde_json::Value>(&text).ok())
+        .map(|v| v["serve"].clone())
+        .unwrap_or(serde_json::Value::Null);
+
     let baseline = PerfBaseline {
-        schema: "rid-bench-perf/v3".to_owned(),
+        schema: "rid-bench-perf/v4".to_owned(),
         seed,
         threads,
         iters,
@@ -559,6 +572,7 @@ fn main() {
         cache,
         overhead,
         adversarial,
+        serve,
     };
     let json = serde_json::to_string(&baseline).expect("baseline serializes");
     std::fs::write(&out, json).expect("baseline written");

@@ -1,0 +1,192 @@
+//! Cold-vs-warm-vs-daemon latency for the `rid serve` tentpole claim:
+//! once a project is resident in the daemon, a one-function `patch`
+//! round-trip must be much cheaper than a cold `rid analyze` of the
+//! same corpus, because only the affected-function cone re-executes.
+//!
+//! Three configurations over the seeded evaluation corpus:
+//!
+//! - **cold** — what a one-shot `rid analyze` pays: parse the whole
+//!   corpus and analyze it with an empty cache.
+//! - **warm** — a resident daemon's `analyze` of the unchanged corpus:
+//!   no re-parse, every summary answered by the cache.
+//! - **patch** — the daemon round-trip for an edit to one function:
+//!   request parse, re-parse of the one changed module, in-place relink,
+//!   affected-set computation, incremental re-analysis of just that
+//!   cone (previous summaries reused), response serialization. Two
+//!   function variants alternate so every timed patch is a real change,
+//!   never a no-op.
+//!
+//! The record is patched into the `serve` slot of `BENCH_perf.json`
+//! (schema `rid-bench-perf/v4`, written by the `perf` binary) so CI
+//! validates both sections together; `--out` overrides the path.
+//!
+//! ```text
+//! cargo run -p rid-bench --release --bin serve_bench -- \
+//!     [--seed N] [--scale F] [--iters N] [--out PATH]
+//! ```
+
+use std::time::Instant;
+
+use rid_core::AnalysisOptions;
+use rid_corpus::kernel::{generate_kernel, KernelConfig};
+use rid_serve::{Engine, Request, ServerConfig};
+use serde_json::Value;
+
+#[path = "../args.rs"]
+mod args;
+
+/// The two alternating bodies of the benchmark's synthetic edit. Both
+/// are clean (no IPP), structurally different, and call nothing, so the
+/// affected set is exactly the edited function.
+const PROBE_A: &str =
+    "\nfn __bench_probe(dev) { pm_runtime_get_sync(dev); pm_runtime_put(dev); return 0; }\n";
+const PROBE_B: &str = "\nfn __bench_probe(dev) { let r = pm_runtime_get_sync(dev); \
+     if (r < 0) { pm_runtime_put_noidle(dev); return r; } pm_runtime_put(dev); return 0; }\n";
+
+fn response_value(replies: &[((), String)]) -> Value {
+    assert_eq!(replies.len(), 1, "exactly one response expected");
+    let value: Value = serde_json::from_str(&replies[0].1).expect("response parses");
+    assert_eq!(value["ok"].as_bool(), Some(true), "daemon errored: {}", replies[0].1);
+    value
+}
+
+fn main() {
+    let seed: u64 = args::flag("seed").unwrap_or(2016);
+    let scale: f64 = args::flag("scale").unwrap_or(1.0);
+    let iters: usize = args::flag("iters").unwrap_or(5);
+    let out: String = args::flag("out").unwrap_or_else(|| "BENCH_perf.json".to_owned());
+
+    eprintln!("scale {scale}: generating...");
+    let corpus = generate_kernel(&KernelConfig::evaluation(seed).scaled(scale));
+    let sources: Vec<(String, String)> = corpus
+        .sources
+        .iter()
+        .enumerate()
+        .map(|(i, text)| (format!("module_{i:04}.ril"), text.clone()))
+        .collect();
+
+    // Cold: parse + analyze from scratch, the one-shot CLI cost.
+    eprintln!("cold runs...");
+    let apis = rid_core::apis::linux_dpm_apis();
+    let options = AnalysisOptions::default();
+    let mut cold_s = f64::INFINITY;
+    let mut functions = 0;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        let program = rid_frontend::parse_program(sources.iter().map(|(_, s)| s.as_str()))
+            .expect("corpus must parse");
+        let result = rid_core::analyze_program(&program, &apis, &options);
+        cold_s = cold_s.min(start.elapsed().as_secs_f64());
+        functions = program.function_count();
+        assert!(result.degraded.is_empty(), "cold run degraded — timings not comparable");
+    }
+
+    // Resident daemon: register + first analyze populate the cache
+    // (untimed — that is the daemon's startup cost, paid once).
+    eprintln!("daemon startup...");
+    let mut engine: Engine<()> = Engine::new(ServerConfig::default());
+    let mut register = Request::new(1, "register", "bench");
+    register.sources = sources.iter().cloned().collect();
+    response_value(&engine.handle_line((), &register.to_line()));
+    let analyze = Request::new(2, "analyze", "bench");
+    response_value(&engine.handle_line((), &analyze.to_line()));
+
+    // Warm: the resident daemon re-analyzes the unchanged corpus. Only
+    // the daemon's work (request parse → response line) is timed; this
+    // harness's own parse of the response for validation is not part of
+    // the daemon's latency.
+    eprintln!("warm runs...");
+    let mut warm_s = f64::INFINITY;
+    for i in 0..iters.max(1) {
+        let request = Request::new(10 + i as u64, "analyze", "bench");
+        let line = request.to_line();
+        let start = Instant::now();
+        let replies = engine.handle_line((), &line);
+        warm_s = warm_s.min(start.elapsed().as_secs_f64());
+        let value = response_value(&replies);
+        assert_eq!(value["result"]["cache"]["misses"].as_i64(), Some(0), "warm run missed");
+    }
+
+    // Patch: alternate the probe variants so each round-trip re-parses
+    // the module and re-executes exactly the one changed function.
+    eprintln!("patch runs...");
+    let base_module = sources[0].1.clone();
+    let mut patch_s = f64::INFINITY;
+    let mut reexecuted = 0;
+    let mut affected = 0;
+    // Seed the probe function (untimed: its first appearance also
+    // invalidates module 0's other functions' is-defined context; the
+    // timed iterations below only ever change the probe body).
+    let mut seed_patch = Request::new(100, "patch", "bench");
+    seed_patch.sources.insert(sources[0].0.clone(), format!("{base_module}{PROBE_A}"));
+    response_value(&engine.handle_line((), &seed_patch.to_line()));
+    for i in 0..iters.max(1) * 2 {
+        let body = if i % 2 == 0 { PROBE_B } else { PROBE_A };
+        let mut request = Request::new(200 + i as u64, "patch", "bench");
+        request.sources.insert(sources[0].0.clone(), format!("{base_module}{body}"));
+        let line = request.to_line();
+        let start = Instant::now();
+        let replies = engine.handle_line((), &line);
+        let elapsed = start.elapsed().as_secs_f64();
+        let value = response_value(&replies);
+        let changed = value["result"]["changed"].as_array().expect("changed list");
+        assert_eq!(changed.len(), 1, "each patch changes exactly the probe");
+        assert_eq!(changed[0].as_str(), Some("__bench_probe"));
+        if elapsed < patch_s {
+            patch_s = elapsed;
+            reexecuted =
+                value["result"]["reexecuted"].as_u64().expect("reexecuted count") as usize;
+            affected = value["result"]["affected"].as_array().expect("affected list").len();
+        }
+    }
+
+    let patch_speedup = cold_s / patch_s.max(1e-9);
+    let warm_speedup = cold_s / warm_s.max(1e-9);
+    println!(
+        "serve latency (scale {scale}, {functions} functions, min of {} runs):",
+        iters.max(1)
+    );
+    println!("  cold  analyze : {cold_s:.3}s   (one-shot parse + analyze)");
+    println!("  daemon analyze: {warm_s:.3}s   ({warm_speedup:.1}x; cache-warm, no re-parse)");
+    println!(
+        "  daemon patch  : {patch_s:.3}s   ({patch_speedup:.1}x; {affected} affected, \
+         {reexecuted} re-executed)"
+    );
+
+    let record = serde_json::json!({
+        "scale": scale,
+        "functions": functions,
+        "iters": iters,
+        "cold_s": cold_s,
+        "warm_s": warm_s,
+        "patch_s": patch_s,
+        "warm_speedup_vs_cold": warm_speedup,
+        "patch_speedup_vs_cold": patch_speedup,
+        "patch_affected": affected,
+        "patch_reexecuted": reexecuted,
+    });
+
+    // Patch the record into the baseline the `perf` binary maintains;
+    // when the file does not exist yet (serve_bench run first), write a
+    // minimal v4 skeleton holding just the serve record.
+    let baseline = std::fs::read_to_string(&out)
+        .ok()
+        .and_then(|text| serde_json::from_str::<Value>(&text).ok());
+    let updated = match baseline {
+        Some(Value::Map(mut pairs)) => {
+            if let Some(slot) = pairs.iter_mut().find(|(k, _)| k == "serve") {
+                slot.1 = record;
+            } else {
+                pairs.push(("serve".to_owned(), record));
+            }
+            if let Some(schema) = pairs.iter_mut().find(|(k, _)| k == "schema") {
+                schema.1 = Value::Str("rid-bench-perf/v4".to_owned());
+            }
+            Value::Map(pairs)
+        }
+        _ => serde_json::json!({ "schema": "rid-bench-perf/v4", "serve": record }),
+    };
+    std::fs::write(&out, serde_json::to_string(&updated).expect("baseline serializes"))
+        .expect("baseline written");
+    eprintln!("wrote serve record to {out}");
+}

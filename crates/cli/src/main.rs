@@ -13,7 +13,16 @@
 //! rid recheck <file.ril>... --state s.json --changed f,g [--save-state s.json]
 //! rid mine <file.ril>... [--field refs] [--save-summaries out.json]
 //! rid gen-kernel [--seed N] [--tiny] --out <dir>
+//! rid serve --socket <path> [--queue-cap N]   (or --stdio)
+//! rid client --socket <path> --op <op> [--project p] [<file.ril>...]
+//!            [--function <name>] [--deadline-ms N]
 //! ```
+//!
+//! `rid serve` keeps analysis state resident between requests: one
+//! registered project per name, warm summary cache, batched `patch`
+//! requests. The protocol is newline-delimited JSON — see `PROTOCOL.md`
+//! at the repository root. `rid client` wraps one request/response
+//! round-trip over the daemon's Unix socket.
 //!
 //! `--trace <path>` records the run with [`rid_obs`] and writes a Chrome
 //! `trace_event` file to `<path>` (load it in `chrome://tracing` or
@@ -53,7 +62,10 @@ fn usage() -> ExitCode {
   rid baseline <file.ril>... [--apis python]
   rid recheck <file.ril>... --state s.json --changed f,g [--save-state s.json]
   rid mine <file.ril>... [--field refs] [--save-summaries out.json]
-  rid gen-kernel [--seed N] [--tiny] --out <dir>"
+  rid gen-kernel [--seed N] [--tiny] --out <dir>
+  rid serve --socket <path> [--queue-cap N]   (or --stdio)
+  rid client --socket <path> --op <op> [--project p] [<file.ril>...]
+             [--function <name>] [--deadline-ms N]"
     );
     ExitCode::from(EXIT_FATAL)
 }
@@ -85,7 +97,10 @@ fn parse_args() -> Option<Args> {
     while i < rest.len() {
         let arg = &rest[i];
         if let Some(name) = arg.strip_prefix("--") {
-            if matches!(name, "json" | "no-selective" | "tiny" | "separate" | "callbacks") {
+            if matches!(
+                name,
+                "json" | "no-selective" | "tiny" | "separate" | "callbacks" | "stdio"
+            ) {
                 flags.push(name.to_owned());
             } else {
                 i += 1;
@@ -497,6 +512,106 @@ fn cmd_gen_kernel(args: &Args) -> Result<(), String> {
     Ok(())
 }
 
+/// `rid serve`: the batched, incremental analysis daemon. `--stdio`
+/// speaks the protocol over stdin/stdout (tests, editor pipes);
+/// otherwise `--socket <path>` binds a Unix domain socket and serves
+/// until SIGTERM/SIGINT or a `shutdown` request, draining the queue
+/// before exit.
+fn cmd_serve(args: &Args) -> Result<u8, String> {
+    let config = rid_serve::ServerConfig {
+        queue_cap: args
+            .options
+            .get("queue-cap")
+            .map(|v| {
+                v.parse()
+                    .map_err(|_| format!("--queue-cap expects a number, got `{v}`"))
+            })
+            .transpose()?
+            .unwrap_or(rid_serve::ServerConfig::default().queue_cap),
+    };
+    if args.flags.iter().any(|f| f == "stdio") {
+        let stdin = std::io::stdin();
+        let stdout = std::io::stdout();
+        rid_serve::serve_stdio(stdin.lock(), stdout.lock(), config)
+            .map_err(|e| e.to_string())?;
+        return Ok(EXIT_CLEAN);
+    }
+    let socket = args
+        .options
+        .get("socket")
+        .ok_or_else(|| "--socket <path> is required (or pass --stdio)".to_owned())?;
+    #[cfg(unix)]
+    {
+        eprintln!("rid serve: listening on {socket}");
+        rid_serve::serve_unix(Path::new(socket), config).map_err(|e| e.to_string())?;
+        eprintln!("rid serve: drained and exiting");
+        Ok(EXIT_CLEAN)
+    }
+    #[cfg(not(unix))]
+    {
+        Err("unix domain sockets are unavailable on this platform; use --stdio".to_owned())
+    }
+}
+
+/// `rid client`: one request/response round-trip against a running
+/// daemon. Positional `.ril` files become the request's `sources`
+/// (keyed by file name) for `register`/`patch`. The raw response line is
+/// printed; the exit code mirrors `rid analyze` (bugs → 1, daemon error
+/// → 3).
+fn cmd_client(args: &Args) -> Result<u8, String> {
+    let socket = args
+        .options
+        .get("socket")
+        .ok_or_else(|| "--socket <path> is required".to_owned())?;
+    let op = args.options.get("op").ok_or_else(|| {
+        "--op <register|analyze|patch|explain|stats|shutdown> is required".to_owned()
+    })?;
+    let project = args.options.get("project").cloned().unwrap_or_default();
+    let mut request = rid_serve::Request::new(1, op, &project);
+    for file in &args.files {
+        let text =
+            std::fs::read_to_string(file).map_err(|e| format!("{}: {e}", file.display()))?;
+        let name = file
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_else(|| file.display().to_string());
+        request.sources.insert(name, text);
+    }
+    request.function = args.options.get("function").cloned();
+    request.deadline_ms = args
+        .options
+        .get("deadline-ms")
+        .map(|v| {
+            v.parse()
+                .map_err(|_| format!("--deadline-ms expects milliseconds, got `{v}`"))
+        })
+        .transpose()?;
+    #[cfg(unix)]
+    {
+        let mut client =
+            rid_serve::Client::connect(Path::new(socket)).map_err(|e| format!("{socket}: {e}"))?;
+        let response = client.request(&request).map_err(|e| e.to_string())?;
+        println!("{response}");
+        let value: serde_json::Value =
+            serde_json::from_str(&response).map_err(|e| e.to_string())?;
+        if value["ok"].as_bool() != Some(true) {
+            return Ok(EXIT_FATAL);
+        }
+        Ok(if value["result"]["report_count"].as_i64().unwrap_or(0) > 0 {
+            EXIT_BUGS
+        } else if value["degraded"].as_array().is_some_and(|d| !d.is_empty()) {
+            EXIT_DEGRADED
+        } else {
+            EXIT_CLEAN
+        })
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = request;
+        Err("unix domain sockets are unavailable on this platform".to_owned())
+    }
+}
+
 fn main() -> ExitCode {
     let Some(args) = parse_args() else { return usage() };
     let outcome = match args.command.as_str() {
@@ -508,6 +623,8 @@ fn main() -> ExitCode {
         "explain" => cmd_explain(&args),
         "mine" => cmd_mine(&args).map(|()| EXIT_CLEAN),
         "gen-kernel" => cmd_gen_kernel(&args).map(|()| EXIT_CLEAN),
+        "serve" => cmd_serve(&args),
+        "client" => cmd_client(&args),
         _ => return usage(),
     };
     match outcome {

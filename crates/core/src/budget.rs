@@ -59,7 +59,7 @@ const POLL_STRIDE: u64 = 64;
 ///
 /// Workers call [`BudgetMeter::expired`] between units of work (per
 /// enumerated path, per executed path). The check is cheap — an atomic
-/// counter, with the clock consulted every [`POLL_STRIDE`] polls — and
+/// counter, with the clock consulted every `POLL_STRIDE` polls — and
 /// once the deadline passes the expiry latches.
 #[derive(Debug)]
 pub struct BudgetMeter {

@@ -128,8 +128,15 @@ impl std::hash::Hasher for FnvHasher {
 /// Warm-run keying hashes the whole active cone, so this path matters:
 /// structural hashing is several times faster than hashing the
 /// `Display` text because it never touches the `fmt` machinery.
+///
+/// Public because `rid-serve` diffs per-function content hashes across a
+/// `patch` to discover *which* functions an edited module actually
+/// changed (whitespace or comment edits change nothing here, so they
+/// invalidate nothing). Unlike the private `function_keys` this is purely
+/// local:
+/// no salt, no callee keys.
 #[must_use]
-pub(crate) fn content_hash(func: &Function) -> u128 {
+pub fn content_hash(func: &Function) -> u128 {
     use std::hash::Hash;
     let mut h = FnvHasher(Fnv128::new());
     func.name().hash(&mut h);

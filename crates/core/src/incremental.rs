@@ -12,10 +12,10 @@
 //! graph, resummarizes only those (bottom-up, reusing every retained
 //! summary), and splices old and new reports together.
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
 use std::time::Instant;
 
-use rid_ir::Program;
+use rid_ir::{Function, Program};
 
 use crate::budget::{BudgetMeter, Degradation, DegradeReason, FunctionCost};
 use crate::callgraph::CallGraph;
@@ -44,6 +44,173 @@ pub fn affected_functions(graph: &CallGraph, changed: &[&str]) -> HashSet<String
     affected.into_iter().map(|i| graph.name(i).to_owned()).collect()
 }
 
+/// A name-level reverse call index kept resident across edits.
+///
+/// [`CallGraph::build`] walks every function body and re-allocates the
+/// whole node table — an O(program) fixed cost that dwarfs the actual
+/// re-analysis of a one-function edit on a large corpus. `rid serve`
+/// instead keeps a `CallerIndex` resident next to the program and
+/// updates it per edited module: [`remove_function`] the pre-edit
+/// winners, [`add_function`] the post-edit ones, both O(module).
+///
+/// Unlike the call graph, the index is keyed by *called name*, whether
+/// or not that name is currently defined. Call sites referencing a
+/// not-yet-defined (or just-deleted) function are retained, so
+/// [`CallerIndex::affected`] naturally invalidates the callers of a
+/// deleted function, and of a brand-new function whose call sites
+/// predate its definition — the two cases a defined-nodes-only graph
+/// misses (see [`reanalyze`]'s deletion caveat).
+///
+/// [`remove_function`]: CallerIndex::remove_function
+/// [`add_function`]: CallerIndex::add_function
+#[derive(Clone, Debug, Default)]
+pub struct CallerIndex {
+    /// Called name (defined or not) → names of canonical (post
+    /// weak-symbol-resolution) functions whose bodies call it.
+    callers: HashMap<String, BTreeSet<String>>,
+}
+
+impl CallerIndex {
+    /// Builds the index over a program's canonical function definitions.
+    #[must_use]
+    pub fn build(program: &Program) -> CallerIndex {
+        let mut index = CallerIndex::default();
+        for func in program.functions() {
+            index.add_function(func);
+        }
+        index
+    }
+
+    /// Records `func`'s call edges. Call only for canonical definitions:
+    /// a weak copy shadowed by another module never executes, so its
+    /// call sites must not appear in the index.
+    pub fn add_function(&mut self, func: &Function) {
+        for callee in func.callees() {
+            self.callers.entry(callee.to_owned()).or_default().insert(func.name().to_owned());
+        }
+    }
+
+    /// Removes `func`'s call edges (the exact inverse of
+    /// [`add_function`](CallerIndex::add_function) for the same body).
+    pub fn remove_function(&mut self, func: &Function) {
+        for callee in func.callees() {
+            if let Some(callers) = self.callers.get_mut(callee) {
+                callers.remove(func.name());
+                if callers.is_empty() {
+                    self.callers.remove(callee);
+                }
+            }
+        }
+    }
+
+    /// The changed functions plus all their transitive callers — the
+    /// same closure as [`affected_functions`], but O(cone) instead of
+    /// O(program) because no graph is rebuilt. Deleted names invalidate
+    /// their (former) callers too, since their call sites are retained.
+    #[must_use]
+    pub fn affected(&self, changed: &[&str]) -> HashSet<String> {
+        let mut affected: HashSet<String> = HashSet::new();
+        let mut worklist: Vec<&str> = changed.to_vec();
+        while let Some(name) = worklist.pop() {
+            if !affected.insert(name.to_owned()) {
+                continue;
+            }
+            if let Some(callers) = self.callers.get(name) {
+                worklist.extend(callers.iter().map(String::as_str));
+            }
+        }
+        affected
+    }
+
+    /// The re-analysis plan for an edit: the affected set plus a
+    /// callee-before-caller order over its defined members, computed
+    /// from the affected functions' own bodies — O(cone), never
+    /// O(program).
+    #[must_use]
+    pub fn plan(&self, program: &Program, changed: &[&str]) -> ReanalyzePlan {
+        let affected = self.affected(changed);
+        ReanalyzePlan::for_affected(program, affected)
+    }
+}
+
+/// What an incremental pass must redo: see [`CallerIndex::plan`].
+#[derive(Clone, Debug)]
+pub struct ReanalyzePlan {
+    /// Every invalidated name (defined or not): the changed functions
+    /// plus their transitive callers.
+    pub affected: HashSet<String>,
+    /// The defined members of `affected` in callee-before-caller order
+    /// (cycles broken deterministically), the order
+    /// [`reanalyze_with_plan`] re-summarizes them in.
+    pub order: Vec<String>,
+}
+
+impl ReanalyzePlan {
+    /// Orders the defined members of `affected` bottom-up by a DFS over
+    /// their intra-cone call edges. Roots and children are visited in
+    /// sorted name order, so the order is deterministic; a back edge
+    /// (recursion) is skipped, breaking cycles arbitrarily but
+    /// deterministically, like the full driver's SCC handling.
+    fn for_affected(program: &Program, affected: HashSet<String>) -> ReanalyzePlan {
+        let mut nodes: Vec<&str> = affected
+            .iter()
+            .map(String::as_str)
+            .filter(|name| program.function(name).is_some())
+            .collect();
+        nodes.sort_unstable();
+        let node_set: HashSet<&str> = nodes.iter().copied().collect();
+        let children = |name: &str| -> Vec<&str> {
+            let func = program.function(name).expect("plan nodes are defined");
+            let mut callees: Vec<&str> =
+                func.callees().filter(|c| node_set.contains(c)).collect();
+            callees.sort_unstable();
+            callees.dedup();
+            callees
+        };
+
+        let mut order = Vec::with_capacity(nodes.len());
+        let mut visited: HashSet<&str> = HashSet::new();
+        for &root in &nodes {
+            if visited.contains(root) {
+                continue;
+            }
+            // Iterative post-order DFS: (node, remaining children).
+            let mut stack: Vec<(&str, Vec<&str>)> = vec![(root, children(root))];
+            visited.insert(root);
+            while let Some((node, pending)) = stack.last_mut() {
+                match pending.pop() {
+                    Some(child) if visited.contains(child) => {}
+                    Some(child) => {
+                        visited.insert(child);
+                        stack.push((child, children(child)));
+                    }
+                    None => {
+                        order.push((*node).to_owned());
+                        stack.pop();
+                    }
+                }
+            }
+        }
+        ReanalyzePlan { affected, order }
+    }
+
+    /// The plan a full [`CallGraph`] implies: affected set via
+    /// [`affected_functions`], order by filtering the graph's global
+    /// reverse topological order down to the cone.
+    #[must_use]
+    pub fn from_graph(graph: &CallGraph, changed: &[&str]) -> ReanalyzePlan {
+        let affected = affected_functions(graph, changed);
+        let order = graph
+            .reverse_topological_order()
+            .into_iter()
+            .map(|i| graph.name(i))
+            .filter(|name| affected.contains(*name))
+            .map(str::to_owned)
+            .collect();
+        ReanalyzePlan { affected, order }
+    }
+}
+
 /// Re-analyzes `program` after `changed` functions were edited, reusing
 /// the summaries of unaffected functions from `previous`.
 ///
@@ -67,14 +234,64 @@ pub fn reanalyze(
     options: &AnalysisOptions,
 ) -> AnalysisResult {
     let graph = CallGraph::build(program);
-    let affected = affected_functions(&graph, changed);
+    reanalyze_with_graph(program, predefined, previous.clone(), changed, options, &graph)
+}
 
-    // Start from the previous database with affected entries dropped
-    // (SummaryDb has no remove; rebuild without them).
-    let mut db = predefined.clone();
-    for summary in previous.summaries.iter() {
-        if !affected.contains(&summary.func) && !predefined.contains(&summary.func) {
-            db.insert(summary.clone());
+/// [`reanalyze`] with a caller-supplied call graph of the *post-edit*
+/// program, taking the previous result by value (its summary database
+/// is reused in place, not cloned). Equivalent to
+/// [`reanalyze_with_plan`] with [`ReanalyzePlan::from_graph`].
+#[must_use]
+pub fn reanalyze_with_graph(
+    program: &Program,
+    predefined: &SummaryDb,
+    previous: AnalysisResult,
+    changed: &[&str],
+    options: &AnalysisOptions,
+    graph: &CallGraph,
+) -> AnalysisResult {
+    let plan = ReanalyzePlan::from_graph(graph, changed);
+    reanalyze_with_plan(program, predefined, previous, changed, options, &plan)
+}
+
+/// The incremental pass itself, driven by a pre-computed plan.
+///
+/// This is `rid serve`'s warm path, and every input is arranged so the
+/// cost is proportional to the affected cone rather than the corpus:
+/// `previous` is taken by value so its summary database becomes the new
+/// result's database in place (affected entries evicted, nothing
+/// cloned), and `plan` — typically from a resident
+/// [`CallerIndex::plan`] — already knows the cone and its bottom-up
+/// order, so no call graph is built here.
+#[must_use]
+pub fn reanalyze_with_plan(
+    program: &Program,
+    predefined: &SummaryDb,
+    previous: AnalysisResult,
+    changed: &[&str],
+    options: &AnalysisOptions,
+    plan: &ReanalyzePlan,
+) -> AnalysisResult {
+    let affected = &plan.affected;
+    let AnalysisResult {
+        reports: prev_reports,
+        summaries: mut db,
+        classification,
+        stats: _,
+        degraded: prev_degraded,
+    } = previous;
+
+    // The previous database *is* the starting point; evict the affected
+    // cone (predefined entries stay — the driver never overwrote them)
+    // and remember which evicted names had summaries: under selective
+    // analysis that is the previous run's implicit decision to analyze.
+    let mut had_summary: HashSet<String> = HashSet::new();
+    for name in affected {
+        if predefined.contains(name) {
+            continue;
+        }
+        if db.remove(name).is_some() {
+            had_summary.insert(name.clone());
         }
     }
 
@@ -89,30 +306,24 @@ pub fn reanalyze(
         if !options.selective {
             return true;
         }
-        // Reuse the previous run's implicit decision: a function that had
-        // a summary was analyzed. Functions named in `changed` are always
-        // re-analyzed (they may be brand new and absent from the previous
-        // classification).
+        // Functions named in `changed` are always re-analyzed (they may
+        // be brand new and absent from the previous classification).
         changed_set.contains(name)
-            || previous.summaries.get(name).is_some()
-            || previous.classification.category(name).is_analyzed()
+            || had_summary.contains(name)
+            || classification.category(name).is_analyzed()
     };
 
     let mut stats = AnalysisStats::default();
-    let mut reports: Vec<crate::ipp::IppReport> = previous
-        .reports
-        .iter()
+    let mut reports: Vec<crate::ipp::IppReport> = prev_reports
+        .into_iter()
         .filter(|r| !affected.contains(&r.function))
-        .cloned()
         .collect();
 
     // Degradation records for unaffected functions are carried over, like
     // their reports; re-analyzed functions get fresh records below.
-    let mut degraded: BTreeMap<String, Degradation> = previous
-        .degraded
-        .iter()
+    let mut degraded: BTreeMap<String, Degradation> = prev_degraded
+        .into_iter()
         .filter(|(name, _)| !affected.contains(name.as_str()))
-        .map(|(name, d)| (name.clone(), *d))
         .collect();
 
     // Re-analysis runs under the same fault-tolerance regime as the full
@@ -120,10 +331,9 @@ pub fn reanalyze(
     // once with reduced limits, then degraded to the default summary.
     let faults = FaultPlan::none();
     let global_deadline = options.budget.global_deadline.map(|d| Instant::now() + d);
-    let functions = program.functions();
-    for i in graph.reverse_topological_order() {
-        let func = functions[i];
-        let name = func.name();
+    for name in &plan.order {
+        let name = name.as_str();
+        let func = program.function(name).expect("plan orders defined functions");
         if !should_analyze(name) {
             continue;
         }
@@ -162,7 +372,10 @@ pub fn reanalyze(
         };
         match attempt {
             Some((outcome, mut ipp)) => {
-                let callees = crate::driver::callee_names(&graph, i);
+                let mut callees: Vec<String> =
+                    func.callees().map(str::to_owned).collect();
+                callees.sort();
+                callees.dedup();
                 for report in &mut ipp.reports {
                     if let Some(p) = report.provenance.as_mut() {
                         p.callees = callees.clone();
@@ -225,7 +438,7 @@ pub fn reanalyze(
         }
     }
 
-    stats.functions_total = functions.len();
+    stats.functions_total = program.function_count();
     reports.sort_by(|a, b| {
         (&a.function, &a.refcount, a.path_a, a.path_b).cmp(&(
             &b.function,
@@ -235,13 +448,7 @@ pub fn reanalyze(
         ))
     });
 
-    AnalysisResult {
-        reports,
-        summaries: db,
-        classification: previous.classification.clone(),
-        stats,
-        degraded,
-    }
+    AnalysisResult { reports, summaries: db, classification, stats, degraded }
 }
 
 #[cfg(test)]
@@ -390,6 +597,80 @@ mod tests {
             "new function must be analyzed: {:?}",
             after.reports
         );
+    }
+
+    #[test]
+    fn caller_index_matches_graph_affected_set() {
+        let program = parse_program([LIB_BUGGY, APP]).unwrap();
+        let graph = CallGraph::build(&program);
+        let index = CallerIndex::build(&program);
+        assert_eq!(affected_functions(&graph, &["helper"]), index.affected(&["helper"]));
+        assert_eq!(affected_functions(&graph, &["caller"]), index.affected(&["caller"]));
+    }
+
+    #[test]
+    fn caller_index_invalidates_callers_of_deleted_and_undefined_names() {
+        // `caller` calls `helper`; once helper is deleted, the graph
+        // has no node for it, but the index retains the call site, so
+        // the deletion still invalidates `caller`.
+        let app_only = parse_program([APP]).unwrap();
+        let index = CallerIndex::build(&app_only);
+        let affected = index.affected(&["helper"]);
+        assert!(affected.contains("helper"));
+        assert!(affected.contains("caller"));
+        assert!(!affected.contains("unrelated"));
+    }
+
+    #[test]
+    fn caller_index_updates_in_place() {
+        let program = parse_program([LIB_BUGGY, APP]).unwrap();
+        let mut index = CallerIndex::build(&program);
+        // Retire caller's edges: helper loses its only caller.
+        index.remove_function(program.function("caller").unwrap());
+        assert_eq!(index.affected(&["helper"]), ["helper".to_owned()].into());
+        // Re-adding restores the original closure.
+        index.add_function(program.function("caller").unwrap());
+        assert_eq!(index.affected(&["helper"]), CallerIndex::build(&program).affected(&["helper"]));
+    }
+
+    #[test]
+    fn plan_orders_callees_before_callers() {
+        let program = parse_program([LIB_BUGGY, APP]).unwrap();
+        let index = CallerIndex::build(&program);
+        let plan = index.plan(&program, &["helper"]);
+        assert_eq!(plan.order, vec!["helper".to_owned(), "caller".to_owned()]);
+        // And it matches the full-graph plan for a pure body edit.
+        let graph = CallGraph::build(&program);
+        let from_graph = ReanalyzePlan::from_graph(&graph, &["helper"]);
+        assert_eq!(plan.order, from_graph.order);
+        assert_eq!(plan.affected, from_graph.affected);
+    }
+
+    #[test]
+    fn plan_based_recheck_matches_graph_based_recheck() {
+        let options = AnalysisOptions::default();
+        let apis = linux_dpm_apis();
+        let before = analyze_sources([LIB_BUGGY, APP], &apis, &options).unwrap();
+        let fixed_program = parse_program([LIB_FIXED, APP]).unwrap();
+
+        let via_graph = reanalyze(&fixed_program, &apis, &before, &["helper"], &options);
+        let index = CallerIndex::build(&fixed_program);
+        let plan = index.plan(&fixed_program, &["helper"]);
+        let via_plan = reanalyze_with_plan(
+            &fixed_program,
+            &apis,
+            before.clone(),
+            &["helper"],
+            &options,
+            &plan,
+        );
+        let key = |r: &crate::ipp::IppReport| (r.function.clone(), r.refcount.clone());
+        assert_eq!(
+            via_plan.reports.iter().map(key).collect::<Vec<_>>(),
+            via_graph.reports.iter().map(key).collect::<Vec<_>>()
+        );
+        assert_eq!(via_plan.stats.functions_analyzed, via_graph.stats.functions_analyzed);
+        assert_eq!(via_plan.summaries.len(), via_graph.summaries.len());
     }
 
     #[test]

@@ -219,6 +219,13 @@ impl SummaryDb {
         self.map.insert(summary.func.clone(), summary);
     }
 
+    /// Removes `func`'s summary, returning it if present. Incremental
+    /// re-analysis uses this to evict the affected cone from a previous
+    /// run's database instead of rebuilding the whole database.
+    pub fn remove(&mut self, func: &str) -> Option<Summary> {
+        self.map.remove(func)
+    }
+
     /// Merges another database into this one (later insertions win).
     pub fn merge(&mut self, other: SummaryDb) {
         self.map.extend(other.map);

@@ -154,6 +154,121 @@ impl Program {
         Ok(())
     }
 
+    /// Replaces the already-linked module with the same [`Module::name`]
+    /// (or links `module` fresh when no module of that name exists) and
+    /// rebuilds the symbol index. This is the incremental-relink
+    /// operation `rid serve` uses for `patch` requests: it touches only
+    /// the index — no other module is cloned or re-linked, so its cost
+    /// is O(total functions) hash inserts, not a deep copy of the
+    /// program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ProgramError::DuplicateFunction`] when the replacement
+    /// introduces a second strong definition of some name. The program
+    /// is left unchanged in that case.
+    pub fn replace_module(&mut self, module: Module) -> Result<(), ProgramError> {
+        let position = self.modules.iter().position(|m| m.name == module.name);
+
+        // Fast path for the overwhelmingly common edit — same functions,
+        // new bodies. When the replacement defines exactly the same
+        // (name, weakness) signature as the module it replaces, no
+        // winner of the weak-symbol resolution can change anywhere in
+        // the program; only this module's intra-module positions can.
+        // Patch those index entries directly instead of rebuilding the
+        // whole index.
+        if let Some(i) = position {
+            fn signature<'m>(m: &'m Module) -> Option<HashMap<&'m str, bool>> {
+                let sig: HashMap<&str, bool> =
+                    m.functions().iter().map(|f| (f.name(), f.weak)).collect();
+                // A module with an internal duplicate name takes the
+                // slow path: index resolution within it is positional.
+                (sig.len() == m.functions().len()).then_some(sig)
+            }
+            if signature(&self.modules[i]).is_some_and(|old| Some(old) == signature(&module)) {
+                let positions: HashMap<&str, usize> = module
+                    .functions()
+                    .iter()
+                    .enumerate()
+                    .map(|(fi, f)| (f.name(), fi))
+                    .collect();
+                for (name, (mi, fi)) in self.index.iter_mut() {
+                    if *mi == i {
+                        *fi = positions[name.as_str()];
+                    }
+                }
+                self.modules[i] = module;
+                return Ok(());
+            }
+        }
+
+        let rollback = match position {
+            Some(i) => Some((i, std::mem::replace(&mut self.modules[i], module))),
+            None => {
+                self.modules.push(module);
+                None
+            }
+        };
+        match self.reindex() {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                match rollback {
+                    Some((i, previous)) => self.modules[i] = previous,
+                    None => {
+                        self.modules.pop();
+                    }
+                }
+                self.reindex().expect("previous state was consistent");
+                Err(e)
+            }
+        }
+    }
+
+    /// Unlinks the module named `name`, if present, and rebuilds the
+    /// symbol index; weak definitions shadowed by the removed module
+    /// become canonical again. Returns whether a module was removed.
+    pub fn remove_module(&mut self, name: &str) -> bool {
+        match self.modules.iter().position(|m| m.name == name) {
+            Some(i) => {
+                self.modules.remove(i);
+                self.reindex().expect("removing a module cannot introduce duplicates");
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Rebuilds `index` from `modules` in link order, applying the same
+    /// weak-symbol resolution as [`Program::link`].
+    fn reindex(&mut self) -> Result<(), ProgramError> {
+        let mut index: HashMap<String, (usize, usize)> = HashMap::new();
+        for (mod_idx, module) in self.modules.iter().enumerate() {
+            for (fn_idx, func) in module.functions().iter().enumerate() {
+                match index.get(func.name()) {
+                    None => {
+                        index.insert(func.name().to_owned(), (mod_idx, fn_idx));
+                    }
+                    Some(&(mi, fi)) => {
+                        let existing = &self.modules[mi].functions[fi];
+                        match (existing.weak, func.weak) {
+                            (true, false) => {
+                                index.insert(func.name().to_owned(), (mod_idx, fn_idx));
+                            }
+                            (_, true) => {}
+                            (false, false) => {
+                                return Err(ProgramError::DuplicateFunction(
+                                    func.name().to_owned(),
+                                ));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        self.index = index;
+        Ok(())
+    }
+
     /// The linked modules, in link order.
     #[must_use]
     pub fn modules(&self) -> &[Module] {
@@ -253,6 +368,79 @@ mod tests {
         let p = Program::from_module(m).unwrap();
         let names: Vec<&str> = p.functions().iter().map(|f| f.name()).collect();
         assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn replace_module_swaps_definitions_in_place() {
+        let mut m1 = Module::new("a.ril");
+        m1.push_function(func("f", false));
+        let mut m2 = Module::new("b.ril");
+        m2.push_function(func("g", false));
+        let mut p = Program::new();
+        p.link(m1).unwrap();
+        p.link(m2).unwrap();
+
+        // Same module name: the new definitions replace the old ones.
+        let mut m1b = Module::new("a.ril");
+        m1b.push_function(func("f2", false));
+        p.replace_module(m1b).unwrap();
+        assert!(p.function("f").is_none());
+        assert!(p.function("f2").is_some());
+        assert!(p.function("g").is_some());
+        assert_eq!(p.modules().len(), 2);
+
+        // Unknown module name: linked fresh.
+        let mut m3 = Module::new("c.ril");
+        m3.push_function(func("h", false));
+        p.replace_module(m3).unwrap();
+        assert_eq!(p.modules().len(), 3);
+        assert_eq!(p.function_count(), 3);
+
+        // And removal unlinks exactly that module's definitions.
+        assert!(p.remove_module("c.ril"));
+        assert!(!p.remove_module("c.ril"));
+        assert!(p.function("h").is_none());
+        assert_eq!(p.function_count(), 2);
+    }
+
+    #[test]
+    fn replace_module_same_signature_fixes_up_positions() {
+        // Same (name, weakness) signature but reordered functions: the
+        // fast path must repair the intra-module index positions.
+        let mut m1 = Module::new("a.ril");
+        m1.push_function(caller("f", "x"));
+        m1.push_function(caller("g", "x"));
+        let mut p = Program::from_module(m1).unwrap();
+
+        let mut m1b = Module::new("a.ril");
+        m1b.push_function(caller("g", "y"));
+        m1b.push_function(caller("f", "z"));
+        p.replace_module(m1b).unwrap();
+        assert_eq!(p.function_count(), 2);
+        let callees = |n: &str| p.function(n).unwrap().callees().collect::<Vec<_>>();
+        assert_eq!(callees("f"), vec!["z"]);
+        assert_eq!(callees("g"), vec!["y"]);
+    }
+
+    #[test]
+    fn replace_module_rolls_back_on_duplicate() {
+        let mut m1 = Module::new("a.ril");
+        m1.push_function(func("f", false));
+        let mut m2 = Module::new("b.ril");
+        m2.push_function(func("g", false));
+        let mut p = Program::new();
+        p.link(m1).unwrap();
+        p.link(m2).unwrap();
+
+        // Replacement would redefine `g` strongly — rejected, untouched.
+        let mut bad = Module::new("a.ril");
+        bad.push_function(func("g", false));
+        assert_eq!(
+            p.replace_module(bad),
+            Err(ProgramError::DuplicateFunction("g".into()))
+        );
+        assert!(p.function("f").is_some());
+        assert_eq!(p.function_count(), 2);
     }
 
     #[test]

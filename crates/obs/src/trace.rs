@@ -27,7 +27,7 @@ use std::time::Instant;
 
 /// The categories of work the RID pipeline distinguishes.
 ///
-/// The first seven are *span* kinds — they bracket a region of wall
+/// The first eight are *span* kinds — they bracket a region of wall
 /// clock. The last two are *instant* kinds — point events recording a
 /// degradation or an injected fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -46,6 +46,10 @@ pub enum SpanKind {
     CacheLookup,
     /// A work-stealing scan over sibling deques.
     Steal,
+    /// One request (or coalesced request batch) executed by the
+    /// `rid serve` daemon; the value records how many client requests
+    /// the execution answered (> 1 only for coalesced `patch` batches).
+    Serve,
     /// Instant event: a function degraded (budget, panic, retry…).
     Degrade,
     /// Instant event: the fault plan injected a fault.
@@ -63,13 +67,14 @@ impl SpanKind {
             SpanKind::IppCheck => "ipp-check",
             SpanKind::CacheLookup => "cache-lookup",
             SpanKind::Steal => "steal",
+            SpanKind::Serve => "serve",
             SpanKind::Degrade => "degrade",
             SpanKind::Fault => "fault",
         }
     }
 
     /// All span kinds, in pipeline order.
-    pub fn all() -> [SpanKind; 9] {
+    pub fn all() -> [SpanKind; 10] {
         [
             SpanKind::Lower,
             SpanKind::Enumerate,
@@ -78,6 +83,7 @@ impl SpanKind {
             SpanKind::IppCheck,
             SpanKind::CacheLookup,
             SpanKind::Steal,
+            SpanKind::Serve,
             SpanKind::Degrade,
             SpanKind::Fault,
         ]

@@ -1,0 +1,44 @@
+//! Thin line-oriented client for the Unix-socket daemon; `rid client`
+//! is a direct wrapper around it.
+
+use std::io::{self, BufRead, BufReader, Write};
+
+use crate::protocol::Request;
+
+/// A blocking, single-connection protocol client.
+#[cfg(unix)]
+pub struct Client {
+    reader: BufReader<std::os::unix::net::UnixStream>,
+    writer: std::os::unix::net::UnixStream,
+}
+
+#[cfg(unix)]
+impl Client {
+    /// Connects to a daemon listening at `path`.
+    pub fn connect(path: &std::path::Path) -> io::Result<Client> {
+        let stream = std::os::unix::net::UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(Client { reader: BufReader::new(stream), writer })
+    }
+
+    /// Sends one raw request line and blocks for the matching response
+    /// line. A deferred request gets no immediate response — use a
+    /// plain write (or a follow-up non-deferred request) for those.
+    pub fn roundtrip(&mut self, line: &str) -> io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        if self.reader.read_line(&mut response)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection",
+            ));
+        }
+        Ok(response.trim_end().to_owned())
+    }
+
+    /// Serializes `request` and performs a [`Client::roundtrip`].
+    pub fn request(&mut self, request: &Request) -> io::Result<String> {
+        self.roundtrip(&request.to_line())
+    }
+}

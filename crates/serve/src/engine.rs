@@ -1,0 +1,942 @@
+//! The daemon's deterministic core: a bounded request queue, one
+//! resident project state per registered project, and a drain loop that
+//! coalesces overlapping `patch` requests into a single driver run.
+//!
+//! The engine is transport-agnostic: [`serve_stdio`](crate::serve_stdio)
+//! and [`serve_unix`](crate::serve_unix) both feed request lines into
+//! [`Engine::handle_line`] and route the `(tag, response)` pairs it
+//! returns back to the right client. The tag type `T` is whatever the
+//! transport needs to find the client again — `()` for stdio, a
+//! connection id for the socket server.
+//!
+//! ## Batching semantics
+//!
+//! Requests are accepted into a bounded FIFO queue (full queue ⇒ an
+//! explicit `backpressure` error reply, never a silent drop). A request
+//! with `defer: true` only enqueues; the next non-deferred request (or
+//! EOF / `shutdown`) drains the whole queue. During a drain, when the
+//! head of the queue is a `patch`, every other queued `patch` for the
+//! same project is pulled forward and merged with it — later requests
+//! win per module — so the union of their edits costs **one**
+//! re-analysis: an incremental pass ([`reanalyze_with_graph`]) that
+//! re-executes exactly the union of the affected-function cones and
+//! reuses the previous run's summaries for everything else, and every
+//! coalesced request receives its own response carrying the shared
+//! result.
+//!
+//! [`reanalyze_with_graph`]: rid_core::incremental::reanalyze_with_graph
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::time::Duration;
+
+use rid_core::cache::content_hash;
+use rid_core::incremental::{CallerIndex, ReanalyzePlan};
+use rid_core::{AnalysisOptions, AnalysisResult, FaultPlan, SummaryCache, SummaryDb};
+use rid_ir::{Module, Program};
+use serde_json::Value;
+
+use crate::protocol::{error_line, ok_line, ProjectOptions, Request};
+
+/// Server-wide configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct ServerConfig {
+    /// Accepted-but-unexecuted request capacity; a request arriving at a
+    /// full queue is answered with a `backpressure` error.
+    pub queue_cap: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig { queue_cap: 64 }
+    }
+}
+
+/// One registered project's resident state.
+struct Project {
+    /// The linked program, kept resident across requests. `patch` swaps
+    /// individual modules in place via [`Program::replace_module`];
+    /// nothing is re-parsed, re-cloned, or re-linked wholesale — that
+    /// per-request rebuild is exactly the cost the daemon exists to
+    /// avoid.
+    program: Program,
+    /// Protocol file key → declared module name, for routing `patch`
+    /// sources (keyed by file) to the linked module they replace.
+    files: BTreeMap<String, String>,
+    /// Resident reverse call index, updated per patched module so the
+    /// affected cone and its re-analysis order cost O(edit), not a full
+    /// O(program) call-graph rebuild per request.
+    callers: CallerIndex,
+    /// Predefined API summaries chosen at registration.
+    apis: SummaryDb,
+    /// Analysis configuration chosen at registration.
+    options: AnalysisOptions,
+    /// The content-addressed summary cache backing full `analyze` runs:
+    /// a warm re-analyze answers every unchanged function from here.
+    cache: SummaryCache,
+    /// Result of the most recent run (reports, summaries, stats).
+    /// `explain` serves from it without re-running, and `patch` seeds
+    /// its incremental pass with these summaries so only the affected
+    /// cone re-executes.
+    last: Option<AnalysisResult>,
+    /// Driver runs executed for this project.
+    analyses: u64,
+}
+
+/// A parsed, validated, accepted request waiting in the queue.
+struct Pending<T> {
+    tag: T,
+    id: u64,
+    project: String,
+    deadline_ms: Option<u64>,
+    op: Op,
+}
+
+enum Op {
+    Register { sources: BTreeMap<String, String>, options: Option<ProjectOptions> },
+    Analyze,
+    Patch { sources: BTreeMap<String, String> },
+    Explain { function: Option<String> },
+    Stats,
+    Shutdown,
+}
+
+#[derive(Default)]
+struct EngineStats {
+    accepted: u64,
+    batches: u64,
+    coalesced: u64,
+    backpressure: u64,
+}
+
+/// The transport-agnostic daemon core. See the module docs for the
+/// queueing and batching semantics.
+pub struct Engine<T> {
+    projects: BTreeMap<String, Project>,
+    queue: VecDeque<Pending<T>>,
+    cap: usize,
+    stats: EngineStats,
+    draining: bool,
+}
+
+impl<T> Engine<T> {
+    /// Creates an engine with no registered projects.
+    #[must_use]
+    pub fn new(config: ServerConfig) -> Engine<T> {
+        Engine {
+            projects: BTreeMap::new(),
+            queue: VecDeque::new(),
+            cap: config.queue_cap.max(1),
+            stats: EngineStats::default(),
+            draining: false,
+        }
+    }
+
+    /// Whether a `shutdown` request has been executed; once true, new
+    /// requests are rejected with a `shutting-down` error and the
+    /// transport should exit after flushing.
+    #[must_use]
+    pub fn is_shutting_down(&self) -> bool {
+        self.draining
+    }
+
+    /// Accepts one request line and returns the `(tag, response-line)`
+    /// pairs it produced. A deferred request returns nothing (it waits
+    /// in the queue); a non-deferred request triggers a full drain, so
+    /// the returned responses may answer earlier deferred requests from
+    /// other tags too.
+    pub fn handle_line(&mut self, tag: T, line: &str) -> Vec<(T, String)> {
+        if line.trim().is_empty() {
+            return Vec::new();
+        }
+        let request: Request = match serde_json::from_str(line) {
+            Ok(request) => request,
+            Err(e) => return vec![(tag, error_line(None, "parse", &e.to_string()))],
+        };
+        if self.draining {
+            let reply =
+                error_line(Some(request.id), "shutting-down", "server is draining; retry later");
+            return vec![(tag, reply)];
+        }
+        let op = match parse_op(&request) {
+            Ok(op) => op,
+            Err((kind, message)) => {
+                return vec![(tag, error_line(Some(request.id), kind, &message))]
+            }
+        };
+        if self.queue.len() >= self.cap {
+            self.stats.backpressure += 1;
+            let message =
+                format!("queue full ({} pending, cap {}); retry later", self.queue.len(), self.cap);
+            return vec![(tag, error_line(Some(request.id), "backpressure", &message))];
+        }
+        self.stats.accepted += 1;
+        let defer = request.defer;
+        self.queue.push_back(Pending {
+            tag,
+            id: request.id,
+            project: request.project,
+            deadline_ms: request.deadline_ms,
+            op,
+        });
+        if defer {
+            Vec::new()
+        } else {
+            self.drain()
+        }
+    }
+
+    /// Executes everything in the queue and returns the responses in
+    /// completion order. Transports call this on EOF so accepted
+    /// deferred requests are never lost.
+    pub fn drain(&mut self) -> Vec<(T, String)> {
+        let mut out = Vec::new();
+        let mut shutdown: Option<(T, u64)> = None;
+        while let Some(head) = self.queue.pop_front() {
+            match head.op {
+                Op::Shutdown => {
+                    // Stop accepting, but keep draining: every request
+                    // accepted before (or queued behind) the shutdown
+                    // still gets its answer; the shutdown reply goes
+                    // out last.
+                    self.draining = true;
+                    shutdown = Some((head.tag, head.id));
+                }
+                Op::Patch { .. } => {
+                    let mut batch = vec![head];
+                    let mut rest = VecDeque::new();
+                    while let Some(pending) = self.queue.pop_front() {
+                        let same_project = pending.project == batch[0].project
+                            && matches!(pending.op, Op::Patch { .. });
+                        if same_project {
+                            batch.push(pending);
+                        } else {
+                            rest.push_back(pending);
+                        }
+                    }
+                    self.queue = rest;
+                    out.extend(self.execute_patch_batch(batch));
+                }
+                _ => out.push(self.execute_single(head)),
+            }
+        }
+        if let Some((tag, id)) = shutdown {
+            let result = serde_json::json!({ "drained": out.len() });
+            out.push((tag, ok_line(id, result, Value::Seq(Vec::new()))));
+        }
+        out
+    }
+
+    /// Executes a non-patch, non-shutdown request.
+    fn execute_single(&mut self, pending: Pending<T>) -> (T, String) {
+        match pending.op {
+            Op::Register { .. } => self.execute_register(pending),
+            Op::Analyze => self.execute_analyze(pending),
+            Op::Explain { .. } => self.execute_explain(pending),
+            Op::Stats => self.execute_stats(pending),
+            Op::Patch { .. } | Op::Shutdown => unreachable!("handled by drain"),
+        }
+    }
+
+    fn execute_register(&mut self, pending: Pending<T>) -> (T, String) {
+        let Op::Register { sources, options } = pending.op else { unreachable!() };
+        let mut span =
+            rid_obs::span(rid_obs::SpanKind::Serve, &format!("register:{}", pending.project));
+        span.set_value(1);
+        let (analysis_options, apis) = match resolve_options(options.as_ref()) {
+            Ok(resolved) => resolved,
+            Err(message) => return (pending.tag, error_line(Some(pending.id), "usage", &message)),
+        };
+        let mut files = BTreeMap::new();
+        let mut program = Program::new();
+        for (name, text) in &sources {
+            let module = match rid_frontend::parse_module(text) {
+                Ok(module) => module,
+                Err(e) => {
+                    let message = format!("{name}: {e}");
+                    return (pending.tag, error_line(Some(pending.id), "frontend", &message));
+                }
+            };
+            files.insert(name.clone(), module.name.clone());
+            if let Err(e) = program.link(module) {
+                return (pending.tag, error_line(Some(pending.id), "link", &e.to_string()));
+            }
+        }
+        let functions = program.function_count();
+        let callers = CallerIndex::build(&program);
+        self.projects.insert(
+            pending.project,
+            Project {
+                program,
+                files,
+                callers,
+                apis,
+                options: analysis_options,
+                cache: SummaryCache::new(),
+                last: None,
+                analyses: 0,
+            },
+        );
+        let result = serde_json::json!({ "modules": sources.len(), "functions": functions });
+        (pending.tag, ok_line(pending.id, result, Value::Seq(Vec::new())))
+    }
+
+    fn execute_analyze(&mut self, pending: Pending<T>) -> (T, String) {
+        self.stats.batches += 1;
+        let Some(project) = self.projects.get_mut(&pending.project) else {
+            return (pending.tag, unknown_project(pending.id, &pending.project));
+        };
+        let mut span =
+            rid_obs::span(rid_obs::SpanKind::Serve, &format!("analyze:{}", pending.project));
+        span.set_value(1);
+        run_analysis(project, pending.deadline_ms);
+        let result = project.last.as_ref().expect("analysis just ran");
+        let payload = analysis_payload(result, true);
+        (pending.tag, ok_line(pending.id, payload, degraded_value(result)))
+    }
+
+    /// One driver run answering every coalesced `patch` in `batch`.
+    fn execute_patch_batch(&mut self, batch: Vec<Pending<T>>) -> Vec<(T, String)> {
+        self.stats.batches += 1;
+        self.stats.coalesced += batch.len() as u64 - 1;
+        let project_name = batch[0].project.clone();
+        if !self.projects.contains_key(&project_name) {
+            return batch
+                .into_iter()
+                .map(|p| {
+                    let reply = unknown_project(p.id, &p.project);
+                    (p.tag, reply)
+                })
+                .collect();
+        }
+
+        // Union of the batch's edits; later requests win per module.
+        // The most conservative deadline in the batch governs the run:
+        // no coalesced request waits longer than it asked to.
+        let mut merged: BTreeMap<String, String> = BTreeMap::new();
+        for pending in &batch {
+            if let Op::Patch { sources } = &pending.op {
+                for (name, text) in sources {
+                    merged.insert(name.clone(), text.clone());
+                }
+            }
+        }
+        let deadline_ms = batch.iter().filter_map(|p| p.deadline_ms).min();
+
+        let mut span =
+            rid_obs::span(rid_obs::SpanKind::Serve, &format!("patch:{project_name}"));
+        span.set_value(batch.len() as u64);
+
+        // Parse replacements before touching resident state: a bad
+        // module leaves the project exactly as it was.
+        let mut replacements: Vec<(String, Module)> = Vec::new();
+        for (name, text) in &merged {
+            match rid_frontend::parse_module(text) {
+                Ok(module) => replacements.push((name.clone(), module)),
+                Err(e) => {
+                    let message = format!("{name}: {e}");
+                    return batch
+                        .into_iter()
+                        .map(|p| {
+                            let reply = error_line(Some(p.id), "frontend", &message);
+                            (p.tag, reply)
+                        })
+                        .collect();
+                }
+            }
+        }
+
+        let project = self.projects.get_mut(&project_name).expect("checked above");
+
+        // A patched file must keep its declared module name — a rename
+        // would orphan the old module inside the resident program.
+        for (file, module) in &replacements {
+            if let Some(declared) = project.files.get(file) {
+                if declared != &module.name {
+                    let message = format!(
+                        "{file}: patch renames module `{declared}` to `{}`; \
+                         re-register the project instead",
+                        module.name
+                    );
+                    return batch
+                        .into_iter()
+                        .map(|p| {
+                            let reply = error_line(Some(p.id), "usage", &message);
+                            (p.tag, reply)
+                        })
+                        .collect();
+                }
+            }
+        }
+
+        // The changed-function set: a per-function content-hash diff of
+        // every replaced module against its resident version. Functions
+        // whose lowered IR is identical (whitespace/comment edits) are
+        // not changed; deleted functions are.
+        let mut changed: BTreeSet<String> = BTreeSet::new();
+        for (_file, module) in &replacements {
+            let old = project.program.modules().iter().find(|m| m.name == module.name);
+            for func in module.functions() {
+                let before = old.and_then(|m| m.function(func.name())).map(content_hash);
+                if before != Some(content_hash(func)) {
+                    changed.insert(func.name().to_owned());
+                }
+            }
+            if let Some(old) = old {
+                for func in old.functions() {
+                    if module.function(func.name()).is_none() {
+                        changed.insert(func.name().to_owned());
+                    }
+                }
+            }
+        }
+
+        // Resident caller-index maintenance, part one: retire the old
+        // winners' call edges before they are swapped out. When an edit
+        // does anything subtler than replacing bodies — changes the
+        // module's defined-name/weakness signature, or touches a
+        // function shadowed by (or shadowing) another module — winners
+        // of the weak-symbol resolution can move between modules, so we
+        // mark the index dirty and rebuild it outright after the swap.
+        let mut dirty = false;
+        for (_file, module) in &replacements {
+            match project.program.modules().iter().find(|m| m.name == module.name) {
+                Some(old) if same_signature(old, module) => {
+                    for func in old.functions() {
+                        match project.program.function(func.name()) {
+                            Some(winner) if std::ptr::eq(winner, func) => {
+                                project.callers.remove_function(func);
+                            }
+                            _ => dirty = true,
+                        }
+                    }
+                }
+                _ => dirty = true,
+            }
+        }
+
+        // Swap the modules in place, remembering enough to roll back if
+        // a later replacement fails to link: a failed batch leaves the
+        // project exactly as it was.
+        enum Undo {
+            Restore(Module),
+            Remove { file: String, module: String },
+        }
+        let mut undo: Vec<Undo> = Vec::new();
+        let mut link_error = None;
+        for (file, module) in &replacements {
+            let old = project
+                .program
+                .modules()
+                .iter()
+                .find(|m| m.name == module.name)
+                .cloned();
+            match project.program.replace_module(module.clone()) {
+                Ok(()) => {
+                    undo.push(match old {
+                        Some(previous) => Undo::Restore(previous),
+                        None => {
+                            Undo::Remove { file: file.clone(), module: module.name.clone() }
+                        }
+                    });
+                    project.files.insert(file.clone(), module.name.clone());
+                }
+                Err(e) => {
+                    link_error = Some(e.to_string());
+                    break;
+                }
+            }
+        }
+        if let Some(message) = link_error {
+            for step in undo.into_iter().rev() {
+                match step {
+                    Undo::Restore(previous) => {
+                        project
+                            .program
+                            .replace_module(previous)
+                            .expect("restoring the previous module relinks");
+                    }
+                    Undo::Remove { file, module } => {
+                        project.program.remove_module(&module);
+                        project.files.remove(&file);
+                    }
+                }
+            }
+            // The pre-swap removals above already mutated the index;
+            // rebuild it from the restored program (error path, so the
+            // O(program) cost is acceptable).
+            project.callers = CallerIndex::build(&project.program);
+            return batch
+                .into_iter()
+                .map(|p| {
+                    let reply = error_line(Some(p.id), "link", &message);
+                    (p.tag, reply)
+                })
+                .collect();
+        }
+
+        // Caller-index maintenance, part two: record the new winners'
+        // call edges, or rebuild from scratch if the edit moved winners.
+        if !dirty {
+            for (_file, module) in &replacements {
+                let resident = project
+                    .program
+                    .modules()
+                    .iter()
+                    .find(|m| m.name == module.name)
+                    .expect("module was just swapped in");
+                for func in resident.functions() {
+                    match project.program.function(func.name()) {
+                        Some(winner) if std::ptr::eq(winner, func) => {
+                            project.callers.add_function(func);
+                        }
+                        _ => dirty = true,
+                    }
+                }
+            }
+        }
+        if dirty {
+            project.callers = CallerIndex::build(&project.program);
+        }
+
+        let changed_refs: Vec<&str> = changed.iter().map(String::as_str).collect();
+        let plan = project.callers.plan(&project.program, &changed_refs);
+        let mut affected: Vec<String> = plan.affected.iter().cloned().collect();
+        affected.sort_unstable();
+
+        run_patch(project, deadline_ms, &changed_refs, &plan);
+        let result = project.last.as_ref().expect("patch run just completed");
+        let mut payload = analysis_payload(result, false);
+        push_field(&mut payload, "batched", serde_json::json!(batch.len()));
+        push_field(
+            &mut payload,
+            "changed",
+            serde_json::json!(changed.iter().cloned().collect::<Vec<String>>()),
+        );
+        push_field(&mut payload, "affected", serde_json::json!(affected));
+        push_field(
+            &mut payload,
+            "reexecuted",
+            serde_json::json!(result.stats.functions_analyzed),
+        );
+        let degraded = degraded_value(result);
+        batch
+            .into_iter()
+            .map(|p| {
+                let reply = ok_line(p.id, payload.clone(), degraded.clone());
+                (p.tag, reply)
+            })
+            .collect()
+    }
+
+    fn execute_explain(&mut self, pending: Pending<T>) -> (T, String) {
+        let Op::Explain { function } = &pending.op else { unreachable!() };
+        let function = function.clone();
+        let Some(project) = self.projects.get_mut(&pending.project) else {
+            return (pending.tag, unknown_project(pending.id, &pending.project));
+        };
+        let mut span =
+            rid_obs::span(rid_obs::SpanKind::Serve, &format!("explain:{}", pending.project));
+        span.set_value(1);
+        if project.last.is_none() {
+            // First touch of a freshly registered project: run once so
+            // there is something to explain (warm thereafter).
+            run_analysis(project, pending.deadline_ms);
+        }
+        let last = project.last.as_ref().expect("analysis just ran");
+        let reports: Vec<_> = match &function {
+            Some(name) => {
+                last.reports.iter().filter(|r| &r.function == name).cloned().collect()
+            }
+            None => last.reports.clone(),
+        };
+        let text = rid_core::render_explanations(&reports, Some(&project.program));
+        let result = serde_json::json!({ "report_count": reports.len(), "text": text });
+        (pending.tag, ok_line(pending.id, result, degraded_value(last)))
+    }
+
+    fn execute_stats(&mut self, pending: Pending<T>) -> (T, String) {
+        let mut span = rid_obs::span(rid_obs::SpanKind::Serve, "stats");
+        span.set_value(1);
+        let projects = Value::Map(
+            self.projects
+                .iter()
+                .map(|(name, project)| {
+                    let value = serde_json::json!({
+                        "modules": project.files.len(),
+                        "functions": project.program.function_count(),
+                        "analyses": project.analyses,
+                        "cache_entries": project.cache.len(),
+                        "reports": project.last.as_ref().map_or(0, |r| r.reports.len()),
+                    });
+                    (name.clone(), value)
+                })
+                .collect(),
+        );
+        let server = serde_json::json!({
+            "accepted": self.stats.accepted,
+            "batches": self.stats.batches,
+            "coalesced": self.stats.coalesced,
+            "backpressure": self.stats.backpressure,
+            "queue_cap": self.cap,
+            "draining": self.draining,
+        });
+        let result = serde_json::json!({ "server": server, "projects": projects });
+        (pending.tag, ok_line(pending.id, result, Value::Seq(Vec::new())))
+    }
+}
+
+/// Validates a request into an executable [`Op`].
+fn parse_op(request: &Request) -> Result<Op, (&'static str, String)> {
+    let needs_project = matches!(request.op.as_str(), "register" | "analyze" | "patch" | "explain");
+    if needs_project && request.project.is_empty() {
+        return Err(("usage", format!("op `{}` requires a `project`", request.op)));
+    }
+    match request.op.as_str() {
+        "register" => Ok(Op::Register {
+            sources: request.sources.clone(),
+            options: request.options.clone(),
+        }),
+        "analyze" => Ok(Op::Analyze),
+        "patch" => {
+            if request.sources.is_empty() {
+                return Err(("usage", "op `patch` requires non-empty `sources`".to_owned()));
+            }
+            Ok(Op::Patch { sources: request.sources.clone() })
+        }
+        "explain" => Ok(Op::Explain { function: request.function.clone() }),
+        "stats" => Ok(Op::Stats),
+        "shutdown" => Ok(Op::Shutdown),
+        other => Err(("usage", format!("unknown op `{other}`"))),
+    }
+}
+
+/// Applies registration options over the driver defaults.
+fn resolve_options(
+    options: Option<&ProjectOptions>,
+) -> Result<(AnalysisOptions, SummaryDb), String> {
+    let mut resolved = AnalysisOptions::default();
+    let mut apis = rid_core::apis::linux_dpm_apis();
+    if let Some(options) = options {
+        if let Some(threads) = options.threads {
+            resolved.threads = threads.max(1);
+        }
+        if let Some(selective) = options.selective {
+            resolved.selective = selective;
+        }
+        if let Some(callbacks) = options.callbacks {
+            resolved.check_callbacks = callbacks;
+        }
+        if let Some(ms) = options.func_deadline_ms {
+            resolved.budget.func_deadline = Some(Duration::from_millis(ms));
+        }
+        if let Some(fuel) = options.fuel {
+            resolved.budget.solver_fuel = Some(fuel);
+        }
+        match options.apis.as_deref() {
+            None | Some("dpm") => {}
+            Some("python") => apis = rid_core::apis::python_c_apis(),
+            Some("none") => apis = SummaryDb::new(),
+            Some(other) => return Err(format!("unknown apis value `{other}`")),
+        }
+    }
+    Ok((resolved, apis))
+}
+
+/// The project's configured options with the per-request deadline (if
+/// any) mapped onto the budget's global deadline.
+fn options_for(project: &Project, deadline_ms: Option<u64>) -> AnalysisOptions {
+    let mut options = project.options;
+    if let Some(ms) = deadline_ms {
+        options.budget.global_deadline = Some(Duration::from_millis(ms));
+    }
+    options
+}
+
+/// One full driver run over the resident program and cache. The result
+/// becomes the project's `last` state — responses borrow it from there;
+/// it is never cloned per request.
+fn run_analysis(project: &mut Project, deadline_ms: Option<u64>) {
+    let options = options_for(project, deadline_ms);
+    let result = rid_core::analyze_program_cached(
+        &project.program,
+        &project.apis,
+        &options,
+        &FaultPlan::none(),
+        Some(&mut project.cache),
+    );
+    project.analyses += 1;
+    project.last = Some(result);
+}
+
+/// Whether two modules define the same (name, weakness) signature with
+/// no internal duplicates — the precondition for updating the resident
+/// caller index in place instead of rebuilding it.
+fn same_signature(a: &Module, b: &Module) -> bool {
+    fn signature<'m>(m: &'m Module) -> Option<std::collections::HashMap<&'m str, bool>> {
+        let sig: std::collections::HashMap<&str, bool> =
+            m.functions().iter().map(|f| (f.name(), f.weak)).collect();
+        (sig.len() == m.functions().len()).then_some(sig)
+    }
+    matches!((signature(a), signature(b)), (Some(a), Some(b)) if a == b)
+}
+
+/// One incremental run for a patch: with a previous result resident,
+/// [`reanalyze_with_plan`](rid_core::incremental::reanalyze_with_plan)
+/// re-executes only the affected cone and reuses the previous result's
+/// summaries (and classification) for everything else — this is what
+/// makes warm `patch` latency a fraction of a cold analyze. A patch
+/// arriving before the project's first `analyze` falls back to a full
+/// cached run.
+fn run_patch(
+    project: &mut Project,
+    deadline_ms: Option<u64>,
+    changed: &[&str],
+    plan: &ReanalyzePlan,
+) {
+    let Some(previous) = project.last.take() else {
+        run_analysis(project, deadline_ms);
+        return;
+    };
+    let options = options_for(project, deadline_ms);
+    let result = rid_core::incremental::reanalyze_with_plan(
+        &project.program,
+        &project.apis,
+        previous,
+        changed,
+        &options,
+        plan,
+    );
+    project.analyses += 1;
+    project.last = Some(result);
+}
+
+/// The op-independent analysis payload shared by `analyze` and `patch`.
+/// Cache hit/miss counters only describe full cached runs, so `patch`
+/// (which reuses the previous result's summaries directly instead of
+/// probing the cache) omits them.
+fn analysis_payload(result: &AnalysisResult, include_cache: bool) -> Value {
+    let mut payload = serde_json::json!({
+        "report_count": result.reports.len(),
+        "reports": compact_reports(result),
+        "functions_total": result.stats.functions_total,
+        "functions_analyzed": result.stats.functions_analyzed,
+    });
+    if include_cache {
+        let cache = serde_json::json!({
+            "hits": result.stats.cache_hits,
+            "misses": result.stats.cache_misses,
+            "invalidated": result.stats.cache_invalidated,
+        });
+        push_field(&mut payload, "cache", cache);
+    }
+    payload
+}
+
+/// Compact report list: enough to triage without the full provenance
+/// payload (`explain` renders that on demand).
+fn compact_reports(result: &AnalysisResult) -> Value {
+    Value::Seq(
+        result
+            .reports
+            .iter()
+            .map(|report| {
+                serde_json::json!({
+                    "function": report.function,
+                    "refcount": report.refcount.to_string(),
+                    "change_a": report.change_a,
+                    "change_b": report.change_b,
+                    "path_a": report.path_a,
+                    "path_b": report.path_b,
+                    "callback": report.callback,
+                })
+            })
+            .collect(),
+    )
+}
+
+/// The envelope's `degraded` array: every function the run degraded,
+/// with the reason and its analysis cost — degradation is surfaced, not
+/// swallowed.
+fn degraded_value(result: &AnalysisResult) -> Value {
+    Value::Seq(
+        result
+            .degraded
+            .iter()
+            .map(|(name, degradation)| {
+                serde_json::json!({
+                    "function": name,
+                    "reason": degradation.reason.label(),
+                    "wall_ms": degradation.cost.wall_ms,
+                })
+            })
+            .collect(),
+    )
+}
+
+fn unknown_project(id: u64, project: &str) -> String {
+    error_line(Some(id), "unknown-project", &format!("no project `{project}` registered"))
+}
+
+/// Appends a field to an object payload.
+fn push_field(payload: &mut Value, key: &str, value: Value) {
+    if let Value::Map(pairs) = payload {
+        pairs.push((key.to_owned(), value));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The Figure 8 shape: the error path leaks the reference and its
+    /// return value overlaps the success path's, so the pair is
+    /// inconsistent.
+    const BUGGY: &str = r#"module m;
+        fn probe(dev) {
+            let ret = pm_runtime_get_sync(dev);
+            if (ret < 0) { return ret; }
+            ret = helper_update(dev);
+            pm_runtime_put(dev);
+            return ret;
+        }"#;
+
+    fn line(value: Value) -> String {
+        serde_json::to_string(&value).unwrap()
+    }
+
+    fn parse(response: &str) -> Value {
+        serde_json::from_str(response).unwrap()
+    }
+
+    fn register_line(id: u64) -> String {
+        line(serde_json::json!({
+            "id": id, "op": "register", "project": "p",
+            "sources": serde_json::json!({ "m.ril": BUGGY }),
+        }))
+    }
+
+    #[test]
+    fn register_then_analyze_reports_the_bug() {
+        let mut engine: Engine<()> = Engine::new(ServerConfig::default());
+        let replies = engine.handle_line((), &register_line(1));
+        assert_eq!(replies.len(), 1);
+        let reply = parse(&replies[0].1);
+        assert_eq!(reply["ok"].as_bool(), Some(true));
+        assert_eq!(reply["result"]["functions"].as_i64(), Some(1));
+
+        let replies = engine
+            .handle_line((), &line(serde_json::json!({ "id": 2, "op": "analyze", "project": "p" })));
+        let reply = parse(&replies[0].1);
+        assert_eq!(reply["id"].as_i64(), Some(2));
+        assert_eq!(reply["result"]["report_count"].as_i64(), Some(1));
+        assert_eq!(
+            reply["result"]["reports"][0]["function"].as_str(),
+            Some("probe")
+        );
+    }
+
+    #[test]
+    fn unknown_op_and_unknown_project_are_usage_errors() {
+        let mut engine: Engine<()> = Engine::new(ServerConfig::default());
+        let replies = engine.handle_line((), r#"{"id":1,"op":"frobnicate"}"#);
+        assert_eq!(parse(&replies[0].1)["error"]["kind"].as_str(), Some("usage"));
+        let replies =
+            engine.handle_line((), r#"{"id":2,"op":"analyze","project":"nope"}"#);
+        assert_eq!(
+            parse(&replies[0].1)["error"]["kind"].as_str(),
+            Some("unknown-project")
+        );
+        let replies = engine.handle_line((), "{not json");
+        let reply = parse(&replies[0].1);
+        assert_eq!(reply["error"]["kind"].as_str(), Some("parse"));
+        assert!(reply["id"].is_null());
+    }
+
+    #[test]
+    fn full_queue_answers_backpressure() {
+        let mut engine: Engine<()> = Engine::new(ServerConfig { queue_cap: 1 });
+        let mut deferred = serde_json::from_str::<Request>(
+            r#"{"id":1,"op":"stats"}"#,
+        )
+        .unwrap();
+        deferred.defer = true;
+        assert!(engine.handle_line((), &deferred.to_line()).is_empty());
+        deferred.id = 2;
+        let replies = engine.handle_line((), &deferred.to_line());
+        let reply = parse(&replies[0].1);
+        assert_eq!(reply["error"]["kind"].as_str(), Some("backpressure"));
+        assert_eq!(reply["id"].as_i64(), Some(2));
+        // The queued request is still answered by the next drain.
+        let drained = engine.drain();
+        assert_eq!(drained.len(), 1);
+        assert_eq!(parse(&drained[0].1)["id"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn deferred_patches_coalesce_into_one_run() {
+        let mut engine: Engine<()> = Engine::new(ServerConfig::default());
+        engine.handle_line((), &register_line(1));
+        engine.handle_line((), &line(serde_json::json!({ "id": 2, "op": "analyze", "project": "p" })));
+
+        let fixed = BUGGY.replace("{ return ret; }", "{ pm_runtime_put(dev); return ret; }");
+        let patch1 = line(serde_json::json!({
+            "id": 3, "op": "patch", "project": "p", "defer": true,
+            "sources": serde_json::json!({ "m.ril": fixed }),
+        }));
+        let patch2 = line(serde_json::json!({
+            "id": 4, "op": "patch", "project": "p", "defer": true,
+            "sources": serde_json::json!({ "m.ril": BUGGY }),
+        }));
+        assert!(engine.handle_line((), &patch1).is_empty());
+        assert!(engine.handle_line((), &patch2).is_empty());
+        let replies =
+            engine.handle_line((), &line(serde_json::json!({ "id": 5, "op": "stats" })));
+        assert_eq!(replies.len(), 3, "two patch replies + stats");
+        let first = parse(&replies[0].1);
+        let second = parse(&replies[1].1);
+        assert_eq!(first["result"]["batched"].as_i64(), Some(2));
+        assert_eq!(second["result"]["batched"].as_i64(), Some(2));
+        // Later patch wins: the module is back to the buggy version.
+        assert_eq!(first["result"]["report_count"].as_i64(), Some(1));
+        let stats = parse(&replies[2].1);
+        assert_eq!(stats["result"]["server"]["coalesced"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn shutdown_drains_accepted_requests_first() {
+        let mut engine: Engine<()> = Engine::new(ServerConfig::default());
+        engine.handle_line((), &register_line(1));
+        let deferred = line(serde_json::json!({
+            "id": 2, "op": "analyze", "project": "p", "defer": true,
+        }));
+        assert!(engine.handle_line((), &deferred).is_empty());
+        let replies = engine.handle_line((), r#"{"id":3,"op":"shutdown"}"#);
+        assert_eq!(replies.len(), 2);
+        assert_eq!(parse(&replies[0].1)["id"].as_i64(), Some(2), "queued work answered");
+        let bye = parse(&replies[1].1);
+        assert_eq!(bye["id"].as_i64(), Some(3));
+        assert_eq!(bye["result"]["drained"].as_i64(), Some(1));
+        assert!(engine.is_shutting_down());
+        let rejected = engine.handle_line((), r#"{"id":4,"op":"stats"}"#);
+        assert_eq!(
+            parse(&rejected[0].1)["error"]["kind"].as_str(),
+            Some("shutting-down")
+        );
+    }
+
+    #[test]
+    fn patch_with_unparsable_module_leaves_project_intact() {
+        let mut engine: Engine<()> = Engine::new(ServerConfig::default());
+        engine.handle_line((), &register_line(1));
+        let bad = line(serde_json::json!({
+            "id": 2, "op": "patch", "project": "p",
+            "sources": serde_json::json!({ "m.ril": "module m; fn broken(" }),
+        }));
+        let replies = engine.handle_line((), &bad);
+        assert_eq!(parse(&replies[0].1)["error"]["kind"].as_str(), Some("frontend"));
+        // The resident module still analyzes as before.
+        let replies = engine
+            .handle_line((), &line(serde_json::json!({ "id": 3, "op": "analyze", "project": "p" })));
+        assert_eq!(parse(&replies[0].1)["result"]["report_count"].as_i64(), Some(1));
+    }
+}

@@ -1,0 +1,180 @@
+//! Wire types of the serve protocol.
+//!
+//! The transport is newline-delimited JSON: one request object per line
+//! in, one response object per line out, every response carrying the
+//! `id` of the request it answers. `PROTOCOL.md` at the repository root
+//! is the normative description of every message; this module is the
+//! implementation the daemon and the thin client share.
+
+use std::collections::BTreeMap;
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+/// Protocol identifier echoed in every response envelope.
+///
+/// Clients must check the prefix `rid-serve/`; the integer after the
+/// slash bumps on any breaking change to request or response shapes
+/// (additive, ignorable fields do not bump it).
+pub const PROTOCOL_VERSION: &str = "rid-serve/1";
+
+/// One request line, as sent by a client.
+///
+/// `op` selects the operation (`register`, `analyze`, `patch`,
+/// `explain`, `stats`, `shutdown`); the other fields are op-specific
+/// and default to empty when omitted. See `PROTOCOL.md` for which
+/// fields each op requires.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    #[serde(default)]
+    pub id: u64,
+    /// Operation name.
+    pub op: String,
+    /// Target project (required by every op except `stats` and
+    /// `shutdown`).
+    #[serde(default)]
+    pub project: String,
+    /// Module sources keyed by module file name. `register` sends the
+    /// full set; `patch` sends only changed or added modules.
+    #[serde(default)]
+    pub sources: BTreeMap<String, String>,
+    /// `explain` only: restrict to reports of this function.
+    #[serde(default)]
+    pub function: Option<String>,
+    /// Per-request wall-clock deadline in milliseconds, mapped onto the
+    /// analysis [`rid_core::Budget`]'s global deadline. Functions that
+    /// blow the deadline degrade and are listed in the response
+    /// envelope's `degraded` array — never silently dropped.
+    #[serde(default)]
+    pub deadline_ms: Option<u64>,
+    /// When true the request is accepted and queued but not executed
+    /// until the next non-deferred request (or EOF / `shutdown`)
+    /// triggers a drain. Deferring is how clients opt into batching:
+    /// queued `patch` requests for the same project coalesce into one
+    /// driver run.
+    #[serde(default)]
+    pub defer: bool,
+    /// `register` only: per-project analysis configuration.
+    #[serde(default)]
+    pub options: Option<ProjectOptions>,
+}
+
+impl Request {
+    /// A minimal request with the given id, op, and project; the other
+    /// fields start empty.
+    #[must_use]
+    pub fn new(id: u64, op: &str, project: &str) -> Request {
+        Request {
+            id,
+            op: op.to_owned(),
+            project: project.to_owned(),
+            sources: BTreeMap::new(),
+            function: None,
+            deadline_ms: None,
+            defer: false,
+            options: None,
+        }
+    }
+
+    /// Serializes the request as one protocol line (no trailing
+    /// newline).
+    #[must_use]
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("requests serialize")
+    }
+}
+
+/// Per-project analysis configuration, set at `register` time.
+///
+/// Unset fields keep the driver defaults ([`rid_core::AnalysisOptions`]).
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ProjectOptions {
+    /// Worker threads for the work-stealing driver (default 1).
+    #[serde(default)]
+    pub threads: Option<usize>,
+    /// §5.2 selective analysis (default true).
+    #[serde(default)]
+    pub selective: Option<bool>,
+    /// Callback-contract extension (default false).
+    #[serde(default)]
+    pub callbacks: Option<bool>,
+    /// Per-function wall-clock deadline in milliseconds.
+    #[serde(default)]
+    pub func_deadline_ms: Option<u64>,
+    /// Solver fuel budget per function.
+    #[serde(default)]
+    pub fuel: Option<u64>,
+    /// Predefined API database: `"dpm"` (default), `"python"`, or
+    /// `"none"`.
+    #[serde(default)]
+    pub apis: Option<String>,
+}
+
+/// Builds a success response line: `{id, ok:true, protocol, result,
+/// degraded}`.
+#[must_use]
+pub fn ok_line(id: u64, result: Value, degraded: Value) -> String {
+    let envelope = serde_json::json!({
+        "id": id,
+        "ok": true,
+        "protocol": PROTOCOL_VERSION,
+        "result": result,
+        "degraded": degraded,
+    });
+    serde_json::to_string(&envelope).expect("envelope serializes")
+}
+
+/// Builds an error response line: `{id, ok:false, protocol, error:{kind,
+/// message}}`. `id` is `null` when the request line could not be parsed
+/// far enough to recover one.
+#[must_use]
+pub fn error_line(id: Option<u64>, kind: &str, message: &str) -> String {
+    let envelope = serde_json::json!({
+        "id": id,
+        "ok": false,
+        "protocol": PROTOCOL_VERSION,
+        "error": serde_json::json!({ "kind": kind, "message": message }),
+    });
+    serde_json::to_string(&envelope).expect("envelope serializes")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrips_with_defaults() {
+        let line = r#"{"id":7,"op":"analyze","project":"p"}"#;
+        let req: Request = serde_json::from_str(line).unwrap();
+        assert_eq!(req.id, 7);
+        assert_eq!(req.op, "analyze");
+        assert_eq!(req.project, "p");
+        assert!(req.sources.is_empty());
+        assert!(!req.defer);
+        assert!(req.deadline_ms.is_none());
+        let back: Request = serde_json::from_str(&req.to_line()).unwrap();
+        assert_eq!(back.op, "analyze");
+    }
+
+    #[test]
+    fn missing_op_is_a_parse_error() {
+        assert!(serde_json::from_str::<Request>(r#"{"id":1}"#).is_err());
+    }
+
+    #[test]
+    fn envelopes_carry_protocol_and_id() {
+        let ok: Value =
+            serde_json::from_str(&ok_line(3, serde_json::json!({"n": 1}), Value::Seq(vec![])))
+                .unwrap();
+        assert_eq!(ok["id"].as_i64(), Some(3));
+        assert_eq!(ok["ok"].as_bool(), Some(true));
+        assert_eq!(ok["protocol"].as_str(), Some(PROTOCOL_VERSION));
+        assert_eq!(ok["result"]["n"].as_i64(), Some(1));
+
+        let err: Value = serde_json::from_str(&error_line(None, "parse", "bad json")).unwrap();
+        assert!(err["id"].is_null());
+        assert_eq!(err["ok"].as_bool(), Some(false));
+        assert_eq!(err["error"]["kind"].as_str(), Some("parse"));
+    }
+}

@@ -1,0 +1,189 @@
+//! Transports that feed the [`Engine`]: stdio for tests and editor
+//! pipes, a Unix domain socket for long-lived daemons.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::sync::atomic::Ordering;
+use std::sync::{Arc, Mutex};
+
+use crate::engine::{Engine, ServerConfig};
+use crate::signal::install_term_handler;
+
+/// Serves the protocol over an arbitrary reader/writer pair — in
+/// production that is stdin/stdout (`rid serve --stdio`), in tests any
+/// in-memory buffer.
+///
+/// Returns after a `shutdown` request has been answered or the input
+/// reaches EOF; on EOF the queue is drained first so accepted deferred
+/// requests are never lost.
+pub fn serve_stdio<R: BufRead, W: Write>(
+    input: R,
+    mut output: W,
+    config: ServerConfig,
+) -> io::Result<()> {
+    let mut engine: Engine<()> = Engine::new(config);
+    for line in input.lines() {
+        let line = line?;
+        for ((), response) in engine.handle_line((), &line) {
+            writeln!(output, "{response}")?;
+        }
+        output.flush()?;
+        if engine.is_shutting_down() {
+            return Ok(());
+        }
+    }
+    for ((), response) in engine.drain() {
+        writeln!(output, "{response}")?;
+    }
+    output.flush()
+}
+
+/// Serves the protocol on a Unix domain socket at `path`.
+///
+/// One reader thread per connection feeds a shared engine; responses
+/// are routed back by connection id, so coalesced batches answer every
+/// connection that contributed a request. The accept loop polls a
+/// SIGTERM/SIGINT latch and the engine's shutdown state; on either it
+/// stops accepting, drains the queue, and removes the socket file.
+#[cfg(unix)]
+pub fn serve_unix(path: &std::path::Path, config: ServerConfig) -> io::Result<()> {
+    use std::collections::HashMap;
+    use std::os::unix::net::{UnixListener, UnixStream};
+
+    // A stale socket from a crashed daemon would make bind fail.
+    let _ = std::fs::remove_file(path);
+    let listener = UnixListener::bind(path)?;
+    listener.set_nonblocking(true)?;
+    let term = install_term_handler();
+
+    let engine: Arc<Mutex<Engine<usize>>> = Arc::new(Mutex::new(Engine::new(config)));
+    let writers: Arc<Mutex<HashMap<usize, UnixStream>>> = Arc::new(Mutex::new(HashMap::new()));
+    let mut next_conn = 0usize;
+
+    loop {
+        if term.load(Ordering::Relaxed) {
+            break;
+        }
+        if engine.lock().expect("engine lock").is_shutting_down() {
+            break;
+        }
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                let conn = next_conn;
+                next_conn += 1;
+                writers
+                    .lock()
+                    .expect("writers lock")
+                    .insert(conn, stream.try_clone()?);
+                let engine = Arc::clone(&engine);
+                let writers = Arc::clone(&writers);
+                std::thread::spawn(move || {
+                    let reader = BufReader::new(stream);
+                    for line in reader.lines() {
+                        let Ok(line) = line else { break };
+                        let responses =
+                            engine.lock().expect("engine lock").handle_line(conn, &line);
+                        route(&writers, responses);
+                    }
+                    writers.lock().expect("writers lock").remove(&conn);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_millis(50));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+
+    // Graceful drain: answer everything accepted before we stop.
+    let responses = engine.lock().expect("engine lock").drain();
+    route(&writers, responses);
+    let _ = std::fs::remove_file(path);
+    Ok(())
+}
+
+/// Writes each response to its connection's stream; connections that
+/// went away simply miss their reply (the daemon must not die for a
+/// disconnected client).
+#[cfg(unix)]
+fn route(
+    writers: &Arc<Mutex<std::collections::HashMap<usize, std::os::unix::net::UnixStream>>>,
+    responses: Vec<(usize, String)>,
+) {
+    let mut writers = writers.lock().expect("writers lock");
+    for (conn, response) in responses {
+        if let Some(stream) = writers.get_mut(&conn) {
+            let _ = writeln!(stream, "{response}");
+            let _ = stream.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stdio_drains_deferred_requests_at_eof() {
+        let input = concat!(
+            r#"{"id":1,"op":"stats","defer":true}"#,
+            "\n",
+            r#"{"id":2,"op":"stats","defer":true}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        serve_stdio(input.as_bytes(), &mut out, ServerConfig::default()).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        assert_eq!(out.lines().count(), 2, "EOF answered both deferred requests");
+    }
+
+    #[test]
+    fn stdio_stops_after_shutdown_reply() {
+        let input = concat!(
+            r#"{"id":1,"op":"shutdown"}"#,
+            "\n",
+            r#"{"id":2,"op":"stats"}"#,
+            "\n",
+        );
+        let mut out = Vec::new();
+        serve_stdio(input.as_bytes(), &mut out, ServerConfig::default()).unwrap();
+        let out = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = out.lines().collect();
+        assert_eq!(lines.len(), 1, "nothing is read past shutdown");
+        let reply: serde_json::Value = serde_json::from_str(lines[0]).unwrap();
+        assert_eq!(reply["id"].as_i64(), Some(1));
+        assert_eq!(reply["ok"].as_bool(), Some(true));
+    }
+
+    #[cfg(unix)]
+    #[test]
+    fn unix_socket_round_trip_and_shutdown() {
+        let dir = std::env::temp_dir().join(format!("rid-serve-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("rid.sock");
+        let server_path = path.clone();
+        let handle = std::thread::spawn(move || {
+            serve_unix(&server_path, ServerConfig::default()).unwrap();
+        });
+        // Wait for the socket to appear, then talk to it.
+        let mut client = None;
+        for _ in 0..200 {
+            match crate::client::Client::connect(&path) {
+                Ok(c) => {
+                    client = Some(c);
+                    break;
+                }
+                Err(_) => std::thread::sleep(std::time::Duration::from_millis(10)),
+            }
+        }
+        let mut client = client.expect("daemon came up");
+        let reply = client.roundtrip(r#"{"id":1,"op":"stats"}"#).unwrap();
+        let reply: serde_json::Value = serde_json::from_str(&reply).unwrap();
+        assert_eq!(reply["ok"].as_bool(), Some(true));
+        let bye = client.roundtrip(r#"{"id":2,"op":"shutdown"}"#).unwrap();
+        let bye: serde_json::Value = serde_json::from_str(&bye).unwrap();
+        assert_eq!(bye["id"].as_i64(), Some(2));
+        handle.join().unwrap();
+        assert!(!path.exists(), "socket removed on exit");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

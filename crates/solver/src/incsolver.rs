@@ -28,7 +28,8 @@ use crate::lit::Lit;
 use crate::sat::{DiffSystem, SatOptions};
 
 /// An incrementally maintained difference-logic solver: a closed
-/// [`DiffSystem`] that accepts literals one at a time and answers
+/// difference system (the private `DiffSystem`) that accepts literals
+/// one at a time and answers
 /// satisfiability of everything pushed so far.
 ///
 /// # Examples

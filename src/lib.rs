@@ -20,6 +20,7 @@
 //! | [`obs`] | span tracing, metrics registry, profiling aggregation |
 //! | [`corpus`] | seeded synthetic kernel / Python-C corpora with ground truth |
 //! | [`baseline`] | a Cpychecker-style escape-rule checker (Table 2's comparator) |
+//! | [`serve`] | the batched, incremental analysis daemon (`rid serve`) |
 //!
 //! ## Quickstart
 //!
@@ -48,6 +49,7 @@
 //! paper-versus-measured record of every table and figure.
 
 #![forbid(unsafe_code)]
+#![warn(missing_docs)]
 
 pub use rid_baseline as baseline;
 pub use rid_core as core;
@@ -55,4 +57,5 @@ pub use rid_corpus as corpus;
 pub use rid_frontend as frontend;
 pub use rid_ir as ir;
 pub use rid_obs as obs;
+pub use rid_serve as serve;
 pub use rid_solver as solver;

@@ -1,0 +1,270 @@
+//! Daemon acceptance suite, driven end-to-end through the `--stdio`
+//! transport: batch coalescing pinned by an obs span census, the
+//! affected-cone contract of `patch` pinned against
+//! [`incremental::affected_functions`], per-request deadlines surfacing
+//! as degraded envelopes, and graceful shutdown draining every accepted
+//! request.
+//!
+//! Tracing state is process-global, so every test here serializes on one
+//! mutex (like `tests/obs.rs`) — a concurrently tracing test in the same
+//! binary would leak spans into the census.
+
+use std::collections::BTreeSet;
+use std::sync::{Mutex, MutexGuard};
+
+use rid::core::incremental::affected_functions;
+use rid::core::CallGraph;
+use rid::obs::{trace, SpanKind};
+use rid::serve::{serve_stdio, Engine, ServerConfig};
+use serde_json::Value;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Three refcount-relevant functions in a chain (`top` → `mid` →
+/// `leaf`) plus one function outside the chain, split over two modules
+/// so a patch crosses module boundaries.
+const MOD_A: &str = r#"module a;
+fn leaf(dev) {
+    let ret = pm_runtime_get_sync(dev);
+    if (ret < 0) { return ret; }
+    pm_runtime_put(dev);
+    return 0;
+}
+fn mid(dev) {
+    let r = leaf(dev);
+    pm_runtime_get_sync(dev);
+    pm_runtime_put(dev);
+    return r;
+}"#;
+
+const MOD_B: &str = r#"module b;
+fn top(dev) {
+    let r = mid(dev);
+    pm_runtime_get_sync(dev);
+    pm_runtime_put(dev);
+    return r;
+}
+fn other(dev) {
+    pm_runtime_get_sync(dev);
+    pm_runtime_put(dev);
+    return 0;
+}"#;
+
+/// `leaf` with a different (still clean) body — a real change.
+const MOD_A_EDIT: &str = r#"module a;
+fn leaf(dev) {
+    let ret = pm_runtime_get_sync(dev);
+    if (ret < 0) { pm_runtime_put_noidle(dev); return ret; }
+    pm_runtime_put(dev);
+    return 0;
+}
+fn mid(dev) {
+    let r = leaf(dev);
+    pm_runtime_get_sync(dev);
+    pm_runtime_put(dev);
+    return r;
+}"#;
+
+fn line(value: Value) -> String {
+    serde_json::to_string(&value).unwrap()
+}
+
+fn parse(response: &str) -> Value {
+    serde_json::from_str(response).expect("daemon emits valid JSON lines")
+}
+
+/// Feeds `lines` through the stdio transport and returns the parsed
+/// response lines in order.
+fn run_stdio(lines: &[String]) -> Vec<Value> {
+    let input = format!("{}\n", lines.join("\n"));
+    let mut output = Vec::new();
+    serve_stdio(std::io::Cursor::new(input), &mut output, ServerConfig::default())
+        .expect("stdio serve loop");
+    String::from_utf8(output).unwrap().lines().map(parse).collect()
+}
+
+fn register_line(id: u64) -> String {
+    line(serde_json::json!({
+        "id": id, "op": "register", "project": "p",
+        "sources": serde_json::json!({ "a.ril": MOD_A, "b.ril": MOD_B }),
+    }))
+}
+
+fn by_id(responses: &[Value], id: u64) -> &Value {
+    responses
+        .iter()
+        .find(|r| r["id"].as_u64() == Some(id))
+        .unwrap_or_else(|| panic!("no response with id {id}"))
+}
+
+/// Two deferred overlapping patches coalesce into ONE driver run — there
+/// is exactly one `serve.patch` span and its value is the batch size —
+/// and that run re-executes exactly the affected cone: the span census
+/// counts one `exec` per function of the initial analyze plus one per
+/// re-executed function of the patch, nothing more.
+#[test]
+fn coalesced_patches_cost_one_run_over_the_affected_cone() {
+    let _g = lock();
+    trace::enable(trace::DEFAULT_CAPACITY);
+    let responses = run_stdio(&[
+        register_line(1),
+        line(serde_json::json!({ "id": 2, "op": "analyze", "project": "p" })),
+        // Two patches to the same module, deferred so they queue; the
+        // second (a.ril back to a *new* edit) wins the merge.
+        line(serde_json::json!({
+            "id": 3, "op": "patch", "project": "p", "defer": true,
+            "sources": serde_json::json!({ "a.ril": MOD_A_EDIT }),
+        })),
+        line(serde_json::json!({
+            "id": 4, "op": "patch", "project": "p", "defer": true,
+            "sources": serde_json::json!({ "a.ril": MOD_A_EDIT }),
+        })),
+        line(serde_json::json!({ "id": 5, "op": "stats" })),
+    ]);
+    trace::disable();
+    let trace = trace::drain();
+
+    // Both coalesced requests got the shared result.
+    for id in [3, 4] {
+        let reply = by_id(&responses, id);
+        assert_eq!(reply["ok"].as_bool(), Some(true), "{reply}");
+        assert_eq!(reply["result"]["batched"].as_u64(), Some(2));
+        assert_eq!(reply["result"]["changed"][0].as_str(), Some("leaf"));
+    }
+    let stats = by_id(&responses, 5);
+    assert_eq!(stats["result"]["server"]["coalesced"].as_u64(), Some(1));
+
+    // Census: one patch span for two requests, batch size recorded.
+    let patch_spans: Vec<_> = trace
+        .events
+        .iter()
+        .filter(|e| e.kind == SpanKind::Serve && e.name == "patch:p")
+        .collect();
+    assert_eq!(patch_spans.len(), 1, "two coalesced patches must cost one driver run");
+    assert_eq!(patch_spans[0].value, 2, "span value records the batch size");
+
+    // Census: the session's exec count is exactly (initial analyze) +
+    // (patch re-execution of the affected cone).
+    let analyzed = by_id(&responses, 2)["result"]["functions_analyzed"]
+        .as_u64()
+        .expect("analyze reports functions_analyzed");
+    let reexecuted = by_id(&responses, 3)["result"]["reexecuted"]
+        .as_u64()
+        .expect("patch reports reexecuted");
+    let execs =
+        trace.events.iter().filter(|e| e.kind == SpanKind::Exec).count() as u64;
+    assert_eq!(
+        execs,
+        analyzed + reexecuted,
+        "patch must re-execute only the affected cone (no hidden full run)"
+    );
+}
+
+/// The `affected` list in a patch response is exactly
+/// `incremental::affected_functions` of the post-edit program — the
+/// changed function plus its transitive callers, across modules.
+#[test]
+fn patch_affected_set_matches_incremental_contract() {
+    let _g = lock();
+    let responses = run_stdio(&[
+        register_line(1),
+        line(serde_json::json!({ "id": 2, "op": "analyze", "project": "p" })),
+        line(serde_json::json!({
+            "id": 3, "op": "patch", "project": "p",
+            "sources": serde_json::json!({ "a.ril": MOD_A_EDIT }),
+        })),
+    ]);
+    let reply = by_id(&responses, 3);
+    assert_eq!(reply["ok"].as_bool(), Some(true), "{reply}");
+
+    let program = rid::frontend::parse_program([MOD_A_EDIT, MOD_B]).unwrap();
+    let graph = CallGraph::build(&program);
+    let expected: BTreeSet<String> =
+        affected_functions(&graph, &["leaf"]).into_iter().collect();
+    assert_eq!(
+        expected,
+        ["leaf", "mid", "top"].map(str::to_owned).into(),
+        "fixture sanity: the chain is the cone"
+    );
+
+    let affected: BTreeSet<String> = reply["result"]["affected"]
+        .as_array()
+        .expect("affected list")
+        .iter()
+        .map(|v| v.as_str().unwrap().to_owned())
+        .collect();
+    assert_eq!(affected, expected);
+    let reexecuted = reply["result"]["reexecuted"].as_u64().unwrap();
+    assert_eq!(reexecuted, 3, "every function of the cone is refcount-relevant");
+}
+
+/// A request deadline of zero cannot be met; the run still answers
+/// `ok`, but every analyzed function is surfaced in the response's
+/// `degraded` array rather than silently dropped.
+#[test]
+fn exceeded_deadline_surfaces_degraded_envelope() {
+    let _g = lock();
+    let responses = run_stdio(&[
+        register_line(1),
+        line(serde_json::json!({
+            "id": 2, "op": "analyze", "project": "p", "deadline_ms": 0,
+        })),
+    ]);
+    let reply = by_id(&responses, 2);
+    assert_eq!(reply["ok"].as_bool(), Some(true), "{reply}");
+    let degraded = reply["degraded"].as_array().expect("degraded array");
+    assert!(!degraded.is_empty(), "an instant deadline must degrade the run");
+    for entry in degraded {
+        assert!(entry["function"].as_str().is_some());
+        assert!(entry["reason"].as_str().is_some());
+    }
+    // A later run without a deadline is unaffected (degradation is
+    // per-request, not sticky project state).
+    let responses = run_stdio(&[
+        register_line(1),
+        line(serde_json::json!({ "id": 2, "op": "analyze", "project": "p" })),
+    ]);
+    let clean = by_id(&responses, 2);
+    assert_eq!(clean["degraded"].as_array().map(Vec::len), Some(0), "{clean}");
+}
+
+/// Shutdown drains: every request accepted before the shutdown —
+/// including deferred ones still sitting in the queue — is answered,
+/// and the shutdown reply comes last and counts them. Input after the
+/// shutdown line is never read by the stdio transport (the connection
+/// is closed); a request reaching a draining engine by another route is
+/// rejected explicitly rather than silently dropped.
+#[test]
+fn shutdown_answers_every_accepted_request() {
+    let _g = lock();
+    let responses = run_stdio(&[
+        register_line(1),
+        line(serde_json::json!({ "id": 2, "op": "analyze", "project": "p", "defer": true })),
+        line(serde_json::json!({ "id": 3, "op": "stats", "defer": true })),
+        line(serde_json::json!({ "id": 4, "op": "shutdown" })),
+        // Never read: serve_stdio returns once the shutdown is answered.
+        line(serde_json::json!({ "id": 5, "op": "stats" })),
+    ]);
+    assert_eq!(responses.len(), 4, "everything up to the shutdown is answered");
+    assert_eq!(by_id(&responses, 2)["ok"].as_bool(), Some(true));
+    assert_eq!(by_id(&responses, 3)["ok"].as_bool(), Some(true));
+    let bye = by_id(&responses, 4);
+    assert_eq!(bye["ok"].as_bool(), Some(true));
+    assert_eq!(bye["result"]["drained"].as_u64(), Some(2));
+    // The shutdown reply is ordered after the drained work it counts.
+    let pos = |id: u64| responses.iter().position(|r| r["id"].as_u64() == Some(id)).unwrap();
+    assert!(pos(4) > pos(2) && pos(4) > pos(3));
+
+    // A request that does reach a draining engine (e.g. over another
+    // socket connection) is answered with an explicit error.
+    let mut engine: Engine<()> = Engine::new(ServerConfig::default());
+    engine.handle_line((), &line(serde_json::json!({ "id": 1, "op": "shutdown" })));
+    assert!(engine.is_shutting_down());
+    let late = engine.handle_line((), &line(serde_json::json!({ "id": 2, "op": "stats" })));
+    let late = parse(&late[0].1);
+    assert_eq!(late["ok"].as_bool(), Some(false));
+    assert_eq!(late["error"]["kind"].as_str(), Some("shutting-down"));
+}
