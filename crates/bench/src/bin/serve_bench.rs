@@ -15,9 +15,15 @@
 //!   cone (previous summaries reused), response serialization. Two
 //!   function variants alternate so every timed patch is a real change,
 //!   never a no-op.
+//! - **restore** — crash-safe startup: [`Engine::recover`] loading the
+//!   snapshotted corpus (binary module codec + summary cache + last
+//!   result) from `--state-dir`, measured in a separate daemon phase so
+//!   journaling never taxes the warm/patch paths above. The crash-safety
+//!   claim is that restore costs a fraction of the cold analyze it
+//!   replaces.
 //!
 //! The record is patched into the `serve` slot of `BENCH_perf.json`
-//! (schema `rid-bench-perf/v4`, written by the `perf` binary) so CI
+//! (schema `rid-bench-perf/v5`, written by the `perf` binary) so CI
 //! validates both sections together; `--out` overrides the path.
 //!
 //! ```text
@@ -140,8 +146,48 @@ fn main() {
         }
     }
 
+    // Restore: a *separate* durable daemon (journaled appends would tax
+    // the timed patch round-trips above) snapshots the same resident
+    // corpus, then crash-safe startup is timed from the snapshot files.
+    eprintln!("restore runs...");
+    let state_dir = std::env::temp_dir().join(format!("rid-serve-bench-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&state_dir);
+    let durable = || ServerConfig {
+        state_dir: Some(state_dir.clone()),
+        ..ServerConfig::default()
+    };
+    let (snapshot_s, snapshot_bytes) = {
+        let mut durable_engine: Engine<()> = Engine::recover(durable()).expect("state dir usable");
+        let mut register = Request::new(1, "register", "bench");
+        register.sources = sources.iter().cloned().collect();
+        response_value(&durable_engine.handle_line((), &register.to_line()));
+        response_value(&durable_engine.handle_line((), &Request::new(2, "analyze", "bench").to_line()));
+        let line = Request::new(3, "snapshot", "bench").to_line();
+        let start = Instant::now();
+        let replies = durable_engine.handle_line((), &line);
+        let snapshot_s = start.elapsed().as_secs_f64();
+        let value = response_value(&replies);
+        let bytes = value["result"]["bytes"].as_u64().expect("snapshot bytes") as usize;
+        // Dropped without shutdown: the crash the restore recovers from.
+        (snapshot_s, bytes)
+    };
+    let mut restore_s = f64::INFINITY;
+    for _ in 0..iters.max(1) {
+        let start = Instant::now();
+        let mut restored: Engine<()> = Engine::recover(durable()).expect("restore succeeds");
+        restore_s = restore_s.min(start.elapsed().as_secs_f64());
+        let stats = response_value(&restored.handle_line((), &Request::new(4, "stats", "").to_line()));
+        assert_eq!(
+            stats["result"]["projects"]["bench"]["functions"].as_u64(),
+            Some(functions as u64),
+            "restore must bring back the whole corpus"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&state_dir);
+
     let patch_speedup = cold_s / patch_s.max(1e-9);
     let warm_speedup = cold_s / warm_s.max(1e-9);
+    let restore_speedup = cold_s / restore_s.max(1e-9);
     println!(
         "serve latency (scale {scale}, {functions} functions, min of {} runs):",
         iters.max(1)
@@ -151,6 +197,10 @@ fn main() {
     println!(
         "  daemon patch  : {patch_s:.3}s   ({patch_speedup:.1}x; {affected} affected, \
          {reexecuted} re-executed)"
+    );
+    println!(
+        "  restore       : {restore_s:.3}s   ({restore_speedup:.1}x vs cold; \
+         snapshot {snapshot_s:.3}s, {snapshot_bytes} bytes)"
     );
 
     let record = serde_json::json!({
@@ -164,6 +214,10 @@ fn main() {
         "patch_speedup_vs_cold": patch_speedup,
         "patch_affected": affected,
         "patch_reexecuted": reexecuted,
+        "snapshot_s": snapshot_s,
+        "snapshot_bytes": snapshot_bytes,
+        "restore_s": restore_s,
+        "restore_speedup_vs_cold": restore_speedup,
     });
 
     // Patch the record into the baseline the `perf` binary maintains;
@@ -180,11 +234,11 @@ fn main() {
                 pairs.push(("serve".to_owned(), record));
             }
             if let Some(schema) = pairs.iter_mut().find(|(k, _)| k == "schema") {
-                schema.1 = Value::Str("rid-bench-perf/v4".to_owned());
+                schema.1 = Value::Str("rid-bench-perf/v5".to_owned());
             }
             Value::Map(pairs)
         }
-        _ => serde_json::json!({ "schema": "rid-bench-perf/v4", "serve": record }),
+        _ => serde_json::json!({ "schema": "rid-bench-perf/v5", "serve": record }),
     };
     std::fs::write(&out, serde_json::to_string(&updated).expect("baseline serializes"))
         .expect("baseline written");

@@ -63,9 +63,12 @@ fn usage() -> ExitCode {
   rid recheck <file.ril>... --state s.json --changed f,g [--save-state s.json]
   rid mine <file.ril>... [--field refs] [--save-summaries out.json]
   rid gen-kernel [--seed N] [--tiny] --out <dir>
-  rid serve --socket <path> [--queue-cap N]   (or --stdio)
+  rid serve --socket <path> [--queue-cap N] [--state-dir <dir>]
+            [--max-frame-bytes N] [--chaos-seed N]
+            [--chaos-torn-rate R] [--chaos-fsync-rate R]   (or --stdio)
   rid client --socket <path> --op <op> [--project p] [<file.ril>...]
-             [--function <name>] [--deadline-ms N]"
+             [--function <name>] [--deadline-ms N] [--idem <key>]
+             [--retries N] [--retry-base-ms N] [--timeout-ms N]"
     );
     ExitCode::from(EXIT_FATAL)
 }
@@ -518,16 +521,23 @@ fn cmd_gen_kernel(args: &Args) -> Result<(), String> {
 /// until SIGTERM/SIGINT or a `shutdown` request, draining the queue
 /// before exit.
 fn cmd_serve(args: &Args) -> Result<u8, String> {
+    fn parsed<T: std::str::FromStr>(args: &Args, name: &str, what: &str) -> Result<Option<T>, String> {
+        args.options
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("--{name} expects {what}, got `{v}`")))
+            .transpose()
+    }
+    let defaults = rid_serve::ServerConfig::default();
     let config = rid_serve::ServerConfig {
-        queue_cap: args
-            .options
-            .get("queue-cap")
-            .map(|v| {
-                v.parse()
-                    .map_err(|_| format!("--queue-cap expects a number, got `{v}`"))
-            })
-            .transpose()?
-            .unwrap_or(rid_serve::ServerConfig::default().queue_cap),
+        queue_cap: parsed(args, "queue-cap", "a number")?.unwrap_or(defaults.queue_cap),
+        state_dir: args.options.get("state-dir").map(PathBuf::from),
+        max_frame_bytes: parsed(args, "max-frame-bytes", "a byte count")?
+            .unwrap_or(defaults.max_frame_bytes),
+        fault: rid_serve::ServeFaultPlan {
+            seed: parsed(args, "chaos-seed", "a number")?.unwrap_or(0),
+            torn_journal_rate: parsed(args, "chaos-torn-rate", "a rate in [0,1]")?.unwrap_or(0.0),
+            fsync_fail_rate: parsed(args, "chaos-fsync-rate", "a rate in [0,1]")?.unwrap_or(0.0),
+        },
     };
     if args.flags.iter().any(|f| f == "stdio") {
         let stdin = std::io::stdin();
@@ -564,7 +574,8 @@ fn cmd_client(args: &Args) -> Result<u8, String> {
         .get("socket")
         .ok_or_else(|| "--socket <path> is required".to_owned())?;
     let op = args.options.get("op").ok_or_else(|| {
-        "--op <register|analyze|patch|explain|stats|shutdown> is required".to_owned()
+        "--op <register|analyze|patch|explain|stats|ping|snapshot|shutdown> is required"
+            .to_owned()
     })?;
     let project = args.options.get("project").cloned().unwrap_or_default();
     let mut request = rid_serve::Request::new(1, op, &project);
@@ -586,11 +597,36 @@ fn cmd_client(args: &Args) -> Result<u8, String> {
                 .map_err(|_| format!("--deadline-ms expects milliseconds, got `{v}`"))
         })
         .transpose()?;
+    request.idem = args.options.get("idem").cloned();
+    let parse_u64 = |name: &str| -> Result<Option<u64>, String> {
+        args.options
+            .get(name)
+            .map(|v| v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`")))
+            .transpose()
+    };
+    let retries = parse_u64("retries")?;
+    let retry_base_ms = parse_u64("retry-base-ms")?;
+    let timeout_ms = parse_u64("timeout-ms")?;
     #[cfg(unix)]
     {
-        let mut client =
-            rid_serve::Client::connect(Path::new(socket)).map_err(|e| format!("{socket}: {e}"))?;
-        let response = client.request(&request).map_err(|e| e.to_string())?;
+        let timeout = timeout_ms.map(std::time::Duration::from_millis);
+        let mut client = rid_serve::Client::connect_with(Path::new(socket), timeout)
+            .map_err(|e| format!("{socket}: {e}"))?;
+        // Any resilience option opts into the retrying path; a bare
+        // `rid client` keeps the one-shot fail-fast behavior.
+        let resilient = retries.is_some() || retry_base_ms.is_some() || timeout_ms.is_some();
+        let response = if resilient {
+            let defaults = rid_serve::RetryPolicy::default();
+            let policy = rid_serve::RetryPolicy {
+                retries: retries.map_or(defaults.retries, |n| n as u32),
+                base_ms: retry_base_ms.unwrap_or(defaults.base_ms),
+                timeout_ms,
+                ..defaults
+            };
+            client.request_retrying(&request, &policy).map_err(|e| e.to_string())?
+        } else {
+            client.request(&request).map_err(|e| e.to_string())?
+        };
         println!("{response}");
         let value: serde_json::Value =
             serde_json::from_str(&response).map_err(|e| e.to_string())?;

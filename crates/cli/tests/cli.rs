@@ -364,3 +364,116 @@ fn bad_usage_exits_3() {
         .unwrap();
     assert_eq!(output.status.code(), Some(3), "unparsable budget flag is fatal");
 }
+
+/// The chaos smoke path from the CI pipeline, run in-process: start the
+/// daemon on a socket with `--state-dir`, register and analyze a
+/// project, snapshot, apply a post-snapshot patch (journal-only state),
+/// then SIGKILL the daemon and restart it on the same state dir. The
+/// restarted daemon must report per-project stats identical to the
+/// pre-crash reference without any re-registration.
+#[cfg(unix)]
+#[test]
+fn serve_state_dir_survives_kill_nine() {
+    let dir = tempdir("kill9");
+    let state = dir.join("state");
+    let socket = dir.join("rid.sock");
+    let fig8 = write(&dir, "radeon.ril", FIG8);
+    let clean = write(&dir, "clean.ril", CLEAN);
+    // The patch: same file key as the registered `clean.ril`, new body.
+    let edit_dir = tempdir("kill9-edit");
+    let clean_edit = write(
+        &edit_dir,
+        "clean.ril",
+        r#"module clean;
+fn balanced(dev) {
+    let r = pm_runtime_get_sync(dev);
+    if (r < 0) { return r; }
+    pm_runtime_put(dev);
+    return 0;
+}"#,
+    );
+
+    let spawn_daemon = || {
+        rid()
+            .args([
+                "serve",
+                "--socket",
+                socket.to_str().unwrap(),
+                "--state-dir",
+                state.to_str().unwrap(),
+            ])
+            .stdout(std::process::Stdio::null())
+            .stderr(std::process::Stdio::null())
+            .spawn()
+            .unwrap()
+    };
+    // The socket file may be a stale leftover from the killed daemon,
+    // so readiness means a `ping` actually answers, not that the path
+    // exists.
+    let client = |extra: &[&str]| -> Output {
+        let mut cmd = rid();
+        cmd.args(["client", "--socket", socket.to_str().unwrap()]);
+        cmd.args(extra);
+        cmd.output().unwrap()
+    };
+    let wait_ready = || {
+        for _ in 0..600 {
+            let output = client(&["--op", "ping"]);
+            if output.status.code() == Some(0) {
+                return;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(10));
+        }
+        panic!("daemon never answered ping on {}", socket.display());
+    };
+
+    let mut daemon = spawn_daemon();
+    wait_ready();
+    let output = client(&[
+        "--op",
+        "register",
+        "--project",
+        "p",
+        fig8.to_str().unwrap(),
+        clean.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stdout(&output));
+    let output = client(&["--op", "analyze", "--project", "p"]);
+    assert_eq!(output.status.code(), Some(1), "FIG8 leak found: {}", stdout(&output));
+    let output = client(&["--op", "snapshot"]);
+    assert_eq!(output.status.code(), Some(0), "{}", stdout(&output));
+    let output = client(&["--op", "patch", "--project", "p", clean_edit.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(1), "leak still present: {}", stdout(&output));
+    let output = client(&["--op", "stats"]);
+    assert_eq!(output.status.code(), Some(0), "{}", stdout(&output));
+    let reference: serde_json::Value = serde_json::from_str(stdout(&output).trim()).unwrap();
+
+    // kill -9: no drain, no shutdown snapshot, no goodbye.
+    daemon.kill().unwrap();
+    daemon.wait().unwrap();
+
+    let mut daemon = spawn_daemon();
+    wait_ready();
+    let output = client(&["--op", "stats", "--retries", "3"]);
+    assert_eq!(output.status.code(), Some(0), "{}", stdout(&output));
+    let restored: serde_json::Value = serde_json::from_str(stdout(&output).trim()).unwrap();
+    assert_eq!(
+        serde_json::to_string(&restored["result"]["projects"]).unwrap(),
+        serde_json::to_string(&reference["result"]["projects"]).unwrap(),
+        "restored project stats equal the pre-crash reference"
+    );
+    assert_eq!(
+        restored["result"]["server"]["restored_projects"].as_i64(),
+        Some(1),
+        "the project came back from the snapshot, not re-registration"
+    );
+    assert!(
+        restored["result"]["server"]["replayed_entries"].as_i64().unwrap_or(0) >= 1,
+        "the post-snapshot patch came back from the journal: {restored}"
+    );
+
+    let output = client(&["--op", "shutdown"]);
+    assert_eq!(output.status.code(), Some(0), "{}", stdout(&output));
+    let status = daemon.wait().unwrap();
+    assert!(status.success(), "daemon drains and exits cleanly after shutdown");
+}

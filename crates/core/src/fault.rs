@@ -39,8 +39,11 @@ pub struct FaultPlan {
 }
 
 /// FNV-1a over the seed and the function name: stable across runs,
-/// platforms, and thread schedules.
-fn selection_hash(seed: u64, name: &str) -> u64 {
+/// platforms, and thread schedules. Public so other fault planes (e.g.
+/// `rid-serve`'s `ServeFaultPlan`) select their victims with the exact
+/// same deterministic recipe.
+#[must_use]
+pub fn selection_hash(seed: u64, name: &str) -> u64 {
     let mut hash = 0xcbf2_9ce4_8422_2325u64 ^ seed.wrapping_mul(0x9e37_79b9_7f4a_7c15);
     for byte in name.bytes() {
         hash ^= u64::from(byte);
@@ -49,7 +52,12 @@ fn selection_hash(seed: u64, name: &str) -> u64 {
     hash
 }
 
-fn rate_selects(seed: u64, salt: u64, name: &str, rate: f64) -> bool {
+/// Whether the deterministic selector picks `name` at the given `rate`
+/// under `(seed, salt)`. Rates ≤ 0 select nothing; rates ≥ 1 select
+/// everything; in between, the seeded hash of the name is mapped to
+/// [0, 1) and compared against the rate.
+#[must_use]
+pub fn rate_selects(seed: u64, salt: u64, name: &str, rate: f64) -> bool {
     if rate <= 0.0 {
         return false;
     }

@@ -131,6 +131,26 @@ impl CallerIndex {
         let affected = self.affected(changed);
         ReanalyzePlan::for_affected(program, affected)
     }
+
+    /// The call edges as a deterministic callee-sorted list — the
+    /// serialization surface `rid serve` snapshots use, so a restored
+    /// daemon rebuilds the index by insertion instead of re-walking
+    /// every function body in the program.
+    #[must_use]
+    pub fn edges(&self) -> Vec<(&str, &BTreeSet<String>)> {
+        let mut edges: Vec<(&str, &BTreeSet<String>)> =
+            self.callers.iter().map(|(callee, callers)| (callee.as_str(), callers)).collect();
+        edges.sort_unstable_by_key(|(callee, _)| *callee);
+        edges
+    }
+
+    /// Rebuilds an index from the pairs [`edges`](CallerIndex::edges)
+    /// produced. Empty caller sets are dropped, matching the invariant
+    /// [`remove_function`](CallerIndex::remove_function) maintains.
+    pub fn from_edges(edges: impl IntoIterator<Item = (String, BTreeSet<String>)>) -> CallerIndex {
+        let callers = edges.into_iter().filter(|(_, callers)| !callers.is_empty()).collect();
+        CallerIndex { callers }
+    }
 }
 
 /// What an incremental pass must redo: see [`CallerIndex::plan`].

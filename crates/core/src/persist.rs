@@ -10,12 +10,54 @@
 use std::collections::HashMap;
 use std::fs;
 use std::io;
+use std::io::Write as _;
 use std::path::Path;
 
 use rid_ir::{Module, Program};
 
 use crate::driver::{analyze_program, AnalysisOptions, AnalysisResult};
 use crate::summary::SummaryDb;
+
+/// Writes `bytes` to `path` atomically: data goes to a temporary sibling
+/// first, is fsynced, and is renamed over `path`; finally the containing
+/// directory is fsynced so the rename itself survives a power cut. A
+/// crash at any point leaves either the old file or the new file —
+/// never a torn mix — which is the invariant `rid serve --state-dir`
+/// snapshots depend on.
+///
+/// # Errors
+///
+/// Returns an I/O error if the temporary cannot be written, synced, or
+/// renamed; the temporary is removed on failure.
+pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let file_name = path
+        .file_name()
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "path has no file name"))?;
+    let dir = match path.parent() {
+        Some(parent) if !parent.as_os_str().is_empty() => parent.to_path_buf(),
+        _ => std::path::PathBuf::from("."),
+    };
+    // Process id in the name keeps two daemons snapshotting into the
+    // same directory from clobbering each other's in-flight temp file.
+    let tmp = dir.join(format!(".{}.{}.tmp", file_name.to_string_lossy(), std::process::id()));
+    let result = (|| {
+        let mut file = fs::File::create(&tmp)?;
+        file.write_all(bytes)?;
+        file.sync_all()?;
+        fs::rename(&tmp, path)
+    })();
+    if result.is_err() {
+        let _ = fs::remove_file(&tmp);
+        return result;
+    }
+    // Rename durability: fsync the directory. Not all filesystems allow
+    // opening a directory for sync; degrade silently there (the rename
+    // is still atomic, just not yet durable).
+    if let Ok(dirfd) = fs::File::open(&dir) {
+        let _ = dirfd.sync_all();
+    }
+    Ok(())
+}
 
 /// Saves a summary database as JSON.
 ///
@@ -25,7 +67,7 @@ use crate::summary::SummaryDb;
 pub fn save_db(db: &SummaryDb, path: &Path) -> io::Result<()> {
     let json = serde_json::to_string_pretty(db)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(path, json)
+    atomic_write(path, json.as_bytes())
 }
 
 /// Loads a summary database saved by [`save_db`].
@@ -88,7 +130,7 @@ pub fn save_state(result: &AnalysisResult, path: &Path) -> io::Result<()> {
     let state = AnalysisState::from(result);
     let json = serde_json::to_string(&state)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(path, json)
+    atomic_write(path, json.as_bytes())
 }
 
 /// Loads an analysis state saved by [`save_state`].
@@ -111,7 +153,7 @@ pub fn load_state(path: &Path) -> io::Result<AnalysisResult> {
 pub fn save_cache(cache: &crate::cache::SummaryCache, path: &Path) -> io::Result<()> {
     let json = serde_json::to_string(cache)
         .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
-    fs::write(path, json)
+    atomic_write(path, json.as_bytes())
 }
 
 /// Loads a summary cache saved by [`save_cache`].
@@ -497,6 +539,27 @@ mod tests {
             .replace(crate::cache::CACHE_SCHEMA, "rid-summary-cache/v0");
         std::fs::write(&path, json).unwrap();
         assert!(load_cache(&path).is_err());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn atomic_write_replaces_and_cleans_up() {
+        let dir = std::env::temp_dir().join("rid-atomic-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("target.json");
+        atomic_write(&path, b"first").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"first");
+        atomic_write(&path, b"second").unwrap();
+        assert_eq!(std::fs::read(&path).unwrap(), b"second");
+        // No temp files survive a successful write.
+        let leftovers: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(Result::ok)
+            .filter(|e| e.file_name().to_string_lossy().ends_with(".tmp"))
+            .collect();
+        assert!(leftovers.is_empty(), "stray temp files: {leftovers:?}");
+        // A path with no file name is rejected, not panicked on.
+        assert!(atomic_write(Path::new("/"), b"x").is_err());
         std::fs::remove_file(&path).ok();
     }
 

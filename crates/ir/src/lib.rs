@@ -49,6 +49,7 @@
 
 mod build;
 mod cfg;
+pub mod codec;
 mod display;
 mod dom;
 mod func;
@@ -58,6 +59,7 @@ mod pred;
 mod validate;
 
 pub use build::FunctionBuilder;
+pub use codec::{decode_modules, decode_modules_trusted, encode_modules, CodecError};
 pub use cfg::Cfg;
 pub use dom::{control_dependencies, dominators, post_dominators, Dominators, PostDominators};
 pub use func::{BasicBlock, BlockId, Function, InstId, Terminator};

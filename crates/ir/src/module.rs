@@ -8,7 +8,7 @@ use crate::Function;
 /// A compilation unit: a named collection of function definitions plus the
 /// names of external functions it references (functions defined elsewhere
 /// or known only through predefined summaries, §5.1).
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Module {
     /// The module name (e.g. a source file path).
     pub name: String,
@@ -119,6 +119,16 @@ impl Program {
         Ok(p)
     }
 
+    /// Pre-sizes the program for a known load: `modules` more modules
+    /// holding `functions` more functions in total. Bulk callers that
+    /// link a whole snapshot or corpus at once avoid the incremental
+    /// rehash/regrow cost of the symbol index this way; purely an
+    /// allocation hint, never required for correctness.
+    pub fn reserve(&mut self, modules: usize, functions: usize) {
+        self.modules.reserve(modules);
+        self.index.reserve(functions);
+    }
+
     /// Links a module into the program (the §5.3 weak-symbol merge).
     ///
     /// # Errors
@@ -178,7 +188,7 @@ impl Program {
         // Patch those index entries directly instead of rebuilding the
         // whole index.
         if let Some(i) = position {
-            fn signature<'m>(m: &'m Module) -> Option<HashMap<&'m str, bool>> {
+            fn signature(m: &Module) -> Option<HashMap<&str, bool>> {
                 let sig: HashMap<&str, bool> =
                     m.functions().iter().map(|f| (f.name(), f.weak)).collect();
                 // A module with an internal duplicate name takes the

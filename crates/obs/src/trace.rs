@@ -27,9 +27,9 @@ use std::time::Instant;
 
 /// The categories of work the RID pipeline distinguishes.
 ///
-/// The first eight are *span* kinds — they bracket a region of wall
-/// clock. The last two are *instant* kinds — point events recording a
-/// degradation or an injected fault.
+/// All but the last two are *span* kinds — they bracket a region of
+/// wall clock. The last two are *instant* kinds — point events recording
+/// a degradation or an injected fault.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum SpanKind {
     /// Parsing + lowering RIL source onto the IR.
@@ -50,6 +50,15 @@ pub enum SpanKind {
     /// `rid serve` daemon; the value records how many client requests
     /// the execution answered (> 1 only for coalesced `patch` batches).
     Serve,
+    /// Serialization of one resident project to the daemon's state
+    /// directory; the value records the snapshot size in bytes.
+    Snapshot,
+    /// Rebuild of one resident project from a snapshot at daemon
+    /// startup; the value records the snapshot size in bytes.
+    Restore,
+    /// Replay of the write-ahead patch journal after a restore; the
+    /// value records how many journaled requests were re-applied.
+    JournalReplay,
     /// Instant event: a function degraded (budget, panic, retry…).
     Degrade,
     /// Instant event: the fault plan injected a fault.
@@ -68,13 +77,16 @@ impl SpanKind {
             SpanKind::CacheLookup => "cache-lookup",
             SpanKind::Steal => "steal",
             SpanKind::Serve => "serve",
+            SpanKind::Snapshot => "snapshot",
+            SpanKind::Restore => "restore",
+            SpanKind::JournalReplay => "journal-replay",
             SpanKind::Degrade => "degrade",
             SpanKind::Fault => "fault",
         }
     }
 
     /// All span kinds, in pipeline order.
-    pub fn all() -> [SpanKind; 10] {
+    pub fn all() -> [SpanKind; 13] {
         [
             SpanKind::Lower,
             SpanKind::Enumerate,
@@ -84,6 +96,9 @@ impl SpanKind {
             SpanKind::CacheLookup,
             SpanKind::Steal,
             SpanKind::Serve,
+            SpanKind::Snapshot,
+            SpanKind::Restore,
+            SpanKind::JournalReplay,
             SpanKind::Degrade,
             SpanKind::Fault,
         ]

@@ -1,24 +1,132 @@
 //! Thin line-oriented client for the Unix-socket daemon; `rid client`
 //! is a direct wrapper around it.
+//!
+//! Resilience lives here, not in the daemon: [`RetryPolicy`] gives
+//! requests bounded retries with deterministic jittered exponential
+//! backoff on *transient* failures (queue-full backpressure, a draining
+//! daemon, a reset connection), read timeouts so a wedged daemon cannot
+//! hang the client forever, and automatic idempotency keys so a retry
+//! after a lost reply is answered from the engine's memory instead of
+//! executing twice.
 
 use std::io::{self, BufRead, BufReader, Write};
+use std::time::Duration;
 
 use crate::protocol::Request;
+
+/// Bounded-retry configuration for [`Client::request_retrying`].
+#[derive(Clone, Copy, Debug)]
+pub struct RetryPolicy {
+    /// Retries after the first attempt (0 = one attempt, no retry).
+    pub retries: u32,
+    /// Backoff base in milliseconds; attempt `n` waits roughly
+    /// `base_ms << n`, jittered.
+    pub base_ms: u64,
+    /// Backoff ceiling in milliseconds.
+    pub max_ms: u64,
+    /// Per-read timeout; `None` blocks indefinitely.
+    pub timeout_ms: Option<u64>,
+    /// Seed for the deterministic jitter (and auto-generated
+    /// idempotency keys) — same seed, same delays, reproducible tests.
+    pub seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy { retries: 4, base_ms: 20, max_ms: 2_000, timeout_ms: None, seed: 0x5eed }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry `attempt` (0-based) of the request
+    /// salted by `salt` (typically the request id): exponential in the
+    /// attempt, clamped to `max_ms`, multiplied by a deterministic
+    /// jitter in [0.5, 1.5) so synchronized clients do not stampede a
+    /// recovering daemon in lockstep.
+    #[must_use]
+    pub fn backoff_ms(&self, attempt: u32, salt: u64) -> u64 {
+        let exp = self
+            .base_ms
+            .saturating_mul(1u64 << attempt.min(20))
+            .min(self.max_ms.max(1));
+        // xorshift64* on (seed, salt, attempt): cheap, deterministic,
+        // good enough for spreading retry instants.
+        let mut x = self
+            .seed
+            .wrapping_mul(0x9e37_79b9_7f4a_7c15)
+            .wrapping_add(salt)
+            .wrapping_add(u64::from(attempt) << 32)
+            | 1;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        let unit = (x.wrapping_mul(0x2545_f491_4f6c_dd1d) >> 11) as f64 / (1u64 << 53) as f64;
+        let jittered = exp as f64 * (0.5 + unit);
+        jittered as u64
+    }
+}
+
+/// Response error kinds that mean "try again later", not "you are
+/// wrong": the daemon is briefly full or going away and a healthy
+/// replacement (or a freed queue slot) will take the same request.
+fn transient_reply_kind(reply: &str) -> Option<String> {
+    let value: serde_json::Value = serde_json::from_str(reply).ok()?;
+    let kind = value["error"]["kind"].as_str()?;
+    matches!(kind, "backpressure" | "shutting-down" | "journal").then(|| kind.to_owned())
+}
+
+/// I/O failures worth a reconnect + retry: the connection died or the
+/// read timed out, neither of which condemns the request itself.
+fn transient_io(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::ConnectionReset
+            | io::ErrorKind::ConnectionAborted
+            | io::ErrorKind::ConnectionRefused
+            | io::ErrorKind::BrokenPipe
+            | io::ErrorKind::UnexpectedEof
+            | io::ErrorKind::NotFound
+            | io::ErrorKind::WouldBlock
+            | io::ErrorKind::TimedOut
+    )
+}
 
 /// A blocking, single-connection protocol client.
 #[cfg(unix)]
 pub struct Client {
     reader: BufReader<std::os::unix::net::UnixStream>,
     writer: std::os::unix::net::UnixStream,
+    path: std::path::PathBuf,
+    timeout: Option<Duration>,
+    /// Set when the transport failed mid-request; the next retrying
+    /// request reconnects before resending.
+    broken: bool,
 }
 
 #[cfg(unix)]
 impl Client {
     /// Connects to a daemon listening at `path`.
     pub fn connect(path: &std::path::Path) -> io::Result<Client> {
+        Client::connect_with(path, None)
+    }
+
+    /// [`Client::connect`] with a per-read timeout: a read that exceeds
+    /// it fails with a transient (retryable) error instead of blocking
+    /// forever on a wedged daemon.
+    pub fn connect_with(
+        path: &std::path::Path,
+        timeout: Option<Duration>,
+    ) -> io::Result<Client> {
         let stream = std::os::unix::net::UnixStream::connect(path)?;
+        stream.set_read_timeout(timeout)?;
         let writer = stream.try_clone()?;
-        Ok(Client { reader: BufReader::new(stream), writer })
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+            path: path.to_path_buf(),
+            timeout,
+            broken: false,
+        })
     }
 
     /// Sends one raw request line and blocks for the matching response
@@ -40,5 +148,124 @@ impl Client {
     /// Serializes `request` and performs a [`Client::roundtrip`].
     pub fn request(&mut self, request: &Request) -> io::Result<String> {
         self.roundtrip(&request.to_line())
+    }
+
+    /// One protocol `ping` round-trip — the liveness probe the daemon
+    /// answers inline even while draining or backlogged.
+    pub fn ping(&mut self, id: u64) -> io::Result<String> {
+        let mut request = Request::new(id, "ping", "");
+        request.project = String::new();
+        self.request(&request)
+    }
+
+    /// [`Client::request`] with bounded retry under `policy`.
+    ///
+    /// Transient failures — a `backpressure`/`shutting-down`/`journal`
+    /// error reply, a reset or closed connection, a read timeout — are
+    /// retried up to `policy.retries` times with jittered exponential
+    /// backoff, reconnecting when the transport died. Every attempt
+    /// resends the *identical* line with an idempotency key (one is
+    /// derived from the policy seed and request id when the caller did
+    /// not set one), so a request whose reply was lost in transit is
+    /// answered from the daemon's memory, never executed twice.
+    ///
+    /// Non-transient errors (usage, parse, unknown-project, analysis
+    /// failures) return immediately: retrying cannot fix a wrong
+    /// request.
+    pub fn request_retrying(
+        &mut self,
+        request: &Request,
+        policy: &RetryPolicy,
+    ) -> io::Result<String> {
+        let mut request = request.clone();
+        if request.idem.is_none() {
+            request.idem = Some(format!("idem-{:016x}-{}", policy.seed, request.id));
+        }
+        let line = request.to_line();
+        let mut last_err =
+            io::Error::other("request_retrying: no attempt made");
+        for attempt in 0..=policy.retries {
+            if attempt > 0 {
+                std::thread::sleep(Duration::from_millis(
+                    policy.backoff_ms(attempt - 1, request.id),
+                ));
+            }
+            if self.broken {
+                match Client::connect_with(&self.path, self.timeout) {
+                    Ok(fresh) => *self = fresh,
+                    Err(e) => {
+                        last_err = e;
+                        continue;
+                    }
+                }
+            }
+            match self.roundtrip(&line) {
+                Ok(reply) => match transient_reply_kind(&reply) {
+                    Some(kind) => {
+                        last_err = io::Error::new(
+                            io::ErrorKind::WouldBlock,
+                            format!("daemon answered `{kind}`; retrying"),
+                        );
+                    }
+                    None => return Ok(reply),
+                },
+                Err(e) if transient_io(&e) => {
+                    self.broken = true;
+                    last_err = e;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(io::Error::new(
+            last_err.kind(),
+            format!("request failed after {} attempts: {last_err}", policy.retries + 1),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_deterministic_bounded_and_growing() {
+        let policy = RetryPolicy { base_ms: 10, max_ms: 500, seed: 42, ..RetryPolicy::default() };
+        for attempt in 0..12 {
+            let a = policy.backoff_ms(attempt, 7);
+            let b = policy.backoff_ms(attempt, 7);
+            assert_eq!(a, b, "same inputs, same delay");
+            // Jitter range: [0.5, 1.5) of the clamped exponential.
+            let exp = (10u64 << attempt.min(20)).min(500);
+            assert!(a >= exp / 2 && a < exp + exp, "attempt {attempt}: {a} vs exp {exp}");
+        }
+        // Different salts (request ids) spread out.
+        let delays: Vec<u64> = (0..32).map(|salt| policy.backoff_ms(3, salt)).collect();
+        let distinct: std::collections::BTreeSet<u64> = delays.iter().copied().collect();
+        assert!(distinct.len() > 8, "jitter must actually jitter: {distinct:?}");
+        // Seed changes the schedule.
+        let other = RetryPolicy { seed: 43, ..policy };
+        assert_ne!(
+            (0..8).map(|a| policy.backoff_ms(a, 7)).collect::<Vec<_>>(),
+            (0..8).map(|a| other.backoff_ms(a, 7)).collect::<Vec<_>>(),
+        );
+    }
+
+    #[test]
+    fn transient_classification_is_precise() {
+        let transient =
+            r#"{"id":1,"ok":false,"error":{"kind":"backpressure","message":"full"}}"#;
+        assert_eq!(transient_reply_kind(transient).as_deref(), Some("backpressure"));
+        let draining =
+            r#"{"id":1,"ok":false,"error":{"kind":"shutting-down","message":"bye"}}"#;
+        assert_eq!(transient_reply_kind(draining).as_deref(), Some("shutting-down"));
+        let fatal = r#"{"id":1,"ok":false,"error":{"kind":"usage","message":"bad"}}"#;
+        assert!(transient_reply_kind(fatal).is_none());
+        let ok = r#"{"id":1,"ok":true,"result":{}}"#;
+        assert!(transient_reply_kind(ok).is_none());
+        assert!(transient_reply_kind("not json").is_none());
+
+        assert!(transient_io(&io::Error::new(io::ErrorKind::ConnectionReset, "x")));
+        assert!(transient_io(&io::Error::new(io::ErrorKind::TimedOut, "x")));
+        assert!(!transient_io(&io::Error::new(io::ErrorKind::InvalidData, "x")));
     }
 }

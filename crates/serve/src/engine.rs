@@ -27,27 +27,61 @@
 //! [`reanalyze_with_graph`]: rid_core::incremental::reanalyze_with_graph
 
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
+use std::io;
+use std::path::{Path, PathBuf};
 use std::time::Duration;
 
 use rid_core::cache::content_hash;
 use rid_core::incremental::{CallerIndex, ReanalyzePlan};
+use rid_core::persist::AnalysisState;
 use rid_core::{AnalysisOptions, AnalysisResult, FaultPlan, SummaryCache, SummaryDb};
 use rid_ir::{Module, Program};
 use serde_json::Value;
 
+use crate::fault::ServeFaultPlan;
+use crate::journal::{self, Journal};
 use crate::protocol::{error_line, ok_line, ProjectOptions, Request};
+use crate::snapshot::{
+    self, read_snapshot, snap_file_name, write_snapshot, Manifest, ProjectSnapshot, SNAP_SCHEMA,
+};
+
+/// How many `(idempotency key → response)` pairs the engine remembers.
+/// Old entries are evicted FIFO; a retry arriving after eviction simply
+/// re-executes, which is safe for every idempotent op and merely
+/// re-runs the analysis for the rest.
+const IDEM_CACHE_CAP: usize = 256;
 
 /// Server-wide configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub struct ServerConfig {
     /// Accepted-but-unexecuted request capacity; a request arriving at a
     /// full queue is answered with a `backpressure` error.
     pub queue_cap: usize,
+    /// Crash-safety directory: when set, accepted mutating requests are
+    /// write-ahead journaled here before executing, `snapshot` requests
+    /// serialize every resident project here, and startup restores from
+    /// the latest snapshot + journal suffix instead of requiring
+    /// re-registration. `None` keeps the daemon purely in-memory.
+    pub state_dir: Option<PathBuf>,
+    /// Maximum accepted request-line length in bytes; transports answer
+    /// longer frames with a `bad-request` error and keep the connection
+    /// alive. The default is generous because `register` ships a whole
+    /// corpus in one line.
+    pub max_frame_bytes: usize,
+    /// Chaos-harness fault plan for the durability paths (torn journal
+    /// appends, snapshot fsync failures). [`ServeFaultPlan::none`] in
+    /// production.
+    pub fault: ServeFaultPlan,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
-        ServerConfig { queue_cap: 64 }
+        ServerConfig {
+            queue_cap: 64,
+            state_dir: None,
+            max_frame_bytes: 64 << 20,
+            fault: ServeFaultPlan::none(),
+        }
     }
 }
 
@@ -64,22 +98,161 @@ struct Project {
     files: BTreeMap<String, String>,
     /// Resident reverse call index, updated per patched module so the
     /// affected cone and its re-analysis order cost O(edit), not a full
-    /// O(program) call-graph rebuild per request.
-    callers: CallerIndex,
+    /// O(program) call-graph rebuild per request. Lazily decoded after
+    /// a restore, like `cache` — only `patch` walks it.
+    callers: LazyCallers,
     /// Predefined API summaries chosen at registration.
     apis: SummaryDb,
     /// Analysis configuration chosen at registration.
     options: AnalysisOptions,
     /// The content-addressed summary cache backing full `analyze` runs:
     /// a warm re-analyze answers every unchanged function from here.
-    cache: SummaryCache,
+    /// After a restore this may still be encoded section bytes; the
+    /// first run that consults it decodes it.
+    cache: LazyCache,
     /// Result of the most recent run (reports, summaries, stats).
     /// `explain` serves from it without re-running, and `patch` seeds
     /// its incremental pass with these summaries so only the affected
-    /// cone re-executes.
-    last: Option<AnalysisResult>,
+    /// cone re-executes. Lazily decoded after a restore, like `cache`.
+    last: LastRun,
     /// Driver runs executed for this project.
     analyses: u64,
+    /// The raw registration options, kept verbatim so a snapshot can
+    /// store them and restore can re-resolve them through the exact
+    /// same path `register` used.
+    options_raw: Option<ProjectOptions>,
+}
+
+/// The summary cache, possibly still in encoded snapshot-section form.
+///
+/// [`Engine::recover`] keeps the heavyweight sections as the
+/// checksum-verified bytes it read: startup pays only for program
+/// residency (what request routing and the patch path need
+/// immediately), and the first request that actually consults the
+/// cache decodes it. A section still raw at the next snapshot passes
+/// through byte-for-byte — its logical value cannot have changed.
+enum LazyCache {
+    Ready(SummaryCache),
+    Raw(Vec<u8>),
+}
+
+impl LazyCache {
+    /// The decoded cache, decoding on first call. The bytes came out of
+    /// a checksummed container written by this codec, so a decode
+    /// failure is a codec bug, not bad input — panic, don't limp.
+    fn force(&mut self) -> &mut SummaryCache {
+        if let LazyCache::Raw(bytes) = self {
+            let cache = snapshot::decode_cache(bytes)
+                .expect("checksum-verified cache section must decode");
+            *self = LazyCache::Ready(cache);
+        }
+        match self {
+            LazyCache::Ready(cache) => cache,
+            LazyCache::Raw(_) => unreachable!("just decoded"),
+        }
+    }
+
+    /// The `cache`-section bytes for a snapshot write.
+    fn encoded(&self) -> io::Result<Vec<u8>> {
+        match self {
+            LazyCache::Ready(cache) => snapshot::encode_cache(cache),
+            LazyCache::Raw(bytes) => Ok(bytes.clone()),
+        }
+    }
+}
+
+/// The last run's result, possibly still in encoded snapshot-section
+/// form. Same laziness contract as [`LazyCache`].
+///
+/// One value lives per project (never a collection), so the size gap
+/// between the `Ready` and `Raw` variants costs nothing worth boxing.
+#[allow(clippy::large_enum_variant)]
+enum LastRun {
+    None,
+    Ready(AnalysisResult),
+    Raw(Vec<u8>),
+}
+
+impl LastRun {
+    fn is_none(&self) -> bool {
+        matches!(self, LastRun::None)
+    }
+
+    /// The decoded result, decoding on first call (see
+    /// [`LazyCache::force`] for why decode failures panic).
+    fn force(&mut self) -> Option<&AnalysisResult> {
+        if let LastRun::Raw(bytes) = self {
+            let state = snapshot::decode_state(bytes)
+                .expect("checksum-verified state section must decode");
+            *self = LastRun::Ready(state.into());
+        }
+        match self {
+            LastRun::None => None,
+            LastRun::Ready(result) => Some(result),
+            LastRun::Raw(_) => unreachable!("just decoded"),
+        }
+    }
+
+    /// Takes the result out (for the incremental pass), leaving `None`.
+    fn take_result(&mut self) -> Option<AnalysisResult> {
+        self.force();
+        match std::mem::replace(self, LastRun::None) {
+            LastRun::Ready(result) => Some(result),
+            _ => None,
+        }
+    }
+
+    /// The `state`-section bytes for a snapshot write, `None` when the
+    /// project was never analyzed.
+    fn encoded(&self) -> io::Result<Option<Vec<u8>>> {
+        match self {
+            LastRun::None => Ok(None),
+            LastRun::Ready(result) => {
+                Ok(Some(snapshot::encode_state(&AnalysisState::from(result))?))
+            }
+            LastRun::Raw(bytes) => Ok(Some(bytes.clone())),
+        }
+    }
+}
+
+/// The reverse call index, possibly still in encoded snapshot-section
+/// form. Same laziness contract as [`LazyCache`]: only the patch path
+/// walks the index, so restore defers the decode and an untouched index
+/// passes through to the next snapshot byte-for-byte.
+enum LazyCallers {
+    Ready(CallerIndex),
+    Raw(Vec<u8>),
+}
+
+impl LazyCallers {
+    /// The decoded index, decoding on first call (see
+    /// [`LazyCache::force`] for why decode failures panic).
+    fn force(&mut self) -> &mut CallerIndex {
+        if let LazyCallers::Raw(bytes) = self {
+            let edges = snapshot::decode_callers(bytes)
+                .expect("checksum-verified callers section must decode");
+            *self = LazyCallers::Ready(CallerIndex::from_edges(edges));
+        }
+        match self {
+            LazyCallers::Ready(callers) => callers,
+            LazyCallers::Raw(_) => unreachable!("just decoded"),
+        }
+    }
+
+    /// The `callers`-section bytes for a snapshot write.
+    fn encoded(&self) -> Vec<u8> {
+        match self {
+            LazyCallers::Ready(callers) => {
+                let edges: Vec<(String, BTreeSet<String>)> = callers
+                    .edges()
+                    .into_iter()
+                    .map(|(callee, names)| (callee.to_owned(), names.clone()))
+                    .collect();
+                snapshot::encode_callers(&edges)
+            }
+            LazyCallers::Raw(bytes) => bytes.clone(),
+        }
+    }
 }
 
 /// A parsed, validated, accepted request waiting in the queue.
@@ -88,6 +261,13 @@ struct Pending<T> {
     id: u64,
     project: String,
     deadline_ms: Option<u64>,
+    /// Idempotency key, if the request carried one; the response is
+    /// remembered under it after execution.
+    idem: Option<String>,
+    /// Journal offset *before* this request's entry was appended, when
+    /// it was journaled. `snapshot` uses the minimum over the queue to
+    /// know how much journal its snapshot generation covers.
+    journal_start: Option<u64>,
     op: Op,
 }
 
@@ -97,7 +277,20 @@ enum Op {
     Patch { sources: BTreeMap<String, String> },
     Explain { function: Option<String> },
     Stats,
+    Snapshot,
     Shutdown,
+}
+
+impl Op {
+    /// Whether this op is write-ahead journaled. Everything that goes
+    /// through the queue is — including read-only `stats` and
+    /// `snapshot` — because queued entries are also *drain triggers*:
+    /// replay must reproduce the exact batching boundaries of the
+    /// original run or coalescing counters drift. Only `shutdown`
+    /// (terminal) and `ping` (never queued) stay out.
+    fn journaled(&self) -> bool {
+        !matches!(self, Op::Shutdown)
+    }
 }
 
 #[derive(Default)]
@@ -106,6 +299,7 @@ struct EngineStats {
     batches: u64,
     coalesced: u64,
     backpressure: u64,
+    idem_hits: u64,
 }
 
 /// The transport-agnostic daemon core. See the module docs for the
@@ -116,10 +310,33 @@ pub struct Engine<T> {
     cap: usize,
     stats: EngineStats,
     draining: bool,
+    /// Crash-safety state; all `None`/default when the daemon runs
+    /// without `--state-dir`.
+    state_dir: Option<PathBuf>,
+    journal: Option<Journal>,
+    /// Committed snapshot generation (0 = never snapshotted).
+    gen: u64,
+    fault: ServeFaultPlan,
+    /// True while [`Engine::recover`] is replaying the journal:
+    /// suppresses re-journaling and snapshot side effects so replay is
+    /// a pure re-derivation of in-memory state.
+    replaying: bool,
+    /// During replay: the journal offset of the entry currently being
+    /// fed to [`Engine::handle_line`], so a replayed entry that stays
+    /// queued (a trailing deferred request) keeps its real
+    /// `journal_start` and a later snapshot cannot truncate the bytes
+    /// it still needs.
+    replay_offset: Option<u64>,
+    /// FIFO `(idempotency key, response line)` memory.
+    idem_cache: VecDeque<(String, String)>,
+    /// `(projects restored, journal entries replayed)` from startup.
+    restore_info: Option<(usize, usize)>,
 }
 
 impl<T> Engine<T> {
-    /// Creates an engine with no registered projects.
+    /// Creates an engine with no registered projects and no durability
+    /// (requests are not journaled even if `config.state_dir` is set —
+    /// use [`Engine::recover`] for the crash-safe constructor).
     #[must_use]
     pub fn new(config: ServerConfig) -> Engine<T> {
         Engine {
@@ -128,6 +345,14 @@ impl<T> Engine<T> {
             cap: config.queue_cap.max(1),
             stats: EngineStats::default(),
             draining: false,
+            state_dir: None,
+            journal: None,
+            gen: 0,
+            fault: config.fault,
+            replaying: false,
+            replay_offset: None,
+            idem_cache: VecDeque::new(),
+            restore_info: None,
         }
     }
 
@@ -152,6 +377,26 @@ impl<T> Engine<T> {
             Ok(request) => request,
             Err(e) => return vec![(tag, error_line(None, "parse", &e.to_string()))],
         };
+        // `ping` is the liveness probe: answered inline, before the
+        // draining/backpressure checks, so a health checker can tell a
+        // wedged daemon from a busy or draining one.
+        if request.op == "ping" {
+            let result = serde_json::json!({
+                "pong": true,
+                "draining": self.draining,
+                "projects": self.projects.len(),
+                "queued": self.queue.len(),
+            });
+            return vec![(tag, ok_line(request.id, result, Value::Seq(Vec::new())))];
+        }
+        // An idempotency-key hit answers from memory: the original
+        // executed, only its reply was lost in transit.
+        if let Some(key) = &request.idem {
+            if let Some((_, reply)) = self.idem_cache.iter().find(|(k, _)| k == key) {
+                self.stats.idem_hits += 1;
+                return vec![(tag, reply.clone())];
+            }
+        }
         if self.draining {
             let reply =
                 error_line(Some(request.id), "shutting-down", "server is draining; retry later");
@@ -169,6 +414,33 @@ impl<T> Engine<T> {
                 format!("queue full ({} pending, cap {}); retry later", self.queue.len(), self.cap);
             return vec![(tag, error_line(Some(request.id), "backpressure", &message))];
         }
+        // Write-ahead: the accepted line is durable before it executes,
+        // so a crash at any later point can re-derive its effects. An
+        // append failure rejects the request — accepted must mean
+        // recoverable.
+        let mut journal_start = None;
+        if self.replaying {
+            // The entry is already in the journal at this offset; keep
+            // it so coverage bookkeeping treats a replayed-but-queued
+            // entry exactly like a live one.
+            journal_start = self.replay_offset.take();
+        } else if op.journaled() {
+            if let Some(journal) = self.journal.as_mut() {
+                let start = match journal.offset() {
+                    Ok(offset) => offset,
+                    Err(e) => {
+                        let message = format!("journal unavailable: {e}");
+                        return vec![(tag, error_line(Some(request.id), "journal", &message))];
+                    }
+                };
+                let torn = self.fault.torn_prefix_len(line, line.len() + 1);
+                if let Err(e) = journal.append(line, torn) {
+                    let message = format!("write-ahead append failed: {e}");
+                    return vec![(tag, error_line(Some(request.id), "journal", &message))];
+                }
+                journal_start = Some(start);
+            }
+        }
         self.stats.accepted += 1;
         let defer = request.defer;
         self.queue.push_back(Pending {
@@ -176,6 +448,8 @@ impl<T> Engine<T> {
             id: request.id,
             project: request.project,
             deadline_ms: request.deadline_ms,
+            idem: request.idem,
+            journal_start,
             op,
         });
         if defer {
@@ -204,8 +478,16 @@ impl<T> Engine<T> {
                 Op::Patch { .. } => {
                     let mut batch = vec![head];
                     let mut rest = VecDeque::new();
+                    // A queued `snapshot` is a coalescing barrier:
+                    // patches accepted after it must not execute before
+                    // it, or the snapshot would capture effects whose
+                    // journal entries lie past its recorded offset and
+                    // replay would apply them twice.
+                    let mut barrier = false;
                     while let Some(pending) = self.queue.pop_front() {
-                        let same_project = pending.project == batch[0].project
+                        barrier = barrier || matches!(pending.op, Op::Snapshot);
+                        let same_project = !barrier
+                            && pending.project == batch[0].project
                             && matches!(pending.op, Op::Patch { .. });
                         if same_project {
                             batch.push(pending);
@@ -214,9 +496,34 @@ impl<T> Engine<T> {
                         }
                     }
                     self.queue = rest;
-                    out.extend(self.execute_patch_batch(batch));
+                    let keys: Vec<Option<String>> =
+                        batch.iter().map(|p| p.idem.clone()).collect();
+                    let replies = self.execute_patch_batch(batch);
+                    for (key, (_, reply)) in keys.iter().zip(&replies) {
+                        if let Some(key) = key {
+                            self.remember_idem(key, reply);
+                        }
+                    }
+                    out.extend(replies);
                 }
-                _ => out.push(self.execute_single(head)),
+                _ => {
+                    let key = head.idem.clone();
+                    let reply = self.execute_single(head);
+                    if let Some(key) = key {
+                        self.remember_idem(&key, &reply.1);
+                    }
+                    out.push(reply);
+                }
+            }
+        }
+        if shutdown.is_some() && !self.replaying {
+            // Graceful shutdown parts with a fresh snapshot: the next
+            // start restores without replaying a single journal entry.
+            if let Some(state_dir) = self.state_dir.clone() {
+                let mut span = rid_obs::span(rid_obs::SpanKind::Snapshot, "snapshot:shutdown");
+                if let Ok((_, bytes, _, _)) = self.snapshot_now(&state_dir) {
+                    span.set_value(bytes);
+                }
             }
         }
         if let Some((tag, id)) = shutdown {
@@ -226,6 +533,15 @@ impl<T> Engine<T> {
         out
     }
 
+    /// Remembers a response under its idempotency key, evicting the
+    /// oldest entry past [`IDEM_CACHE_CAP`].
+    fn remember_idem(&mut self, key: &str, reply: &str) {
+        if self.idem_cache.len() >= IDEM_CACHE_CAP {
+            self.idem_cache.pop_front();
+        }
+        self.idem_cache.push_back((key.to_owned(), reply.to_owned()));
+    }
+
     /// Executes a non-patch, non-shutdown request.
     fn execute_single(&mut self, pending: Pending<T>) -> (T, String) {
         match pending.op {
@@ -233,6 +549,7 @@ impl<T> Engine<T> {
             Op::Analyze => self.execute_analyze(pending),
             Op::Explain { .. } => self.execute_explain(pending),
             Op::Stats => self.execute_stats(pending),
+            Op::Snapshot => self.execute_snapshot(pending),
             Op::Patch { .. } | Op::Shutdown => unreachable!("handled by drain"),
         }
     }
@@ -262,7 +579,7 @@ impl<T> Engine<T> {
             }
         }
         let functions = program.function_count();
-        let callers = CallerIndex::build(&program);
+        let callers = LazyCallers::Ready(CallerIndex::build(&program));
         self.projects.insert(
             pending.project,
             Project {
@@ -271,9 +588,10 @@ impl<T> Engine<T> {
                 callers,
                 apis,
                 options: analysis_options,
-                cache: SummaryCache::new(),
-                last: None,
+                cache: LazyCache::Ready(SummaryCache::new()),
+                last: LastRun::None,
                 analyses: 0,
+                options_raw: options,
             },
         );
         let result = serde_json::json!({ "modules": sources.len(), "functions": functions });
@@ -289,7 +607,7 @@ impl<T> Engine<T> {
             rid_obs::span(rid_obs::SpanKind::Serve, &format!("analyze:{}", pending.project));
         span.set_value(1);
         run_analysis(project, pending.deadline_ms);
-        let result = project.last.as_ref().expect("analysis just ran");
+        let result = project.last.force().expect("analysis just ran");
         let payload = analysis_payload(result, true);
         (pending.tag, ok_line(pending.id, payload, degraded_value(result)))
     }
@@ -404,7 +722,7 @@ impl<T> Engine<T> {
                     for func in old.functions() {
                         match project.program.function(func.name()) {
                             Some(winner) if std::ptr::eq(winner, func) => {
-                                project.callers.remove_function(func);
+                                project.callers.force().remove_function(func);
                             }
                             _ => dirty = true,
                         }
@@ -464,7 +782,7 @@ impl<T> Engine<T> {
             // The pre-swap removals above already mutated the index;
             // rebuild it from the restored program (error path, so the
             // O(program) cost is acceptable).
-            project.callers = CallerIndex::build(&project.program);
+            project.callers = LazyCallers::Ready(CallerIndex::build(&project.program));
             return batch
                 .into_iter()
                 .map(|p| {
@@ -487,7 +805,7 @@ impl<T> Engine<T> {
                 for func in resident.functions() {
                     match project.program.function(func.name()) {
                         Some(winner) if std::ptr::eq(winner, func) => {
-                            project.callers.add_function(func);
+                            project.callers.force().add_function(func);
                         }
                         _ => dirty = true,
                     }
@@ -495,16 +813,16 @@ impl<T> Engine<T> {
             }
         }
         if dirty {
-            project.callers = CallerIndex::build(&project.program);
+            project.callers = LazyCallers::Ready(CallerIndex::build(&project.program));
         }
 
         let changed_refs: Vec<&str> = changed.iter().map(String::as_str).collect();
-        let plan = project.callers.plan(&project.program, &changed_refs);
+        let plan = project.callers.force().plan(&project.program, &changed_refs);
         let mut affected: Vec<String> = plan.affected.iter().cloned().collect();
         affected.sort_unstable();
 
         run_patch(project, deadline_ms, &changed_refs, &plan);
-        let result = project.last.as_ref().expect("patch run just completed");
+        let result = project.last.force().expect("patch run just completed");
         let mut payload = analysis_payload(result, false);
         push_field(&mut payload, "batched", serde_json::json!(batch.len()));
         push_field(
@@ -542,7 +860,7 @@ impl<T> Engine<T> {
             // there is something to explain (warm thereafter).
             run_analysis(project, pending.deadline_ms);
         }
-        let last = project.last.as_ref().expect("analysis just ran");
+        let last = project.last.force().expect("analysis just ran");
         let reports: Vec<_> = match &function {
             Some(name) => {
                 last.reports.iter().filter(|r| &r.function == name).cloned().collect()
@@ -559,29 +877,270 @@ impl<T> Engine<T> {
         span.set_value(1);
         let projects = Value::Map(
             self.projects
-                .iter()
+                .iter_mut()
                 .map(|(name, project)| {
+                    // Counting entries hydrates lazily restored
+                    // sections; `stats` promises exact numbers.
+                    let cache_entries = project.cache.force().len();
+                    let reports = project.last.force().map_or(0, |r| r.reports.len());
                     let value = serde_json::json!({
                         "modules": project.files.len(),
                         "functions": project.program.function_count(),
                         "analyses": project.analyses,
-                        "cache_entries": project.cache.len(),
-                        "reports": project.last.as_ref().map_or(0, |r| r.reports.len()),
+                        "cache_entries": cache_entries,
+                        "reports": reports,
                     });
                     (name.clone(), value)
                 })
                 .collect(),
         );
-        let server = serde_json::json!({
+        let mut server = serde_json::json!({
             "accepted": self.stats.accepted,
             "batches": self.stats.batches,
             "coalesced": self.stats.coalesced,
             "backpressure": self.stats.backpressure,
+            "idem_hits": self.stats.idem_hits,
             "queue_cap": self.cap,
             "draining": self.draining,
         });
+        if self.state_dir.is_some() {
+            push_field(&mut server, "snapshot_gen", serde_json::json!(self.gen));
+            if let Some((restored, replayed)) = self.restore_info {
+                push_field(&mut server, "restored_projects", serde_json::json!(restored));
+                push_field(&mut server, "replayed_entries", serde_json::json!(replayed));
+            }
+        }
         let result = serde_json::json!({ "server": server, "projects": projects });
         (pending.tag, ok_line(pending.id, result, Value::Seq(Vec::new())))
+    }
+
+    fn execute_snapshot(&mut self, pending: Pending<T>) -> (T, String) {
+        if self.replaying {
+            // A replayed snapshot entry is a drain boundary, not a disk
+            // write: the on-disk generation it produced (or failed to)
+            // is already settled history.
+            let result = serde_json::json!({ "skipped": "journal replay" });
+            return (pending.tag, ok_line(pending.id, result, Value::Seq(Vec::new())));
+        }
+        let Some(state_dir) = self.state_dir.clone() else {
+            let reply = error_line(
+                Some(pending.id),
+                "usage",
+                "op `snapshot` requires the daemon to run with --state-dir",
+            );
+            return (pending.tag, reply);
+        };
+        let mut span = rid_obs::span(rid_obs::SpanKind::Snapshot, "snapshot");
+        match self.snapshot_now(&state_dir) {
+            Ok((gen, bytes, covered, truncated)) => {
+                span.set_value(bytes);
+                let result = serde_json::json!({
+                    "gen": gen,
+                    "projects": self.projects.len(),
+                    "bytes": bytes,
+                    "journal_offset": if truncated { 0 } else { covered },
+                    "journal_truncated": truncated,
+                });
+                (pending.tag, ok_line(pending.id, result, Value::Seq(Vec::new())))
+            }
+            Err(e) => {
+                let message = format!("snapshot failed (previous generation intact): {e}");
+                (pending.tag, error_line(Some(pending.id), "snapshot", &message))
+            }
+        }
+    }
+
+    /// Writes one snapshot generation and commits it. The order is the
+    /// crash-safety argument:
+    ///
+    /// 1. every project's `.snap` for generation `gen+1` (staged +
+    ///    renamed; a failure leaves the committed generation whole),
+    /// 2. the manifest naming generation `gen+1` with the journal
+    ///    offset it covers — the atomic commit point,
+    /// 3. if no queued request still depends on the journal, truncate
+    ///    it and re-commit the manifest with offset 0.
+    ///
+    /// A crash between any two steps restores consistently: before 2
+    /// the old manifest + old snaps + full journal win; between 2 and 3
+    /// the new snaps + journal suffix win; mid-3 the manifest's offset
+    /// is at or past EOF, so replay is empty — exactly right, because
+    /// the snapshot already contains everything.
+    ///
+    /// Returns `(generation, bytes written, journal offset covered,
+    /// journal truncated)`.
+    fn snapshot_now(&mut self, state_dir: &Path) -> io::Result<(u64, u64, u64, bool)> {
+        let next = self.gen + 1;
+        let mut total = 0u64;
+        let mut snap_files: BTreeMap<String, String> = BTreeMap::new();
+        for (name, project) in &self.projects {
+            let snap = ProjectSnapshot {
+                project: name.clone(),
+                files: project.files.clone(),
+                options: project.options_raw.clone(),
+                analyses: project.analyses,
+                modules: project.program.modules().to_vec(),
+                callers: project.callers.encoded(),
+                state: project.last.encoded()?,
+                cache: project.cache.encoded()?,
+            };
+            let file = snap_file_name(name, next);
+            let inject = self.fault.should_fail_fsync(name);
+            total += write_snapshot(&state_dir.join(&file), &snap, inject)?;
+            snap_files.insert(name.clone(), file);
+        }
+        let journal_len = match self.journal.as_ref() {
+            Some(journal) => journal.offset()?,
+            None => 0,
+        };
+        // The generation covers every journal entry already executed:
+        // everything before the earliest still-queued entry (queued
+        // requests were journaled at accept but have not run yet).
+        let covered = self
+            .queue
+            .iter()
+            .filter_map(|p| p.journal_start)
+            .min()
+            .unwrap_or(journal_len);
+        let mut manifest = Manifest {
+            schema: SNAP_SCHEMA.to_owned(),
+            gen: next,
+            journal_offset: covered,
+            projects: snap_files.clone(),
+        };
+        manifest.store(state_dir)?;
+        self.gen = next;
+        let mut truncated = false;
+        let journal_idle = self.queue.iter().all(|p| p.journal_start.is_none());
+        if journal_idle && covered == journal_len {
+            if let Some(journal) = self.journal.as_mut() {
+                journal.truncate()?;
+                manifest.journal_offset = 0;
+                manifest.store(state_dir)?;
+                truncated = true;
+            }
+        }
+        // Retired generations' snap files are garbage now that the
+        // manifest no longer names them; collection is best-effort.
+        if let Ok(entries) = std::fs::read_dir(state_dir) {
+            let live: BTreeSet<&String> = snap_files.values().collect();
+            for entry in entries.flatten() {
+                let name = entry.file_name().to_string_lossy().into_owned();
+                if name.ends_with(".snap") && !live.contains(&name) {
+                    let _ = std::fs::remove_file(entry.path());
+                }
+            }
+        }
+        Ok((next, total, covered, truncated))
+    }
+}
+
+impl<T: Default> Engine<T> {
+    /// The crash-safe constructor: restores every project named by the
+    /// committed snapshot manifest in `config.state_dir`, replays the
+    /// journal suffix the manifest does not cover, and opens the
+    /// journal for write-ahead appends. Without a `state_dir` this is
+    /// [`Engine::new`].
+    ///
+    /// The `T: Default` bound exists because replayed requests need a
+    /// tag; their responses are discarded, so any tag does.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error when the state directory cannot be created
+    /// or the manifest, a named snapshot, or the journal cannot be
+    /// read — corrupt durable state stops the daemon loudly instead of
+    /// silently cold-starting over it. (A *torn journal tail* is not an
+    /// error: it is trimmed, per the write-ahead contract.)
+    pub fn recover(config: ServerConfig) -> io::Result<Engine<T>> {
+        let Some(state_dir) = config.state_dir.clone() else {
+            return Ok(Engine::new(config));
+        };
+        std::fs::create_dir_all(&state_dir)?;
+        let mut engine: Engine<T> = Engine::new(config);
+        engine.state_dir = Some(state_dir.clone());
+
+        let invalid = |message: String| io::Error::new(io::ErrorKind::InvalidData, message);
+        let manifest = Manifest::load(&state_dir)?;
+        let mut restored = 0usize;
+        let mut offset = 0u64;
+        if let Some(manifest) = &manifest {
+            engine.gen = manifest.gen;
+            offset = manifest.journal_offset;
+            for (name, file) in &manifest.projects {
+                let path = state_dir.join(file);
+                let mut span =
+                    rid_obs::span(rid_obs::SpanKind::Restore, &format!("restore:{name}"));
+                span.set_value(std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
+                let snap = read_snapshot(&path)?;
+                let (options, apis) = resolve_options(snap.options.as_ref()).map_err(invalid)?;
+                let mut program = Program::new();
+                program.reserve(
+                    snap.modules.len(),
+                    snap.modules.iter().map(|m| m.functions().len()).sum(),
+                );
+                for module in snap.modules {
+                    program.link(module).map_err(|e| invalid(e.to_string()))?;
+                }
+                // The reverse call index, summary cache, and last
+                // result stay encoded until a request consults them —
+                // startup is program residency, not a full rehydration.
+                engine.projects.insert(
+                    name.clone(),
+                    Project {
+                        program,
+                        files: snap.files,
+                        callers: LazyCallers::Raw(snap.callers),
+                        apis,
+                        options,
+                        cache: LazyCache::Raw(snap.cache),
+                        last: snap.state.map_or(LastRun::None, LastRun::Raw),
+                        analyses: snap.analyses,
+                        options_raw: snap.options,
+                    },
+                );
+                restored += 1;
+            }
+        }
+
+        let journal_path = state_dir.join(journal::JOURNAL_FILE);
+        let journal_len = std::fs::metadata(&journal_path).map(|m| m.len()).unwrap_or(0);
+        if journal_len < offset {
+            // The snapshot truncated the journal but crashed before
+            // recording offset 0; finish its commit now.
+            if let Some(mut manifest) = manifest {
+                manifest.journal_offset = 0;
+                manifest.store(&state_dir)?;
+            }
+            offset = 0;
+        }
+        let entries = journal::replayable_at(&journal_path, offset)?;
+        // Trim the torn tail (if any) so new appends extend a valid
+        // prefix instead of hiding behind garbage bytes forever.
+        let valid_end = offset + entries.iter().map(|e| e.len() as u64 + 1).sum::<u64>();
+        if journal_len > valid_end {
+            let file = std::fs::OpenOptions::new().write(true).open(&journal_path)?;
+            file.set_len(valid_end)?;
+            file.sync_all()?;
+        }
+        engine.journal = Some(Journal::open(&state_dir)?);
+
+        let mut span = rid_obs::span(rid_obs::SpanKind::JournalReplay, "journal-replay");
+        span.set_value(entries.len() as u64);
+        engine.replaying = true;
+        let mut cursor = offset;
+        for line in &entries {
+            engine.replay_offset = Some(cursor);
+            cursor += line.len() as u64 + 1;
+            let _ = engine.handle_line(T::default(), line);
+        }
+        engine.replay_offset = None;
+        // Deliberately no drain here: a trailing deferred entry stays
+        // queued, exactly as it was at crash time, so the next live
+        // drain trigger coalesces it the same way the original run
+        // would have. Transports still drain at EOF.
+        engine.replaying = false;
+        engine.restore_info = Some((restored, entries.len()));
+        Ok(engine)
     }
 }
 
@@ -605,6 +1164,7 @@ fn parse_op(request: &Request) -> Result<Op, (&'static str, String)> {
         }
         "explain" => Ok(Op::Explain { function: request.function.clone() }),
         "stats" => Ok(Op::Stats),
+        "snapshot" => Ok(Op::Snapshot),
         "shutdown" => Ok(Op::Shutdown),
         other => Err(("usage", format!("unknown op `{other}`"))),
     }
@@ -662,17 +1222,17 @@ fn run_analysis(project: &mut Project, deadline_ms: Option<u64>) {
         &project.apis,
         &options,
         &FaultPlan::none(),
-        Some(&mut project.cache),
+        Some(project.cache.force()),
     );
     project.analyses += 1;
-    project.last = Some(result);
+    project.last = LastRun::Ready(result);
 }
 
 /// Whether two modules define the same (name, weakness) signature with
 /// no internal duplicates — the precondition for updating the resident
 /// caller index in place instead of rebuilding it.
 fn same_signature(a: &Module, b: &Module) -> bool {
-    fn signature<'m>(m: &'m Module) -> Option<std::collections::HashMap<&'m str, bool>> {
+    fn signature(m: &Module) -> Option<std::collections::HashMap<&str, bool>> {
         let sig: std::collections::HashMap<&str, bool> =
             m.functions().iter().map(|f| (f.name(), f.weak)).collect();
         (sig.len() == m.functions().len()).then_some(sig)
@@ -693,7 +1253,7 @@ fn run_patch(
     changed: &[&str],
     plan: &ReanalyzePlan,
 ) {
-    let Some(previous) = project.last.take() else {
+    let Some(previous) = project.last.take_result() else {
         run_analysis(project, deadline_ms);
         return;
     };
@@ -707,7 +1267,7 @@ fn run_patch(
         plan,
     );
     project.analyses += 1;
-    project.last = Some(result);
+    project.last = LastRun::Ready(result);
 }
 
 /// The op-independent analysis payload shared by `analyze` and `patch`.
@@ -854,7 +1414,8 @@ mod tests {
 
     #[test]
     fn full_queue_answers_backpressure() {
-        let mut engine: Engine<()> = Engine::new(ServerConfig { queue_cap: 1 });
+        let mut engine: Engine<()> =
+            Engine::new(ServerConfig { queue_cap: 1, ..ServerConfig::default() });
         let mut deferred = serde_json::from_str::<Request>(
             r#"{"id":1,"op":"stats"}"#,
         )
@@ -922,6 +1483,133 @@ mod tests {
             parse(&rejected[0].1)["error"]["kind"].as_str(),
             Some("shutting-down")
         );
+    }
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("rid-engine-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn durable_config(dir: &Path) -> ServerConfig {
+        ServerConfig { state_dir: Some(dir.to_path_buf()), ..ServerConfig::default() }
+    }
+
+    #[test]
+    fn ping_answers_inline_even_while_draining() {
+        let mut engine: Engine<()> = Engine::new(ServerConfig::default());
+        engine.handle_line((), r#"{"id":1,"op":"shutdown"}"#);
+        assert!(engine.is_shutting_down());
+        let replies = engine.handle_line((), r#"{"id":2,"op":"ping"}"#);
+        let reply = parse(&replies[0].1);
+        assert_eq!(reply["ok"].as_bool(), Some(true));
+        assert_eq!(reply["result"]["pong"].as_bool(), Some(true));
+        assert_eq!(reply["result"]["draining"].as_bool(), Some(true));
+    }
+
+    #[test]
+    fn idempotency_key_answers_retries_from_memory() {
+        let mut engine: Engine<()> = Engine::new(ServerConfig::default());
+        engine.handle_line((), &register_line(1));
+        let analyze = r#"{"id":2,"op":"analyze","project":"p","idem":"k-1"}"#;
+        let first = engine.handle_line((), analyze);
+        let retry = engine.handle_line((), analyze);
+        assert_eq!(first[0].1, retry[0].1, "retry must be the remembered reply");
+        let stats =
+            engine.handle_line((), &line(serde_json::json!({ "id": 3, "op": "stats" })));
+        let stats = parse(&stats[0].1);
+        assert_eq!(
+            stats["result"]["projects"]["p"]["analyses"].as_i64(),
+            Some(1),
+            "the retry must not have re-executed"
+        );
+        assert_eq!(stats["result"]["server"]["idem_hits"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn snapshot_then_recover_restores_projects_without_reregistration() {
+        let dir = tempdir("snap-recover");
+        {
+            let mut engine: Engine<()> = Engine::recover(durable_config(&dir)).unwrap();
+            engine.handle_line((), &register_line(1));
+            engine.handle_line(
+                (),
+                &line(serde_json::json!({ "id": 2, "op": "analyze", "project": "p" })),
+            );
+            let replies = engine.handle_line((), r#"{"id":3,"op":"snapshot"}"#);
+            let reply = parse(&replies[0].1);
+            assert_eq!(reply["ok"].as_bool(), Some(true), "snapshot reply: {reply:?}");
+            assert_eq!(reply["result"]["gen"].as_i64(), Some(1));
+            assert_eq!(reply["result"]["journal_truncated"].as_bool(), Some(true));
+        }
+        let mut engine: Engine<()> = Engine::recover(durable_config(&dir)).unwrap();
+        let replies = engine
+            .handle_line((), &line(serde_json::json!({ "id": 4, "op": "analyze", "project": "p" })));
+        let reply = parse(&replies[0].1);
+        assert_eq!(reply["result"]["report_count"].as_i64(), Some(1), "{reply:?}");
+        let stats = engine.handle_line((), r#"{"id":5,"op":"stats"}"#);
+        let stats = parse(&stats[0].1);
+        assert_eq!(stats["result"]["server"]["restored_projects"].as_i64(), Some(1));
+        assert_eq!(stats["result"]["server"]["replayed_entries"].as_i64(), Some(0));
+        assert_eq!(stats["result"]["projects"]["p"]["analyses"].as_i64(), Some(2));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn journal_replay_recovers_unsnapshotted_work_after_hard_crash() {
+        let dir = tempdir("replay");
+        {
+            let mut engine: Engine<()> = Engine::recover(durable_config(&dir)).unwrap();
+            engine.handle_line((), &register_line(1));
+            engine.handle_line(
+                (),
+                &line(serde_json::json!({ "id": 2, "op": "analyze", "project": "p" })),
+            );
+            // No snapshot, no shutdown: dropping the engine here is the
+            // kill -9.
+        }
+        let mut engine: Engine<()> = Engine::recover(durable_config(&dir)).unwrap();
+        let stats = engine.handle_line((), r#"{"id":3,"op":"stats"}"#);
+        let stats = parse(&stats[0].1);
+        assert_eq!(stats["result"]["server"]["replayed_entries"].as_i64(), Some(2));
+        assert_eq!(stats["result"]["projects"]["p"]["analyses"].as_i64(), Some(1));
+        assert_eq!(stats["result"]["projects"]["p"]["reports"].as_i64(), Some(1));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_torn_append_rejects_the_request_and_survives_restart() {
+        let dir = tempdir("torn-accept");
+        let config = ServerConfig {
+            state_dir: Some(dir.clone()),
+            fault: ServeFaultPlan { seed: 1, torn_journal_rate: 1.0, fsync_fail_rate: 0.0 },
+            ..ServerConfig::default()
+        };
+        let mut engine: Engine<()> = Engine::recover(config).unwrap();
+        let replies = engine.handle_line((), &register_line(1));
+        let reply = parse(&replies[0].1);
+        assert_eq!(reply["error"]["kind"].as_str(), Some("journal"));
+        drop(engine);
+        // Restart without faults: the torn tail is trimmed, nothing
+        // replays, and the journal accepts appends again.
+        let mut engine: Engine<()> = Engine::recover(durable_config(&dir)).unwrap();
+        let replies = engine.handle_line((), &register_line(2));
+        assert_eq!(parse(&replies[0].1)["ok"].as_bool(), Some(true));
+        let stats = engine.handle_line((), r#"{"id":3,"op":"stats"}"#);
+        assert_eq!(
+            parse(&stats[0].1)["result"]["server"]["replayed_entries"].as_i64(),
+            Some(0)
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snapshot_without_state_dir_is_a_usage_error() {
+        let mut engine: Engine<()> = Engine::new(ServerConfig::default());
+        let replies = engine.handle_line((), r#"{"id":1,"op":"snapshot"}"#);
+        assert_eq!(parse(&replies[0].1)["error"]["kind"].as_str(), Some("usage"));
     }
 
     #[test]

@@ -1,0 +1,114 @@
+//! Deterministic fault injection for the serve layer's durability
+//! machinery — the chaos harness's control surface.
+//!
+//! [`ServeFaultPlan`] mirrors the core [`rid_core::fault::FaultPlan`]
+//! idiom: selection is a seeded hash of a stable key, so the same plan
+//! tears the same journal appends and fails the same snapshot fsyncs on
+//! every run. That determinism is what lets the differential chaos
+//! tests assert byte-identical state after crash + restore.
+//!
+//! The plan is `Copy` (seed plus rates, no allocations) so
+//! [`crate::ServerConfig`] stays `Copy`.
+
+use rid_core::fault::{rate_selects, selection_hash};
+
+/// Salt for torn-journal-append selection.
+const SALT_TORN: u64 = 0x746f_726e; // "torn"
+/// Salt for snapshot-fsync-failure selection.
+const SALT_FSYNC: u64 = 0x6673_796e; // "fsyn"
+
+/// A deterministic fault plan for serve-layer durability paths.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct ServeFaultPlan {
+    /// Seed for every selection hash in this plan.
+    pub seed: u64,
+    /// Fraction (0.0–1.0) of journal appends written torn: a prefix of
+    /// the frame lands on disk, the append reports failure, and the
+    /// request is rejected — what a crash mid-append leaves behind.
+    pub torn_journal_rate: f64,
+    /// Fraction (0.0–1.0) of per-project snapshot writes whose fsync
+    /// fails, abandoning the staged temp file and keeping the previous
+    /// committed snapshot.
+    pub fsync_fail_rate: f64,
+}
+
+impl ServeFaultPlan {
+    /// The empty plan: injects nothing anywhere.
+    #[must_use]
+    pub fn none() -> ServeFaultPlan {
+        ServeFaultPlan::default()
+    }
+
+    /// Whether this plan can inject anything at all.
+    #[must_use]
+    pub fn is_none(&self) -> bool {
+        self.torn_journal_rate <= 0.0 && self.fsync_fail_rate <= 0.0
+    }
+
+    /// For a journal append keyed by `key` (the raw request line) of
+    /// `frame_len` bytes: `Some(n)` to tear the write after `n` bytes,
+    /// `None` to let it through. The tear point is derived from the
+    /// same hash as the selection, so a given entry always tears at the
+    /// same byte.
+    #[must_use]
+    pub fn torn_prefix_len(&self, key: &str, frame_len: usize) -> Option<usize> {
+        if !rate_selects(self.seed, SALT_TORN, key, self.torn_journal_rate) {
+            return None;
+        }
+        if frame_len == 0 {
+            return Some(0);
+        }
+        Some((selection_hash(self.seed ^ SALT_TORN, key) as usize) % frame_len)
+    }
+
+    /// Whether the snapshot write for `project` should fail at fsync.
+    #[must_use]
+    pub fn should_fail_fsync(&self, project: &str) -> bool {
+        rate_selects(self.seed, SALT_FSYNC, project, self.fsync_fail_rate)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_plan_selects_nothing() {
+        let plan = ServeFaultPlan::none();
+        assert!(plan.is_none());
+        assert!(plan.torn_prefix_len("anything", 100).is_none());
+        assert!(!plan.should_fail_fsync("p"));
+    }
+
+    #[test]
+    fn selection_is_deterministic_and_bounded() {
+        let plan = ServeFaultPlan { seed: 11, torn_journal_rate: 0.5, fsync_fail_rate: 0.5 };
+        let keys: Vec<String> = (0..200).map(|i| format!("{{\"id\":{i}}}")).collect();
+        let picks: Vec<Option<usize>> =
+            keys.iter().map(|k| plan.torn_prefix_len(k, k.len() + 1)).collect();
+        let again: Vec<Option<usize>> =
+            keys.iter().map(|k| plan.torn_prefix_len(k, k.len() + 1)).collect();
+        assert_eq!(picks, again, "same plan, same tears");
+        let hit = picks.iter().filter(|p| p.is_some()).count();
+        assert!((50..=150).contains(&hit), "~50% of 200 expected, got {hit}");
+        for (key, pick) in keys.iter().zip(&picks) {
+            if let Some(n) = pick {
+                assert!(*n < key.len() + 1, "tear point inside the frame");
+            }
+        }
+        let fsync_hits = keys.iter().filter(|k| plan.should_fail_fsync(k)).count();
+        assert!((50..=150).contains(&fsync_hits));
+        let other = ServeFaultPlan { seed: 12, ..plan };
+        let other_picks: Vec<Option<usize>> =
+            keys.iter().map(|k| other.torn_prefix_len(k, k.len() + 1)).collect();
+        assert_ne!(picks, other_picks, "seed changes the selection");
+    }
+
+    #[test]
+    fn full_rate_selects_everything() {
+        let plan = ServeFaultPlan { seed: 0, torn_journal_rate: 1.0, fsync_fail_rate: 1.0 };
+        assert!(plan.torn_prefix_len("x", 10).is_some());
+        assert!(plan.should_fail_fsync("p"));
+        assert_eq!(plan.torn_prefix_len("x", 0), Some(0), "empty frame tears at zero");
+    }
+}

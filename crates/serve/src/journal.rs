@@ -1,0 +1,251 @@
+//! Write-ahead patch journal: the half of crash safety that covers the
+//! window *between* snapshots.
+//!
+//! Every state-mutating request the engine accepts (`register`,
+//! `analyze`, `patch`, `explain`) is appended to an NDJSON journal —
+//! one raw request line per entry, exactly as received — and fsynced
+//! *before* the request executes. On restart, the engine restores the
+//! last snapshot and replays the journal suffix past the snapshot's
+//! recorded offset, re-deriving the in-memory state the crash
+//! destroyed. `kill -9` at any byte boundary therefore loses at most
+//! the request whose append had not completed.
+//!
+//! ## Torn-tail rule
+//!
+//! A crash mid-append leaves a torn last line. Replay accepts exactly
+//! the prefix of entries that are (a) newline-terminated and (b) valid
+//! JSON objects; the first entry failing either test ends the replay
+//! and everything after it is discarded. Interior corruption thus
+//! cannot be skipped over silently — state never jumps a gap in the
+//! history.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+/// File name of the journal inside a `--state-dir`.
+pub const JOURNAL_FILE: &str = "journal.ndjson";
+
+/// An append-only, fsync-per-entry NDJSON journal.
+pub struct Journal {
+    path: PathBuf,
+    file: File,
+}
+
+impl Journal {
+    /// Opens (creating if absent) the journal inside `state_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file cannot be opened for append.
+    pub fn open(state_dir: &Path) -> io::Result<Journal> {
+        let path = state_dir.join(JOURNAL_FILE);
+        let file = OpenOptions::new().create(true).append(true).open(&path)?;
+        Ok(Journal { path, file })
+    }
+
+    /// Current journal length in bytes — the offset a snapshot records
+    /// so restore replays only entries the snapshot does not already
+    /// contain.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the file metadata cannot be read.
+    pub fn offset(&self) -> io::Result<u64> {
+        Ok(self.file.metadata()?.len())
+    }
+
+    /// Appends one request line (newline added here) and fsyncs before
+    /// returning — the write-ahead contract: the entry is durable
+    /// before the request it records is allowed to execute.
+    ///
+    /// `torn_after` is the fault-injection hook: when `Some(n)`, only
+    /// the first `n` bytes of the framed entry are written (no fsync)
+    /// and the append reports failure — exactly what a crash mid-append
+    /// leaves on disk.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the write or fsync fails, or if a torn
+    /// write was injected.
+    pub fn append(&mut self, line: &str, torn_after: Option<usize>) -> io::Result<()> {
+        let mut framed = Vec::with_capacity(line.len() + 1);
+        framed.extend_from_slice(line.as_bytes());
+        framed.push(b'\n');
+        if let Some(n) = torn_after {
+            let n = n.min(framed.len().saturating_sub(1));
+            self.file.write_all(&framed[..n])?;
+            let _ = self.file.sync_data();
+            return Err(io::Error::new(
+                io::ErrorKind::Interrupted,
+                "injected torn journal append",
+            ));
+        }
+        self.file.write_all(&framed)?;
+        self.file.sync_data()
+    }
+
+    /// Entries to replay: every newline-terminated, valid-JSON line
+    /// starting at byte `from`. Reading stops at the first torn or
+    /// corrupt entry (see the module docs' torn-tail rule). A `from`
+    /// at or beyond EOF replays nothing — that is the normal state
+    /// right after a snapshot truncation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the journal cannot be read.
+    pub fn replayable(&self, from: u64) -> io::Result<Vec<String>> {
+        replayable_at(&self.path, from)
+    }
+
+    /// Truncates the journal to empty (post-snapshot garbage
+    /// collection) and fsyncs the truncation.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if truncation or fsync fails.
+    pub fn truncate(&mut self) -> io::Result<()> {
+        self.file.set_len(0)?;
+        self.file.seek(SeekFrom::Start(0))?;
+        self.file.sync_data()
+    }
+
+    /// The journal's on-disk path.
+    #[must_use]
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+/// [`Journal::replayable`] without an open handle — the restore path
+/// reads the journal before deciding whether to keep appending to it.
+///
+/// # Errors
+///
+/// Returns an I/O error if the journal exists but cannot be read; a
+/// missing journal replays nothing.
+pub fn replayable_at(path: &Path, from: u64) -> io::Result<Vec<String>> {
+    let mut file = match File::open(path) {
+        Ok(file) => file,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let len = file.metadata()?.len();
+    if from >= len {
+        return Ok(Vec::new());
+    }
+    file.seek(SeekFrom::Start(from))?;
+    let mut bytes = Vec::with_capacity((len - from) as usize);
+    file.read_to_end(&mut bytes)?;
+
+    let mut entries = Vec::new();
+    let mut start = 0usize;
+    while let Some(nl) = bytes[start..].iter().position(|&b| b == b'\n') {
+        let line = &bytes[start..start + nl];
+        start += nl + 1;
+        let Ok(text) = std::str::from_utf8(line) else { break };
+        if serde_json::from_str::<serde_json::Value>(text).is_err() {
+            break;
+        }
+        entries.push(text.to_owned());
+    }
+    // Bytes after the last newline are a torn tail: dropped.
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rid-journal-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn append_replay_truncate_cycle() {
+        let dir = tempdir("cycle");
+        let mut j = Journal::open(&dir).unwrap();
+        assert_eq!(j.offset().unwrap(), 0);
+        j.append(r#"{"id":1,"op":"analyze","project":"p"}"#, None).unwrap();
+        j.append(r#"{"id":2,"op":"stats"}"#, None).unwrap();
+        let entries = j.replayable(0).unwrap();
+        assert_eq!(entries.len(), 2);
+        assert!(entries[0].contains("analyze"));
+
+        // Replay from an offset skips what a snapshot already holds.
+        let after_first = entries[0].len() as u64 + 1;
+        let tail = j.replayable(after_first).unwrap();
+        assert_eq!(tail.len(), 1);
+        assert!(tail[0].contains("stats"));
+
+        j.truncate().unwrap();
+        assert_eq!(j.offset().unwrap(), 0);
+        assert!(j.replayable(0).unwrap().is_empty());
+
+        // Appends after truncation land at the start, not a sparse hole.
+        j.append(r#"{"id":3,"op":"stats"}"#, None).unwrap();
+        assert_eq!(j.replayable(0).unwrap().len(), 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_dropped_at_every_byte_offset() {
+        let dir = tempdir("torn");
+        let mut j = Journal::open(&dir).unwrap();
+        let full = r#"{"id":1,"op":"analyze","project":"p"}"#;
+        j.append(full, None).unwrap();
+        let whole = std::fs::read(dir.join(JOURNAL_FILE)).unwrap();
+
+        // Truncate the on-disk journal at every byte offset: only the
+        // full frame (line + newline) replays the entry.
+        for cut in 0..=whole.len() {
+            std::fs::write(dir.join(JOURNAL_FILE), &whole[..cut]).unwrap();
+            let entries = replayable_at(&dir.join(JOURNAL_FILE), 0).unwrap();
+            if cut == whole.len() {
+                assert_eq!(entries, vec![full.to_owned()], "cut={cut}");
+            } else {
+                assert!(entries.is_empty(), "cut={cut} must be a torn tail");
+            }
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_torn_append_reports_failure_and_replays_nothing() {
+        let dir = tempdir("inject");
+        let mut j = Journal::open(&dir).unwrap();
+        j.append(r#"{"id":1,"op":"stats"}"#, None).unwrap();
+        let before = j.offset().unwrap();
+        let err = j.append(r#"{"id":2,"op":"analyze","project":"p"}"#, Some(5));
+        assert!(err.is_err());
+        // The torn suffix poisons only itself: entry 1 still replays.
+        let entries = j.replayable(0).unwrap();
+        assert_eq!(entries.len(), 1);
+        assert!(j.offset().unwrap() > before, "torn bytes are on disk");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn interior_corruption_ends_replay() {
+        let dir = tempdir("corrupt");
+        let path = dir.join(JOURNAL_FILE);
+        std::fs::write(
+            &path,
+            "{\"id\":1,\"op\":\"stats\"}\nNOT JSON\n{\"id\":2,\"op\":\"stats\"}\n",
+        )
+        .unwrap();
+        let entries = replayable_at(&path, 0).unwrap();
+        assert_eq!(entries.len(), 1, "replay must not skip over corruption");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn missing_journal_replays_nothing() {
+        let dir = tempdir("missing");
+        assert!(replayable_at(&dir.join(JOURNAL_FILE), 0).unwrap().is_empty());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

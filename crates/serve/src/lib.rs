@@ -53,11 +53,15 @@
 
 pub mod client;
 pub mod engine;
+pub mod fault;
+pub mod journal;
 pub mod protocol;
 pub mod server;
 pub mod signal;
+pub mod snapshot;
 
-pub use client::Client;
+pub use client::{Client, RetryPolicy};
 pub use engine::{Engine, ServerConfig};
+pub use fault::ServeFaultPlan;
 pub use protocol::{ProjectOptions, Request, PROTOCOL_VERSION};
 pub use server::{serve_stdio, serve_unix};

@@ -21,9 +21,9 @@ pub const PROTOCOL_VERSION: &str = "rid-serve/1";
 /// One request line, as sent by a client.
 ///
 /// `op` selects the operation (`register`, `analyze`, `patch`,
-/// `explain`, `stats`, `shutdown`); the other fields are op-specific
-/// and default to empty when omitted. See `PROTOCOL.md` for which
-/// fields each op requires.
+/// `explain`, `stats`, `ping`, `snapshot`, `shutdown`); the other
+/// fields are op-specific and default to empty when omitted. See
+/// `PROTOCOL.md` for which fields each op requires.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Request {
     /// Client-chosen correlation id, echoed in the response.
@@ -58,6 +58,13 @@ pub struct Request {
     /// `register` only: per-project analysis configuration.
     #[serde(default)]
     pub options: Option<ProjectOptions>,
+    /// Client-chosen idempotency key. When set, the engine remembers
+    /// the response under this key: a later request carrying the same
+    /// key (a retry after a lost reply) is answered from that memory
+    /// without executing again. Keys must be unique per logical
+    /// request; retries resend the identical line.
+    #[serde(default)]
+    pub idem: Option<String>,
 }
 
 impl Request {
@@ -74,6 +81,7 @@ impl Request {
             deadline_ms: None,
             defer: false,
             options: None,
+            idem: None,
         }
     }
 
@@ -81,7 +89,8 @@ impl Request {
     /// newline).
     #[must_use]
     pub fn to_line(&self) -> String {
-        serde_json::to_string(self).expect("requests serialize")
+        serde_json::to_string(self)
+            .unwrap_or_else(|e| fallback_line(Some(self.id), &e.to_string()))
     }
 }
 
@@ -113,6 +122,10 @@ pub struct ProjectOptions {
 
 /// Builds a success response line: `{id, ok:true, protocol, result,
 /// degraded}`.
+///
+/// Serialization failure (a payload carrying a non-finite float, say)
+/// degrades to a hand-assembled `internal` error envelope instead of
+/// panicking — one bad payload must cost one request, not the daemon.
 #[must_use]
 pub fn ok_line(id: u64, result: Value, degraded: Value) -> String {
     let envelope = serde_json::json!({
@@ -122,12 +135,13 @@ pub fn ok_line(id: u64, result: Value, degraded: Value) -> String {
         "result": result,
         "degraded": degraded,
     });
-    serde_json::to_string(&envelope).expect("envelope serializes")
+    serde_json::to_string(&envelope).unwrap_or_else(|e| fallback_line(Some(id), &e.to_string()))
 }
 
 /// Builds an error response line: `{id, ok:false, protocol, error:{kind,
 /// message}}`. `id` is `null` when the request line could not be parsed
-/// far enough to recover one.
+/// far enough to recover one. Falls back like [`ok_line`] rather than
+/// panicking.
 #[must_use]
 pub fn error_line(id: Option<u64>, kind: &str, message: &str) -> String {
     let envelope = serde_json::json!({
@@ -136,7 +150,32 @@ pub fn error_line(id: Option<u64>, kind: &str, message: &str) -> String {
         "protocol": PROTOCOL_VERSION,
         "error": serde_json::json!({ "kind": kind, "message": message }),
     });
-    serde_json::to_string(&envelope).expect("envelope serializes")
+    serde_json::to_string(&envelope).unwrap_or_else(|e| fallback_line(id, &e.to_string()))
+}
+
+/// A hand-assembled error envelope that cannot fail to serialize: the
+/// last-resort reply when the real envelope would not. Every byte of
+/// `detail` is escaped by hand, so the line is valid JSON no matter
+/// what the serializer choked on.
+fn fallback_line(id: Option<u64>, detail: &str) -> String {
+    let id = id.map_or_else(|| "null".to_owned(), |id| id.to_string());
+    let mut message = String::with_capacity(detail.len() + 40);
+    message.push_str("response serialization failed: ");
+    for c in detail.chars() {
+        match c {
+            '"' => message.push_str("\\\""),
+            '\\' => message.push_str("\\\\"),
+            '\n' => message.push_str("\\n"),
+            '\r' => message.push_str("\\r"),
+            '\t' => message.push_str("\\t"),
+            c if (c as u32) < 0x20 => message.push_str(&format!("\\u{:04x}", c as u32)),
+            c => message.push(c),
+        }
+    }
+    format!(
+        "{{\"id\":{id},\"ok\":false,\"protocol\":\"{PROTOCOL_VERSION}\",\
+         \"error\":{{\"kind\":\"internal\",\"message\":\"{message}\"}}}}"
+    )
 }
 
 #[cfg(test)]
@@ -176,5 +215,30 @@ mod tests {
         assert!(err["id"].is_null());
         assert_eq!(err["ok"].as_bool(), Some(false));
         assert_eq!(err["error"]["kind"].as_str(), Some("parse"));
+    }
+
+    #[test]
+    fn idem_key_roundtrips_and_defaults_to_none() {
+        let req: Request =
+            serde_json::from_str(r#"{"id":1,"op":"analyze","project":"p"}"#).unwrap();
+        assert!(req.idem.is_none());
+        let req: Request = serde_json::from_str(
+            r#"{"id":1,"op":"analyze","project":"p","idem":"k-1"}"#,
+        )
+        .unwrap();
+        assert_eq!(req.idem.as_deref(), Some("k-1"));
+        let back: Request = serde_json::from_str(&req.to_line()).unwrap();
+        assert_eq!(back.idem.as_deref(), Some("k-1"));
+    }
+
+    #[test]
+    fn fallback_envelope_is_valid_json_for_hostile_details() {
+        let line = fallback_line(Some(9), "quote \" slash \\ newline \n ctl \u{1}");
+        let parsed: Value = serde_json::from_str(&line).expect("fallback must parse");
+        assert_eq!(parsed["id"].as_i64(), Some(9));
+        assert_eq!(parsed["error"]["kind"].as_str(), Some("internal"));
+        let none = fallback_line(None, "x");
+        let parsed: Value = serde_json::from_str(&none).unwrap();
+        assert!(parsed["id"].is_null());
     }
 }

@@ -1,0 +1,770 @@
+//! Snapshot files: one resident project serialized to disk, restorable
+//! without re-running the driver.
+//!
+//! ## Container format
+//!
+//! A `.snap` file is a checksummed section container:
+//!
+//! ```text
+//! "RIDSNAP2"                        8-byte magic/version
+//! u32        section count
+//! per section:
+//!   u32      name length, name bytes (UTF-8)
+//!   u64      payload length, payload bytes
+//! u64        FNV-1a-64 over 8-byte words of every preceding byte
+//! ```
+//!
+//! Sections: `meta` (JSON: project name, file→module map, registration
+//! options, run counter), `modules` (the resident program's modules in
+//! link order, via the [`rid_ir::codec`] binary format), `callers` (the
+//! resident reverse call index, so restore inserts edges instead of
+//! re-walking every function body), `state` (the last run's
+//! [`AnalysisState`] — reports, summaries, classification,
+//! degradations — as a binary-encoded value tree; absent when the
+//! project was never analyzed), and `cache` (the content-addressed
+//! summary cache, same encoding).
+//!
+//! The `state`/`cache` sections deliberately avoid JSON text: restore
+//! must land well under the cold-analyze budget, and at corpus scale
+//! text parsing alone would blow it. The value-tree codec here is a
+//! direct binary walk — no tokenizing, no escape handling, no float
+//! round-tripping through decimal. [`ProjectSnapshot`] carries these
+//! two sections as *encoded bytes*, for the same budget reason: the
+//! engine restores them lazily (first analytical use decodes), and a
+//! restored-but-untouched section flows back into the next snapshot
+//! verbatim. The checksum hashes 8-byte words rather than bytes —
+//! byte-at-a-time FNV costs a serial multiply per byte, milliseconds of
+//! pure checksum at corpus scale.
+//!
+//! Writers go through [`write_snapshot`], which stages to a temp
+//! sibling, fsyncs, and renames — a crash mid-write leaves the previous
+//! snapshot intact. Readers verify the trailing checksum before parsing
+//! a single section, so torn or bit-flipped files fail loudly.
+//!
+//! ## The manifest
+//!
+//! `MANIFEST.json` names the snapshot generation that is *committed*:
+//! which `.snap` file holds each project and the journal byte offset
+//! the generation covers. Snapshot files for a newer, uncommitted
+//! generation are ignored by restore — the manifest flips atomically,
+//! so every crash point yields either the old consistent view (plus
+//! journal replay) or the new one.
+
+use std::collections::{BTreeMap, BTreeSet};
+use std::fs;
+use std::io::{self, Write as _};
+use std::path::Path;
+
+use rid_core::persist::{atomic_write, AnalysisState};
+use rid_core::SummaryCache;
+use rid_ir::Module;
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::protocol::ProjectOptions;
+
+/// Version header of a `.snap` container; bump on layout changes.
+pub const SNAP_MAGIC: &[u8; 8] = b"RIDSNAP2";
+
+/// Schema tag carried in the `meta` section and the manifest.
+pub const SNAP_SCHEMA: &str = "rid-serve-snap/v2";
+
+/// File name of the manifest inside a `--state-dir`.
+pub const MANIFEST_FILE: &str = "MANIFEST.json";
+
+/// Everything needed to rebuild one resident project.
+pub struct ProjectSnapshot {
+    /// Project name (protocol `project` field).
+    pub project: String,
+    /// Protocol file key → declared module name.
+    pub files: BTreeMap<String, String>,
+    /// Raw registration options; restore re-resolves them through the
+    /// same path `register` used.
+    pub options: Option<ProjectOptions>,
+    /// Driver runs executed for this project before the snapshot.
+    pub analyses: u64,
+    /// The resident program's modules, in link order.
+    pub modules: Vec<Module>,
+    /// The reverse call index's edges, encoded via [`encode_callers`].
+    /// Kept as bytes because only the patch path needs the index: restore
+    /// defers the decode, and an untouched index passes through to the
+    /// next snapshot verbatim.
+    pub callers: Vec<u8>,
+    /// The last run's persistable [`AnalysisState`], already encoded via
+    /// [`encode_state`], if the project was analyzed. Kept as bytes so
+    /// the engine can defer decoding and pass untouched sections through
+    /// to the next snapshot verbatim.
+    pub state: Option<Vec<u8>>,
+    /// The content-addressed summary cache, encoded via
+    /// [`encode_cache`]; same byte-level contract as `state`.
+    pub cache: Vec<u8>,
+}
+
+#[derive(Serialize, Deserialize)]
+struct SnapshotMeta {
+    schema: String,
+    project: String,
+    files: BTreeMap<String, String>,
+    options: Option<ProjectOptions>,
+    analyses: u64,
+}
+
+/// The committed-generation record: restore trusts only what this file
+/// names. Stored as JSON because it is tiny and hand-inspectable.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct Manifest {
+    /// Schema tag ([`SNAP_SCHEMA`]); foreign tags fail restore loudly.
+    pub schema: String,
+    /// Monotonic snapshot generation.
+    pub gen: u64,
+    /// Journal byte offset this generation covers: restore replays only
+    /// entries past it.
+    pub journal_offset: u64,
+    /// Project name → `.snap` file name (relative to the state dir).
+    pub projects: BTreeMap<String, String>,
+}
+
+impl Manifest {
+    /// Loads the manifest from `state_dir`, or `None` when the
+    /// directory has no committed snapshot generation yet.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error on unreadable or schema-foreign manifests —
+    /// a corrupt manifest must stop the daemon, not silently cold-start
+    /// it over data it failed to read.
+    pub fn load(state_dir: &Path) -> io::Result<Option<Manifest>> {
+        let path = state_dir.join(MANIFEST_FILE);
+        let json = match fs::read_to_string(&path) {
+            Ok(json) => json,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(None),
+            Err(e) => return Err(e),
+        };
+        let manifest: Manifest = serde_json::from_str(&json)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        if manifest.schema != SNAP_SCHEMA {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!(
+                    "manifest schema mismatch: found {:?}, expected {:?}",
+                    manifest.schema, SNAP_SCHEMA
+                ),
+            ));
+        }
+        Ok(Some(manifest))
+    }
+
+    /// Atomically commits the manifest to `state_dir`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an I/O error if the write fails.
+    pub fn store(&self, state_dir: &Path) -> io::Result<()> {
+        let json = serde_json::to_string(self)
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+        atomic_write(&state_dir.join(MANIFEST_FILE), json.as_bytes())
+    }
+}
+
+/// The `.snap` file name for a project at a generation. The name embeds
+/// a hash of the project name (names are arbitrary protocol strings,
+/// not safe file names) plus the generation, so an uncommitted newer
+/// generation never overwrites the committed one in place.
+#[must_use]
+pub fn snap_file_name(project: &str, gen: u64) -> String {
+    let stem: String = project
+        .chars()
+        .take(24)
+        .map(|c| if c.is_ascii_alphanumeric() || c == '-' || c == '_' { c } else { '_' })
+        .collect();
+    let hash = rid_core::fault::selection_hash(0, project);
+    format!("{stem}-{hash:016x}.{gen}.snap")
+}
+
+/// Serializes `snapshot` to `path` atomically. Returns the snapshot
+/// size in bytes (the obs span payload).
+///
+/// `inject_fsync_failure` is the chaos-harness hook: when true, the
+/// staged temp file is abandoned and the write reports an fsync
+/// failure — the committed snapshot (if any) is untouched, exactly as
+/// with a real fsync error.
+///
+/// # Errors
+///
+/// Returns an I/O error if staging, fsync, or rename fails, or when a
+/// failure was injected.
+pub fn write_snapshot(
+    path: &Path,
+    snapshot: &ProjectSnapshot,
+    inject_fsync_failure: bool,
+) -> io::Result<u64> {
+    let meta = SnapshotMeta {
+        schema: SNAP_SCHEMA.to_owned(),
+        project: snapshot.project.clone(),
+        files: snapshot.files.clone(),
+        options: snapshot.options.clone(),
+        analyses: snapshot.analyses,
+    };
+    let meta_json = serde_json::to_string(&meta)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+
+    let module_refs: Vec<&Module> = snapshot.modules.iter().collect();
+    let modules_bytes = rid_ir::encode_modules(&module_refs);
+
+    let mut sections: Vec<(&str, &[u8])> = vec![
+        ("meta", meta_json.as_bytes()),
+        ("modules", &modules_bytes),
+    ];
+    sections.push(("callers", &snapshot.callers));
+    sections.push(("cache", &snapshot.cache));
+    if let Some(state) = &snapshot.state {
+        sections.push(("state", state));
+    }
+
+    let mut out = Vec::with_capacity(4096);
+    out.extend_from_slice(SNAP_MAGIC);
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for (name, payload) in &sections {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    let checksum = checksum64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+
+    if inject_fsync_failure {
+        // Leave realistic debris: the staged temp exists, the target is
+        // untouched.
+        let debris = path.with_extension("snap.tmp-failed");
+        let _ = fs::File::create(&debris).and_then(|mut f| f.write_all(&out[..out.len() / 2]));
+        return Err(io::Error::other("injected fsync failure during snapshot"));
+    }
+
+    atomic_write(path, &out)?;
+    Ok(out.len() as u64)
+}
+
+/// Reads and verifies a snapshot written by [`write_snapshot`].
+///
+/// # Errors
+///
+/// Returns an I/O error on checksum mismatch, foreign magic/schema, or
+/// any malformed section — a snapshot that fails any check restores
+/// nothing rather than something subtly wrong.
+pub fn read_snapshot(path: &Path) -> io::Result<ProjectSnapshot> {
+    let bytes = fs::read(path)?;
+    let bad = |message: String| io::Error::new(io::ErrorKind::InvalidData, message);
+
+    if bytes.len() < SNAP_MAGIC.len() + 4 + 8 {
+        return Err(bad("snapshot too short".to_owned()));
+    }
+    let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+    if checksum64(body) != stored {
+        return Err(bad("snapshot checksum mismatch (torn or corrupt file)".to_owned()));
+    }
+    if &body[..SNAP_MAGIC.len()] != SNAP_MAGIC {
+        return Err(bad("not a rid snapshot (bad magic)".to_owned()));
+    }
+
+    let mut at = SNAP_MAGIC.len();
+    let take = |at: &mut usize, n: usize| -> io::Result<&[u8]> {
+        let end = at.checked_add(n).filter(|&e| e <= body.len());
+        let end = end.ok_or_else(|| bad("snapshot truncated".to_owned()))?;
+        let slice = &body[*at..end];
+        *at = end;
+        Ok(slice)
+    };
+    let count =
+        u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
+    let mut sections: BTreeMap<String, &[u8]> = BTreeMap::new();
+    for _ in 0..count {
+        let name_len =
+            u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
+        let name = std::str::from_utf8(take(&mut at, name_len)?)
+            .map_err(|_| bad("section name is not UTF-8".to_owned()))?
+            .to_owned();
+        let payload_len =
+            u64::from_le_bytes(take(&mut at, 8)?.try_into().expect("8 bytes")) as usize;
+        let payload = take(&mut at, payload_len)?;
+        sections.insert(name, payload);
+    }
+
+    let section = |name: &str| -> io::Result<&[u8]> {
+        sections
+            .get(name)
+            .copied()
+            .ok_or_else(|| bad(format!("snapshot is missing its `{name}` section")))
+    };
+
+    let meta_text = std::str::from_utf8(section("meta")?)
+        .map_err(|_| bad("meta section is not UTF-8".to_owned()))?;
+    let meta: SnapshotMeta = serde_json::from_str(meta_text)
+        .map_err(|e| bad(format!("bad meta section: {e}")))?;
+    if meta.schema != SNAP_SCHEMA {
+        return Err(bad(format!(
+            "snapshot schema mismatch: found {:?}, expected {:?}",
+            meta.schema, SNAP_SCHEMA
+        )));
+    }
+
+    // The checksum above covered every section byte, so the module
+    // decode can skip re-validating each function — the bytes are what
+    // `write_snapshot` produced from already-validated functions.
+    let modules = rid_ir::decode_modules_trusted(section("modules")?)
+        .map_err(|e| bad(format!("bad modules section: {e}")))?;
+    let callers = section("callers")?.to_vec();
+    let cache = section("cache")?.to_vec();
+    let state = sections.get("state").map(|payload| payload.to_vec());
+
+    Ok(ProjectSnapshot {
+        project: meta.project,
+        files: meta.files,
+        options: meta.options,
+        analyses: meta.analyses,
+        modules,
+        callers,
+        state,
+        cache,
+    })
+}
+
+/// FNV-1a-64 over 8-byte little-endian words (tail zero-padded, length
+/// folded in last so padding is unambiguous). Classic byte-at-a-time
+/// FNV is one serial multiply per byte — at snapshot scale that alone
+/// costs milliseconds of restore latency, so the container hashes words
+/// with the same constants instead. Corruption-detection strength is
+/// what matters here (torn writes, bit rot), not collision resistance
+/// against an adversary: the file lives in the daemon's own state dir.
+fn checksum64(bytes: &[u8]) -> u64 {
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    let mut words = bytes.chunks_exact(8);
+    for word in &mut words {
+        hash ^= u64::from_le_bytes(word.try_into().expect("8 bytes"));
+        hash = hash.wrapping_mul(PRIME);
+    }
+    let tail = words.remainder();
+    if !tail.is_empty() {
+        let mut padded = [0u8; 8];
+        padded[..tail.len()].copy_from_slice(tail);
+        hash ^= u64::from_le_bytes(padded);
+        hash = hash.wrapping_mul(PRIME);
+    }
+    hash ^= bytes.len() as u64;
+    hash.wrapping_mul(PRIME)
+}
+
+/// Encodes a summary cache into `cache`-section bytes.
+///
+/// # Errors
+///
+/// Returns an I/O error if the cache cannot be serialized.
+pub fn encode_cache(cache: &SummaryCache) -> io::Result<Vec<u8>> {
+    encode_section_value(cache)
+}
+
+/// Decodes `cache`-section bytes written by [`encode_cache`].
+///
+/// # Errors
+///
+/// Returns an I/O error on malformed bytes.
+pub fn decode_cache(bytes: &[u8]) -> io::Result<SummaryCache> {
+    decode_section_value(bytes)
+}
+
+/// Encodes an analysis state into `state`-section bytes.
+///
+/// # Errors
+///
+/// Returns an I/O error if the state cannot be serialized.
+pub fn encode_state(state: &AnalysisState) -> io::Result<Vec<u8>> {
+    encode_section_value(state)
+}
+
+/// Decodes `state`-section bytes written by [`encode_state`].
+///
+/// # Errors
+///
+/// Returns an I/O error on malformed bytes.
+pub fn decode_state(bytes: &[u8]) -> io::Result<AnalysisState> {
+    decode_section_value(bytes)
+}
+
+/// Typed codec for the `callers` section: `u32` pair count, then per
+/// pair a length-prefixed callee name and its length-prefixed caller
+/// names. A direct decode into the index's shape — the generic value
+/// tree would pay an allocation per node for what is just strings.
+/// Encoding callee-sorted edges (the [`CallerIndex::edges`] shape) is
+/// deterministic, so an index that did not change between snapshots
+/// re-encodes to the identical bytes.
+///
+/// [`CallerIndex::edges`]: rid_core::incremental::CallerIndex::edges
+#[must_use]
+pub fn encode_callers(callers: &[(String, BTreeSet<String>)]) -> Vec<u8> {
+    fn put_str(out: &mut Vec<u8>, s: &str) {
+        out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+        out.extend_from_slice(s.as_bytes());
+    }
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(&(callers.len() as u32).to_le_bytes());
+    for (callee, names) in callers {
+        put_str(&mut out, callee);
+        out.extend_from_slice(&(names.len() as u32).to_le_bytes());
+        for name in names {
+            put_str(&mut out, name);
+        }
+    }
+    out
+}
+
+/// Decodes `callers`-section bytes written by [`encode_callers`].
+///
+/// # Errors
+///
+/// Returns an I/O error on malformed bytes.
+pub fn decode_callers(bytes: &[u8]) -> io::Result<Vec<(String, BTreeSet<String>)>> {
+    let bad = |message: &str| io::Error::new(io::ErrorKind::InvalidData, message.to_owned());
+    let mut at = 0usize;
+    let take = |at: &mut usize, n: usize| -> io::Result<&[u8]> {
+        let end = at.checked_add(n).filter(|&e| e <= bytes.len());
+        let end = end.ok_or_else(|| bad("truncated callers section"))?;
+        let slice = &bytes[*at..end];
+        *at = end;
+        Ok(slice)
+    };
+    let u32_at = |at: &mut usize| -> io::Result<usize> {
+        Ok(u32::from_le_bytes(take(at, 4)?.try_into().expect("4 bytes")) as usize)
+    };
+    let string = |at: &mut usize| -> io::Result<String> {
+        let len = u32_at(at)?;
+        String::from_utf8(take(at, len)?.to_vec())
+            .map_err(|_| bad("non-UTF-8 name in callers section"))
+    };
+    let count = u32_at(&mut at)?;
+    let mut callers = Vec::with_capacity(count.min(65536));
+    for _ in 0..count {
+        let callee = string(&mut at)?;
+        let names = u32_at(&mut at)?;
+        let mut set = BTreeSet::new();
+        for _ in 0..names {
+            set.insert(string(&mut at)?);
+        }
+        callers.push((callee, set));
+    }
+    if at != bytes.len() {
+        return Err(bad("trailing bytes after callers section"));
+    }
+    Ok(callers)
+}
+
+fn encode_section_value<T: serde::Serialize>(value: &T) -> io::Result<Vec<u8>> {
+    let tree = serde_json::to_value(value)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    let mut out = Vec::with_capacity(1024);
+    encode_value(&tree, &mut out);
+    Ok(out)
+}
+
+fn decode_section_value<T: serde::DeserializeOwned>(bytes: &[u8]) -> io::Result<T> {
+    let mut at = 0usize;
+    let tree = decode_value(bytes, &mut at)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))?;
+    if at != bytes.len() {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "trailing bytes after value tree",
+        ));
+    }
+    serde_json::from_value(tree)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// Binary value-tree encoding: one tag byte per node, little-endian
+/// scalars, u32 length prefixes. Purely internal to the snapshot file.
+fn encode_value(value: &Value, out: &mut Vec<u8>) {
+    match value {
+        Value::Null => out.push(0),
+        Value::Bool(b) => {
+            out.push(1);
+            out.push(u8::from(*b));
+        }
+        Value::Int(i) => {
+            out.push(2);
+            out.extend_from_slice(&i.to_le_bytes());
+        }
+        Value::Float(x) => {
+            out.push(3);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Str(s) => {
+            out.push(4);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Seq(items) => {
+            out.push(5);
+            out.extend_from_slice(&(items.len() as u32).to_le_bytes());
+            for item in items {
+                encode_value(item, out);
+            }
+        }
+        Value::Map(pairs) => {
+            out.push(6);
+            out.extend_from_slice(&(pairs.len() as u32).to_le_bytes());
+            for (key, item) in pairs {
+                out.extend_from_slice(&(key.len() as u32).to_le_bytes());
+                out.extend_from_slice(key.as_bytes());
+                encode_value(item, out);
+            }
+        }
+    }
+}
+
+fn decode_value(bytes: &[u8], at: &mut usize) -> Result<Value, String> {
+    fn take<'a>(bytes: &'a [u8], at: &mut usize, n: usize) -> Result<&'a [u8], String> {
+        let end = at.checked_add(n).filter(|&e| e <= bytes.len());
+        let end = end.ok_or_else(|| "truncated value tree".to_owned())?;
+        let slice = &bytes[*at..end];
+        *at = end;
+        Ok(slice)
+    }
+    fn string(bytes: &[u8], at: &mut usize) -> Result<String, String> {
+        let len = u32::from_le_bytes(take(bytes, at, 4)?.try_into().expect("4 bytes")) as usize;
+        String::from_utf8(take(bytes, at, len)?.to_vec())
+            .map_err(|_| "non-UTF-8 string in value tree".to_owned())
+    }
+    let tag = take(bytes, at, 1)?[0];
+    Ok(match tag {
+        0 => Value::Null,
+        1 => Value::Bool(take(bytes, at, 1)?[0] != 0),
+        2 => Value::Int(i64::from_le_bytes(take(bytes, at, 8)?.try_into().expect("8 bytes"))),
+        3 => Value::Float(f64::from_le_bytes(take(bytes, at, 8)?.try_into().expect("8 bytes"))),
+        4 => Value::Str(string(bytes, at)?),
+        5 => {
+            let len =
+                u32::from_le_bytes(take(bytes, at, 4)?.try_into().expect("4 bytes")) as usize;
+            let mut items = Vec::with_capacity(len.min(65536));
+            for _ in 0..len {
+                items.push(decode_value(bytes, at)?);
+            }
+            Value::Seq(items)
+        }
+        6 => {
+            let len =
+                u32::from_le_bytes(take(bytes, at, 4)?.try_into().expect("4 bytes")) as usize;
+            let mut pairs = Vec::with_capacity(len.min(65536));
+            for _ in 0..len {
+                let key = string(bytes, at)?;
+                pairs.push((key, decode_value(bytes, at)?));
+            }
+            Value::Map(pairs)
+        }
+        other => return Err(format!("unknown value tag {other:#04x}")),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rid_core::{analyze_program_cached, AnalysisOptions, FaultPlan};
+    use std::path::PathBuf;
+
+    fn tempdir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!("rid-snap-{name}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    /// `(snapshot, state, cache)`: the snapshot holds the encoded
+    /// sections, the typed values ride along for roundtrip asserts.
+    fn sample_snapshot() -> (ProjectSnapshot, AnalysisState, SummaryCache) {
+        let src = r#"module m;
+            fn probe(dev) {
+                let ret = pm_runtime_get_sync(dev);
+                if (ret < 0) { return ret; }
+                ret = helper_update(dev);
+                pm_runtime_put(dev);
+                return ret;
+            }"#;
+        let program = rid_frontend::parse_program([src]).unwrap();
+        let apis = rid_core::apis::linux_dpm_apis();
+        let mut cache = SummaryCache::new();
+        let result = analyze_program_cached(
+            &program,
+            &apis,
+            &AnalysisOptions::default(),
+            &FaultPlan::none(),
+            Some(&mut cache),
+        );
+        let state = AnalysisState::from(&result);
+        let edges: Vec<(String, BTreeSet<String>)> =
+            rid_core::incremental::CallerIndex::build(&program)
+                .edges()
+                .into_iter()
+                .map(|(callee, names)| (callee.to_owned(), names.clone()))
+                .collect();
+        let callers = encode_callers(&edges);
+        let snapshot = ProjectSnapshot {
+            project: "p".to_owned(),
+            files: [("m.ril".to_owned(), "m".to_owned())].into(),
+            options: Some(ProjectOptions { threads: Some(2), ..ProjectOptions::default() }),
+            analyses: 3,
+            modules: program.modules().to_vec(),
+            callers,
+            state: Some(encode_state(&state).unwrap()),
+            cache: encode_cache(&cache).unwrap(),
+        };
+        (snapshot, state, cache)
+    }
+
+    #[test]
+    fn value_tree_codec_roundtrips() {
+        let tree = serde_json::json!({
+            "null": Value::Null,
+            "bool": true,
+            "int": -42i64,
+            "float": 1.5f64,
+            "str": "héllo\nworld",
+            "seq": serde_json::json!([1i64, "two", Value::Null]),
+            "map": serde_json::json!({"nested": serde_json::json!([])}),
+        });
+        let mut bytes = Vec::new();
+        encode_value(&tree, &mut bytes);
+        let mut at = 0;
+        let back = decode_value(&bytes, &mut at).unwrap();
+        assert_eq!(at, bytes.len());
+        assert_eq!(back, tree);
+        // Truncations fail, never panic.
+        for end in 0..bytes.len() {
+            let mut at = 0;
+            let result = decode_value(&bytes[..end], &mut at);
+            assert!(result.is_err() || at <= end);
+        }
+    }
+
+    #[test]
+    fn snapshot_roundtrips_full_project() {
+        let dir = tempdir("roundtrip");
+        let (snapshot, state, cache) = sample_snapshot();
+        let path = dir.join(snap_file_name("p", 1));
+        let bytes = write_snapshot(&path, &snapshot, false).unwrap();
+        assert!(bytes > 0);
+
+        let back = read_snapshot(&path).unwrap();
+        assert_eq!(back.project, "p");
+        assert_eq!(back.files, snapshot.files);
+        assert_eq!(back.analyses, 3);
+        assert_eq!(back.options.as_ref().unwrap().threads, Some(2));
+        assert_eq!(back.modules, snapshot.modules);
+        assert_eq!(back.callers, snapshot.callers);
+        assert!(
+            !decode_callers(&back.callers).unwrap().is_empty(),
+            "probe's call edges must be indexed"
+        );
+        // The encoded sections pass through byte-for-byte AND decode
+        // back to the exact values that were encoded.
+        assert_eq!(back.cache, snapshot.cache);
+        assert_eq!(back.state, snapshot.state);
+        assert_eq!(
+            serde_json::to_string(&decode_state(back.state.as_ref().unwrap()).unwrap()).unwrap(),
+            serde_json::to_string(&state).unwrap(),
+            "analysis state must round-trip exactly"
+        );
+        let decoded_cache = decode_cache(&back.cache).unwrap();
+        assert_eq!(decoded_cache.len(), cache.len());
+        assert_eq!(
+            serde_json::to_string(&decoded_cache).unwrap(),
+            serde_json::to_string(&cache).unwrap(),
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn callers_codec_roundtrips_and_rejects_truncation() {
+        let callers = vec![
+            ("helper".to_owned(), ["a".to_owned(), "probe".to_owned()].into()),
+            ("pm_runtime_put".to_owned(), ["probe".to_owned()].into()),
+            ("éxotic".to_owned(), BTreeSet::new()),
+        ];
+        let bytes = encode_callers(&callers);
+        assert_eq!(decode_callers(&bytes).unwrap(), callers);
+        for end in 0..bytes.len() {
+            assert!(decode_callers(&bytes[..end]).is_err(), "truncation at {end}");
+        }
+    }
+
+    #[test]
+    fn corrupt_and_truncated_snapshots_fail_loudly() {
+        let dir = tempdir("corrupt");
+        let (snapshot, _, _) = sample_snapshot();
+        let path = dir.join("p.snap");
+        write_snapshot(&path, &snapshot, false).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+
+        // Every truncation is rejected by the checksum.
+        for end in [0, 1, 8, bytes.len() / 2, bytes.len() - 1] {
+            std::fs::write(&path, &bytes[..end]).unwrap();
+            assert!(read_snapshot(&path).is_err(), "truncation at {end}");
+        }
+        // A single flipped bit anywhere is rejected.
+        for &i in &[0usize, 9, bytes.len() / 3, bytes.len() - 9] {
+            let mut corrupt = bytes.clone();
+            corrupt[i] ^= 1;
+            std::fs::write(&path, &corrupt).unwrap();
+            assert!(read_snapshot(&path).is_err(), "bit flip at {i}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn injected_fsync_failure_preserves_previous_snapshot() {
+        let dir = tempdir("fsync");
+        let (snapshot, _, _) = sample_snapshot();
+        let path = dir.join("p.snap");
+        write_snapshot(&path, &snapshot, false).unwrap();
+        let committed = std::fs::read(&path).unwrap();
+
+        let err = write_snapshot(&path, &snapshot, true);
+        assert!(err.is_err());
+        assert_eq!(std::fs::read(&path).unwrap(), committed, "old snapshot intact");
+        assert!(read_snapshot(&path).is_ok());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn manifest_roundtrip_and_schema_check() {
+        let dir = tempdir("manifest");
+        assert!(Manifest::load(&dir).unwrap().is_none());
+        let manifest = Manifest {
+            schema: SNAP_SCHEMA.to_owned(),
+            gen: 4,
+            journal_offset: 123,
+            projects: [("p".to_owned(), snap_file_name("p", 4))].into(),
+        };
+        manifest.store(&dir).unwrap();
+        let back = Manifest::load(&dir).unwrap().unwrap();
+        assert_eq!(back.gen, 4);
+        assert_eq!(back.journal_offset, 123);
+        assert_eq!(back.projects, manifest.projects);
+
+        let text = std::fs::read_to_string(dir.join(MANIFEST_FILE))
+            .unwrap()
+            .replace(SNAP_SCHEMA, "rid-serve-snap/v0");
+        std::fs::write(dir.join(MANIFEST_FILE), text).unwrap();
+        assert!(Manifest::load(&dir).is_err(), "foreign schema fails loudly");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn snap_file_names_are_distinct_and_safe() {
+        let a = snap_file_name("p", 1);
+        let b = snap_file_name("p", 2);
+        let c = snap_file_name("../../etc/passwd", 1);
+        assert_ne!(a, b, "generations must not collide");
+        assert!(!c.contains('/'), "project names are sanitized: {c}");
+        assert_ne!(snap_file_name("a/b", 1), snap_file_name("a_b", 1), "hash disambiguates");
+    }
+}

@@ -1,0 +1,501 @@
+//! Chaos suite for the crash-safe daemon: every test injects a failure
+//! — a process "kill" (dropping the engine mid-stream), a journal torn
+//! at an arbitrary byte, an fsync that lies, a frame that never ends —
+//! and then proves recovery is *exact*, not merely plausible. The core
+//! differential: serialize both the crashed-and-recovered engine and a
+//! never-crashed twin into snapshot files and require the bytes to be
+//! identical. Determinism is the property under test; byte equality is
+//! the only assertion that cannot rationalize a drifted counter or a
+//! subtly different summary cache.
+//!
+//! Tracing state is process-global, so the span test serializes on the
+//! same mutex pattern as `tests/serve.rs`.
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::{Mutex, MutexGuard};
+
+use rid::obs::{trace, SpanKind};
+use rid::serve::{serve_stdio, Engine, ServeFaultPlan, ServerConfig};
+use serde_json::Value;
+
+fn lock() -> MutexGuard<'static, ()> {
+    static GUARD: Mutex<()> = Mutex::new(());
+    GUARD.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+const MOD_A: &str = r#"module a;
+fn leaf(dev) {
+    let ret = pm_runtime_get_sync(dev);
+    if (ret < 0) { return ret; }
+    pm_runtime_put(dev);
+    return 0;
+}
+fn mid(dev) {
+    let r = leaf(dev);
+    pm_runtime_get_sync(dev);
+    pm_runtime_put(dev);
+    return r;
+}"#;
+
+const MOD_B: &str = r#"module b;
+fn top(dev) {
+    let r = mid(dev);
+    pm_runtime_get_sync(dev);
+    pm_runtime_put(dev);
+    return r;
+}"#;
+
+/// `leaf` with the error-path leak fixed (`put_noidle` before the
+/// early return) — a patch that genuinely changes analysis results.
+const MOD_A_EDIT: &str = r#"module a;
+fn leaf(dev) {
+    let ret = pm_runtime_get_sync(dev);
+    if (ret < 0) { pm_runtime_put_noidle(dev); return ret; }
+    pm_runtime_put(dev);
+    return 0;
+}
+fn mid(dev) {
+    let r = leaf(dev);
+    pm_runtime_get_sync(dev);
+    pm_runtime_put(dev);
+    return r;
+}"#;
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!(
+        "rid-chaos-{name}-{}-{:?}",
+        std::process::id(),
+        std::thread::current().id()
+    ));
+    let _ = fs::remove_dir_all(&dir);
+    fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn durable(state_dir: &Path) -> ServerConfig {
+    ServerConfig { state_dir: Some(state_dir.to_path_buf()), ..ServerConfig::default() }
+}
+
+fn parse(response: &str) -> Value {
+    serde_json::from_str(response).expect("daemon emits valid JSON lines")
+}
+
+fn feed(engine: &mut Engine<()>, lines: &[String]) -> Vec<String> {
+    let mut out = Vec::new();
+    for line in lines {
+        out.extend(engine.handle_line((), line).into_iter().map(|(_, r)| r));
+    }
+    out
+}
+
+/// The request stream the differential tests replay: registration, a
+/// full analysis, two deferred patches that must coalesce, a drain
+/// trigger, an explain, a *mid-stream snapshot*, and post-snapshot
+/// work that only the journal can recover.
+fn stream() -> Vec<String> {
+    let req = |v: Value| serde_json::to_string(&v).unwrap();
+    vec![
+        req(serde_json::json!({"id": 1, "op": "register", "project": "p",
+            "sources": serde_json::json!({"a.ril": MOD_A, "b.ril": MOD_B})})),
+        req(serde_json::json!({"id": 2, "op": "analyze", "project": "p"})),
+        req(serde_json::json!({"id": 3, "op": "patch", "project": "p", "defer": true,
+            "sources": serde_json::json!({"a.ril": MOD_A_EDIT})})),
+        req(serde_json::json!({"id": 4, "op": "patch", "project": "p", "defer": true,
+            "sources": serde_json::json!({"a.ril": MOD_A})})),
+        req(serde_json::json!({"id": 5, "op": "stats"})),
+        req(serde_json::json!({"id": 6, "op": "explain", "project": "p"})),
+        req(serde_json::json!({"id": 7, "op": "snapshot"})),
+        req(serde_json::json!({"id": 8, "op": "patch", "project": "p",
+            "sources": serde_json::json!({"a.ril": MOD_A_EDIT})})),
+        req(serde_json::json!({"id": 9, "op": "analyze", "project": "p"})),
+    ]
+}
+
+/// Reads every `.snap` file in `dir` as `(name, bytes)`, sorted.
+fn snap_files(dir: &Path) -> Vec<(String, Vec<u8>)> {
+    let mut files: Vec<(String, Vec<u8>)> = fs::read_dir(dir)
+        .unwrap()
+        .map(|e| e.unwrap())
+        .filter(|e| e.file_name().to_string_lossy().ends_with(".snap"))
+        .map(|e| (e.file_name().to_string_lossy().into_owned(), fs::read(e.path()).unwrap()))
+        .collect();
+    files.sort();
+    files
+}
+
+/// Asserts the `.snap` artifacts of two state dirs are byte-identical.
+fn assert_snaps_identical(a: &Path, b: &Path, context: &str) {
+    let sa = snap_files(a);
+    let sb = snap_files(b);
+    assert_eq!(
+        sa.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        sb.iter().map(|(n, _)| n.clone()).collect::<Vec<_>>(),
+        "{context}: snapshot file sets differ"
+    );
+    assert!(!sa.is_empty(), "{context}: differential compared zero snapshot files");
+    for ((name, bytes_a), (_, bytes_b)) in sa.iter().zip(sb.iter()) {
+        assert_eq!(bytes_a, bytes_b, "{context}: {name} is not byte-identical");
+    }
+}
+
+/// Runs the full stream on a fresh durable engine and finishes with a
+/// snapshot op; returns the state dir holding the reference artifacts.
+fn reference_run(name: &str) -> PathBuf {
+    let dir = tempdir(name);
+    let mut engine: Engine<()> = Engine::recover(durable(&dir)).unwrap();
+    let responses = feed(&mut engine, &stream());
+    assert_eq!(responses.len(), stream().len(), "every request answered");
+    let snap = serde_json::json!({"id": 99, "op": "snapshot"}).to_string();
+    let done = feed(&mut engine, &[snap]);
+    assert_eq!(parse(&done[0])["ok"].as_bool(), Some(true));
+    dir
+}
+
+/// The tentpole differential: crash (drop the engine — no destructor
+/// flushes anything, so this is a faithful `kill -9` at the request
+/// boundary) after every prefix of the stream, recover from disk,
+/// finish the stream, snapshot, and require the snapshot bytes to be
+/// identical to the never-crashed reference. Covers crashes before
+/// registration, between deferred patches, immediately after the
+/// mid-stream snapshot (journal just truncated), and after
+/// post-snapshot journal-only work.
+#[test]
+fn crash_at_every_request_boundary_recovers_byte_identical_state() {
+    let reference = reference_run("ref-boundary");
+    let requests = stream();
+    for cut in 0..=requests.len() {
+        let dir = tempdir(&format!("boundary-{cut}"));
+        {
+            let mut engine: Engine<()> = Engine::recover(durable(&dir)).unwrap();
+            feed(&mut engine, &requests[..cut]);
+            // Crash: the engine is dropped with whatever the journal
+            // and snapshot generation already hold. Nothing else may
+            // survive, and nothing else is needed.
+        }
+        let mut engine: Engine<()> = Engine::recover(durable(&dir)).unwrap();
+        feed(&mut engine, &requests[cut..]);
+        let snap = serde_json::json!({"id": 99, "op": "snapshot"}).to_string();
+        let done = feed(&mut engine, &[snap]);
+        assert_eq!(
+            parse(&done[0])["ok"].as_bool(),
+            Some(true),
+            "final snapshot after crash at boundary {cut}"
+        );
+        assert_snaps_identical(&reference, &dir, &format!("crash at request boundary {cut}"));
+    }
+}
+
+/// The journal byte-offset sweep: run a short journaled stream, then
+/// for *every byte offset* of the resulting journal, truncate a copy
+/// there (a kill -9 mid-append) and recover. At every offset the
+/// replayed-entry count must equal the number of complete frames that
+/// survived; at every frame boundary the recovered state must snapshot
+/// byte-identically to a clean run of the same prefix.
+#[test]
+fn journal_truncated_at_every_byte_offset_replays_exactly_the_complete_prefix() {
+    let tiny = r#"module t;
+fn probe(dev) {
+    let ret = pm_runtime_get_sync(dev);
+    if (ret < 0) { return ret; }
+    pm_runtime_put(dev);
+    return ret;
+}"#;
+    let tiny_edit = tiny.replace("return ret;\n}", "return 0;\n}");
+    let req = |v: Value| serde_json::to_string(&v).unwrap();
+    let lines = vec![
+        req(serde_json::json!({"id": 1, "op": "register", "project": "t",
+            "sources": serde_json::json!({"t.ril": tiny})})),
+        req(serde_json::json!({"id": 2, "op": "analyze", "project": "t"})),
+        req(serde_json::json!({"id": 3, "op": "patch", "project": "t",
+            "sources": serde_json::json!({"t.ril": tiny_edit})})),
+    ];
+
+    // Produce the full journal (no snapshot op, so nothing truncates it).
+    let source_dir = tempdir("sweep-source");
+    {
+        let mut engine: Engine<()> = Engine::recover(durable(&source_dir)).unwrap();
+        feed(&mut engine, &lines);
+    }
+    let journal = fs::read(source_dir.join("journal.ndjson")).unwrap();
+    assert_eq!(
+        journal.iter().filter(|&&b| b == b'\n').count(),
+        lines.len(),
+        "every request was journaled"
+    );
+
+    // Clean-prefix references for the frame-boundary byte compares.
+    let mut boundary_refs: Vec<(usize, PathBuf)> = Vec::new();
+    let mut offset = 0usize;
+    for (i, _) in lines.iter().enumerate() {
+        offset += journal[offset..].iter().position(|&b| b == b'\n').unwrap() + 1;
+        let dir = tempdir(&format!("sweep-ref-{i}"));
+        let mut engine: Engine<()> = Engine::recover(durable(&dir)).unwrap();
+        feed(&mut engine, &lines[..=i]);
+        let done = feed(
+            &mut engine,
+            &[serde_json::json!({"id": 99, "op": "snapshot"}).to_string()],
+        );
+        assert_eq!(parse(&done[0])["ok"].as_bool(), Some(true));
+        boundary_refs.push((offset, dir));
+    }
+
+    for cut in 0..=journal.len() {
+        let dir = tempdir("sweep-cut");
+        fs::write(dir.join("journal.ndjson"), &journal[..cut]).unwrap();
+        let mut engine: Engine<()> = Engine::recover(durable(&dir)).unwrap();
+        let complete = journal[..cut].iter().filter(|&&b| b == b'\n').count();
+        let stats = feed(
+            &mut engine,
+            &[serde_json::json!({"id": 50, "op": "stats"}).to_string()],
+        );
+        assert_eq!(
+            parse(&stats[0])["result"]["server"]["replayed_entries"].as_i64(),
+            Some(complete as i64),
+            "cut at byte {cut} of {}: exactly the complete frames replay",
+            journal.len()
+        );
+        if let Some((_, reference)) = boundary_refs.iter().find(|(at, _)| *at == cut) {
+            // The stats probe above was journaled on both sides? No —
+            // the reference journaled `lines[..=i]` then snapshot; here
+            // the replayed prefix plus the stats probe sits in the
+            // journal. The snapshot serializes project state only, and
+            // stats mutates none, so the artifacts must still match.
+            let done = feed(
+                &mut engine,
+                &[serde_json::json!({"id": 99, "op": "snapshot"}).to_string()],
+            );
+            assert_eq!(parse(&done[0])["ok"].as_bool(), Some(true));
+            assert_snaps_identical(reference, &dir, &format!("journal cut at byte {cut}"));
+        }
+    }
+}
+
+/// Torn and interleaved frames over the stdio transport: garbage
+/// between valid requests gets a `parse` error, an oversized frame
+/// gets `bad-request`, and the requests around them still execute.
+#[test]
+fn stdio_survives_garbage_and_oversized_frames_between_requests() {
+    let huge_project = "p".repeat(2048);
+    let input = format!(
+        concat!(
+            r#"{{"id":1,"op":"register","project":"g","sources":{{"t.ril":"module g; fn f(dev) {{ pm_runtime_get_sync(dev); pm_runtime_put(dev); return 0; }}"}}}}"#,
+            "\n",
+            "{{\"id\":2,\"op\":\"anal", // a torn frame: truncated mid-token
+            "\n",
+            r#"{{"id":3,"op":"stats","project":"{huge}"}}"#,
+            "\n",
+            r#"{{"id":4,"op":"analyze","project":"g"}}"#,
+            "\n",
+        ),
+        huge = huge_project
+    );
+    let mut out = Vec::new();
+    serve_stdio(
+        input.as_bytes(),
+        &mut out,
+        ServerConfig { max_frame_bytes: 512, ..ServerConfig::default() },
+    )
+    .unwrap();
+    let out = String::from_utf8(out).unwrap();
+    let replies: Vec<Value> = out.lines().map(parse).collect();
+    assert_eq!(replies.len(), 4, "every frame, even broken ones, is answered");
+    assert_eq!(replies[0]["ok"].as_bool(), Some(true), "register before the chaos");
+    assert_eq!(replies[1]["error"]["kind"].as_str(), Some("parse"), "torn frame");
+    assert_eq!(replies[2]["error"]["kind"].as_str(), Some("bad-request"), "oversized frame");
+    assert_eq!(replies[3]["ok"].as_bool(), Some(true), "stream survives to the next request");
+    assert_eq!(replies[3]["result"]["report_count"].as_i64(), Some(0));
+}
+
+/// A client that disconnects mid-request (no trailing newline, then a
+/// hard socket close) must kill neither the daemon nor other
+/// connections.
+#[cfg(unix)]
+#[test]
+fn unix_socket_survives_mid_request_disconnects_and_oversized_frames() {
+    use std::io::{BufRead, BufReader};
+    use std::os::unix::net::UnixStream;
+
+    let dir = tempdir("unix-chaos");
+    let socket = dir.join("rid.sock");
+    let server = {
+        let socket = socket.clone();
+        std::thread::spawn(move || {
+            rid::serve::serve_unix(
+                &socket,
+                ServerConfig { max_frame_bytes: 512, ..ServerConfig::default() },
+            )
+        })
+    };
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    // Chaos connection 1: half a frame, then a hard close.
+    {
+        let mut stream = UnixStream::connect(&socket).unwrap();
+        stream.write_all(br#"{"id":1,"op":"register","pro"#).unwrap();
+        stream.shutdown(std::net::Shutdown::Both).unwrap();
+    }
+    // Chaos connection 2: an oversized frame, then a valid request on
+    // the *same* connection — the reply proves the stream re-aligned.
+    {
+        let stream = UnixStream::connect(&socket).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let huge = "h".repeat(1024);
+        writeln!(writer, r#"{{"id":2,"op":"stats","project":"{huge}"}}"#).unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(parse(&reply)["error"]["kind"].as_str(), Some("bad-request"));
+        writeln!(writer, r#"{{"id":3,"op":"ping"}}"#).unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(parse(&reply)["result"]["pong"].as_bool(), Some(true));
+    }
+    // A healthy client still gets full service, then stops the daemon.
+    {
+        let stream = UnixStream::connect(&socket).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        writeln!(writer, r#"{{"id":4,"op":"stats"}}"#).unwrap();
+        let mut reply = String::new();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(parse(&reply)["ok"].as_bool(), Some(true));
+        writeln!(writer, r#"{{"id":5,"op":"shutdown"}}"#).unwrap();
+        reply.clear();
+        reader.read_line(&mut reply).unwrap();
+        assert_eq!(parse(&reply)["ok"].as_bool(), Some(true));
+    }
+    server.join().unwrap().unwrap();
+}
+
+/// Snapshot fsync failure: with `fsync_fail_rate: 1.0` every snapshot
+/// attempt fails *after* writing debris. The request must answer with
+/// a `snapshot` error, the previous generation must stay intact and
+/// loadable, the engine must keep serving, and a restart must still
+/// recover everything from the journal.
+#[test]
+fn fsync_failure_keeps_previous_generation_and_journal_recovery_intact() {
+    let dir = tempdir("fsync-chaos");
+    let req = |v: Value| serde_json::to_string(&v).unwrap();
+    let register = req(serde_json::json!({"id": 1, "op": "register", "project": "p",
+        "sources": serde_json::json!({"a.ril": MOD_A, "b.ril": MOD_B})}));
+    let analyze = req(serde_json::json!({"id": 2, "op": "analyze", "project": "p"}));
+    let snapshot = req(serde_json::json!({"id": 3, "op": "snapshot"}));
+
+    // Generation 1 lands cleanly.
+    {
+        let mut engine: Engine<()> = Engine::recover(durable(&dir)).unwrap();
+        let replies = feed(&mut engine, &[register.clone(), analyze.clone(), snapshot.clone()]);
+        assert_eq!(parse(&replies[2])["result"]["gen"].as_i64(), Some(1));
+    }
+    let gen1 = snap_files(&dir);
+    assert!(!gen1.is_empty());
+
+    // Every later snapshot hits the failing fsync.
+    let faulty = ServerConfig {
+        fault: ServeFaultPlan { fsync_fail_rate: 1.0, ..ServeFaultPlan::none() },
+        ..durable(&dir)
+    };
+    let mut engine: Engine<()> = Engine::recover(faulty.clone()).unwrap();
+    let patch = req(serde_json::json!({"id": 4, "op": "patch", "project": "p",
+        "sources": serde_json::json!({"a.ril": MOD_A_EDIT})}));
+    let replies = feed(&mut engine, &[patch, req(serde_json::json!({"id": 5, "op": "snapshot"}))]);
+    assert_eq!(parse(&replies[0])["ok"].as_bool(), Some(true), "patch itself succeeds");
+    let failed = parse(&replies[1]);
+    assert_eq!(failed["ok"].as_bool(), Some(false));
+    assert_eq!(failed["error"]["kind"].as_str(), Some("snapshot"));
+    assert_eq!(snap_files(&dir), gen1, "generation 1 is untouched by the failed attempt");
+
+    // The engine is still serving after the failed snapshot…
+    let stats = feed(&mut engine, &[req(serde_json::json!({"id": 6, "op": "stats"}))]);
+    let before_crash = parse(&stats[0])["result"]["projects"]["p"].clone();
+    assert_eq!(before_crash["analyses"].as_i64(), Some(2), "analyze + patch both ran");
+    drop(engine);
+
+    // …and a crashed restart recovers the patch from the journal on
+    // top of generation 1: per-project state matches the pre-crash
+    // observation exactly.
+    let mut engine: Engine<()> = Engine::recover(durable(&dir)).unwrap();
+    let stats = feed(&mut engine, &[req(serde_json::json!({"id": 7, "op": "stats"}))]);
+    let after_restart = parse(&stats[0])["result"]["projects"]["p"].clone();
+    assert_eq!(
+        serde_json::to_string(&after_restart).unwrap(),
+        serde_json::to_string(&before_crash).unwrap(),
+        "the journaled patch's effects survive the fsync chaos"
+    );
+}
+
+/// Idempotency keys survive a crash: journal replay repopulates the
+/// response memory, so a client retrying a pre-crash request against
+/// the restarted daemon gets the remembered answer, not a re-execution.
+#[test]
+fn idempotency_dedupe_survives_a_restart() {
+    let dir = tempdir("idem-restart");
+    let req = |v: Value| serde_json::to_string(&v).unwrap();
+    let register = req(serde_json::json!({"id": 1, "op": "register", "project": "p",
+        "sources": serde_json::json!({"a.ril": MOD_A}), "idem": "reg-1"}));
+    let analyze = req(serde_json::json!({"id": 2, "op": "analyze", "project": "p",
+        "idem": "an-2"}));
+    let first_reply;
+    {
+        let mut engine: Engine<()> = Engine::recover(durable(&dir)).unwrap();
+        let replies = feed(&mut engine, &[register, analyze.clone()]);
+        first_reply = replies[1].clone();
+        assert_eq!(parse(&first_reply)["ok"].as_bool(), Some(true));
+    }
+    let mut engine: Engine<()> = Engine::recover(durable(&dir)).unwrap();
+    // The retry after the crash: same idempotency key, no re-analysis.
+    let replies = feed(&mut engine, &[analyze]);
+    assert_eq!(replies[0], first_reply, "the replayed memory answers the retry verbatim");
+    let stats = feed(&mut engine, &[req(serde_json::json!({"id": 9, "op": "stats"}))]);
+    let stats = parse(&stats[0]);
+    assert_eq!(stats["result"]["server"]["idem_hits"].as_i64(), Some(1));
+    assert_eq!(
+        stats["result"]["projects"]["p"]["analyses"].as_i64(),
+        Some(1),
+        "the retry must not re-run the analysis"
+    );
+}
+
+/// The durability paths announce themselves through rid-obs: a
+/// snapshot op emits a `snapshot` span, and a recovering startup emits
+/// `restore` (per project) and `journal-replay` spans.
+#[test]
+fn snapshot_restore_and_replay_emit_obs_spans() {
+    let _guard = lock();
+    let dir = tempdir("obs-chaos");
+    let req = |v: Value| serde_json::to_string(&v).unwrap();
+    {
+        let mut engine: Engine<()> = Engine::recover(durable(&dir)).unwrap();
+        feed(
+            &mut engine,
+            &[
+                req(serde_json::json!({"id": 1, "op": "register", "project": "p",
+                    "sources": serde_json::json!({"a.ril": MOD_A})})),
+                req(serde_json::json!({"id": 2, "op": "snapshot"})),
+                req(serde_json::json!({"id": 3, "op": "analyze", "project": "p"})),
+            ],
+        );
+    }
+    trace::enable(trace::DEFAULT_CAPACITY);
+    let mut engine: Engine<()> = Engine::recover(durable(&dir)).unwrap();
+    feed(&mut engine, &[req(serde_json::json!({"id": 4, "op": "snapshot"}))]);
+    trace::disable();
+    let trace = trace::drain();
+    let count = |kind: SpanKind| trace.events.iter().filter(|e| e.kind == kind).count();
+    assert!(count(SpanKind::Restore) >= 1, "restore span per restored project");
+    assert!(count(SpanKind::JournalReplay) >= 1, "journal-replay span on startup");
+    assert!(count(SpanKind::Snapshot) >= 1, "snapshot span on the snapshot op");
+    let restore = trace
+        .events
+        .iter()
+        .find(|e| e.kind == SpanKind::Restore)
+        .expect("restore span present");
+    assert!(restore.value > 0, "restore span carries the snapshot byte count");
+}
