@@ -44,7 +44,7 @@ impl Default for PredefinedBuilder {
 
 impl PredefinedBuilder {
     /// Starts a summary for the named API function.
-    pub fn new(func: impl Into<String>) -> PredefinedBuilder {
+    pub fn new(func: impl Into<rid_ir::Sym>) -> PredefinedBuilder {
         PredefinedBuilder { summary: Summary::new(func) }
     }
 

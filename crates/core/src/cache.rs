@@ -43,7 +43,7 @@
 
 use std::collections::BTreeMap;
 
-use rid_ir::Function;
+use rid_ir::{Function, Inst, Operand, Pred, Rvalue, Terminator};
 use serde::{Deserialize, Serialize};
 
 use crate::callgraph::Condensation;
@@ -52,9 +52,9 @@ use crate::ipp::IppReport;
 use crate::summary::{Summary, SummaryDb};
 
 /// Schema tag stored in (and validated against) persisted cache files.
-/// v3: cached IPP reports carry explainability provenance (v2 added
-/// block traces).
-pub const CACHE_SCHEMA: &str = "rid-summary-cache/v3";
+/// v4: content hashing switched to an explicit intern-order-independent
+/// structural walk (v3 added explainability provenance, v2 block traces).
+pub const CACHE_SCHEMA: &str = "rid-summary-cache/v4";
 
 /// 128-bit FNV-1a.
 #[derive(Clone, Copy, Debug)]
@@ -106,28 +106,144 @@ impl Fnv128 {
     }
 }
 
-/// Adapter so the IR's derived [`std::hash::Hash`] impls feed
-/// [`Fnv128`]. Only the 128-bit state is read back; `finish()` exists
-/// to satisfy the trait.
-struct FnvHasher(Fnv128);
+// --- Explicit structural walk over the IR -------------------------------
+//
+// Content hashing must NOT go through the IR types' derived
+// `std::hash::Hash` impls: `Sym` hashes by its 4-byte handle id, and
+// handle ids depend on first-touch intern order, which differs between
+// processes (a cold parse interns in source order; a snapshot restore
+// interns in whatever order the snapshot replays). Persisted merkle keys
+// must be identical across those, so every name below is resolved to its
+// text and hashed as length-prefixed bytes. Enum variants are tagged with
+// explicit discriminant bytes — the layout is part of [`CACHE_SCHEMA`].
 
-impl std::hash::Hasher for FnvHasher {
-    fn write(&mut self, bytes: &[u8]) {
-        self.0.write(bytes);
+fn hash_str(h: &mut Fnv128, s: &str) {
+    h.write_u64(s.len() as u64);
+    h.write(s.as_bytes());
+}
+
+fn hash_operand(h: &mut Fnv128, op: &Operand) {
+    match op {
+        Operand::Var(v) => {
+            h.write(&[0]);
+            hash_str(h, v);
+        }
+        Operand::Int(n) => {
+            h.write(&[1]);
+            h.write_u64(*n as u64);
+        }
+        Operand::Bool(b) => h.write(&[2, u8::from(*b)]),
+        Operand::Null => h.write(&[3]),
+        Operand::FuncRef(f) => {
+            h.write(&[4]);
+            hash_str(h, f);
+        }
     }
+}
 
-    fn finish(&self) -> u64 {
-        self.0 .0 as u64
+fn hash_pred(h: &mut Fnv128, pred: Pred) {
+    h.write(&[match pred {
+        Pred::Eq => 0,
+        Pred::Ne => 1,
+        Pred::Lt => 2,
+        Pred::Le => 3,
+        Pred::Gt => 4,
+        Pred::Ge => 5,
+    }]);
+}
+
+fn hash_rvalue(h: &mut Fnv128, rv: &Rvalue) {
+    match rv {
+        Rvalue::Use(op) => {
+            h.write(&[0]);
+            hash_operand(h, op);
+        }
+        Rvalue::FieldLoad { base, field } => {
+            h.write(&[1]);
+            hash_str(h, base);
+            hash_str(h, field);
+        }
+        Rvalue::Random => h.write(&[2]),
+        Rvalue::Cmp { pred, lhs, rhs } => {
+            h.write(&[3]);
+            hash_pred(h, *pred);
+            hash_operand(h, lhs);
+            hash_operand(h, rhs);
+        }
+        Rvalue::Call { callee, args } => {
+            h.write(&[4]);
+            hash_str(h, callee);
+            h.write_u64(args.len() as u64);
+            for a in args {
+                hash_operand(h, a);
+            }
+        }
+    }
+}
+
+fn hash_inst(h: &mut Fnv128, inst: &Inst) {
+    match inst {
+        Inst::Assign { dst, rvalue } => {
+            h.write(&[0]);
+            hash_str(h, dst);
+            hash_rvalue(h, rvalue);
+        }
+        Inst::Call { callee, args } => {
+            h.write(&[1]);
+            hash_str(h, callee);
+            h.write_u64(args.len() as u64);
+            for a in args {
+                hash_operand(h, a);
+            }
+        }
+        Inst::Assume { pred, lhs, rhs } => {
+            h.write(&[2]);
+            hash_pred(h, *pred);
+            hash_operand(h, lhs);
+            hash_operand(h, rhs);
+        }
+        Inst::FieldStore { base, field, value } => {
+            h.write(&[3]);
+            hash_str(h, base);
+            hash_str(h, field);
+            hash_operand(h, value);
+        }
+    }
+}
+
+fn hash_term(h: &mut Fnv128, term: &Terminator) {
+    match term {
+        Terminator::Jump(bb) => {
+            h.write(&[0]);
+            h.write_u64(u64::from(bb.0));
+        }
+        Terminator::Branch { cond, then_bb, else_bb } => {
+            h.write(&[1]);
+            hash_str(h, cond);
+            h.write_u64(u64::from(then_bb.0));
+            h.write_u64(u64::from(else_bb.0));
+        }
+        Terminator::Return(op) => {
+            h.write(&[2]);
+            match op {
+                None => h.write(&[0]),
+                Some(op) => {
+                    h.write(&[1]);
+                    hash_operand(h, op);
+                }
+            }
+        }
+        Terminator::Unreachable => h.write(&[3]),
     }
 }
 
 /// Stable hash of a function's lowered IR: name, parameters, linkage,
-/// and every block's instructions and terminator, via the IR types'
-/// derived `Hash` impls (structural, well-delimited — strings carry a
-/// terminator byte, vectors their length, enums their discriminant).
-/// Warm-run keying hashes the whole active cone, so this path matters:
-/// structural hashing is several times faster than hashing the
-/// `Display` text because it never touches the `fmt` machinery.
+/// and every block's instructions and terminator, via an explicit
+/// structural walk that resolves every interned name to its text (see
+/// the comment above — derived `Hash` would key on process-local intern
+/// ids). Warm-run keying hashes the whole active cone, so this path
+/// matters: the walk is several times faster than hashing the `Display`
+/// text because it never touches the `fmt` machinery.
 ///
 /// Public because `rid-serve` diffs per-function content hashes across a
 /// `patch` to discover *which* functions an edited module actually
@@ -137,16 +253,21 @@ impl std::hash::Hasher for FnvHasher {
 /// no salt, no callee keys.
 #[must_use]
 pub fn content_hash(func: &Function) -> u128 {
-    use std::hash::Hash;
-    let mut h = FnvHasher(Fnv128::new());
-    func.name().hash(&mut h);
-    func.params().hash(&mut h);
-    func.weak.hash(&mut h);
-    for block in func.blocks() {
-        block.insts.hash(&mut h);
-        block.term.hash(&mut h);
+    let mut h = Fnv128::new();
+    hash_str(&mut h, func.name());
+    h.write_u64(func.params().len() as u64);
+    for p in func.params() {
+        hash_str(&mut h, p);
     }
-    h.0.finish()
+    h.write(&[u8::from(func.weak)]);
+    for block in func.blocks() {
+        h.write_u64(block.insts.len() as u64);
+        for inst in block.insts {
+            hash_inst(&mut h, inst);
+        }
+        hash_term(&mut h, block.term);
+    }
+    h.finish()
 }
 
 /// The run-configuration salt folded into every key (see the module
@@ -232,12 +353,82 @@ pub struct CacheEntry {
 
 /// A persistent map from function name to cached result. Serialize with
 /// [`crate::persist::save_cache`] / [`crate::persist::load_cache`].
-#[derive(Clone, Debug, Serialize, Deserialize)]
+///
+/// The cache is **hybrid**: `entries` holds the resident records
+/// (inserted this process, or parsed from a legacy JSON cache), while an
+/// optional backing [`crate::store::SummaryStore`] answers probes for
+/// everything else with an index lookup plus one positioned read — a
+/// warm run materializes only the entries it actually hits. Resident
+/// entries shadow backing ones.
+#[derive(Clone, Debug)]
 pub struct SummaryCache {
     /// Schema tag; always [`CACHE_SCHEMA`] for caches this build writes.
     pub schema: String,
-    /// Cached results by function name.
+    /// Resident results by function name.
     pub entries: BTreeMap<String, CacheEntry>,
+    /// Lazily probed on-disk (or in-snapshot) store; resident entries
+    /// shadow it. `Arc` so clones share the open file handle.
+    backing: Option<std::sync::Arc<crate::store::SummaryStore>>,
+}
+
+// Serialized as the legacy `{"schema", "entries"}` JSON shape with the
+// backing store *materialized* — the textual form is self-contained, so
+// a cache round-tripped through JSON never silently drops lazily-held
+// entries. (The store write path never comes through here; it copies
+// unshadowed backing payloads as raw bytes.)
+impl Serialize for SummaryCache {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut entries = Vec::new();
+        if let Some(store) = &self.backing {
+            for name in store.names() {
+                if self.entries.contains_key(name) {
+                    continue; // shadowed; emitted from the resident map below
+                }
+                let entry = store
+                    .read_entry(name)
+                    .map_err(|e| serde::ser::Error::custom(e.to_string()))?
+                    .expect("listed names are present");
+                entries.push((name.to_owned(), entry));
+            }
+        }
+        for (name, entry) in &self.entries {
+            entries.push((name.clone(), entry.clone()));
+        }
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut pairs = Vec::with_capacity(entries.len());
+        for (name, entry) in entries {
+            pairs.push((name, serde::__private::to_value_err::<_, S::Error>(&entry)?));
+        }
+        serializer.serialize_value(serde::Value::Map(vec![
+            ("schema".to_owned(), serde::Value::Str(self.schema.clone())),
+            ("entries".to_owned(), serde::Value::Map(pairs)),
+        ]))
+    }
+}
+
+impl<'de> Deserialize<'de> for SummaryCache {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let value = serde::Value::deserialize(deserializer)?;
+        let fields = serde::__private::expect_map::<D::Error>(value)?;
+        let mut schema = String::new();
+        let mut entries = BTreeMap::new();
+        for (field, value) in fields {
+            match field.as_str() {
+                "schema" => {
+                    schema = serde::__private::from_value_err::<String, D::Error>(value)?;
+                }
+                "entries" => {
+                    for (name, entry) in serde::__private::expect_map::<D::Error>(value)? {
+                        let entry =
+                            serde::__private::from_value_err::<CacheEntry, D::Error>(entry)?;
+                        entries.insert(name, entry);
+                    }
+                }
+                _ => {}
+            }
+        }
+        Ok(SummaryCache { schema, entries, backing: None })
+    }
 }
 
 impl Default for SummaryCache {
@@ -261,37 +452,81 @@ impl SummaryCache {
     /// Creates an empty cache.
     #[must_use]
     pub fn new() -> SummaryCache {
-        SummaryCache { schema: CACHE_SCHEMA.to_owned(), entries: BTreeMap::new() }
+        SummaryCache { schema: CACHE_SCHEMA.to_owned(), entries: BTreeMap::new(), backing: None }
     }
 
-    /// Number of cached entries.
+    /// Wraps an opened [`crate::store::SummaryStore`] as a cache with no
+    /// resident entries: probes are answered from the store's index and
+    /// payloads are parsed only when hit.
+    #[must_use]
+    pub fn from_store(store: crate::store::SummaryStore) -> SummaryCache {
+        SummaryCache {
+            schema: store.schema().to_owned(),
+            entries: BTreeMap::new(),
+            backing: Some(std::sync::Arc::new(store)),
+        }
+    }
+
+    /// The backing store, if this cache was opened from one. Pass-through
+    /// writers ([`crate::persist::save_cache`], the daemon's snapshot
+    /// encoder) hand this to [`crate::store::write_store_bytes`] so
+    /// entries the run never materialized are copied as raw bytes.
+    #[must_use]
+    pub fn backing_store(&self) -> Option<&crate::store::SummaryStore> {
+        self.backing.as_deref()
+    }
+
+    /// Number of cached entries (resident plus unshadowed backing).
     #[must_use]
     pub fn len(&self) -> usize {
-        self.entries.len()
+        let backed = self
+            .backing
+            .as_deref()
+            .map(|store| store.names().filter(|n| !self.entries.contains_key(*n)).count())
+            .unwrap_or(0);
+        self.entries.len() + backed
     }
 
     /// Whether the cache holds no entries.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Classifies a lookup of `name` under the current `key`, returning
     /// the entry alongside a hit so the caller needs no second lookup
     /// (the warm-run fast path runs this once per analyzed function).
+    /// Backing-store hits cost one positioned read plus a parse; an
+    /// unreadable or corrupt stored entry counts as [`CacheProbe::Stale`]
+    /// (the function is recomputed, the run is never poisoned).
     #[must_use]
-    pub(crate) fn probe(&self, name: &str, key: u128) -> (CacheProbe, Option<&CacheEntry>) {
+    pub(crate) fn probe(&self, name: &str, key: u128) -> (CacheProbe, Option<CacheEntry>) {
         match self.entries.get(name) {
+            Some(entry) if hex_matches(&entry.key, key) => {
+                return (CacheProbe::Hit, Some(entry.clone()))
+            }
+            Some(_) => return (CacheProbe::Stale, None),
+            None => {}
+        }
+        let Some(store) = self.backing.as_deref() else { return (CacheProbe::Absent, None) };
+        match store.key_of(name) {
             None => (CacheProbe::Absent, None),
-            Some(entry) if hex_matches(&entry.key, key) => (CacheProbe::Hit, Some(entry)),
+            Some(stored) if stored == key => match store.read_entry(name) {
+                Ok(Some(entry)) => (CacheProbe::Hit, Some(entry)),
+                _ => (CacheProbe::Stale, None),
+            },
             Some(_) => (CacheProbe::Stale, None),
         }
     }
 
-    /// The entry for `name`, regardless of key freshness.
+    /// The entry for `name`, regardless of key freshness. Backing-store
+    /// entries are parsed on demand; unreadable ones read as absent.
     #[must_use]
-    pub fn get(&self, name: &str) -> Option<&CacheEntry> {
-        self.entries.get(name)
+    pub fn get(&self, name: &str) -> Option<CacheEntry> {
+        if let Some(entry) = self.entries.get(name) {
+            return Some(entry.clone());
+        }
+        self.backing.as_deref().and_then(|s| s.read_entry(name).ok().flatten())
     }
 
     /// Inserts (or replaces) the entry for `name`.
@@ -312,6 +547,17 @@ impl SummaryCache {
 #[must_use]
 pub(crate) fn hex_key(key: u128) -> String {
     format!("{key:032x}")
+}
+
+/// Parses the canonical hex form back to a key; `None` on anything that
+/// is not exactly 32 lowercase hex digits.
+#[must_use]
+pub(crate) fn parse_hex_key(text: &str) -> Option<u128> {
+    if text.len() != 32 || !text.bytes().all(|b| b.is_ascii_digit() || (b'a'..=b'f').contains(&b))
+    {
+        return None;
+    }
+    u128::from_str_radix(text, 16).ok()
 }
 
 /// Whether `text` is the canonical hex form of `key`, without

@@ -82,7 +82,7 @@ pub fn check_summary(summary: &Summary, rule: SummaryRule) -> Vec<RuleViolation>
             if delta != expected {
                 violations.push(RuleViolation {
                     rule,
-                    function: summary.func.clone(),
+                    function: summary.func.as_str().to_owned(),
                     entry_index,
                     refcount: rc.clone(),
                     delta,

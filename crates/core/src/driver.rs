@@ -513,11 +513,11 @@ pub fn analyze_program_cached(
                     };
                     match probe {
                         (CacheProbe::Hit, Some(entry)) => {
-                            let published = slots[i].set(entry.summary.clone());
+                            let published = slots[i].set(entry.summary);
                             debug_assert!(published.is_ok());
                             out.stats.functions_analyzed += 1;
                             out.stats.cache_hits += 1;
-                            out.reports.extend(entry.reports.iter().cloned());
+                            out.reports.extend(entry.reports);
                             continue;
                         }
                         (CacheProbe::Hit, None) => unreachable!("hits carry the entry"),

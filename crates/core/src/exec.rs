@@ -35,7 +35,7 @@
 
 use std::collections::{BTreeMap, HashMap};
 
-use rid_ir::{BasicBlock, BlockId, Function, Inst, InstId, Operand, Pred, Rvalue, Terminator};
+use rid_ir::{BlockId, BlockRef, Function, Inst, InstId, Operand, Pred, Rvalue, Sym, Terminator};
 use rid_solver::{project, Conj, IncrementalSolver, Lit, SatOptions, Subst, Term, Var};
 
 use crate::budget::{BudgetMeter, DegradeReason};
@@ -155,12 +155,12 @@ enum SymValue {
 /// which give symbolic names their path-prefix determinism.
 #[derive(Clone, Debug, Default)]
 struct WalkState {
-    vmap: HashMap<String, SymValue>,
+    vmap: HashMap<Sym, SymValue>,
     states: Vec<State>,
     /// Per-instruction occurrence counts (for `(inst, occ)` site ids).
     occurrences: HashMap<u32, u32>,
     /// Local-variable interner (for reads of never-assigned variables).
-    locals: HashMap<String, u32>,
+    locals: HashMap<Sym, u32>,
 }
 
 /// Literal count at which a state's conjunction earns an attached
@@ -207,14 +207,14 @@ pub(crate) enum SummaryView<'a> {
 impl<'a> SummaryView<'a> {
     // Takes `self` by value (the view is `Copy`) so the returned borrow
     // lives for `'a`, independent of the view binding itself.
-    pub(crate) fn get(self, name: &str) -> Option<&'a crate::summary::Summary> {
+    pub(crate) fn get_sym(self, name: Sym) -> Option<&'a crate::summary::Summary> {
         match self {
-            SummaryView::Db(db) => db.get(name),
+            SummaryView::Db(db) => db.get_sym(name),
             SummaryView::Slots { predefined, graph, slots } => {
-                if let Some(s) = predefined.get(name) {
+                if let Some(s) = predefined.get_sym(name) {
                     return Some(s); // predefined shadows the definition
                 }
-                graph.index_of(name).and_then(|i| slots[i].get())
+                graph.index_of(&name).and_then(|i| slots[i].get())
             }
         }
     }
@@ -293,13 +293,13 @@ impl<'a> PathExecutor<'a> {
             // agree (the callback-contract extension reads them from the
             // IR directly, not from here).
             Operand::FuncRef(name) => {
-                SymValue::Term(Term::var(local_var(&mut st.locals, &format!("@{name}"))))
+                SymValue::Term(Term::var(local_var(&mut st.locals, Sym::new(&format!("@{name}")))))
             }
             Operand::Var(name) => {
                 if let Some(v) = st.vmap.get(name) {
                     return v.clone();
                 }
-                SymValue::Term(Term::var(local_var(&mut st.locals, name)))
+                SymValue::Term(Term::var(local_var(&mut st.locals, *name)))
             }
         }
     }
@@ -317,7 +317,7 @@ impl<'a> PathExecutor<'a> {
     fn fresh_walk(&mut self) -> WalkState {
         let mut vmap = HashMap::new();
         for (i, param) in self.func.params().iter().enumerate() {
-            vmap.insert(param.clone(), SymValue::Term(Term::var(Var::formal(i as u32))));
+            vmap.insert(*param, SymValue::Term(Term::var(Var::formal(i as u32))));
         }
         self.states_created += 1;
         WalkState {
@@ -456,33 +456,33 @@ impl<'a> PathExecutor<'a> {
                 Inst::Assign { dst, rvalue } => match rvalue {
                     Rvalue::Use(op) => {
                         let v = self.value_of(st, op);
-                        st.vmap.insert(dst.clone(), v);
+                        st.vmap.insert(*dst, v);
                     }
                     Rvalue::FieldLoad { base, field } => {
                         let base_term =
-                            self.term_of(st, &Operand::var(base.clone()), site);
+                            self.term_of(st, &Operand::var(*base), site);
                         st.vmap.insert(
-                            dst.clone(),
+                            *dst,
                             SymValue::Term(base_term.field(field.as_str())),
                         );
                     }
                     Rvalue::Random => {
                         st.vmap.insert(
-                            dst.clone(),
+                            *dst,
                             SymValue::Term(Term::var(Var::random(site, 0))),
                         );
                     }
                     Rvalue::Cmp { pred, lhs, rhs } => {
                         let l = self.term_of(st, lhs, site);
                         let r = self.term_of(st, rhs, site);
-                        st.vmap.insert(dst.clone(), SymValue::Cmp(*pred, l, r));
+                        st.vmap.insert(*dst, SymValue::Cmp(*pred, l, r));
                     }
                     Rvalue::Call { callee, args } => {
-                        self.exec_call(st, callee, args, Some(dst), site);
+                        self.exec_call(st, *callee, args, Some(*dst), site);
                     }
                 },
                 Inst::Call { callee, args } => {
-                    self.exec_call(st, callee, args, None, site);
+                    self.exec_call(st, *callee, args, None, site);
                 }
                 Inst::Assume { pred, lhs, rhs } => {
                     let l = self.term_of(st, lhs, site);
@@ -503,12 +503,12 @@ impl<'a> PathExecutor<'a> {
 
     /// Applies a block's terminator constraint toward the chosen
     /// successor. Returns `false` when every state died.
-    fn constrain_edge(&mut self, st: &mut WalkState, block: &BasicBlock, next: BlockId) -> bool {
-        if let Terminator::Branch { cond, then_bb, else_bb } = &block.term {
+    fn constrain_edge(&mut self, st: &mut WalkState, block: BlockRef<'_>, next: BlockId) -> bool {
+        if let Terminator::Branch { cond, then_bb, else_bb } = block.term {
             // A branch whose arms coincide constrains nothing.
             if then_bb != else_bb {
                 let take_then = next == *then_bb;
-                let lit = match self.value_of(st, &Operand::var(cond.clone())) {
+                let lit = match self.value_of(st, &Operand::var(*cond)) {
                     SymValue::Cmp(pred, l, r) => {
                         let pred = if take_then { pred } else { pred.negated() };
                         Some(Lit::new(pred, l, r))
@@ -547,7 +547,7 @@ impl<'a> PathExecutor<'a> {
                 return Vec::new();
             }
             let block = self.func.block(block_id);
-            match &block.term {
+            match block.term {
                 Terminator::Return(ret_op) => {
                     debug_assert!(pos + 1 == path.blocks.len());
                     return self.finalize(&mut st, ret_op.as_ref(), path, path_index);
@@ -584,7 +584,7 @@ impl<'a> PathExecutor<'a> {
                 continue;
             }
             let block = self.func.block(node.block);
-            match &block.term {
+            match block.term {
                 Terminator::Return(ret_op) => {
                     // A leaf. Finalize once; duplicate paths (a branch
                     // whose arms coincide) reuse the entries with their
@@ -671,20 +671,20 @@ impl<'a> PathExecutor<'a> {
     fn exec_call(
         &mut self,
         st: &mut WalkState,
-        callee: &str,
+        callee: Sym,
         args: &[Operand],
-        dst: Option<&str>,
+        dst: Option<Sym>,
         site: u32,
     ) {
         let actuals: Vec<Term> =
             args.iter().map(|a| self.term_of(st, a, site)).collect();
         let ret_var = Term::var(Var::call_ret(site, 0));
         if let Some(dst) = dst {
-            st.vmap.insert(dst.to_owned(), SymValue::Term(ret_var.clone()));
+            st.vmap.insert(dst, SymValue::Term(ret_var.clone()));
         }
 
         let default_summary;
-        let summary = match self.db.get(callee) {
+        let summary = match self.db.get_sym(callee) {
             Some(s) if !s.entries.is_empty() => s,
             _ => {
                 default_summary = crate::summary::Summary::default_for(callee);
@@ -806,9 +806,9 @@ impl<'a> PathExecutor<'a> {
 /// variables and opaque function references). Lives outside the executor
 /// because the interner belongs to the forked walk state: ids must depend
 /// only on the executed prefix, exactly as in standalone execution.
-fn local_var(locals: &mut HashMap<String, u32>, name: &str) -> Var {
+fn local_var(locals: &mut HashMap<Sym, u32>, name: Sym) -> Var {
     let next = locals.len() as u32;
-    let id = *locals.entry(name.to_owned()).or_insert(next);
+    let id = *locals.entry(name).or_insert(next);
     Var::local(id)
 }
 
@@ -900,11 +900,18 @@ pub fn summarize_paths_mode(
 
 /// Fraction (numerator over denominator in block counts) of per-path work
 /// that must be shared prefix before [`ExecMode::Auto`] picks tree mode.
-/// At 1/2, the break-even observed on the seeded corpus, the saved block
-/// executions pay for the trie build, the memo inserts, and the solver
-/// snapshots that tree mode adds per function.
-const AUTO_TREE_SHARE_NUM: usize = 1;
-const AUTO_TREE_SHARE_DEN: usize = 2;
+///
+/// The break-even sits near 1/4, not the 1/2 this constant originally
+/// claimed: the v5 baseline's full-corpus tree runs saved ~30% of block
+/// executions (`blocks_saved / (blocks_executed + blocks_saved)`) while
+/// running at per-path speed or better, yet under the 1/2 threshold Auto
+/// resolved *every* function to per-path — the shared-prefix ratio of a
+/// two-path function topping out near 1/2 means the old cut was
+/// unreachable in practice. 3/10 puts the switch just above measured
+/// break-even, so the trie build, memo inserts, and solver snapshots are
+/// only paid where the saved block executions more than cover them.
+const AUTO_TREE_SHARE_NUM: usize = 3;
+const AUTO_TREE_SHARE_DEN: usize = 10;
 
 /// The internal entry point all execution goes through; see
 /// [`summarize_paths_mode`]. Takes a [`SummaryView`] so the scheduler's

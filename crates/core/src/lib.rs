@@ -66,6 +66,7 @@ pub mod paths;
 pub mod persist;
 pub mod report;
 pub mod slice;
+pub mod store;
 pub mod summary;
 
 pub use budget::{
@@ -90,4 +91,5 @@ pub use report::{
     classify_report, render_explanation, render_explanations, render_report, render_reports,
     BugKind,
 };
+pub use store::SummaryStore;
 pub use summary::{Summary, SummaryDb, SummaryEntry};

@@ -13,7 +13,7 @@
 
 use std::collections::HashSet;
 
-use rid_ir::{Function, Inst, Operand, Rvalue, Terminator};
+use rid_ir::{Function, Inst, Operand, Rvalue, Sym, Terminator};
 
 /// The variables in the backward slice of `func` for the §5.2 criteria.
 ///
@@ -25,13 +25,13 @@ use rid_ir::{Function, Inst, Operand, Rvalue, Terminator};
 pub fn slice_variables(
     func: &Function,
     refcount_changing: &dyn Fn(&str) -> bool,
-) -> HashSet<String> {
-    let mut slice: HashSet<String> = HashSet::new();
+) -> HashSet<Sym> {
+    let mut slice: HashSet<Sym> = HashSet::new();
 
     // Seed: return operands.
     for block in func.blocks() {
-        if let Terminator::Return(Some(Operand::Var(name))) = &block.term {
-            slice.insert(name.clone());
+        if let Terminator::Return(Some(Operand::Var(name))) = block.term {
+            slice.insert(*name);
         }
     }
 
@@ -44,19 +44,19 @@ pub fn slice_variables(
             Inst::Assign { rvalue: Rvalue::Call { callee, args }, .. } => (callee, args),
             _ => continue,
         };
-        if refcount_changing(callee) {
+        if refcount_changing(callee.as_str()) {
             calls_refcount_api = true;
             for arg in args {
                 if let Operand::Var(name) = arg {
-                    slice.insert(name.clone());
+                    slice.insert(*name);
                 }
             }
         }
     }
     if calls_refcount_api {
         for block in func.blocks() {
-            if let Terminator::Branch { cond, .. } = &block.term {
-                slice.insert(cond.clone());
+            if let Terminator::Branch { cond, .. } = block.term {
+                slice.insert(*cond);
             }
         }
     }
@@ -66,12 +66,12 @@ pub fn slice_variables(
     loop {
         let mut changed = false;
         for (_, inst) in func.insts() {
-            let Some(dst) = inst.def() else { continue };
-            if !slice.contains(dst) {
+            let Some(dst) = inst.def_sym() else { continue };
+            if !slice.contains(&dst) {
                 continue;
             }
-            for used in inst.used_vars() {
-                if slice.insert(used.to_owned()) {
+            for used in inst.used_var_syms() {
+                if slice.insert(used) {
                     changed = true;
                 }
             }
@@ -94,13 +94,13 @@ pub fn slice_variables(
 pub fn slice_variables_precise(
     func: &Function,
     refcount_changing: &dyn Fn(&str) -> bool,
-) -> HashSet<String> {
-    let mut slice: HashSet<String> = HashSet::new();
+) -> HashSet<Sym> {
+    let mut slice: HashSet<Sym> = HashSet::new();
 
     // Seed: return operands.
     for block in func.blocks() {
-        if let Terminator::Return(Some(Operand::Var(name))) = &block.term {
-            slice.insert(name.clone());
+        if let Terminator::Return(Some(Operand::Var(name))) = block.term {
+            slice.insert(*name);
         }
     }
 
@@ -115,10 +115,10 @@ pub fn slice_variables_precise(
             Inst::Assign { rvalue: Rvalue::Call { callee, args }, .. } => (callee, args),
             _ => continue,
         };
-        if refcount_changing(callee) {
+        if refcount_changing(callee.as_str()) {
             for arg in args {
                 if let Operand::Var(name) = arg {
-                    slice.insert(name.clone());
+                    slice.insert(*name);
                 }
             }
             dep_blocks.push(id.block);
@@ -134,24 +134,24 @@ pub fn slice_variables_precise(
         }
     }
     for branch in controlling {
-        if let Terminator::Branch { cond, .. } = &func.block(branch).term {
-            slice.insert(cond.clone());
+        if let Terminator::Branch { cond, .. } = func.block(branch).term {
+            slice.insert(*cond);
         }
     }
 
     data_closure(func, slice)
 }
 
-fn data_closure(func: &Function, mut slice: HashSet<String>) -> HashSet<String> {
+fn data_closure(func: &Function, mut slice: HashSet<Sym>) -> HashSet<Sym> {
     loop {
         let mut changed = false;
         for (_, inst) in func.insts() {
-            let Some(dst) = inst.def() else { continue };
-            if !slice.contains(dst) {
+            let Some(dst) = inst.def_sym() else { continue };
+            if !slice.contains(&dst) {
                 continue;
             }
-            for used in inst.used_vars() {
-                if slice.insert(used.to_owned()) {
+            for used in inst.used_var_syms() {
+                if slice.insert(used) {
                     changed = true;
                 }
             }
@@ -164,14 +164,14 @@ fn data_closure(func: &Function, mut slice: HashSet<String>) -> HashSet<String> 
 
 fn callees_with_results_in(
     func: &Function,
-    slice: &HashSet<String>,
+    slice: &HashSet<Sym>,
     refcount_changing: &dyn Fn(&str) -> bool,
-) -> HashSet<String> {
+) -> HashSet<Sym> {
     let mut out = HashSet::new();
     for (_, inst) in func.insts() {
         if let Inst::Assign { dst, rvalue: Rvalue::Call { callee, .. } } = inst {
-            if slice.contains(dst) && !refcount_changing(callee) {
-                out.insert(callee.clone());
+            if slice.contains(dst) && !refcount_changing(callee.as_str()) {
+                out.insert(*callee);
             }
         }
     }
@@ -184,7 +184,7 @@ fn callees_with_results_in(
 pub fn sliced_callees(
     func: &Function,
     refcount_changing: &dyn Fn(&str) -> bool,
-) -> HashSet<String> {
+) -> HashSet<Sym> {
     let slice = slice_variables(func, refcount_changing);
     callees_with_results_in(func, &slice, refcount_changing)
 }
@@ -194,7 +194,7 @@ pub fn sliced_callees(
 pub fn sliced_callees_precise(
     func: &Function,
     refcount_changing: &dyn Fn(&str) -> bool,
-) -> HashSet<String> {
+) -> HashSet<Sym> {
     let slice = slice_variables_precise(func, refcount_changing);
     callees_with_results_in(func, &slice, refcount_changing)
 }
@@ -216,9 +216,9 @@ mod tests {
     fn return_value_seeds_slice() {
         let f = func("module m; fn f() { let a = g(); return a; }", "f");
         let slice = slice_variables(&f, &is_api);
-        assert!(slice.contains("a"));
+        assert!(slice.contains(&Sym::new("a")));
         let callees = sliced_callees(&f, &is_api);
-        assert!(callees.contains("g"));
+        assert!(callees.contains(&Sym::new("g")));
     }
 
     #[test]
@@ -228,8 +228,8 @@ mod tests {
             "f",
         );
         let slice = slice_variables(&f, &is_api);
-        assert!(slice.contains("d"));
-        assert!(sliced_callees(&f, &is_api).contains("lookup"));
+        assert!(slice.contains(&Sym::new("d")));
+        assert!(sliced_callees(&f, &is_api).contains(&Sym::new("lookup")));
     }
 
     #[test]
@@ -244,7 +244,7 @@ mod tests {
             "f",
         );
         // `check` feeds the branch controlling the get → category-2.
-        assert!(sliced_callees(&f, &is_api).contains("check"));
+        assert!(sliced_callees(&f, &is_api).contains(&Sym::new("check")));
     }
 
     #[test]
@@ -259,7 +259,7 @@ mod tests {
             "f",
         );
         // No refcount calls and no returned value: check is irrelevant.
-        assert!(!sliced_callees(&f, &is_api).contains("check"));
+        assert!(!sliced_callees(&f, &is_api).contains(&Sym::new("check")));
     }
 
     #[test]
@@ -273,7 +273,7 @@ mod tests {
             }"#,
             "f",
         );
-        assert!(!sliced_callees(&f, &is_api).contains("irrelevant"));
+        assert!(!sliced_callees(&f, &is_api).contains(&Sym::new("irrelevant")));
     }
 
     #[test]
@@ -283,8 +283,8 @@ mod tests {
             "f",
         );
         let slice = slice_variables(&f, &is_api);
-        assert!(slice.contains("a") && slice.contains("b"));
-        assert!(sliced_callees(&f, &is_api).contains("source"));
+        assert!(slice.contains(&Sym::new("a")) && slice.contains(&Sym::new("b")));
+        assert!(sliced_callees(&f, &is_api).contains(&Sym::new("source")));
     }
 
     #[test]
@@ -307,13 +307,13 @@ mod tests {
         assert!(precise.is_subset(&approx), "{precise:?} ⊄ {approx:?}");
         // The approximation pulls in the fan probe (its branch exists);
         // the precise slice does not (that branch controls no pm call).
-        assert!(approx.contains("unrelated"));
-        assert!(!precise.contains("unrelated"));
+        assert!(approx.contains(&Sym::new("unrelated")));
+        assert!(!precise.contains(&Sym::new("unrelated")));
         let approx_callees = sliced_callees(&f, &is_api);
         let precise_callees = sliced_callees_precise(&f, &is_api);
-        assert!(approx_callees.contains("probe_fan"));
-        assert!(!precise_callees.contains("probe_fan"));
-        assert!(precise_callees.contains("probe_pm"));
+        assert!(approx_callees.contains(&Sym::new("probe_fan")));
+        assert!(!precise_callees.contains(&Sym::new("probe_fan")));
+        assert!(precise_callees.contains(&Sym::new("probe_pm")));
     }
 
     #[test]
@@ -328,8 +328,8 @@ mod tests {
             "f",
         );
         let precise = slice_variables_precise(&f, &is_api);
-        assert!(precise.contains("st"), "{precise:?}");
-        assert!(sliced_callees_precise(&f, &is_api).contains("check"));
+        assert!(precise.contains(&Sym::new("st")), "{precise:?}");
+        assert!(sliced_callees_precise(&f, &is_api).contains(&Sym::new("check")));
     }
 
     #[test]

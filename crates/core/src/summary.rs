@@ -7,6 +7,7 @@
 
 use std::collections::BTreeMap;
 
+use rid_ir::Sym;
 use rid_solver::{Conj, Subst, Term, Var, VarKind};
 use serde::{Deserialize, Serialize};
 
@@ -137,7 +138,7 @@ mod changes_serde {
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Summary {
     /// Name of the summarized function.
-    pub func: String,
+    pub func: Sym,
     /// The summary entries.
     pub entries: Vec<SummaryEntry>,
     /// Whether analysis limits were hit while summarizing, in which case a
@@ -148,14 +149,14 @@ pub struct Summary {
 impl Summary {
     /// Creates an empty summary for `func`.
     #[must_use]
-    pub fn new(func: impl Into<String>) -> Summary {
+    pub fn new(func: impl Into<Sym>) -> Summary {
         Summary { func: func.into(), entries: Vec::new(), partial: false }
     }
 
     /// The *default summary*: a single unconstrained entry with no changes.
     /// Used for functions that are skipped or exceed analysis limits (§5.2).
     #[must_use]
-    pub fn default_for(func: impl Into<String>) -> Summary {
+    pub fn default_for(func: impl Into<Sym>) -> Summary {
         Summary {
             func: func.into(),
             entries: vec![SummaryEntry::default_entry()],
@@ -190,9 +191,48 @@ impl Summary {
 
 /// A database of function summaries — predefined API specifications (§5.1)
 /// plus everything computed so far by the bottom-up traversal.
-#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+///
+/// Keyed by interned [`Sym`] handles: lookups on the hot `exec_call` path
+/// compare 4-byte ids, while iteration order (and therefore every
+/// serialized artifact) stays in *string* order because `Sym`'s `Ord`
+/// resolves to the text — the persisted JSON is byte-identical to the
+/// `String`-keyed representation it replaces, via the manual serde impls
+/// below.
+#[derive(Clone, Debug, Default)]
 pub struct SummaryDb {
-    map: BTreeMap<String, Summary>,
+    map: BTreeMap<Sym, Summary>,
+}
+
+impl Serialize for SummaryDb {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        let mut pairs = Vec::with_capacity(self.map.len());
+        for (name, summary) in &self.map {
+            pairs.push((
+                name.as_str().to_owned(),
+                serde::__private::to_value_err::<_, S::Error>(summary)?,
+            ));
+        }
+        serializer
+            .serialize_value(serde::Value::Map(vec![("map".to_owned(), serde::Value::Map(pairs))]))
+    }
+}
+
+impl<'de> Deserialize<'de> for SummaryDb {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        let fields = serde::__private::expect_map::<D::Error>(deserializer.take_value()?)?;
+        let mut map = BTreeMap::new();
+        for (field, value) in fields {
+            if field == "map" {
+                for (name, entry) in serde::__private::expect_map::<D::Error>(value)? {
+                    let summary = Summary::deserialize(
+                        serde::__private::ValueDeserializer::<D::Error>::new(entry),
+                    )?;
+                    map.insert(Sym::new(&name), summary);
+                }
+            }
+        }
+        Ok(SummaryDb { map })
+    }
 }
 
 impl SummaryDb {
@@ -202,28 +242,36 @@ impl SummaryDb {
         SummaryDb::default()
     }
 
-    /// Looks up a summary by function name.
+    /// Looks up a summary by function name. Never grows the intern table
+    /// for unknown names.
     #[must_use]
     pub fn get(&self, func: &str) -> Option<&Summary> {
-        self.map.get(func)
+        self.map.get(&Sym::lookup(func)?)
+    }
+
+    /// Looks up a summary by interned handle (the hash-4-bytes flavor of
+    /// [`SummaryDb::get`], used on the `exec_call` hot path).
+    #[must_use]
+    pub fn get_sym(&self, func: Sym) -> Option<&Summary> {
+        self.map.get(&func)
     }
 
     /// Whether a summary exists for `func`.
     #[must_use]
     pub fn contains(&self, func: &str) -> bool {
-        self.map.contains_key(func)
+        Sym::lookup(func).is_some_and(|sym| self.map.contains_key(&sym))
     }
 
     /// Inserts (or replaces) a summary.
     pub fn insert(&mut self, summary: Summary) {
-        self.map.insert(summary.func.clone(), summary);
+        self.map.insert(summary.func, summary);
     }
 
     /// Removes `func`'s summary, returning it if present. Incremental
     /// re-analysis uses this to evict the affected cone from a previous
     /// run's database instead of rebuilding the whole database.
     pub fn remove(&mut self, func: &str) -> Option<Summary> {
-        self.map.remove(func)
+        self.map.remove(&Sym::lookup(func)?)
     }
 
     /// Merges another database into this one (later insertions win).
@@ -250,7 +298,7 @@ impl SummaryDb {
 
     /// Names of functions whose summaries change refcounts — the seed set
     /// for classification phase 1 (§5.2).
-    pub fn refcount_changing_names(&self) -> impl Iterator<Item = &str> {
+    pub fn refcount_changing_names(&self) -> impl Iterator<Item = &'static str> + '_ {
         self.map.values().filter(|s| s.changes_refcounts()).map(|s| s.func.as_str())
     }
 }

@@ -43,7 +43,7 @@ fn run(
 /// sorted by function name — the byte-identity the tentpole demands).
 fn db_json(result: &AnalysisResult) -> String {
     let mut summaries: Vec<_> = result.summaries.iter().collect();
-    summaries.sort_by(|a, b| a.func.cmp(&b.func));
+    summaries.sort_by_key(|s| s.func);
     summaries
         .iter()
         .map(|s| serde_json::to_string(*s).unwrap())

@@ -26,7 +26,7 @@ fn analyzed_functions(result: &AnalysisResult) -> BTreeSet<String> {
     result
         .summaries
         .iter()
-        .map(|s| s.func.clone())
+        .map(|s| s.func.as_str().to_owned())
         .filter(|name| !apis.contains(name))
         .collect()
 }

@@ -286,14 +286,14 @@ impl Lowerer {
                 Rvalue::field(base_var, field.clone())
             }
             Expr::Call { callee, args } => {
-                Rvalue::Call { callee: callee.clone(), args: self.operands(args, span)? }
+                Rvalue::Call { callee: callee.as_str().into(), args: self.operands(args, span)? }
             }
             Expr::Cmp { pred, lhs, rhs } => Rvalue::Cmp {
                 pred: *pred,
                 lhs: self.operand(lhs, span)?,
                 rhs: self.operand(rhs, span)?,
             },
-            Expr::FuncRef(name) => Rvalue::Use(Operand::FuncRef(name.clone())),
+            Expr::FuncRef(name) => Rvalue::Use(Operand::FuncRef(name.as_str().into())),
         })
     }
 
@@ -304,7 +304,7 @@ impl Lowerer {
             Expr::Bool(b) => Operand::Bool(*b),
             Expr::Null => Operand::Null,
             Expr::Var(name) => Operand::var(name.clone()),
-            Expr::FuncRef(name) => Operand::FuncRef(name.clone()),
+            Expr::FuncRef(name) => Operand::FuncRef(name.as_str().into()),
             Expr::Random | Expr::Field { .. } | Expr::Call { .. } | Expr::Cmp { .. } => {
                 let rvalue = self.rvalue(expr, span)?;
                 let t = self.temp();
@@ -319,7 +319,7 @@ impl Lowerer {
     }
 
     /// Lowers the base of a field access to a variable name.
-    fn base_var(&mut self, base: &Expr, span: Span) -> Result<String, FrontendError> {
+    fn base_var(&mut self, base: &Expr, span: Span) -> Result<rid_ir::Sym, FrontendError> {
         match self.operand(base, span)? {
             Operand::Var(name) => Ok(name),
             _ => Err(FrontendError::at(span, "field access on a constant")),
@@ -354,21 +354,21 @@ mod tests {
         let callees: Vec<&str> = foo.callees().collect();
         assert_eq!(callees, vec!["reg_read", "inc_pmcount"]);
         // Entry has the assume.
-        assert!(matches!(foo.blocks()[0].insts[0], Inst::Assume { .. }));
+        assert!(matches!(foo.blocks().get(0).unwrap().insts[0], Inst::Assume { .. }));
     }
 
     #[test]
     fn implicit_void_return() {
         let m = parse_module("module m; fn f() { g(); }").unwrap();
         let f = m.function("f").unwrap();
-        assert!(matches!(f.blocks()[0].term, Terminator::Return(None)));
+        assert!(matches!(f.blocks().get(0).unwrap().term, Terminator::Return(None)));
     }
 
     #[test]
     fn truthiness_lowering() {
         let m = parse_module("module m; fn f(x) { if (x) { return 1; } return 0; }").unwrap();
         let f = m.function("f").unwrap();
-        let cmp = f.blocks()[0]
+        let cmp = f.blocks().get(0).unwrap()
             .insts
             .iter()
             .find_map(|i| match i {
@@ -384,7 +384,7 @@ mod tests {
         let m = parse_module("module m; fn f(x) { if (!(x < 0)) { return 1; } return 0; }")
             .unwrap();
         let f = m.function("f").unwrap();
-        let cmp = f.blocks()[0]
+        let cmp = f.blocks().get(0).unwrap()
             .insts
             .iter()
             .find_map(|i| match i {

@@ -1,7 +1,7 @@
 //! A builder for constructing valid [`Function`]s incrementally.
 
 use crate::validate::{validate_function, ValidateError};
-use crate::{BasicBlock, BlockId, Function, Inst, Operand, Pred, Rvalue, Terminator};
+use crate::{BasicBlock, BlockId, Function, Inst, Operand, Pred, Rvalue, Sym, Terminator};
 
 /// Incremental builder for a [`Function`].
 ///
@@ -24,8 +24,8 @@ use crate::{BasicBlock, BlockId, Function, Inst, Operand, Pred, Rvalue, Terminat
 /// ```
 #[derive(Debug)]
 pub struct FunctionBuilder {
-    name: String,
-    params: Vec<String>,
+    name: Sym,
+    params: Vec<Sym>,
     blocks: Vec<(Vec<Inst>, Option<Terminator>)>,
     current: BlockId,
     weak: bool,
@@ -34,8 +34,8 @@ pub struct FunctionBuilder {
 impl FunctionBuilder {
     /// Starts building a function with the given name and parameters.
     /// The entry block (block 0) is created and made current.
-    pub fn new<P: Into<String>>(
-        name: impl Into<String>,
+    pub fn new<P: Into<Sym>>(
+        name: impl Into<Sym>,
         params: impl IntoIterator<Item = P>,
     ) -> FunctionBuilder {
         FunctionBuilder {
@@ -99,14 +99,14 @@ impl FunctionBuilder {
     }
 
     /// Appends `dst = rvalue` to the current block.
-    pub fn assign(&mut self, dst: impl Into<String>, rvalue: Rvalue) -> &mut Self {
+    pub fn assign(&mut self, dst: impl Into<Sym>, rvalue: Rvalue) -> &mut Self {
         self.push(Inst::Assign { dst: dst.into(), rvalue })
     }
 
     /// Appends a result-discarding call to the current block.
     pub fn call(
         &mut self,
-        callee: impl Into<String>,
+        callee: impl Into<Sym>,
         args: impl IntoIterator<Item = Operand>,
     ) -> &mut Self {
         self.push(Inst::Call { callee: callee.into(), args: args.into_iter().collect() })
@@ -120,8 +120,8 @@ impl FunctionBuilder {
     /// Appends `base.field = value` to the current block.
     pub fn field_store(
         &mut self,
-        base: impl Into<String>,
-        field: impl Into<String>,
+        base: impl Into<Sym>,
+        field: impl Into<Sym>,
         value: Operand,
     ) -> &mut Self {
         self.push(Inst::FieldStore { base: base.into(), field: field.into(), value })
@@ -135,7 +135,7 @@ impl FunctionBuilder {
     /// Seals the current block with a two-way branch on `cond`.
     pub fn branch(
         &mut self,
-        cond: impl Into<String>,
+        cond: impl Into<Sym>,
         then_bb: BlockId,
         else_bb: BlockId,
     ) -> &mut Self {

@@ -19,7 +19,7 @@
 use std::fmt;
 
 use crate::{
-    validate_function, BasicBlock, BlockId, Function, Inst, Module, Operand, Pred, Rvalue,
+    validate_function, BasicBlock, BlockId, Function, Inst, Module, Operand, Pred, Rvalue, Sym,
     Terminator,
 };
 
@@ -130,9 +130,9 @@ fn encode_module(module: &Module, out: &mut Vec<u8>) {
 }
 
 fn decode_module(r: &mut Reader<'_>, validate: bool) -> Result<Module, CodecError> {
-    let mut module = Module::new(r.string()?);
+    let mut module = Module::new(r.sym()?);
     for _ in 0..r.u32()? {
-        module.push_extern(r.string()?);
+        module.push_extern(r.sym()?);
     }
     for _ in 0..r.u32()? {
         module.push_function(decode_function(r, validate)?);
@@ -150,18 +150,18 @@ fn encode_function(func: &Function, out: &mut Vec<u8>) {
     write_u32(out, func.blocks().len() as u32);
     for block in func.blocks() {
         write_u32(out, block.insts.len() as u32);
-        for inst in &block.insts {
+        for inst in block.insts {
             encode_inst(inst, out);
         }
-        encode_term(&block.term, out);
+        encode_term(block.term, out);
     }
 }
 
 fn decode_function(r: &mut Reader<'_>, validate: bool) -> Result<Function, CodecError> {
-    let name = r.string()?;
-    let mut params = Vec::new();
+    let name = r.sym()?;
+    let mut params: Vec<Sym> = Vec::new();
     for _ in 0..r.u32()? {
-        params.push(r.string()?);
+        params.push(r.sym()?);
     }
     let weak = r.u8()? != 0;
     let block_count = r.u32()? as usize;
@@ -207,13 +207,13 @@ fn encode_operand(op: &Operand, out: &mut Vec<u8>) {
 
 fn decode_operand(r: &mut Reader<'_>) -> Result<Operand, CodecError> {
     Ok(match r.u8()? {
-        0 => Operand::Var(r.string()?),
+        0 => Operand::Var(r.sym()?),
         1 => Operand::Int(i64::from_le_bytes(
             r.take(8)?.try_into().expect("take returned 8 bytes"),
         )),
         2 => Operand::Bool(r.u8()? != 0),
         3 => Operand::Null,
-        4 => Operand::FuncRef(r.string()?),
+        4 => Operand::FuncRef(r.sym()?),
         tag => return Err(CodecError::BadTag(tag)),
     })
 }
@@ -273,7 +273,7 @@ fn encode_rvalue(rvalue: &Rvalue, out: &mut Vec<u8>) {
 fn decode_rvalue(r: &mut Reader<'_>) -> Result<Rvalue, CodecError> {
     Ok(match r.u8()? {
         0 => Rvalue::Use(decode_operand(r)?),
-        1 => Rvalue::FieldLoad { base: r.string()?, field: r.string()? },
+        1 => Rvalue::FieldLoad { base: r.sym()?, field: r.sym()? },
         2 => Rvalue::Random,
         3 => Rvalue::Cmp {
             pred: decode_pred(r)?,
@@ -281,7 +281,7 @@ fn decode_rvalue(r: &mut Reader<'_>) -> Result<Rvalue, CodecError> {
             rhs: decode_operand(r)?,
         },
         4 => {
-            let callee = r.string()?;
+            let callee = r.sym()?;
             let count = r.u32()? as usize;
             let mut args = Vec::with_capacity(count.min(256));
             for _ in 0..count {
@@ -325,9 +325,9 @@ fn encode_inst(inst: &Inst, out: &mut Vec<u8>) {
 
 fn decode_inst(r: &mut Reader<'_>) -> Result<Inst, CodecError> {
     Ok(match r.u8()? {
-        0 => Inst::Assign { dst: r.string()?, rvalue: decode_rvalue(r)? },
+        0 => Inst::Assign { dst: r.sym()?, rvalue: decode_rvalue(r)? },
         1 => {
-            let callee = r.string()?;
+            let callee = r.sym()?;
             let count = r.u32()? as usize;
             let mut args = Vec::with_capacity(count.min(256));
             for _ in 0..count {
@@ -341,8 +341,8 @@ fn decode_inst(r: &mut Reader<'_>) -> Result<Inst, CodecError> {
             rhs: decode_operand(r)?,
         },
         3 => Inst::FieldStore {
-            base: r.string()?,
-            field: r.string()?,
+            base: r.sym()?,
+            field: r.sym()?,
             value: decode_operand(r)?,
         },
         tag => return Err(CodecError::BadTag(tag)),
@@ -374,7 +374,7 @@ fn decode_term(r: &mut Reader<'_>) -> Result<Terminator, CodecError> {
     Ok(match r.u8()? {
         0 => Terminator::Jump(BlockId(r.u32()?)),
         1 => Terminator::Branch {
-            cond: r.string()?,
+            cond: r.sym()?,
             then_bb: BlockId(r.u32()?),
             else_bb: BlockId(r.u32()?),
         },
@@ -418,10 +418,14 @@ impl<'a> Reader<'a> {
         Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("take returned 4 bytes")))
     }
 
-    fn string(&mut self) -> Result<String, CodecError> {
+    /// Reads a length-prefixed string and interns it straight from the
+    /// input slice — a warm decode (names already interned by a prior
+    /// load or by the live program) allocates nothing per name.
+    fn sym(&mut self) -> Result<Sym, CodecError> {
         let len = self.u32()? as usize;
         let bytes = self.take(len)?;
-        String::from_utf8(bytes.to_vec()).map_err(|_| CodecError::BadUtf8)
+        let text = std::str::from_utf8(bytes).map_err(|_| CodecError::BadUtf8)?;
+        Ok(Sym::new(text))
     }
 }
 

@@ -19,7 +19,7 @@ impl fmt::Display for Function {
         writeln!(f, ") {{")?;
         for (i, block) in self.blocks().iter().enumerate() {
             writeln!(f, "bb{i}:")?;
-            for inst in &block.insts {
+            for inst in block.insts {
                 writeln!(f, "    {inst}")?;
             }
             writeln!(f, "    {}", block.term)?;

@@ -1,8 +1,15 @@
 //! Functions, basic blocks, and terminators.
+//!
+//! A [`Function`] stores its body in struct-of-arrays form: one flat
+//! instruction arena for the whole function, a block-start offset table,
+//! and a parallel terminator array. A "block" ([`BlockRef`]) is a
+//! two-word view (slice + terminator reference) materialized on demand,
+//! not an owned node — walking a function touches three contiguous
+//! allocations instead of one heap block per basic block.
 
 use std::fmt;
 
-use crate::{Inst, Operand};
+use crate::{Inst, Operand, Sym};
 
 /// Identifier of a basic block within a [`Function`].
 ///
@@ -72,7 +79,7 @@ pub enum Terminator {
     /// the analysis as non-deterministic.
     Branch {
         /// The condition variable.
-        cond: String,
+        cond: Sym,
         /// Successor when the condition holds.
         then_bb: BlockId,
         /// Successor when the condition does not hold.
@@ -109,7 +116,13 @@ impl fmt::Display for Terminator {
     }
 }
 
-/// A basic block: a sequence of instructions plus a terminator.
+/// A basic block in *builder* form: an owned instruction list plus a
+/// terminator.
+///
+/// `BasicBlock` exists on the construction side only
+/// ([`crate::FunctionBuilder`], the frontend lowerer, the binary codec).
+/// [`Function::from_raw_parts`] flattens a `Vec<BasicBlock>` into the
+/// struct-of-arrays layout; analysis-side code sees [`BlockRef`] views.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct BasicBlock {
     /// The instructions of the block, in execution order.
@@ -126,59 +139,185 @@ impl BasicBlock {
     }
 }
 
-/// A function of the abstract program.
+/// A borrowed view of one basic block inside a [`Function`]'s flat
+/// storage: the instruction sub-slice plus the terminator. Two words +
+/// a pointer; `Copy`.
+#[derive(Clone, Copy, Debug)]
+pub struct BlockRef<'a> {
+    /// The instructions of the block, in execution order.
+    pub insts: &'a [Inst],
+    /// The terminator of the block.
+    pub term: &'a Terminator,
+}
+
+/// Indexed view of a function's blocks (what [`Function::blocks`]
+/// returns). Supports `len`/`is_empty`/`get`, and iteration via
+/// [`Blocks::iter`] or `IntoIterator` — each item is a [`BlockRef`].
+#[derive(Clone, Copy)]
+pub struct Blocks<'a> {
+    func: &'a Function,
+}
+
+impl<'a> Blocks<'a> {
+    /// Number of blocks.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.func.terms.len()
+    }
+
+    /// Whether the function has no blocks.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.func.terms.is_empty()
+    }
+
+    /// The `i`-th block, or `None` if out of range.
+    #[must_use]
+    pub fn get(&self, i: usize) -> Option<BlockRef<'a>> {
+        (i < self.len()).then(|| self.func.block(BlockId(i as u32)))
+    }
+
+    /// Iterates over the blocks in id order.
+    #[must_use]
+    pub fn iter(&self) -> BlocksIter<'a> {
+        BlocksIter { func: self.func, next: 0 }
+    }
+}
+
+impl<'a> IntoIterator for Blocks<'a> {
+    type Item = BlockRef<'a>;
+    type IntoIter = BlocksIter<'a>;
+    fn into_iter(self) -> BlocksIter<'a> {
+        self.iter()
+    }
+}
+
+impl<'a> IntoIterator for &Blocks<'a> {
+    type Item = BlockRef<'a>;
+    type IntoIter = BlocksIter<'a>;
+    fn into_iter(self) -> BlocksIter<'a> {
+        self.iter()
+    }
+}
+
+/// Iterator over a function's [`BlockRef`]s in id order.
+pub struct BlocksIter<'a> {
+    func: &'a Function,
+    next: u32,
+}
+
+impl<'a> Iterator for BlocksIter<'a> {
+    type Item = BlockRef<'a>;
+
+    fn next(&mut self) -> Option<BlockRef<'a>> {
+        if (self.next as usize) < self.func.terms.len() {
+            let block = self.func.block(BlockId(self.next));
+            self.next += 1;
+            Some(block)
+        } else {
+            None
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        let rem = self.func.terms.len() - self.next as usize;
+        (rem, Some(rem))
+    }
+}
+
+impl ExactSizeIterator for BlocksIter<'_> {}
+
+/// A function of the abstract program, in struct-of-arrays storage.
 ///
 /// Use [`crate::FunctionBuilder`] to construct functions; the builder
 /// guarantees structural validity (every block terminated, targets in
 /// range).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct Function {
-    name: String,
-    params: Vec<String>,
-    blocks: Vec<BasicBlock>,
+    name: Sym,
+    params: Box<[Sym]>,
+    /// All instructions of the function, flattened in block order.
+    insts: Box<[Inst]>,
+    /// Block boundaries: block `i` owns `insts[starts[i] .. starts[i+1]]`.
+    /// Always `terms.len() + 1` entries; the last is `insts.len()`.
+    starts: Box<[u32]>,
+    /// Terminator of block `i`.
+    terms: Box<[Terminator]>,
     /// Weak linkage (§5.3): duplicate weak definitions across modules are
     /// merged into one instead of rejected.
     pub weak: bool,
 }
 
 impl Function {
-    /// Creates a function from raw parts.
+    /// Creates a function from builder-form blocks, flattening them into
+    /// the struct-of-arrays layout.
     ///
     /// Most callers should prefer [`crate::FunctionBuilder`]. This
     /// constructor performs no validation; call
     /// [`crate::validate_function`] afterwards if the parts come from an
     /// untrusted source.
     #[must_use]
-    pub fn from_raw_parts(
-        name: impl Into<String>,
-        params: Vec<String>,
+    pub fn from_raw_parts<P: Into<Sym>>(
+        name: impl Into<Sym>,
+        params: impl IntoIterator<Item = P>,
         blocks: Vec<BasicBlock>,
     ) -> Function {
-        Function { name: name.into(), params, blocks, weak: false }
+        let total: usize = blocks.iter().map(|b| b.insts.len()).sum();
+        let mut insts = Vec::with_capacity(total);
+        let mut starts = Vec::with_capacity(blocks.len() + 1);
+        let mut terms = Vec::with_capacity(blocks.len());
+        starts.push(0u32);
+        for block in blocks {
+            insts.extend(block.insts);
+            starts.push(u32::try_from(insts.len()).expect("function > 4G instructions"));
+            terms.push(block.term);
+        }
+        Function {
+            name: name.into(),
+            params: params.into_iter().map(Into::into).collect(),
+            insts: insts.into_boxed_slice(),
+            starts: starts.into_boxed_slice(),
+            terms: terms.into_boxed_slice(),
+            weak: false,
+        }
     }
 
     /// The function name.
     #[must_use]
-    pub fn name(&self) -> &str {
-        &self.name
+    pub fn name(&self) -> &'static str {
+        self.name.as_str()
+    }
+
+    /// The interned function name.
+    #[must_use]
+    pub fn name_sym(&self) -> Sym {
+        self.name
     }
 
     /// The formal parameter names, in order.
     #[must_use]
-    pub fn params(&self) -> &[String] {
+    pub fn params(&self) -> &[Sym] {
         &self.params
     }
 
     /// Index of a formal parameter by name.
     #[must_use]
     pub fn param_index(&self, name: &str) -> Option<usize> {
-        self.params.iter().position(|p| p == name)
+        // Fast path: an un-interned name cannot be a parameter.
+        let sym = Sym::lookup(name)?;
+        self.params.iter().position(|p| *p == sym)
     }
 
     /// All basic blocks; index `i` is block `BlockId(i)`.
     #[must_use]
-    pub fn blocks(&self) -> &[BasicBlock] {
-        &self.blocks
+    pub fn blocks(&self) -> Blocks<'_> {
+        Blocks { func: self }
+    }
+
+    /// Number of basic blocks.
+    #[must_use]
+    pub fn block_count(&self) -> usize {
+        self.terms.len()
     }
 
     /// A single block by id.
@@ -187,8 +326,10 @@ impl Function {
     ///
     /// Panics if `id` is out of range.
     #[must_use]
-    pub fn block(&self, id: BlockId) -> &BasicBlock {
-        &self.blocks[id.index()]
+    pub fn block(&self, id: BlockId) -> BlockRef<'_> {
+        let i = id.index();
+        let (lo, hi) = (self.starts[i] as usize, self.starts[i + 1] as usize);
+        BlockRef { insts: &self.insts[lo..hi], term: &self.terms[i] }
     }
 
     /// The entry block id (always block 0).
@@ -200,7 +341,14 @@ impl Function {
     /// Total number of instructions (excluding terminators).
     #[must_use]
     pub fn inst_count(&self) -> usize {
-        self.blocks.iter().map(|b| b.insts.len()).sum()
+        self.insts.len()
+    }
+
+    /// The flat instruction arena, in block order. Block `i` owns the
+    /// sub-slice delimited by [`Function::block`]'s view.
+    #[must_use]
+    pub fn inst_arena(&self) -> &[Inst] {
+        &self.insts
     }
 
     /// Number of conditional branches, used by the selective-analysis
@@ -208,29 +356,32 @@ impl Function {
     /// conditional branches get the default summary).
     #[must_use]
     pub fn conditional_branch_count(&self) -> usize {
-        self.blocks.iter().filter(|b| matches!(b.term, Terminator::Branch { .. })).count()
+        self.terms.iter().filter(|t| matches!(t, Terminator::Branch { .. })).count()
     }
 
     /// Iterates over the names of all functions called (directly) by this
     /// function, with duplicates.
-    pub fn callees(&self) -> impl Iterator<Item = &str> {
-        self.blocks.iter().flat_map(|b| b.insts.iter()).filter_map(Inst::callee)
+    pub fn callees(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.insts.iter().filter_map(Inst::callee)
+    }
+
+    /// Interned names of all functions called (directly) by this
+    /// function, with duplicates.
+    pub fn callee_syms(&self) -> impl Iterator<Item = Sym> + '_ {
+        self.insts.iter().filter_map(Inst::callee_sym)
     }
 
     /// Function names referenced as `@name` operands (callback targets),
     /// with duplicates.
-    pub fn referenced_functions(&self) -> impl Iterator<Item = &str> {
-        self.blocks
-            .iter()
-            .flat_map(|b| b.insts.iter())
-            .flat_map(|i| i.uses())
-            .filter_map(Operand::as_func_ref)
+    pub fn referenced_functions(&self) -> impl Iterator<Item = &'static str> + '_ {
+        self.insts.iter().flat_map(|i| i.uses()).filter_map(Operand::as_func_ref)
     }
 
     /// Iterates over `(InstId, &Inst)` pairs in block order.
     pub fn insts(&self) -> impl Iterator<Item = (InstId, &Inst)> {
-        self.blocks.iter().enumerate().flat_map(|(bi, b)| {
-            b.insts.iter().enumerate().map(move |(ii, inst)| {
+        (0..self.terms.len()).flat_map(move |bi| {
+            let block = self.block(BlockId(bi as u32));
+            block.insts.iter().enumerate().map(move |(ii, inst)| {
                 (InstId { block: BlockId(bi as u32), index: ii as u32 }, inst)
             })
         })
@@ -239,7 +390,17 @@ impl Function {
     /// Whether any terminator returns a value.
     #[must_use]
     pub fn has_return_value(&self) -> bool {
-        self.blocks.iter().any(|b| matches!(b.term, Terminator::Return(Some(_))))
+        self.terms.iter().any(|t| matches!(t, Terminator::Return(Some(_))))
+    }
+
+    /// Resident heap bytes of this function's storage (arenas only, not
+    /// per-`Inst` argument vectors), for memory accounting.
+    #[must_use]
+    pub fn arena_bytes(&self) -> usize {
+        self.insts.len() * std::mem::size_of::<Inst>()
+            + self.starts.len() * std::mem::size_of::<u32>()
+            + self.terms.len() * std::mem::size_of::<Terminator>()
+            + self.params.len() * std::mem::size_of::<Sym>()
     }
 }
 
@@ -266,10 +427,11 @@ mod tests {
     fn accessors() {
         let f = sample();
         assert_eq!(f.name(), "f");
-        assert_eq!(f.params(), &["a".to_owned(), "b".to_owned()]);
+        assert_eq!(f.params(), &[Sym::new("a"), Sym::new("b")]);
         assert_eq!(f.param_index("b"), Some(1));
         assert_eq!(f.param_index("z"), None);
         assert_eq!(f.blocks().len(), 3);
+        assert_eq!(f.block_count(), 3);
         assert_eq!(f.entry(), BlockId::ENTRY);
         assert_eq!(f.inst_count(), 2);
         assert_eq!(f.conditional_branch_count(), 1);
@@ -277,10 +439,26 @@ mod tests {
     }
 
     #[test]
+    fn block_views_partition_the_arena() {
+        let f = sample();
+        let total: usize = f.blocks().iter().map(|b| b.insts.len()).sum();
+        assert_eq!(total, f.inst_count());
+        assert_eq!(f.blocks().iter().len(), 3);
+        // Entry block: one Cmp assign, then the branch terminator.
+        let entry = f.block(BlockId::ENTRY);
+        assert_eq!(entry.insts.len(), 1);
+        assert!(matches!(entry.term, Terminator::Branch { .. }));
+        assert!(f.blocks().get(2).is_some());
+        assert!(f.blocks().get(3).is_none());
+    }
+
+    #[test]
     fn callees_iteration() {
         let f = sample();
         let callees: Vec<&str> = f.callees().collect();
         assert_eq!(callees, vec!["g"]);
+        let syms: Vec<Sym> = f.callee_syms().collect();
+        assert_eq!(syms, vec![Sym::new("g")]);
     }
 
     #[test]

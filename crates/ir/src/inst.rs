@@ -1,17 +1,22 @@
 //! Instructions and operands of the abstract program (Figure 3).
+//!
+//! All names (variables, fields, callees) are interned [`Sym`] handles:
+//! an [`Operand`] is 16 bytes and `Clone` is a bitwise copy, where the
+//! pre-interning representation carried a 24-byte `String` header plus a
+//! heap block per name occurrence.
 
 use std::fmt;
 
-use crate::Pred;
+use crate::{Pred, Sym};
 
 /// An operand of an instruction: a variable or a constant.
 ///
 /// Pointers are modelled as integers, with [`Operand::Null`] standing for
 /// the null pointer (integer 0 in the analysis).
-#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub enum Operand {
-    /// A local variable or formal parameter, by name.
-    Var(String),
+    /// A local variable or formal parameter, by interned name.
+    Var(Sym),
     /// An integer constant.
     Int(i64),
     /// A boolean constant.
@@ -21,25 +26,35 @@ pub enum Operand {
     /// A reference to a function (`@name` in RIL), used to pass callbacks
     /// to registration APIs. Opaque to the core abstraction; consumed by
     /// the callback-contract extension (see `rid-core`'s `callbacks`).
-    FuncRef(String),
+    FuncRef(Sym),
 }
 
 impl Operand {
     /// Convenience constructor for a variable operand.
     ///
     /// ```
-    /// use rid_ir::Operand;
-    /// assert_eq!(Operand::var("x"), Operand::Var("x".to_owned()));
+    /// use rid_ir::{Operand, Sym};
+    /// assert_eq!(Operand::var("x"), Operand::Var(Sym::new("x")));
     /// ```
-    pub fn var(name: impl Into<String>) -> Operand {
+    pub fn var(name: impl Into<Sym>) -> Operand {
         Operand::Var(name.into())
     }
 
     /// Returns the variable name if this operand is a variable.
     #[must_use]
-    pub fn as_var(&self) -> Option<&str> {
+    pub fn as_var(&self) -> Option<&'static str> {
         match self {
-            Operand::Var(name) => Some(name),
+            Operand::Var(name) => Some(name.as_str()),
+            _ => None,
+        }
+    }
+
+    /// Returns the interned variable handle if this operand is a variable
+    /// (the allocation-free flavor of [`Operand::as_var`]).
+    #[must_use]
+    pub fn as_var_sym(&self) -> Option<Sym> {
+        match self {
+            Operand::Var(name) => Some(*name),
             _ => None,
         }
     }
@@ -53,9 +68,9 @@ impl Operand {
     /// The referenced function name, if this operand is a function
     /// reference.
     #[must_use]
-    pub fn as_func_ref(&self) -> Option<&str> {
+    pub fn as_func_ref(&self) -> Option<&'static str> {
         match self {
-            Operand::FuncRef(name) => Some(name),
+            Operand::FuncRef(name) => Some(name.as_str()),
             _ => None,
         }
     }
@@ -76,7 +91,7 @@ impl From<bool> for Operand {
 impl fmt::Display for Operand {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Operand::Var(name) => f.write_str(name),
+            Operand::Var(name) => f.write_str(name.as_str()),
             Operand::Int(value) => write!(f, "{value}"),
             Operand::Bool(value) => write!(f, "{value}"),
             Operand::Null => f.write_str("null"),
@@ -93,9 +108,9 @@ pub enum Rvalue {
     /// `x = y.field` — load a structure field.
     FieldLoad {
         /// The base variable holding the structure.
-        base: String,
+        base: Sym,
         /// The field name.
-        field: String,
+        field: Sym,
     },
     /// `x = random` — a non-deterministic value (e.g. a device register
     /// read). Each occurrence yields an independent unknown.
@@ -113,7 +128,7 @@ pub enum Rvalue {
     /// `x = fn(v1, ..., vn)` — a call whose result is used.
     Call {
         /// Name of the called function.
-        callee: String,
+        callee: Sym,
         /// Actual arguments.
         args: Vec<Operand>,
     },
@@ -126,20 +141,29 @@ impl Rvalue {
     }
 
     /// Convenience constructor for a call rvalue.
-    pub fn call(callee: impl Into<String>, args: impl IntoIterator<Item = Operand>) -> Rvalue {
+    pub fn call(callee: impl Into<Sym>, args: impl IntoIterator<Item = Operand>) -> Rvalue {
         Rvalue::Call { callee: callee.into(), args: args.into_iter().collect() }
     }
 
     /// Convenience constructor for a field load.
-    pub fn field(base: impl Into<String>, field: impl Into<String>) -> Rvalue {
+    pub fn field(base: impl Into<Sym>, field: impl Into<Sym>) -> Rvalue {
         Rvalue::FieldLoad { base: base.into(), field: field.into() }
     }
 
     /// The callee name, if this rvalue is a call.
     #[must_use]
-    pub fn callee(&self) -> Option<&str> {
+    pub fn callee(&self) -> Option<&'static str> {
         match self {
-            Rvalue::Call { callee, .. } => Some(callee),
+            Rvalue::Call { callee, .. } => Some(callee.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The interned callee handle, if this rvalue is a call.
+    #[must_use]
+    pub fn callee_sym(&self) -> Option<Sym> {
+        match self {
+            Rvalue::Call { callee, .. } => Some(*callee),
             _ => None,
         }
     }
@@ -172,14 +196,14 @@ pub enum Inst {
     /// `dst = rvalue`.
     Assign {
         /// Destination variable.
-        dst: String,
+        dst: Sym,
         /// Value computed.
         rvalue: Rvalue,
     },
     /// `fn(v1, ..., vn)` — a call whose result (if any) is discarded.
     Call {
         /// Name of the called function.
-        callee: String,
+        callee: Sym,
         /// Actual arguments.
         args: Vec<Operand>,
     },
@@ -203,9 +227,9 @@ pub enum Inst {
     /// represented faithfully.
     FieldStore {
         /// The base variable holding the structure.
-        base: String,
+        base: Sym,
         /// The field name.
-        field: String,
+        field: Sym,
         /// The value stored.
         value: Operand,
     },
@@ -214,19 +238,34 @@ pub enum Inst {
 impl Inst {
     /// The callee name, if this instruction performs a call.
     #[must_use]
-    pub fn callee(&self) -> Option<&str> {
+    pub fn callee(&self) -> Option<&'static str> {
+        self.callee_sym().map(Sym::as_str)
+    }
+
+    /// The interned callee handle, if this instruction performs a call.
+    #[must_use]
+    pub fn callee_sym(&self) -> Option<Sym> {
         match self {
-            Inst::Call { callee, .. } => Some(callee),
-            Inst::Assign { rvalue, .. } => rvalue.callee(),
+            Inst::Call { callee, .. } => Some(*callee),
+            Inst::Assign { rvalue, .. } => rvalue.callee_sym(),
             _ => None,
         }
     }
 
     /// The destination variable, if this instruction defines one.
     #[must_use]
-    pub fn def(&self) -> Option<&str> {
+    pub fn def(&self) -> Option<&'static str> {
         match self {
-            Inst::Assign { dst, .. } => Some(dst),
+            Inst::Assign { dst, .. } => Some(dst.as_str()),
+            _ => None,
+        }
+    }
+
+    /// The interned destination handle, if this instruction defines one.
+    #[must_use]
+    pub fn def_sym(&self) -> Option<Sym> {
+        match self {
+            Inst::Assign { dst, .. } => Some(*dst),
             _ => None,
         }
     }
@@ -248,11 +287,18 @@ impl Inst {
 
     /// Variable names read by this instruction, including field-load and
     /// field-store bases.
-    pub fn used_vars(&self) -> Vec<&str> {
-        let mut vars: Vec<&str> = self.uses().into_iter().filter_map(Operand::as_var).collect();
+    pub fn used_vars(&self) -> Vec<&'static str> {
+        self.used_var_syms().into_iter().map(Sym::as_str).collect()
+    }
+
+    /// Interned handles of the variables read by this instruction,
+    /// including field-load and field-store bases.
+    pub fn used_var_syms(&self) -> Vec<Sym> {
+        let mut vars: Vec<Sym> =
+            self.uses().into_iter().filter_map(Operand::as_var_sym).collect();
         match self {
-            Inst::Assign { rvalue: Rvalue::FieldLoad { base, .. }, .. } => vars.push(base),
-            Inst::FieldStore { base, .. } => vars.push(base),
+            Inst::Assign { rvalue: Rvalue::FieldLoad { base, .. }, .. } => vars.push(*base),
+            Inst::FieldStore { base, .. } => vars.push(*base),
             _ => {}
         }
         vars
@@ -297,9 +343,17 @@ mod tests {
         assert_eq!(Operand::from(3), Operand::Int(3));
         assert_eq!(Operand::from(true), Operand::Bool(true));
         assert_eq!(Operand::var("a").as_var(), Some("a"));
+        assert_eq!(Operand::var("a").as_var_sym(), Some(Sym::new("a")));
         assert_eq!(Operand::Null.as_var(), None);
         assert!(Operand::Int(0).is_const());
         assert!(!Operand::var("x").is_const());
+    }
+
+    #[test]
+    fn operands_are_compact() {
+        // The whole point of interning: an operand is two words, and
+        // copying one never allocates.
+        assert!(std::mem::size_of::<Operand>() <= 16);
     }
 
     #[test]
@@ -309,7 +363,9 @@ mod tests {
             rvalue: Rvalue::call("f", [Operand::Int(1)]),
         };
         assert_eq!(inst.def(), Some("x"));
+        assert_eq!(inst.def_sym(), Some(Sym::new("x")));
         assert_eq!(inst.callee(), Some("f"));
+        assert_eq!(inst.callee_sym(), Some(Sym::new("f")));
 
         let call = Inst::Call { callee: "g".into(), args: vec![] };
         assert_eq!(call.def(), None);

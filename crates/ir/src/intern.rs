@@ -1,0 +1,322 @@
+//! The global name interner behind every identifier in the IR.
+//!
+//! Variable, function, field, parameter, and module names form a small,
+//! heavily repeated vocabulary at corpus scale (a 270k-function kernel
+//! corpus has a few hundred thousand *unique* names but tens of millions
+//! of *occurrences*). Storing a [`Sym`] — a 4-byte handle into a global,
+//! append-only string table — instead of an owned `String` (24 bytes of
+//! header plus a heap block per occurrence) removes both the allocator
+//! traffic on every IR construction and the string hashing/compares on
+//! every map operation keyed by a name.
+//!
+//! Design points:
+//!
+//! * **Append-only, deduplicated.** Interning the same text twice returns
+//!   the same handle, so `Sym` equality is a `u32` compare. Strings are
+//!   leaked into the table and live for the process lifetime — the right
+//!   trade for an analyzer whose name vocabulary is bounded by its input
+//!   corpus (and whose daemon form wants names immortal anyway, so
+//!   resident summaries, caches, and reports can share them).
+//! * **Ordering is *string* ordering.** `Ord` compares resolved text, not
+//!   handle ids. Every deterministic order in the pipeline (sorted
+//!   function lists, `BTreeMap`-backed summary databases, report
+//!   ordering) predates interning and is part of the byte-identity
+//!   contract, so it must not shift with intern order.
+//! * **Hashing is *handle* hashing.** In-memory maps keyed by `Sym` hash
+//!   4 bytes instead of the string. Anything *persisted* must therefore
+//!   never hash a `Sym` through `std::hash` — the content-addressed cache
+//!   keys resolve to text explicitly (see `rid-core`'s `cache` module).
+//! * **Serde is *string* serde.** A `Sym` serializes as its text, so every
+//!   JSON artifact (summaries, caches, reports) is byte-identical to the
+//!   pre-interning formats, and deserialization re-interns.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{OnceLock, RwLock};
+
+/// The interner: text → id map plus id → text table. One global instance
+/// behind a [`RwLock`]; reads (the common case — resolve and lookup) take
+/// the shared lock, first-time interning takes the exclusive lock.
+struct Interner {
+    map: HashMap<&'static str, u32>,
+    table: Vec<&'static str>,
+}
+
+fn interner() -> &'static RwLock<Interner> {
+    static INTERNER: OnceLock<RwLock<Interner>> = OnceLock::new();
+    INTERNER.get_or_init(|| {
+        RwLock::new(Interner { map: HashMap::with_capacity(1024), table: Vec::with_capacity(1024) })
+    })
+}
+
+/// An interned string handle: 4 bytes, `Copy`, O(1) equality.
+///
+/// Obtain one with [`Sym::new`] (or the `From` impls), resolve it with
+/// [`Sym::as_str`] (or via `Deref`, so `&Sym` coerces wherever `&str` is
+/// expected through method calls).
+#[derive(Clone, Copy, PartialEq, Eq)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Interns `text` and returns its handle. Idempotent: equal text maps
+    /// to equal handles for the lifetime of the process.
+    #[must_use]
+    pub fn new(text: &str) -> Sym {
+        {
+            let guard = interner().read().unwrap_or_else(std::sync::PoisonError::into_inner);
+            if let Some(&id) = guard.map.get(text) {
+                return Sym(id);
+            }
+        }
+        let mut guard = interner().write().unwrap_or_else(std::sync::PoisonError::into_inner);
+        if let Some(&id) = guard.map.get(text) {
+            return Sym(id);
+        }
+        let id = u32::try_from(guard.table.len()).expect("interner overflow (> 4G names)");
+        let leaked: &'static str = Box::leak(text.to_owned().into_boxed_str());
+        guard.table.push(leaked);
+        guard.map.insert(leaked, id);
+        Sym(id)
+    }
+
+    /// The handle for `text` **if it was already interned**; `None`
+    /// otherwise. Lookup paths (e.g. "does the program define a function
+    /// of this name?") use this so queries for unknown names never grow
+    /// the table.
+    #[must_use]
+    pub fn lookup(text: &str) -> Option<Sym> {
+        let guard = interner().read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.map.get(text).map(|&id| Sym(id))
+    }
+
+    /// Resolves the handle to its text. O(1): a shared-lock table read.
+    /// The returned reference is `'static` — interned strings are never
+    /// freed.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        let guard = interner().read().unwrap_or_else(std::sync::PoisonError::into_inner);
+        guard.table[self.0 as usize]
+    }
+
+    /// The raw handle id. Only meaningful within this process; never
+    /// persist it.
+    #[must_use]
+    pub fn id(self) -> u32 {
+        self.0
+    }
+
+    /// Whether the interned text is empty.
+    #[must_use]
+    pub fn is_empty(self) -> bool {
+        self.as_str().is_empty()
+    }
+
+    /// Number of distinct interned strings in the process-global table.
+    #[must_use]
+    pub fn interned_count() -> usize {
+        interner().read().unwrap_or_else(std::sync::PoisonError::into_inner).table.len()
+    }
+
+    /// Total bytes of interned string text (excluding table overhead),
+    /// for memory-footprint accounting.
+    #[must_use]
+    pub fn interned_bytes() -> usize {
+        interner()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .table
+            .iter()
+            .map(|s| s.len())
+            .sum()
+    }
+}
+
+impl Default for Sym {
+    fn default() -> Sym {
+        Sym::new("")
+    }
+}
+
+// Handle hashing: 4 bytes instead of the text. See the module docs for
+// why persisted hashes must not go through this impl.
+impl std::hash::Hash for Sym {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.hash(state);
+    }
+}
+
+// String ordering, not id ordering: deterministic orders must not shift
+// with intern order (ids depend on first-touch order, which differs
+// between e.g. a cold parse and a snapshot restore).
+impl Ord for Sym {
+    fn cmp(&self, other: &Sym) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            return std::cmp::Ordering::Equal;
+        }
+        self.as_str().cmp(other.as_str())
+    }
+}
+
+impl PartialOrd for Sym {
+    fn partial_cmp(&self, other: &Sym) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl std::ops::Deref for Sym {
+    type Target = str;
+    fn deref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl AsRef<str> for Sym {
+    fn as_ref(&self) -> &str {
+        self.as_str()
+    }
+}
+
+impl fmt::Display for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+impl fmt::Debug for Sym {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // `String`-compatible: quoted content, no wrapper name, so debug
+        // renderings (which feed some golden tests) do not shift.
+        fmt::Debug::fmt(self.as_str(), f)
+    }
+}
+
+impl From<&str> for Sym {
+    fn from(text: &str) -> Sym {
+        Sym::new(text)
+    }
+}
+
+impl From<String> for Sym {
+    fn from(text: String) -> Sym {
+        Sym::new(&text)
+    }
+}
+
+impl From<&String> for Sym {
+    fn from(text: &String) -> Sym {
+        Sym::new(text)
+    }
+}
+
+impl From<&Sym> for Sym {
+    fn from(sym: &Sym) -> Sym {
+        *sym
+    }
+}
+
+impl PartialEq<str> for Sym {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == other
+    }
+}
+
+impl PartialEq<&str> for Sym {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == *other
+    }
+}
+
+impl PartialEq<String> for Sym {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for str {
+    fn eq(&self, other: &Sym) -> bool {
+        self == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for &str {
+    fn eq(&self, other: &Sym) -> bool {
+        *self == other.as_str()
+    }
+}
+
+impl PartialEq<Sym> for String {
+    fn eq(&self, other: &Sym) -> bool {
+        self.as_str() == other.as_str()
+    }
+}
+
+// Serialized as the resolved text: every persisted artifact keeps its
+// pre-interning byte layout, and handles never leak across processes.
+impl serde::Serialize for Sym {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        self.as_str().serialize(serializer)
+    }
+}
+
+impl<'de> serde::Deserialize<'de> for Sym {
+    fn deserialize<D: serde::Deserializer<'de>>(deserializer: D) -> Result<Self, D::Error> {
+        String::deserialize(deserializer).map(|s| Sym::new(&s))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let a = Sym::new("pm_runtime_get");
+        let b = Sym::new("pm_runtime_get");
+        assert_eq!(a, b);
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a.as_str(), "pm_runtime_get");
+    }
+
+    #[test]
+    fn lookup_never_inserts() {
+        let before = Sym::interned_count();
+        assert!(Sym::lookup("surely-never-interned-a8f3e1").is_none());
+        assert_eq!(Sym::interned_count(), before);
+        let s = Sym::new("lookup-roundtrip-x1");
+        assert_eq!(Sym::lookup("lookup-roundtrip-x1"), Some(s));
+    }
+
+    #[test]
+    fn ordering_is_string_ordering() {
+        // Intern in reverse lexicographic order: ids ascend but string
+        // order must win.
+        let z = Sym::new("zzz-order-probe");
+        let a = Sym::new("aaa-order-probe");
+        assert!(a < z);
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+    }
+
+    #[test]
+    fn string_compatible_debug_and_eq() {
+        let s = Sym::new("dev");
+        assert_eq!(format!("{s:?}"), "\"dev\"");
+        assert_eq!(format!("{s}"), "dev");
+        assert!(s == "dev");
+        let owned = String::from("dev");
+        assert!(s == owned);
+        assert!("dev" == s);
+        assert_eq!(&*s, "dev");
+    }
+
+    #[test]
+    fn serde_round_trips_as_text() {
+        let s = Sym::new("rc_field");
+        let v = serde::__private::to_value_err::<_, serde::SimpleError>(&s).unwrap();
+        assert_eq!(v, serde::Value::Str("rc_field".to_owned()));
+        let back: Sym =
+            serde::__private::from_value_err::<Sym, serde::SimpleError>(v).unwrap();
+        assert_eq!(back, s);
+    }
+}

@@ -54,6 +54,8 @@ mod display;
 mod dom;
 mod func;
 mod inst;
+mod intern;
+pub mod mem;
 mod module;
 mod pred;
 mod validate;
@@ -62,8 +64,10 @@ pub use build::FunctionBuilder;
 pub use codec::{decode_modules, decode_modules_trusted, encode_modules, CodecError};
 pub use cfg::Cfg;
 pub use dom::{control_dependencies, dominators, post_dominators, Dominators, PostDominators};
-pub use func::{BasicBlock, BlockId, Function, InstId, Terminator};
+pub use func::{BasicBlock, BlockId, BlockRef, Blocks, BlocksIter, Function, InstId, Terminator};
 pub use inst::{Inst, Operand, Rvalue};
+pub use intern::Sym;
+pub use mem::{measure_program, MemoryFootprint};
 pub use module::{Module, Program, ProgramError};
 pub use pred::Pred;
 pub use validate::{validate_function, ValidateError};

@@ -3,7 +3,7 @@
 use std::collections::HashMap;
 use std::fmt;
 
-use crate::Function;
+use crate::{Function, Sym};
 
 /// A compilation unit: a named collection of function definitions plus the
 /// names of external functions it references (functions defined elsewhere
@@ -11,14 +11,14 @@ use crate::Function;
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct Module {
     /// The module name (e.g. a source file path).
-    pub name: String,
+    pub name: Sym,
     functions: Vec<Function>,
-    externs: Vec<String>,
+    externs: Vec<Sym>,
 }
 
 impl Module {
     /// Creates an empty module.
-    pub fn new(name: impl Into<String>) -> Module {
+    pub fn new(name: impl Into<Sym>) -> Module {
         Module { name: name.into(), functions: Vec::new(), externs: Vec::new() }
     }
 
@@ -28,7 +28,7 @@ impl Module {
     }
 
     /// Declares an external function referenced by this module.
-    pub fn push_extern(&mut self, name: impl Into<String>) {
+    pub fn push_extern(&mut self, name: impl Into<Sym>) {
         self.externs.push(name.into());
     }
 
@@ -40,27 +40,28 @@ impl Module {
 
     /// The declared external function names.
     #[must_use]
-    pub fn externs(&self) -> &[String] {
+    pub fn externs(&self) -> &[Sym] {
         &self.externs
     }
 
     /// Looks up a function definition by name.
     #[must_use]
     pub fn function(&self, name: &str) -> Option<&Function> {
-        self.functions.iter().find(|f| f.name() == name)
+        let sym = Sym::lookup(name)?;
+        self.functions.iter().find(|f| f.name_sym() == sym)
     }
 
     /// Names of symbols this module *uses* but does not define — the edges
     /// of the module dependency graph of §5.3.
-    pub fn undefined_references(&self) -> Vec<&str> {
-        let defined: std::collections::HashSet<&str> =
-            self.functions.iter().map(Function::name).collect();
+    pub fn undefined_references(&self) -> Vec<&'static str> {
+        let defined: std::collections::HashSet<Sym> =
+            self.functions.iter().map(Function::name_sym).collect();
         let mut out = Vec::new();
         let mut seen = std::collections::HashSet::new();
         for func in &self.functions {
-            for callee in func.callees() {
-                if !defined.contains(callee) && seen.insert(callee) {
-                    out.push(callee);
+            for callee in func.callee_syms() {
+                if !defined.contains(&callee) && seen.insert(callee) {
+                    out.push(callee.as_str());
                 }
             }
         }
@@ -96,8 +97,11 @@ impl std::error::Error for ProgramError {}
 #[derive(Clone, Debug, Default)]
 pub struct Program {
     modules: Vec<Module>,
-    /// function name → (module index, function index)
-    index: HashMap<String, (usize, usize)>,
+    /// function name → (module index, function index). Keyed by interned
+    /// handle: inserts and lookups hash 4 bytes, and lookups by text go
+    /// through the non-inserting [`Sym::lookup`] so probing for unknown
+    /// names never grows the intern table.
+    index: HashMap<Sym, (usize, usize)>,
 }
 
 impl Program {
@@ -138,16 +142,16 @@ impl Program {
     pub fn link(&mut self, module: Module) -> Result<(), ProgramError> {
         let mod_idx = self.modules.len();
         for (fn_idx, func) in module.functions().iter().enumerate() {
-            match self.index.get(func.name()) {
+            match self.index.get(&func.name_sym()) {
                 None => {
-                    self.index.insert(func.name().to_owned(), (mod_idx, fn_idx));
+                    self.index.insert(func.name_sym(), (mod_idx, fn_idx));
                 }
                 Some(&(mi, fi)) => {
                     let existing = &self.modules[mi].functions[fi];
                     match (existing.weak, func.weak) {
                         // Existing weak, new strong: the strong one wins.
                         (true, false) => {
-                            self.index.insert(func.name().to_owned(), (mod_idx, fn_idx));
+                            self.index.insert(func.name_sym(), (mod_idx, fn_idx));
                         }
                         // New weak (existing anything): keep existing.
                         (_, true) => {}
@@ -188,23 +192,23 @@ impl Program {
         // Patch those index entries directly instead of rebuilding the
         // whole index.
         if let Some(i) = position {
-            fn signature(m: &Module) -> Option<HashMap<&str, bool>> {
-                let sig: HashMap<&str, bool> =
-                    m.functions().iter().map(|f| (f.name(), f.weak)).collect();
+            fn signature(m: &Module) -> Option<HashMap<Sym, bool>> {
+                let sig: HashMap<Sym, bool> =
+                    m.functions().iter().map(|f| (f.name_sym(), f.weak)).collect();
                 // A module with an internal duplicate name takes the
                 // slow path: index resolution within it is positional.
                 (sig.len() == m.functions().len()).then_some(sig)
             }
             if signature(&self.modules[i]).is_some_and(|old| Some(old) == signature(&module)) {
-                let positions: HashMap<&str, usize> = module
+                let positions: HashMap<Sym, usize> = module
                     .functions()
                     .iter()
                     .enumerate()
-                    .map(|(fi, f)| (f.name(), fi))
+                    .map(|(fi, f)| (f.name_sym(), fi))
                     .collect();
                 for (name, (mi, fi)) in self.index.iter_mut() {
                     if *mi == i {
-                        *fi = positions[name.as_str()];
+                        *fi = positions[name];
                     }
                 }
                 self.modules[i] = module;
@@ -251,18 +255,18 @@ impl Program {
     /// Rebuilds `index` from `modules` in link order, applying the same
     /// weak-symbol resolution as [`Program::link`].
     fn reindex(&mut self) -> Result<(), ProgramError> {
-        let mut index: HashMap<String, (usize, usize)> = HashMap::new();
+        let mut index: HashMap<Sym, (usize, usize)> = HashMap::new();
         for (mod_idx, module) in self.modules.iter().enumerate() {
             for (fn_idx, func) in module.functions().iter().enumerate() {
-                match index.get(func.name()) {
+                match index.get(&func.name_sym()) {
                     None => {
-                        index.insert(func.name().to_owned(), (mod_idx, fn_idx));
+                        index.insert(func.name_sym(), (mod_idx, fn_idx));
                     }
                     Some(&(mi, fi)) => {
                         let existing = &self.modules[mi].functions[fi];
                         match (existing.weak, func.weak) {
                             (true, false) => {
-                                index.insert(func.name().to_owned(), (mod_idx, fn_idx));
+                                index.insert(func.name_sym(), (mod_idx, fn_idx));
                             }
                             (_, true) => {}
                             (false, false) => {
@@ -286,18 +290,25 @@ impl Program {
     }
 
     /// Looks up the canonical definition of `name` (after weak-symbol
-    /// resolution).
+    /// resolution). Never grows the intern table for unknown names.
     #[must_use]
     pub fn function(&self, name: &str) -> Option<&Function> {
-        self.index.get(name).map(|&(mi, fi)| &self.modules[mi].functions[fi])
+        self.function_sym(Sym::lookup(name)?)
+    }
+
+    /// Looks up the canonical definition by interned handle (the
+    /// allocation- and hash-free flavor of [`Program::function`]).
+    #[must_use]
+    pub fn function_sym(&self, name: Sym) -> Option<&Function> {
+        self.index.get(&name).map(|&(mi, fi)| &self.modules[mi].functions[fi])
     }
 
     /// Iterates over the canonical function definitions in a deterministic
     /// order (sorted by name).
     pub fn functions(&self) -> Vec<&Function> {
-        let mut names: Vec<&String> = self.index.keys().collect();
-        names.sort();
-        names.into_iter().map(|n| self.function(n).expect("indexed")).collect()
+        let mut names: Vec<Sym> = self.index.keys().copied().collect();
+        names.sort_unstable();
+        names.into_iter().map(|n| self.function_sym(n).expect("indexed")).collect()
     }
 
     /// Number of canonical function definitions.
@@ -378,6 +389,17 @@ mod tests {
         let p = Program::from_module(m).unwrap();
         let names: Vec<&str> = p.functions().iter().map(|f| f.name()).collect();
         assert_eq!(names, vec!["alpha", "zeta"]);
+    }
+
+    #[test]
+    fn lookup_of_unknown_name_does_not_intern() {
+        let mut m = Module::new("a.ril");
+        m.push_function(func("known_fn_lookup_probe", false));
+        let p = Program::from_module(m).unwrap();
+        let before = Sym::interned_count();
+        assert!(p.function("never-defined-name-93ab7c").is_none());
+        assert_eq!(Sym::interned_count(), before);
+        assert!(p.function("known_fn_lookup_probe").is_some());
     }
 
     #[test]

@@ -59,8 +59,8 @@ pub fn validate_function(func: &Function) -> Result<(), ValidateError> {
         if param.is_empty() {
             return Err(ValidateError::EmptyName);
         }
-        if !seen.insert(param.as_str()) {
-            return Err(ValidateError::DuplicateParam(param.clone()));
+        if !seen.insert(*param) {
+            return Err(ValidateError::DuplicateParam(param.as_str().to_owned()));
         }
     }
     let n = func.blocks().len();
@@ -85,7 +85,7 @@ mod tests {
 
     #[test]
     fn rejects_no_blocks() {
-        let f = Function::from_raw_parts("f", vec![], vec![]);
+        let f = Function::from_raw_parts("f", Vec::<&str>::new(), vec![]);
         assert_eq!(validate_function(&f), Err(ValidateError::NoBlocks));
     }
 
@@ -93,7 +93,7 @@ mod tests {
     fn rejects_bad_target() {
         let f = Function::from_raw_parts(
             "f",
-            vec![],
+            Vec::<&str>::new(),
             vec![BasicBlock::new(Terminator::Jump(BlockId(7)))],
         );
         assert_eq!(
@@ -106,7 +106,7 @@ mod tests {
     fn rejects_duplicate_params() {
         let f = Function::from_raw_parts(
             "f",
-            vec!["a".into(), "a".into()],
+            vec!["a", "a"],
             vec![BasicBlock::new(Terminator::Return(None))],
         );
         assert_eq!(validate_function(&f), Err(ValidateError::DuplicateParam("a".into())));
@@ -116,7 +116,7 @@ mod tests {
     fn rejects_empty_names() {
         let f = Function::from_raw_parts(
             "",
-            vec![],
+            Vec::<&str>::new(),
             vec![BasicBlock::new(Terminator::Return(None))],
         );
         assert_eq!(validate_function(&f), Err(ValidateError::EmptyName));
@@ -126,7 +126,7 @@ mod tests {
     fn accepts_valid_function() {
         let f = Function::from_raw_parts(
             "f",
-            vec!["x".into()],
+            vec!["x"],
             vec![BasicBlock::new(Terminator::Return(Some(Operand::Int(0))))],
         );
         assert!(validate_function(&f).is_ok());

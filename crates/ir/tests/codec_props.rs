@@ -1,0 +1,213 @@
+//! Property-based round-trip coverage of the binary module codec over
+//! the interned IR: randomly generated valid modules must survive
+//! `encode → decode` exactly, the trusted fast path must agree with the
+//! validated decoder, every truncation must fail loudly, and any buffer
+//! the decoder accepts must re-encode byte-identically (the format is
+//! canonical — one byte string per module list).
+
+use proptest::prelude::*;
+use rid_ir::{
+    decode_modules, decode_modules_trusted, encode_modules, BasicBlock, BlockId, CodecError,
+    Function, Inst, Module, Operand, Pred, Rvalue, Terminator,
+};
+
+/// Interned names of assorted lengths, including multi-byte UTF-8 —
+/// the codec length-prefixes *bytes*, so a char-counting bug would
+/// surface here as a truncation or BadUtf8 on valid input.
+fn name() -> impl Strategy<Value = String> {
+    prop_oneof![
+        (0usize..32).prop_map(|i| format!("n{i}")),
+        (0usize..8).prop_map(|i| format!("very_long_identifier_name_{i}_{}", "pad".repeat(i))),
+        (0usize..6).prop_map(|i| format!("üñïçødé_名前_{i}")),
+    ]
+}
+
+fn pred() -> impl Strategy<Value = Pred> {
+    prop_oneof![
+        Just(Pred::Eq),
+        Just(Pred::Ne),
+        Just(Pred::Lt),
+        Just(Pred::Le),
+        Just(Pred::Gt),
+        Just(Pred::Ge),
+    ]
+}
+
+fn operand() -> impl Strategy<Value = Operand> {
+    prop_oneof![
+        name().prop_map(Operand::var),
+        any::<i64>().prop_map(Operand::Int),
+        any::<bool>().prop_map(Operand::Bool),
+        Just(Operand::Null),
+        name().prop_map(|n| Operand::FuncRef(n.into())),
+    ]
+}
+
+fn rvalue() -> impl Strategy<Value = Rvalue> {
+    prop_oneof![
+        operand().prop_map(Rvalue::Use),
+        (name(), name()).prop_map(|(base, field)| Rvalue::field(base, field)),
+        Just(Rvalue::Random),
+        (pred(), operand(), operand()).prop_map(|(p, lhs, rhs)| Rvalue::Cmp { pred: p, lhs, rhs }),
+        (name(), prop::collection::vec(operand(), 0..4))
+            .prop_map(|(callee, args)| Rvalue::call(callee, args)),
+    ]
+}
+
+fn inst() -> impl Strategy<Value = Inst> {
+    prop_oneof![
+        (name(), rvalue()).prop_map(|(dst, rvalue)| Inst::Assign { dst: dst.into(), rvalue }),
+        (name(), prop::collection::vec(operand(), 0..4))
+            .prop_map(|(callee, args)| Inst::Call { callee: callee.into(), args }),
+        (pred(), operand(), operand())
+            .prop_map(|(p, lhs, rhs)| Inst::Assume { pred: p, lhs, rhs }),
+        (name(), name(), operand()).prop_map(|(base, field, value)| Inst::FieldStore {
+            base: base.into(),
+            field: field.into(),
+            value,
+        }),
+    ]
+}
+
+/// Raw material for one block: instructions plus a terminator seed whose
+/// targets are reduced modulo the block count during assembly, so every
+/// generated function passes structural validation.
+type BlockSeed = (Vec<Inst>, u8, u32, u32, String, Operand);
+
+fn block_seed() -> impl Strategy<Value = BlockSeed> {
+    (
+        prop::collection::vec(inst(), 0..5),
+        0u8..5,
+        any::<u32>(),
+        any::<u32>(),
+        name(),
+        operand(),
+    )
+}
+
+fn assemble_term(seed: &BlockSeed, nblocks: u32) -> Terminator {
+    let (_, kind, a, b, cond, op) = seed;
+    match kind {
+        0 => Terminator::Jump(BlockId(a % nblocks)),
+        1 => Terminator::Branch {
+            cond: cond.as_str().into(),
+            then_bb: BlockId(a % nblocks),
+            else_bb: BlockId(b % nblocks),
+        },
+        2 => Terminator::Return(Some(*op)),
+        3 => Terminator::Return(None),
+        _ => Terminator::Unreachable,
+    }
+}
+
+fn function() -> impl Strategy<Value = Function> {
+    (
+        name(),
+        prop::collection::vec(name(), 0..4),
+        prop::collection::vec(block_seed(), 1..5),
+        any::<bool>(),
+    )
+        .prop_map(|(fname, params, seeds, weak)| {
+            // Parameters must be unique and non-empty; keep first
+            // occurrences in order.
+            let mut seen = std::collections::HashSet::new();
+            let params: Vec<String> =
+                params.into_iter().filter(|p| seen.insert(p.clone())).collect();
+            let nblocks = seeds.len() as u32;
+            let blocks: Vec<BasicBlock> = seeds
+                .iter()
+                .map(|seed| BasicBlock {
+                    insts: seed.0.clone(),
+                    term: assemble_term(seed, nblocks),
+                })
+                .collect();
+            let mut func = Function::from_raw_parts(fname, params, blocks);
+            func.weak = weak;
+            func
+        })
+}
+
+fn module() -> impl Strategy<Value = Module> {
+    (
+        name(),
+        prop::collection::vec(name(), 0..3),
+        prop::collection::vec(function(), 0..4),
+    )
+        .prop_map(|(mname, externs, functions)| {
+            let mut module = Module::new(mname);
+            for ext in externs {
+                module.push_extern(ext);
+            }
+            for func in functions {
+                module.push_function(func);
+            }
+            module
+        })
+}
+
+fn modules() -> impl Strategy<Value = Vec<Module>> {
+    prop::collection::vec(module(), 0..4)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// encode → decode is the identity on valid modules, and re-encoding
+    /// the decoded modules reproduces the original bytes exactly (the
+    /// interner round-trips text, not handles, so this also pins the
+    /// byte-identity contract for snapshot diffing).
+    fn roundtrip_is_identity(ms in modules()) {
+        let refs: Vec<&Module> = ms.iter().collect();
+        let bytes = encode_modules(&refs);
+        let back = decode_modules(&bytes).expect("encoded modules decode");
+        prop_assert_eq!(&back, &ms);
+        let rerefs: Vec<&Module> = back.iter().collect();
+        prop_assert_eq!(encode_modules(&rerefs), bytes);
+    }
+
+    /// The trusted fast path (validation skipped) agrees with the
+    /// validated decoder on everything the validated decoder accepts.
+    fn trusted_decode_agrees(ms in modules()) {
+        let refs: Vec<&Module> = ms.iter().collect();
+        let bytes = encode_modules(&refs);
+        let validated = decode_modules(&bytes).expect("encoded modules decode");
+        let trusted = decode_modules_trusted(&bytes).expect("trusted decode succeeds");
+        prop_assert_eq!(trusted, validated);
+    }
+
+    /// Every proper prefix of an encoding fails loudly — on both decode
+    /// paths — instead of mis-decoding (torn writes, crashed snapshots).
+    fn truncations_fail(ms in modules(), cut in any::<usize>()) {
+        let refs: Vec<&Module> = ms.iter().collect();
+        let bytes = encode_modules(&refs);
+        let cut = cut % bytes.len();
+        prop_assert!(decode_modules(&bytes[..cut]).is_err());
+        prop_assert!(decode_modules_trusted(&bytes[..cut]).is_err());
+    }
+
+    /// Single-byte corruption never panics either decoder, and anything
+    /// a decoder does accept re-encodes to exactly the bytes it read
+    /// (canonicality: the byte string and the value are 1:1).
+    fn corruption_never_panics(ms in modules(), at in any::<usize>(), mask in 1u8..=255) {
+        let refs: Vec<&Module> = ms.iter().collect();
+        let mut bytes = encode_modules(&refs);
+        let at = at % bytes.len();
+        bytes[at] ^= mask;
+        for back in [decode_modules(&bytes), decode_modules_trusted(&bytes)]
+            .into_iter()
+            .flatten()
+        {
+            let rerefs: Vec<&Module> = back.iter().collect();
+            prop_assert_eq!(encode_modules(&rerefs), bytes.clone());
+        }
+    }
+
+    /// Trailing garbage after a valid encoding is always rejected.
+    fn trailing_bytes_fail(ms in modules(), extra in 1usize..4) {
+        let refs: Vec<&Module> = ms.iter().collect();
+        let mut bytes = encode_modules(&refs);
+        bytes.extend(vec![0u8; extra]);
+        prop_assert_eq!(decode_modules(&bytes), Err(CodecError::TrailingBytes));
+        prop_assert_eq!(decode_modules_trusted(&bytes), Err(CodecError::TrailingBytes));
+    }
+}

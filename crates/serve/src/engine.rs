@@ -573,7 +573,7 @@ impl<T> Engine<T> {
                     return (pending.tag, error_line(Some(pending.id), "frontend", &message));
                 }
             };
-            files.insert(name.clone(), module.name.clone());
+            files.insert(name.clone(), module.name.as_str().to_owned());
             if let Err(e) = program.link(module) {
                 return (pending.tag, error_line(Some(pending.id), "link", &e.to_string()));
             }
@@ -753,10 +753,10 @@ impl<T> Engine<T> {
                     undo.push(match old {
                         Some(previous) => Undo::Restore(previous),
                         None => {
-                            Undo::Remove { file: file.clone(), module: module.name.clone() }
+                            Undo::Remove { file: file.clone(), module: module.name.as_str().to_owned() }
                         }
                     });
-                    project.files.insert(file.clone(), module.name.clone());
+                    project.files.insert(file.clone(), module.name.as_str().to_owned());
                 }
                 Err(e) => {
                     link_error = Some(e.to_string());

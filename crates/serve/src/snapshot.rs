@@ -6,7 +6,7 @@
 //! A `.snap` file is a checksummed section container:
 //!
 //! ```text
-//! "RIDSNAP2"                        8-byte magic/version
+//! "RIDSNAP3"                        8-byte magic/version
 //! u32        section count
 //! per section:
 //!   u32      name length, name bytes (UTF-8)
@@ -22,7 +22,9 @@
 //! [`AnalysisState`] — reports, summaries, classification,
 //! degradations — as a binary-encoded value tree; absent when the
 //! project was never analyzed), and `cache` (the content-addressed
-//! summary cache, same encoding).
+//! summary cache as a RIDSS1 indexed container — see `rid_core::store` —
+//! so restore parses only the entry index and each cached record is
+//! decoded the first time a probe hits it).
 //!
 //! The `state`/`cache` sections deliberately avoid JSON text: restore
 //! must land well under the cold-analyze budget, and at corpus scale
@@ -64,10 +66,10 @@ use serde_json::Value;
 use crate::protocol::ProjectOptions;
 
 /// Version header of a `.snap` container; bump on layout changes.
-pub const SNAP_MAGIC: &[u8; 8] = b"RIDSNAP2";
+pub const SNAP_MAGIC: &[u8; 8] = b"RIDSNAP3";
 
 /// Schema tag carried in the `meta` section and the manifest.
-pub const SNAP_SCHEMA: &str = "rid-serve-snap/v2";
+pub const SNAP_SCHEMA: &str = "rid-serve-snap/v3";
 
 /// File name of the manifest inside a `--state-dir`.
 pub const MANIFEST_FILE: &str = "MANIFEST.json";
@@ -356,22 +358,26 @@ fn checksum64(bytes: &[u8]) -> u64 {
     hash.wrapping_mul(PRIME)
 }
 
-/// Encodes a summary cache into `cache`-section bytes.
+/// Encodes a summary cache into `cache`-section bytes: a RIDSS1 indexed
+/// container (see `rid_core::store`). Entries still lazily held in the
+/// cache's backing store are copied through as verified raw bytes.
 ///
 /// # Errors
 ///
 /// Returns an I/O error if the cache cannot be serialized.
 pub fn encode_cache(cache: &SummaryCache) -> io::Result<Vec<u8>> {
-    encode_section_value(cache)
+    rid_core::store::write_store_bytes(&cache.schema, &cache.entries, cache.backing_store())
 }
 
-/// Decodes `cache`-section bytes written by [`encode_cache`].
+/// Decodes `cache`-section bytes written by [`encode_cache`]: the
+/// container's header and index are parsed here; entry payloads are
+/// decoded only when a probe hits them.
 ///
 /// # Errors
 ///
 /// Returns an I/O error on malformed bytes.
 pub fn decode_cache(bytes: &[u8]) -> io::Result<SummaryCache> {
-    decode_section_value(bytes)
+    Ok(SummaryCache::from_store(rid_core::SummaryStore::from_bytes(bytes.to_vec())?))
 }
 
 /// Encodes an analysis state into `state`-section bytes.
