@@ -101,7 +101,43 @@ fn main() {
     println!("{}", format_table(&["function", "paths"], &rows));
     println!();
 
-    // 3. The full registry, stats + per-kind trace histograms.
+    // 3. Scheduler balance: what each worker did and what it cost to
+    //    keep it fed (empty on 1-thread runs — the sequential fast path
+    //    never spins workers up).
+    if !result.stats.worker_profiles.is_empty() {
+        println!("scheduler workers ({} thread(s)):", threads);
+        let rows: Vec<Vec<String>> = result
+            .stats
+            .worker_profiles
+            .iter()
+            .map(|p| {
+                let mean_batch = if p.steals > 0 {
+                    format!("{:.1}", p.steal_batch.sum as f64 / p.steals as f64)
+                } else {
+                    "-".to_owned()
+                };
+                vec![
+                    format!("w{}", p.worker),
+                    p.comps.to_string(),
+                    p.steals.to_string(),
+                    mean_batch,
+                    p.scan_misses.to_string(),
+                    ms(p.idle_wait_ns.sum),
+                    ms(p.idle_wait_ns.max),
+                ]
+            })
+            .collect();
+        println!(
+            "{}",
+            format_table(
+                &["worker", "comps", "steals", "mean batch", "scan misses", "idle", "idle max"],
+                &rows
+            )
+        );
+        println!();
+    }
+
+    // 4. The full registry, stats + per-kind trace histograms.
     let mut registry = rid_core::registry_from_result(&result);
     rid_core::record_trace(&mut registry, &trace);
     println!("metrics:");

@@ -2,9 +2,10 @@
 //!
 //! ```text
 //! rid analyze <file.ril>... [--apis dpm|python|none] [--summaries db.json]
-//!             [--save-summaries out.json] [--threads N] [--no-selective]
-//!             [--separate] [--json] [--deadline-ms N] [--fuel N]
-//!             [--global-deadline-ms N] [--exec-mode auto|tree|per-path]
+//!             [--save-summaries out.json] [--threads N] [--steal-batch N]
+//!             [--processes P] [--no-selective] [--separate] [--json]
+//!             [--deadline-ms N] [--fuel N] [--global-deadline-ms N]
+//!             [--exec-mode auto|tree|per-path] [--fault-plan plan.json]
 //!             [--cache cache.json] [--trace out.json] [--metrics out.json]
 //! rid explain --state s.json [<file.ril>...] [--function <name>]
 //! rid classify <file.ril>... [--apis dpm|python|none]
@@ -51,11 +52,11 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:
   rid analyze <file.ril>... [--apis dpm|python|none] [--summaries db.json]
-              [--save-summaries out.json] [--threads N] [--no-selective]
-              [--separate] [--callbacks] [--json] [--deadline-ms N]
-              [--fuel N] [--global-deadline-ms N]
-              [--exec-mode auto|tree|per-path] [--cache cache.json]
-              [--trace out.json] [--metrics out.json]
+              [--save-summaries out.json] [--threads N] [--steal-batch N]
+              [--processes P] [--no-selective] [--separate] [--callbacks]
+              [--json] [--deadline-ms N] [--fuel N] [--global-deadline-ms N]
+              [--exec-mode auto|tree|per-path] [--fault-plan plan.json]
+              [--cache cache.json] [--trace out.json] [--metrics out.json]
   rid explain --state s.json [<file.ril>...] [--function <name>]
   rid classify <file.ril>... [--apis dpm|python|none]
   rid summarize <file.ril>... --function <name> [--apis dpm|python|none]
@@ -175,6 +176,11 @@ fn analysis_options(args: &Args) -> Result<AnalysisOptions, String> {
             .get("threads")
             .and_then(|t| t.parse().ok())
             .unwrap_or(1),
+        steal_batch: args
+            .options
+            .get("steal-batch")
+            .and_then(|t| t.parse().ok())
+            .unwrap_or(0),
         budget,
         exec_mode,
         ..Default::default()
@@ -208,11 +214,44 @@ fn cmd_analyze(args: &Args) -> Result<u8, String> {
     let sources = read_sources(&args.files)?;
     let apis = predefined_apis(args)?;
     let options = analysis_options(args)?;
+    // Fault plans are a testing instrument: they let the differential
+    // suite drive `--processes`/`--threads` runs through the exact
+    // degradation machinery a sequential reference run hits.
+    let faults: rid_core::FaultPlan = match args.options.get("fault-plan") {
+        Some(path) => serde_json::from_str(
+            &std::fs::read_to_string(path).map_err(|e| format!("--fault-plan: {path}: {e}"))?,
+        )
+        .map_err(|e| format!("--fault-plan: {path}: {e}"))?,
+        None => rid_core::FaultPlan::none(),
+    };
+    let processes: Option<usize> = args
+        .options
+        .get("processes")
+        .map(|v| v.parse().map_err(|_| format!("--processes expects a count, got `{v}`")))
+        .transpose()?;
 
     let cache_path = args.options.get("cache").map(PathBuf::from);
-    let result = if args.flags.iter().any(|f| f == "separate") {
+    let result = if let Some(processes) = processes {
+        if args.flags.iter().any(|f| f == "separate") {
+            return Err("--processes is not supported with --separate".to_owned());
+        }
+        // The coordinator owns the cache file end to end (warm start and
+        // final merged store), so the CLI-level load/save is skipped.
+        rid_core::analyze_processes(
+            &sources,
+            &apis,
+            &options,
+            &faults,
+            processes,
+            cache_path.as_deref(),
+        )
+        .map_err(|e| e.to_string())?
+    } else if args.flags.iter().any(|f| f == "separate") {
         if cache_path.is_some() {
             return Err("--cache is not supported with --separate".to_owned());
+        }
+        if !faults.is_none() {
+            return Err("--fault-plan is not supported with --separate".to_owned());
         }
         // §5.3 mode: analyze compilation units separately in dependency
         // order, carrying summaries between groups.
@@ -234,7 +273,7 @@ fn cmd_analyze(args: &Args) -> Result<u8, String> {
             &program,
             &apis,
             &options,
-            &rid_core::FaultPlan::none(),
+            &faults,
             Some(&mut cache),
         );
         save_cache(&cache, path).map_err(|e| format!("--cache: {e}"))?;
@@ -248,8 +287,9 @@ fn cmd_analyze(args: &Args) -> Result<u8, String> {
         );
         result
     } else {
-        rid_core::analyze_sources(sources.iter().map(String::as_str), &apis, &options)
-            .map_err(|e| e.to_string())?
+        let program = rid_frontend::parse_program(sources.iter().map(String::as_str))
+            .map_err(|e| e.to_string())?;
+        rid_core::driver::analyze_program_with_faults(&program, &apis, &options, &faults)
     };
 
     let program =
@@ -649,6 +689,9 @@ fn cmd_client(args: &Args) -> Result<u8, String> {
 }
 
 fn main() -> ExitCode {
+    // A `--processes` coordinator re-execs this binary as shard workers;
+    // this diverts (and exits) when the worker token is present.
+    rid_core::maybe_run_worker();
     let Some(args) = parse_args() else { return usage() };
     let outcome = match args.command.as_str() {
         "analyze" => cmd_analyze(&args),

@@ -1,0 +1,193 @@
+//! Differential suite for `rid analyze --processes P`: the sharded
+//! multi-process coordinator must be **byte-identical** to a sequential
+//! in-process run — same `--json` stdout, same `--save-summaries` DB
+//! bytes, same RIDSS1 `--cache` store bytes, same exit code — across
+//! process counts, store temperature (cold vs warm), and fault plans
+//! (clean / panic+retry / solver stall).
+//!
+//! Everything goes through the real binary (`CARGO_BIN_EXE_rid`), so the
+//! worker re-exec path (`__rid-shard-worker`) is exercised exactly as in
+//! production.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+use rid_core::FaultPlan;
+
+fn rid() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_rid"))
+}
+
+fn tempdir(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rid-multiproc-{name}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// Generates the tiny kernel corpus through the binary and returns the
+/// module paths in stable (sorted) program order.
+fn gen_corpus(dir: &Path, seed: u64) -> Vec<String> {
+    let out = dir.join("corpus");
+    let status = rid()
+        .args(["gen-kernel", "--tiny", "--seed", &seed.to_string(), "--out"])
+        .arg(&out)
+        .status()
+        .unwrap();
+    assert!(status.success());
+    let mut files: Vec<String> = std::fs::read_dir(&out)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "ril"))
+        .map(|p| p.display().to_string())
+        .collect();
+    files.sort();
+    assert!(!files.is_empty());
+    files
+}
+
+struct Run {
+    stdout: Vec<u8>,
+    db: Vec<u8>,
+    code: i32,
+}
+
+/// One `rid analyze --json --save-summaries` invocation with optional
+/// `--processes`, `--fault-plan`, and `--cache`.
+fn analyze(
+    corpus: &[String],
+    dir: &Path,
+    tag: &str,
+    processes: Option<usize>,
+    plan: Option<&Path>,
+    cache: Option<&Path>,
+) -> Run {
+    let db_path = dir.join(format!("db-{tag}.json"));
+    let mut cmd = rid();
+    cmd.arg("analyze").args(corpus).arg("--json").arg("--save-summaries").arg(&db_path);
+    if let Some(p) = processes {
+        cmd.args(["--processes", &p.to_string()]);
+    }
+    if let Some(path) = plan {
+        cmd.arg("--fault-plan").arg(path);
+    }
+    if let Some(path) = cache {
+        cmd.arg("--cache").arg(path);
+    }
+    let Output { status, stdout, stderr } = cmd.output().unwrap();
+    let code = status.code().unwrap_or(-1);
+    assert!(
+        (0..=2).contains(&code),
+        "analysis must not be fatal ({tag}): {}",
+        String::from_utf8_lossy(&stderr)
+    );
+    Run { stdout, db: std::fs::read(&db_path).unwrap(), code }
+}
+
+fn assert_identical(reference: &Run, shard: &Run, what: &str) {
+    assert_eq!(reference.code, shard.code, "exit codes diverge: {what}");
+    assert!(reference.stdout == shard.stdout, "`--json` stdout bytes diverge: {what}");
+    assert!(reference.db == shard.db, "summary DB bytes diverge: {what}");
+}
+
+/// Runs the full P × temperature matrix for one fault plan and asserts
+/// byte-identity against the sequential reference throughout.
+fn differential_matrix(name: &str, seed: u64, plan: &FaultPlan) {
+    let dir = tempdir(name);
+    let corpus = gen_corpus(&dir, seed);
+    let plan_path = (!plan.is_none()).then(|| {
+        let path = dir.join("plan.json");
+        std::fs::write(&path, serde_json::to_string(plan).unwrap()).unwrap();
+        path
+    });
+    let plan_arg = plan_path.as_deref();
+
+    // Sequential references: plain cold, then cold+warm through a store.
+    let reference = analyze(&corpus, &dir, "ref", None, plan_arg, None);
+    let ref_store = dir.join("ref.rss");
+    let _ = analyze(&corpus, &dir, "ref-c0", None, plan_arg, Some(&ref_store));
+    let ref_warm = analyze(&corpus, &dir, "ref-c1", None, plan_arg, Some(&ref_store));
+    assert_identical(&reference, &ref_warm, "sequential warm vs cold");
+    assert!(reference.code != 0 || name == "clean", "corpus should surface bugs: {name}");
+
+    for processes in [1usize, 2, 4] {
+        let tag = format!("p{processes}");
+        let cold = analyze(&corpus, &dir, &tag, Some(processes), plan_arg, None);
+        assert_identical(&reference, &cold, &format!("{name}: cold, {processes} proc(s)"));
+
+        let store = dir.join(format!("{tag}.rss"));
+        let first =
+            analyze(&corpus, &dir, &format!("{tag}-c0"), Some(processes), plan_arg, Some(&store));
+        assert_identical(&reference, &first, &format!("{name}: cold+store, {processes} proc(s)"));
+        let warm =
+            analyze(&corpus, &dir, &format!("{tag}-c1"), Some(processes), plan_arg, Some(&store));
+        assert_identical(&reference, &warm, &format!("{name}: warm, {processes} proc(s)"));
+        assert!(
+            std::fs::read(&store).unwrap() == std::fs::read(&ref_store).unwrap(),
+            "{name}: RIDSS1 store bytes diverge at {processes} proc(s)"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn processes_match_sequential_clean() {
+    differential_matrix("clean", 7, &FaultPlan::none());
+}
+
+#[test]
+fn processes_match_sequential_under_panic_faults() {
+    differential_matrix(
+        "panic",
+        11,
+        &FaultPlan { seed: 42, panic_rate: 0.08, ..FaultPlan::none() },
+    );
+}
+
+#[test]
+fn processes_match_sequential_under_stall_faults() {
+    differential_matrix(
+        "stall",
+        13,
+        &FaultPlan { seed: 9, stall_rate: 0.25, ..FaultPlan::none() },
+    );
+}
+
+#[test]
+fn processes_rejects_separate_mode() {
+    let dir = tempdir("flags");
+    let corpus = gen_corpus(&dir, 3);
+    let output = rid()
+        .arg("analyze")
+        .args(&corpus)
+        .args(["--processes", "2", "--separate"])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(3), "incompatible flags are fatal");
+    assert!(String::from_utf8_lossy(&output.stderr).contains("--separate"));
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn steal_batch_does_not_change_output() {
+    let dir = tempdir("steal-batch");
+    let corpus = gen_corpus(&dir, 5);
+    let reference = analyze(&corpus, &dir, "sb-ref", None, None, None);
+    for batch in ["1", "4", "64"] {
+        let db_path = dir.join(format!("db-sb{batch}.json"));
+        let output = rid()
+            .arg("analyze")
+            .args(&corpus)
+            .args(["--json", "--threads", "4", "--steal-batch", batch, "--save-summaries"])
+            .arg(&db_path)
+            .output()
+            .unwrap();
+        assert_eq!(output.status.code(), Some(reference.code));
+        assert!(output.stdout == reference.stdout, "steal-batch {batch} changed reports");
+        assert!(
+            std::fs::read(&db_path).unwrap() == reference.db,
+            "steal-batch {batch} changed summaries"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -77,6 +77,12 @@ pub struct AnalysisOptions {
     /// (default), shared-prefix tree execution, or the standalone per-path
     /// reference mode. All produce identical summaries.
     pub exec_mode: ExecMode,
+    /// Upper bound on how many ready components a worker drains from a
+    /// victim's deque per steal (`0` = auto: steal half the victim's
+    /// queue, capped at [`AUTO_STEAL_CAP`]). Execution-order only — like
+    /// `threads`, deliberately **not** cache-key material (see
+    /// [`crate::cache`]).
+    pub steal_batch: usize,
 }
 
 impl Default for AnalysisOptions {
@@ -89,9 +95,16 @@ impl Default for AnalysisOptions {
             check_callbacks: false,
             budget: Budget::unlimited(),
             exec_mode: ExecMode::default(),
+            steal_batch: 0,
         }
     }
 }
+
+/// Batch cap used when [`AnalysisOptions::steal_batch`] is `0` (auto):
+/// steal-half, but never more than this. Half the victim's queue balances
+/// load in O(log n) steals; the cap keeps one steal from hoarding a whole
+/// wavefront behind a single worker when the queue is momentarily deep.
+pub const AUTO_STEAL_CAP: usize = 8;
 
 /// Statistics from one analysis run (§6.5-style reporting).
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -155,6 +168,11 @@ pub struct AnalysisStats {
     /// (0 in sequential runs).
     #[serde(default)]
     pub queue_depth_max: usize,
+    /// Per-worker scheduler profiles (steal batch sizes, scan lengths,
+    /// idle waits); empty in sequential runs. Merges by concatenation, so
+    /// a multi-run absorb keeps every worker's record.
+    #[serde(default)]
+    pub worker_profiles: Vec<WorkerProfile>,
     /// Wall-clock time spent classifying.
     pub classify_time: Duration,
     /// Wall-clock time spent summarizing + IPP checking.
@@ -192,6 +210,7 @@ impl AnalysisStats {
         self.snapshot_depth_max = self.snapshot_depth_max.max(other.snapshot_depth_max);
         self.steals += other.steals;
         self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
+        self.worker_profiles.extend(other.worker_profiles.iter().cloned());
         self.classify_time += other.classify_time;
         self.analyze_time += other.analyze_time;
     }
@@ -218,6 +237,69 @@ impl AnalysisStats {
             ExecMode::Auto => debug_assert!(false, "Auto resolves before execution"),
         }
     }
+}
+
+/// A serializable snapshot of an [`rid_obs::Histogram`] (log₂ buckets as
+/// parallel `lower_bound` / `count` arrays). Lives here rather than in
+/// rid-obs so the obs crate stays dependency-free; [`to_histogram`]
+/// re-enters the registry via [`rid_obs::Histogram::from_parts`].
+///
+/// [`to_histogram`]: HistogramSnapshot::to_histogram
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HistogramSnapshot {
+    /// Number of samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample (0 when empty).
+    pub min: u64,
+    /// Largest sample (0 when empty).
+    pub max: u64,
+    /// Lower bounds of the non-empty log₂ buckets.
+    #[serde(default)]
+    pub bucket_lo: Vec<u64>,
+    /// Sample counts of those buckets (same order as `bucket_lo`).
+    #[serde(default)]
+    pub bucket_n: Vec<u64>,
+}
+
+impl HistogramSnapshot {
+    /// Snapshot a live histogram.
+    #[must_use]
+    pub fn of(h: &rid_obs::Histogram) -> HistogramSnapshot {
+        let (bucket_lo, bucket_n) = h.sparse_buckets().into_iter().unzip();
+        HistogramSnapshot { count: h.count, sum: h.sum, min: h.min, max: h.max, bucket_lo, bucket_n }
+    }
+
+    /// Rebuild the histogram (exact up to log₂-bucket resolution).
+    #[must_use]
+    pub fn to_histogram(&self) -> rid_obs::Histogram {
+        let buckets: Vec<(u64, u64)> =
+            self.bucket_lo.iter().copied().zip(self.bucket_n.iter().copied()).collect();
+        rid_obs::Histogram::from_parts(self.count, self.sum, self.min, self.max, &buckets)
+    }
+}
+
+/// One worker's scheduler profile: what it executed, what it stole, and
+/// how long it idled. Recorded by the work-stealing pool (empty for the
+/// sequential fast path) and surfaced as `sched.w<i>.*` registry
+/// histograms plus the `rid-bench profile` per-worker table.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct WorkerProfile {
+    /// Worker index (0-based).
+    pub worker: usize,
+    /// Components this worker executed.
+    pub comps: u64,
+    /// Successful steals (each drains one batch from a victim).
+    pub steals: u64,
+    /// Full victim scans that found nothing (the worker then parks).
+    pub scan_misses: u64,
+    /// Batch size per successful steal.
+    pub steal_batch: HistogramSnapshot,
+    /// Victims probed per successful steal (1 = immediate neighbor).
+    pub steal_scan: HistogramSnapshot,
+    /// Nanoseconds spent parked per idle wait.
+    pub idle_wait_ns: HistogramSnapshot,
 }
 
 /// The result of analyzing a program.
@@ -349,10 +431,29 @@ struct Scheduler {
     depth_max: AtomicUsize,
     gate: Mutex<()>,
     idle: Condvar,
+    /// Resolved steal-batch cap ([`AnalysisOptions::steal_batch`], with
+    /// `0` mapped to the steal-half / [`AUTO_STEAL_CAP`] heuristic).
+    steal_cap: usize,
+}
+
+/// What `Scheduler::pop` found: a component plus, when it was stolen, the
+/// steal's shape (for the per-worker profile).
+struct Popped {
+    comp: usize,
+    stolen: Option<StealGrab>,
+}
+
+/// Shape of one successful steal.
+struct StealGrab {
+    /// Components drained from the victim (1 executed now, the rest moved
+    /// onto the thief's own deque).
+    batch: usize,
+    /// Victims probed before one had work (1 = immediate neighbor).
+    scanned: usize,
 }
 
 impl Scheduler {
-    fn new(workers: usize, pending: usize) -> Scheduler {
+    fn new(workers: usize, pending: usize, steal_batch: usize) -> Scheduler {
         Scheduler {
             deques: (0..workers).map(|_| Mutex::new(VecDeque::new())).collect(),
             pending: AtomicUsize::new(pending),
@@ -360,6 +461,7 @@ impl Scheduler {
             depth_max: AtomicUsize::new(0),
             gate: Mutex::new(()),
             idle: Condvar::new(),
+            steal_cap: if steal_batch == 0 { AUTO_STEAL_CAP } else { steal_batch },
         }
     }
 
@@ -368,8 +470,16 @@ impl Scheduler {
     /// before notifying: any worker that checked `queued` too early is
     /// either still outside the gate (and will re-check) or already
     /// registered on the condvar (and will be woken).
+    ///
+    /// Ordering: `Relaxed` suffices for the counter itself. `queued` is
+    /// only *decided on* inside the gate (`wait`), and the gate cycle
+    /// below forms a happens-before edge with any waiter that acquires the
+    /// gate after us — which makes the relaxed store visible there. A
+    /// waiter that acquired the gate *before* this cycle may read the old
+    /// count, but then it is already registered on the condvar and the
+    /// `notify_one` (or the 10 ms insurance timeout) wakes it to re-check.
     fn push(&self, worker: usize, comp: usize) {
-        let depth = self.queued.fetch_add(1, Ordering::SeqCst) + 1;
+        let depth = self.queued.fetch_add(1, Ordering::Relaxed) + 1;
         self.depth_max.fetch_max(depth, Ordering::Relaxed);
         self.deques[worker].lock().push_back(comp);
         drop(self.gate.lock());
@@ -377,30 +487,69 @@ impl Scheduler {
     }
 
     /// Pops from `worker`'s own deque (LIFO: freshly unlocked components
-    /// are cache-warm) or steals the oldest entry from a sibling. The
-    /// boolean is `true` when the component was stolen.
-    fn pop(&self, worker: usize) -> Option<(usize, bool)> {
+    /// are cache-warm) or steals a *batch* from a sibling: half the
+    /// victim's queue up to `steal_cap`, FIFO end (the entries the victim
+    /// would touch last). One stolen component is returned for immediate
+    /// execution; the rest land on the thief's own deque — still counted
+    /// in `queued`, and stealable in turn — so each paid scan amortizes
+    /// over several components instead of one.
+    ///
+    /// Tracing: a successful steal records a `steal` span whose value is
+    /// the batch size; a fruitless full sweep records a `scan` span with
+    /// value 0, so failed scans are distinguishable from steals (and from
+    /// genuine idle parking) in traces.
+    fn pop(&self, worker: usize) -> Option<Popped> {
         if let Some(c) = self.deques[worker].lock().pop_back() {
-            self.queued.fetch_sub(1, Ordering::SeqCst);
-            return Some((c, false));
+            // Relaxed: see `push` — the count is only decided on under
+            // the gate, whose lock cycle publishes this store.
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+            return Some(Popped { comp: c, stolen: None });
         }
         let n = self.deques.len();
         let mut span = rid_obs::span(rid_obs::SpanKind::Steal, "scan");
+        let mut grabbed: Vec<usize> = Vec::new();
         for offset in 1..n {
             let victim = (worker + offset) % n;
-            if let Some(c) = self.deques[victim].lock().pop_front() {
-                self.queued.fetch_sub(1, Ordering::SeqCst);
-                span.set_value(1);
-                return Some((c, true));
+            {
+                let mut vq = self.deques[victim].lock();
+                let take = vq.len().div_ceil(2).clamp(1, self.steal_cap);
+                for _ in 0..take {
+                    match vq.pop_front() {
+                        Some(c) => grabbed.push(c),
+                        None => break,
+                    }
+                }
             }
+            if grabbed.is_empty() {
+                continue;
+            }
+            // Only the component executed now leaves the ready count; the
+            // re-queued remainder stays visible to sleeping workers.
+            self.queued.fetch_sub(1, Ordering::Relaxed);
+            if grabbed.len() > 1 {
+                let mut own = self.deques[worker].lock();
+                for &c in &grabbed[1..] {
+                    own.push_back(c);
+                }
+            }
+            span.set_name("steal");
+            span.set_value(grabbed.len() as u64);
+            return Some(Popped {
+                comp: grabbed[0],
+                stolen: Some(StealGrab { batch: grabbed.len(), scanned: offset }),
+            });
         }
+        span.set_value(0);
         None
     }
 
     /// Marks one component finished; wakes everyone when it was the last
-    /// so idle workers can exit.
+    /// so idle workers can exit. `AcqRel`: the release half publishes this
+    /// worker's writes to whoever observes the count hit zero, and the
+    /// acquire half makes the observer of the *final* decrement see every
+    /// earlier worker's writes — the termination edge `wait` pairs with.
     fn finish_one(&self) {
-        if self.pending.fetch_sub(1, Ordering::SeqCst) == 1 {
+        if self.pending.fetch_sub(1, Ordering::AcqRel) == 1 {
             drop(self.gate.lock());
             self.idle.notify_all();
         }
@@ -409,14 +558,17 @@ impl Scheduler {
     /// Parks `worker` until work might be available or the run is over.
     /// Returns `false` when the run is complete.
     fn wait(&self) -> bool {
-        if self.pending.load(Ordering::SeqCst) == 0 {
+        // Acquire: pairs with the release half of `finish_one`'s final
+        // decrement, so a worker exiting on `pending == 0` sees every
+        // finished component's effects.
+        if self.pending.load(Ordering::Acquire) == 0 {
             return false;
         }
         let guard = self.gate.lock();
-        if self.pending.load(Ordering::SeqCst) == 0 {
+        if self.pending.load(Ordering::Acquire) == 0 {
             return false;
         }
-        if self.queued.load(Ordering::SeqCst) > 0 {
+        if self.queued.load(Ordering::Relaxed) > 0 {
             return true; // missed work: retry immediately
         }
         // The timeout is insurance only; the push/finish protocol above
@@ -442,7 +594,36 @@ pub fn analyze_program_cached(
     predefined: &SummaryDb,
     options: &AnalysisOptions,
     faults: &FaultPlan,
+    cache: Option<&mut SummaryCache>,
+) -> AnalysisResult {
+    analyze_program_masked(program, predefined, options, faults, cache, None)
+}
+
+/// A per-component shard mask for multi-process analysis (see
+/// [`crate::shard`]). `analyze` marks the components this process runs at
+/// all (its assigned components plus their active callee closure, so
+/// every summary a worker reads is either cached or recomputed locally);
+/// `emit` marks the subset this process *owns* — only their reports,
+/// degradations, statistics, and cache write-backs leave the process.
+/// Closure-only components still publish summaries into the slots, but
+/// their outputs are discarded: the owning shard already reported them.
+pub(crate) struct CompMask {
+    /// Indexed by component: process this component.
+    pub analyze: Vec<bool>,
+    /// Indexed by component: own this component's outputs.
+    pub emit: Vec<bool>,
+}
+
+/// [`analyze_program_cached`] with an optional [`CompMask`] restricting
+/// which call-graph components this process analyzes and which outputs it
+/// owns. `None` analyzes (and owns) everything.
+pub(crate) fn analyze_program_masked(
+    program: &Program,
+    predefined: &SummaryDb,
+    options: &AnalysisOptions,
+    faults: &FaultPlan,
     mut cache: Option<&mut SummaryCache>,
+    mask: Option<&CompMask>,
 ) -> AnalysisResult {
     let graph = CallGraph::build(program);
     let functions = program.functions();
@@ -473,11 +654,18 @@ pub fn analyze_program_cached(
     // nobody needs to wait for them).
     let cond = graph.condensation();
     let n_comps = cond.members.len();
-    let active: Vec<bool> = cond
+    let mut active: Vec<bool> = cond
         .members
         .iter()
         .map(|members| members.iter().any(|&i| should_analyze(functions[i].name())))
         .collect();
+    if let Some(mask) = mask {
+        debug_assert_eq!(mask.analyze.len(), n_comps);
+        for (a, &m) in active.iter_mut().zip(&mask.analyze) {
+            *a = *a && m;
+        }
+    }
+    let owns = |c: usize| mask.is_none_or(|m| m.emit[c]);
     let keys: Vec<Option<u128>> = if cache.is_some() {
         let salt = cache_salt(options, predefined);
         function_keys(&functions, &cond, &active, salt)
@@ -606,7 +794,14 @@ pub fn analyze_program_cached(
         let mut out = WorkerOut::default();
         for (c, &is_active) in active.iter().enumerate() {
             if is_active {
-                process_comp(c, &mut out);
+                if owns(c) {
+                    process_comp(c, &mut out);
+                } else {
+                    // Closure-only component under a shard mask: publish
+                    // summaries (into `slots`) but discard the outputs —
+                    // the owning shard already accounted for them.
+                    process_comp(c, &mut WorkerOut::default());
+                }
             }
         }
         vec![out]
@@ -621,7 +816,7 @@ pub fn analyze_program_cached(
                 )
             })
             .collect();
-        let sched = Scheduler::new(workers, active_total);
+        let sched = Scheduler::new(workers, active_total, options.steal_batch);
         {
             // Seed: leaf components (no active callees), round-robin so
             // every worker starts with work.
@@ -637,22 +832,53 @@ pub fn analyze_program_cached(
         }
         let run_worker = |w: usize| -> WorkerOut {
             let mut out = WorkerOut::default();
+            let mut profile = WorkerProfile { worker: w, ..WorkerProfile::default() };
+            let mut steal_batch = rid_obs::Histogram::default();
+            let mut steal_scan = rid_obs::Histogram::default();
+            let mut idle_wait_ns = rid_obs::Histogram::default();
             loop {
-                let Some((c, stolen)) = sched.pop(w) else {
-                    if sched.wait() {
+                let Some(popped) = sched.pop(w) else {
+                    profile.scan_misses += 1;
+                    let parked = Instant::now();
+                    let more = sched.wait();
+                    idle_wait_ns.record(parked.elapsed().as_nanos() as u64);
+                    if more {
                         continue;
                     }
                     break;
                 };
-                out.stats.steals += usize::from(stolen);
-                process_comp(c, &mut out);
+                if let Some(grab) = &popped.stolen {
+                    out.stats.steals += 1;
+                    profile.steals += 1;
+                    steal_batch.record(grab.batch as u64);
+                    steal_scan.record(grab.scanned as u64);
+                }
+                profile.comps += 1;
+                let c = popped.comp;
+                if owns(c) {
+                    process_comp(c, &mut out);
+                } else {
+                    // See the sequential path: summaries publish, outputs
+                    // are the owning shard's to report.
+                    process_comp(c, &mut WorkerOut::default());
+                }
                 for &cw in &cond.caller_comps[c] {
-                    if active[cw] && remaining[cw].fetch_sub(1, Ordering::SeqCst) == 1 {
+                    // AcqRel: the release half publishes this worker's slot
+                    // writes to the thief that schedules `cw`; the acquire
+                    // half on the 1→0 decrement makes every callee's
+                    // publication visible before `cw` runs. (The `OnceLock`
+                    // slots synchronize on their own too — this keeps the
+                    // counter protocol self-sufficient.)
+                    if active[cw] && remaining[cw].fetch_sub(1, Ordering::AcqRel) == 1 {
                         sched.push(w, cw);
                     }
                 }
                 sched.finish_one();
             }
+            profile.steal_batch = HistogramSnapshot::of(&steal_batch);
+            profile.steal_scan = HistogramSnapshot::of(&steal_scan);
+            profile.idle_wait_ns = HistogramSnapshot::of(&idle_wait_ns);
+            out.stats.worker_profiles.push(profile);
             // Scoped threads can unblock the spawner before this thread's
             // TLS destructors run, so flush the trace ring explicitly.
             rid_obs::trace::flush_thread();
@@ -698,46 +924,7 @@ pub fn analyze_program_cached(
     // Callback-contract extension (§7 future work): re-check registered
     // callbacks ignoring return-value distinctions.
     if options.check_callbacks {
-        let model = crate::callbacks::CallbackModel::linux_default();
-        let callbacks = crate::callbacks::collect_callbacks(program, &model);
-        let existing: std::collections::HashSet<(String, String)> = reports
-            .iter()
-            .map(|r| (r.function.clone(), r.refcount.to_string()))
-            .collect();
-        for name in callbacks {
-            let Some(func) = program.function(&name) else { continue };
-            // The callback re-check gets the same panic isolation as the
-            // main pass: a blow-up skips this callback (recorded as a
-            // degradation unless the function already has one) instead of
-            // aborting the run.
-            let found = catch_unwind(AssertUnwindSafe(|| {
-                crate::callbacks::check_callback_function(
-                    func,
-                    &db,
-                    &options.limits,
-                    options.sat,
-                )
-            }));
-            let Ok(found) = found else {
-                if !degraded.contains_key(&name) {
-                    crate::budget::trace_degradation(&name, DegradeReason::Panic);
-                    degraded.insert(
-                        name.clone(),
-                        Degradation {
-                            reason: DegradeReason::Panic,
-                            cost: FunctionCost::default(),
-                        },
-                    );
-                }
-                continue;
-            };
-            for report in found {
-                if !existing.contains(&(report.function.clone(), report.refcount.to_string()))
-                {
-                    reports.push(report);
-                }
-            }
-        }
+        callback_pass(program, &db, options, &mut reports, &mut degraded);
     }
 
     stats.functions_total = functions.len();
@@ -756,6 +943,50 @@ pub fn analyze_program_cached(
     });
 
     AnalysisResult { reports, summaries: db, classification, stats, degraded }
+}
+
+/// The callback-contract pass: re-checks registered callbacks with
+/// return-value distinctions removed, appending any report not already
+/// present for the same `(function, refcount)`. Runs after the summary
+/// database is complete — the driver calls it inline, and the
+/// multi-process coordinator ([`crate::shard`]) calls it once over the
+/// merged result (shard workers skip it, so it is never run twice).
+pub(crate) fn callback_pass(
+    program: &Program,
+    db: &SummaryDb,
+    options: &AnalysisOptions,
+    reports: &mut Vec<IppReport>,
+    degraded: &mut BTreeMap<String, Degradation>,
+) {
+    let model = crate::callbacks::CallbackModel::linux_default();
+    let callbacks = crate::callbacks::collect_callbacks(program, &model);
+    let existing: std::collections::HashSet<(String, String)> =
+        reports.iter().map(|r| (r.function.clone(), r.refcount.to_string())).collect();
+    for name in callbacks {
+        let Some(func) = program.function(&name) else { continue };
+        // The callback re-check gets the same panic isolation as the
+        // main pass: a blow-up skips this callback (recorded as a
+        // degradation unless the function already has one) instead of
+        // aborting the run.
+        let found = catch_unwind(AssertUnwindSafe(|| {
+            crate::callbacks::check_callback_function(func, db, &options.limits, options.sat)
+        }));
+        let Ok(found) = found else {
+            if !degraded.contains_key(&name) {
+                crate::budget::trace_degradation(&name, DegradeReason::Panic);
+                degraded.insert(
+                    name.clone(),
+                    Degradation { reason: DegradeReason::Panic, cost: FunctionCost::default() },
+                );
+            }
+            continue;
+        };
+        for report in found {
+            if !existing.contains(&(report.function.clone(), report.refcount.to_string())) {
+                reports.push(report);
+            }
+        }
+    }
 }
 
 /// Records a successful attempt into the worker's local output: summary
@@ -974,6 +1205,57 @@ mod tests {
             sequential.stats.functions_analyzed,
             parallel.stats.functions_analyzed
         );
+    }
+
+    #[test]
+    fn steal_batch_settings_do_not_change_results() {
+        // The batch cap reshuffles execution order only; summaries and
+        // reports must be byte-identical at every setting, including the
+        // degenerate single-component-per-steal cap.
+        let sources = [FIGURE8, FIGURE9];
+        let reference =
+            analyze_sources(sources, &linux_dpm_apis(), &AnalysisOptions::default()).unwrap();
+        for steal_batch in [0usize, 1, 3, 64] {
+            let options =
+                AnalysisOptions { threads: 4, steal_batch, ..Default::default() };
+            let got = analyze_sources(sources, &linux_dpm_apis(), &options).unwrap();
+            assert_eq!(reference.reports, got.reports, "steal_batch {steal_batch}");
+            assert_eq!(
+                reference.stats.functions_analyzed, got.stats.functions_analyzed,
+                "steal_batch {steal_batch}"
+            );
+        }
+    }
+
+    #[test]
+    fn parallel_runs_record_per_worker_profiles() {
+        let sources = [FIGURE8, FIGURE9];
+        let options = AnalysisOptions { threads: 3, ..Default::default() };
+        let result = analyze_sources(sources, &linux_dpm_apis(), &options).unwrap();
+        // One profile per spawned worker, in worker-index order, each
+        // accounting its executed components; together they cover every
+        // scheduled component exactly once.
+        let profiles = &result.stats.worker_profiles;
+        assert!(!profiles.is_empty());
+        let workers: Vec<usize> = profiles.iter().map(|p| p.worker).collect();
+        let mut sorted = workers.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(workers, sorted, "one profile per worker, merged in order");
+        let comps: u64 = profiles.iter().map(|p| p.comps).sum();
+        assert!(comps > 0);
+        let steals: u64 = profiles.iter().map(|p| p.steals).sum();
+        assert_eq!(steals as usize, result.stats.steals);
+        for p in profiles {
+            assert_eq!(p.steal_batch.count, p.steals, "one batch sample per steal");
+            if p.steals > 0 {
+                assert!(p.steal_batch.min >= 1);
+            }
+        }
+        // Sequential runs carry no profiles.
+        let seq =
+            analyze_sources(sources, &linux_dpm_apis(), &AnalysisOptions::default()).unwrap();
+        assert!(seq.stats.worker_profiles.is_empty());
     }
 
     #[test]

@@ -130,11 +130,27 @@ pub struct SummarizeOutcome {
 /// from-scratch closure costs more than maintaining (and cloning) the
 /// matrix — so the tiny straight-line functions that dominate a kernel
 /// corpus never pay for it. Per-path mode always leaves it `None`.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 struct State {
     cons: Conj,
     changes: BTreeMap<Term, i64>,
     solver: Option<IncrementalSolver>,
+}
+
+// Manual `Clone`: fork points snapshot the attached solver through the
+// thread-local scratch pool (`clone_from` into a recycled matrix) instead
+// of allocating a fresh one. States pruned as unsatisfiable and states
+// drained at a `return` retire their solvers back into the pool, so one
+// worker executing a batch of components keeps reusing the same few
+// matrices. Answer-neutral: a recycled solver is reset to the new() state.
+impl Clone for State {
+    fn clone(&self) -> State {
+        State {
+            cons: self.cons.clone(),
+            changes: self.changes.clone(),
+            solver: self.solver.as_ref().map(rid_solver::incsolver::snapshot),
+        }
+    }
 }
 
 /// A symbolic value: either a term or a lazily represented comparison
@@ -400,7 +416,7 @@ impl<'a> PathExecutor<'a> {
             answer
         } else {
             if solver.is_none() && cons.lits().len() >= SOLVER_ATTACH_LITS {
-                let mut fresh = IncrementalSolver::new();
+                let mut fresh = rid_solver::incsolver::scratch();
                 fresh.push_conj(cons);
                 *solver = Some(fresh);
             }
@@ -433,7 +449,10 @@ impl<'a> PathExecutor<'a> {
             if self.sat_lazy(cons, solver) {
                 i += 1;
             } else {
-                st.states.remove(i);
+                let mut dead = st.states.remove(i);
+                if let Some(s) = dead.solver.take() {
+                    rid_solver::incsolver::recycle(s);
+                }
             }
         }
     }
@@ -708,13 +727,16 @@ impl<'a> PathExecutor<'a> {
                     if let Some(s) = &state.solver {
                         self.note_snapshot(s.len());
                     }
-                    state.solver.clone()
+                    state.solver.as_ref().map(rid_solver::incsolver::snapshot)
                 };
                 if let Some(s) = solver.as_mut() {
                     s.push_conj(&inst_entry.cons);
                 }
                 // Algorithm 1 line 6: skip unsatisfiable combinations.
                 if !inst_entry.cons.is_truth() && !self.sat_lazy(&cons, &mut solver) {
+                    if let Some(s) = solver {
+                        rid_solver::incsolver::recycle(s);
+                    }
                     continue;
                 }
                 let mut changes = state.changes.clone();
@@ -746,7 +768,12 @@ impl<'a> PathExecutor<'a> {
         let mut out = Vec::new();
         let ret_term = ret_op.map(|op| self.term_of(st, op, u32::MAX / 2));
         let mut scratch_vars = Vec::new();
-        for state in std::mem::take(&mut st.states) {
+        for mut state in std::mem::take(&mut st.states) {
+            // The walk is over for this state; its solver goes back to the
+            // pool (projection below builds a fresh formula anyway).
+            if let Some(s) = state.solver.take() {
+                rid_solver::incsolver::recycle(s);
+            }
             let mut cons = state.cons;
             if let Some(ret) = &ret_term {
                 cons.push(Lit::new(Pred::Eq, Term::var(Var::ret()), ret.clone()));

@@ -65,6 +65,7 @@ pub mod obs;
 pub mod paths;
 pub mod persist;
 pub mod report;
+pub mod shard;
 pub mod slice;
 pub mod store;
 pub mod summary;
@@ -77,7 +78,8 @@ pub use callgraph::CallGraph;
 pub use classify::{Category, CategoryCounts, Classification};
 pub use driver::{
     analyze_program, analyze_program_cached, analyze_program_with_faults, analyze_sources,
-    AnalysisOptions, AnalysisResult, AnalysisStats,
+    AnalysisOptions, AnalysisResult, AnalysisStats, HistogramSnapshot, WorkerProfile,
+    AUTO_STEAL_CAP,
 };
 pub use exec::{
     summarize_paths, summarize_paths_metered, summarize_paths_mode, ExecMode, PathEntry,
@@ -91,5 +93,6 @@ pub use report::{
     classify_report, render_explanation, render_explanations, render_report, render_reports,
     BugKind,
 };
+pub use shard::{analyze_processes, maybe_run_worker, WORKER_ARG};
 pub use store::SummaryStore;
 pub use summary::{Summary, SummaryDb, SummaryEntry};

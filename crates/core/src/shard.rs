@@ -1,0 +1,725 @@
+//! Multi-process sharded analysis over the RIDSS1 summary store.
+//!
+//! `rid analyze --processes P` splits one whole-program analysis across
+//! `P` **worker processes** coordinated by the parent. The unit of
+//! distribution is the call-graph SCC component (the same unit the
+//! in-process scheduler uses, see [`crate::driver`]); the only channel
+//! between processes is the persistent summary store
+//! ([`crate::store`]) — no shared memory, no sockets, no pickled
+//! executor state.
+//!
+//! ## Protocol
+//!
+//! 1. The coordinator parses the program, classifies it, condenses the
+//!    call graph, and computes **wavefront levels** over the active
+//!    components: `level(C) = 1 + max(level of C's active direct callee
+//!    components)`. Components in one level never depend on each other,
+//!    so a level can be analyzed by disjoint processes concurrently.
+//! 2. Within a level, active components are assigned round-robin (by
+//!    ascending component index) to `P` shards. Each shard worker gets a
+//!    [`ShardTask`] file: the source paths, the predefined summary DB,
+//!    primitive-typed analysis options, the fault plan, its assigned
+//!    (`emit`) components, their transitive active-callee closure
+//!    (`analyze`), and the store written by previous levels.
+//! 3. A worker re-parses the program (condensation is deterministic, so
+//!    component indices agree with the coordinator's), runs the masked
+//!    driver ([`crate::driver`]'s `CompMask`), and writes back a **delta
+//!    store** holding exactly the entries it computed fresh, plus a
+//!    [`ShardOutput`] with the reports, degradations, statistics, and
+//!    summaries of the components it owns. Closure components are
+//!    answered from the store (or deterministically recomputed when the
+//!    store has no entry — degraded summaries are never cached) and
+//!    their outputs are discarded: the owning shard already reported
+//!    them.
+//! 4. After a level, the coordinator unions the delta stores into the
+//!    running store ([`crate::store::union_store_bytes`], raw byte
+//!    pass-through; deltas shadow older entries) and hands the union to
+//!    the next level.
+//!
+//! ## Determinism
+//!
+//! The merged result is **byte-identical** to a sequential run: every
+//! active component is owned by exactly one `(level, shard)`, fault
+//! selection hashes only the seed and the function name (identical in
+//! every process), degraded summaries are never cached (so a recompute
+//! under the same plan degrades identically), and the final report sort
+//! is the same `(function, refcount, path_a, path_b)` order the driver
+//! uses. The differential suite pins this across process counts, store
+//! temperature, and fault plans.
+//!
+//! Workers are re-executions of the current binary: binaries that may
+//! coordinate (the CLI, the perf/scaling benches) call
+//! [`maybe_run_worker`] first thing in `main`, which diverts the process
+//! into worker mode when the magic argv token is present.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+
+use crate::budget::{Budget, Degradation};
+use crate::cache::{SummaryCache, CACHE_SCHEMA};
+use crate::callgraph::{CallGraph, Condensation};
+use crate::classify::{classify, Classification};
+use crate::driver::{
+    analyze_program_masked, callback_pass, AnalysisOptions, AnalysisResult, AnalysisStats,
+    CompMask,
+};
+use crate::exec::ExecMode;
+use crate::fault::FaultPlan;
+use crate::ipp::IppReport;
+use crate::persist::{atomic_write, load_cache, load_db, save_db};
+use crate::store::{union_store_bytes, write_store_bytes, SummaryStore};
+use crate::summary::{Summary, SummaryDb};
+
+/// Magic first argument that turns a re-exec of the current binary into
+/// a shard worker. Namespaced so it can never collide with a real
+/// subcommand or file name.
+pub const WORKER_ARG: &str = "__rid-shard-worker";
+
+fn invalid(msg: impl std::fmt::Display) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("shard: {msg}"))
+}
+
+/// [`AnalysisOptions`] flattened to serializable primitives for the task
+/// file. Mirrors exactly the fields a worker needs; `check_callbacks` is
+/// deliberately absent — the callback pass runs once, in the
+/// coordinator, over the merged result.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct TaskOptions {
+    /// [`crate::paths::PathLimits::max_paths`].
+    pub max_paths: usize,
+    /// [`crate::paths::PathLimits::max_block_visits`].
+    pub max_block_visits: u32,
+    /// [`crate::paths::PathLimits::max_subcases`].
+    pub max_subcases: usize,
+    /// [`crate::paths::PathLimits::max_entries`].
+    pub max_entries: usize,
+    /// [`rid_solver::SatOptions::max_splits`].
+    pub sat_max_splits: u32,
+    /// [`AnalysisOptions::selective`].
+    pub selective: bool,
+    /// In-process worker threads per shard ([`AnalysisOptions::threads`]).
+    pub threads: usize,
+    /// [`AnalysisOptions::steal_batch`].
+    pub steal_batch: usize,
+    /// [`AnalysisOptions::exec_mode`] as `auto`/`tree`/`per-path`.
+    pub exec_mode: String,
+    /// Per-function deadline in milliseconds, if any.
+    pub func_deadline_ms: Option<u64>,
+    /// Global deadline in milliseconds, if any (re-armed per shard — a
+    /// coordinator-level wall budget is advisory across processes).
+    pub global_deadline_ms: Option<u64>,
+    /// Solver fuel per function, if any.
+    pub solver_fuel: Option<u64>,
+}
+
+impl TaskOptions {
+    /// Flattens driver options for the wire.
+    #[must_use]
+    pub fn of(options: &AnalysisOptions) -> TaskOptions {
+        TaskOptions {
+            max_paths: options.limits.max_paths,
+            max_block_visits: options.limits.max_block_visits,
+            max_subcases: options.limits.max_subcases,
+            max_entries: options.limits.max_entries,
+            sat_max_splits: options.sat.max_splits,
+            selective: options.selective,
+            threads: options.threads,
+            steal_batch: options.steal_batch,
+            exec_mode: match options.exec_mode {
+                ExecMode::Auto => "auto",
+                ExecMode::Tree => "tree",
+                ExecMode::PerPath => "per-path",
+            }
+            .to_owned(),
+            func_deadline_ms: options.budget.func_deadline.map(|d| d.as_millis() as u64),
+            global_deadline_ms: options.budget.global_deadline.map(|d| d.as_millis() as u64),
+            solver_fuel: options.budget.solver_fuel,
+        }
+    }
+
+    /// Rebuilds driver options in the worker. The fields round-trip
+    /// exactly, so the worker's cache salt matches the coordinator's.
+    pub fn to_options(&self) -> io::Result<AnalysisOptions> {
+        let exec_mode = match self.exec_mode.as_str() {
+            "auto" => ExecMode::Auto,
+            "tree" => ExecMode::Tree,
+            "per-path" => ExecMode::PerPath,
+            other => return Err(invalid(format_args!("unknown exec mode `{other}`"))),
+        };
+        let ms = std::time::Duration::from_millis;
+        Ok(AnalysisOptions {
+            limits: crate::paths::PathLimits {
+                max_paths: self.max_paths,
+                max_block_visits: self.max_block_visits,
+                max_subcases: self.max_subcases,
+                max_entries: self.max_entries,
+            },
+            sat: rid_solver::SatOptions { max_splits: self.sat_max_splits },
+            selective: self.selective,
+            threads: self.threads,
+            check_callbacks: false,
+            budget: Budget {
+                func_deadline: self.func_deadline_ms.map(ms),
+                global_deadline: self.global_deadline_ms.map(ms),
+                solver_fuel: self.solver_fuel,
+            },
+            exec_mode,
+            steal_batch: self.steal_batch,
+        })
+    }
+}
+
+/// Everything one shard worker needs, written as JSON next to the other
+/// coordination files. All paths are absolute.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct ShardTask {
+    /// Source files, in program (link) order.
+    pub sources: Vec<String>,
+    /// Path to the predefined summary DB (written with
+    /// [`crate::persist::save_db`]).
+    pub predefined: String,
+    /// Analysis options.
+    pub options: TaskOptions,
+    /// Fault plan (selection is name-deterministic, so the same plan
+    /// faults the same functions in every process).
+    pub faults: FaultPlan,
+    /// Components to process: `emit_comps` plus their transitive
+    /// active-callee closure.
+    pub analyze_comps: Vec<usize>,
+    /// Components this shard owns the outputs of.
+    pub emit_comps: Vec<usize>,
+    /// RIDSS1 store holding every entry earlier levels computed (absent
+    /// on the cold first level).
+    pub store_in: Option<String>,
+    /// Where to write this shard's delta store (fresh entries only).
+    pub store_out: String,
+    /// Where to write the [`ShardOutput`] JSON.
+    pub output: String,
+}
+
+/// What a shard worker reports back for the components it owns.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct ShardOutput {
+    /// IPP reports of owned components (driver-sorted).
+    pub reports: Vec<IppReport>,
+    /// Degradation records of owned components.
+    pub degraded: BTreeMap<String, Degradation>,
+    /// This shard's statistics (owned components only; the coordinator
+    /// absorbs them and then overrides the whole-program fields).
+    pub stats: AnalysisStats,
+    /// Summaries of the owned components' analyzed functions.
+    pub summaries: Vec<Summary>,
+}
+
+/// Diverts the process into shard-worker mode when argv carries
+/// [`WORKER_ARG`]. Call first thing in `main` of any binary that may act
+/// as a coordinator (the `rid` CLI, the perf/scaling benches) — workers
+/// are re-execs of [`std::env::current_exe`]. Returns normally when the
+/// token is absent; otherwise runs the task and **exits the process**
+/// (0 on success, 102 on failure).
+pub fn maybe_run_worker() {
+    let mut argv = std::env::args();
+    let _ = argv.next();
+    if argv.next().as_deref() != Some(WORKER_ARG) {
+        return;
+    }
+    let Some(task_path) = argv.next() else {
+        eprintln!("shard worker: missing task path");
+        std::process::exit(102);
+    };
+    match run_worker(Path::new(&task_path)) {
+        Ok(()) => std::process::exit(0),
+        Err(e) => {
+            eprintln!("shard worker: {e}");
+            std::process::exit(102);
+        }
+    }
+}
+
+/// Executes one [`ShardTask`]: masked analysis, delta-store write-back,
+/// and the [`ShardOutput`] report.
+///
+/// # Errors
+///
+/// Returns an I/O error on unreadable inputs, parse failures, or
+/// component indices that do not match this build's condensation.
+pub fn run_worker(task_path: &Path) -> io::Result<()> {
+    let task: ShardTask =
+        serde_json::from_str(&fs::read_to_string(task_path)?).map_err(invalid)?;
+    let sources: Vec<String> = task
+        .sources
+        .iter()
+        .map(fs::read_to_string)
+        .collect::<io::Result<_>>()?;
+    let program =
+        rid_frontend::parse_program(sources.iter().map(String::as_str)).map_err(invalid)?;
+    let predefined = load_db(Path::new(&task.predefined))?;
+    let options = task.options.to_options()?;
+
+    let graph = CallGraph::build(&program);
+    let cond = graph.condensation();
+    let n_comps = cond.members.len();
+    let mut mask = CompMask { analyze: vec![false; n_comps], emit: vec![false; n_comps] };
+    for &c in task.analyze_comps.iter().chain(&task.emit_comps) {
+        *mask
+            .analyze
+            .get_mut(c)
+            .ok_or_else(|| invalid(format_args!("component {c} out of range")))? = true;
+    }
+    for &c in &task.emit_comps {
+        mask.emit[c] = true;
+    }
+
+    let mut cache = match &task.store_in {
+        Some(path) => SummaryCache::from_store(SummaryStore::open(Path::new(path))?),
+        None => SummaryCache::new(),
+    };
+    let result = analyze_program_masked(
+        &program,
+        &predefined,
+        &options,
+        &task.faults,
+        Some(&mut cache),
+        Some(&mask),
+    );
+
+    // Delta store: exactly the entries this shard computed fresh (cache
+    // probes never promote backing hits into the resident map, so the
+    // resident map after a run *is* the delta).
+    let delta = write_store_bytes(&cache.schema, &cache.entries, None)?;
+    atomic_write(Path::new(&task.store_out), &delta)?;
+
+    // Owned summaries: analyzed members of emit components. Predefined
+    // names are skipped (their "summary" is the API spec the coordinator
+    // already has); unanalyzed members of partially-active components
+    // have no summary at all.
+    let functions = program.functions();
+    let mut summaries = Vec::new();
+    for &c in &task.emit_comps {
+        for &i in &cond.members[c] {
+            let name = functions[i].name();
+            if predefined.contains(name) {
+                continue;
+            }
+            if let Some(summary) = result.summaries.get(name) {
+                summaries.push(summary.clone());
+            }
+        }
+    }
+    let output = ShardOutput {
+        reports: result.reports,
+        degraded: result.degraded,
+        stats: result.stats,
+        summaries,
+    };
+    let json = serde_json::to_string(&output).map_err(invalid)?;
+    atomic_write(Path::new(&task.output), json.as_bytes())
+}
+
+/// Groups the active components into wavefront levels:
+/// `level(C) = 1 + max(level of C's active direct callee components)`
+/// (1 for active leaves). Returned ascending by level, components
+/// ascending within a level. Components in one level are never in each
+/// other's dependency closure — the scheduling invariant sharding rests
+/// on.
+#[must_use]
+pub(crate) fn wavefronts(cond: &Condensation, active: &[bool]) -> Vec<Vec<usize>> {
+    let n = cond.members.len();
+    let mut level = vec![0usize; n];
+    let mut max_level = 0;
+    for c in 0..n {
+        if !active[c] {
+            continue;
+        }
+        // Component indices ascend in reverse topological order, so every
+        // callee's level is final before its callers read it.
+        let mut l = 1;
+        for &cw in &cond.callee_comps[c] {
+            if active[cw] {
+                l = l.max(level[cw] + 1);
+            }
+        }
+        level[c] = l;
+        max_level = max_level.max(l);
+    }
+    let mut out: Vec<Vec<usize>> = vec![Vec::new(); max_level];
+    for c in 0..n {
+        if active[c] {
+            out[level[c] - 1].push(c);
+        }
+    }
+    out
+}
+
+/// Transitive active-callee closure of `seeds` (inclusive), as a
+/// per-component mask. Dependencies never cross inactive components
+/// (their functions get default summaries regardless), matching the
+/// driver's `remaining` counters exactly.
+#[must_use]
+pub(crate) fn active_closure(cond: &Condensation, active: &[bool], seeds: &[usize]) -> Vec<bool> {
+    let mut mask = vec![false; cond.members.len()];
+    let mut worklist: Vec<usize> = Vec::new();
+    for &c in seeds {
+        if !mask[c] {
+            mask[c] = true;
+            worklist.push(c);
+        }
+    }
+    while let Some(c) = worklist.pop() {
+        for &cw in &cond.callee_comps[c] {
+            if active[cw] && !mask[cw] {
+                mask[cw] = true;
+                worklist.push(cw);
+            }
+        }
+    }
+    mask
+}
+
+/// A private scratch directory for one coordination run.
+fn workspace() -> io::Result<PathBuf> {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    static RUNS: AtomicUsize = AtomicUsize::new(0);
+    let run = RUNS.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir()
+        .join(format!("rid-shard-{}-{run}", std::process::id()));
+    fs::create_dir_all(&dir)?;
+    Ok(dir)
+}
+
+/// Analyzes `sources` across `processes` worker processes (see the
+/// module docs for the protocol). `cache_path` doubles as the warm-start
+/// input and the final merged-store output, exactly like `--cache` in a
+/// single-process run; when `None` the store exchange still happens,
+/// through a scratch directory that is removed afterwards.
+///
+/// The result is byte-identical to [`crate::analyze_sources`] with the
+/// same options and faults — including the report order, the summary
+/// DB, and (when `cache_path` is given) the store file bytes.
+///
+/// # Errors
+///
+/// Returns an I/O error on parse failures, worker spawn/exit failures,
+/// or corrupt intermediate files.
+pub fn analyze_processes(
+    sources: &[String],
+    predefined: &SummaryDb,
+    options: &AnalysisOptions,
+    faults: &FaultPlan,
+    processes: usize,
+    cache_path: Option<&Path>,
+) -> io::Result<AnalysisResult> {
+    let processes = processes.max(1);
+    let program =
+        rid_frontend::parse_program(sources.iter().map(String::as_str)).map_err(invalid)?;
+    let graph = CallGraph::build(&program);
+    let functions = program.functions();
+
+    let classify_start = Instant::now();
+    let classification = if options.selective {
+        classify(&program, &graph, predefined)
+    } else {
+        Classification::default()
+    };
+    let classify_time = classify_start.elapsed();
+    let analyze_start = Instant::now();
+
+    let should_analyze = |name: &str| -> bool {
+        if predefined.contains(name) {
+            return false;
+        }
+        if !options.selective {
+            return true;
+        }
+        classification.category(name).is_analyzed()
+    };
+    let cond = graph.condensation();
+    let active: Vec<bool> = cond
+        .members
+        .iter()
+        .map(|members| members.iter().any(|&i| should_analyze(functions[i].name())))
+        .collect();
+
+    let dir = workspace()?;
+    // (reports, degraded, stats, summaries, final store path)
+    type LevelOutputs =
+        (Vec<IppReport>, BTreeMap<String, Degradation>, AnalysisStats, Vec<Summary>, Option<PathBuf>);
+    let run = (|| -> io::Result<LevelOutputs> {
+        let mut source_paths = Vec::with_capacity(sources.len());
+        for (i, source) in sources.iter().enumerate() {
+            let path = dir.join(format!("src_{i:05}.ril"));
+            fs::write(&path, source)?;
+            source_paths.push(path.display().to_string());
+        }
+        let predefined_path = dir.join("predefined.json");
+        save_db(predefined, &predefined_path)?;
+
+        // Warm start: re-encode whatever cache file exists (RIDSS1 or
+        // legacy JSON) as a store the workers can open directly.
+        let mut store_path: Option<PathBuf> = match cache_path {
+            Some(path) if path.exists() => {
+                let cache = load_cache(path)?;
+                let bytes =
+                    write_store_bytes(&cache.schema, &cache.entries, cache.backing_store())?;
+                let initial = dir.join("store_0000.rss");
+                atomic_write(&initial, &bytes)?;
+                Some(initial)
+            }
+            _ => None,
+        };
+
+        let exe = std::env::current_exe()?;
+        let mut reports: Vec<IppReport> = Vec::new();
+        let mut degraded: BTreeMap<String, Degradation> = BTreeMap::new();
+        let mut stats = AnalysisStats::default();
+        let mut summaries: Vec<Summary> = Vec::new();
+        let task_options = TaskOptions::of(options);
+
+        for (round, level) in wavefronts(&cond, &active).iter().enumerate() {
+            let mut shards: Vec<Vec<usize>> = vec![Vec::new(); processes];
+            for (rank, &c) in level.iter().enumerate() {
+                shards[rank % processes].push(c);
+            }
+            let mut children = Vec::new();
+            let mut delta_paths = Vec::new();
+            let mut output_paths = Vec::new();
+            for (s, comps) in shards.iter().enumerate() {
+                if comps.is_empty() {
+                    continue;
+                }
+                let closure = active_closure(&cond, &active, comps);
+                let emit: std::collections::HashSet<usize> = comps.iter().copied().collect();
+                let analyze_comps: Vec<usize> = closure
+                    .iter()
+                    .enumerate()
+                    .filter(|&(c, &m)| m && !emit.contains(&c))
+                    .map(|(c, _)| c)
+                    .collect();
+                let store_out = dir.join(format!("delta_{round:04}_{s:02}.rss"));
+                let output = dir.join(format!("out_{round:04}_{s:02}.json"));
+                let task = ShardTask {
+                    sources: source_paths.clone(),
+                    predefined: predefined_path.display().to_string(),
+                    options: task_options.clone(),
+                    faults: faults.clone(),
+                    analyze_comps,
+                    emit_comps: comps.clone(),
+                    store_in: store_path.as_ref().map(|p| p.display().to_string()),
+                    store_out: store_out.display().to_string(),
+                    output: output.display().to_string(),
+                };
+                let task_path = dir.join(format!("task_{round:04}_{s:02}.json"));
+                fs::write(&task_path, serde_json::to_string(&task).map_err(invalid)?)?;
+                let child = std::process::Command::new(&exe)
+                    .arg(WORKER_ARG)
+                    .arg(&task_path)
+                    .stdin(std::process::Stdio::null())
+                    // Workers must not interleave with the coordinator's
+                    // stdout (`--json` byte-identity); stderr passes
+                    // through for panic-hook and degradation noise.
+                    .stdout(std::process::Stdio::null())
+                    .spawn()?;
+                children.push((s, child));
+                delta_paths.push(store_out);
+                output_paths.push(output);
+            }
+            for (s, mut child) in children {
+                let status = child.wait()?;
+                if !status.success() {
+                    return Err(invalid(format_args!(
+                        "worker {s} of level {} exited with {status}",
+                        round + 1
+                    )));
+                }
+            }
+            // Store union: this level's deltas shadow everything older.
+            // Deltas of one level are disjoint (each component is owned by
+            // exactly one shard), so their order among themselves is
+            // immaterial.
+            let deltas: Vec<SummaryStore> = delta_paths
+                .iter()
+                .map(|p| SummaryStore::open(p))
+                .collect::<io::Result<_>>()?;
+            let prev = store_path.as_ref().map(|p| SummaryStore::open(p)).transpose()?;
+            let mut parts: Vec<&SummaryStore> = deltas.iter().collect();
+            if let Some(prev) = &prev {
+                parts.push(prev);
+            }
+            let merged = union_store_bytes(CACHE_SCHEMA, &parts)?;
+            let merged_path = dir.join(format!("store_{:04}.rss", round + 1));
+            atomic_write(&merged_path, &merged)?;
+            store_path = Some(merged_path);
+
+            for path in &output_paths {
+                let out: ShardOutput =
+                    serde_json::from_str(&fs::read_to_string(path)?).map_err(invalid)?;
+                reports.extend(out.reports);
+                degraded.extend(out.degraded);
+                stats.absorb(&out.stats);
+                summaries.extend(out.summaries);
+            }
+        }
+        Ok((reports, degraded, stats, summaries, store_path))
+    })();
+
+    let (mut reports, mut degraded, mut stats, summaries, store_path) = match run {
+        Ok(parts) => parts,
+        Err(e) => {
+            let _ = fs::remove_dir_all(&dir);
+            return Err(e);
+        }
+    };
+
+    if let Some(path) = cache_path {
+        let bytes = match &store_path {
+            Some(p) => fs::read(p)?,
+            None => write_store_bytes(CACHE_SCHEMA, &BTreeMap::new(), None)?,
+        };
+        atomic_write(path, &bytes)?;
+    }
+    let _ = fs::remove_dir_all(&dir);
+
+    let mut db = predefined.clone();
+    for summary in summaries {
+        db.insert(summary);
+    }
+    if options.check_callbacks {
+        callback_pass(&program, &db, options, &mut reports, &mut degraded);
+    }
+
+    // Shard stats summed whole-program fields P times over; the
+    // coordinator owns those.
+    stats.functions_total = functions.len();
+    stats.counts = classification.counts();
+    stats.classify_time = classify_time;
+    stats.analyze_time = analyze_start.elapsed();
+
+    reports.sort_by(|a, b| {
+        (&a.function, &a.refcount, a.path_a, a.path_b).cmp(&(
+            &b.function,
+            &b.refcount,
+            b.path_a,
+            b.path_b,
+        ))
+    });
+    Ok(AnalysisResult { reports, summaries: db, classification, stats, degraded })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rid_frontend::parse_program;
+
+    fn cond_of(src: &str) -> (Condensation, Vec<bool>) {
+        let program = parse_program([src]).unwrap();
+        let graph = CallGraph::build(&program);
+        let cond = graph.condensation();
+        let active = vec![true; cond.members.len()];
+        (cond, active)
+    }
+
+    #[test]
+    fn wavefronts_are_callee_closed_levels() {
+        // top -> mid -> leaf, plus an isolated leaf `solo`.
+        let (cond, active) = cond_of(
+            "module m;
+             fn leaf(d) { return; }
+             fn mid(d) { leaf(d); return; }
+             fn top(d) { mid(d); return; }
+             fn solo(d) { return; }",
+        );
+        let levels = wavefronts(&cond, &active);
+        assert_eq!(levels.len(), 3);
+        assert_eq!(levels[0].len(), 2, "both leaves at level 1");
+        assert_eq!(levels[1].len(), 1);
+        assert_eq!(levels[2].len(), 1);
+        // No component's callees share its level, and levels partition
+        // the active components.
+        let mut seen = std::collections::HashSet::new();
+        for level in &levels {
+            for &c in level {
+                assert!(seen.insert(c), "levels must partition components");
+                for &cw in &cond.callee_comps[c] {
+                    assert!(
+                        seen.contains(&cw),
+                        "active callee {cw} of {c} must be in an earlier level"
+                    );
+                }
+            }
+        }
+        assert_eq!(seen.len(), cond.members.len());
+    }
+
+    #[test]
+    fn inactive_components_break_dependencies() {
+        let (cond, mut active) = cond_of(
+            "module m;
+             fn leaf(d) { return; }
+             fn mid(d) { leaf(d); return; }
+             fn top(d) { mid(d); return; }",
+        );
+        // Deactivate `mid`: `top` no longer depends on `leaf` through it.
+        let program = parse_program([
+            "module m;
+             fn leaf(d) { return; }
+             fn mid(d) { leaf(d); return; }
+             fn top(d) { mid(d); return; }",
+        ])
+        .unwrap();
+        let graph = CallGraph::build(&program);
+        let mid_comp = cond.comp_of[graph.index_of("mid").unwrap()];
+        let top_comp = cond.comp_of[graph.index_of("top").unwrap()];
+        active[mid_comp] = false;
+        let levels = wavefronts(&cond, &active);
+        assert_eq!(levels.len(), 1, "both remaining comps are level 1: {levels:?}");
+        let closure = active_closure(&cond, &active, &[top_comp]);
+        assert_eq!(closure.iter().filter(|&&m| m).count(), 1, "closure stops at inactive comps");
+        assert!(closure[top_comp]);
+    }
+
+    #[test]
+    fn closure_is_transitive_and_inclusive() {
+        let (cond, active) = cond_of(
+            "module m;
+             fn leaf(d) { return; }
+             fn mid(d) { leaf(d); return; }
+             fn top(d) { mid(d); return; }",
+        );
+        let top = cond.members.len() - 1;
+        let closure = active_closure(&cond, &active, &[top]);
+        assert!(closure.iter().all(|&m| m), "top's closure covers the whole chain");
+    }
+
+    #[test]
+    fn task_options_round_trip() {
+        let options = AnalysisOptions {
+            threads: 3,
+            steal_batch: 5,
+            selective: false,
+            exec_mode: ExecMode::Tree,
+            budget: Budget {
+                func_deadline: Some(std::time::Duration::from_millis(250)),
+                global_deadline: None,
+                solver_fuel: Some(9000),
+            },
+            ..AnalysisOptions::default()
+        };
+        let wire = TaskOptions::of(&options);
+        let json = serde_json::to_string(&wire).unwrap();
+        let back: TaskOptions = serde_json::from_str(&json).unwrap();
+        let rebuilt = back.to_options().unwrap();
+        assert_eq!(rebuilt.threads, 3);
+        assert_eq!(rebuilt.steal_batch, 5);
+        assert!(!rebuilt.selective);
+        assert_eq!(rebuilt.exec_mode, ExecMode::Tree);
+        assert_eq!(rebuilt.budget.func_deadline, options.budget.func_deadline);
+        assert_eq!(rebuilt.budget.solver_fuel, Some(9000));
+        assert_eq!(rebuilt.limits, options.limits);
+        assert!(!rebuilt.check_callbacks, "workers never run the callback pass");
+    }
+}

@@ -97,6 +97,47 @@ impl Histogram {
             .map(|(i, &n)| (bucket_lo(i), n))
             .collect()
     }
+
+    /// Rebuild a histogram from a `sparse_buckets()`-shaped snapshot.
+    /// The inverse of [`Histogram::sparse_buckets`] up to the per-sample
+    /// detail the buckets never held; `count`/`sum`/`min`/`max` are taken
+    /// verbatim so means stay exact. This is how producers that carry
+    /// histogram snapshots across serialization boundaries (e.g. per-worker
+    /// scheduler profiles in rid-core's `AnalysisStats`) re-enter the
+    /// registry.
+    pub fn from_parts(count: u64, sum: u64, min: u64, max: u64, buckets: &[(u64, u64)]) -> Histogram {
+        let mut h = Histogram { count, sum, min, max, buckets: Vec::new() };
+        for &(lo, n) in buckets {
+            let i = bucket_index(lo);
+            if h.buckets.len() <= i {
+                h.buckets.resize(i + 1, 0);
+            }
+            h.buckets[i] += n;
+        }
+        h
+    }
+
+    /// Fold another histogram into this one (bucket-wise sum; min/max/sum
+    /// combine exactly).
+    pub fn merge(&mut self, other: &Histogram) {
+        if other.count == 0 {
+            return;
+        }
+        if self.count == 0 {
+            *self = other.clone();
+            return;
+        }
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if self.buckets.len() < other.buckets.len() {
+            self.buckets.resize(other.buckets.len(), 0);
+        }
+        for (i, &n) in other.buckets.iter().enumerate() {
+            self.buckets[i] += n;
+        }
+    }
 }
 
 /// Named counters, gauges, and histograms.
@@ -126,6 +167,12 @@ impl Registry {
     /// Record a sample into a named histogram.
     pub fn observe(&mut self, name: &str, value: u64) {
         self.histograms.entry(name.to_owned()).or_default().record(value);
+    }
+
+    /// Fold a whole pre-built histogram into a named histogram (merging
+    /// with whatever is already there).
+    pub fn insert_histogram(&mut self, name: &str, h: &Histogram) {
+        self.histograms.entry(name.to_owned()).or_default().merge(h);
     }
 
     /// Read a counter (0 if absent).
@@ -268,6 +315,40 @@ mod tests {
         let table = r.render_table();
         assert!(table.contains("sat.queries"));
         assert!(table.contains("count=2"));
+    }
+
+    #[test]
+    fn from_parts_round_trips_sparse_buckets() {
+        let mut h = Histogram::default();
+        for v in [0u64, 1, 1, 3, 4, 7, 100] {
+            h.record(v);
+        }
+        let rebuilt =
+            Histogram::from_parts(h.count, h.sum, h.min, h.max, &h.sparse_buckets());
+        assert_eq!(rebuilt, h);
+    }
+
+    #[test]
+    fn merge_matches_recording_everything_into_one() {
+        let mut a = Histogram::default();
+        let mut b = Histogram::default();
+        let mut all = Histogram::default();
+        for v in [2u64, 9, 0, 31] {
+            a.record(v);
+            all.record(v);
+        }
+        for v in [5u64, 5, 1024] {
+            b.record(v);
+            all.record(v);
+        }
+        a.merge(&b);
+        assert_eq!(a, all);
+        // Merging into an empty histogram copies; merging empty is a no-op.
+        let mut empty = Histogram::default();
+        empty.merge(&all);
+        assert_eq!(empty, all);
+        all.merge(&Histogram::default());
+        assert_eq!(empty, all);
     }
 
     #[test]

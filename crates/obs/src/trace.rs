@@ -258,6 +258,18 @@ impl Span {
             live.value = value;
         }
     }
+
+    /// Rename the span before it records. For spans whose meaning is only
+    /// known at the end — the scheduler's victim scan becomes a `steal`
+    /// on success but stays a `scan` (failed full sweep) otherwise —
+    /// renaming keeps the two outcomes distinguishable in traces.
+    #[inline]
+    pub fn set_name(&mut self, name: &str) {
+        if let Some(live) = self.live.as_mut() {
+            live.name.clear();
+            live.name.push_str(name);
+        }
+    }
 }
 
 impl Drop for Span {

@@ -1,7 +1,7 @@
 //! Incremental difference-logic solving for the symbolic executor.
 //!
 //! The per-path executor answers every feasibility query by rebuilding a
-//! [`DiffSystem`] from the whole conjunction and running the O(n³)
+//! `DiffSystem` from the whole conjunction and running the O(n³)
 //! Floyd–Warshall closure from scratch. On a prefix-shared execution tree
 //! that is redundant twice over: states sharing a prefix re-close the same
 //! literals, and each new literal re-closes everything before it.
@@ -9,7 +9,7 @@
 //! [`IncrementalSolver`] keeps the difference matrix *closed at all
 //! times*: pushing a literal relaxes the closed matrix through the new
 //! edge (incremental Bellman–Ford style, O(n²) per edge — see
-//! [`DiffSystem::push_lit_closed`]) instead of re-running the O(n³)
+//! `DiffSystem::push_lit_closed`) instead of re-running the O(n³)
 //! closure, and a fork point snapshots the solver with a plain [`Clone`]
 //! (O(n²) matrix copy). Disequalities accumulate in push order and are
 //! discharged at query time exactly like the batch path, so with
@@ -48,7 +48,7 @@ use crate::sat::{DiffSystem, SatOptions};
 /// assert!(!solver.is_sat(SatOptions::default()));
 /// assert!(snapshot.is_sat(SatOptions::default())); // rollback intact
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub struct IncrementalSolver {
     sys: DiffSystem,
     /// Set when a pushed literal constant-folded to `false` (mirrors
@@ -56,6 +56,21 @@ pub struct IncrementalSolver {
     falsified: bool,
     /// Number of literals actually recorded (after constant folding).
     lits: usize,
+}
+
+// Manual `Clone` so `clone_from` delegates to [`DiffSystem::clone_from`],
+// which reuses the destination matrix. This is what makes
+// [`snapshot`] cheaper than `clone()` once the scratch pool is warm.
+impl Clone for IncrementalSolver {
+    fn clone(&self) -> IncrementalSolver {
+        IncrementalSolver { sys: self.sys.clone(), falsified: self.falsified, lits: self.lits }
+    }
+
+    fn clone_from(&mut self, source: &IncrementalSolver) {
+        self.sys.clone_from(&source.sys);
+        self.falsified = source.falsified;
+        self.lits = source.lits;
+    }
 }
 
 impl Default for IncrementalSolver {
@@ -107,6 +122,16 @@ impl IncrementalSolver {
         self.lits == 0
     }
 
+    /// Returns the solver to the empty (trivially satisfiable) state,
+    /// retaining the difference-matrix allocations. Behaviorally
+    /// indistinguishable from [`IncrementalSolver::new`] — the invariant
+    /// the scratch pool below rests on, pinned by `reset_equals_new`.
+    pub fn reset(&mut self) {
+        self.sys.reset();
+        self.falsified = false;
+        self.lits = 0;
+    }
+
     /// Satisfiability of everything pushed so far. Mirrors
     /// [`Conj::is_sat_with`] on the equivalent conjunction: falsified →
     /// unsat, empty → sat, otherwise negative-cycle check plus
@@ -121,6 +146,47 @@ impl IncrementalSolver {
         }
         self.sys.check_sat_closed(options)
     }
+}
+
+/// Retired solvers kept per worker thread. Bounded so a pathological
+/// fan-out cannot pin an unbounded number of matrices; the cap comfortably
+/// covers the live-state width of one walk (`max_subcases` defaults to 10).
+const SCRATCH_POOL_CAP: usize = 32;
+
+thread_local! {
+    static SCRATCH: std::cell::RefCell<Vec<IncrementalSolver>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Takes an empty solver from this thread's scratch pool (or builds one).
+/// Pool solvers were [`reset`](IncrementalSolver::reset) on retirement, so
+/// this is exactly `IncrementalSolver::new()` with warm allocations —
+/// a batch of components executed by one worker attaches and forks against
+/// reused matrices instead of fresh ones.
+#[must_use]
+pub fn scratch() -> IncrementalSolver {
+    SCRATCH.with(|pool| pool.borrow_mut().pop()).unwrap_or_default()
+}
+
+/// Snapshots `source` (a fork point) into a pooled solver via
+/// `clone_from`, reusing the recycled matrix's allocations.
+#[must_use]
+pub fn snapshot(source: &IncrementalSolver) -> IncrementalSolver {
+    let mut snap = scratch();
+    snap.clone_from(source);
+    snap
+}
+
+/// Retires a solver into this thread's scratch pool (resetting it), or
+/// drops it when the pool is full.
+pub fn recycle(mut solver: IncrementalSolver) {
+    SCRATCH.with(|pool| {
+        let mut pool = pool.borrow_mut();
+        if pool.len() < SCRATCH_POOL_CAP {
+            solver.reset();
+            pool.push(solver);
+        }
+    });
 }
 
 #[cfg(test)]
@@ -213,6 +279,60 @@ mod tests {
         let mut falsified = IncrementalSolver::new();
         falsified.push_conj(&Conj::unsat());
         assert!(!falsified.is_sat(SatOptions::default()));
+    }
+
+    #[test]
+    fn reset_equals_new() {
+        // A reset solver must answer exactly like a fresh one on the same
+        // literal sequence — the soundness of pool recycling.
+        let warmup = [
+            Lit::new(Pred::Lt, v(0), v(1)),
+            Lit::new(Pred::Lt, v(1), v(2)),
+            Lit::new(Pred::Ne, v(0), Term::int(3)),
+            Lit::new(Pred::Gt, Term::int(1), Term::int(2)), // falsifies
+        ];
+        let replay = [
+            Lit::new(Pred::Ge, v(5), Term::int(0)),
+            Lit::new(Pred::Le, v(5), v(6)),
+            Lit::new(Pred::Lt, v(6), Term::int(2)),
+            Lit::new(Pred::Ne, v(5), Term::int(1)),
+        ];
+        let mut recycled = IncrementalSolver::new();
+        for lit in &warmup {
+            recycled.push(lit);
+        }
+        recycled.reset();
+        assert!(recycled.is_empty());
+        let mut fresh = IncrementalSolver::new();
+        for lit in &replay {
+            recycled.push(lit);
+            fresh.push(lit);
+            assert_eq!(
+                recycled.is_sat(SatOptions::default()),
+                fresh.is_sat(SatOptions::default()),
+                "recycled solver diverges after {lit}"
+            );
+        }
+        assert_eq!(recycled.len(), fresh.len());
+    }
+
+    #[test]
+    fn scratch_pool_round_trip() {
+        let mut s = scratch();
+        s.push(&Lit::new(Pred::Lt, v(0), Term::int(0)));
+        let snap = snapshot(&s);
+        assert_eq!(snap.len(), 1);
+        assert_eq!(
+            snap.is_sat(SatOptions::default()),
+            s.is_sat(SatOptions::default())
+        );
+        recycle(s);
+        recycle(snap);
+        // Whatever comes back from the pool must be indistinguishable
+        // from new.
+        let back = scratch();
+        assert!(back.is_empty());
+        assert!(back.is_sat(SatOptions::default()));
     }
 
     #[test]

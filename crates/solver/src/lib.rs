@@ -59,7 +59,7 @@
 
 mod conj;
 pub mod fuel;
-mod incsolver;
+pub mod incsolver;
 mod lit;
 mod project;
 mod sat;

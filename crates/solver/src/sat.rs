@@ -33,7 +33,7 @@ impl Default for SatOptions {
 /// non-constant term. `d[i][j]` is the tightest known upper bound on
 /// `node_j − node_i` (`INF` when unconstrained). A negative diagonal entry
 /// after closure signals unsatisfiability.
-#[derive(Clone, Debug)]
+#[derive(Debug)]
 pub(crate) struct DiffSystem {
     pub(crate) nodes: Vec<Term>,
     index: HashMap<Term, usize>,
@@ -42,6 +42,31 @@ pub(crate) struct DiffSystem {
     pub(crate) diseqs: Vec<(usize, usize, i64)>,
     /// Set when a literal is trivially false (e.g. constant `0 = 1`).
     pub(crate) contradiction: bool,
+}
+
+// Manual `Clone` so `clone_from` (the snapshot path of the scratch pool,
+// see [`crate::incsolver`]) reuses the destination's allocations: `Vec`'s
+// `clone_from` keeps the outer buffer *and* each matrix row, and
+// `HashMap`'s keeps its table. A fork point on a recycled solver then
+// copies bounds without touching the allocator.
+impl Clone for DiffSystem {
+    fn clone(&self) -> DiffSystem {
+        DiffSystem {
+            nodes: self.nodes.clone(),
+            index: self.index.clone(),
+            d: self.d.clone(),
+            diseqs: self.diseqs.clone(),
+            contradiction: self.contradiction,
+        }
+    }
+
+    fn clone_from(&mut self, source: &DiffSystem) {
+        self.nodes.clone_from(&source.nodes);
+        self.index.clone_from(&source.index);
+        self.d.clone_from(&source.d);
+        self.diseqs.clone_from(&source.diseqs);
+        self.contradiction = source.contradiction;
+    }
 }
 
 impl DiffSystem {
@@ -53,6 +78,19 @@ impl DiffSystem {
             diseqs: Vec::new(),
             contradiction: false,
         }
+    }
+
+    /// Returns the system to the freshly-constructed state (just the
+    /// constant-zero node) while retaining allocations where `Vec` and
+    /// `HashMap` allow it.
+    pub(crate) fn reset(&mut self) {
+        self.nodes.truncate(1);
+        self.index.clear();
+        self.d.truncate(1);
+        self.d[0].truncate(1);
+        self.d[0][0] = 0;
+        self.diseqs.clear();
+        self.contradiction = false;
     }
 
     /// Builds the (unclosed) system from a conjunction.
