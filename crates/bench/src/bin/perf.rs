@@ -1,5 +1,5 @@
 //! Regenerates the **§6.5 performance** claim and persists a
-//! machine-readable baseline (schema `rid-bench-perf/v7`).
+//! machine-readable baseline (schema `rid-bench-perf/v8`).
 //!
 //! For each corpus scale the binary parses the seeded kernel corpus once,
 //! then runs the whole-program analysis `--iters` times per execution
@@ -1038,7 +1038,7 @@ fn main() {
         .unwrap_or(serde_json::Value::Null);
 
     let baseline = PerfBaseline {
-        schema: "rid-bench-perf/v7".to_owned(),
+        schema: "rid-bench-perf/v8".to_owned(),
         seed,
         threads,
         iters,

@@ -13,8 +13,15 @@
 //!
 //! ```text
 //! cargo run -p rid-bench --release --bin profile -- \
-//!     [--seed N] [--threads N] [--scale F] [--top N]
+//!     [--seed N] [--threads N] [--scale F] [--top N] [--trace-file path.jsonl]
 //! ```
+//!
+//! With `--trace-file <path.jsonl>` the binary profiles a *daemon*
+//! trace instead of running its own corpus: the JSONL flushed by
+//! `rid analyze --trace` (the `.jsonl` sidecar) or a shard worker's
+//! flush file is parsed back into events and aggregated over the serve
+//! span kinds — per-request `serve` spans plus the durability kinds
+//! (`snapshot`, `restore`, `journal-replay`).
 //!
 //! Unlike `perf` this binary makes no timing claims and writes no
 //! baseline — it is the interactive "why is this slow?" entry point
@@ -33,11 +40,83 @@ fn ms(ns: u64) -> String {
     format!("{:.3}ms", ns as f64 / 1e6)
 }
 
+/// `--trace-file` mode: aggregate a flushed trace over the serve span
+/// kinds. Requests (`serve` spans, named `<op>:<project>`) rank by
+/// total time; the durability kinds get one per-kind summary row each.
+fn profile_trace_file(path: &str, top: usize) {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("--trace-file: {path}: {e}"));
+    let trace = rid_obs::Trace { events: rid_core::parse_trace_jsonl(&text), dropped: 0 };
+    assert!(!trace.events.is_empty(), "--trace-file: {path}: no recognizable trace events");
+    println!("profile of {path}: {} trace event(s)", trace.events.len());
+    println!();
+
+    let requests = rid_obs::self_times(&trace, SpanKind::Serve, &[]);
+    if !requests.is_empty() {
+        let shown = requests.len().min(top);
+        println!("daemon requests by total time ({shown} of {}):", requests.len());
+        let rows: Vec<Vec<String>> = requests
+            .iter()
+            .take(top)
+            .map(|p| {
+                vec![
+                    p.name.clone(),
+                    p.count.to_string(),
+                    ms(p.total_ns),
+                    ms(p.total_ns / p.count.max(1)),
+                ]
+            })
+            .collect();
+        println!("{}", format_table(&["request", "count", "total", "mean"], &rows));
+        println!();
+    }
+
+    // Durability kinds: snapshot/restore carry bytes in the value
+    // payload, journal replay carries the replayed-entry count.
+    let durability = [SpanKind::Snapshot, SpanKind::Restore, SpanKind::JournalReplay];
+    let rows: Vec<Vec<String>> = durability
+        .into_iter()
+        .filter_map(|kind| {
+            let spans: Vec<_> =
+                trace.events.iter().filter(|e| e.kind == kind && !e.instant).collect();
+            if spans.is_empty() {
+                return None;
+            }
+            let total: u64 = spans.iter().map(|e| e.dur_ns).sum();
+            let max = spans.iter().map(|e| e.dur_ns).max().unwrap_or(0);
+            let value: u64 = spans.iter().map(|e| e.value).sum();
+            Some(vec![
+                kind.label().to_owned(),
+                spans.len().to_string(),
+                ms(total),
+                ms(max),
+                value.to_string(),
+            ])
+        })
+        .collect();
+    if !rows.is_empty() {
+        println!("durability phases:");
+        println!(
+            "{}",
+            format_table(&["phase", "count", "total", "max", "bytes/entries"], &rows)
+        );
+        println!();
+    }
+
+    let mut registry = rid_obs::Registry::new();
+    rid_core::record_trace(&mut registry, &trace);
+    println!("metrics:");
+    println!("{}", registry.render_table());
+}
+
 fn main() {
     let seed: u64 = args::flag("seed").unwrap_or(2016);
     let threads: usize = args::flag("threads").unwrap_or(1);
     let scale: f64 = args::flag("scale").unwrap_or(0.25);
     let top: usize = args::flag("top").unwrap_or(15);
+    if let Some(path) = args::flag::<String>("trace-file") {
+        return profile_trace_file(&path, top);
+    }
 
     let config = KernelConfig::evaluation(seed).scaled(scale);
     eprintln!("scale {scale}: generating...");

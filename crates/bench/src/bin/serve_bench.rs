@@ -22,13 +22,23 @@
 //!   claim is that restore costs a fraction of the cold analyze it
 //!   replaces.
 //!
+//! - **open loop** — tail latency under concurrent load: a real
+//!   `serve_unix` daemon on a Unix socket, N client connections, and a
+//!   fixed arrival schedule (requests fire at `epoch + k/rate` whether
+//!   or not earlier ones finished, so daemon queueing delay lands in
+//!   the measured latency instead of silently throttling the
+//!   generator). Alternating one-function patches are the probe; the
+//!   p50/p99/p999 of the per-request latency distribution are the
+//!   daemon's SLO numbers.
+//!
 //! The record is patched into the `serve` slot of `BENCH_perf.json`
-//! (schema `rid-bench-perf/v5`, written by the `perf` binary) so CI
+//! (schema `rid-bench-perf/v8`, written by the `perf` binary) so CI
 //! validates both sections together; `--out` overrides the path.
 //!
 //! ```text
 //! cargo run -p rid-bench --release --bin serve_bench -- \
 //!     [--seed N] [--scale F] [--iters N] [--out PATH]
+//!     [--conns N] [--rate RPS] [--requests N]
 //! ```
 
 use std::time::Instant;
@@ -56,11 +66,144 @@ fn response_value(replies: &[((), String)]) -> Value {
     value
 }
 
+/// The `q`-quantile of a sorted latency sample (nearest-rank method —
+/// the same approximation contract as the daemon's log2 histograms).
+fn quantile_us(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = ((sorted.len() as f64 * q).ceil() as usize).max(1);
+    sorted[rank.min(sorted.len()) - 1]
+}
+
+/// Open-loop tail-latency phase: a real Unix-socket daemon, `conns`
+/// client connections, and `total` one-function patches fired on a
+/// fixed `rate` requests/second schedule. Latency is measured from the
+/// *scheduled* arrival, so when the daemon falls behind the queueing
+/// delay is charged to the requests that suffered it.
+#[cfg(unix)]
+fn open_loop_phase(
+    sources: &[(String, String)],
+    conns: usize,
+    rate: f64,
+    total: usize,
+) -> Value {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::time::Duration;
+
+    use rid_serve::Client;
+
+    let socket =
+        std::env::temp_dir().join(format!("rid-serve-bench-{}.sock", std::process::id()));
+    let _ = std::fs::remove_file(&socket);
+    let server = {
+        let socket = socket.clone();
+        std::thread::spawn(move || rid_serve::serve_unix(&socket, ServerConfig::default()))
+    };
+    for _ in 0..200 {
+        if socket.exists() {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+
+    // Make the project resident (untimed daemon startup cost).
+    let mut control = Client::connect(&socket).expect("daemon reachable");
+    let mut register = Request::new(1, "register", "bench");
+    register.sources = sources.iter().cloned().collect();
+    let reply = control.request(&register).expect("register");
+    assert!(reply.contains("\"ok\":true"), "register failed: {reply}");
+    let reply = control.request(&Request::new(2, "analyze", "bench")).expect("analyze");
+    assert!(reply.contains("\"ok\":true"), "analyze failed: {reply}");
+
+    let base_module = &sources[0];
+    let errors = AtomicUsize::new(0);
+    let bench_start = Instant::now();
+    // Arrival k is due at `epoch + k/rate`; connection t owns arrivals
+    // k ≡ t (mod conns). The schedule is fixed up front — a slow
+    // response never delays the next arrival beyond its own connection.
+    let epoch = Instant::now();
+    let mut latencies: Vec<u64> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..conns)
+            .map(|t| {
+                let socket = &socket;
+                let errors = &errors;
+                scope.spawn(move || {
+                    let mut client = Client::connect(socket).expect("daemon reachable");
+                    let mut samples = Vec::new();
+                    let mut k = t;
+                    while k < total {
+                        let due = epoch + Duration::from_secs_f64(k as f64 / rate);
+                        if let Some(wait) = due.checked_duration_since(Instant::now()) {
+                            std::thread::sleep(wait);
+                        }
+                        let body = if k % 2 == 0 { PROBE_B } else { PROBE_A };
+                        let mut request =
+                            Request::new(1000 + k as u64, "patch", "bench");
+                        request
+                            .sources
+                            .insert(base_module.0.clone(), format!("{}{body}", base_module.1));
+                        match client.request(&request) {
+                            Ok(reply) if reply.contains("\"ok\":true") => {
+                                samples.push(due.elapsed().as_micros() as u64);
+                            }
+                            _ => {
+                                errors.fetch_add(1, Ordering::Relaxed);
+                            }
+                        }
+                        k += conns;
+                    }
+                    samples
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("client thread")).collect()
+    });
+    let duration_s = bench_start.elapsed().as_secs_f64();
+    let _ = control.request(&Request::new(9999, "shutdown", ""));
+    server.join().expect("server thread").expect("daemon exits cleanly");
+    let _ = std::fs::remove_file(&socket);
+
+    assert_eq!(errors.load(Ordering::Relaxed), 0, "open-loop requests errored");
+    latencies.sort_unstable();
+    let (p50, p99, p999) = (
+        quantile_us(&latencies, 0.50),
+        quantile_us(&latencies, 0.99),
+        quantile_us(&latencies, 0.999),
+    );
+    let max_us = latencies.last().copied().unwrap_or(0);
+    let achieved_rps = latencies.len() as f64 / duration_s.max(1e-9);
+    println!(
+        "  open loop     : {} req over {conns} conn(s) at {rate:.0} rps \
+         (achieved {achieved_rps:.0}): p50 {p50}us  p99 {p99}us  p999 {p999}us  max {max_us}us",
+        latencies.len()
+    );
+    serde_json::json!({
+        "conns": conns,
+        "rate_rps": rate,
+        "requests": latencies.len(),
+        "duration_s": duration_s,
+        "achieved_rps": achieved_rps,
+        "p50_us": p50,
+        "p99_us": p99,
+        "p999_us": p999,
+        "max_us": max_us,
+    })
+}
+
+#[cfg(not(unix))]
+fn open_loop_phase(_: &[(String, String)], _: usize, _: f64, _: usize) -> Value {
+    serde_json::json!({ "skipped": "unix sockets unavailable" })
+}
+
 fn main() {
     let seed: u64 = args::flag("seed").unwrap_or(2016);
     let scale: f64 = args::flag("scale").unwrap_or(1.0);
     let iters: usize = args::flag("iters").unwrap_or(5);
     let out: String = args::flag("out").unwrap_or_else(|| "BENCH_perf.json".to_owned());
+    let conns: usize = args::flag("conns").unwrap_or(4);
+    let rate: f64 = args::flag("rate").unwrap_or(100.0);
+    let requests: usize = args::flag("requests").unwrap_or(400);
 
     eprintln!("scale {scale}: generating...");
     let corpus = generate_kernel(&KernelConfig::evaluation(seed).scaled(scale));
@@ -203,6 +346,9 @@ fn main() {
          snapshot {snapshot_s:.3}s, {snapshot_bytes} bytes)"
     );
 
+    eprintln!("open-loop runs...");
+    let open_loop = open_loop_phase(&sources, conns, rate, requests);
+
     let record = serde_json::json!({
         "scale": scale,
         "functions": functions,
@@ -218,11 +364,12 @@ fn main() {
         "snapshot_bytes": snapshot_bytes,
         "restore_s": restore_s,
         "restore_speedup_vs_cold": restore_speedup,
+        "open_loop": open_loop,
     });
 
     // Patch the record into the baseline the `perf` binary maintains;
     // when the file does not exist yet (serve_bench run first), write a
-    // minimal v4 skeleton holding just the serve record.
+    // minimal skeleton holding just the serve record.
     let baseline = std::fs::read_to_string(&out)
         .ok()
         .and_then(|text| serde_json::from_str::<Value>(&text).ok());
@@ -234,11 +381,11 @@ fn main() {
                 pairs.push(("serve".to_owned(), record));
             }
             if let Some(schema) = pairs.iter_mut().find(|(k, _)| k == "schema") {
-                schema.1 = Value::Str("rid-bench-perf/v5".to_owned());
+                schema.1 = Value::Str("rid-bench-perf/v8".to_owned());
             }
             Value::Map(pairs)
         }
-        _ => serde_json::json!({ "schema": "rid-bench-perf/v5", "serve": record }),
+        _ => serde_json::json!({ "schema": "rid-bench-perf/v8", "serve": record }),
     };
     std::fs::write(&out, serde_json::to_string(&updated).expect("baseline serializes"))
         .expect("baseline written");

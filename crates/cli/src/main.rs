@@ -58,6 +58,7 @@ fn usage() -> ExitCode {
               [--exec-mode auto|tree|per-path] [--fault-plan plan.json]
               [--cache cache.json] [--trace out.json] [--metrics out.json]
   rid explain --state s.json [<file.ril>...] [--function <name>]
+  rid explain --flight-recorder <state-dir|dir|file.frec>
   rid classify <file.ril>... [--apis dpm|python|none]
   rid summarize <file.ril>... --function <name> [--apis dpm|python|none]
   rid baseline <file.ril>... [--apis python]
@@ -65,11 +66,13 @@ fn usage() -> ExitCode {
   rid mine <file.ril>... [--field refs] [--save-summaries out.json]
   rid gen-kernel [--seed N] [--tiny] --out <dir>
   rid serve --socket <path> [--queue-cap N] [--state-dir <dir>]
-            [--max-frame-bytes N] [--chaos-seed N]
+            [--max-frame-bytes N] [--trace out.json] [--chaos-seed N]
             [--chaos-torn-rate R] [--chaos-fsync-rate R]   (or --stdio)
   rid client --socket <path> --op <op> [--project p] [<file.ril>...]
              [--function <name>] [--deadline-ms N] [--idem <key>]
-             [--retries N] [--retry-base-ms N] [--timeout-ms N]"
+             [--format json|prometheus]
+             [--retries N] [--retry-base-ms N] [--timeout-ms N]
+  rid top --socket <path> [--interval-ms N] [--iters N]"
     );
     ExitCode::from(EXIT_FATAL)
 }
@@ -231,13 +234,16 @@ fn cmd_analyze(args: &Args) -> Result<u8, String> {
         .transpose()?;
 
     let cache_path = args.options.get("cache").map(PathBuf::from);
+    // Shard-worker trace lanes, captured only on the `--processes` path
+    // when tracing is on; merged with the coordinator's own ring below.
+    let mut stitched: Option<rid_core::StitchedTrace> = None;
     let result = if let Some(processes) = processes {
         if args.flags.iter().any(|f| f == "separate") {
             return Err("--processes is not supported with --separate".to_owned());
         }
         // The coordinator owns the cache file end to end (warm start and
         // final merged store), so the CLI-level load/save is skipped.
-        rid_core::analyze_processes(
+        let (result, traced) = rid_core::analyze_processes_traced(
             &sources,
             &apis,
             &options,
@@ -245,7 +251,9 @@ fn cmd_analyze(args: &Args) -> Result<u8, String> {
             processes,
             cache_path.as_deref(),
         )
-        .map_err(|e| e.to_string())?
+        .map_err(|e| e.to_string())?;
+        stitched = traced;
+        result
     } else if args.flags.iter().any(|f| f == "separate") {
         if cache_path.is_some() {
             return Err("--cache is not supported with --separate".to_owned());
@@ -322,15 +330,43 @@ fn cmd_analyze(args: &Args) -> Result<u8, String> {
         rid_obs::drain()
     });
     if let (Some(path), Some(trace)) = (&trace_path, &trace) {
-        std::fs::write(path, trace.to_chrome_json())
+        let shard_events: usize =
+            stitched.iter().flat_map(|st| &st.shards).map(|s| s.events.len()).sum();
+        // With `--processes`, stitch coordinator + shard-worker rings
+        // into one Chrome trace: one pid lane per process, all tied to
+        // the run's trace id so the viewer reads a single timeline.
+        let chrome = match &stitched {
+            Some(st) if !st.shards.is_empty() => {
+                let mut lanes = vec![rid_obs::ChromeLane {
+                    pid: u64::from(std::process::id()),
+                    name: "rid coordinator".to_owned(),
+                    events: &trace.events,
+                }];
+                lanes.extend(st.shards.iter().map(|s| rid_obs::ChromeLane {
+                    pid: s.pid,
+                    name: s.label.clone(),
+                    events: &s.events,
+                }));
+                rid_obs::chrome_json_merged(&lanes, st.trace_id)
+            }
+            _ => trace.to_chrome_json(),
+        };
+        std::fs::write(path, chrome)
             .map_err(|e| format!("--trace: {}: {e}", path.display()))?;
         let jsonl_path = PathBuf::from(format!("{}.jsonl", path.display()));
-        std::fs::write(&jsonl_path, trace.to_jsonl())
+        let mut jsonl = trace.to_jsonl();
+        for shard in stitched.iter().flat_map(|st| &st.shards) {
+            let shard_trace =
+                rid_obs::Trace { events: shard.events.clone(), dropped: 0 };
+            jsonl.push_str(&shard_trace.to_jsonl());
+        }
+        std::fs::write(&jsonl_path, jsonl)
             .map_err(|e| format!("--trace: {}: {e}", jsonl_path.display()))?;
         eprintln!(
-            "trace: {} event(s) ({} dropped) written to {} (+ {})",
-            trace.events.len(),
+            "trace: {} event(s) ({} dropped, {} from shard workers) written to {} (+ {})",
+            trace.events.len() + shard_events,
             trace.dropped,
+            shard_events,
             path.display(),
             jsonl_path.display()
         );
@@ -352,6 +388,11 @@ fn cmd_analyze(args: &Args) -> Result<u8, String> {
 /// Sources are optional — when given, formal-argument indices are
 /// replaced by the original parameter names.
 fn cmd_explain(args: &Args) -> Result<u8, String> {
+    // `--flight-recorder <path>` renders a daemon crash artifact instead
+    // of an analysis state; the two modes share nothing but the verb.
+    if let Some(path) = args.options.get("flight-recorder") {
+        return cmd_explain_flight_recorder(Path::new(path));
+    }
     let state_path = args.options.get("state").ok_or_else(|| {
         "--state <file> is required (produce one with `rid analyze --save-state`)".to_owned()
     })?;
@@ -378,6 +419,35 @@ fn cmd_explain(args: &Args) -> Result<u8, String> {
     print!("{}", rid_core::render_explanations(&reports, program.as_ref()));
     eprintln!("{} report(s) explained from {state_path}", reports.len());
     Ok(if reports.is_empty() { EXIT_CLEAN } else { EXIT_BUGS })
+}
+
+/// Renders a daemon crash artifact. `path` may be a `.frec` file, a
+/// `flightrec/` directory, or a daemon `--state-dir` (the `flightrec`
+/// subdirectory is probed automatically); directories render the latest
+/// generation.
+fn cmd_explain_flight_recorder(path: &Path) -> Result<u8, String> {
+    let (gen, record) = if path.is_dir() {
+        let nested = path.join(rid_serve::FLIGHTREC_DIR);
+        let dir = if nested.is_dir() { nested } else { path.to_path_buf() };
+        let (gen, file) = rid_serve::latest_flight_record(&dir)
+            .map_err(|e| format!("--flight-recorder: {}: {e}", dir.display()))?
+            .ok_or_else(|| {
+                format!("--flight-recorder: no fr.N.frec artifacts in {}", dir.display())
+            })?;
+        let record = rid_serve::read_flight_record(&file)
+            .map_err(|e| format!("--flight-recorder: {}: {e}", file.display()))?;
+        (gen, record)
+    } else {
+        let record = rid_serve::read_flight_record(path)
+            .map_err(|e| format!("--flight-recorder: {}: {e}", path.display()))?;
+        let gen = path
+            .file_name()
+            .and_then(|n| rid_serve::flightrec::parse_generation(&n.to_string_lossy()))
+            .unwrap_or(0);
+        (gen, record)
+    };
+    print!("{}", rid_serve::render_flight_record(gen, &record));
+    Ok(EXIT_CLEAN)
 }
 
 fn cmd_classify(args: &Args) -> Result<(), String> {
@@ -592,8 +662,33 @@ fn cmd_serve(args: &Args) -> Result<u8, String> {
         .ok_or_else(|| "--socket <path> is required (or pass --stdio)".to_owned())?;
     #[cfg(unix)]
     {
+        // `--trace <path>`: record daemon-side spans (snapshot, restore,
+        // journal replay, per-request execution) for the whole serve
+        // lifetime and write one Chrome trace on clean exit.
+        let trace_path = args.options.get("trace").map(PathBuf::from);
+        if trace_path.is_some() {
+            rid_obs::trace::enable(rid_obs::trace::DEFAULT_CAPACITY);
+        }
         eprintln!("rid serve: listening on {socket}");
         rid_serve::serve_unix(Path::new(socket), config).map_err(|e| e.to_string())?;
+        if let Some(path) = &trace_path {
+            rid_obs::trace::disable();
+            let trace = rid_obs::drain();
+            let lanes = [rid_obs::ChromeLane {
+                pid: u64::from(std::process::id()),
+                name: "rid serve".to_owned(),
+                events: &trace.events,
+            }];
+            let chrome = rid_obs::chrome_json_merged(&lanes, rid_core::next_trace_id());
+            std::fs::write(path, chrome)
+                .map_err(|e| format!("--trace: {}: {e}", path.display()))?;
+            eprintln!(
+                "trace: {} event(s) ({} dropped) written to {}",
+                trace.events.len(),
+                trace.dropped,
+                path.display()
+            );
+        }
         eprintln!("rid serve: drained and exiting");
         Ok(EXIT_CLEAN)
     }
@@ -638,6 +733,7 @@ fn cmd_client(args: &Args) -> Result<u8, String> {
         })
         .transpose()?;
     request.idem = args.options.get("idem").cloned();
+    request.format = args.options.get("format").cloned();
     let parse_u64 = |name: &str| -> Result<Option<u64>, String> {
         args.options
             .get(name)
@@ -688,6 +784,119 @@ fn cmd_client(args: &Args) -> Result<u8, String> {
     }
 }
 
+/// `rid top`: poll a running daemon's `stats` op and render the per-op
+/// and per-project latency tables. `--iters N` bounds the poll count
+/// (default 1, so a bare `rid top` is a one-shot snapshot suitable for
+/// scripts and CI); `--interval-ms` sets the poll period.
+fn cmd_top(args: &Args) -> Result<u8, String> {
+    let socket = args
+        .options
+        .get("socket")
+        .ok_or_else(|| "--socket <path> is required".to_owned())?;
+    let parse_u64 = |name: &str, default: u64| -> Result<u64, String> {
+        args.options
+            .get(name)
+            .map_or(Ok(default), |v| {
+                v.parse().map_err(|_| format!("--{name} expects a number, got `{v}`"))
+            })
+    };
+    let interval_ms = parse_u64("interval-ms", 1000)?;
+    let iters = parse_u64("iters", 1)?;
+    if iters == 0 {
+        return Err("--iters expects a positive count".to_owned());
+    }
+    #[cfg(unix)]
+    {
+        let mut client = rid_serve::Client::connect(Path::new(socket))
+            .map_err(|e| format!("{socket}: {e}"))?;
+        for poll in 0..iters {
+            if poll > 0 {
+                std::thread::sleep(std::time::Duration::from_millis(interval_ms));
+            }
+            let request = rid_serve::Request::new(poll + 1, "stats", "");
+            let response = client.request(&request).map_err(|e| e.to_string())?;
+            let value: serde_json::Value =
+                serde_json::from_str(&response).map_err(|e| e.to_string())?;
+            if value["ok"].as_bool() != Some(true) {
+                return Err(format!("daemon error: {response}"));
+            }
+            print!("{}", render_top(socket, poll, &value["result"]));
+        }
+        Ok(EXIT_CLEAN)
+    }
+    #[cfg(not(unix))]
+    {
+        let _ = (interval_ms, iters);
+        Err("unix domain sockets are unavailable on this platform".to_owned())
+    }
+}
+
+/// One `rid top` frame: a counter header plus per-op and per-project
+/// latency tables (count and approximate p50/p99/p999 from the stats
+/// op's log2 histograms).
+fn render_top(socket: &str, poll: u64, result: &serde_json::Value) -> String {
+    let telemetry = &result["telemetry"];
+    let counter = |name: &str| telemetry["counters"][name].as_u64().unwrap_or(0);
+    let gauge = |name: &str| telemetry["gauges"][name].as_i64().unwrap_or(0);
+    let mut out = format!("rid top — {socket} — poll {}\n", poll + 1);
+    out.push_str(&format!(
+        "accepted {}  batches {}  coalesced {}  backpressure {}  idem {}  \
+         queue {}/{}  projects {}\n",
+        counter("serve.accepted"),
+        counter("serve.batches"),
+        counter("serve.coalesced"),
+        counter("serve.backpressure"),
+        counter("serve.idem_hits"),
+        gauge("serve.queue.depth.now"),
+        gauge("serve.queue.cap"),
+        gauge("serve.projects"),
+    ));
+    for (section, prefix) in [("op", "serve.op."), ("project", "serve.project.")] {
+        let rows = top_latency_rows(telemetry, prefix);
+        if rows.is_empty() {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<24} {:>8} {:>10} {:>10} {:>10}\n",
+            section.to_uppercase(),
+            "COUNT",
+            "P50(us)",
+            "P99(us)",
+            "P999(us)"
+        ));
+        for (name, count, p50, p99, p999) in rows {
+            out.push_str(&format!(
+                "{name:<24} {count:>8} {p50:>10} {p99:>10} {p999:>10}\n"
+            ));
+        }
+    }
+    out
+}
+
+/// Extracts `(name, count, p50, p99, p999)` rows for every histogram
+/// under `prefix` (the trailing `.us` unit suffix is dropped from the
+/// display name).
+fn top_latency_rows(
+    telemetry: &serde_json::Value,
+    prefix: &str,
+) -> Vec<(String, u64, u64, u64, u64)> {
+    let serde_json::Value::Map(pairs) = &telemetry["histograms"] else { return Vec::new() };
+    pairs
+        .iter()
+        .filter_map(|(name, h)| {
+            let rest = name.strip_prefix(prefix)?;
+            let display = rest.strip_suffix(".us").unwrap_or(rest);
+            Some((
+                display.to_owned(),
+                h["count"].as_u64().unwrap_or(0),
+                h["p50"].as_u64().unwrap_or(0),
+                h["p99"].as_u64().unwrap_or(0),
+                h["p999"].as_u64().unwrap_or(0),
+            ))
+        })
+        .collect()
+}
+
 fn main() -> ExitCode {
     // A `--processes` coordinator re-execs this binary as shard workers;
     // this diverts (and exits) when the worker token is present.
@@ -704,6 +913,7 @@ fn main() -> ExitCode {
         "gen-kernel" => cmd_gen_kernel(&args).map(|()| EXIT_CLEAN),
         "serve" => cmd_serve(&args),
         "client" => cmd_client(&args),
+        "top" => cmd_top(&args),
         _ => return usage(),
     };
     match outcome {

@@ -191,3 +191,53 @@ fn steal_batch_does_not_change_output() {
     }
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+/// Cross-process trace stitching must be lossless: the merged
+/// `--processes 4` trace carries exactly the same symbolic-execution
+/// span census (per-function `exec` counts) as a `--processes 1` run,
+/// and the Chrome export renders every shard worker as its own pid lane
+/// under one run-wide trace id.
+#[test]
+fn merged_trace_exec_census_matches_single_process() {
+    let dir = tempdir("trace-census");
+    let corpus = gen_corpus(&dir, 17);
+    let traced = |tag: &str, processes: usize| {
+        let trace_path = dir.join(format!("trace-{tag}.json"));
+        let output = rid()
+            .arg("analyze")
+            .args(&corpus)
+            .args(["--processes", &processes.to_string(), "--trace"])
+            .arg(&trace_path)
+            .output()
+            .unwrap();
+        let code = output.status.code().unwrap_or(-1);
+        assert!((0..=2).contains(&code), "analyze failed: {code}");
+        let jsonl =
+            std::fs::read_to_string(format!("{}.jsonl", trace_path.display())).unwrap();
+        let mut census: std::collections::BTreeMap<String, usize> = Default::default();
+        for event in rid_core::parse_trace_jsonl(&jsonl) {
+            if event.kind == rid_obs::SpanKind::Exec {
+                *census.entry(event.name).or_insert(0) += 1;
+            }
+        }
+        (census, std::fs::read_to_string(&trace_path).unwrap())
+    };
+
+    let (one, _) = traced("p1", 1);
+    let (four, chrome) = traced("p4", 4);
+    assert!(!one.is_empty(), "--processes 1 trace captured no exec spans");
+    assert_eq!(one, four, "exec span census must not depend on process count");
+
+    // The merged Chrome export: several pid lanes, one trace id.
+    let value: serde_json::Value = serde_json::from_str(&chrome).unwrap();
+    let events = value["traceEvents"].as_array().unwrap();
+    let mut pids = std::collections::BTreeSet::new();
+    for event in events {
+        pids.insert(event["pid"].as_u64().unwrap());
+    }
+    assert!(pids.len() >= 2, "expected coordinator + worker pid lanes, got {pids:?}");
+    let trace_id = value["otherData"]["trace_id"].as_str().unwrap();
+    assert_eq!(trace_id.len(), 16, "trace id is 16 hex digits: {trace_id}");
+    assert!(u64::from_str_radix(trace_id, 16).unwrap() > 0);
+    let _ = std::fs::remove_dir_all(&dir);
+}

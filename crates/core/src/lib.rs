@@ -87,12 +87,18 @@ pub use exec::{
 };
 pub use fault::FaultPlan;
 pub use ipp::{check_ipps, IppOutcome, IppReport, ReportProvenance};
-pub use obs::{degrade_census, record_trace, registry_from_result, registry_from_stats};
+pub use obs::{
+    degrade_census, next_trace_id, parse_trace_jsonl, record_trace, registry_from_result,
+    registry_from_stats,
+};
 pub use paths::{enumerate_paths, enumerate_paths_metered, Path, PathLimits, PathSet, PathTree};
 pub use report::{
     classify_report, render_explanation, render_explanations, render_report, render_reports,
     BugKind,
 };
-pub use shard::{analyze_processes, maybe_run_worker, WORKER_ARG};
+pub use shard::{
+    analyze_processes, analyze_processes_traced, maybe_run_worker, ShardTrace, StitchedTrace,
+    TRACE_FILE_ENV, TRACE_ID_ENV, WORKER_ARG,
+};
 pub use store::SummaryStore;
 pub use summary::{Summary, SummaryDb, SummaryEntry};

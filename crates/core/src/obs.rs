@@ -120,6 +120,49 @@ pub fn degrade_census(trace: &Trace) -> BTreeMap<String, String> {
     out
 }
 
+/// A process-unique trace id: the coordinator's OS pid in the high 32
+/// bits, a per-process counter in the low. Ties the coordinator and
+/// every `__rid-shard-worker` child of one run into one timeline (and
+/// one merged Chrome trace) without any shared clock or filesystem
+/// coordination.
+#[must_use]
+pub fn next_trace_id() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    (u64::from(std::process::id()) << 32) | NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Parses trace JSONL (the [`Trace::to_jsonl`] format) back into
+/// events — the reader half of cross-process trace stitching: shard
+/// workers flush their rings to per-shard `.trace.jsonl` files and the
+/// coordinator reconstructs them with this. Unknown or malformed lines
+/// (a header, a newer schema's span kind) are skipped, not errors, so
+/// a coordinator can read artifacts written by a newer worker.
+#[must_use]
+pub fn parse_trace_jsonl(text: &str) -> Vec<rid_obs::TraceEvent> {
+    let mut events = Vec::new();
+    for line in text.lines() {
+        if line.trim().is_empty() {
+            continue;
+        }
+        let Ok(v) = serde_json::from_str::<serde_json::Value>(line) else { continue };
+        let Some(kind) = v["kind"].as_str().and_then(rid_obs::SpanKind::from_label) else {
+            continue;
+        };
+        events.push(rid_obs::TraceEvent {
+            kind,
+            name: v["name"].as_str().unwrap_or_default().to_owned(),
+            thread: v["thread"].as_u64().unwrap_or(0) as usize,
+            seq: v["seq"].as_u64().unwrap_or(0),
+            start_ns: v["start_ns"].as_u64().unwrap_or(0),
+            dur_ns: v["dur_ns"].as_u64().unwrap_or(0),
+            instant: v["ph"].as_str() == Some("instant"),
+            value: v["value"].as_u64().unwrap_or(0),
+        });
+    }
+    events
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

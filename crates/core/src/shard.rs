@@ -80,6 +80,16 @@ use crate::summary::{Summary, SummaryDb};
 /// subcommand or file name.
 pub const WORKER_ARG: &str = "__rid-shard-worker";
 
+/// Environment variable naming the file a shard worker flushes its
+/// trace JSONL into; set (together with [`TRACE_ID_ENV`]) by a traced
+/// coordinator, absent otherwise.
+pub const TRACE_FILE_ENV: &str = "RID_TRACE_FILE";
+
+/// Environment variable carrying the coordinating run's trace id as 16
+/// hex digits; the worker echoes it in its flush file's header line so
+/// the coordinator can reject artifacts from a different run.
+pub const TRACE_ID_ENV: &str = "RID_TRACE_ID";
+
 fn invalid(msg: impl std::fmt::Display) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, format!("shard: {msg}"))
 }
@@ -228,16 +238,50 @@ pub fn maybe_run_worker() {
     if argv.next().as_deref() != Some(WORKER_ARG) {
         return;
     }
-    let Some(task_path) = argv.next() else {
-        eprintln!("shard worker: missing task path");
-        std::process::exit(102);
-    };
-    match run_worker(Path::new(&task_path)) {
-        Ok(()) => std::process::exit(0),
-        Err(e) => {
-            eprintln!("shard worker: {e}");
-            std::process::exit(102);
+    // A traced coordinator asks its workers to trace too: the env pair
+    // names the per-shard flush file and the shared trace id, so the
+    // worker's spans stitch back into the coordinator's timeline
+    // instead of being silently dropped at `exit()`.
+    let trace_file = std::env::var_os(TRACE_FILE_ENV).map(PathBuf::from);
+    if trace_file.is_some() {
+        rid_obs::enable(rid_obs::trace::DEFAULT_CAPACITY);
+    }
+    let code = match argv.next() {
+        Some(task_path) => match run_worker(Path::new(&task_path)) {
+            Ok(()) => 0,
+            Err(e) => {
+                eprintln!("shard worker: {e}");
+                102
+            }
+        },
+        None => {
+            eprintln!("shard worker: missing task path");
+            102
         }
+    };
+    if let Some(path) = trace_file {
+        flush_worker_trace(&path);
+    }
+    std::process::exit(code);
+}
+
+/// Drains this worker process's span rings into its `.trace.jsonl`
+/// flush file, prefixed by a header line echoing the coordinator's
+/// trace id. Runs on **both** exit paths (success and failure) — a
+/// failed shard's spans are exactly the ones worth reading.
+fn flush_worker_trace(path: &Path) {
+    // Span-loss tripwire: every thread that recorded events must have
+    // flushed by now (driver workers flush at scope exit; this call
+    // flushes the main thread and debug-asserts the census balances).
+    rid_obs::trace::assert_all_flushed();
+    let trace = rid_obs::drain();
+    let mut out = String::new();
+    if let Ok(id) = std::env::var(TRACE_ID_ENV) {
+        out.push_str(&format!("{{\"trace_id\":\"{id}\"}}\n"));
+    }
+    out.push_str(&trace.to_jsonl());
+    if let Err(e) = atomic_write(path, out.as_bytes()) {
+        eprintln!("shard worker: trace write failed: {e}");
     }
 }
 
@@ -414,6 +458,54 @@ pub fn analyze_processes(
     processes: usize,
     cache_path: Option<&Path>,
 ) -> io::Result<AnalysisResult> {
+    analyze_processes_traced(sources, predefined, options, faults, processes, cache_path)
+        .map(|(result, _)| result)
+}
+
+/// One shard worker's stitched trace lane: its OS process id (the
+/// Chrome `pid` lane) and the events parsed from its flush file.
+#[derive(Clone, Debug)]
+pub struct ShardTrace {
+    /// The worker's OS process id.
+    pub pid: u64,
+    /// Lane label, e.g. `shard L2.0` (wavefront level 2, shard 0).
+    pub label: String,
+    /// The worker's drained span events.
+    pub events: Vec<rid_obs::TraceEvent>,
+}
+
+/// The shard-worker traces a traced multi-process run collected, tied
+/// together by one trace id. Feed the lanes (plus the coordinator's own
+/// drained trace) to [`rid_obs::chrome_json_merged`] for a single
+/// timeline with one pid lane per process.
+#[derive(Clone, Debug, Default)]
+pub struct StitchedTrace {
+    /// The run's trace id (also exported into the merged Chrome JSON).
+    pub trace_id: u64,
+    /// One lane per spawned shard worker, spawn order.
+    pub shards: Vec<ShardTrace>,
+}
+
+/// [`analyze_processes`] plus cross-process trace stitching: when
+/// tracing is enabled ([`rid_obs::enabled`]), every spawned worker
+/// inherits [`TRACE_FILE_ENV`]/[`TRACE_ID_ENV`], flushes its span rings
+/// on exit, and the coordinator parses the per-shard flush files back
+/// into [`StitchedTrace`] lanes. Returns `None` for the trace when
+/// tracing is disabled — the analysis result is byte-identical either
+/// way.
+///
+/// # Errors
+///
+/// Same failure modes as [`analyze_processes`]; an unreadable or
+/// foreign trace flush file only drops that lane, never the run.
+pub fn analyze_processes_traced(
+    sources: &[String],
+    predefined: &SummaryDb,
+    options: &AnalysisOptions,
+    faults: &FaultPlan,
+    processes: usize,
+    cache_path: Option<&Path>,
+) -> io::Result<(AnalysisResult, Option<StitchedTrace>)> {
     let processes = processes.max(1);
     let program =
         rid_frontend::parse_program(sources.iter().map(String::as_str)).map_err(invalid)?;
@@ -446,9 +538,12 @@ pub fn analyze_processes(
         .collect();
 
     let dir = workspace()?;
+    let mut stitched: Option<StitchedTrace> = rid_obs::enabled()
+        .then(|| StitchedTrace { trace_id: crate::obs::next_trace_id(), shards: Vec::new() });
     // (reports, degraded, stats, summaries, final store path)
     type LevelOutputs =
         (Vec<IppReport>, BTreeMap<String, Degradation>, AnalysisStats, Vec<Summary>, Option<PathBuf>);
+    let stitched_ref = &mut stitched;
     let run = (|| -> io::Result<LevelOutputs> {
         let mut source_paths = Vec::with_capacity(sources.len());
         for (i, source) in sources.iter().enumerate() {
@@ -488,6 +583,7 @@ pub fn analyze_processes(
             let mut children = Vec::new();
             let mut delta_paths = Vec::new();
             let mut output_paths = Vec::new();
+            let mut trace_paths: Vec<(usize, PathBuf)> = Vec::new();
             for (s, comps) in shards.iter().enumerate() {
                 if comps.is_empty() {
                     continue;
@@ -515,26 +611,53 @@ pub fn analyze_processes(
                 };
                 let task_path = dir.join(format!("task_{round:04}_{s:02}.json"));
                 fs::write(&task_path, serde_json::to_string(&task).map_err(invalid)?)?;
-                let child = std::process::Command::new(&exe)
+                let mut command = std::process::Command::new(&exe);
+                command
                     .arg(WORKER_ARG)
                     .arg(&task_path)
                     .stdin(std::process::Stdio::null())
                     // Workers must not interleave with the coordinator's
                     // stdout (`--json` byte-identity); stderr passes
                     // through for panic-hook and degradation noise.
-                    .stdout(std::process::Stdio::null())
-                    .spawn()?;
+                    .stdout(std::process::Stdio::null());
+                if let Some(st) = stitched_ref.as_ref() {
+                    let trace_out = dir.join(format!("trace_{round:04}_{s:02}.jsonl"));
+                    command
+                        .env(TRACE_FILE_ENV, &trace_out)
+                        .env(TRACE_ID_ENV, format!("{:016x}", st.trace_id));
+                    trace_paths.push((s, trace_out));
+                }
+                let child = command.spawn()?;
                 children.push((s, child));
                 delta_paths.push(store_out);
                 output_paths.push(output);
             }
+            let mut pids: BTreeMap<usize, u64> = BTreeMap::new();
             for (s, mut child) in children {
+                pids.insert(s, u64::from(child.id()));
                 let status = child.wait()?;
                 if !status.success() {
                     return Err(invalid(format_args!(
                         "worker {s} of level {} exited with {status}",
                         round + 1
                     )));
+                }
+            }
+            // Stitch: each worker flushed its span rings into its trace
+            // file before exit; parse them back as one lane per process.
+            // An unreadable lane (or one whose header names a different
+            // trace id — a foreign artifact) is dropped, not fatal.
+            if let Some(st) = stitched_ref.as_mut() {
+                for (s, path) in trace_paths {
+                    let text = fs::read_to_string(&path).unwrap_or_default();
+                    if trace_header_id(&text).is_some_and(|id| id != st.trace_id) {
+                        continue;
+                    }
+                    st.shards.push(ShardTrace {
+                        pid: pids.get(&s).copied().unwrap_or(0),
+                        label: format!("shard L{}.{s}", round + 1),
+                        events: crate::obs::parse_trace_jsonl(&text),
+                    });
                 }
             }
             // Store union: this level's deltas shadow everything older.
@@ -607,7 +730,15 @@ pub fn analyze_processes(
             b.path_b,
         ))
     });
-    Ok(AnalysisResult { reports, summaries: db, classification, stats, degraded })
+    Ok((AnalysisResult { reports, summaries: db, classification, stats, degraded }, stitched))
+}
+
+/// The `trace_id` named by a worker flush file's header line, if the
+/// first line is such a header.
+fn trace_header_id(text: &str) -> Option<u64> {
+    let first = text.lines().next()?;
+    let v = serde_json::from_str::<serde_json::Value>(first).ok()?;
+    u64::from_str_radix(v["trace_id"].as_str()?, 16).ok()
 }
 
 #[cfg(test)]

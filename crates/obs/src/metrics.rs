@@ -73,6 +73,12 @@ impl Histogram {
     /// Approximate quantile: the lower bound of the bucket holding the
     /// q-th sample (`q` in `[0, 1]`). Coarse by design — log₂ buckets
     /// trade precision for constant memory.
+    ///
+    /// Error bound: the true q-th sample lies in `[lo, 2·lo)` for the
+    /// returned lower bound `lo`, so the report understates by at most
+    /// one power of two (a factor-of-2 relative error, never an
+    /// overestimate). `count`, `sum`, `min`, `max`, and therefore
+    /// `mean` are exact.
     pub fn quantile(&self, q: f64) -> u64 {
         if self.count == 0 {
             return 0;
@@ -195,9 +201,34 @@ impl Registry {
         self.counters.iter().map(|(k, &v)| (k.as_str(), v))
     }
 
+    /// All histograms, sorted by name.
+    pub fn histograms(&self) -> impl Iterator<Item = (&str, &Histogram)> {
+        self.histograms.iter().map(|(k, h)| (k.as_str(), h))
+    }
+
+    /// Fold another registry into this one: counters add, gauges combine
+    /// by max (point-in-time values observed by concurrent processes are
+    /// not summable), histograms merge bucket-exactly. The operation is
+    /// associative and commutative, so K shard registries reduce to the
+    /// same result in any order — what lets the multi-process
+    /// coordinator fold worker telemetry without caring about join
+    /// order.
+    pub fn merge(&mut self, other: &Registry) {
+        for (k, &v) in &other.counters {
+            self.count(k, v);
+        }
+        for (k, &v) in &other.gauges {
+            let slot = self.gauges.entry(k.clone()).or_insert(v);
+            *slot = (*slot).max(v);
+        }
+        for (k, h) in &other.histograms {
+            self.insert_histogram(k, h);
+        }
+    }
+
     /// Render the whole registry as a deterministic JSON object:
     /// `{"counters":{...},"gauges":{...},"histograms":{name:{count,sum,
-    /// min,max,mean,p50,p90,p99,buckets:[[lo,n],...]}}}`.
+    /// min,max,mean,p50,p90,p99,p999,buckets:[[lo,n],...]}}}`.
     pub fn to_json(&self) -> String {
         let mut out = String::from("{\"counters\":{");
         for (i, (k, v)) in self.counters.iter().enumerate() {
@@ -219,7 +250,7 @@ impl Registry {
                 out.push(',');
             }
             out.push_str(&format!(
-                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"buckets\":[",
+                "\"{}\":{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},\"mean\":{},\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"buckets\":[",
                 json_escape(k),
                 h.count,
                 h.sum,
@@ -229,6 +260,7 @@ impl Registry {
                 h.quantile(0.50),
                 h.quantile(0.90),
                 h.quantile(0.99),
+                h.quantile(0.999),
             ));
             for (j, (lo, n)) in h.sparse_buckets().iter().enumerate() {
                 if j > 0 {
@@ -262,18 +294,68 @@ impl Registry {
         }
         for (k, h) in &self.histograms {
             out.push_str(&format!(
-                "{:width$}  count={} mean={} p50={} p90={} max={}\n",
+                "{:width$}  count={} mean={} p50={} p90={} p99={} p999={} max={}\n",
                 k,
                 h.count,
                 h.mean(),
                 h.quantile(0.50),
                 h.quantile(0.90),
+                h.quantile(0.99),
+                h.quantile(0.999),
                 h.max,
                 width = width
             ));
         }
         out
     }
+
+    /// Render the registry in the Prometheus text exposition format
+    /// (version 0.0.4). Metric names are prefixed with `rid_` and every
+    /// character outside `[a-zA-Z0-9_]` becomes `_`. Counters and gauges
+    /// emit one sample each; histograms emit a Prometheus *summary* —
+    /// `{quantile="0.5"|"0.9"|"0.99"|"0.999"}` samples derived from the
+    /// log₂ buckets (see [`Histogram::quantile`] for the error bound)
+    /// plus exact `_sum` and `_count` samples.
+    pub fn to_prometheus(&self) -> String {
+        let mut out = String::new();
+        for (k, v) in &self.counters {
+            let name = prometheus_name(k);
+            out.push_str(&format!("# TYPE {name} counter\n{name} {v}\n"));
+        }
+        for (k, v) in &self.gauges {
+            let name = prometheus_name(k);
+            out.push_str(&format!("# TYPE {name} gauge\n{name} {v}\n"));
+        }
+        for (k, h) in &self.histograms {
+            let name = prometheus_name(k);
+            out.push_str(&format!("# TYPE {name} summary\n"));
+            for (q, label) in
+                [(0.50, "0.5"), (0.90, "0.9"), (0.99, "0.99"), (0.999, "0.999")]
+            {
+                out.push_str(&format!(
+                    "{name}{{quantile=\"{label}\"}} {}\n",
+                    h.quantile(q)
+                ));
+            }
+            out.push_str(&format!("{name}_sum {}\n{name}_count {}\n", h.sum, h.count));
+        }
+        out
+    }
+}
+
+/// `rid_`-prefixed Prometheus-legal metric name: anything outside
+/// `[a-zA-Z0-9_]` collapses to `_`.
+fn prometheus_name(name: &str) -> String {
+    let mut out = String::with_capacity(name.len() + 4);
+    out.push_str("rid_");
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() || c == '_' {
+            out.push(c);
+        } else {
+            out.push('_');
+        }
+    }
+    out
 }
 
 #[cfg(test)]
@@ -357,5 +439,134 @@ mod tests {
         assert_eq!(h.mean(), 0);
         assert_eq!(h.quantile(0.5), 0);
         assert!(h.sparse_buckets().is_empty());
+    }
+
+    #[test]
+    fn json_and_table_carry_tail_quantiles() {
+        let mut r = Registry::new();
+        for v in 0..1000u64 {
+            r.observe("serve.op.analyze.us", v);
+        }
+        let json = r.to_json();
+        assert!(json.contains("\"p99\":"));
+        assert!(json.contains("\"p999\":512"), "{json}");
+        assert!(r.render_table().contains("p999=512"));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let mut r = Registry::new();
+        r.count("serve.requests", 3);
+        r.gauge("serve.queue.depth", -1);
+        r.observe("serve.op.patch.us", 100);
+        r.observe("serve.op.patch.us", 900);
+        let text = r.to_prometheus();
+        assert!(text.contains("# TYPE rid_serve_requests counter\nrid_serve_requests 3\n"));
+        assert!(text.contains("# TYPE rid_serve_queue_depth gauge\nrid_serve_queue_depth -1\n"));
+        assert!(text.contains("# TYPE rid_serve_op_patch_us summary\n"));
+        assert!(text.contains("rid_serve_op_patch_us{quantile=\"0.5\"} 64\n"));
+        assert!(text.contains("rid_serve_op_patch_us{quantile=\"0.999\"} 512\n"));
+        assert!(text.contains("rid_serve_op_patch_us_sum 1000\n"));
+        assert!(text.contains("rid_serve_op_patch_us_count 2\n"));
+        // Every line is either a comment or `name[{labels}] value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# TYPE rid_")
+                    || line
+                        .split_once(' ')
+                        .is_some_and(|(n, v)| n.starts_with("rid_") && v.parse::<i64>().is_ok()),
+                "malformed exposition line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn registry_merge_is_associative_and_commutative() {
+        let part = |seed: u64| {
+            let mut r = Registry::new();
+            r.count("serve.requests", seed + 1);
+            r.gauge("serve.queue.depth", seed as i64);
+            for i in 0..seed + 3 {
+                r.observe("serve.op.analyze.us", seed * 100 + i * 7);
+            }
+            r
+        };
+        let (a, b, c) = (part(1), part(2), part(3));
+
+        let mut ab_c = a.clone();
+        ab_c.merge(&b);
+        ab_c.merge(&c);
+        let mut a_bc = b.clone();
+        a_bc.merge(&c);
+        let mut left = a.clone();
+        left.merge(&a_bc);
+        assert_eq!(ab_c.to_json(), left.to_json(), "merge must be associative");
+
+        let mut ba = b.clone();
+        ba.merge(&a);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        assert_eq!(ab.to_json(), ba.to_json(), "merge must be commutative");
+
+        // Histogram folding is sum-exact: count/sum equal recording
+        // every sample into one registry.
+        let h = ab_c.histogram("serve.op.analyze.us").unwrap();
+        assert_eq!(h.count, 4 + 5 + 6);
+        assert_eq!(ab_c.counter("serve.requests"), 2 + 3 + 4);
+    }
+
+    /// Property test over K randomly generated shard registries: any
+    /// merge order reduces to the same registry, and every histogram's
+    /// count/sum/min/max exactly equal recording all samples into one
+    /// registry directly (the contract the multi-process coordinator and
+    /// the daemon's per-shard fold both rely on).
+    #[test]
+    fn merging_k_shard_registries_is_order_free_and_sum_exact() {
+        // Deterministic xorshift so failures reproduce.
+        let mut state = 0x9e37_79b9_7f4a_7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        let names = ["serve.op.patch.us", "serve.op.analyze.us", "serve.queue.depth"];
+        for trial in 0..20 {
+            let k = 2 + (next() % 7) as usize;
+            let mut parts: Vec<Registry> = Vec::new();
+            let mut reference = Registry::new();
+            for _ in 0..k {
+                let mut part = Registry::new();
+                for _ in 0..(next() % 40) {
+                    let name = names[(next() % names.len() as u64) as usize];
+                    let sample = next() % 1_000_000;
+                    part.observe(name, sample);
+                    reference.observe(name, sample);
+                }
+                let bump = next() % 100;
+                part.count("serve.accepted", bump);
+                reference.count("serve.accepted", bump);
+                parts.push(part);
+            }
+
+            // Forward fold, reverse fold, and a pairwise tree fold must
+            // all equal the single-registry reference.
+            let fold = |order: &[usize]| {
+                let mut acc = Registry::new();
+                for &i in order {
+                    acc.merge(&parts[i]);
+                }
+                acc
+            };
+            let forward: Vec<usize> = (0..k).collect();
+            let reverse: Vec<usize> = (0..k).rev().collect();
+            let folded = fold(&forward);
+            assert_eq!(folded.to_json(), fold(&reverse).to_json(), "trial {trial}");
+            assert_eq!(folded.to_json(), reference.to_json(), "trial {trial}");
+            for name in names {
+                let (merged, reference) = (folded.histogram(name), reference.histogram(name));
+                assert_eq!(merged, reference, "trial {trial}: {name} not sum-exact");
+            }
+        }
     }
 }

@@ -85,6 +85,14 @@ impl SpanKind {
         }
     }
 
+    /// Inverse of [`SpanKind::label`]: parses the stable lowercase label
+    /// back into its kind. `None` for unknown labels, so readers of
+    /// foreign `.trace.jsonl` files can skip lines written by a newer
+    /// schema instead of failing.
+    pub fn from_label(label: &str) -> Option<SpanKind> {
+        SpanKind::all().into_iter().find(|k| k.label() == label)
+    }
+
     /// All span kinds, in pipeline order.
     pub fn all() -> [SpanKind; 13] {
         [
@@ -131,6 +139,15 @@ static CAPACITY: AtomicUsize = AtomicUsize::new(DEFAULT_CAPACITY);
 static SEQ: AtomicU64 = AtomicU64::new(0);
 static NEXT_THREAD: AtomicUsize = AtomicUsize::new(0);
 static DROPPED: AtomicU64 = AtomicU64::new(0);
+/// Bumped by every [`enable`]; thread-local buffers compare against it
+/// so the participation census below restarts per tracing session.
+static GENERATION: AtomicU64 = AtomicU64::new(0);
+/// Threads that recorded at least one event this generation.
+static PARTICIPATING: AtomicUsize = AtomicUsize::new(0);
+/// Participating threads that have flushed at least once this
+/// generation — at quiescence the two counts must agree, or spans are
+/// being lost (see [`flush_counts`]).
+static FLUSHED_THREADS: AtomicUsize = AtomicUsize::new(0);
 
 /// Default per-thread ring capacity (events).
 pub const DEFAULT_CAPACITY: usize = 1 << 16;
@@ -177,10 +194,28 @@ impl Ring {
 struct ThreadBuf {
     id: usize,
     ring: Ring,
+    /// Generation in which this thread last recorded an event.
+    active_gen: u64,
+    /// Generation in which this thread last flushed.
+    flushed_gen: u64,
 }
 
 impl ThreadBuf {
+    fn push(&mut self, ev: TraceEvent) {
+        let gen = GENERATION.load(Ordering::Relaxed);
+        if self.active_gen != gen {
+            self.active_gen = gen;
+            PARTICIPATING.fetch_add(1, Ordering::Relaxed);
+        }
+        self.ring.push(ev);
+    }
+
     fn flush(&mut self) {
+        let gen = GENERATION.load(Ordering::Relaxed);
+        if self.active_gen == gen && self.flushed_gen != gen {
+            self.flushed_gen = gen;
+            FLUSHED_THREADS.fetch_add(1, Ordering::Relaxed);
+        }
         let events = self.ring.take();
         if self.ring.dropped > 0 {
             DROPPED.fetch_add(self.ring.dropped, Ordering::Relaxed);
@@ -202,6 +237,8 @@ thread_local! {
     static LOCAL: RefCell<ThreadBuf> = RefCell::new(ThreadBuf {
         id: NEXT_THREAD.fetch_add(1, Ordering::Relaxed),
         ring: Ring::new(CAPACITY.load(Ordering::Relaxed)),
+        active_gen: 0,
+        flushed_gen: 0,
     });
 }
 
@@ -219,6 +256,9 @@ pub fn enable(per_thread_capacity: usize) {
     CAPACITY.store(per_thread_capacity.max(1), Ordering::Relaxed);
     sink().lock().expect("trace sink poisoned").clear();
     DROPPED.store(0, Ordering::Relaxed);
+    GENERATION.fetch_add(1, Ordering::Relaxed);
+    PARTICIPATING.store(0, Ordering::Relaxed);
+    FLUSHED_THREADS.store(0, Ordering::Relaxed);
     ENABLED.store(true, Ordering::Relaxed);
 }
 
@@ -229,7 +269,7 @@ pub fn disable() {
 }
 
 fn record(ev: TraceEvent) {
-    LOCAL.with(|b| b.borrow_mut().ring.push(ev));
+    LOCAL.with(|b| b.borrow_mut().push(ev));
 }
 
 fn now_ns() -> u64 {
@@ -341,6 +381,33 @@ pub fn flush_thread() {
     LOCAL.with(|b| b.borrow_mut().flush());
 }
 
+/// The per-generation flush census: `(participating, flushed)` thread
+/// counts since the last [`enable`]. A thread *participates* the first
+/// time it records an event; it counts as *flushed* the first time it
+/// moves its ring into the sink (via [`flush_thread`], thread exit, or
+/// [`drain`]). At any quiescent point — all recording threads joined or
+/// flushed — the two must be equal; a gap means spans are sitting in a
+/// live thread's ring and would be missing from a [`drain`].
+#[must_use]
+pub fn flush_counts() -> (usize, usize) {
+    (PARTICIPATING.load(Ordering::Relaxed), FLUSHED_THREADS.load(Ordering::Relaxed))
+}
+
+/// Debug-assert the flush census balances (after flushing the calling
+/// thread). Call at points where every spawned worker is known to have
+/// exited — the end of a scoped-worker region, or a shard worker's exit
+/// path — to catch span loss in development builds. Free of effect in
+/// release builds beyond the (idempotent) self-flush.
+pub fn assert_all_flushed() {
+    flush_thread();
+    let (participating, flushed) = flush_counts();
+    debug_assert_eq!(
+        participating, flushed,
+        "trace span loss: {participating} thread(s) recorded events but only \
+         {flushed} flushed — a worker exited without calling flush_thread()"
+    );
+}
+
 /// Collect everything recorded so far into a [`Trace`], sorted by start
 /// ticket. Flushes the calling thread first; other threads contribute
 /// whatever they flushed via [`flush_thread`] or thread exit.
@@ -428,38 +495,92 @@ impl Trace {
     /// format). Spans become complete (`ph:"X"`) events, instants become
     /// thread-scoped instant (`ph:"i"`) events; timestamps are
     /// microseconds as the format requires. Loads directly in
-    /// `chrome://tracing` and Perfetto.
+    /// `chrome://tracing` and Perfetto. Single-process traces render
+    /// under pid lane 1; for a multi-process timeline use
+    /// [`chrome_json_merged`].
     pub fn to_chrome_json(&self) -> String {
         let mut out = String::from("{\"traceEvents\":[");
-        for (i, e) in self.events.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            let ts = e.start_ns as f64 / 1000.0;
-            if e.instant {
-                out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"value\":{}}}}}",
-                    json_escape(&e.name),
-                    e.kind.label(),
-                    ts,
-                    e.thread,
-                    e.value,
-                ));
-            } else {
-                out.push_str(&format!(
-                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":1,\"tid\":{},\"args\":{{\"value\":{}}}}}",
-                    json_escape(&e.name),
-                    e.kind.label(),
-                    ts,
-                    e.dur_ns as f64 / 1000.0,
-                    e.thread,
-                    e.value,
-                ));
-            }
-        }
+        push_chrome_events(&mut out, &self.events, 1, true);
         out.push_str("],\"displayTimeUnit\":\"ms\"}");
         out
     }
+}
+
+fn push_chrome_events(out: &mut String, events: &[TraceEvent], pid: u64, mut first: bool) {
+    for e in events {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let ts = e.start_ns as f64 / 1000.0;
+        if e.instant {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"i\",\"s\":\"t\",\"ts\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"value\":{}}}}}",
+                json_escape(&e.name),
+                e.kind.label(),
+                ts,
+                pid,
+                e.thread,
+                e.value,
+            ));
+        } else {
+            out.push_str(&format!(
+                "{{\"name\":\"{}\",\"cat\":\"{}\",\"ph\":\"X\",\"ts\":{:.3},\"dur\":{:.3},\"pid\":{},\"tid\":{},\"args\":{{\"value\":{}}}}}",
+                json_escape(&e.name),
+                e.kind.label(),
+                ts,
+                e.dur_ns as f64 / 1000.0,
+                pid,
+                e.thread,
+                e.value,
+            ));
+        }
+    }
+}
+
+/// One process lane of a merged multi-process Chrome trace.
+pub struct ChromeLane<'a> {
+    /// Chrome `pid` for the lane — use the real OS process id so the
+    /// coordinator and each shard worker render as distinct lanes.
+    pub pid: u64,
+    /// Lane label, shown by Chrome as the process name (e.g.
+    /// `rid coordinator`, `shard worker 0.2`).
+    pub name: String,
+    /// The lane's events (each process's drained trace).
+    pub events: &'a [TraceEvent],
+}
+
+/// Stitch per-process traces into one Chrome `trace_event` JSON: each
+/// lane gets a `process_name` metadata event plus all its events under
+/// its own `pid`, so a `--processes 4` run reads as a single timeline
+/// with the coordinator and every shard worker as separate lanes. The
+/// shared `trace_id` that tied the processes together is recorded in
+/// `otherData` (and shows up in Perfetto's trace info).
+///
+/// Timestamps are left as each process recorded them — every process
+/// measures from its own trace epoch (its first enable), so lanes are
+/// aligned to process start rather than to one global clock. Relative
+/// ordering *within* a lane is exact.
+#[must_use]
+pub fn chrome_json_merged(lanes: &[ChromeLane<'_>], trace_id: u64) -> String {
+    let mut out = String::from("{\"traceEvents\":[");
+    let mut first = true;
+    for lane in lanes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push_str(&format!(
+            "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{},\"tid\":0,\"args\":{{\"name\":\"{}\"}}}}",
+            lane.pid,
+            json_escape(&lane.name),
+        ));
+        push_chrome_events(&mut out, lane.events, lane.pid, false);
+    }
+    out.push_str(&format!(
+        "],\"displayTimeUnit\":\"ms\",\"otherData\":{{\"trace_id\":\"{trace_id:016x}\"}}}}"
+    ));
+    out
 }
 
 #[cfg(test)]
@@ -547,6 +668,69 @@ mod tests {
         let threads: std::collections::BTreeSet<usize> =
             t.events.iter().map(|e| e.thread).collect();
         assert_eq!(threads.len(), 2);
+    }
+
+    #[test]
+    fn labels_round_trip_through_from_label() {
+        for kind in SpanKind::all() {
+            assert_eq!(SpanKind::from_label(kind.label()), Some(kind));
+        }
+        assert_eq!(SpanKind::from_label("no-such-kind"), None);
+    }
+
+    #[test]
+    fn flush_census_balances_at_drain() {
+        let _g = lock();
+        enable(DEFAULT_CAPACITY);
+        std::thread::scope(|scope| {
+            for _ in 0..3 {
+                scope.spawn(|| {
+                    event(SpanKind::Steal, "s", 1);
+                    flush_thread();
+                });
+            }
+        });
+        event(SpanKind::Exec, "main", 0);
+        disable();
+        assert_all_flushed();
+        let (participating, flushed) = flush_counts();
+        assert_eq!(participating, 4, "3 workers + the main thread recorded");
+        assert_eq!(participating, flushed);
+        drop(drain());
+    }
+
+    #[test]
+    fn merged_chrome_trace_has_one_lane_per_process() {
+        let _g = lock();
+        enable(DEFAULT_CAPACITY);
+        {
+            let _s = span(SpanKind::Exec, "coord");
+        }
+        disable();
+        let coord = drain();
+        let worker_events = vec![TraceEvent {
+            kind: SpanKind::Exec,
+            name: "shard".to_owned(),
+            thread: 0,
+            seq: 0,
+            start_ns: 10,
+            dur_ns: 20,
+            instant: false,
+            value: 0,
+        }];
+        let merged = chrome_json_merged(
+            &[
+                ChromeLane { pid: 100, name: "rid coordinator".to_owned(), events: &coord.events },
+                ChromeLane { pid: 200, name: "shard worker 0.0".to_owned(), events: &worker_events },
+            ],
+            0xabcd,
+        );
+        assert!(merged.contains("\"process_name\""));
+        assert!(merged.contains("\"pid\":100"));
+        assert!(merged.contains("\"pid\":200"));
+        assert!(merged.contains("\"name\":\"rid coordinator\""));
+        assert!(merged.contains("\"trace_id\":\"000000000000abcd\""));
+        assert!(!merged.contains(",,"), "no empty slots between events");
     }
 
     #[test]

@@ -29,7 +29,8 @@
 use std::collections::{BTreeMap, BTreeSet, VecDeque};
 use std::io;
 use std::path::{Path, PathBuf};
-use std::time::Duration;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
 
 use rid_core::cache::content_hash;
 use rid_core::incremental::{CallerIndex, ReanalyzePlan};
@@ -39,6 +40,7 @@ use rid_ir::{Module, Program};
 use serde_json::Value;
 
 use crate::fault::ServeFaultPlan;
+use crate::flightrec::BlackBox;
 use crate::journal::{self, Journal};
 use crate::protocol::{error_line, ok_line, ProjectOptions, Request};
 use crate::snapshot::{
@@ -276,9 +278,18 @@ enum Op {
     Analyze,
     Patch { sources: BTreeMap<String, String> },
     Explain { function: Option<String> },
-    Stats,
+    Stats { format: StatsFormat },
     Snapshot,
     Shutdown,
+}
+
+/// Encoding of the `stats` telemetry payload.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StatsFormat {
+    /// Registry embedded as a structured `telemetry` object (default).
+    Json,
+    /// Registry rendered as a Prometheus text exposition string.
+    Prometheus,
 }
 
 impl Op {
@@ -290,6 +301,20 @@ impl Op {
     /// (terminal) and `ping` (never queued) stay out.
     fn journaled(&self) -> bool {
         !matches!(self, Op::Shutdown)
+    }
+
+    /// The op name as it appears in `serve.op.{label}.us` latency
+    /// histogram keys.
+    fn label(&self) -> &'static str {
+        match self {
+            Op::Register { .. } => "register",
+            Op::Analyze => "analyze",
+            Op::Patch { .. } => "patch",
+            Op::Explain { .. } => "explain",
+            Op::Stats { .. } => "stats",
+            Op::Snapshot => "snapshot",
+            Op::Shutdown => "shutdown",
+        }
     }
 }
 
@@ -331,6 +356,17 @@ pub struct Engine<T> {
     idem_cache: VecDeque<(String, String)>,
     /// `(projects restored, journal entries replayed)` from startup.
     restore_info: Option<(usize, usize)>,
+    /// Live runtime telemetry: per-op/per-project latency histograms,
+    /// journal and degradation counters, queue-depth distribution.
+    /// Scalar [`EngineStats`] counters are injected only at read time
+    /// (see [`Engine::telemetry_registry`]) so nothing is double-kept.
+    registry: rid_obs::Registry,
+    /// Crash flight recorder shared with the panic hook; `None` without
+    /// a `state_dir`.
+    black_box: Option<Arc<BlackBox>>,
+    /// When the black box last persisted a heartbeat artifact, so busy
+    /// drain loops do not write one file per request.
+    last_heartbeat: Option<Instant>,
 }
 
 impl<T> Engine<T> {
@@ -353,6 +389,72 @@ impl<T> Engine<T> {
             replay_offset: None,
             idem_cache: VecDeque::new(),
             restore_info: None,
+            registry: rid_obs::Registry::new(),
+            black_box: None,
+            last_heartbeat: None,
+        }
+    }
+
+    /// The crash flight recorder, when the engine runs with a
+    /// `state_dir`. Transports hand this to
+    /// [`crate::flightrec::install_panic_hook`] and persist a final
+    /// record on fatal errors.
+    #[must_use]
+    pub fn black_box(&self) -> Option<&Arc<BlackBox>> {
+        self.black_box.as_ref()
+    }
+
+    /// A point-in-time telemetry registry: the live histograms and
+    /// counters plus the scalar engine stats injected as counters and
+    /// gauges. This is what `stats` serves and the black box persists.
+    #[must_use]
+    pub fn telemetry_registry(&self) -> rid_obs::Registry {
+        let mut registry = self.registry.clone();
+        registry.count("serve.accepted", self.stats.accepted);
+        registry.count("serve.batches", self.stats.batches);
+        registry.count("serve.coalesced", self.stats.coalesced);
+        registry.count("serve.backpressure", self.stats.backpressure);
+        registry.count("serve.idem_hits", self.stats.idem_hits);
+        registry.gauge("serve.queue.cap", self.cap as i64);
+        registry.gauge("serve.queue.depth.now", self.queue.len() as i64);
+        registry.gauge("serve.projects", self.projects.len() as i64);
+        registry.gauge("serve.draining", i64::from(self.draining));
+        if self.state_dir.is_some() {
+            registry.gauge("serve.snapshot.gen", self.gen as i64);
+        }
+        registry
+    }
+
+    /// Records one executed request into the per-op and per-project
+    /// latency histograms.
+    fn observe_request(&mut self, op: &'static str, project: &str, started: Instant) {
+        let us = u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX);
+        self.registry.observe(&format!("serve.op.{op}.us"), us);
+        if !project.is_empty() {
+            self.registry.observe(&format!("serve.project.{project}.us"), us);
+        }
+    }
+
+    /// How many analysis runs a project has executed; the drain loop
+    /// diffs this across a request to tell "ran the driver" from
+    /// "answered from resident state", so degradation counters tally
+    /// per executed run.
+    fn run_count(&self, project: &str) -> u64 {
+        self.projects.get(project).map_or(0, |p| p.analyses)
+    }
+
+    /// Counts the degradations of a project's most recent run into
+    /// `serve.degrade.{reason}` counters. Called once per executed run,
+    /// so the counters tally degradation *events*, not resident state.
+    fn record_degradations(&mut self, project: &str) {
+        let mut reasons: Vec<String> = Vec::new();
+        if let Some(p) = self.projects.get_mut(project) {
+            if let Some(result) = p.last.force() {
+                reasons.extend(result.degraded.values().map(|d| d.reason.label().to_owned()));
+            }
+        }
+        for reason in reasons {
+            self.registry.count(&format!("serve.degrade.{reason}"), 1);
         }
     }
 
@@ -439,6 +541,11 @@ impl<T> Engine<T> {
                     return vec![(tag, error_line(Some(request.id), "journal", &message))];
                 }
                 journal_start = Some(start);
+                // One durable append is one fsync (see Journal::append);
+                // counting both keeps the exposition honest if that
+                // coupling ever changes.
+                self.registry.count("serve.journal.appends", 1);
+                self.registry.count("serve.journal.fsyncs", 1);
             }
         }
         self.stats.accepted += 1;
@@ -452,6 +559,7 @@ impl<T> Engine<T> {
             journal_start,
             op,
         });
+        self.registry.observe("serve.queue.depth", self.queue.len() as u64);
         if defer {
             Vec::new()
         } else {
@@ -498,7 +606,14 @@ impl<T> Engine<T> {
                     self.queue = rest;
                     let keys: Vec<Option<String>> =
                         batch.iter().map(|p| p.idem.clone()).collect();
+                    let project = batch[0].project.clone();
+                    let runs_before = self.run_count(&project);
+                    let started = Instant::now();
                     let replies = self.execute_patch_batch(batch);
+                    self.observe_request("patch", &project, started);
+                    if self.run_count(&project) != runs_before {
+                        self.record_degradations(&project);
+                    }
                     for (key, (_, reply)) in keys.iter().zip(&replies) {
                         if let Some(key) = key {
                             self.remember_idem(key, reply);
@@ -508,7 +623,15 @@ impl<T> Engine<T> {
                 }
                 _ => {
                     let key = head.idem.clone();
+                    let label = head.op.label();
+                    let project = head.project.clone();
+                    let runs_before = self.run_count(&project);
+                    let started = Instant::now();
                     let reply = self.execute_single(head);
+                    self.observe_request(label, &project, started);
+                    if self.run_count(&project) != runs_before {
+                        self.record_degradations(&project);
+                    }
                     if let Some(key) = key {
                         self.remember_idem(&key, &reply.1);
                     }
@@ -530,7 +653,27 @@ impl<T> Engine<T> {
             let result = serde_json::json!({ "drained": out.len() });
             out.push((tag, ok_line(id, result, Value::Seq(Vec::new()))));
         }
+        self.heartbeat(!out.is_empty());
         out
+    }
+
+    /// Refreshes the black box after a drain and, at most once per
+    /// second, persists a best-effort `heartbeat` artifact — this is
+    /// what guarantees a `kill -9` (no hook runs at all) still leaves a
+    /// decodable flight record behind. Skipped during journal replay:
+    /// replay re-derives old state and must not overwrite the crash's
+    /// own record.
+    fn heartbeat(&mut self, executed_work: bool) {
+        if self.replaying || !executed_work {
+            return;
+        }
+        let Some(black_box) = self.black_box.clone() else { return };
+        black_box.update(self.telemetry_registry());
+        let due = self.last_heartbeat.is_none_or(|at| at.elapsed().as_secs() >= 1);
+        if due {
+            let _ = black_box.persist("heartbeat", "");
+            self.last_heartbeat = Some(Instant::now());
+        }
     }
 
     /// Remembers a response under its idempotency key, evicting the
@@ -548,7 +691,7 @@ impl<T> Engine<T> {
             Op::Register { .. } => self.execute_register(pending),
             Op::Analyze => self.execute_analyze(pending),
             Op::Explain { .. } => self.execute_explain(pending),
-            Op::Stats => self.execute_stats(pending),
+            Op::Stats { .. } => self.execute_stats(pending),
             Op::Snapshot => self.execute_snapshot(pending),
             Op::Patch { .. } | Op::Shutdown => unreachable!("handled by drain"),
         }
@@ -873,6 +1016,7 @@ impl<T> Engine<T> {
     }
 
     fn execute_stats(&mut self, pending: Pending<T>) -> (T, String) {
+        let Op::Stats { format } = pending.op else { unreachable!() };
         let mut span = rid_obs::span(rid_obs::SpanKind::Serve, "stats");
         span.set_value(1);
         let projects = Value::Map(
@@ -910,7 +1054,20 @@ impl<T> Engine<T> {
                 push_field(&mut server, "replayed_entries", serde_json::json!(replayed));
             }
         }
-        let result = serde_json::json!({ "server": server, "projects": projects });
+        let mut result = serde_json::json!({ "server": server, "projects": projects });
+        let telemetry = self.telemetry_registry();
+        match format {
+            StatsFormat::Json => {
+                // Round-trip the registry through its own JSON encoding
+                // so the reply embeds it structurally, not as a string.
+                let parsed = serde_json::from_str::<Value>(&telemetry.to_json())
+                    .unwrap_or(Value::Null);
+                push_field(&mut result, "telemetry", parsed);
+            }
+            StatsFormat::Prometheus => {
+                push_field(&mut result, "prometheus", Value::Str(telemetry.to_prometheus()));
+            }
+        }
         (pending.tag, ok_line(pending.id, result, Value::Seq(Vec::new())))
     }
 
@@ -1058,6 +1215,7 @@ impl<T: Default> Engine<T> {
         std::fs::create_dir_all(&state_dir)?;
         let mut engine: Engine<T> = Engine::new(config);
         engine.state_dir = Some(state_dir.clone());
+        engine.black_box = Some(Arc::new(BlackBox::new(&state_dir)));
 
         let invalid = |message: String| io::Error::new(io::ErrorKind::InvalidData, message);
         let manifest = Manifest::load(&state_dir)?;
@@ -1068,6 +1226,7 @@ impl<T: Default> Engine<T> {
             offset = manifest.journal_offset;
             for (name, file) in &manifest.projects {
                 let path = state_dir.join(file);
+                let restore_started = Instant::now();
                 let mut span =
                     rid_obs::span(rid_obs::SpanKind::Restore, &format!("restore:{name}"));
                 span.set_value(std::fs::metadata(&path).map(|m| m.len()).unwrap_or(0));
@@ -1099,6 +1258,8 @@ impl<T: Default> Engine<T> {
                     },
                 );
                 restored += 1;
+                let us = u64::try_from(restore_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+                engine.registry.observe("serve.op.restore.us", us);
             }
         }
 
@@ -1126,6 +1287,7 @@ impl<T: Default> Engine<T> {
 
         let mut span = rid_obs::span(rid_obs::SpanKind::JournalReplay, "journal-replay");
         span.set_value(entries.len() as u64);
+        let replay_started = Instant::now();
         engine.replaying = true;
         let mut cursor = offset;
         for line in &entries {
@@ -1134,6 +1296,10 @@ impl<T: Default> Engine<T> {
             let _ = engine.handle_line(T::default(), line);
         }
         engine.replay_offset = None;
+        if !entries.is_empty() {
+            let us = u64::try_from(replay_started.elapsed().as_micros()).unwrap_or(u64::MAX);
+            engine.registry.observe("serve.op.journal_replay.us", us);
+        }
         // Deliberately no drain here: a trailing deferred entry stays
         // queued, exactly as it was at crash time, so the next live
         // drain trigger coalesces it the same way the original run
@@ -1163,7 +1329,14 @@ fn parse_op(request: &Request) -> Result<Op, (&'static str, String)> {
             Ok(Op::Patch { sources: request.sources.clone() })
         }
         "explain" => Ok(Op::Explain { function: request.function.clone() }),
-        "stats" => Ok(Op::Stats),
+        "stats" => match request.format.as_deref() {
+            None | Some("json") => Ok(Op::Stats { format: StatsFormat::Json }),
+            Some("prometheus") => Ok(Op::Stats { format: StatsFormat::Prometheus }),
+            Some(other) => Err((
+                "usage",
+                format!("unknown stats format `{other}` (expected `json` or `prometheus`)"),
+            )),
+        },
         "snapshot" => Ok(Op::Snapshot),
         "shutdown" => Ok(Op::Shutdown),
         other => Err(("usage", format!("unknown op `{other}`"))),
@@ -1461,6 +1634,52 @@ mod tests {
         assert_eq!(first["result"]["report_count"].as_i64(), Some(1));
         let stats = parse(&replies[2].1);
         assert_eq!(stats["result"]["server"]["coalesced"].as_i64(), Some(1));
+    }
+
+    #[test]
+    fn stats_embeds_telemetry_histograms_with_tail_quantiles() {
+        let mut engine: Engine<()> = Engine::new(ServerConfig::default());
+        engine.handle_line((), &register_line(1));
+        engine
+            .handle_line((), &line(serde_json::json!({ "id": 2, "op": "analyze", "project": "p" })));
+        let replies =
+            engine.handle_line((), &line(serde_json::json!({ "id": 3, "op": "stats" })));
+        let reply = parse(&replies[0].1);
+        let telemetry = &reply["result"]["telemetry"];
+        assert_eq!(telemetry["counters"]["serve.accepted"].as_i64(), Some(3));
+        assert_eq!(telemetry["gauges"]["serve.projects"].as_i64(), Some(1));
+        for op in ["register", "analyze"] {
+            let h = &telemetry["histograms"][format!("serve.op.{op}.us").as_str()];
+            assert_eq!(h["count"].as_i64(), Some(1), "one timed `{op}` request");
+            for q in ["p50", "p99", "p999"] {
+                assert!(!h[q].is_null(), "`{op}` histogram carries {q}");
+            }
+        }
+        let per_project = &telemetry["histograms"]["serve.project.p.us"];
+        assert_eq!(per_project["count"].as_i64(), Some(2), "register + analyze");
+    }
+
+    #[test]
+    fn stats_prometheus_format_returns_a_text_exposition() {
+        let mut engine: Engine<()> = Engine::new(ServerConfig::default());
+        engine.handle_line((), &register_line(1));
+        let replies = engine.handle_line(
+            (),
+            &line(serde_json::json!({ "id": 2, "op": "stats", "format": "prometheus" })),
+        );
+        let reply = parse(&replies[0].1);
+        assert!(reply["result"]["telemetry"].is_null(), "prometheus replaces the JSON embed");
+        let text = reply["result"]["prometheus"].as_str().expect("exposition string");
+        assert!(text.contains("# TYPE rid_serve_accepted counter"));
+        assert!(text.contains("# TYPE rid_serve_op_register_us summary"));
+        assert!(text.contains("rid_serve_op_register_us{quantile=\"0.999\"}"));
+        assert!(text.contains("rid_serve_op_register_us_count 1"));
+
+        let replies = engine.handle_line(
+            (),
+            &line(serde_json::json!({ "id": 3, "op": "stats", "format": "xml" })),
+        );
+        assert_eq!(parse(&replies[0].1)["error"]["kind"].as_str(), Some("usage"));
     }
 
     #[test]

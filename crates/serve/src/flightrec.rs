@@ -1,0 +1,440 @@
+//! Crash flight recorder: the daemon's black box.
+//!
+//! A [`BlackBox`] keeps the most recent telemetry registry snapshot in
+//! memory (updated by the engine at quiescent points, never on the hot
+//! path), and on a panic or fatal error persists it — together with the
+//! drained span ring and the degradation census — into
+//! `state_dir/flightrec/` as a generation-numbered `RIDFR1` container.
+//!
+//! The container reuses the snapshot discipline from
+//! [`crate::snapshot`]: named sections, a trailing word-FNV checksum
+//! verified *before* any parsing, and an atomic staged write. A reader
+//! therefore observes either no artifact or a fully-decodable one,
+//! never a torn file — the chaos harness sweeps every byte prefix to
+//! pin this down.
+//!
+//! Rendering lives here too (`rid explain --flight-recorder` calls
+//! [`render_flight_record`]) so a post-mortem needs only the artifact,
+//! not a live daemon.
+
+use std::collections::BTreeMap;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+use std::sync::{Arc, Mutex};
+
+use rid_core::persist::atomic_write;
+use rid_obs::Registry;
+
+use crate::snapshot::checksum64;
+
+/// Magic prefix of a flight-recorder container file.
+pub const FLIGHTREC_MAGIC: &[u8; 8] = b"RIDFR1\0\0";
+/// Schema tag carried in the `meta` section.
+pub const FLIGHTREC_SCHEMA: &str = "rid-serve-flightrec/v1";
+/// Subdirectory of the daemon's `--state-dir` that holds artifacts.
+pub const FLIGHTREC_DIR: &str = "flightrec";
+/// How many generations are kept; older artifacts are garbage-collected
+/// on each write.
+pub const FLIGHTREC_KEEP: usize = 3;
+
+/// One decoded flight-recorder artifact.
+#[derive(Clone, Debug)]
+pub struct FlightRecord {
+    /// Why the record was written (`panic: …`, `fatal: …`, or
+    /// `heartbeat` for the periodic best-effort snapshot).
+    pub reason: String,
+    /// Telemetry registry JSON (as produced by [`Registry::to_json`]).
+    pub registry_json: String,
+    /// The registry rendered as a plain-text table, so the artifact is
+    /// readable even without the `rid` binary that wrote it.
+    pub table: String,
+    /// Degradation census JSON: `{reason: count}` from the
+    /// `serve.degrade.*` counters at persist time.
+    pub census_json: String,
+    /// The last-N span ring as trace JSONL (one event per line); empty
+    /// when tracing was disabled.
+    pub spans_jsonl: String,
+}
+
+impl FlightRecord {
+    /// Builds a record from a registry snapshot plus the drained span
+    /// ring. The degradation census is derived from the registry's
+    /// `serve.degrade.*` counters.
+    #[must_use]
+    pub fn from_registry(reason: &str, registry: &Registry, spans_jsonl: &str) -> FlightRecord {
+        let census: BTreeMap<&str, u64> = registry
+            .counters()
+            .filter_map(|(name, v)| name.strip_prefix("serve.degrade.").map(|r| (r, v)))
+            .collect();
+        let mut census_json = String::from("{");
+        for (i, (reason, count)) in census.iter().enumerate() {
+            if i > 0 {
+                census_json.push(',');
+            }
+            census_json.push_str(&format!("{:?}:{count}", reason));
+        }
+        census_json.push('}');
+        FlightRecord {
+            reason: reason.to_owned(),
+            registry_json: registry.to_json(),
+            table: registry.render_table(),
+            census_json,
+            spans_jsonl: spans_jsonl.to_owned(),
+        }
+    }
+}
+
+/// Serializes a record into `RIDFR1` container bytes.
+fn encode(record: &FlightRecord) -> Vec<u8> {
+    let meta = format!(
+        "{{\"schema\":{:?},\"reason\":{:?}}}",
+        FLIGHTREC_SCHEMA, record.reason
+    );
+    let sections: [(&str, &[u8]); 5] = [
+        ("meta", meta.as_bytes()),
+        ("registry", record.registry_json.as_bytes()),
+        ("table", record.table.as_bytes()),
+        ("census", record.census_json.as_bytes()),
+        ("spans", record.spans_jsonl.as_bytes()),
+    ];
+    let mut out = Vec::with_capacity(1024);
+    out.extend_from_slice(FLIGHTREC_MAGIC);
+    out.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for (name, payload) in sections {
+        out.extend_from_slice(&(name.len() as u32).to_le_bytes());
+        out.extend_from_slice(name.as_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(payload);
+    }
+    let checksum = checksum64(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
+}
+
+/// Decodes `RIDFR1` container bytes, verifying the checksum before any
+/// parsing so a torn or corrupt file fails loudly instead of yielding a
+/// half-record.
+///
+/// # Errors
+///
+/// Returns `InvalidData` on any truncation, checksum mismatch, foreign
+/// magic, or malformed section.
+pub fn decode_flight_record(bytes: &[u8]) -> io::Result<FlightRecord> {
+    let bad = |m: String| io::Error::new(io::ErrorKind::InvalidData, m);
+    if bytes.len() < FLIGHTREC_MAGIC.len() + 4 + 8 {
+        return Err(bad("flight record too short".to_owned()));
+    }
+    let (body, checksum_bytes) = bytes.split_at(bytes.len() - 8);
+    let stored = u64::from_le_bytes(checksum_bytes.try_into().expect("8 bytes"));
+    if checksum64(body) != stored {
+        return Err(bad("flight record checksum mismatch (torn or corrupt file)".to_owned()));
+    }
+    if &body[..FLIGHTREC_MAGIC.len()] != FLIGHTREC_MAGIC {
+        return Err(bad("not a rid flight record (bad magic)".to_owned()));
+    }
+
+    let mut at = FLIGHTREC_MAGIC.len();
+    let take = |at: &mut usize, n: usize| -> io::Result<&[u8]> {
+        let end = at.checked_add(n).filter(|&e| e <= body.len());
+        let end = end.ok_or_else(|| bad("flight record truncated".to_owned()))?;
+        let slice = &body[*at..end];
+        *at = end;
+        Ok(slice)
+    };
+    let count = u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
+    let mut sections: BTreeMap<String, &[u8]> = BTreeMap::new();
+    for _ in 0..count {
+        let name_len = u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
+        let name = std::str::from_utf8(take(&mut at, name_len)?)
+            .map_err(|_| bad("section name is not UTF-8".to_owned()))?
+            .to_owned();
+        let payload_len =
+            u64::from_le_bytes(take(&mut at, 8)?.try_into().expect("8 bytes")) as usize;
+        sections.insert(name, take(&mut at, payload_len)?);
+    }
+    let text = |name: &str| -> io::Result<String> {
+        let payload = sections
+            .get(name)
+            .copied()
+            .ok_or_else(|| bad(format!("flight record is missing its `{name}` section")))?;
+        String::from_utf8(payload.to_vec())
+            .map_err(|_| bad(format!("`{name}` section is not UTF-8")))
+    };
+
+    let meta = text("meta")?;
+    let meta: serde_json::Value = serde_json::from_str(&meta)
+        .map_err(|e| bad(format!("bad meta section: {e}")))?;
+    let schema = meta["schema"].as_str().unwrap_or_default();
+    if schema != FLIGHTREC_SCHEMA {
+        return Err(bad(format!(
+            "flight record schema mismatch: found {schema:?}, expected {FLIGHTREC_SCHEMA:?}"
+        )));
+    }
+    Ok(FlightRecord {
+        reason: meta["reason"].as_str().unwrap_or_default().to_owned(),
+        registry_json: text("registry")?,
+        table: text("table")?,
+        census_json: text("census")?,
+        spans_jsonl: text("spans")?,
+    })
+}
+
+/// Reads and decodes one artifact file.
+///
+/// # Errors
+///
+/// Propagates I/O failures and decode failures from
+/// [`decode_flight_record`].
+pub fn read_flight_record(path: &Path) -> io::Result<FlightRecord> {
+    decode_flight_record(&fs::read(path)?)
+}
+
+/// Generation number of `fr.N.frec`, if the name matches.
+pub fn parse_generation(name: &str) -> Option<u64> {
+    name.strip_prefix("fr.")?.strip_suffix(".frec")?.parse().ok()
+}
+
+/// Scans a flight-recorder directory for `(generation, path)` pairs,
+/// sorted ascending by generation. A missing directory is an empty
+/// list, not an error.
+///
+/// # Errors
+///
+/// Propagates directory-read failures other than `NotFound`.
+pub fn list_flight_records(dir: &Path) -> io::Result<Vec<(u64, PathBuf)>> {
+    let entries = match fs::read_dir(dir) {
+        Ok(entries) => entries,
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(e),
+    };
+    let mut found = Vec::new();
+    for entry in entries {
+        let entry = entry?;
+        let name = entry.file_name();
+        if let Some(gen) = name.to_str().and_then(parse_generation) {
+            found.push((gen, entry.path()));
+        }
+    }
+    found.sort_by_key(|&(gen, _)| gen);
+    Ok(found)
+}
+
+/// The newest artifact in a flight-recorder directory, if any.
+///
+/// # Errors
+///
+/// Propagates directory-read failures.
+pub fn latest_flight_record(dir: &Path) -> io::Result<Option<(u64, PathBuf)>> {
+    Ok(list_flight_records(dir)?.pop())
+}
+
+/// Writes one artifact atomically into `dir` at the next free
+/// generation, then garbage-collects all but the newest
+/// [`FLIGHTREC_KEEP`] generations. Returns the artifact path.
+///
+/// # Errors
+///
+/// Returns an I/O error if the directory cannot be created or the
+/// staged write fails; GC failures are swallowed (stale artifacts are
+/// harmless).
+pub fn write_flight_record(dir: &Path, record: &FlightRecord) -> io::Result<PathBuf> {
+    fs::create_dir_all(dir)?;
+    let existing = list_flight_records(dir)?;
+    let gen = existing.last().map_or(1, |&(g, _)| g + 1);
+    let path = dir.join(format!("fr.{gen}.frec"));
+    atomic_write(&path, &encode(record))?;
+    if existing.len() + 1 > FLIGHTREC_KEEP {
+        for (_, stale) in &existing[..existing.len() + 1 - FLIGHTREC_KEEP] {
+            let _ = fs::remove_file(stale);
+        }
+    }
+    Ok(path)
+}
+
+/// Renders a record as the human-readable post-mortem shown by
+/// `rid explain --flight-recorder`.
+#[must_use]
+pub fn render_flight_record(gen: u64, record: &FlightRecord) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("flight record generation {gen}\n"));
+    out.push_str(&format!("reason: {}\n", record.reason));
+    out.push_str(&format!("degradation census: {}\n", record.census_json));
+    out.push_str("\nregistry at time of record:\n");
+    out.push_str(&record.table);
+    let spans = record.spans_jsonl.lines().count();
+    if spans == 0 {
+        out.push_str("\nspan ring: empty (tracing disabled)\n");
+    } else {
+        out.push_str(&format!("\nspan ring: last {spans} event(s)\n"));
+        out.push_str(&record.spans_jsonl);
+        if !record.spans_jsonl.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Shared crash-time state: the engine refreshes it at quiescent
+/// points; the panic hook and fatal-error paths persist from it without
+/// ever touching the engine lock (which the panicking thread may hold).
+#[derive(Debug)]
+pub struct BlackBox {
+    dir: PathBuf,
+    latest: Mutex<Registry>,
+}
+
+impl BlackBox {
+    /// A black box persisting into `state_dir/flightrec/`.
+    #[must_use]
+    pub fn new(state_dir: &Path) -> BlackBox {
+        BlackBox { dir: state_dir.join(FLIGHTREC_DIR), latest: Mutex::new(Registry::new()) }
+    }
+
+    /// The directory artifacts are written into.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Refreshes the registry snapshot the next crash record will
+    /// carry. Called by the engine after each drain.
+    pub fn update(&self, registry: Registry) {
+        // A poisoned lock means a prior holder panicked mid-update;
+        // the stale snapshot is still the best data available.
+        match self.latest.lock() {
+            Ok(mut slot) => *slot = registry,
+            Err(poisoned) => *poisoned.into_inner() = registry,
+        }
+    }
+
+    /// Persists one artifact from the latest snapshot plus the given
+    /// span JSONL. Safe to call from a panic hook: takes only the
+    /// black box's own lock, recovering it if poisoned.
+    ///
+    /// # Errors
+    ///
+    /// Propagates write failures from [`write_flight_record`].
+    pub fn persist(&self, reason: &str, spans_jsonl: &str) -> io::Result<PathBuf> {
+        let registry = match self.latest.lock() {
+            Ok(slot) => slot.clone(),
+            Err(poisoned) => poisoned.into_inner().clone(),
+        };
+        let record = FlightRecord::from_registry(reason, &registry, spans_jsonl);
+        write_flight_record(&self.dir, &record)
+    }
+}
+
+/// Installs a panic hook that persists a flight record before the
+/// previous hook (backtrace printing) runs. The hook drains the span
+/// ring itself; it never touches the engine, so it cannot deadlock on
+/// whatever lock the panicking thread holds.
+pub fn install_panic_hook(black_box: &Arc<BlackBox>) {
+    let black_box = Arc::clone(black_box);
+    let previous = std::panic::take_hook();
+    std::panic::set_hook(Box::new(move |info| {
+        let message = info
+            .payload()
+            .downcast_ref::<&str>()
+            .map(|s| (*s).to_owned())
+            .or_else(|| info.payload().downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "non-string panic payload".to_owned());
+        let location = info
+            .location()
+            .map(|l| format!(" at {}:{}", l.file(), l.line()))
+            .unwrap_or_default();
+        let spans =
+            if rid_obs::enabled() { rid_obs::drain().to_jsonl() } else { String::new() };
+        let _ = black_box.persist(&format!("panic: {message}{location}"), &spans);
+        previous(info);
+    }));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_registry() -> Registry {
+        let mut r = Registry::new();
+        r.count("serve.accepted", 7);
+        r.count("serve.degrade.deadline", 2);
+        r.count("serve.degrade.panic", 1);
+        r.gauge("serve.queue.cap", 64);
+        for v in [10, 40, 900] {
+            r.observe("serve.op.patch.us", v);
+        }
+        r
+    }
+
+    #[test]
+    fn flight_record_round_trips_through_the_container() {
+        let record = FlightRecord::from_registry(
+            "panic: boom at engine.rs:1",
+            &sample_registry(),
+            "{\"kind\":\"patch\"}\n",
+        );
+        let decoded = decode_flight_record(&encode(&record)).unwrap();
+        assert_eq!(decoded.reason, record.reason);
+        assert_eq!(decoded.registry_json, record.registry_json);
+        assert_eq!(decoded.table, record.table);
+        assert_eq!(decoded.census_json, "{\"deadline\":2,\"panic\":1}");
+        assert_eq!(decoded.spans_jsonl, record.spans_jsonl);
+        let rendered = render_flight_record(1, &decoded);
+        assert!(rendered.contains("reason: panic: boom"));
+        assert!(rendered.contains("deadline"));
+    }
+
+    #[test]
+    fn every_truncation_prefix_is_rejected_never_torn() {
+        let record =
+            FlightRecord::from_registry("fatal: disk", &sample_registry(), "");
+        let bytes = encode(&record);
+        for len in 0..bytes.len() {
+            assert!(
+                decode_flight_record(&bytes[..len]).is_err(),
+                "a {len}-byte prefix of a {}-byte record must not decode",
+                bytes.len()
+            );
+        }
+        // Flipping any single byte must also fail the checksum.
+        for at in [0, bytes.len() / 2, bytes.len() - 1] {
+            let mut corrupt = bytes.clone();
+            corrupt[at] ^= 0x40;
+            assert!(decode_flight_record(&corrupt).is_err(), "corrupt byte {at} must fail");
+        }
+        assert!(decode_flight_record(&bytes).is_ok());
+    }
+
+    #[test]
+    fn generations_advance_and_gc_keeps_the_newest() {
+        let dir = std::env::temp_dir()
+            .join(format!("rid-flightrec-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let record = FlightRecord::from_registry("heartbeat", &sample_registry(), "");
+        for expect in 1..=5u64 {
+            let path = write_flight_record(&dir, &record).unwrap();
+            assert_eq!(parse_generation(path.file_name().unwrap().to_str().unwrap()), Some(expect));
+        }
+        let kept: Vec<u64> =
+            list_flight_records(&dir).unwrap().into_iter().map(|(g, _)| g).collect();
+        assert_eq!(kept, vec![3, 4, 5], "GC keeps the newest {FLIGHTREC_KEEP}");
+        let (gen, path) = latest_flight_record(&dir).unwrap().unwrap();
+        assert_eq!(gen, 5);
+        assert!(read_flight_record(&path).is_ok());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn black_box_persists_the_latest_snapshot() {
+        let dir = std::env::temp_dir()
+            .join(format!("rid-blackbox-test-{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        let bb = BlackBox::new(&dir);
+        bb.update(sample_registry());
+        let path = bb.persist("fatal: test", "").unwrap();
+        let record = read_flight_record(&path).unwrap();
+        assert_eq!(record.reason, "fatal: test");
+        assert!(record.registry_json.contains("serve.accepted"));
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

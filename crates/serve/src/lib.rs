@@ -54,6 +54,7 @@
 pub mod client;
 pub mod engine;
 pub mod fault;
+pub mod flightrec;
 pub mod journal;
 pub mod protocol;
 pub mod server;
@@ -63,5 +64,9 @@ pub mod snapshot;
 pub use client::{Client, RetryPolicy};
 pub use engine::{Engine, ServerConfig};
 pub use fault::ServeFaultPlan;
+pub use flightrec::{
+    install_panic_hook, latest_flight_record, read_flight_record, render_flight_record, BlackBox,
+    FlightRecord, FLIGHTREC_DIR,
+};
 pub use protocol::{ProjectOptions, Request, PROTOCOL_VERSION};
 pub use server::{serve_stdio, serve_unix};

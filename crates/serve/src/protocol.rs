@@ -65,6 +65,12 @@ pub struct Request {
     /// request; retries resend the identical line.
     #[serde(default)]
     pub idem: Option<String>,
+    /// `stats` only: response encoding for the telemetry payload.
+    /// `"json"` (the default when omitted) embeds the registry as a
+    /// structured `telemetry` object; `"prometheus"` adds a
+    /// `prometheus` string holding a text exposition instead.
+    #[serde(default)]
+    pub format: Option<String>,
 }
 
 impl Request {
@@ -82,6 +88,7 @@ impl Request {
             defer: false,
             options: None,
             idem: None,
+            format: None,
         }
     }
 

@@ -143,6 +143,13 @@ pub fn serve_unix(path: &std::path::Path, config: ServerConfig) -> io::Result<()
 
     let max = config.max_frame_bytes.max(1);
     let engine: Arc<Mutex<Engine<usize>>> = Arc::new(Mutex::new(Engine::recover(config)?));
+    // The flight recorder outlives the engine lock on purpose: the
+    // panic hook and the fatal-error path below persist from it without
+    // ever taking the engine mutex (the panicking thread may hold it).
+    let black_box = engine.lock().expect("engine lock").black_box().cloned();
+    if let Some(black_box) = &black_box {
+        crate::flightrec::install_panic_hook(black_box);
+    }
     let writers: Arc<Mutex<HashMap<usize, UnixStream>>> = Arc::new(Mutex::new(HashMap::new()));
     // Connection 0 is reserved: journal replay tags its discarded
     // responses with `usize::default()`, so live connections start at 1.
@@ -188,7 +195,14 @@ pub fn serve_unix(path: &std::path::Path, config: ServerConfig) -> io::Result<()
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
                 std::thread::sleep(std::time::Duration::from_millis(50));
             }
-            Err(e) => return Err(e),
+            Err(e) => {
+                // A fatal accept error is a crash the panic hook never
+                // sees; write the post-mortem ourselves.
+                if let Some(black_box) = &black_box {
+                    let _ = black_box.persist(&format!("fatal: accept failed: {e}"), "");
+                }
+                return Err(e);
+            }
         }
     }
 

@@ -339,7 +339,7 @@ pub fn read_snapshot(path: &Path) -> io::Result<ProjectSnapshot> {
 /// with the same constants instead. Corruption-detection strength is
 /// what matters here (torn writes, bit rot), not collision resistance
 /// against an adversary: the file lives in the daemon's own state dir.
-fn checksum64(bytes: &[u8]) -> u64 {
+pub(crate) fn checksum64(bytes: &[u8]) -> u64 {
     const PRIME: u64 = 0x0000_0100_0000_01b3;
     let mut hash = 0xcbf2_9ce4_8422_2325u64;
     let mut words = bytes.chunks_exact(8);
