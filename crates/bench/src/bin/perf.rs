@@ -1,5 +1,5 @@
 //! Regenerates the **§6.5 performance** claim and persists a
-//! machine-readable baseline (schema `rid-bench-perf/v8`).
+//! machine-readable baseline (schema `rid-bench-perf/v9`).
 //!
 //! For each corpus scale the binary parses the seeded kernel corpus once,
 //! then runs the whole-program analysis `--iters` times per execution
@@ -41,6 +41,15 @@
 //! whether the sharded reports matched the sequential reference
 //! (`identical_reports` — the determinism claim, re-checked at bench
 //! time).
+//!
+//! Since v9 the baseline carries a [`RefuteRecord`]: the wall-clock
+//! cost of the second-stage refutation pass at the largest scale
+//! (stage-one-only vs the default two-stage pipeline) and its precision
+//! effect on a corpus seeded with known-spurious idioms
+//! (`gen-kernel --spurious`) — how many seeded-spurious reports the
+//! pass refutes and how many true positives it loses (the committed
+//! baseline is all-of-them and zero; CI enforces both against this
+//! record).
 
 use std::time::Instant;
 
@@ -301,6 +310,42 @@ struct OverheadRecord {
     events: usize,
 }
 
+/// Two-stage refutation measurement (schema v9). The overhead pair is
+/// measured at the largest scale with a single worker (per-report solver
+/// cost, not scheduling, is the quantity of interest); the precision
+/// half runs on a dedicated small corpus seeded with known-spurious
+/// idioms, because the evaluation corpus deliberately contains none.
+#[derive(Serialize)]
+struct RefuteRecord {
+    /// Analyze wall-clock with `--no-refute` — stage one only (seconds,
+    /// min over iters).
+    stage1_s: f64,
+    /// Analyze wall-clock of the default two-stage pipeline (seconds,
+    /// min over iters).
+    two_stage_s: f64,
+    /// `two_stage_s / stage1_s` — the refutation overhead multiplier on
+    /// a corpus where (almost) every report is a true positive, i.e. the
+    /// worst case: refutation re-solves every report and drops none.
+    overhead_ratio: f64,
+    /// Reports surviving the two-stage pipeline at the largest scale.
+    reports_confirmed: usize,
+    /// Seeded-spurious functions in the precision corpus.
+    seeded_spurious: usize,
+    /// Of those, drawing a stage-one report (the corpus generator
+    /// guarantees all of them do — the idiom is built to exhaust the
+    /// stage-one split budget).
+    stage1_spurious_reports: usize,
+    /// Seeded-spurious reports removed by the refutation pass.
+    refuted_spurious: usize,
+    /// `refuted_spurious / stage1_spurious_reports` — the committed
+    /// baseline share CI holds future runs to (≥, never <).
+    refutation_share: f64,
+    /// Ground-truth bug functions reported by stage one but missing
+    /// after refutation. Soundness bar: must be 0 — a fresh-variable
+    /// conjunction can never refute a genuinely satisfiable pair.
+    true_positives_lost: usize,
+}
+
 /// Allocation delta of one benchmark phase (see [`track_phase`]).
 #[derive(Serialize)]
 struct PhaseAlloc {
@@ -393,6 +438,8 @@ struct PerfBaseline {
     cache: CacheRecord,
     /// Disabled-vs-enabled tracing cost at the largest measured scale.
     overhead: OverheadRecord,
+    /// Second-stage refutation cost + precision (seeded-spurious corpus).
+    refute: RefuteRecord,
     adversarial: AdversarialRecord,
     /// Peak RSS and interned-IR footprint at the largest scale.
     memory: MemoryRecord,
@@ -575,6 +622,67 @@ fn measure_overhead(program: &rid_ir::Program, iters: usize) -> OverheadRecord {
         enabled_s,
         enabled_over_disabled: enabled_s / disabled_s.max(1e-9),
         events,
+    }
+}
+
+/// Two-stage refutation measurement (see [`RefuteRecord`]): the
+/// stage-one vs two-stage wall-clock pair on the largest evaluation
+/// corpus, interleaved round-robin like every other paired measurement,
+/// then the precision deltas on a seeded-spurious corpus.
+fn measure_refute(program: &rid_ir::Program, seed: u64, iters: usize) -> RefuteRecord {
+    let apis = rid_core::apis::linux_dpm_apis();
+    let stage1_options = AnalysisOptions { threads: 1, refute: false, ..Default::default() };
+    let two_stage_options = AnalysisOptions { threads: 1, ..Default::default() };
+
+    let mut stage1_s = f64::INFINITY;
+    let mut two_stage_s = f64::INFINITY;
+    let mut reports_confirmed = 0usize;
+    for _ in 0..iters.max(1) {
+        let result = rid_core::analyze_program(program, &apis, &stage1_options);
+        stage1_s = stage1_s.min(result.stats.analyze_time.as_secs_f64());
+        let result = rid_core::analyze_program(program, &apis, &two_stage_options);
+        two_stage_s = two_stage_s.min(result.stats.analyze_time.as_secs_f64());
+        reports_confirmed = result.stats.reports_confirmed;
+    }
+
+    // The precision corpus: a tiny kernel with seeded-spurious idioms
+    // (the evaluation corpus contains none by construction, so the
+    // refutation rate there is trivially undefined).
+    let mut spur_config = KernelConfig::tiny(seed);
+    spur_config.seeded_spurious = 8;
+    let corpus = generate_kernel(&spur_config);
+    let spur_program = rid_frontend::parse_program(corpus.sources.iter().map(String::as_str))
+        .expect("spurious corpus must parse");
+    let stage1 = rid_core::analyze_program(&spur_program, &apis, &stage1_options);
+    let stage2 = rid_core::analyze_program(&spur_program, &apis, &two_stage_options);
+
+    let spurious: std::collections::BTreeSet<&str> =
+        corpus.spurious_functions.iter().map(String::as_str).collect();
+    let count_spurious = |result: &AnalysisResult| {
+        result.reports.iter().filter(|r| spurious.contains(r.function.as_str())).count()
+    };
+    let stage1_spurious_reports = count_spurious(&stage1);
+    let refuted_spurious = stage1_spurious_reports - count_spurious(&stage2);
+
+    let reported = |result: &AnalysisResult| -> std::collections::BTreeSet<String> {
+        result.reports.iter().map(|r| r.function.clone()).collect()
+    };
+    let (found1, found2) = (reported(&stage1), reported(&stage2));
+    let true_positives_lost = corpus
+        .detectable_bug_functions()
+        .filter(|f| found1.contains(*f) && !found2.contains(*f))
+        .count();
+
+    RefuteRecord {
+        stage1_s,
+        two_stage_s,
+        overhead_ratio: two_stage_s / stage1_s.max(1e-9),
+        reports_confirmed,
+        seeded_spurious: corpus.spurious_functions.len(),
+        stage1_spurious_reports,
+        refuted_spurious,
+        refutation_share: refuted_spurious as f64 / (stage1_spurious_reports as f64).max(1.0),
+        true_positives_lost,
     }
 }
 
@@ -890,6 +998,10 @@ fn main() {
     eprintln!("tracing overhead...");
     let overhead = measure_overhead(&largest, iters);
 
+    // Second-stage refutation cost and precision (see [`RefuteRecord`]).
+    eprintln!("refutation overhead + precision...");
+    let refute = measure_refute(&largest, seed, iters);
+
     // The branchy workload (see [`AdversarialRecord`]).
     let adv_modules = 6;
     let adv_depth = 14;
@@ -993,6 +1105,17 @@ fn main() {
         overhead.enabled_over_disabled,
         overhead.events
     );
+    println!(
+        "refutation: stage one {:.3}s -> two-stage {:.3}s ({:.2}x, {} confirmed); \
+         spurious corpus: {}/{} refuted, {} true positive(s) lost",
+        refute.stage1_s,
+        refute.two_stage_s,
+        refute.overhead_ratio,
+        refute.reports_confirmed,
+        refute.refuted_spurious,
+        refute.stage1_spurious_reports,
+        refute.true_positives_lost,
+    );
     memory.peak_rss_bytes = peak_rss_bytes();
     println!(
         "memory: IR {:.1} KiB resident ({:.0} B/function), string layout {:.1} KiB \
@@ -1038,7 +1161,7 @@ fn main() {
         .unwrap_or(serde_json::Value::Null);
 
     let baseline = PerfBaseline {
-        schema: "rid-bench-perf/v8".to_owned(),
+        schema: "rid-bench-perf/v9".to_owned(),
         seed,
         threads,
         iters,
@@ -1048,6 +1171,7 @@ fn main() {
         process_sweep,
         cache,
         overhead,
+        refute,
         adversarial,
         memory,
         summary_store,

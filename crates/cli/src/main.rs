@@ -4,10 +4,13 @@
 //! rid analyze <file.ril>... [--apis dpm|python|none] [--summaries db.json]
 //!             [--save-summaries out.json] [--threads N] [--steal-batch N]
 //!             [--processes P] [--no-selective] [--separate] [--json]
-//!             [--deadline-ms N] [--fuel N] [--global-deadline-ms N]
-//!             [--exec-mode auto|tree|per-path] [--fault-plan plan.json]
-//!             [--cache cache.json] [--trace out.json] [--metrics out.json]
+//!             [--no-refute] [--deadline-ms N] [--fuel N]
+//!             [--global-deadline-ms N] [--exec-mode auto|tree|per-path]
+//!             [--fault-plan plan.json] [--cache cache.json]
+//!             [--trace out.json] [--metrics out.json]
 //! rid explain --state s.json [<file.ril>...] [--function <name>]
+//! rid diff <old-state.json> <new-state.json> [--ignore .ridignore] [--json]
+//! rid suppress <hash> [--file .ridignore]
 //! rid classify <file.ril>... [--apis dpm|python|none]
 //! rid summarize <file.ril>... --function <name> [--apis dpm|python|none]
 //! rid baseline <file.ril>... [--apis python]
@@ -54,22 +57,26 @@ fn usage() -> ExitCode {
   rid analyze <file.ril>... [--apis dpm|python|none] [--summaries db.json]
               [--save-summaries out.json] [--threads N] [--steal-batch N]
               [--processes P] [--no-selective] [--separate] [--callbacks]
-              [--json] [--deadline-ms N] [--fuel N] [--global-deadline-ms N]
-              [--exec-mode auto|tree|per-path] [--fault-plan plan.json]
-              [--cache cache.json] [--trace out.json] [--metrics out.json]
+              [--json] [--no-refute] [--deadline-ms N] [--fuel N]
+              [--global-deadline-ms N] [--exec-mode auto|tree|per-path]
+              [--fault-plan plan.json] [--cache cache.json]
+              [--trace out.json] [--metrics out.json]
   rid explain --state s.json [<file.ril>...] [--function <name>]
   rid explain --flight-recorder <state-dir|dir|file.frec>
+  rid diff <old-state.json> <new-state.json> [--ignore .ridignore] [--json]
+  rid suppress <hash> [--file .ridignore]
   rid classify <file.ril>... [--apis dpm|python|none]
   rid summarize <file.ril>... --function <name> [--apis dpm|python|none]
   rid baseline <file.ril>... [--apis python]
   rid recheck <file.ril>... --state s.json --changed f,g [--save-state s.json]
   rid mine <file.ril>... [--field refs] [--save-summaries out.json]
-  rid gen-kernel [--seed N] [--tiny] --out <dir>
+  rid gen-kernel [--seed N] [--tiny] [--spurious N] --out <dir>
   rid serve --socket <path> [--queue-cap N] [--state-dir <dir>]
             [--max-frame-bytes N] [--trace out.json] [--chaos-seed N]
             [--chaos-torn-rate R] [--chaos-fsync-rate R]   (or --stdio)
   rid client --socket <path> --op <op> [--project p] [<file.ril>...]
-             [--function <name>] [--deadline-ms N] [--idem <key>]
+             [--function <name>] [--baseline <old-state.json>]
+             [--deadline-ms N] [--idem <key>]
              [--format json|prometheus]
              [--retries N] [--retry-base-ms N] [--timeout-ms N]
   rid top --socket <path> [--interval-ms N] [--iters N]"
@@ -107,6 +114,7 @@ fn parse_args() -> Option<Args> {
             if matches!(
                 name,
                 "json" | "no-selective" | "tiny" | "separate" | "callbacks" | "stdio"
+                    | "no-refute"
             ) {
                 flags.push(name.to_owned());
             } else {
@@ -174,6 +182,7 @@ fn analysis_options(args: &Args) -> Result<AnalysisOptions, String> {
     Ok(AnalysisOptions {
         selective: !args.flags.iter().any(|f| f == "no-selective"),
         check_callbacks: args.flags.iter().any(|f| f == "callbacks"),
+        refute: !args.flags.iter().any(|f| f == "no-refute"),
         threads: args
             .options
             .get("threads")
@@ -450,6 +459,137 @@ fn cmd_explain_flight_recorder(path: &Path) -> Result<u8, String> {
     Ok(EXIT_CLEAN)
 }
 
+/// Loads the suppression file for `rid diff`: an explicit `--ignore`
+/// path must exist and parse; without the option, a `.ridignore` in the
+/// current directory is picked up when present, and its absence means
+/// no suppressions. Malformed entries are fatal either way.
+fn load_ridignore(args: &Args) -> Result<rid_core::Ridignore, String> {
+    let (path, required) = match args.options.get("ignore") {
+        Some(p) => (PathBuf::from(p), true),
+        None => (PathBuf::from(".ridignore"), false),
+    };
+    if !path.exists() {
+        if required {
+            return Err(format!("--ignore: {}: no such file", path.display()));
+        }
+        return Ok(rid_core::Ridignore::default());
+    }
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    rid_core::Ridignore::parse(&text).map_err(|e| format!("{}: {e}", path.display()))
+}
+
+/// `rid diff`: compare two saved analysis states by stable report hash
+/// (see REPORTS.md) and exit non-zero only when *new*, unsuppressed
+/// reports appeared. Pre-existing bugs, resolved bugs, and suppressed
+/// new bugs all exit 0, which is what makes this usable as a CI gate on
+/// a codebase with a known backlog.
+fn cmd_diff(args: &Args) -> Result<u8, String> {
+    if args.files.len() != 2 {
+        return Err(
+            "rid diff expects exactly two state files: <old-state.json> <new-state.json>"
+                .to_owned(),
+        );
+    }
+    let old = load_state(&args.files[0])
+        .map_err(|e| format!("{}: {e}", args.files[0].display()))?;
+    let new = load_state(&args.files[1])
+        .map_err(|e| format!("{}: {e}", args.files[1].display()))?;
+    let ignore = load_ridignore(args)?;
+    let baseline: Vec<String> = old.reports.iter().map(rid_core::report_hash).collect();
+    let diff = rid_core::classify_reports(&baseline, &new.reports);
+
+    let (new_suppressed, new_live): (Vec<_>, Vec<_>) = diff
+        .new
+        .iter()
+        .partition(|(hash, idx)| ignore.suppresses(hash, &new.reports[*idx].function));
+
+    if args.flags.iter().any(|f| f == "json") {
+        let entry = |(hash, idx): &(String, usize)| {
+            serde_json::json!({
+                "hash": hash,
+                "function": new.reports[*idx].function,
+                "refcount": new.reports[*idx].refcount.to_string(),
+            })
+        };
+        let json = serde_json::json!({
+            "new": new_live.iter().map(|e| entry(e)).collect::<Vec<_>>(),
+            "suppressed": new_suppressed.iter().map(|e| entry(e)).collect::<Vec<_>>(),
+            "unchanged": diff.unchanged.iter().map(entry).collect::<Vec<_>>(),
+            "resolved": diff.resolved,
+        });
+        println!("{}", serde_json::to_string_pretty(&json).map_err(|e| e.to_string())?);
+    } else {
+        for (hash, idx) in &new_live {
+            let r = &new.reports[*idx];
+            println!("new        {hash} {} ({})", r.function, r.refcount);
+        }
+        for (hash, idx) in &new_suppressed {
+            let r = &new.reports[*idx];
+            println!("suppressed {hash} {} ({})", r.function, r.refcount);
+        }
+        for (hash, idx) in &diff.unchanged {
+            let r = &new.reports[*idx];
+            println!("unchanged  {hash} {} ({})", r.function, r.refcount);
+        }
+        for hash in &diff.resolved {
+            println!("resolved   {hash}");
+        }
+        eprintln!(
+            "{} new, {} suppressed, {} unchanged, {} resolved",
+            new_live.len(),
+            new_suppressed.len(),
+            diff.unchanged.len(),
+            diff.resolved.len()
+        );
+    }
+    Ok(if new_live.is_empty() { EXIT_CLEAN } else { EXIT_BUGS })
+}
+
+/// `rid suppress <hash>`: append a report hash to the suppression file
+/// (default `.ridignore`), creating it with a header comment on first
+/// use. Re-suppressing a hash already present is a no-op, so the
+/// command is idempotent for scripting.
+fn cmd_suppress(args: &Args) -> Result<u8, String> {
+    if args.files.len() != 1 {
+        return Err("rid suppress expects exactly one report hash".to_owned());
+    }
+    let hash = args.files[0].display().to_string();
+    if hash.len() != 32 || !hash.bytes().all(|b| b.is_ascii_hexdigit() && !b.is_ascii_uppercase()) {
+        return Err(format!(
+            "`{hash}` is not a report hash (expected 32 lowercase hex digits; \
+             copy one from `rid diff` or REPORTS.md)"
+        ));
+    }
+    let path = args
+        .options
+        .get("file")
+        .map_or_else(|| PathBuf::from(".ridignore"), PathBuf::from);
+    let existing = if path.exists() {
+        std::fs::read_to_string(&path).map_err(|e| format!("{}: {e}", path.display()))?
+    } else {
+        "# rid suppression file — see REPORTS.md for the grammar.\n".to_owned()
+    };
+    // Validate before appending so a malformed file fails loudly instead
+    // of silently accumulating entries `rid diff` will later reject.
+    let ignore = rid_core::Ridignore::parse(&existing)
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    if ignore.contains_hash(&hash) {
+        eprintln!("{hash} already suppressed in {}", path.display());
+        return Ok(EXIT_CLEAN);
+    }
+    let mut updated = existing;
+    if !updated.is_empty() && !updated.ends_with('\n') {
+        updated.push('\n');
+    }
+    updated.push_str(&hash);
+    updated.push('\n');
+    rid_core::persist::atomic_write(&path, updated.as_bytes())
+        .map_err(|e| format!("{}: {e}", path.display()))?;
+    eprintln!("suppressed {hash} in {}", path.display());
+    Ok(EXIT_CLEAN)
+}
+
 fn cmd_classify(args: &Args) -> Result<(), String> {
     let sources = read_sources(&args.files)?;
     let apis = predefined_apis(args)?;
@@ -595,11 +735,16 @@ fn cmd_gen_kernel(args: &Args) -> Result<(), String> {
         .get("out")
         .ok_or_else(|| "--out <dir> is required".to_owned())?;
     let seed: u64 = args.options.get("seed").and_then(|s| s.parse().ok()).unwrap_or(2016);
-    let config = if args.flags.iter().any(|f| f == "tiny") {
+    let mut config = if args.flags.iter().any(|f| f == "tiny") {
         rid_corpus::kernel::KernelConfig::tiny(seed)
     } else {
         rid_corpus::kernel::KernelConfig::evaluation(seed)
     };
+    if let Some(n) = args.options.get("spurious") {
+        config.seeded_spurious = n
+            .parse()
+            .map_err(|_| format!("--spurious expects a count, got `{n}`"))?;
+    }
     let corpus = rid_corpus::kernel::generate_kernel(&config);
     let dir = Path::new(out);
     std::fs::create_dir_all(dir).map_err(|e| e.to_string())?;
@@ -610,6 +755,7 @@ fn cmd_gen_kernel(args: &Args) -> Result<(), String> {
     let truth = serde_json::json!({
         "bugs": corpus.bugs,
         "expected_false_positives": corpus.expected_false_positives,
+        "expected_spurious": corpus.spurious_functions,
         "census": corpus.census,
     });
     std::fs::write(
@@ -709,7 +855,7 @@ fn cmd_client(args: &Args) -> Result<u8, String> {
         .get("socket")
         .ok_or_else(|| "--socket <path> is required".to_owned())?;
     let op = args.options.get("op").ok_or_else(|| {
-        "--op <register|analyze|patch|explain|stats|ping|snapshot|shutdown> is required"
+        "--op <register|analyze|patch|explain|diff|stats|ping|snapshot|shutdown> is required"
             .to_owned()
     })?;
     let project = args.options.get("project").cloned().unwrap_or_default();
@@ -734,6 +880,12 @@ fn cmd_client(args: &Args) -> Result<u8, String> {
         .transpose()?;
     request.idem = args.options.get("idem").cloned();
     request.format = args.options.get("format").cloned();
+    // `--baseline <old-state.json>` (diff op): the old run's reports,
+    // hashed client-side, become the request's baseline list.
+    if let Some(path) = args.options.get("baseline") {
+        let old = load_state(Path::new(path)).map_err(|e| format!("--baseline: {path}: {e}"))?;
+        request.baseline = Some(old.reports.iter().map(rid_core::report_hash).collect());
+    }
     let parse_u64 = |name: &str| -> Result<Option<u64>, String> {
         args.options
             .get(name)
@@ -769,7 +921,14 @@ fn cmd_client(args: &Args) -> Result<u8, String> {
         if value["ok"].as_bool() != Some(true) {
             return Ok(EXIT_FATAL);
         }
-        Ok(if value["result"]["report_count"].as_i64().unwrap_or(0) > 0 {
+        // `diff` is the CI gate: only *new* reports (vs the baseline)
+        // are failures; the other ops gate on any report at all.
+        let bugs = if op == "diff" {
+            value["result"]["new_count"].as_i64().unwrap_or(0) > 0
+        } else {
+            value["result"]["report_count"].as_i64().unwrap_or(0) > 0
+        };
+        Ok(if bugs {
             EXIT_BUGS
         } else if value["degraded"].as_array().is_some_and(|d| !d.is_empty()) {
             EXIT_DEGRADED
@@ -909,6 +1068,8 @@ fn main() -> ExitCode {
         "baseline" => cmd_baseline(&args).map(|()| EXIT_CLEAN),
         "recheck" => cmd_recheck(&args),
         "explain" => cmd_explain(&args),
+        "diff" => cmd_diff(&args),
+        "suppress" => cmd_suppress(&args),
         "mine" => cmd_mine(&args).map(|()| EXIT_CLEAN),
         "gen-kernel" => cmd_gen_kernel(&args).map(|()| EXIT_CLEAN),
         "serve" => cmd_serve(&args),

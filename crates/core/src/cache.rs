@@ -52,9 +52,12 @@ use crate::ipp::IppReport;
 use crate::summary::{Summary, SummaryDb};
 
 /// Schema tag stored in (and validated against) persisted cache files.
-/// v4: content hashing switched to an explicit intern-order-independent
-/// structural walk (v3 added explainability provenance, v2 block traces).
-pub const CACHE_SCHEMA: &str = "rid-summary-cache/v4";
+/// v5: `ReportProvenance` gained the refutation-verdict field (v4 switched
+/// content hashing to an explicit intern-order-independent structural
+/// walk, v3 added explainability provenance, v2 block traces). Cached
+/// reports are *stage-one* reports — the refutation pass runs after cache
+/// write-back, so the `refute` flag is deliberately not key material.
+pub const CACHE_SCHEMA: &str = "rid-summary-cache/v5";
 
 /// 128-bit FNV-1a.
 #[derive(Clone, Copy, Debug)]

@@ -83,6 +83,12 @@ pub struct AnalysisOptions {
     /// `threads`, deliberately **not** cache-key material (see
     /// [`crate::cache`]).
     pub steal_batch: usize,
+    /// Run the second-stage refutation pass ([`crate::refute`]) over the
+    /// surviving reports (on by default; `--no-refute` disables it). Like
+    /// `check_callbacks`, this is a post-merge coordinator pass: shard
+    /// workers never run it, and it is **not** cache-key material — the
+    /// cache stores stage-one reports and warm runs re-refute.
+    pub refute: bool,
 }
 
 impl Default for AnalysisOptions {
@@ -96,6 +102,7 @@ impl Default for AnalysisOptions {
             budget: Budget::unlimited(),
             exec_mode: ExecMode::default(),
             steal_batch: 0,
+            refute: true,
         }
     }
 }
@@ -173,6 +180,17 @@ pub struct AnalysisStats {
     /// a multi-run absorb keeps every worker's record.
     #[serde(default)]
     pub worker_profiles: Vec<WorkerProfile>,
+    /// Reports the second-stage refutation pass judged still-satisfiable
+    /// under the exact check (kept with positive evidence).
+    #[serde(default)]
+    pub reports_confirmed: usize,
+    /// Reports the refutation pass proved spurious and dropped.
+    #[serde(default)]
+    pub reports_refuted: usize,
+    /// Reports the refutation pass could not decide (fuel exhausted or no
+    /// provenance); kept — exhaustion never refutes.
+    #[serde(default)]
+    pub reports_inconclusive: usize,
     /// Wall-clock time spent classifying.
     pub classify_time: Duration,
     /// Wall-clock time spent summarizing + IPP checking.
@@ -211,6 +229,9 @@ impl AnalysisStats {
         self.steals += other.steals;
         self.queue_depth_max = self.queue_depth_max.max(other.queue_depth_max);
         self.worker_profiles.extend(other.worker_profiles.iter().cloned());
+        self.reports_confirmed += other.reports_confirmed;
+        self.reports_refuted += other.reports_refuted;
+        self.reports_inconclusive += other.reports_inconclusive;
         self.classify_time += other.classify_time;
         self.analyze_time += other.analyze_time;
     }
@@ -925,6 +946,13 @@ pub(crate) fn analyze_program_masked(
     // callbacks ignoring return-value distinctions.
     if options.check_callbacks {
         callback_pass(program, &db, options, &mut reports, &mut degraded);
+    }
+
+    // Second-stage refutation: re-validate each surviving report's joint
+    // constraints exactly. Runs after cache write-back (above), so cached
+    // reports are stage-one reports and warm runs re-refute identically.
+    if options.refute {
+        crate::refute::refute_pass(&db, options.budget.solver_fuel, &mut reports, &mut stats);
     }
 
     stats.functions_total = functions.len();

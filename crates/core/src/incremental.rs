@@ -458,6 +458,13 @@ pub fn reanalyze_with_plan(
         }
     }
 
+    // Second-stage refutation over the merged (carried-over + recomputed)
+    // reports. Re-judging carried-over reports is deterministic, so their
+    // verdicts match the full run's — patched state diffs stay clean.
+    if options.refute {
+        crate::refute::refute_pass(&db, options.budget.solver_fuel, &mut reports, &mut stats);
+    }
+
     stats.functions_total = program.function_count();
     reports.sort_by(|a, b| {
         (&a.function, &a.refcount, a.path_a, a.path_b).cmp(&(

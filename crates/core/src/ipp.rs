@@ -72,6 +72,11 @@ pub struct ReportProvenance {
     /// function (including unresolved externals). Filled by the driver.
     #[serde(default)]
     pub callees: Vec<String>,
+    /// Second-stage refutation verdict (see [`crate::refute`]). `None`
+    /// until the refutation pass has judged the report (or when the pass
+    /// was disabled with `--no-refute`).
+    #[serde(default)]
+    pub refutation: Option<crate::refute::RefuteVerdict>,
 }
 
 /// Result of checking one function's path summaries.
@@ -133,6 +138,7 @@ pub fn check_ipps(function: &str, entries: &[PathEntry], sat: SatOptions) -> Ipp
                         cons_b: b.entry.cons.clone(),
                         joint_sat: true,
                         callees: Vec::new(),
+                        refutation: None,
                     }),
                 });
             }

@@ -64,8 +64,10 @@ pub mod mining;
 pub mod obs;
 pub mod paths;
 pub mod persist;
+pub mod refute;
 pub mod report;
 pub mod shard;
+pub mod triage;
 pub mod slice;
 pub mod store;
 pub mod summary;
@@ -92,6 +94,7 @@ pub use obs::{
     registry_from_stats,
 };
 pub use paths::{enumerate_paths, enumerate_paths_metered, Path, PathLimits, PathSet, PathTree};
+pub use refute::{refute_report, RefuteVerdict, DEFAULT_REFUTE_FUEL};
 pub use report::{
     classify_report, render_explanation, render_explanations, render_report, render_reports,
     BugKind,
@@ -102,3 +105,4 @@ pub use shard::{
 };
 pub use store::SummaryStore;
 pub use summary::{Summary, SummaryDb, SummaryEntry};
+pub use triage::{classify_reports, report_hash, DiffClass, ReportDiff, Ridignore};

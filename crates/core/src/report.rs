@@ -59,6 +59,39 @@ pub fn render_explanation(report: &IppReport, program: Option<&Program>) -> Stri
                     p.callees.join(", ")
                 );
             }
+            match p.refutation {
+                Some(crate::refute::RefuteVerdict::Confirmed) => {
+                    let _ = writeln!(
+                        out,
+                        "    refutation: confirmed — still satisfiable with \
+                         disequality splitting fully enabled and callee \
+                         constraints conjoined"
+                    );
+                }
+                Some(crate::refute::RefuteVerdict::Inconclusive) => {
+                    let _ = writeln!(
+                        out,
+                        "    refutation: inconclusive — the exact re-check ran \
+                         out of fuel; kept (exhaustion never refutes)"
+                    );
+                }
+                // Refuted reports are dropped by the pass; a persisted one
+                // can only come from a hand-edited state file.
+                Some(crate::refute::RefuteVerdict::Refuted) => {
+                    let _ = writeln!(
+                        out,
+                        "    refutation: refuted — joint constraints are \
+                         unsatisfiable under the exact check (spurious)"
+                    );
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "    refutation: not run (--no-refute or pre-refutation \
+                         state file)"
+                    );
+                }
+            }
         }
         None => {
             let _ = writeln!(
@@ -281,11 +314,13 @@ mod tests {
             cons_b: Conj::truth(),
             joint_sat: true,
             callees: vec!["pm_runtime_get_sync".into()],
+            refutation: Some(crate::refute::RefuteVerdict::Confirmed),
         });
         let text = render_explanation(&r, None);
         assert!(text.contains("side A"), "got: {text}");
         assert!(text.contains("satisfiable"));
         assert!(text.contains("callee summaries used: pm_runtime_get_sync"));
+        assert!(text.contains("refutation: confirmed"));
         let legacy = render_explanation(&sample_report(), None);
         assert!(legacy.contains("no provenance recorded"));
     }

@@ -95,9 +95,9 @@ fn invalid(msg: impl std::fmt::Display) -> io::Error {
 }
 
 /// [`AnalysisOptions`] flattened to serializable primitives for the task
-/// file. Mirrors exactly the fields a worker needs; `check_callbacks` is
-/// deliberately absent — the callback pass runs once, in the
-/// coordinator, over the merged result.
+/// file. Mirrors exactly the fields a worker needs; `check_callbacks`
+/// and `refute` are deliberately absent — both are coordinator-only
+/// passes, run once over the merged result.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct TaskOptions {
     /// [`crate::paths::PathLimits::max_paths`].
@@ -180,6 +180,7 @@ impl TaskOptions {
             },
             exec_mode,
             steal_batch: self.steal_batch,
+            refute: false,
         })
     }
 }
@@ -714,6 +715,13 @@ pub fn analyze_processes_traced(
     if options.check_callbacks {
         callback_pass(&program, &db, options, &mut reports, &mut degraded);
     }
+    // Refutation is a coordinator-only pass (workers ran with
+    // `refute: false`), so merged multi-process reports are judged exactly
+    // once, against the complete merged summary database — byte-identical
+    // to the sequential driver's pass.
+    if options.refute {
+        crate::refute::refute_pass(&db, options.budget.solver_fuel, &mut reports, &mut stats);
+    }
 
     // Shard stats summed whole-program fields P times over; the
     // coordinator owns those.
@@ -852,5 +860,6 @@ mod tests {
         assert_eq!(rebuilt.budget.solver_fuel, Some(9000));
         assert_eq!(rebuilt.limits, options.limits);
         assert!(!rebuilt.check_callbacks, "workers never run the callback pass");
+        assert!(!rebuilt.refute, "workers never run the refutation pass");
     }
 }

@@ -115,6 +115,14 @@ pub struct KernelConfig {
     /// (structural paths = 2^depth).
     #[serde(default)]
     pub adversarial_depth: usize,
+    /// Known-spurious modules appended to the corpus (0 = none, the
+    /// default). Each holds one bug-free function built to fool stage
+    /// one's bounded disequality splitting into a report that the exact
+    /// second-stage refutation provably kills — the ground-truth
+    /// population for measuring the refutation rate (see
+    /// [`spurious_module`] and `REPORTS.md`).
+    #[serde(default)]
+    pub seeded_spurious: usize,
 }
 
 impl KernelConfig {
@@ -168,6 +176,7 @@ impl Default for KernelConfig {
             pct_probe_error_checked: 10,
             adversarial_modules: 0,
             adversarial_depth: 12,
+            seeded_spurious: 0,
         }
     }
 }
@@ -188,6 +197,11 @@ pub struct KernelCorpus {
     /// Adversarial (limit-stressing, bug-free) functions, when
     /// [`KernelConfig::adversarial_modules`] > 0.
     pub adversarial_functions: Vec<String>,
+    /// Bug-free functions guaranteed to draw exactly one stage-one report
+    /// that exact refutation removes, when
+    /// [`KernelConfig::seeded_spurious`] > 0. Ground truth for the
+    /// refutation-rate measurement.
+    pub spurious_functions: Vec<String>,
 }
 
 impl KernelCorpus {
@@ -291,7 +305,53 @@ pub fn generate_kernel(config: &KernelConfig) -> KernelCorpus {
         g.corpus.sources.push(source);
     }
 
+    // Seeded-spurious modules append after the adversarial ones, for the
+    // same byte-identity-when-off reason.
+    for s_idx in 0..config.seeded_spurious {
+        let source = spurious_module(&mut g, s_idx);
+        g.corpus.sources.push(source);
+    }
+
     g.corpus
+}
+
+/// Guard values in a [`spurious_module`] function: the argument is bounded
+/// to `[0, SPURIOUS_DISEQS - 1]` and then excluded from every value in
+/// that interval, so proving the deep path infeasible takes
+/// `SPURIOUS_DISEQS` case splits — more than the stage-one default budget
+/// of 64 ([`rid_solver::SatOptions`]), fewer than the second stage's
+/// unlimited splitting needs to care about.
+pub const SPURIOUS_DISEQS: i64 = 72;
+
+/// One known-spurious module: a single bug-free function whose two
+/// deepest paths (reached when `a` evades every equality guard — which no
+/// integer can) are enumerated first, survive stage one's feasibility
+/// checks only because the split budget exhausts toward "satisfiable"
+/// (§5.4), and pair into exactly one IPP report. The paths nest inside
+/// the guards so then-first DFS emits them at indices 0 and 1, safely
+/// under the entry cap that truncates the later guard-exit paths. The
+/// report's joint constraint is genuinely unsatisfiable, so the exact
+/// refutation pass removes it — deterministically, for every seed.
+fn spurious_module(g: &mut Gen, idx: usize) -> String {
+    let mut out = format!("module spurious{idx};\n");
+    out.push_str("extern fn pm_runtime_get_sync;\n\n");
+    let func = format!("spur{idx}_commit");
+    let _ = writeln!(out, "fn {func}(dev, a) {{");
+    out.push_str("    if (a >= 0) {\n");
+    let _ = writeln!(out, "    if (a <= {}) {{", SPURIOUS_DISEQS - 1);
+    for k in 0..SPURIOUS_DISEQS {
+        let _ = writeln!(out, "    if (a != {k}) {{");
+    }
+    out.push_str("    let r = random;\n");
+    out.push_str("    if (r < 0) {\n        pm_runtime_get_sync(dev);\n        return 0;\n    }\n");
+    out.push_str("    return 0;\n");
+    for _ in 0..SPURIOUS_DISEQS + 2 {
+        out.push_str("    }\n");
+    }
+    out.push_str("    return -1;\n}\n");
+    g.corpus.function_count += 1;
+    g.corpus.spurious_functions.push(func);
+    out
 }
 
 /// One adversarial module: a path-explosion function (a chain of `depth`
@@ -820,6 +880,26 @@ mod tests {
         let program = parse_program(adv.sources.iter().map(String::as_str))
             .expect("adversarial corpus must parse");
         for name in &adv.adversarial_functions {
+            assert!(program.function(name).is_some(), "missing {name}");
+        }
+    }
+
+    #[test]
+    fn spurious_knob_defaults_off_and_appends() {
+        let plain = generate_kernel(&KernelConfig::tiny(3));
+        assert!(plain.spurious_functions.is_empty());
+
+        let config = KernelConfig { seeded_spurious: 3, ..KernelConfig::tiny(3) };
+        let spur = generate_kernel(&config);
+        assert_eq!(spur.sources[..plain.sources.len()], plain.sources[..]);
+        assert_eq!(spur.sources.len(), plain.sources.len() + 3);
+        assert_eq!(spur.spurious_functions.len(), 3);
+        assert_eq!(spur.bugs, plain.bugs, "spurious functions seed no bugs");
+        assert_eq!(spur.function_count, plain.function_count + 3);
+
+        let program = parse_program(spur.sources.iter().map(String::as_str))
+            .expect("spurious corpus must parse");
+        for name in &spur.spurious_functions {
             assert!(program.function(name).is_some(), "missing {name}");
         }
     }

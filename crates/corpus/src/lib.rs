@@ -26,5 +26,7 @@
 pub mod kernel;
 pub mod pyc;
 
-pub use kernel::{GetCallSite, KernelConfig, KernelCorpus, SeededBug, SeededBugRecord};
+pub use kernel::{
+    GetCallSite, KernelConfig, KernelCorpus, SeededBug, SeededBugRecord, SPURIOUS_DISEQS,
+};
 pub use pyc::{PycBugClass, PycConfig, PycCorpus, PycProgram};

@@ -42,6 +42,10 @@ pub enum SpanKind {
     Solve,
     /// Inconsistent-path-pair checking over a function's path entries.
     IppCheck,
+    /// Second-stage refutation of one IPP report (exact re-check of the
+    /// joint constraints); the value records the verdict (0 = refuted,
+    /// 1 = confirmed, 2 = inconclusive).
+    Refute,
     /// A persistent-summary-cache probe for one component.
     CacheLookup,
     /// A work-stealing scan over sibling deques.
@@ -74,6 +78,7 @@ impl SpanKind {
             SpanKind::Exec => "exec",
             SpanKind::Solve => "solve",
             SpanKind::IppCheck => "ipp-check",
+            SpanKind::Refute => "refute",
             SpanKind::CacheLookup => "cache-lookup",
             SpanKind::Steal => "steal",
             SpanKind::Serve => "serve",
@@ -94,13 +99,14 @@ impl SpanKind {
     }
 
     /// All span kinds, in pipeline order.
-    pub fn all() -> [SpanKind; 13] {
+    pub fn all() -> [SpanKind; 14] {
         [
             SpanKind::Lower,
             SpanKind::Enumerate,
             SpanKind::Exec,
             SpanKind::Solve,
             SpanKind::IppCheck,
+            SpanKind::Refute,
             SpanKind::CacheLookup,
             SpanKind::Steal,
             SpanKind::Serve,

@@ -278,6 +278,7 @@ enum Op {
     Analyze,
     Patch { sources: BTreeMap<String, String> },
     Explain { function: Option<String> },
+    Diff { baseline: Vec<String> },
     Stats { format: StatsFormat },
     Snapshot,
     Shutdown,
@@ -311,6 +312,7 @@ impl Op {
             Op::Analyze => "analyze",
             Op::Patch { .. } => "patch",
             Op::Explain { .. } => "explain",
+            Op::Diff { .. } => "diff",
             Op::Stats { .. } => "stats",
             Op::Snapshot => "snapshot",
             Op::Shutdown => "shutdown",
@@ -691,6 +693,7 @@ impl<T> Engine<T> {
             Op::Register { .. } => self.execute_register(pending),
             Op::Analyze => self.execute_analyze(pending),
             Op::Explain { .. } => self.execute_explain(pending),
+            Op::Diff { .. } => self.execute_diff(pending),
             Op::Stats { .. } => self.execute_stats(pending),
             Op::Snapshot => self.execute_snapshot(pending),
             Op::Patch { .. } | Op::Shutdown => unreachable!("handled by drain"),
@@ -1015,6 +1018,44 @@ impl<T> Engine<T> {
         (pending.tag, ok_line(pending.id, result, degraded_value(last)))
     }
 
+    /// `diff`: classify the project's resident reports against a
+    /// client-supplied baseline hash list (see `REPORTS.md`). Like
+    /// `explain`, a freshly registered project is analyzed once so
+    /// there is something to diff; a warm project answers from its
+    /// resident result without re-running. Suppression (`.ridignore`)
+    /// is a client-side concern — the daemon reports the raw
+    /// classification and the CLI filters it.
+    fn execute_diff(&mut self, pending: Pending<T>) -> (T, String) {
+        let Op::Diff { baseline } = &pending.op else { unreachable!() };
+        let baseline = baseline.clone();
+        let Some(project) = self.projects.get_mut(&pending.project) else {
+            return (pending.tag, unknown_project(pending.id, &pending.project));
+        };
+        let mut span =
+            rid_obs::span(rid_obs::SpanKind::Serve, &format!("diff:{}", pending.project));
+        span.set_value(1);
+        if project.last.is_none() {
+            run_analysis(project, pending.deadline_ms);
+        }
+        let last = project.last.force().expect("analysis just ran");
+        let diff = rid_core::classify_reports(&baseline, &last.reports);
+        let entry = |(hash, idx): &(String, usize)| {
+            serde_json::json!({
+                "hash": hash,
+                "function": last.reports[*idx].function,
+                "refcount": last.reports[*idx].refcount.to_string(),
+            })
+        };
+        let result = serde_json::json!({
+            "new": diff.new.iter().map(entry).collect::<Vec<_>>(),
+            "unchanged": diff.unchanged.iter().map(entry).collect::<Vec<_>>(),
+            "resolved": diff.resolved,
+            "new_count": diff.new.len(),
+            "report_count": last.reports.len(),
+        });
+        (pending.tag, ok_line(pending.id, result, degraded_value(last)))
+    }
+
     fn execute_stats(&mut self, pending: Pending<T>) -> (T, String) {
         let Op::Stats { format } = pending.op else { unreachable!() };
         let mut span = rid_obs::span(rid_obs::SpanKind::Serve, "stats");
@@ -1312,7 +1353,8 @@ impl<T: Default> Engine<T> {
 
 /// Validates a request into an executable [`Op`].
 fn parse_op(request: &Request) -> Result<Op, (&'static str, String)> {
-    let needs_project = matches!(request.op.as_str(), "register" | "analyze" | "patch" | "explain");
+    let needs_project =
+        matches!(request.op.as_str(), "register" | "analyze" | "patch" | "explain" | "diff");
     if needs_project && request.project.is_empty() {
         return Err(("usage", format!("op `{}` requires a `project`", request.op)));
     }
@@ -1329,6 +1371,7 @@ fn parse_op(request: &Request) -> Result<Op, (&'static str, String)> {
             Ok(Op::Patch { sources: request.sources.clone() })
         }
         "explain" => Ok(Op::Explain { function: request.function.clone() }),
+        "diff" => Ok(Op::Diff { baseline: request.baseline.clone().unwrap_or_default() }),
         "stats" => match request.format.as_deref() {
             None | Some("json") => Ok(Op::Stats { format: StatsFormat::Json }),
             Some("prometheus") => Ok(Op::Stats { format: StatsFormat::Prometheus }),
@@ -1364,6 +1407,9 @@ fn resolve_options(
         }
         if let Some(fuel) = options.fuel {
             resolved.budget.solver_fuel = Some(fuel);
+        }
+        if let Some(refute) = options.refute {
+            resolved.refute = refute;
         }
         match options.apis.as_deref() {
             None | Some("dpm") => {}

@@ -21,8 +21,8 @@ pub const PROTOCOL_VERSION: &str = "rid-serve/1";
 /// One request line, as sent by a client.
 ///
 /// `op` selects the operation (`register`, `analyze`, `patch`,
-/// `explain`, `stats`, `ping`, `snapshot`, `shutdown`); the other
-/// fields are op-specific and default to empty when omitted. See
+/// `explain`, `diff`, `stats`, `ping`, `snapshot`, `shutdown`); the
+/// other fields are op-specific and default to empty when omitted. See
 /// `PROTOCOL.md` for which fields each op requires.
 #[derive(Clone, Debug, Serialize, Deserialize)]
 pub struct Request {
@@ -71,6 +71,11 @@ pub struct Request {
     /// `prometheus` string holding a text exposition instead.
     #[serde(default)]
     pub format: Option<String>,
+    /// `diff` only: the baseline report-hash list (see `REPORTS.md`)
+    /// the project's resident reports are compared against. Omitted or
+    /// empty means everything resident is `new`.
+    #[serde(default)]
+    pub baseline: Option<Vec<String>>,
 }
 
 impl Request {
@@ -89,6 +94,7 @@ impl Request {
             options: None,
             idem: None,
             format: None,
+            baseline: None,
         }
     }
 
@@ -125,6 +131,9 @@ pub struct ProjectOptions {
     /// `"none"`.
     #[serde(default)]
     pub apis: Option<String>,
+    /// Second-stage refutation pass (default true; see `DESIGN.md` §17).
+    #[serde(default)]
+    pub refute: Option<bool>,
 }
 
 /// Builds a success response line: `{id, ok:true, protocol, result,

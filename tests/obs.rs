@@ -59,7 +59,10 @@ fn golden_run(threads: usize) -> (rid::core::AnalysisResult, trace::Trace) {
 /// span the pipeline emits for the two-function corpus, in order. A
 /// diff here means the instrumentation moved — rebaseline deliberately,
 /// not accidentally (timestamps and thread ids are already normalized
-/// out, so only real pipeline changes can break it).
+/// out, so only real pipeline changes can break it). The trailing
+/// `refute` span is the second-stage pass re-judging the leaf's report
+/// (value 1 = confirmed: the joint constraints are genuinely
+/// satisfiable, so the report survives).
 const GOLDEN_JSONL: &str = r#"{"seq":0,"kind":"lower","name":"module","ph":"span","thread":0,"start_ns":0,"dur_ns":0,"value":2}
 {"seq":1,"kind":"cache-lookup","name":"golden_leaf","ph":"span","thread":0,"start_ns":1,"dur_ns":0,"value":0}
 {"seq":2,"kind":"exec","name":"golden_leaf","ph":"span","thread":0,"start_ns":2,"dur_ns":0,"value":2}
@@ -74,6 +77,7 @@ const GOLDEN_JSONL: &str = r#"{"seq":0,"kind":"lower","name":"module","ph":"span
 {"seq":11,"kind":"solve","name":"golden_top","ph":"span","thread":0,"start_ns":11,"dur_ns":0,"value":1}
 {"seq":12,"kind":"solve","name":"golden_top","ph":"span","thread":0,"start_ns":12,"dur_ns":0,"value":1}
 {"seq":13,"kind":"ipp-check","name":"golden_top","ph":"span","thread":0,"start_ns":13,"dur_ns":0,"value":0}
+{"seq":14,"kind":"refute","name":"golden_leaf","ph":"span","thread":0,"start_ns":14,"dur_ns":0,"value":1}
 "#;
 
 #[test]

@@ -1,0 +1,231 @@
+//! Acceptance suite for the two-stage architecture and the report
+//! contract (`REPORTS.md`): the refutation pass removes every
+//! seeded-spurious report from a generated corpus without losing a true
+//! positive, and the content-addressed report hash is byte-stable
+//! across thread counts, cache temperature, and unrelated edits while
+//! moving when the reported pair itself moves.
+
+use std::collections::BTreeSet;
+
+use rid::core::apis::linux_dpm_apis;
+use rid::core::{
+    analyze_program_cached, report_hash, AnalysisOptions, AnalysisResult, FaultPlan,
+    RefuteVerdict, SummaryCache,
+};
+
+fn analyze(sources: &[String], options: &AnalysisOptions) -> AnalysisResult {
+    let program =
+        rid::frontend::parse_program(sources.iter().map(String::as_str)).expect("corpus parses");
+    let mut cache = SummaryCache::new();
+    analyze_program_cached(&program, &linux_dpm_apis(), options, &FaultPlan::none(), Some(&mut cache))
+}
+
+/// The committed refutation baseline (also enforced by CI against the
+/// regenerated BENCH_perf.json v9 record): on a corpus seeded with
+/// known-spurious idioms, stage two refutes **all** of them and loses
+/// **zero** true positives.
+#[test]
+fn refutation_removes_every_seeded_spurious_report_and_keeps_true_bugs() {
+    let mut config = rid::corpus::KernelConfig::tiny(5);
+    config.seeded_spurious = 4;
+    let corpus = rid::corpus::kernel::generate_kernel(&config);
+    assert_eq!(corpus.spurious_functions.len(), 4);
+    let spurious: BTreeSet<&str> =
+        corpus.spurious_functions.iter().map(String::as_str).collect();
+
+    let stage1 = analyze(
+        &corpus.sources,
+        &AnalysisOptions { refute: false, ..AnalysisOptions::default() },
+    );
+    let stage2 = analyze(&corpus.sources, &AnalysisOptions::default());
+
+    // Stage one is fooled by every seeded-spurious function: the unsat
+    // joint constraints need more disequality splits than the default
+    // budget, so exhaustion degrades toward "satisfiable" (§5.4).
+    let stage1_spurious =
+        stage1.reports.iter().filter(|r| spurious.contains(r.function.as_str())).count();
+    assert_eq!(stage1_spurious, 4, "each seeded-spurious function draws a stage-one report");
+
+    // Stage two refutes all of them — and nothing else.
+    assert!(
+        stage2.reports.iter().all(|r| !spurious.contains(r.function.as_str())),
+        "no seeded-spurious report survives refutation"
+    );
+    assert_eq!(stage2.stats.reports_refuted, 4);
+    assert_eq!(stage2.stats.reports_inconclusive, 0);
+    assert_eq!(stage2.stats.reports_confirmed, stage2.reports.len());
+    assert_eq!(
+        stage1.reports.len() - stage2.reports.len(),
+        4,
+        "refutation removes exactly the spurious reports"
+    );
+
+    // Zero true-positive loss: the same ground-truth bug functions are
+    // reported before and after refutation, and every detectable seeded
+    // bug that stage one found is still found.
+    let reported = |result: &AnalysisResult| -> BTreeSet<String> {
+        result.reports.iter().map(|r| r.function.clone()).collect()
+    };
+    let (found1, found2) = (reported(&stage1), reported(&stage2));
+    for function in corpus.detectable_bug_functions() {
+        assert_eq!(
+            found1.contains(function),
+            found2.contains(function),
+            "refutation changed the verdict on seeded bug `{function}`"
+        );
+    }
+
+    // Every survivor carries its verdict in provenance, so `rid explain`
+    // can say why the report survived.
+    for report in &stage2.reports {
+        let verdict = report.provenance.as_ref().and_then(|p| p.refutation);
+        assert_eq!(verdict, Some(RefuteVerdict::Confirmed), "{}", report.function);
+    }
+}
+
+const FIG8: &str = r#"module radeon;
+fn radeon_crtc_set_config(dev, set) {
+    let ret = pm_runtime_get_sync(dev);
+    if (ret < 0) { return ret; }
+    ret = drm_crtc_helper_set_config(set);
+    pm_runtime_put_autosuspend(dev);
+    return ret;
+}"#;
+
+/// An unrelated module: its presence (or edits to it) must not move the
+/// Figure 8 report's hash.
+const BYSTANDER: &str = r#"module bystander;
+fn balanced(dev) {
+    pm_runtime_get_sync(dev);
+    pm_runtime_put(dev);
+    return 0;
+}"#;
+
+const BYSTANDER_EDITED: &str = r#"module bystander;
+fn balanced(dev) {
+    pm_runtime_get_sync(dev);
+    pm_runtime_put(dev);
+    return 0;
+}
+fn newcomer(dev) {
+    pm_runtime_get_sync(dev);
+    pm_runtime_put(dev);
+    return 0;
+}"#;
+
+/// Figure 8 with an extra guard before the inconsistent pair: the pair
+/// itself moved (different traces, different constraints), so its hash
+/// must change.
+const FIG8_MOVED: &str = r#"module radeon;
+fn radeon_crtc_set_config(dev, set) {
+    if (set < 0) { return set; }
+    let ret = pm_runtime_get_sync(dev);
+    if (ret < 0) { return ret; }
+    ret = drm_crtc_helper_set_config(set);
+    pm_runtime_put_autosuspend(dev);
+    return ret;
+}"#;
+
+/// The pinned hash of the Figure 8 report. This is the byte-stability
+/// contract of `REPORTS.md`: the constant may only change with a
+/// documented bump of the `rid-report-hash/v1` tag.
+const FIG8_HASH: &str = "cab62d1c2ddc4bd97bbb3d804b074bf3";
+
+fn hashes(result: &AnalysisResult) -> Vec<String> {
+    let mut hashes: Vec<String> = result.reports.iter().map(report_hash).collect();
+    hashes.sort_unstable();
+    hashes
+}
+
+#[test]
+fn report_hashes_are_stable_across_threads_and_cache_temperature() {
+    let sources = vec![FIG8.to_owned(), BYSTANDER.to_owned()];
+    let cold1 = analyze(&sources, &AnalysisOptions::default());
+    let cold4 =
+        analyze(&sources, &AnalysisOptions { threads: 4, ..AnalysisOptions::default() });
+    assert_eq!(hashes(&cold1), vec![FIG8_HASH.to_owned()], "pinned by REPORTS.md");
+    assert_eq!(hashes(&cold1), hashes(&cold4), "thread count must not move hashes");
+
+    // Warm run over the same cache: every summary answered from the
+    // store, reports re-derived — identical hashes.
+    let program = rid::frontend::parse_program([FIG8, BYSTANDER]).unwrap();
+    let options = AnalysisOptions::default();
+    let mut cache = SummaryCache::new();
+    let cold = analyze_program_cached(
+        &program,
+        &linux_dpm_apis(),
+        &options,
+        &FaultPlan::none(),
+        Some(&mut cache),
+    );
+    let warm = analyze_program_cached(
+        &program,
+        &linux_dpm_apis(),
+        &options,
+        &FaultPlan::none(),
+        Some(&mut cache),
+    );
+    assert!(warm.stats.cache_hits > 0, "second run must be warm");
+    assert_eq!(hashes(&cold), hashes(&warm), "cache temperature must not move hashes");
+}
+
+#[test]
+fn unrelated_edits_keep_the_hash_and_pair_moves_change_it() {
+    let base = analyze(&[FIG8.to_owned(), BYSTANDER.to_owned()], &AnalysisOptions::default());
+    let edited = analyze(
+        &[FIG8.to_owned(), BYSTANDER_EDITED.to_owned()],
+        &AnalysisOptions::default(),
+    );
+    let alone = analyze(&[FIG8.to_owned()], &AnalysisOptions::default());
+    assert_eq!(hashes(&base), hashes(&edited), "editing another module must not move the hash");
+    assert_eq!(hashes(&base), hashes(&alone), "other modules' presence must not move the hash");
+
+    let moved = analyze(&[FIG8_MOVED.to_owned()], &AnalysisOptions::default());
+    assert_eq!(moved.reports.len(), 1, "the bug is still there");
+    assert_ne!(hashes(&base), hashes(&moved), "a moved pair must re-hash");
+}
+
+/// Out-of-fuel stage two must keep the report (inconclusive), never
+/// refute it — exhaustion is ignorance, not evidence.
+#[test]
+fn out_of_fuel_refutation_keeps_reports_as_inconclusive()  {
+    let mut config = rid::corpus::KernelConfig::tiny(5);
+    config.seeded_spurious = 1;
+    let corpus = rid::corpus::kernel::generate_kernel(&config);
+    let starved = analyze(
+        &corpus.sources,
+        &AnalysisOptions {
+            budget: rid::core::Budget {
+                solver_fuel: Some(1),
+                ..rid::core::Budget::unlimited()
+            },
+            ..AnalysisOptions::default()
+        },
+    );
+    let spurious: BTreeSet<&str> =
+        corpus.spurious_functions.iter().map(String::as_str).collect();
+    assert!(
+        starved.reports.iter().any(|r| spurious.contains(r.function.as_str())),
+        "with no fuel the spurious report must survive as inconclusive"
+    );
+    assert_eq!(starved.stats.reports_refuted, 0, "exhaustion never refutes");
+    assert!(starved.stats.reports_inconclusive > 0);
+}
+
+/// The verdict serializes as the lowercase labels REPORTS.md documents
+/// (`"confirmed"`, not the Rust variant name) and round-trips.
+#[test]
+fn refutation_verdict_serializes_as_lowercase_label() {
+    use rid::core::refute::RefuteVerdict;
+    for verdict in [
+        RefuteVerdict::Confirmed,
+        RefuteVerdict::Refuted,
+        RefuteVerdict::Inconclusive,
+    ] {
+        let json = serde_json::to_string(&verdict).unwrap();
+        assert_eq!(json, format!("{:?}", verdict.label()));
+        let back: RefuteVerdict = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, verdict);
+    }
+    assert!(serde_json::from_str::<RefuteVerdict>("\"Confirmed\"").is_err());
+}

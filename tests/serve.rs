@@ -268,3 +268,73 @@ fn shutdown_answers_every_accepted_request() {
     assert_eq!(late["ok"].as_bool(), Some(false));
     assert_eq!(late["error"]["kind"].as_str(), Some("shutting-down"));
 }
+
+/// A Figure 8 bug for the diff op: registered, analyzed resident, and
+/// classified against client-supplied baselines.
+const BUGGY_MOD: &str = r#"module buggy;
+fn probe(dev, set) {
+    let ret = pm_runtime_get_sync(dev);
+    if (ret < 0) { return ret; }
+    ret = drm_crtc_helper_set_config(set);
+    pm_runtime_put_autosuspend(dev);
+    return ret;
+}"#;
+
+/// The `diff` op classifies the project's resident reports against the
+/// request's baseline hash list: an empty baseline makes every report
+/// `new`; a baseline carrying the report's own hash makes it
+/// `unchanged`; a stale baseline hash comes back `resolved`. The hashes
+/// on the wire agree with [`rid::core::report_hash`] computed locally —
+/// that agreement is the whole point of the stable-hash contract.
+#[test]
+fn diff_op_classifies_resident_reports_against_the_baseline() {
+    let _g = lock();
+    // The expected hash, computed library-side from the same source.
+    let program = rid::frontend::parse_program([BUGGY_MOD]).unwrap();
+    let result = rid::core::driver::analyze_program(
+        &program,
+        &rid::core::apis::linux_dpm_apis(),
+        &rid::core::AnalysisOptions::default(),
+    );
+    assert_eq!(result.reports.len(), 1);
+    let expected = rid::core::report_hash(&result.reports[0]);
+
+    let stale = "0123456789abcdef0123456789abcdef";
+    let responses = run_stdio(&[
+        line(serde_json::json!({
+            "id": 1, "op": "register", "project": "d",
+            "sources": serde_json::json!({ "buggy.ril": BUGGY_MOD }),
+        })),
+        // Cold diff: forces one analysis, everything is new.
+        line(serde_json::json!({ "id": 2, "op": "diff", "project": "d" })),
+        // Baseline contains the report: unchanged, nothing new.
+        line(serde_json::json!({
+            "id": 3, "op": "diff", "project": "d", "baseline": [expected.as_str()],
+        })),
+        // Stale baseline entry: resolved, the resident report is new.
+        line(serde_json::json!({
+            "id": 4, "op": "diff", "project": "d", "baseline": [stale],
+        })),
+        line(serde_json::json!({ "id": 5, "op": "diff" })),
+    ]);
+
+    let cold = by_id(&responses, 2);
+    assert_eq!(cold["ok"].as_bool(), Some(true));
+    assert_eq!(cold["result"]["new_count"].as_u64(), Some(1));
+    assert_eq!(cold["result"]["new"][0]["hash"].as_str(), Some(expected.as_str()));
+    assert_eq!(cold["result"]["new"][0]["function"].as_str(), Some("probe"));
+
+    let unchanged = by_id(&responses, 3);
+    assert_eq!(unchanged["result"]["new_count"].as_u64(), Some(0));
+    assert_eq!(unchanged["result"]["unchanged"][0]["hash"].as_str(), Some(expected.as_str()));
+    assert_eq!(unchanged["result"]["resolved"].as_array().map(Vec::len), Some(0));
+
+    let stale_reply = by_id(&responses, 4);
+    assert_eq!(stale_reply["result"]["new_count"].as_u64(), Some(1));
+    assert_eq!(stale_reply["result"]["resolved"][0].as_str(), Some(stale));
+
+    // `diff` requires a project, like the other project-scoped ops.
+    let usage = by_id(&responses, 5);
+    assert_eq!(usage["ok"].as_bool(), Some(false));
+    assert_eq!(usage["error"]["kind"].as_str(), Some("usage"));
+}
