@@ -76,7 +76,7 @@ fn usage() -> ExitCode {
             [--chaos-torn-rate R] [--chaos-fsync-rate R]   (or --stdio)
   rid client --socket <path> --op <op> [--project p] [<file.ril>...]
              [--function <name>] [--baseline <old-state.json>]
-             [--deadline-ms N] [--idem <key>]
+             [--ignore .ridignore] [--deadline-ms N] [--idem <key>]
              [--format json|prometheus]
              [--retries N] [--retry-base-ms N] [--timeout-ms N]
   rid top --socket <path> [--interval-ms N] [--iters N]"
@@ -880,6 +880,12 @@ fn cmd_client(args: &Args) -> Result<u8, String> {
         .transpose()?;
     request.idem = args.options.get("idem").cloned();
     request.format = args.options.get("format").cloned();
+    // The daemon returns the raw diff classification (PROTOCOL.md);
+    // suppression is client-side triage, so the `diff` op applies the
+    // local `.ridignore` (or `--ignore <file>`) to the returned `new`
+    // entries before deciding the exit code — the same gate `rid diff`
+    // implements. Loaded up front so a malformed file fails fast.
+    let ignore = if op == "diff" { Some(load_ridignore(args)?) } else { None };
     // `--baseline <old-state.json>` (diff op): the old run's reports,
     // hashed client-side, become the request's baseline list.
     if let Some(path) = args.options.get("baseline") {
@@ -922,9 +928,19 @@ fn cmd_client(args: &Args) -> Result<u8, String> {
             return Ok(EXIT_FATAL);
         }
         // `diff` is the CI gate: only *new* reports (vs the baseline)
-        // are failures; the other ops gate on any report at all.
-        let bugs = if op == "diff" {
-            value["result"]["new_count"].as_i64().unwrap_or(0) > 0
+        // that survive the local suppression file are failures; the
+        // other ops gate on any report at all.
+        let bugs = if let Some(ignore) = &ignore {
+            match value["result"]["new"].as_array() {
+                Some(new) => new.iter().any(|entry| {
+                    !ignore.suppresses(
+                        entry["hash"].as_str().unwrap_or(""),
+                        entry["function"].as_str().unwrap_or(""),
+                    )
+                }),
+                // Pre-`new`-array daemons: fall back to the raw count.
+                None => value["result"]["new_count"].as_i64().unwrap_or(0) > 0,
+            }
         } else {
             value["result"]["report_count"].as_i64().unwrap_or(0) > 0
         };
@@ -938,7 +954,7 @@ fn cmd_client(args: &Args) -> Result<u8, String> {
     }
     #[cfg(not(unix))]
     {
-        let _ = request;
+        let _ = (request, ignore);
         Err("unix domain sockets are unavailable on this platform".to_owned())
     }
 }

@@ -249,6 +249,100 @@ fn no_refute_exposes_seeded_spurious_reports() {
     }
 }
 
+/// The daemon-based CI gate matches `rid diff`: `rid client --op diff`
+/// applies the local suppression file to the returned `new` entries
+/// before deciding its exit code, so a triaged finding opens the gate
+/// even though the daemon's raw `new_count` stays positive.
+#[cfg(unix)]
+#[test]
+fn client_diff_gate_applies_local_suppressions() {
+    let dir = tempdir("client-diff");
+    let socket = dir.join("rid.sock");
+    let a = write(&dir, "a.ril", &buggy_module("mod_a", "fn_unchanged"));
+    let c = write(&dir, "c.ril", &buggy_module("mod_c", "fn_new"));
+    let baseline = save_state(&dir, "baseline.json", &[&a]);
+
+    let mut daemon = rid()
+        .args(["serve", "--socket", socket.to_str().unwrap()])
+        .stdout(std::process::Stdio::null())
+        .stderr(std::process::Stdio::null())
+        .spawn()
+        .unwrap();
+    let client = |extra: &[&str]| -> Output {
+        let mut cmd = rid();
+        cmd.args(["client", "--socket", socket.to_str().unwrap()]);
+        cmd.args(extra);
+        cmd.current_dir(&dir);
+        cmd.output().unwrap()
+    };
+    for _ in 0..600 {
+        if client(&["--op", "ping"]).status.code() == Some(0) {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+
+    let output = client(&[
+        "--op",
+        "register",
+        "--project",
+        "p",
+        a.to_str().unwrap(),
+        c.to_str().unwrap(),
+    ]);
+    assert_eq!(output.status.code(), Some(0), "{}", stdout(&output));
+
+    // One pre-existing bug (unchanged) and one new one: the gate closes.
+    let diff = |extra: &[&str]| -> Output {
+        let mut args = vec!["--op", "diff", "--project", "p", "--baseline"];
+        args.push(baseline.to_str().unwrap());
+        args.extend_from_slice(extra);
+        client(&args)
+    };
+    let output = diff(&[]);
+    assert_eq!(output.status.code(), Some(1), "a new bug must gate: {}", stdout(&output));
+    let value: serde_json::Value = serde_json::from_str(stdout(&output).trim()).unwrap();
+    let new = value["result"]["new"].as_array().unwrap();
+    assert_eq!(new.len(), 1, "{value}");
+    assert_eq!(new[0]["function"].as_str(), Some("fn_new"));
+    let hash = new[0]["hash"].as_str().unwrap().to_owned();
+
+    // Suppress the finding: the daemon still reports it raw, but the
+    // client-side gate opens — identical to the `rid diff` contract.
+    let ignore = dir.join(".ridignore");
+    let output = rid()
+        .args(["suppress", &hash, "--file", ignore.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert_eq!(output.status.code(), Some(0));
+    let output = diff(&["--ignore", ignore.to_str().unwrap()]);
+    assert_eq!(
+        output.status.code(),
+        Some(0),
+        "suppressed new bug must not gate the daemon flow: {}",
+        stdout(&output)
+    );
+    let value: serde_json::Value = serde_json::from_str(stdout(&output).trim()).unwrap();
+    assert_eq!(
+        value["result"]["new_count"].as_i64(),
+        Some(1),
+        "the daemon response stays raw: {value}"
+    );
+
+    // The default `.ridignore` in the invoking directory is picked up
+    // without `--ignore`, and a malformed `--ignore` file is fatal
+    // before any gating happens.
+    let output = diff(&[]);
+    assert_eq!(output.status.code(), Some(0), "cwd .ridignore applies: {}", stdout(&output));
+    let bad = write(&dir, "bad.ridignore", "deadbeef\n");
+    let output = diff(&["--ignore", bad.to_str().unwrap()]);
+    assert_eq!(output.status.code(), Some(3), "malformed .ridignore is fatal");
+
+    let output = client(&["--op", "shutdown"]);
+    assert_eq!(output.status.code(), Some(0), "{}", stdout(&output));
+    daemon.wait().unwrap();
+}
+
 /// The `REPORTS.md` stability guarantee, end to end through the binary:
 /// `--processes` and `--threads` runs hash identically to a sequential
 /// one.

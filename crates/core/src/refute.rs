@@ -12,8 +12,11 @@
 //! produced its reports (and the summary database is complete), each
 //! surviving report's joint constraint is re-validated with disequality
 //! splitting fully enabled (`max_splits = u32::MAX`) and with the
-//! constraints of single-entry callee summaries conjoined cross-function
-//! through the existing [`IncrementalSolver`]. Three verdicts come out:
+//! independently satisfiable constraints of single-entry callee
+//! summaries conjoined cross-function through the existing
+//! [`IncrementalSolver`] (see [`refute_report`] for why the
+//! independent-satisfiability guard is what keeps the conjunction
+//! sound). Three verdicts come out:
 //!
 //! * [`Refuted`](RefuteVerdict::Refuted) — the strengthened conjunction
 //!   is unsatisfiable: the two paths can never be entered
@@ -118,12 +121,20 @@ const REFUTE_RET_SUB: u32 = 0x00ff_ffff;
 /// asks for satisfiability with splitting fully enabled, under a fuel
 /// budget (`fuel_budget`, defaulting to [`DEFAULT_REFUTE_FUEL`]).
 ///
-/// Only *universal* callee constraints are conjoined: a summary
-/// contributes iff it is complete (not partial) and has exactly one
-/// entry, because then every path through the callee satisfies that
-/// entry's constraint and conjoining it at a fresh instantiation is
-/// sound. Multi-entry summaries are disjunctive and are skipped — this
-/// pass must never refute a true positive.
+/// Only callee constraints that cannot flip the verdict unsoundly are
+/// conjoined. A summary contributes iff it is complete (not partial),
+/// has exactly one entry (multi-entry summaries are disjunctive), and
+/// its instantiated constraint is *independently satisfiable*. The last
+/// condition is load-bearing: `provenance.callees` is the caller's
+/// whole call-graph callee set, not the calls made on the report's two
+/// paths, and the instantiation below is over fresh variables disjoint
+/// from `cons_a`/`cons_b` — so a satisfiable conjunct can never change
+/// the joint verdict, while an independently *unsatisfiable* one (a
+/// complete summary minted when stage one's split budget expired before
+/// detecting the contradiction) would refute every report of every
+/// caller, even reports whose paths never reach that callee. Those
+/// conjuncts are detected and skipped — this pass must never refute a
+/// true positive.
 #[must_use]
 pub fn refute_report(
     report: &IppReport,
@@ -146,6 +157,15 @@ pub fn refute_report(
         let site_id = REFUTE_SITE_BASE + site as u32;
         let ret = Term::var(Var::opaque(site_id, REFUTE_RET_SUB));
         let inst = summary.entries[0].instantiate(&[], &ret, site_id);
+        // The conjunct is over fresh variables: satisfiable means it is a
+        // no-op for the joint verdict, independently unsatisfiable means
+        // it would refute this report regardless of the report's own
+        // paths — exactly the unsound case, so it is skipped. An
+        // exhaustion here degrades toward "satisfiable" and the final
+        // fuel check below still turns the verdict inconclusive.
+        if !inst.cons.is_sat_with(SatOptions { max_splits: u32::MAX }) {
+            continue;
+        }
         solver.push_conj(&inst.cons);
     }
     let sat = solver.is_sat(SatOptions { max_splits: u32::MAX });
@@ -305,6 +325,50 @@ mod tests {
         });
         s.entries.push(crate::summary::SummaryEntry::default_entry());
         db.insert(s);
+        let report = report_with(Conj::truth(), Conj::truth(), vec!["callee".to_owned()]);
+        assert_eq!(refute_report(&report, &db, None), RefuteVerdict::Confirmed);
+    }
+
+    /// One complete single-entry summary whose constraint is unsat for
+    /// the given caller-side constraints.
+    fn db_with_unsat_callee(cons: Conj) -> SummaryDb {
+        let mut db = SummaryDb::new();
+        let mut s = crate::summary::Summary::new("callee");
+        s.entries.push(crate::summary::SummaryEntry {
+            cons,
+            changes: Default::default(),
+            ret: None,
+        });
+        db.insert(s);
+        db
+    }
+
+    #[test]
+    fn independently_unsat_callee_summary_never_refutes() {
+        // `provenance.callees` is the caller's whole call-graph callee
+        // set and the instantiation is over fresh variables, so an
+        // independently unsatisfiable complete summary would refute
+        // every caller report — including ones whose paths never reach
+        // the callee. It must be skipped, not conjoined.
+        let db = db_with_unsat_callee(Conj::unsat());
+        let report = report_with(
+            Conj::from_lits([Lit::new(Pred::Ge, arg(), Term::int(0))]),
+            Conj::truth(),
+            vec!["callee".to_owned()],
+        );
+        assert_eq!(refute_report(&report, &db, None), RefuteVerdict::Confirmed);
+    }
+
+    #[test]
+    fn deep_split_unsat_callee_summary_never_refutes() {
+        // The seeded-spurious idiom as a *summary*: stage one's split
+        // budget expired before detecting the contradiction, so the
+        // callee's complete single-entry summary carries a constraint
+        // that is unsat only beyond 64 splits. Stage two's pre-check
+        // runs with splitting fully enabled and must still skip it.
+        let joint = pigeonhole(71);
+        assert!(joint.is_sat_with(SatOptions::default()), "stage one must be fooled");
+        let db = db_with_unsat_callee(joint);
         let report = report_with(Conj::truth(), Conj::truth(), vec!["callee".to_owned()]);
         assert_eq!(refute_report(&report, &db, None), RefuteVerdict::Confirmed);
     }
